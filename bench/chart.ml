@@ -1,0 +1,27 @@
+(* Tiny ASCII horizontal bar charts for the "figure" experiments, and CSV
+   export so results can be plotted externally. *)
+
+(** [bars rows] prints one bar per (label, value), scaled to the max. *)
+let bars ?(width = 46) (rows : (string * float) list) =
+  let mx = List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-12 rows in
+  List.iter
+    (fun (label, v) ->
+      let n = int_of_float (Float.round (v /. mx *. float_of_int width)) in
+      Printf.printf "  %-22s %s %.3g\n" label (String.make (max n 1) '#') v)
+    rows
+
+(** Append rows to results/<name>.csv (header written on creation). *)
+let csv ~name ~header (rows : string list list) =
+  let dir = "results" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".csv") in
+  let existed = Sys.file_exists path in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if not existed then output_string oc (String.concat "," header ^ "\n");
+  List.iter (fun row -> output_string oc (String.concat "," row ^ "\n")) rows;
+  close_out oc
+
+(** Truncate a previous run's CSV so re-runs do not accumulate. *)
+let csv_reset ~name =
+  let path = Filename.concat "results" (name ^ ".csv") in
+  if Sys.file_exists path then Sys.remove path

@@ -1,0 +1,774 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§7, §D).  Run with no arguments for everything, or with a
+   list of experiment ids: fig2 fig8 fig9 table4 fig10 fig11 table9 fig24
+   fig25 table5 fig18 fig13 fig20 fig21 table6 table7 fig19 memory fig22
+   fig23 autotune bechamel.
+
+   Times come from the machine simulator over the real compiled kernels
+   (see DESIGN.md for the substitution rationale); EXPERIMENTS.md records
+   the paper-vs-measured comparison. *)
+
+let gpu = Machine.Device.v100
+let intel = Machine.Device.intel_cpu
+let arm = Machine.Device.arm_cpu
+let seed = 1
+let batches = [ 32; 64; 128 ]
+
+let datasets = Workloads.Datasets.all
+
+let line fmt = Printf.printf (fmt ^^ "\n%!")
+let header title = line "\n================ %s ================" title
+
+let shape_of lens =
+  Baselines.Frameworks.of_config ~batch:(Array.length lens) ~lens ~hidden:512 ~heads:8
+    ~head_size:64 ~ff:2048
+
+let geomean xs =
+  exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  header "Fig. 2 — wasted computation due to padding (padded / unpadded FLOPs)";
+  line "%-9s %s" "dataset" (String.concat "" (List.map (Printf.sprintf "bs%-4d  ") [ 8; 16; 32; 64; 128 ]));
+  List.iter
+    (fun d ->
+      let ratios =
+        List.map
+          (fun bs ->
+            let lens = Workloads.Datasets.sample d ~batch:bs ~seed in
+            Analysis.Flops.padding_waste_ratio Analysis.Flops.base lens)
+          [ 8; 16; 32; 64; 128 ]
+      in
+      line "%-9s %s" d.Workloads.Datasets.name
+        (String.concat "" (List.map (Printf.sprintf "%5.2fx  ") ratios)))
+    datasets
+
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  header "Fig. 8 — vgemm (normalized to Ragged-HandOptimized; lower is better)";
+  List.iter
+    (fun (dev, target, hand_eff, hand_name, padded_eff) ->
+      line "-- %s --" dev.Machine.Device.name;
+      line "%-6s %-22s %-22s %-22s" "batch" hand_name "CoRA" "Padded-gemm";
+      List.iter
+        (fun batch ->
+          let w = Workloads.Vgemm_workload.generate ~batch ~seed in
+          let hand =
+            Baselines.Analytic.pipeline_ns dev
+              (Baselines.Vendor.hand_vgemm ~eff:hand_eff ~label:hand_name w)
+          in
+          let cora = Matmul.Vgemm.time ~device:dev (Matmul.Vgemm.build ~target w) in
+          let padded =
+            Baselines.Analytic.pipeline_ns dev
+              (Baselines.Vendor.padded_batched_gemm ~eff:padded_eff ~label:"padded" w)
+          in
+          line "%-6d %6.2f ms (1.00x)      %6.2f ms (%.2fx)      %6.2f ms (%.2fx)" batch
+            (hand /. 1e6) (cora /. 1e6) (cora /. hand) (padded /. 1e6) (padded /. hand))
+        [ 16; 32; 64; 128 ])
+    [
+      (gpu, Matmul.Vgemm.Gpu, Baselines.Vendor.li_vgemm_eff, "Ragged-HandOpt", Baselines.Vendor.cublas_batched_eff);
+      (intel, Matmul.Vgemm.Cpu, Baselines.Vendor.mkl_vgemm_eff, "MKL-vgemm", Baselines.Vendor.mkl_gemm_eff);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  header "Fig. 9 — trmm on the GPU (ms)";
+  line "%-6s %-12s %-12s %-14s %-14s %-14s" "N" "cuBLAS-trmm" "cuBLAS-gemm" "CoRA-unsplit" "CoRA-split" "CoRA-balanced";
+  List.iter
+    (fun n ->
+      let t v = Matmul.Trmm.time ~device:gpu (Matmul.Trmm.build ~variant:v ~n ()) /. 1e6 in
+      let trmm = Baselines.Analytic.pipeline_ns gpu (Baselines.Vendor.cublas_trmm ~n) /. 1e6 in
+      let gemm = Baselines.Analytic.pipeline_ns gpu (Baselines.Vendor.cublas_dense_gemm ~n) /. 1e6 in
+      line "%-6d %-12.3f %-12.3f %-14.3f %-14.3f %-14.3f" n trmm gemm
+        (t Matmul.Trmm.Unsplit_unbalanced) (t Matmul.Trmm.Split_unbalanced)
+        (t Matmul.Trmm.Split_balanced))
+    [ 512; 1024; 2048; 4096; 8192 ];
+  let n = 2048 in
+  let t v = Matmul.Trmm.time ~device:gpu (Matmul.Trmm.build ~variant:v ~n ()) /. 1e6 in
+  line "at N=%d (ms):" n;
+  Chart.bars
+    [
+      ("cuBLAS-trmm", Baselines.Analytic.pipeline_ns gpu (Baselines.Vendor.cublas_trmm ~n) /. 1e6);
+      ("cuBLAS-gemm", Baselines.Analytic.pipeline_ns gpu (Baselines.Vendor.cublas_dense_gemm ~n) /. 1e6);
+      ("CoRA-unsplit", t Matmul.Trmm.Unsplit_unbalanced);
+      ("CoRA-split", t Matmul.Trmm.Split_unbalanced);
+      ("CoRA-balanced", t Matmul.Trmm.Split_balanced);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let cora_encoder_ms ?(target = Transformer.Builder.Gpu) ~device lens =
+  let cfg = Transformer.Config.base ~lens in
+  let built = Transformer.Builder.build ~target cfg in
+  let p =
+    Machine.Launch.pipeline ~device ~lenv:(Transformer.Config.lenv cfg)
+      (Transformer.Builder.launches built)
+  in
+  (* per-layer prelude amortised over the 6-layer model (§7.2) *)
+  let prelude = (p.Machine.Launch.prelude_host_ns +. p.Machine.Launch.prelude_copy_ns) /. 6.0 in
+  (p.Machine.Launch.kernels_ns +. prelude) /. 1e6
+
+let table4_data () =
+  List.concat_map
+    (fun d ->
+      List.map
+        (fun bs ->
+          let lens = Workloads.Datasets.sample_sorted d ~batch:bs ~seed in
+          let s = shape_of lens in
+          let pt = Baselines.Analytic.pipeline_ns gpu (Baselines.Frameworks.pytorch_encoder s) /. 1e6 in
+          let ft = Baselines.Analytic.pipeline_ns gpu (Baselines.Frameworks.ft_encoder s) /. 1e6 in
+          let fte = Baselines.Analytic.pipeline_ns gpu (Baselines.Frameworks.ft_eff_encoder s) /. 1e6 in
+          let cora = cora_encoder_ms ~device:gpu lens in
+          (d.Workloads.Datasets.name, bs, pt, ft, cora, fte))
+        batches)
+    datasets
+
+let table4 () =
+  header "Table 4 — transformer encoder layer latencies on the GPU (ms)";
+  line "%-9s %-6s %-9s %-9s %-9s %-9s" "dataset" "batch" "PyTorch" "FT" "CoRA" "FT-Eff";
+  let rows = table4_data () in
+  Chart.csv_reset ~name:"table4";
+  Chart.csv ~name:"table4"
+    ~header:[ "dataset"; "batch"; "pytorch_ms"; "ft_ms"; "cora_ms"; "ft_eff_ms" ]
+    (List.map
+       (fun (name, bs, pt, ft, cora, fte) ->
+         [ name; string_of_int bs; Printf.sprintf "%.3f" pt; Printf.sprintf "%.3f" ft;
+           Printf.sprintf "%.3f" cora; Printf.sprintf "%.3f" fte ])
+       rows);
+  List.iter
+    (fun (name, bs, pt, ft, cora, fte) ->
+      line "%-9s %-6d %-9.2f %-9.2f %-9.2f %-9.2f" name bs pt ft cora fte)
+    rows;
+  (* Fig. 10: overall relative execution times *)
+  header "Fig. 10 — relative encoder execution times (geomean over datasets, CoRA = 1)";
+  line "%-6s %-9s %-9s %-9s %-9s" "batch" "PyTorch" "FT" "CoRA" "FT-Eff";
+  List.iter
+    (fun bs ->
+      let rows_bs = List.filter (fun (_, b, _, _, _, _) -> b = bs) rows in
+      let rel f = geomean (List.map (fun (_, _, pt, ft, cora, fte) -> f (pt, ft, cora, fte) /. cora) rows_bs) in
+      line "%-6d %-9.2f %-9.2f %-9.2f %-9.2f" bs
+        (rel (fun (pt, _, _, _) -> pt))
+        (rel (fun (_, ft, _, _) -> ft))
+        1.0
+        (rel (fun (_, _, _, fte) -> fte)))
+    batches;
+  let rel sel = geomean (List.map (fun (_, _, pt, ft, cora, fte) -> sel (pt, ft, cora, fte) /. cora) rows) in
+  Chart.bars
+    [
+      ("PyTorch", rel (fun (pt, _, _, _) -> pt));
+      ("FT", rel (fun (_, ft, _, _) -> ft));
+      ("CoRA", 1.0);
+      ("FT-Eff", rel (fun (_, _, _, fte) -> fte));
+    ];
+  let speedup =
+    geomean (List.map (fun (_, _, pt, _, cora, _) -> pt /. cora) rows)
+  in
+  line "geomean speedup over PyTorch across all datasets/batches: %.2fx (paper: 1.6x)" speedup
+
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  header "Fig. 11 — MHA with fused vs unfused padding-change operators (RACE, GPU, ms)";
+  line "%-6s %-10s %-10s" "batch" "fused" "unfused";
+  List.iter
+    (fun bs ->
+      let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.race ~batch:bs ~seed in
+      let cfg = Transformer.Config.base ~lens in
+      let t launches =
+        Machine.Launch.total_ns
+          (Machine.Launch.pipeline ~device:gpu ~lenv:(Transformer.Config.lenv cfg) launches)
+        /. 1e6
+      in
+      let fused = t (Transformer.Ablation.mha_fused cfg ~target:Transformer.Ablation.Gpu) in
+      let unfused, _ = Transformer.Ablation.mha_unfused cfg ~target:Transformer.Ablation.Gpu in
+      line "%-6d %-10.2f %-10.2f" bs fused (t unfused))
+    batches
+
+(* ------------------------------------------------------------------ *)
+
+let table9 () =
+  header "Table 9 / Fig. 12 — encoder breakdown, RACE batch 128 (ms)";
+  let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.race ~batch:128 ~seed in
+  let cfg = Transformer.Config.base ~lens in
+  let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+  let p =
+    Machine.Launch.pipeline ~device:gpu ~lenv:(Transformer.Config.lenv cfg)
+      (Transformer.Builder.launches built)
+  in
+  line "-- CoRA kernels --";
+  List.iter (fun (l, ns) -> line "  %-24s %7.3f" l (ns /. 1e6)) p.Machine.Launch.per_launch;
+  line "  %-24s %7.3f" "total" (Machine.Launch.total_ns p /. 1e6);
+  let s = shape_of lens in
+  List.iter
+    (fun (pl : Baselines.Analytic.pipeline) ->
+      line "-- %s kernels --" pl.Baselines.Analytic.label;
+      List.iter
+        (fun k ->
+          line "  %-24s %7.3f" k.Baselines.Analytic.name
+            (Baselines.Analytic.kernel_ns gpu k /. 1e6))
+        pl.Baselines.Analytic.kernels;
+      line "  %-24s %7.3f" "total" (Baselines.Analytic.pipeline_ns gpu pl /. 1e6))
+    [ Baselines.Frameworks.ft_encoder s; Baselines.Frameworks.ft_eff_encoder s ]
+
+(* ------------------------------------------------------------------ *)
+
+let fig24 () =
+  header "Fig. 24 — encoder breakdown, CoLA batch 32 on the GPU (ms)";
+  let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.cola ~batch:32 ~seed in
+  let cfg = Transformer.Config.base ~lens in
+  let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+  let p =
+    Machine.Launch.pipeline ~device:gpu ~lenv:(Transformer.Config.lenv cfg)
+      (Transformer.Builder.launches built)
+  in
+  line "-- CoRA kernels --";
+  List.iter (fun (l, ns) -> line "  %-24s %7.4f" l (ns /. 1e6)) p.Machine.Launch.per_launch;
+  let s = shape_of lens in
+  let pl = Baselines.Frameworks.ft_eff_encoder s in
+  line "-- FT-Eff kernels --";
+  List.iter
+    (fun k ->
+      line "  %-24s %7.4f" k.Baselines.Analytic.name (Baselines.Analytic.kernel_ns gpu k /. 1e6))
+    pl.Baselines.Analytic.kernels
+
+let fig25 () =
+  header "Fig. 25 — MHA breakdown on the ARM CPU (ms)";
+  List.iter
+    (fun ((d : Workloads.Datasets.t), bs) ->
+      line "-- %s, batch %d --" d.Workloads.Datasets.name bs;
+      let lens = Workloads.Datasets.sample_sorted d ~batch:bs ~seed in
+      let cfg = Transformer.Config.base ~lens in
+      let built = Transformer.Builder.build ~target:Transformer.Builder.Cpu cfg in
+      let p =
+        Machine.Launch.pipeline ~device:arm ~lenv:(Transformer.Config.lenv cfg)
+          (Transformer.Builder.mha_launches built)
+      in
+      line "  CoRA:";
+      List.iter (fun (l, ns) -> line "    %-22s %8.2f" l (ns /. 1e6)) p.Machine.Launch.per_launch;
+      let s = shape_of lens in
+      List.iter
+        (fun (pl : Baselines.Analytic.pipeline) ->
+          line "  %s:" pl.Baselines.Analytic.label;
+          List.iter
+            (fun k ->
+              line "    %-22s %8.2f" k.Baselines.Analytic.name
+                (Baselines.Analytic.kernel_ns arm k /. 1e6))
+            pl.Baselines.Analytic.kernels)
+        [
+          Baselines.Frameworks.pytorch_mha ~effs:Baselines.Frameworks.pytorch_arm_effs s;
+          Baselines.Frameworks.tf_mha s;
+        ])
+    [ (Workloads.Datasets.mnli, 128); (Workloads.Datasets.race, 128); (Workloads.Datasets.wiki128, 32) ]
+
+let table5 () =
+  header "Table 5 — MHA latencies on the ARM CPU (ms)";
+  line "%-9s %-6s %-9s %-9s %-9s" "dataset" "batch" "PyTorch" "TF" "CoRA";
+  Chart.csv_reset ~name:"table5";
+  let ratios_pt = ref [] and ratios_tf = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun bs ->
+          let lens = Workloads.Datasets.sample_sorted d ~batch:bs ~seed in
+          let cfg = Transformer.Config.base ~lens in
+          let built = Transformer.Builder.build ~target:Transformer.Builder.Cpu cfg in
+          let p =
+            Machine.Launch.pipeline ~device:arm ~lenv:(Transformer.Config.lenv cfg)
+              (Transformer.Builder.mha_launches built)
+          in
+          let cora = Machine.Launch.total_ns p /. 1e6 in
+          let s = shape_of lens in
+          let pt =
+            Baselines.Analytic.pipeline_ns arm
+              (Baselines.Frameworks.pytorch_mha ~effs:Baselines.Frameworks.pytorch_arm_effs s)
+            /. 1e6
+          in
+          let tf = Baselines.Analytic.pipeline_ns arm (Baselines.Frameworks.tf_mha s) /. 1e6 in
+          ratios_pt := (pt /. cora) :: !ratios_pt;
+          ratios_tf := (tf /. cora) :: !ratios_tf;
+          Chart.csv ~name:"table5" ~header:[ "dataset"; "batch"; "pytorch_ms"; "tf_ms"; "cora_ms" ]
+            [ [ d.Workloads.Datasets.name; string_of_int bs; Printf.sprintf "%.2f" pt;
+                Printf.sprintf "%.2f" tf; Printf.sprintf "%.2f" cora ] ];
+          line "%-9s %-6d %-9.1f %-9.1f %-9.1f" d.Workloads.Datasets.name bs pt tf cora)
+        batches)
+    datasets;
+  line "overall speedup: %.2fx over PyTorch (paper 1.86x), %.2fx over TensorFlow (paper 1.89x)"
+    (geomean !ratios_pt) (geomean !ratios_tf)
+
+(* ------------------------------------------------------------------ *)
+
+let fig18 () =
+  header "Fig. 18 — masked SDPA (ms): CoRA-NoPad / CoRA-Pad / PyTorch";
+  line "%-9s %-6s %-11s %-11s %-11s" "dataset" "batch" "CoRA-NoPad" "CoRA-Pad" "PyTorch";
+  let race_ratio = ref 0.0 and mnli_ratio = ref 0.0 in
+  List.iter
+    (fun (d : Workloads.Datasets.t) ->
+      List.iter
+        (fun bs ->
+          let lens = Workloads.Datasets.sample_sorted d ~batch:bs ~seed in
+          let cfg = Transformer.Config.base ~lens in
+          let nopad =
+            Transformer.Masked.time ~device:gpu
+              (Transformer.Masked.build ~variant:Transformer.Masked.No_pad cfg)
+            /. 1e6
+          in
+          let pad =
+            Transformer.Masked.time ~device:gpu
+              (Transformer.Masked.build ~variant:Transformer.Masked.Pad cfg)
+            /. 1e6
+          in
+          let pt =
+            Baselines.Analytic.pipeline_ns gpu
+              (Baselines.Frameworks.pytorch_masked_sdpa (shape_of lens))
+            /. 1e6
+          in
+          if bs = 128 && d.Workloads.Datasets.name = "RACE" then race_ratio := pad /. nopad;
+          if bs = 128 && d.Workloads.Datasets.name = "MNLI" then mnli_ratio := pad /. nopad;
+          line "%-9s %-6d %-11.3f %-11.3f %-11.3f" d.Workloads.Datasets.name bs nopad pad pt)
+        batches)
+    [ Workloads.Datasets.race; Workloads.Datasets.squad; Workloads.Datasets.mnli; Workloads.Datasets.cola ];
+  line "masking exploit at batch 128: RACE %.2fx (paper 1.56x), MNLI %.2fx (paper 1.29x)"
+    !race_ratio !mnli_ratio
+
+(* ------------------------------------------------------------------ *)
+
+let opsplit_table ~title ~(variants : (string * (Transformer.Config.t -> Transformer.Builder.tensors -> Transformer.Ablation.target -> Machine.Launch.t list)) list) () =
+  header title;
+  List.iter
+    (fun (dev, target, btarget, label) ->
+      line "-- %s --" label;
+      line "%-6s %s" "batch"
+        (String.concat " " (List.map (fun (n, _) -> Printf.sprintf "%-16s" n) variants));
+      List.iter
+        (fun bs ->
+          let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.mnli ~batch:bs ~seed in
+          let cfg = Transformer.Config.base ~lens in
+          let built = Transformer.Builder.build ~target:btarget cfg in
+          let times =
+            List.map
+              (fun (_, mk) ->
+                let launches = mk cfg built.Transformer.Builder.tensors target in
+                Machine.Launch.total_ns
+                  (Machine.Launch.pipeline ~device:dev ~lenv:(Transformer.Config.lenv cfg)
+                     launches)
+                /. 1e6)
+              variants
+          in
+          let base = List.hd times in
+          line "%-6d %s" bs
+            (String.concat " "
+               (List.map (fun t -> Printf.sprintf "%6.3f ms (%4.2f) " t (t /. base)) times)))
+        batches)
+    [
+      (gpu, Transformer.Ablation.Gpu, Transformer.Builder.Gpu, "Nvidia GPU");
+      (arm, Transformer.Ablation.Cpu, Transformer.Builder.Cpu, "ARM CPU");
+    ]
+
+let fig13 () =
+  opsplit_table
+    ~title:"Fig. 13 — operation splitting & hfusion on AttnV (MNLI; relative to NoSplit)"
+    ~variants:
+      (List.map
+         (fun v ->
+           ( Transformer.Ablation.split_variant_name v,
+             fun cfg tensors target ->
+               Transformer.Ablation.attnv_variant cfg ~tensors ~target ~variant:v ~tile:64 ))
+         [ Transformer.Ablation.No_split; Transformer.Ablation.Split; Transformer.Ablation.Split_hfused ])
+    ()
+
+let fig20 () =
+  opsplit_table
+    ~title:"Fig. 20 — operation splitting & hfusion on QK^T, outer vloop (MNLI)"
+    ~variants:
+      (List.map
+         (fun v ->
+           ( Transformer.Ablation.qkt_variant_name v,
+             fun cfg tensors target ->
+               Transformer.Ablation.qkt_variant cfg ~tensors ~target ~variant:v ~tile:64 ))
+         [ Transformer.Ablation.Qkt_no_split; Transformer.Ablation.Qkt_split1_hfused ])
+    ()
+
+let fig21 () =
+  opsplit_table
+    ~title:"Fig. 21 — QK^T splitting on one vs both vloops (MNLI)"
+    ~variants:
+      (List.map
+         (fun v ->
+           ( Transformer.Ablation.qkt_variant_name v,
+             fun cfg tensors target ->
+               Transformer.Ablation.qkt_variant cfg ~tensors ~target ~variant:v ~tile:64 ))
+         [
+           Transformer.Ablation.Qkt_no_split;
+           Transformer.Ablation.Qkt_split1_hfused;
+           Transformer.Ablation.Qkt_split2_hfused;
+         ])
+    ()
+
+(* ------------------------------------------------------------------ *)
+
+let table6 () =
+  header "Table 6 — triangular ops: Taco (CSR / BCSR) vs CoRA (ms, with slowdowns)";
+  line "%-7s %-7s %-10s %-20s %-20s" "op" "N" "CoRA" "Taco-CSR" "Taco-BCSR";
+  Chart.csv_reset ~name:"table6";
+  let csvrow op n cora csr bcsr =
+    Chart.csv ~name:"table6" ~header:[ "op"; "n"; "cora_ms"; "taco_csr_ms"; "taco_bcsr_ms" ]
+      [ [ op; string_of_int n; Printf.sprintf "%.3f" cora; Printf.sprintf "%.3f" csr; bcsr ] ]
+  in
+  let dims = [ 128; 512; 2048; 8192 ] in
+  List.iter
+    (fun n ->
+      let cora = Matmul.Trmm.time ~device:gpu (Matmul.Trmm.build ~variant:Matmul.Trmm.Split_balanced ~n ()) /. 1e6 in
+      let csr = Baselines.Taco.trmm_csr_ns gpu ~n /. 1e6 in
+      let bcsr = Baselines.Taco.trmm_bcsr_ns gpu ~n ~block:32 /. 1e6 in
+      csvrow "trmm" n cora csr (Printf.sprintf "%.3f" bcsr);
+      line "%-7s %-7d %-10.3f %8.3f (%7.2fx) %8.3f (%7.2fx)" "trmm" n cora csr (csr /. cora)
+        bcsr (bcsr /. cora))
+    dims;
+  List.iter
+    (fun n ->
+      let e = Matmul.Trmm.build_elementwise ~op:`Add ~n () in
+      let cora = Matmul.Trmm.elementwise_time ~device:gpu e /. 1e6 in
+      let csr = Baselines.Taco.elementwise_csr_ns gpu ~n /. 1e6 in
+      csvrow "tradd" n cora csr "-";
+      line "%-7s %-7d %-10.3f %8.3f (%7.2fx) %20s" "tradd" n cora csr (csr /. cora) "-")
+    dims;
+  List.iter
+    (fun n ->
+      let e = Matmul.Trmm.build_elementwise ~op:`Mul ~n () in
+      let cora = Matmul.Trmm.elementwise_time ~device:gpu e /. 1e6 in
+      let csr = Baselines.Taco.elementwise_csr_ns gpu ~n /. 1e6 in
+      let bcsr = Baselines.Taco.trmul_bcsr_ns gpu ~n ~block:32 /. 1e6 in
+      csvrow "trmul" n cora csr (Printf.sprintf "%.3f" bcsr);
+      line "%-7s %-7d %-10.3f %8.3f (%7.2fx) %8.3f (%7.2fx)" "trmul" n cora csr (csr /. cora)
+        bcsr (bcsr /. cora))
+    dims
+
+(* ------------------------------------------------------------------ *)
+
+let table7 () =
+  header "Tables 7-8 (and the §7.4 table) — prelude overheads for a 6-layer encoder";
+  let variants = [ ("CoRA-Redundant", false); ("CoRA-Optimized", true) ] in
+  List.iter
+    (fun (vname, dedup) ->
+      line "-- %s --" vname;
+      line "%-12s | %-24s | %-24s | %-24s | %-9s" "config" "Sparse(CSF) time / mem"
+        "CoRA storage time / mem" "CoRA loop-fusion t / m" "copy time";
+      List.iter
+        (fun ((d : Workloads.Datasets.t), bs) ->
+          let lens = Workloads.Datasets.sample_sorted d ~batch:bs ~seed in
+          let cfg = Transformer.Config.base ~lens in
+          let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+          let defs =
+            List.concat_map (fun (k : Cora.Lower.kernel) -> k.Cora.Lower.aux)
+              (Transformer.Builder.kernels built)
+          in
+          let b = Cora.Prelude.build ~dedup_defs:dedup defs (Transformer.Config.lenv cfg) in
+          let storage_t = float_of_int b.Cora.Prelude.storage_work *. gpu.Machine.Device.aux_entry_ns /. 1e6 in
+          let fusion_t = float_of_int b.Cora.Prelude.fusion_work *. gpu.Machine.Device.aux_entry_ns /. 1e6 in
+          let copy_t =
+            float_of_int (Cora.Prelude.bytes b) /. gpu.Machine.Device.h2d_bytes_per_ns /. 1e6
+          in
+          (* CSF: tree-based aux entries for every ragged tensor the kernels
+             touch (per-operator tensor occurrences when redundant) *)
+          let lenv = Transformer.Config.lenv cfg in
+          let seqf = Cora.Lenfun.lookup lenv "seq" in
+          let csf_of (t : Cora.Tensor.t) =
+            let extent_of pos dep =
+              match List.nth t.Cora.Tensor.extents pos with
+              | Cora.Shape.Fixed c -> c
+              | Cora.Shape.Ragged _ -> seqf dep
+            in
+            Baselines.Taco.csf_entries t ~extent_of
+          in
+          let tensors = Transformer.Builder.all_tensors built.Transformer.Builder.tensors in
+          let mult = if dedup then 1 else 2 (* each op recomputes in & out aux *) in
+          let csf_entries = mult * List.fold_left (fun acc t -> acc + csf_of t) 0 tensors in
+          let csf_t = Baselines.Taco.csf_time_ns gpu csf_entries /. 1e6 in
+          line "%-7s/%-4d | %9.4f ms %8.2f kB | %9.5f ms %7.2f kB | %9.4f ms %8.2f kB | %6.4f ms"
+            d.Workloads.Datasets.name bs csf_t
+            (float_of_int (Baselines.Taco.csf_bytes csf_entries) /. 1024.)
+            storage_t
+            (float_of_int (Cora.Prelude.storage_bytes b) /. 1024.)
+            fusion_t
+            (float_of_int (Cora.Prelude.fusion_bytes b) /. 1024.)
+            copy_t)
+        [ (Workloads.Datasets.cola, 32); (Workloads.Datasets.cola, 128);
+          (Workloads.Datasets.race, 32); (Workloads.Datasets.race, 128) ])
+    variants
+
+(* ------------------------------------------------------------------ *)
+
+let fig19 () =
+  header "Fig. 19 — forward-activation memory, ragged / dense";
+  line "%-9s %-8s %-8s %-8s" "dataset" "bs32" "bs64" "bs128";
+  List.iter
+    (fun d ->
+      let r bs =
+        let lens = Workloads.Datasets.sample d ~batch:bs ~seed in
+        Analysis.Memory.ragged_to_dense_ratio Analysis.Flops.base lens ~seq_multiple:32
+          ~bulk_multiple:64
+      in
+      line "%-9s %-8.2f %-8.2f %-8.2f" d.Workloads.Datasets.name (r 32) (r 64) (r 128))
+    datasets;
+  let all =
+    List.map
+      (fun (d : Workloads.Datasets.t) ->
+        let lens = Workloads.Datasets.sample d ~batch:64 ~seed in
+        1.0
+        /. Analysis.Memory.ragged_to_dense_ratio Analysis.Flops.base lens ~seq_multiple:32
+             ~bulk_multiple:64)
+      datasets
+  in
+  line "overall activation-memory reduction: %.2fx (paper: 1.78x)" (geomean all)
+
+let memory () =
+  header "Memory planner — peak intermediate activations of one encoder layer (batch 64, MB)";
+  line "%-9s %-12s %-12s %-14s %-8s" "dataset" "dense-naive" "ragged-naive" "ragged-planned" "vs dense";
+  List.iter
+    (fun (d : Workloads.Datasets.t) ->
+      let lens = Workloads.Datasets.sample_sorted d ~batch:64 ~seed in
+      let cfg = Transformer.Config.base ~lens in
+      let lenv = Transformer.Config.lenv cfg in
+      let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+      let t = built.Transformer.Builder.tensors in
+      let g =
+        Cora.Graph.make
+          ~tensors:(Transformer.Builder.all_tensors t)
+          ~inputs:
+            [ t.Transformer.Builder.in_t; t.Transformer.Builder.wqkv; t.Transformer.Builder.bqkv;
+              t.Transformer.Builder.w2; t.Transformer.Builder.b2; t.Transformer.Builder.wf1;
+              t.Transformer.Builder.bf1; t.Transformer.Builder.wf2; t.Transformer.Builder.bf2 ]
+          ~outputs:[ t.Transformer.Builder.out ]
+          (Transformer.Builder.kernels built)
+      in
+      let p = Cora.Graph.plan g ~lenv in
+      let ragged_naive = float_of_int (Cora.Graph.naive_bytes g ~lenv) /. 1e6 in
+      let planned = float_of_int (Cora.Graph.planned_bytes p) /. 1e6 in
+      (* dense: the same intermediates fully padded to the batch max *)
+      let maxlen = Array.fold_left max 0 lens in
+      let dense_ratio =
+        1.0
+        /. Analysis.Memory.ragged_to_dense_ratio Analysis.Flops.base lens ~seq_multiple:32
+             ~bulk_multiple:64
+      in
+      let dense_naive = ragged_naive *. dense_ratio in
+      ignore maxlen;
+      line "%-9s %-12.1f %-12.1f %-14.1f %.2fx" d.Workloads.Datasets.name dense_naive
+        ragged_naive planned (dense_naive /. planned))
+    datasets
+
+let fig22 () =
+  header "Fig. 22 — computation relative to the no-padding ideal";
+  line "%-9s %-6s %-10s %-12s %-8s" "dataset" "batch" "dense" "CoRA-actual" "ideal";
+  let overheads = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun bs ->
+          let lens = Workloads.Datasets.sample d ~batch:bs ~seed in
+          let dense = Analysis.Flops.padding_waste_ratio Analysis.Flops.base lens in
+          let actual =
+            Analysis.Flops.partial_padding_overhead Analysis.Flops.base lens ~seq_multiple:32
+              ~bulk_multiple:64
+          in
+          overheads := (bs, actual) :: !overheads;
+          line "%-9s %-6d %-10.2f %-12.3f %-8.2f" d.Workloads.Datasets.name bs dense actual 1.0)
+        [ 32; 128 ])
+    datasets;
+  let mean bs =
+    let xs = List.filter_map (fun (b, x) -> if b = bs then Some x else None) !overheads in
+    (geomean xs -. 1.0) *. 100.0
+  in
+  line "mean partial-padding overhead: %.1f%% at batch 32 (paper 3.5%%), %.1f%% at batch 128 (paper 2.3%%)"
+    (mean 32) (mean 128)
+
+(* ------------------------------------------------------------------ *)
+
+let fig23 () =
+  header "Fig. 23 — ragged overheads and load hoisting (constant length 512, batch 64; ms)";
+  let lens = Workloads.Datasets.constant ~len:512 ~batch:64 in
+  let cfg = Transformer.Config.base ~lens in
+  line "%-12s %-8s %-8s %-8s %-8s %-8s" "variant" "Proj1" "QKT" "Softmax" "AttnV" "Proj2";
+  List.iter
+    (fun v ->
+      let ks = Transformer.Ablation.overhead_mha cfg ~variant:v in
+      let times =
+        List.map
+          (fun (_, k) ->
+            let p =
+              Machine.Launch.pipeline ~device:gpu ~lenv:(Transformer.Config.lenv cfg)
+                [ Machine.Launch.single k ]
+            in
+            (* prelude costs excluded, as in the paper's figure *)
+            p.Machine.Launch.kernels_ns /. 1e6)
+          ks
+      in
+      line "%-12s %s" (Transformer.Ablation.overhead_variant_name v)
+        (String.concat " " (List.map (Printf.sprintf "%-8.3f") times)))
+    [
+      Transformer.Ablation.Dense;
+      Transformer.Ablation.Plus_vloops;
+      Transformer.Ablation.Plus_vdims;
+      Transformer.Ablation.Plus_loadhoist;
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let autotune () =
+  header "Grid-search auto-scheduling of QKV projection (paper §6 / future work)";
+  line "%-9s %-6s %-14s %-14s %-14s" "dataset" "batch" "hand schedule" "tuned" "tiles";
+  List.iter
+    (fun (d : Workloads.Datasets.t) ->
+      List.iter
+        (fun bs ->
+          let lens = Workloads.Datasets.sample_sorted d ~batch:bs ~seed in
+          let cfg = Transformer.Config.base ~lens in
+          let r = Transformer.Autotune.tune_qkv ~device:gpu cfg in
+          line "%-9s %-6d %11.3f ms %11.3f ms  f%d x j%d" d.Workloads.Datasets.name bs
+            (r.Transformer.Autotune.default_ns /. 1e6)
+            (r.Transformer.Autotune.best_ns /. 1e6)
+            r.Transformer.Autotune.best.Transformer.Autotune.ftile
+            r.Transformer.Autotune.best.Transformer.Autotune.jtile)
+        [ 32; 128 ])
+    [ Workloads.Datasets.race; Workloads.Datasets.mnli ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: real wall-clock of interpreter-executed kernels, one per
+   reproduced table/figure family. *)
+
+let bechamel () =
+  header "Bechamel — wall-clock of real (interpreted) kernel executions";
+  let open Bechamel in
+  let lens = [| 7; 5; 3; 2 |] in
+  let cfg = Transformer.Config.tiny ~lens in
+  let lenv = Transformer.Config.lenv cfg in
+  let run_encoder () =
+    let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+    let t = built.Transformer.Builder.tensors in
+    let tensors =
+      List.map (fun tensor -> Cora.Ragged.alloc tensor lenv)
+        (Transformer.Builder.all_tensors t)
+    in
+    ignore (Cora.Exec.run_ragged ~lenv ~tensors (Transformer.Builder.kernels built))
+  in
+  let run_trmm () =
+    let t = Matmul.Trmm.build ~tile:4 ~variant:Matmul.Trmm.Split_balanced ~n:16 () in
+    ignore (Matmul.Trmm.run t ~fill_a:(fun _ -> 1.0) ~fill_b:(fun _ -> 1.0))
+  in
+  let run_vgemm () =
+    let w =
+      { Workloads.Vgemm_workload.batch = 2; ms = [| 4; 8 |]; ns = [| 8; 4 |]; ks = [| 4; 4 |] }
+    in
+    let t = Matmul.Vgemm.build ~tile:4 ~target:Matmul.Vgemm.Gpu w in
+    ignore (Matmul.Vgemm.run t ~fill_a:(fun _ -> 1.0) ~fill_b:(fun _ -> 1.0))
+  in
+  let run_masked () =
+    let t = Transformer.Masked.build ~variant:Transformer.Masked.No_pad cfg in
+    let mlenv = Transformer.Masked.lenv cfg in
+    let tensors =
+      List.map (fun tensor -> Cora.Ragged.alloc tensor mlenv)
+        [ t.Transformer.Masked.qkv; t.Transformer.Masked.scores; t.Transformer.Masked.probs;
+          t.Transformer.Masked.attn ]
+    in
+    ignore (Cora.Exec.run_ragged ~lenv:mlenv ~tensors t.Transformer.Masked.kernels)
+  in
+  let run_taco () =
+    let a = Baselines.Taco.csr_lower_triangular 16 (fun r c -> float_of_int (r + c)) in
+    let b = Array.init (16 * 8) float_of_int in
+    ignore (Baselines.Taco.trmm_csr a b ~m:8)
+  in
+  let run_backward () =
+    let t = Transformer.Backward.build cfg in
+    let tensors =
+      List.map (fun tensor -> Cora.Ragged.alloc tensor lenv)
+        [ t.Transformer.Backward.qkv; t.Transformer.Backward.probs; t.Transformer.Backward.dout;
+          t.Transformer.Backward.dscores; t.Transformer.Backward.dprobs;
+          t.Transformer.Backward.dq; t.Transformer.Backward.dk; t.Transformer.Backward.dv ]
+    in
+    ignore (Cora.Exec.run_ragged ~lenv ~tensors t.Transformer.Backward.kernels)
+  in
+  let run_prelude () =
+    let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.cola ~batch:32 ~seed in
+    let cfg = Transformer.Config.base ~lens in
+    let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+    let defs =
+      List.concat_map (fun (k : Cora.Lower.kernel) -> k.Cora.Lower.aux)
+        (Transformer.Builder.kernels built)
+    in
+    ignore (Cora.Prelude.build defs (Transformer.Config.lenv cfg))
+  in
+  let tests =
+    [
+      Test.make ~name:"table4_encoder_layer" (Staged.stage run_encoder);
+      Test.make ~name:"fig9_trmm_split_balanced" (Staged.stage run_trmm);
+      Test.make ~name:"fig8_vgemm" (Staged.stage run_vgemm);
+      Test.make ~name:"fig18_masked_sdpa" (Staged.stage run_masked);
+      Test.make ~name:"table6_taco_csr_trmm" (Staged.stage run_taco);
+      Test.make ~name:"table7_prelude_build" (Staged.stage run_prelude);
+      Test.make ~name:"backward_sdpa" (Staged.stage run_backward);
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg_b = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true () in
+  let raw = Benchmark.all cfg_b instances (Test.make_grouped ~name:"cora" ~fmt:"%s/%s" tests) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> line "  %-32s %12.1f ns/run" name est
+      | _ -> line "  %-32s (no estimate)" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig2", fig2);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("table4", table4);
+    ("fig10", table4);
+    ("fig11", fig11);
+    ("table9", table9);
+    ("fig12", table9);
+    ("fig24", fig24);
+    ("fig25", fig25);
+    ("table5", table5);
+    ("fig18", fig18);
+    ("fig13", fig13);
+    ("fig20", fig20);
+    ("fig21", fig21);
+    ("table6", table6);
+    ("table7", table7);
+    ("table8", table7);
+    ("fig19", fig19);
+    ("memory", memory);
+    ("fig22", fig22);
+    ("fig23", fig23);
+    ("autotune", autotune);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match args with
+    | [] ->
+        (* everything, each distinct experiment once *)
+        List.filter (fun (n, _) -> not (List.mem n [ "fig10"; "fig12"; "table8" ])) experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %s\navailable: %s\n" n
+                  (String.concat " " (List.map fst experiments));
+                exit 1)
+          names
+  in
+  List.iter (fun (_, f) -> f ()) to_run

@@ -1,0 +1,150 @@
+(* cora — command-line front end.
+
+   Subcommands:
+     dump   — lower a named operator and print its IR or generated C code
+              (and the prelude structures it needs)
+     encode — simulate one transformer-encoder configuration against the
+              framework baselines
+     stats  — print dataset sequence-length statistics (Table 3 check)
+
+   The full evaluation harness lives in bench/main.exe. *)
+
+open Cmdliner
+
+let ops = [ "fig1"; "qkv"; "qkt"; "softmax"; "attnv"; "trmm"; "vgemm" ]
+
+let build_op name : Cora.Lower.kernel list =
+  let lens = [| 7; 5; 3; 2 |] in
+  let cfg = Transformer.Config.tiny ~lens in
+  match name with
+  | "fig1" ->
+      let batch = Cora.Dim.make "b" and len = Cora.Dim.make "j" in
+      let lensf = Cora.Lenfun.make "lens" in
+      let extents = [ Cora.Shape.fixed 4; Cora.Shape.ragged ~dep:batch ~fn:lensf ] in
+      let a = Cora.Tensor.create ~name:"A" ~dims:[ batch; len ] ~extents in
+      let o = Cora.Tensor.create ~name:"O" ~dims:[ batch; len ] ~extents in
+      let op =
+        Cora.Op.compute ~name:"double" ~out:o ~loop_extents:extents ~reads:[ a ] (fun idx ->
+            Ir.Expr.mul (Ir.Expr.float 2.0) (Cora.Op.access a idx))
+      in
+      let s = Cora.Schedule.create op in
+      Cora.Schedule.pad_loop s (Cora.Schedule.axis_of_dim s 1) 2;
+      [ Cora.Lower.lower s ]
+  | "qkv" ->
+      [ (Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg).Transformer.Builder.qkv_proj ]
+  | "qkt" ->
+      [ (Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg).Transformer.Builder.qkt ]
+  | "softmax" ->
+      [ (Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg).Transformer.Builder.softmax ]
+  | "attnv" ->
+      [ (Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg).Transformer.Builder.attnv ]
+  | "trmm" ->
+      (Matmul.Trmm.build ~tile:4 ~variant:Matmul.Trmm.Split_balanced ~n:16 ()).Matmul.Trmm.kernels
+  | "vgemm" ->
+      let w = Workloads.Vgemm_workload.generate ~batch:4 ~seed:1 in
+      [ (Matmul.Vgemm.build ~target:Matmul.Vgemm.Gpu w).Matmul.Vgemm.kernel ]
+  | other -> Fmt.failwith "unknown operator %s (available: %s)" other (String.concat " " ops)
+
+let dump_cmd =
+  let op_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc:"Operator to lower.")
+  in
+  let c_flag = Arg.(value & flag & info [ "c" ] ~doc:"Emit C code instead of IR.") in
+  let cuda_flag = Arg.(value & flag & info [ "cuda" ] ~doc:"Emit CUDA C++ instead of IR.") in
+  let run op c cuda =
+    List.iter
+      (fun (k : Cora.Lower.kernel) ->
+        Printf.printf "==== %s ====\n" k.Cora.Lower.kname;
+        if cuda then print_endline (Cora.Codegen_c.cuda_kernel_to_string k)
+        else if c then print_endline (Cora.Codegen_c.kernel_to_string k)
+        else print_endline (Ir.Printer.stmt_to_string k.Cora.Lower.body);
+        print_endline (Cora.Codegen_c.prelude_to_string k.Cora.Lower.aux))
+      (build_op op)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Lower an operator and print its IR, C or CUDA C++ code.")
+    Term.(const run $ op_arg $ c_flag $ cuda_flag)
+
+let encode_cmd =
+  let dataset =
+    Arg.(value & opt string "RACE" & info [ "dataset" ] ~doc:"Dataset name (Table 3).")
+  in
+  let batch = Arg.(value & opt int 128 & info [ "batch" ] ~doc:"Mini-batch size.") in
+  let device =
+    Arg.(value & opt string "gpu" & info [ "device" ] ~doc:"Device: gpu, intel or arm.")
+  in
+  let run dataset batch device =
+    let dev, target =
+      match device with
+      | "gpu" -> (Machine.Device.v100, Transformer.Builder.Gpu)
+      | "intel" -> (Machine.Device.intel_cpu, Transformer.Builder.Cpu)
+      | "arm" -> (Machine.Device.arm_cpu, Transformer.Builder.Cpu)
+      | d -> Fmt.failwith "unknown device %s" d
+    in
+    let d = Workloads.Datasets.by_name dataset in
+    let lens = Workloads.Datasets.sample_sorted d ~batch ~seed:1 in
+    let cfg = Transformer.Config.base ~lens in
+    let built = Transformer.Builder.build ~target cfg in
+    let p =
+      Machine.Launch.pipeline ~device:dev ~lenv:(Transformer.Config.lenv cfg)
+        (Transformer.Builder.launches built)
+    in
+    Printf.printf "%s, batch %d on %s:\n" d.Workloads.Datasets.name batch
+      dev.Machine.Device.name;
+    List.iter
+      (fun (l, ns) -> Printf.printf "  %-12s %8.3f ms\n" l (ns /. 1e6))
+      p.Machine.Launch.per_launch;
+    Printf.printf "  %-12s %8.3f ms (plus prelude %.4f ms, copy %.4f ms)\n" "total"
+      (p.Machine.Launch.kernels_ns /. 1e6)
+      (p.Machine.Launch.prelude_host_ns /. 1e6)
+      (p.Machine.Launch.prelude_copy_ns /. 1e6);
+    let s =
+      Baselines.Frameworks.of_config ~batch ~lens ~hidden:512 ~heads:8 ~head_size:64 ~ff:2048
+    in
+    Printf.printf "  PyTorch baseline: %.3f ms\n"
+      (Baselines.Analytic.pipeline_ns dev (Baselines.Frameworks.pytorch_encoder s) /. 1e6)
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Simulate the transformer encoder layer on a dataset.")
+    Term.(const run $ dataset $ batch $ device)
+
+let emit_cmd =
+  let out_arg =
+    Arg.(value & opt string "encoder.c" & info [ "o" ] ~doc:"Output file.")
+  in
+  let run out =
+    let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.mnli ~batch:8 ~seed:1 in
+    let cfg = Transformer.Config.base ~lens in
+    let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+    let c =
+      Cora.Codegen_c.program_to_string ~name:"cora_encoder"
+        (Transformer.Builder.kernels built)
+    in
+    let oc = open_out out in
+    output_string oc c;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes, %d kernels)\n" out (String.length c)
+      (List.length (Transformer.Builder.kernels built))
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit the full encoder pipeline as a C translation unit.")
+    Term.(const run $ out_arg)
+
+let stats_cmd =
+  let run () =
+    Printf.printf "%-9s %-22s %-22s\n" "dataset" "paper (min/mean/max)" "sampled (batch 128)";
+    List.iter
+      (fun (d : Workloads.Datasets.t) ->
+        let lens = Workloads.Datasets.sample d ~batch:128 ~seed:1 in
+        let mn, mean, mx = Workloads.Datasets.stats lens in
+        Printf.printf "%-9s %4d / %4d / %4d     %4d / %6.1f / %4d\n" d.Workloads.Datasets.name
+          d.Workloads.Datasets.min_len d.Workloads.Datasets.mean_len d.Workloads.Datasets.max_len
+          mn mean mx)
+      Workloads.Datasets.all
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Dataset sequence-length statistics (Table 3).")
+    Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "cora" ~doc:"CoRa ragged tensor compiler — reproduction CLI." in
+  exit (Cmd.eval (Cmd.group info [ dump_cmd; encode_cmd; emit_cmd; stats_cmd ]))

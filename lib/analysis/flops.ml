@@ -1,0 +1,93 @@
+(** Analytic FLOP model of the transformer encoder layer.
+
+    Reproduces the paper's analytically computed quantities: Fig. 2 (wasted
+    computation under full padding), Fig. 22 (overhead of CoRa's partial
+    padding vs the no-padding ideal), and the per-operator flop shares used
+    to sanity-check the simulator. *)
+
+type config = {
+  hidden : int;
+  heads : int;
+  head_size : int;
+  ff : int;
+}
+
+(** The paper's base model (§7.2): 512 hidden, 8 heads of 64, FF 2048. *)
+let base = { hidden = 512; heads = 8; head_size = 64; ff = 2048 }
+
+(** Padding policy applied to the length multiset before counting. *)
+type padding =
+  | No_padding  (** the ideal: every sequence at its true length *)
+  | Partial of { seq_multiple : int; bulk_multiple : int }
+      (** CoRa: SDPA sequence lengths padded to a multiple, and the total
+          token count bulk-padded (§7.2) *)
+  | Full  (** dense frameworks: every sequence padded to the batch max *)
+
+let pad_to n m = if m <= 1 then n else (n + m - 1) / m * m
+
+(** Per-operator FLOPs for a batch of sequence lengths under a policy.
+    Returns (linear_flops, sdpa_flops, elementwise_flops). *)
+let encoder_flops cfg (lens : int array) (policy : padding) =
+  let batch = Array.length lens in
+  let maxlen = Array.fold_left max 0 lens in
+  let lens' =
+    match policy with
+    | No_padding -> Array.copy lens
+    | Partial { seq_multiple; _ } -> Array.map (fun l -> pad_to l seq_multiple) lens
+    | Full -> Array.make batch maxlen
+  in
+  let tokens =
+    match policy with
+    | No_padding -> Array.fold_left ( + ) 0 lens
+    | Partial { bulk_multiple; _ } -> pad_to (Array.fold_left ( + ) 0 lens) bulk_multiple
+    | Full -> batch * maxlen
+  in
+  let h = float_of_int cfg.hidden and f = float_of_int cfg.ff in
+  let t = float_of_int tokens in
+  (* Linear transformations: QKV projection (h -> 3h), output projection
+     (h -> h), FF1 (h -> ff), FF2 (ff -> h); 2 flops per MAC. *)
+  let linear = t *. ((2. *. h *. 3. *. h) +. (2. *. h *. h) +. (2. *. 2. *. h *. f)) in
+  (* SDPA: QK^T and AttnV are 2*dh flops per attention-matrix entry per
+     head; softmax ~5 flops per entry per head. *)
+  let dh = float_of_int cfg.head_size and nh = float_of_int cfg.heads in
+  let sq = Array.fold_left (fun acc l -> acc +. (float_of_int l *. float_of_int l)) 0.0 lens' in
+  let sdpa = nh *. sq *. ((2. *. 2. *. dh) +. 5.) in
+  (* Elementwise: biases, residuals, two layer norms, gelu. *)
+  let elementwise = t *. ((4. *. h) +. (8. *. h) +. (8. *. f)) in
+  (linear, sdpa, elementwise)
+
+let encoder_total cfg lens policy =
+  let a, b, c = encoder_flops cfg lens policy in
+  a +. b +. c
+
+(** Fig. 2: ratio of fully padded to unpadded computation. *)
+let padding_waste_ratio cfg lens = encoder_total cfg lens Full /. encoder_total cfg lens No_padding
+
+(** Fig. 22: CoRa's partial padding relative to the no-padding ideal. *)
+let partial_padding_overhead cfg lens ~seq_multiple ~bulk_multiple =
+  encoder_total cfg lens (Partial { seq_multiple; bulk_multiple })
+  /. encoder_total cfg lens No_padding
+
+(** MHA-only totals (for the ARM CPU experiments, Table 5). *)
+let mha_flops cfg (lens : int array) (policy : padding) =
+  let batch = Array.length lens in
+  let maxlen = Array.fold_left max 0 lens in
+  let lens' =
+    match policy with
+    | No_padding -> Array.copy lens
+    | Partial { seq_multiple; _ } -> Array.map (fun l -> pad_to l seq_multiple) lens
+    | Full -> Array.make batch maxlen
+  in
+  let tokens =
+    match policy with
+    | No_padding -> Array.fold_left ( + ) 0 lens
+    | Partial { bulk_multiple; _ } -> pad_to (Array.fold_left ( + ) 0 lens) bulk_multiple
+    | Full -> batch * maxlen
+  in
+  let h = float_of_int cfg.hidden in
+  let t = float_of_int tokens in
+  let linear = t *. ((2. *. h *. 3. *. h) +. (2. *. h *. h)) in
+  let dh = float_of_int cfg.head_size and nh = float_of_int cfg.heads in
+  let sq = Array.fold_left (fun acc l -> acc +. (float_of_int l *. float_of_int l)) 0.0 lens' in
+  let sdpa = nh *. sq *. ((2. *. 2. *. dh) +. 5.) in
+  linear +. sdpa

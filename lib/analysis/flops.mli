@@ -1,0 +1,33 @@
+(** Analytic FLOP model of the transformer encoder (Figs. 2 and 22). *)
+
+type config = {
+  hidden : int;
+  heads : int;
+  head_size : int;
+  ff : int;
+}
+
+(** The paper's base model (§7.2): 512 hidden, 8 heads of 64, FF 2048. *)
+val base : config
+
+type padding =
+  | No_padding  (** the ideal *)
+  | Partial of { seq_multiple : int; bulk_multiple : int }  (** CoRa (§7.2) *)
+  | Full  (** dense frameworks: pad to the batch max *)
+
+val pad_to : int -> int -> int
+
+(** (linear, SDPA, elementwise) FLOPs for a batch under a policy. *)
+val encoder_flops : config -> int array -> padding -> float * float * float
+
+val encoder_total : config -> int array -> padding -> float
+
+(** Fig. 2: fully padded / unpadded computation. *)
+val padding_waste_ratio : config -> int array -> float
+
+(** Fig. 22: CoRa's partial padding relative to the no-padding ideal. *)
+val partial_padding_overhead :
+  config -> int array -> seq_multiple:int -> bulk_multiple:int -> float
+
+(** MHA-only totals (Table 5). *)
+val mha_flops : config -> int array -> padding -> float

@@ -1,0 +1,42 @@
+(** Analytic activation-memory model (Fig. 19, §D.5).
+
+    Counts the forward activations an encoder layer keeps alive for the
+    backward pass, in fp32 elements, for ragged vs fully padded storage.
+    The ragged variant accounts for CoRa's partial padding (sequence
+    multiples in SDPA and bulk padding of the token count). *)
+
+let pad_to n m = if m <= 1 then n else (n + m - 1) / m * m
+
+type layout = Ragged_storage of { seq_multiple : int; bulk_multiple : int } | Dense_storage
+
+(** Forward-activation elements of one encoder layer. *)
+let encoder_activation_elems (cfg : Flops.config) (lens : int array) (layout : layout) : float =
+  let batch = Array.length lens in
+  let maxlen = Array.fold_left max 0 lens in
+  let tokens, sq =
+    match layout with
+    | Dense_storage ->
+        let t = batch * maxlen in
+        (float_of_int t, float_of_int batch *. float_of_int (maxlen * maxlen))
+    | Ragged_storage { seq_multiple; bulk_multiple } ->
+        let t = pad_to (Array.fold_left ( + ) 0 lens) bulk_multiple in
+        let sq =
+          Array.fold_left
+            (fun acc l ->
+              let l' = pad_to l seq_multiple in
+              acc +. float_of_int (l' * l'))
+            0.0 lens
+        in
+        (float_of_int t, sq)
+  in
+  let h = float_of_int cfg.Flops.hidden and f = float_of_int cfg.Flops.ff in
+  let nh = float_of_int cfg.Flops.heads in
+  (* Activations kept: input, QKV (3h), attention scores and probabilities
+     (2 * nh * s^2), attention output (h), proj output (h), LN1 out (h),
+     FF1 out (ff), FF2 out (h), LN2 out (h). *)
+  (tokens *. ((1. +. 3. +. 1. +. 1. +. 1. +. 1. +. 1.) *. h +. f)) +. (2. *. nh *. sq)
+
+(** Fig. 19's ratio: ragged / dense activation memory. *)
+let ragged_to_dense_ratio cfg lens ~seq_multiple ~bulk_multiple =
+  encoder_activation_elems cfg lens (Ragged_storage { seq_multiple; bulk_multiple })
+  /. encoder_activation_elems cfg lens Dense_storage

@@ -1,0 +1,14 @@
+(** Analytic activation-memory model (Fig. 19, §D.5): forward activations
+    an encoder layer keeps for the backward pass, in fp32 elements. *)
+
+val pad_to : int -> int -> int
+
+type layout =
+  | Ragged_storage of { seq_multiple : int; bulk_multiple : int }
+  | Dense_storage
+
+val encoder_activation_elems : Flops.config -> int array -> layout -> float
+
+(** Fig. 19's ratio: ragged / dense activation memory. *)
+val ragged_to_dense_ratio :
+  Flops.config -> int array -> seq_multiple:int -> bulk_multiple:int -> float

@@ -1,0 +1,73 @@
+(** Analytic kernels: closed-form operation counts run through the same
+    device cost weights as compiler-generated code.
+
+    Framework and vendor-library baselines (cuBLAS, MKL, OpenBLAS,
+    FasterTransformer's hand kernels, PyTorch/TF dispatch) are not lowered
+    through the CoRa compiler — the paper calls into binaries for them.  We
+    model each of their kernels as an operation-count record with an
+    efficiency factor, priced identically to CoRa's blocks so that all
+    comparisons share one cost basis. *)
+
+open Runtime.Cost_model
+
+type kernel = {
+  name : string;
+  counts : counts;
+  eff : float;
+  overhead_ns : float;  (** framework dispatch overhead on top of launch *)
+}
+
+let kernel ?(overhead_ns = 0.0) ~name ~eff counts = { name; counts; eff; overhead_ns }
+
+(** Counts of a gemm of [macs] multiply-accumulates, with per-MAC load and
+    index costs comparable to what lowered CoRa kernels pay. *)
+let gemm_counts macs =
+  (* register/shared-memory tiling amortises loads across MACs; the memory
+     traffic left is roughly one load per 32 MACs for transformer-sized
+     matrices *)
+  {
+    zero_counts with
+    flops = 2.0 *. macs;
+    loads = macs /. 64.0;
+    iops = macs /. 8.0;
+    stores = macs /. 256.0;
+  }
+
+(** Elementwise kernel over [elems] values, [reads] inputs per value. *)
+let elementwise_counts ?(reads = 2.0) ?(flops_per = 2.0) elems =
+  {
+    zero_counts with
+    flops = flops_per *. elems;
+    loads = reads *. elems;
+    stores = elems;
+    iops = 2.0 *. elems;
+  }
+
+(** Softmax over [entries] attention-matrix elements. *)
+let softmax_counts entries =
+  {
+    zero_counts with
+    flops = 5.0 *. entries;
+    intrinsics = 2.0 *. entries;
+    loads = 2.0 *. entries;
+    stores = entries;
+    iops = 4.0 *. entries;
+  }
+
+(** Total device parallelism the analytic kernels are spread across. *)
+let parallelism (d : Machine.Device.t) =
+  float_of_int (d.Machine.Device.n_proc * d.Machine.Device.lanes * d.Machine.Device.vec_width)
+
+(** Wall time of one analytic kernel: priced per scalar op, divided across
+    the whole device, floored by its memory traffic, plus launch and
+    dispatch overheads. *)
+let kernel_ns (d : Machine.Device.t) (k : kernel) =
+  let compute = Machine.Device.block_ns d ~eff:k.eff k.counts /. parallelism d in
+  let memory = Machine.Device.block_bytes k.counts /. d.Machine.Device.mem_bw_bytes_per_ns in
+  Float.max compute memory +. d.Machine.Device.launch_ns +. k.overhead_ns
+
+(** A named sequence of kernels. *)
+type pipeline = { label : string; kernels : kernel list }
+
+let pipeline_ns d (p : pipeline) =
+  List.fold_left (fun acc k -> acc +. kernel_ns d k) 0.0 p.kernels

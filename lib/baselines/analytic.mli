@@ -1,0 +1,34 @@
+(** Analytic kernels: closed-form operation counts priced with the same
+    device weights as compiler-generated code, with a memory-bandwidth
+    floor.  The vendor-library and framework baselines are modelled this
+    way (the paper calls into binaries for them). *)
+
+type kernel = {
+  name : string;
+  counts : Runtime.Cost_model.counts;
+  eff : float;
+  overhead_ns : float;  (** framework dispatch overhead on top of launch *)
+}
+
+val kernel :
+  ?overhead_ns:float -> name:string -> eff:float -> Runtime.Cost_model.counts -> kernel
+
+(** Gemm of [macs] multiply-accumulates with register/shared-memory-tiled
+    residual memory traffic. *)
+val gemm_counts : float -> Runtime.Cost_model.counts
+
+(** Streaming elementwise kernel over [elems] values. *)
+val elementwise_counts : ?reads:float -> ?flops_per:float -> float -> Runtime.Cost_model.counts
+
+(** Softmax over [entries] attention-matrix elements. *)
+val softmax_counts : float -> Runtime.Cost_model.counts
+
+val parallelism : Machine.Device.t -> float
+
+(** Wall time: max(compute, memory traffic / bandwidth) + launch +
+    dispatch. *)
+val kernel_ns : Machine.Device.t -> kernel -> float
+
+type pipeline = { label : string; kernels : kernel list }
+
+val pipeline_ns : Machine.Device.t -> pipeline -> float

@@ -1,0 +1,187 @@
+(** Framework baselines for the transformer experiments (§7.2).
+
+    Kernel pipelines replicating the structure of each system the paper
+    compares against (Fig. 3):
+
+    - {b FT} — FasterTransformer without the EffectiveTransformers packing:
+      everything fully padded to the batch maximum; cuBLAS gemms plus hand
+      kernels; 12 kernels.
+    - {b FT-Eff} — FasterTransformer with packing: linear operators run on
+      the packed Σ-length token matrix, SDPA stays fully padded, and
+      explicit AddPad / RemovePad / Transpose kernels convert between the
+      two layouts.
+    - {b PyTorch} (TorchScript) — fully padded, unfused elementwise
+      operators, per-kernel framework dispatch overhead.
+    - {b TensorFlow} — like PyTorch with different efficiency trade-offs
+      (better large gemms on ARM, higher dispatch overhead), used for the
+      ARM MHA comparison (Table 5). *)
+
+open Analytic
+
+type frame_effs = {
+  gemm : float;
+  hand : float;  (** hand-written SDPA kernels *)
+  softmax : float;
+  elementwise : float;
+  dispatch_ns : float;  (** per-kernel framework overhead *)
+}
+
+(* FT's softmax performs block-level parallel reductions with expensive
+   barriers and per-element bound checks (§D.8), hence the very low
+   efficiency. *)
+let ft_effs = { gemm = 0.95; hand = 0.80; softmax = 0.055; elementwise = 0.55; dispatch_ns = 0.0 }
+
+let pytorch_gpu_effs =
+  { gemm = 0.87; hand = 0.72; softmax = 0.05; elementwise = 0.25; dispatch_ns = 12_000.0 }
+
+(* ARM CPU: PyTorch's oneDNN/ACL path underuses the cores on large gemms
+   (§D.8: PyTorch ~1.7x slower than TF at RACE); TensorFlow has better
+   gemms but far higher per-op overhead (CoLA: TF 23ms vs PT 11ms). *)
+let pytorch_arm_effs =
+  { gemm = 0.37; hand = 0.33; softmax = 0.30; elementwise = 0.35; dispatch_ns = 30_000.0 }
+
+let tf_arm_effs =
+  { gemm = 0.63; hand = 0.55; softmax = 0.45; elementwise = 0.30; dispatch_ns = 3_500_000.0 }
+
+type shape = {
+  batch : int;
+  lens : int array;
+  hidden : int;
+  heads : int;
+  head_size : int;
+  ff : int;
+}
+
+let of_config ~batch ~lens ~hidden ~heads ~head_size ~ff = { batch; lens; hidden; heads; head_size; ff }
+
+let maxlen s = Array.fold_left max 0 s.lens
+let padded_tokens s = float_of_int (s.batch * maxlen s)
+let packed_tokens s = float_of_int (Array.fold_left ( + ) 0 s.lens)
+
+(* attention-matrix entries per head under full padding *)
+let padded_entries s = float_of_int s.batch *. (float_of_int (maxlen s) ** 2.) *. float_of_int s.heads
+
+let fh = float_of_int
+
+(* ------------------------------------------------------------------ *)
+
+(** The MHA kernels of a fully padded implementation. *)
+let padded_mha_kernels e s ~tokens =
+  let h = fh s.hidden and dh = fh s.head_size in
+  let entries = padded_entries s in
+  [
+    kernel ~name:"QKV Proj MM" ~eff:e.gemm ~overhead_ns:e.dispatch_ns
+      (gemm_counts (tokens *. h *. 3. *. h));
+    kernel ~name:"QKV Bias + Transpose" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+      (elementwise_counts (tokens *. 3. *. h));
+    kernel ~name:"QK^T" ~eff:e.hand ~overhead_ns:e.dispatch_ns (gemm_counts (entries *. dh));
+    kernel ~name:"Softmax" ~eff:e.softmax ~overhead_ns:e.dispatch_ns (softmax_counts entries);
+    kernel ~name:"AttnV" ~eff:e.hand ~overhead_ns:e.dispatch_ns (gemm_counts (entries *. dh));
+    kernel ~name:"Transpose" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+      (elementwise_counts (tokens *. h));
+    kernel ~name:"Linear Proj MM" ~eff:e.gemm ~overhead_ns:e.dispatch_ns
+      (gemm_counts (tokens *. h *. h));
+    kernel ~name:"Proj Bias + Residual" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+      (elementwise_counts (tokens *. h));
+  ]
+
+let ff_and_norm_kernels e s ~tokens =
+  let h = fh s.hidden and f = fh s.ff in
+  [
+    kernel ~name:"LayerNorm1" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+      (elementwise_counts ~flops_per:8.0 (tokens *. h));
+    kernel ~name:"FF1 MM" ~eff:e.gemm ~overhead_ns:e.dispatch_ns (gemm_counts (tokens *. h *. f));
+    kernel ~name:"FF1 Bias + Gelu" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+      (elementwise_counts ~flops_per:10.0 (tokens *. f));
+    kernel ~name:"FF2 MM" ~eff:e.gemm ~overhead_ns:e.dispatch_ns (gemm_counts (tokens *. f *. h));
+    kernel ~name:"FF2 Bias + Residual" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+      (elementwise_counts (tokens *. h));
+    kernel ~name:"LayerNorm2" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+      (elementwise_counts ~flops_per:8.0 (tokens *. h));
+  ]
+
+(** FasterTransformer, fully padded (FT in Table 4). *)
+let ft_encoder s : pipeline =
+  let tokens = padded_tokens s in
+  { label = "FT"; kernels = padded_mha_kernels ft_effs s ~tokens @ ff_and_norm_kernels ft_effs s ~tokens }
+
+(** FasterTransformer with the EffectiveTransformers packing (FT-Eff):
+    linear operators on packed tokens; SDPA fully padded; explicit layout
+    conversion kernels around the SDPA sub-module. *)
+let ft_eff_encoder s : pipeline =
+  let e = ft_effs in
+  let h = fh s.hidden and dh = fh s.head_size in
+  let packed = packed_tokens s and padded = padded_tokens s in
+  let entries = padded_entries s in
+  {
+    label = "FT-Eff";
+    kernels =
+      [
+        kernel ~name:"QKV Proj MM" ~eff:e.gemm (gemm_counts (packed *. h *. 3. *. h));
+        kernel ~name:"QKV Bias + AddPad" ~eff:e.elementwise
+          (elementwise_counts ((packed +. padded) *. 1.5 *. h));
+        kernel ~name:"QK^T" ~eff:e.hand (gemm_counts (entries *. dh));
+        kernel ~name:"Softmax" ~eff:e.softmax (softmax_counts entries);
+        kernel ~name:"AttnV" ~eff:e.hand (gemm_counts (entries *. dh));
+        kernel ~name:"Transpose + RemovePad" ~eff:e.elementwise
+          (elementwise_counts (padded *. h));
+        kernel ~name:"Linear Proj MM" ~eff:e.gemm (gemm_counts (packed *. h *. h));
+        kernel ~name:"Proj Bias + Residual + LN" ~eff:e.elementwise
+          (elementwise_counts ~flops_per:10.0 (packed *. h));
+      ]
+      @ [
+          kernel ~name:"FF1 MM" ~eff:e.gemm (gemm_counts (packed *. h *. fh s.ff));
+          kernel ~name:"FF1 Bias + Gelu" ~eff:e.elementwise
+            (elementwise_counts ~flops_per:10.0 (packed *. fh s.ff));
+          kernel ~name:"FF2 MM" ~eff:e.gemm (gemm_counts (packed *. fh s.ff *. h));
+          kernel ~name:"FF2 Bias + Residual + LN" ~eff:e.elementwise
+            (elementwise_counts ~flops_per:10.0 (packed *. h));
+        ];
+  }
+
+(** PyTorch (TorchScript) encoder: fully padded, more and less-fused
+    kernels, dispatch overhead per kernel. *)
+let pytorch_encoder ?(effs = pytorch_gpu_effs) s : pipeline =
+  let tokens = padded_tokens s in
+  let e = effs in
+  let h = fh s.hidden in
+  let extra =
+    (* TorchScript still issues separate mask/dropout/cast elementwise ops *)
+    [
+      kernel ~name:"Mask + Scale" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+        (elementwise_counts ~reads:1.0 ~flops_per:1.0 (padded_entries s));
+      kernel ~name:"Contiguous copies" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+        (elementwise_counts (2.0 *. tokens *. h));
+    ]
+  in
+  {
+    label = "PyTorch";
+    kernels = padded_mha_kernels e s ~tokens @ extra @ ff_and_norm_kernels e s ~tokens;
+  }
+
+(* --- MHA-only pipelines (Table 5 / Fig. 11) --- *)
+
+let padded_mha_pipeline ~label e s : pipeline =
+  { label; kernels = padded_mha_kernels e s ~tokens:(padded_tokens s) }
+
+let pytorch_mha ?(effs = pytorch_gpu_effs) s = padded_mha_pipeline ~label:"PyTorch" effs s
+let tf_mha s = padded_mha_pipeline ~label:"TensorFlow" tf_arm_effs s
+let ft_mha s = padded_mha_pipeline ~label:"FT" ft_effs s
+
+(** Masked SDPA in PyTorch (Fig. 18): full square attention matrix plus an
+    explicit masking kernel. *)
+let pytorch_masked_sdpa ?(effs = pytorch_gpu_effs) s : pipeline =
+  let e = effs in
+  let dh = fh s.head_size in
+  let entries = padded_entries s in
+  {
+    label = "PyTorch";
+    kernels =
+      [
+        kernel ~name:"QK^T" ~eff:e.hand ~overhead_ns:e.dispatch_ns (gemm_counts (entries *. dh));
+        kernel ~name:"ApplyMask" ~eff:e.elementwise ~overhead_ns:e.dispatch_ns
+          (elementwise_counts entries);
+        kernel ~name:"Softmax" ~eff:e.softmax ~overhead_ns:e.dispatch_ns (softmax_counts entries);
+        kernel ~name:"AttnV" ~eff:e.hand ~overhead_ns:e.dispatch_ns (gemm_counts (entries *. dh));
+      ];
+  }

@@ -1,0 +1,53 @@
+(** Framework baselines for the transformer experiments (§7.2): kernel
+    pipelines replicating each system's structure (Fig. 3) — FT (fully
+    padded), FT-Eff (packed linear operators, padded SDPA, explicit layout
+    conversions), PyTorch/TorchScript and TensorFlow (fully padded,
+    unfused elementwise, dispatch overheads). *)
+
+type frame_effs = {
+  gemm : float;
+  hand : float;
+  softmax : float;
+  elementwise : float;
+  dispatch_ns : float;
+}
+
+val ft_effs : frame_effs
+val pytorch_gpu_effs : frame_effs
+val pytorch_arm_effs : frame_effs
+val tf_arm_effs : frame_effs
+
+type shape = {
+  batch : int;
+  lens : int array;
+  hidden : int;
+  heads : int;
+  head_size : int;
+  ff : int;
+}
+
+val of_config :
+  batch:int -> lens:int array -> hidden:int -> heads:int -> head_size:int -> ff:int -> shape
+
+val maxlen : shape -> int
+val padded_tokens : shape -> float
+val packed_tokens : shape -> float
+val padded_entries : shape -> float
+
+val padded_mha_kernels : frame_effs -> shape -> tokens:float -> Analytic.kernel list
+val ff_and_norm_kernels : frame_effs -> shape -> tokens:float -> Analytic.kernel list
+
+(** FasterTransformer, fully padded (FT in Table 4). *)
+val ft_encoder : shape -> Analytic.pipeline
+
+(** FasterTransformer with the EffectiveTransformers packing. *)
+val ft_eff_encoder : shape -> Analytic.pipeline
+
+val pytorch_encoder : ?effs:frame_effs -> shape -> Analytic.pipeline
+val padded_mha_pipeline : label:string -> frame_effs -> shape -> Analytic.pipeline
+val pytorch_mha : ?effs:frame_effs -> shape -> Analytic.pipeline
+val tf_mha : shape -> Analytic.pipeline
+val ft_mha : shape -> Analytic.pipeline
+
+(** Masked SDPA in PyTorch (Fig. 18): full square matrix + a mask kernel. *)
+val pytorch_masked_sdpa : ?effs:frame_effs -> shape -> Analytic.pipeline

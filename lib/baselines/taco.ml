@@ -1,0 +1,180 @@
+(** Taco-style sparse baselines (§D.4, Table 6).
+
+    The paper implements trmm / tradd / trmul in the Taco sparse tensor
+    compiler using the CSR and BCSR formats and measures large slowdowns
+    against CoRa.  We reproduce both sides of that comparison:
+
+    - {e executable} CSR/BCSR kernels (used by the test suite to check the
+      formats themselves are implemented correctly);
+    - {e analytic timing} reflecting why Taco's code is slow on ragged
+      data: CSR gives no register/shared-memory tiling (every operand is
+      re-read from memory — bandwidth-bound at uncached rates), the merge
+      loops of elementwise ops parallelise only across rows, and BCSR pads
+      to dense blocks while keeping per-block index traffic. *)
+
+type csr = {
+  n : int;
+  row_ptr : int array;  (** n+1 entries *)
+  col_idx : int array;
+  vals : float array;
+}
+
+(** CSR of a lower-triangular matrix with values from [f row col]. *)
+let csr_lower_triangular n f : csr =
+  let nnz = n * (n + 1) / 2 in
+  let row_ptr = Array.make (n + 1) 0 in
+  let col_idx = Array.make nnz 0 and vals = Array.make nnz 0.0 in
+  let pos = ref 0 in
+  for r = 0 to n - 1 do
+    row_ptr.(r) <- !pos;
+    for c = 0 to r do
+      col_idx.(!pos) <- c;
+      vals.(!pos) <- f r c;
+      incr pos
+    done
+  done;
+  row_ptr.(n) <- !pos;
+  { n; row_ptr; col_idx; vals }
+
+let nnz (m : csr) = m.row_ptr.(m.n)
+
+(** Dense n×m result of CSR trmm: [C = A · B]. *)
+let trmm_csr (a : csr) (b : float array) ~m : float array =
+  let c = Array.make (a.n * m) 0.0 in
+  for r = 0 to a.n - 1 do
+    for p = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+      let k = a.col_idx.(p) and v = a.vals.(p) in
+      for j = 0 to m - 1 do
+        c.((r * m) + j) <- c.((r * m) + j) +. (v *. b.((k * m) + j))
+      done
+    done
+  done;
+  c
+
+(** Elementwise union (add) of two CSR matrices with a two-pointer merge —
+    exactly the iteration structure Taco generates. *)
+let tradd_csr (a : csr) (b : csr) : csr =
+  if a.n <> b.n then invalid_arg "tradd_csr: dimension mismatch";
+  let row_ptr = Array.make (a.n + 1) 0 in
+  let cap = nnz a + nnz b in
+  let col_idx = Array.make (max cap 1) 0 and vals = Array.make (max cap 1) 0.0 in
+  let pos = ref 0 in
+  for r = 0 to a.n - 1 do
+    row_ptr.(r) <- !pos;
+    let pa = ref a.row_ptr.(r) and pb = ref b.row_ptr.(r) in
+    while !pa < a.row_ptr.(r + 1) || !pb < b.row_ptr.(r + 1) do
+      let ca = if !pa < a.row_ptr.(r + 1) then a.col_idx.(!pa) else max_int in
+      let cb = if !pb < b.row_ptr.(r + 1) then b.col_idx.(!pb) else max_int in
+      if ca = cb then begin
+        col_idx.(!pos) <- ca;
+        vals.(!pos) <- a.vals.(!pa) +. b.vals.(!pb);
+        incr pa;
+        incr pb
+      end
+      else if ca < cb then begin
+        col_idx.(!pos) <- ca;
+        vals.(!pos) <- a.vals.(!pa);
+        incr pa
+      end
+      else begin
+        col_idx.(!pos) <- cb;
+        vals.(!pos) <- b.vals.(!pb);
+        incr pb
+      end;
+      incr pos
+    done
+  done;
+  row_ptr.(a.n) <- !pos;
+  { n = a.n; row_ptr; col_idx = Array.sub col_idx 0 !pos; vals = Array.sub vals 0 !pos }
+
+(** Elementwise intersection (multiply). *)
+let trmul_csr (a : csr) (b : csr) : csr =
+  if a.n <> b.n then invalid_arg "trmul_csr: dimension mismatch";
+  let row_ptr = Array.make (a.n + 1) 0 in
+  let cap = min (nnz a) (nnz b) in
+  let col_idx = Array.make (max cap 1) 0 and vals = Array.make (max cap 1) 0.0 in
+  let pos = ref 0 in
+  for r = 0 to a.n - 1 do
+    row_ptr.(r) <- !pos;
+    let pa = ref a.row_ptr.(r) and pb = ref b.row_ptr.(r) in
+    while !pa < a.row_ptr.(r + 1) && !pb < b.row_ptr.(r + 1) do
+      let ca = a.col_idx.(!pa) and cb = b.col_idx.(!pb) in
+      if ca = cb then begin
+        col_idx.(!pos) <- ca;
+        vals.(!pos) <- a.vals.(!pa) *. b.vals.(!pb);
+        incr pa;
+        incr pb;
+        incr pos
+      end
+      else if ca < cb then incr pa
+      else incr pb
+    done
+  done;
+  row_ptr.(a.n) <- !pos;
+  { n = a.n; row_ptr; col_idx = Array.sub col_idx 0 !pos; vals = Array.sub vals 0 !pos }
+
+(** CSR lookup (search over the row's indices — the non-O(1) access the
+    paper contrasts with ragged tensors, insight I2). *)
+let csr_get (m : csr) r c =
+  let rec search p =
+    if p >= m.row_ptr.(r + 1) then 0.0
+    else if m.col_idx.(p) = c then m.vals.(p)
+    else if m.col_idx.(p) > c then 0.0
+    else search (p + 1)
+  in
+  search m.row_ptr.(r)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic timing (Table 6)                                            *)
+
+let fi = float_of_int
+
+(* Taco's generated code streams operands without tiling: uncached loads. *)
+let uncached_bw (d : Machine.Device.t) = d.Machine.Device.mem_bw_bytes_per_ns /. 1.35
+
+(** Taco CSR trmm on the GPU: bandwidth-bound, 12 bytes per MAC
+    (value + column index + B element, no reuse). *)
+let trmm_csr_ns (d : Machine.Device.t) ~n =
+  let macs = fi (n * (n + 1) / 2) *. fi n in
+  let bytes = macs *. 12.0 in
+  (bytes /. uncached_bw d /. 0.78) +. d.Machine.Device.launch_ns
+
+(** BCSR trmm: 32x32 dense blocks halve index traffic but pad the triangle
+    diagonal; block-dense inner loops reuse a little. *)
+let trmm_bcsr_ns (d : Machine.Device.t) ~n ~block =
+  let nb = (n + block - 1) / block in
+  (* blocks on or below the diagonal *)
+  let blocks = nb * (nb + 1) / 2 in
+  let macs = fi blocks *. fi (block * block) *. fi n in
+  let bytes = macs *. 8.0 in
+  (bytes /. uncached_bw d /. 0.72) +. d.Machine.Device.launch_ns
+
+(** CSR elementwise merge: parallel across rows only, serial two-pointer
+    merge within a row (~8 ns per output element per processor). *)
+let elementwise_csr_ns (d : Machine.Device.t) ~n =
+  let nnz = fi (n * (n + 1) / 2) in
+  let per_elem_ns = 8.0 in
+  (nnz /. fi d.Machine.Device.n_proc *. per_elem_ns /. 0.5) +. d.Machine.Device.launch_ns
+
+(** BCSR elementwise multiply: dense blocks vectorise; padded blocks cost
+    extra traffic. *)
+let trmul_bcsr_ns (d : Machine.Device.t) ~n ~block =
+  let nb = (n + block - 1) / block in
+  let blocks = nb * (nb + 1) / 2 in
+  let elems = fi blocks *. fi (block * block) in
+  let bytes = elems *. 12.0 in
+  (bytes /. uncached_bw d /. 0.6) +. d.Machine.Device.launch_ns
+
+(* ------------------------------------------------------------------ *)
+(* CSF (tree-based) storage-lowering overhead model (§5.2, §B.1, §7.4)  *)
+
+(** Auxiliary entries the tree-based sparse scheme would compute for a
+    tensor, via its dimension graph; time is one host pass per entry. *)
+let csf_entries (t : Cora.Tensor.t) ~(extent_of : int -> int -> int) =
+  Cora.Dgraph.csf_aux_entries (Cora.Dgraph.of_tensor t) ~extent_of
+
+let csf_time_ns (d : Machine.Device.t) entries =
+  fi entries *. d.Machine.Device.aux_entry_ns *. 1.4
+(* the tree scheme touches parent pointers per entry: slightly costlier *)
+
+let csf_bytes entries = 4 * entries

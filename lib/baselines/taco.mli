@@ -1,0 +1,40 @@
+(** Taco-style sparse baselines (§D.4, Table 6): executable CSR/BCSR
+    kernels (used by the correctness tests) plus analytic timing capturing
+    why sparse-compiler code is slow on ragged data (no tiling — uncached
+    bandwidth; row-serial merge loops; padded BCSR blocks), and the CSF
+    storage-lowering overhead model of §7.4. *)
+
+type csr = {
+  n : int;
+  row_ptr : int array;
+  col_idx : int array;
+  vals : float array;
+}
+
+val csr_lower_triangular : int -> (int -> int -> float) -> csr
+val nnz : csr -> int
+
+(** Dense n×m result of [C = A · B]. *)
+val trmm_csr : csr -> float array -> m:int -> float array
+
+(** Elementwise union (two-pointer merge, as Taco generates). *)
+val tradd_csr : csr -> csr -> csr
+
+(** Elementwise intersection. *)
+val trmul_csr : csr -> csr -> csr
+
+(** Search-based access — the non-O(1) lookup the paper contrasts with
+    ragged tensors (insight I2). *)
+val csr_get : csr -> int -> int -> float
+
+val uncached_bw : Machine.Device.t -> float
+val trmm_csr_ns : Machine.Device.t -> n:int -> float
+val trmm_bcsr_ns : Machine.Device.t -> n:int -> block:int -> float
+val elementwise_csr_ns : Machine.Device.t -> n:int -> float
+val trmul_bcsr_ns : Machine.Device.t -> n:int -> block:int -> float
+
+(** Aux entries the tree-based CSF scheme computes for a tensor (§B.1). *)
+val csf_entries : Cora.Tensor.t -> extent_of:(int -> int -> int) -> int
+
+val csf_time_ns : Machine.Device.t -> int -> float
+val csf_bytes : int -> int

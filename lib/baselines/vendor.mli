@@ -1,0 +1,28 @@
+(** Vendor-library stand-ins for the matmul experiments (§7.1): cuBLAS /
+    MKL / OpenBLAS efficiencies with the baselines' padding semantics. *)
+
+val cublas_gemm_eff : float
+val cublas_batched_eff : float
+val cublas_trmm_eff : float
+
+(** The (Li et al., 2019) hand-optimized vgemm — research code, below
+    cuBLAS. *)
+val li_vgemm_eff : float
+
+val mkl_gemm_eff : float
+val mkl_vgemm_eff : float
+val openblas_gemm_eff : float
+
+(** Fully padded batched gemm: every instance padded to the batch maxima. *)
+val padded_batched_gemm :
+  eff:float -> label:string -> Workloads.Vgemm_workload.t -> Analytic.pipeline
+
+(** Hand-optimized variable-size batched gemm: exact work per instance. *)
+val hand_vgemm : eff:float -> label:string -> Workloads.Vgemm_workload.t -> Analytic.pipeline
+
+(** cuBLAS trmm (exploits the triangle; fixed setup overhead makes it lose
+    to dense sgemm on small matrices, as in Fig. 9). *)
+val cublas_trmm : n:int -> Analytic.pipeline
+
+(** cuBLAS sgemm treating the triangular matrix as dense. *)
+val cublas_dense_gemm : n:int -> Analytic.pipeline

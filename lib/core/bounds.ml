@@ -1,0 +1,61 @@
+(** Bounds inference utilities for fused vloops (§B.3, Fig. 16).
+
+    When a vloop nest is fused, bounds inference must translate iteration-
+    variable ranges between the fused variable [f] and the original pair
+    [(o, i)].  The paper gives four translation rules in terms of the
+    mapping functions [f_oif], [f_fo] and [f_fi]; this module implements
+    them over the runtime tables the prelude builds, and is used by the
+    test suite to validate the §B.2 identities end-to-end. *)
+
+type maps = {
+  oif : int -> int -> int;  (** (o, i) -> f *)
+  fo : int -> int;  (** f -> o *)
+  fi : int -> int;  (** f -> i *)
+  slice : int -> int;  (** s(o): padded slice size of row o *)
+}
+
+(** Build the maps from a prefix-sum offsets array ([psum], length M+1). *)
+let of_offsets (psum : int array) : maps =
+  let m = Array.length psum - 1 in
+  let fo f =
+    (* largest o with psum.(o) <= f *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if psum.(mid) <= f then go mid hi else go lo (mid - 1)
+    in
+    go 0 (m - 1)
+  in
+  {
+    oif = (fun o i -> psum.(o) + i);
+    fo;
+    fi = (fun f -> f - psum.(fo f));
+    slice = (fun o -> psum.(o + 1) - psum.(o));
+  }
+
+type range = { lo : int; hi : int }  (** inclusive *)
+
+(** Rule 1: [o ∈ [ol, ou] ∧ i ∈ [il, iu] → f ∈ [oif ol il, oif ou iu]]. *)
+let fused_of_pair (m : maps) ~(o : range) ~(i : range) : range =
+  { lo = m.oif o.lo i.lo; hi = m.oif o.hi i.hi }
+
+(** Rule 2: [f ∈ [fl, fu] → o ∈ [fo fl, fo fu]]. *)
+let outer_of_fused (m : maps) ~(f : range) : range = { lo = m.fo f.lo; hi = m.fo f.hi }
+
+(** Rules 3–4: the inner range is the full slice when the fused range spans
+    several rows, and the exact sub-range when it stays within one. *)
+let inner_of_fused (m : maps) ~(f : range) ~(o : int) : range =
+  if m.fo f.lo <> m.fo f.hi then { lo = 0; hi = m.slice o - 1 }
+  else { lo = m.fi f.lo; hi = m.fi f.hi }
+
+(** Check the §B.2 axioms hold for every valid index (used by tests). *)
+let axioms_hold (m : maps) ~(rows : int) : bool =
+  let ok = ref true in
+  for o = 0 to rows - 1 do
+    for i = 0 to m.slice o - 1 do
+      let f = m.oif o i in
+      if m.fo f <> o || m.fi f <> i then ok := false
+    done
+  done;
+  !ok

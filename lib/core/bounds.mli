@@ -1,0 +1,28 @@
+(** Bounds inference utilities for fused vloops (§B.3, Fig. 16):
+    translating iteration-variable ranges between the fused variable [f]
+    and the original pair [(o, i)], over the runtime tables the prelude
+    builds. *)
+
+type maps = {
+  oif : int -> int -> int;
+  fo : int -> int;
+  fi : int -> int;
+  slice : int -> int;
+}
+
+(** Build the maps from a prefix-sum offsets array ([M+1] entries). *)
+val of_offsets : int array -> maps
+
+type range = { lo : int; hi : int }  (** inclusive *)
+
+(** Rule 1: [(o, i)] ranges → fused range. *)
+val fused_of_pair : maps -> o:range -> i:range -> range
+
+(** Rule 2: fused range → outer range. *)
+val outer_of_fused : maps -> f:range -> range
+
+(** Rules 3–4: fused range → inner range (whole slice when spanning rows). *)
+val inner_of_fused : maps -> f:range -> o:int -> range
+
+(** Check the §B.2 axioms for every valid index. *)
+val axioms_hold : maps -> rows:int -> bool

@@ -1,0 +1,289 @@
+open Ir
+
+(** C code generation (the target-dependent code of Fig. 4, step 5/9).
+
+    Emits each compiled kernel as a C function.  Uninterpreted functions
+    become [const int*] table parameters built by the prelude (1-argument
+    functions index the table; 0-argument totals are scalars); loop
+    bindings become either plain loops (CPU) or are annotated with the
+    grid/thread dimensions they would map to in CUDA.  The emitted code is
+    a faithful rendering of the lowered IR — the reference interpreter and
+    the machine model consume exactly the same statements. *)
+
+let buf ppf v = Fmt.string ppf (Var.mangled v)
+
+let rec expr ppf (e : Expr.t) =
+  match e with
+  | Int n -> Fmt.int ppf n
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e16 then Fmt.pf ppf "%.1ff" f
+      else if f = neg_infinity then Fmt.string ppf "-INFINITY"
+      else if f = infinity then Fmt.string ppf "INFINITY"
+      else Fmt.pf ppf "%.9gf" f
+  | Bool b -> Fmt.string ppf (if b then "1" else "0")
+  | Var v -> Fmt.string ppf (Var.mangled v)
+  | Binop (FloorDiv, a, b) -> Fmt.pf ppf "(%a / %a)" expr a expr b
+  | Binop (Mod, a, b) -> Fmt.pf ppf "(%a %% %a)" expr a expr b
+  | Binop (Min, a, b) -> Fmt.pf ppf "min(%a, %a)" expr a expr b
+  | Binop (Max, a, b) -> Fmt.pf ppf "max(%a, %a)" expr a expr b
+  | Binop (op, a, b) ->
+      let s = match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | _ -> assert false in
+      Fmt.pf ppf "(%a %s %a)" expr a s expr b
+  | Cmp (op, a, b) ->
+      let s = Printer.cmpop_str op in
+      Fmt.pf ppf "(%a %s %a)" expr a s expr b
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" expr a expr b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" expr a expr b
+  | Not a -> Fmt.pf ppf "(!%a)" expr a
+  | Select (c, a, b) -> Fmt.pf ppf "(%a ? %a : %a)" expr c expr a expr b
+  | Load { buf = v; index } -> Fmt.pf ppf "%a[%a]" buf v expr index
+  | Ufun (name, []) -> Fmt.pf ppf "%s" name
+  | Ufun (name, [ a ]) -> Fmt.pf ppf "%s[%a]" name expr a
+  | Ufun (name, args) -> Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") expr) args
+  | Call (name, args) -> Fmt.pf ppf "%sf(%a)" name Fmt.(list ~sep:(any ", ") expr) args
+  | Access { tensor; indices } ->
+      Fmt.pf ppf "/* unlowered */ %s[%a]" tensor Fmt.(list ~sep:(any ", ") expr) indices
+  | Let (v, value, body) ->
+      Fmt.pf ppf "({ const int %s = %a; %a; })" (Var.mangled v) expr value expr body
+
+let reduce_op_str : Stmt.reduce_op -> string = function
+  | Sum -> "+"
+  | Prod -> "*"
+  | Rmax -> "max"
+  | Rmin -> "min"
+
+let kind_comment : Stmt.for_kind -> string = function
+  | Serial -> ""
+  | Parallel -> "  // #pragma omp parallel for"
+  | Vectorized -> "  // #pragma omp simd"
+  | Unrolled -> "  // #pragma unroll"
+  | Gpu_block -> "  // -> blockIdx"
+  | Gpu_thread -> "  // -> threadIdx"
+
+let rec stmt ~indent ppf (s : Stmt.t) =
+  let pad = String.make indent ' ' in
+  match s with
+  | For { var; min; extent; kind; body } ->
+      let v = Var.mangled var in
+      Fmt.pf ppf "%sfor (int %s = %a; %s < %a + %a; ++%s) {%s\n%a%s}\n" pad v expr min v expr
+        min expr extent v (kind_comment kind)
+        (stmt ~indent:(indent + 2))
+        body pad
+  | Let_stmt (v, e, body) ->
+      Fmt.pf ppf "%sconst int %s = %a;\n%a" pad (Var.mangled v) expr e (stmt ~indent) body
+  | Store { buf = v; index; value } ->
+      Fmt.pf ppf "%s%a[%a] = %a;\n" pad buf v expr index expr value
+  | Reduce_store { buf = v; index; value; op } -> (
+      match op with
+      | Sum | Prod ->
+          Fmt.pf ppf "%s%a[%a] %s= %a;\n" pad buf v expr index (reduce_op_str op) expr value
+      | Rmax | Rmin ->
+          Fmt.pf ppf "%s%a[%a] = %s(%a[%a], %a);\n" pad buf v expr index (reduce_op_str op)
+            buf v expr index expr value)
+  | If (c, a, None) ->
+      Fmt.pf ppf "%sif (%a) {\n%a%s}\n" pad expr c (stmt ~indent:(indent + 2)) a pad
+  | If (c, a, Some b) ->
+      Fmt.pf ppf "%sif (%a) {\n%a%s} else {\n%a%s}\n" pad expr c
+        (stmt ~indent:(indent + 2))
+        a pad
+        (stmt ~indent:(indent + 2))
+        b pad
+  | Seq l -> List.iter (stmt ~indent ppf) l
+  | Alloc { buf = v; size; body } ->
+      Fmt.pf ppf "%sfloat %s[%a];  // shared/scratch\n%a" pad (Var.mangled v) expr size
+        (stmt ~indent) body
+  | Eval e -> Fmt.pf ppf "%s(void)(%a);\n" pad expr e
+  | Nop -> Fmt.pf ppf "%s;\n" pad
+
+(* Buffers the kernel reads or writes. *)
+let kernel_buffers (body : Stmt.t) : Var.t list =
+  let add acc v = if List.exists (Var.equal v) acc then acc else v :: acc in
+  let exprs acc (e : Expr.t) =
+    Expr.fold (fun acc -> function Expr.Load { buf; _ } -> add acc buf | _ -> acc) acc e
+  in
+  let rec go acc (s : Stmt.t) =
+    match s with
+    | Store { buf; index; value } | Reduce_store { buf; index; value; _ } ->
+        exprs (exprs (add acc buf) index) value
+    | For { min; extent; body; _ } -> go (exprs (exprs acc min) extent) body
+    | Let_stmt (_, e, body) -> go (exprs acc e) body
+    | If (c, a, b) -> (
+        let acc = go (exprs acc c) a in
+        match b with Some b -> go acc b | None -> acc)
+    | Seq l -> List.fold_left go acc l
+    | Alloc { buf; body; _ } ->
+        (* scratch is declared locally, not a parameter *)
+        List.filter (fun v -> not (Var.equal v buf)) (go acc body)
+    | Eval e -> exprs acc e
+    | Nop -> acc
+  in
+  List.rev (go [] body)
+
+(* Uninterpreted functions the kernel references, with their arities:
+   0-ary totals become scalar parameters, 1-ary functions become tables. *)
+let kernel_ufuns (body : Stmt.t) : (string * int) list =
+  let tbl = Hashtbl.create 8 in
+  let scan_expr acc e =
+    Expr.fold
+      (fun () -> function
+        | Expr.Ufun (n, args) -> Hashtbl.replace tbl n (List.length args)
+        | _ -> ())
+      () e;
+    acc
+  in
+  Stmt.fold_exprs scan_expr () body;
+  Hashtbl.fold (fun n a acc -> (n, a) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Emit one kernel as a C function. *)
+let kernel ppf (k : Lower.kernel) =
+  let bufs = kernel_buffers k.Lower.body in
+  let ufuns = kernel_ufuns k.Lower.body in
+  Fmt.pf ppf "// kernel %s (eff %.2f)\nvoid %s(\n" k.Lower.kname k.Lower.eff
+    (String.map (function '-' -> '_' | c -> c) k.Lower.kname);
+  List.iter (fun v -> Fmt.pf ppf "    float* %s,\n" (Var.mangled v)) bufs;
+  List.iteri
+    (fun i (name, arity) ->
+      let comma = if i = List.length ufuns - 1 then "" else "," in
+      if arity = 0 then
+        Fmt.pf ppf "    const int %s%s  // prelude-built total\n" name comma
+      else
+        Fmt.pf ppf "    const int* %s%s  // prelude-built / launch-time table\n" name comma)
+    ufuns;
+  Fmt.pf ppf ") {\n%a}\n" (stmt ~indent:2) k.Lower.body
+
+let kernel_to_string k = Fmt.str "%a" kernel k
+
+(** Emit the host-side prelude as C (Fig. 4, step 7): real builder
+    functions for the standard auxiliary structures (prefix sums,
+    fused-loop maps, totals); defs without a C template get a comment. *)
+let prelude ppf (defs : Prelude.def list) =
+  let defs = Prelude.dedup defs in
+  Fmt.pf ppf "// prelude: builds auxiliary structures on the host\n";
+  List.iter
+    (fun (d : Prelude.def) ->
+      match d.Prelude.c_src with
+      | Some src -> Fmt.pf ppf "%s" src
+      | None ->
+          Fmt.pf ppf "//   %s : %s (opaque builder)\n" d.Prelude.name
+            (match d.Prelude.kind with
+            | Prelude.Storage -> "storage offsets (A_d prefix sums)"
+            | Prelude.Loop_fusion -> "fused-loop maps (f_fo / f_fi / totals)"))
+    defs
+
+let prelude_to_string defs = Fmt.str "%a" prelude defs
+
+(** Emit a whole pipeline as one C translation unit: header, the prelude
+    summary, every kernel, and a host driver skeleton that launches them in
+    order — the shape of the code CoRa's runtime pipeline (Fig. 4) would
+    hand to nvcc/gcc. *)
+let program ppf ~(name : string) (kernels : Lower.kernel list) =
+  Fmt.pf ppf
+    "// %s — generated by the CoRa OCaml reproduction\n\
+     // kernels: %s\n\
+     #include <math.h>\n\
+     #define min(a, b) ((a) < (b) ? (a) : (b))\n\
+     #define max(a, b) ((a) > (b) ? (a) : (b))\n\n"
+    name
+    (String.concat ", " (List.map (fun (k : Lower.kernel) -> k.Lower.kname) kernels));
+  let defs = Prelude.dedup (List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) kernels) in
+  prelude ppf defs;
+  Fmt.pf ppf "\n";
+  List.iter (fun k -> Fmt.pf ppf "%a\n" kernel k) kernels;
+  (* host driver skeleton *)
+  Fmt.pf ppf "// host driver (buffers and prelude tables elided):\n";
+  Fmt.pf ppf "// void %s_forward(...) {\n" name;
+  List.iter
+    (fun (k : Lower.kernel) ->
+      Fmt.pf ppf "//   launch %s<<<grid, block>>>(...);\n"
+        (String.map (function '-' -> '_' | c -> c) k.Lower.kname))
+    kernels;
+  Fmt.pf ppf "// }\n"
+
+let program_to_string ~name kernels = Fmt.str "%a" (fun ppf () -> program ppf ~name kernels) ()
+
+(* ------------------------------------------------------------------ *)
+(* CUDA flavour: grid/thread-bound loops become blockIdx/threadIdx
+   coordinates instead of loops.                                        *)
+
+let cuda_dim i = match i with 0 -> "x" | 1 -> "y" | _ -> "z"
+
+(* Peel the leading sequence of loops of [kind] interleaved with lets
+   (hoisted aux bindings sit between grid loops): returns the ordered
+   prologue items and the remaining body.  At most [limit] axes are peeled
+   (CUDA grids and blocks are 3-D). *)
+type prologue_item =
+  | P_axis of Var.t * Expr.t * Expr.t  (** var, min, extent *)
+  | P_let of Var.t * Expr.t
+
+let peel kind ~limit (s : Stmt.t) =
+  let rec go taken acc (s : Stmt.t) =
+    match s with
+    | Stmt.For { var; min; extent; kind = k; body } when k = kind && taken < limit ->
+        go (taken + 1) (P_axis (var, min, extent) :: acc) body
+    | Stmt.Let_stmt (v, e, body) -> go taken (P_let (v, e) :: acc) body
+    | s -> (List.rev acc, s)
+  in
+  go 0 [] s
+
+let axes_of items =
+  List.filter_map (function P_axis (v, m, e) -> Some (v, m, e) | P_let _ -> None) items
+
+let emit_prologue ppf which items =
+  let i = ref 0 in
+  List.iter
+    (function
+      | P_axis (v, mn, _) ->
+          (match mn with
+          | Expr.Int 0 ->
+              Fmt.pf ppf "  const int %s = %s.%s;\n" (Var.mangled v) which (cuda_dim !i)
+          | _ ->
+              Fmt.pf ppf "  const int %s = %s.%s + %a;\n" (Var.mangled v) which (cuda_dim !i)
+                expr mn);
+          incr i
+      | P_let (v, e) -> Fmt.pf ppf "  const int %s = %a;\n" (Var.mangled v) expr e)
+    items
+
+(** Emit one kernel as a CUDA [__global__] function: up to three leading
+    [Gpu_block] loops map to [blockIdx], then up to three [Gpu_thread]
+    loops to [threadIdx] (hoisted lets in between are preserved); the
+    remaining nest stays as loops.  Runtime-extent grid axes get an
+    early-return bound check because the grid is launched at the padded
+    maximum. *)
+let cuda_kernel ppf (k : Lower.kernel) =
+  let bufs = kernel_buffers k.Lower.body in
+  let ufuns = kernel_ufuns k.Lower.body in
+  let blocks, rest = peel Stmt.Gpu_block ~limit:3 k.Lower.body in
+  let threads, body = peel Stmt.Gpu_thread ~limit:3 rest in
+  let dims items =
+    String.concat ", " (List.map (fun (_, _, e) -> Fmt.str "%a" expr e) (axes_of items))
+  in
+  Fmt.pf ppf "// grid: (%s), block: (%s)\n" (dims blocks) (dims threads);
+  Fmt.pf ppf "__global__ void %s(\n"
+    (String.map (function '-' -> '_' | c -> c) k.Lower.kname);
+  List.iter (fun v -> Fmt.pf ppf "    float* __restrict__ %s,\n" (Var.mangled v)) bufs;
+  List.iteri
+    (fun i (name, arity) ->
+      let comma = if i = List.length ufuns - 1 then "" else "," in
+      if arity = 0 then Fmt.pf ppf "    const int %s%s\n" name comma
+      else Fmt.pf ppf "    const int* __restrict__ %s%s\n" name comma)
+    ufuns;
+  Fmt.pf ppf ") {\n";
+  emit_prologue ppf "blockIdx" blocks;
+  (* runtime-extent grid axes: re-check the bound *)
+  List.iter
+    (fun (v, mn, ext) ->
+      match ext with
+      | Expr.Int _ -> ()
+      | _ -> Fmt.pf ppf "  if (%s >= %a + %a) return;\n" (Var.mangled v) expr mn expr ext)
+    (axes_of blocks);
+  emit_prologue ppf "threadIdx" threads;
+  List.iter
+    (fun (v, mn, ext) ->
+      match ext with
+      | Expr.Int _ -> ()
+      | _ -> Fmt.pf ppf "  if (%s >= %a + %a) return;\n" (Var.mangled v) expr mn expr ext)
+    (axes_of threads);
+  Fmt.pf ppf "%a}\n" (stmt ~indent:2) body
+
+let cuda_kernel_to_string k = Fmt.str "%a" cuda_kernel k

@@ -1,0 +1,37 @@
+(** C code generation — the target-dependent code of Fig. 4 (steps 5/9).
+
+    Each compiled kernel becomes a C function: buffers are [float*]
+    parameters, prelude-built uninterpreted functions become [const int*]
+    tables (0-ary totals become scalars), and loop bindings are annotated
+    with the grid/thread dimensions they would map to in CUDA. *)
+
+val expr : Format.formatter -> Ir.Expr.t -> unit
+val stmt : indent:int -> Format.formatter -> Ir.Stmt.t -> unit
+
+(** Buffers the kernel reads or writes (scratch [Alloc]s excluded). *)
+val kernel_buffers : Ir.Stmt.t -> Ir.Var.t list
+
+(** Uninterpreted functions the kernel references, with arities (0-ary
+    totals become scalar parameters; others become [const int*] tables). *)
+val kernel_ufuns : Ir.Stmt.t -> (string * int) list
+
+val kernel : Format.formatter -> Lower.kernel -> unit
+val kernel_to_string : Lower.kernel -> string
+
+(** Host-side prelude summary (Fig. 4 step 7). *)
+val prelude : Format.formatter -> Prelude.def list -> unit
+
+val prelude_to_string : Prelude.def list -> string
+
+(** A whole pipeline as one C translation unit: header, prelude summary,
+    every kernel, and a host driver skeleton. *)
+val program : Format.formatter -> name:string -> Lower.kernel list -> unit
+
+val program_to_string : name:string -> Lower.kernel list -> string
+
+(** CUDA flavour: leading [Gpu_block]/[Gpu_thread] loops become
+    [blockIdx]/[threadIdx] coordinates of a [__global__] function; runtime
+    thread extents get an early-return bound check. *)
+val cuda_kernel : Format.formatter -> Lower.kernel -> unit
+
+val cuda_kernel_to_string : Lower.kernel -> string

@@ -1,0 +1,88 @@
+(** Dimension graphs (CoRa §5.2, Fig. 7).
+
+    The dgraph of a tensor has one node per dimension and an edge
+    [d1 -> d2] when the slice size of [d2] depends on the index of [d1].
+    CoRa's storage lowering walks this graph to compute only the auxiliary
+    data the precise dependences require — the tree-based CSF scheme of
+    sparse compilers instead assumes every sparse dimension depends on
+    {e all} outer dimensions and stores aux data per slice. *)
+
+type t = {
+  rank : int;
+  edges : (int * int) list;  (** (from, to) dimension positions *)
+}
+
+(** Build the dgraph of a tensor from its extent declarations. *)
+let of_tensor (t : Tensor.t) : t =
+  let dims = Array.of_list t.Tensor.dims in
+  let edges =
+    List.concat
+      (List.mapi
+         (fun j ext ->
+           match Shape.dependence ext with
+           | None -> []
+           | Some dep ->
+               let i = ref (-1) in
+               Array.iteri (fun k d -> if Dim.equal d dep then i := k) dims;
+               if !i < 0 then [] else [ (!i, j) ])
+         t.Tensor.extents)
+  in
+  { rank = Array.length dims; edges }
+
+(** Outgoing dimensions [O_G(d)]: dims whose slice size depends on [d]. *)
+let outgoing g d = List.filter_map (fun (a, b) -> if a = d then Some b else None) g.edges
+
+(** Incoming dimensions [I_G(d)]: dims that [d]'s slice size depends on. *)
+let incoming g d = List.filter_map (fun (a, b) -> if b = d then Some a else None) g.edges
+
+(** Transitive closure [O_G*(d)]. *)
+let outgoing_star g d =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | x :: rest ->
+        if List.mem x seen then go seen rest
+        else go (x :: seen) (outgoing g x @ rest)
+  in
+  go [] (outgoing g d) |> List.sort_uniq Int.compare
+
+(** A dgraph is acyclic by construction (a vdim only depends on outer
+    dimensions), but we verify: every edge must go outward-to-inward. *)
+let well_formed g = List.for_all (fun (a, b) -> a < b) g.edges
+
+let is_cdim g d = incoming g d = []
+let is_vdim g d = incoming g d <> []
+
+(** Total auxiliary entries required by the tree-based CSF scheme of past
+    sparse-tensor work for this tensor (§B.1): one entry per slice of every
+    vdim, where the number of slices of a vdim is the product of the
+    (actual) extents of all outer dimensions.  [extent_of pos dep_value]
+    must give the actual extent of dimension [pos]. *)
+let csf_aux_entries g ~(extent_of : int -> int -> int) =
+  (* [count d] = number of index tuples over dims 0..d-1 (i.e. the number of
+     slices of dimension d).  Under the single-outer-dimension restriction:
+     a constant level multiplies, a ragged level contributes the sum of its
+     extents over its dependee times the product of the other (constant)
+     outer extents. *)
+  let rec count d =
+    if d = 0 then 1
+    else
+      let prev = d - 1 in
+      match incoming g prev with
+      | [] -> count prev * extent_of prev 0
+      | dep :: _ ->
+          let const_product = ref 1 in
+          for k = 0 to prev - 1 do
+            if k <> dep then const_product := !const_product * extent_of k 0
+          done;
+          let sum = ref 0 in
+          for v = 0 to extent_of dep 0 - 1 do
+            sum := !sum + extent_of prev v
+          done;
+          !const_product * !sum
+  in
+  let aux = ref 0 in
+  for d = 0 to g.rank - 1 do
+    if is_vdim g d then aux := !aux + count d
+  done;
+  !aux

@@ -1,0 +1,32 @@
+(** Dimension graphs (CoRa §5.2, Fig. 7): one node per tensor dimension, an
+    edge [d1 -> d2] when [d2]'s slice size depends on [d1]'s index.
+    Storage lowering walks this graph to compute only the auxiliary data
+    the precise dependences require — the CSF scheme of sparse compilers
+    instead pays per slice. *)
+
+type t = {
+  rank : int;
+  edges : (int * int) list;
+}
+
+val of_tensor : Tensor.t -> t
+
+(** [O_G d] — dims whose slice size depends on [d]. *)
+val outgoing : t -> int -> int list
+
+(** [I_G d] — dims [d]'s slice size depends on. *)
+val incoming : t -> int -> int list
+
+(** Transitive closure [O_G* d]. *)
+val outgoing_star : t -> int -> int list
+
+(** Every edge goes outward-to-inward (always true by construction). *)
+val well_formed : t -> bool
+
+val is_cdim : t -> int -> bool
+val is_vdim : t -> int -> bool
+
+(** Auxiliary entries the tree-based CSF scheme of past sparse-tensor work
+    would compute for this tensor (§B.1): one per slice of every vdim.
+    [extent_of pos dep_value] gives the actual extent of dimension [pos]. *)
+val csf_aux_entries : t -> extent_of:(int -> int -> int) -> int

@@ -1,0 +1,27 @@
+(** Named dimensions (CoRa §4, §B.3).
+
+    A named dimension is an identifier shared between a tensor dimension and
+    the loop that iterates over it.  Naming the dimension is what lets the
+    user state raggedness relationships ("the extent of [len_dim] is
+    [lens\[b\]] where [b] indexes [batch_dim]") and what lets bounds
+    inference match iteration variables across producers and consumers. *)
+
+type t = { id : int; name : string }
+
+let counter = ref 0
+
+(** [make name] creates a fresh named dimension. *)
+let make name =
+  incr counter;
+  { id = !counter; name }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let name d = d.name
+let pp ppf d = Fmt.pf ppf "%s#%d" d.name d.id
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

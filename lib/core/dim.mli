@@ -1,0 +1,16 @@
+(** Named dimensions (CoRa §4, §B.3).
+
+    A named dimension is an identifier shared between a tensor dimension
+    and the loop that iterates over it: naming dimensions is how the user
+    states raggedness relationships and how bounds inference matches
+    iteration variables across producers and consumers. *)
+
+type t = { id : int; name : string }
+
+val make : string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t

@@ -1,0 +1,27 @@
+(** Kernel execution through the reference interpreter.
+
+    Mirrors the runtime pipeline of Fig. 4: run the prelude on the host to
+    build auxiliary structures, bind them (and the raw length functions and
+    tensor buffers), then execute the generated kernels.  Used by tests,
+    examples and any place that needs real numerics; performance questions
+    go to the machine simulator instead. *)
+
+type binding = Tensor.t * Runtime.Buffer.t
+
+(** [run ~lenv ~bindings kernels] — build the (deduplicated) prelude for all
+    kernels and interpret them in order.  Returns the interpreter
+    environment (for statistics) and the built prelude. *)
+let run ~(lenv : Lenfun.env) ~(bindings : binding list) (kernels : Lower.kernel list) :
+    Runtime.Interp.env * Prelude.built =
+  let env = Runtime.Interp.create () in
+  List.iter (fun (t, b) -> Runtime.Interp.bind_buf env t.Tensor.buf b) bindings;
+  Prelude.bind_lenfuns lenv env;
+  let defs = List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) kernels in
+  let built = Prelude.build ~dedup_defs:true defs lenv in
+  Prelude.bind_all built env;
+  List.iter (fun (k : Lower.kernel) -> Runtime.Interp.exec env k.Lower.body) kernels;
+  (env, built)
+
+(** Convenience wrapper for ragged tensor values. *)
+let run_ragged ~(lenv : Lenfun.env) ~(tensors : Ragged.t list) kernels =
+  run ~lenv ~bindings:(List.map (fun (r : Ragged.t) -> (r.Ragged.tensor, r.Ragged.buf)) tensors) kernels

@@ -1,0 +1,17 @@
+(** Kernel execution through the reference interpreter — the runtime half
+    of Fig. 4: build the (deduplicated) prelude on the host, bind aux
+    tables, length functions and tensor buffers, interpret the kernels in
+    order.  Used wherever real numerics are needed; performance questions
+    go to {!Machine.Launch}. *)
+
+type binding = Tensor.t * Runtime.Buffer.t
+
+(** Returns the interpreter environment (for statistics) and the built
+    prelude (for overhead accounting). *)
+val run :
+  lenv:Lenfun.env -> bindings:binding list -> Lower.kernel list ->
+  Runtime.Interp.env * Prelude.built
+
+val run_ragged :
+  lenv:Lenfun.env -> tensors:Ragged.t list -> Lower.kernel list ->
+  Runtime.Interp.env * Prelude.built

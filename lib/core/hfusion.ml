@@ -1,0 +1,112 @@
+(** Horizontal fusion validation (§4.1, Fig. 5 step 3; §C).
+
+    HFusion executes several operators concurrently as one kernel (one GPU
+    grid).  That is only legal when the fused kernels are independent: no
+    kernel may read or write another's output (concurrent blocks have no
+    ordering), and — as the paper notes for reduction splits (§7.1
+    footnote) — kernels accumulating into the same buffer would need
+    atomics, which the prototype does not support.  [validate] checks
+    these conditions so callers cannot silently build racy launches. *)
+
+exception Illegal of string
+
+let illegal fmt = Fmt.kstr (fun s -> raise (Illegal s)) fmt
+
+(* buffers a kernel reads (loads) and writes (stores) *)
+let reads_writes (k : Lower.kernel) =
+  let reads = ref Ir.Var.Set.empty and writes = ref Ir.Var.Set.empty in
+  let scan_expr () e =
+    Ir.Expr.fold
+      (fun () -> function
+        | Ir.Expr.Load { buf; _ } -> reads := Ir.Var.Set.add buf !reads
+        | _ -> ())
+      () e
+  in
+  let rec go (s : Ir.Stmt.t) =
+    match s with
+    | Store { buf; index; value } ->
+        writes := Ir.Var.Set.add buf !writes;
+        scan_expr () index;
+        scan_expr () value
+    | Reduce_store { buf; index; value; _ } ->
+        writes := Ir.Var.Set.add buf !writes;
+        reads := Ir.Var.Set.add buf !reads;
+        scan_expr () index;
+        scan_expr () value
+    | For { min; extent; body; _ } ->
+        scan_expr () min;
+        scan_expr () extent;
+        go body
+    | Let_stmt (_, e, body) ->
+        scan_expr () e;
+        go body
+    | If (c, a, b) ->
+        scan_expr () c;
+        go a;
+        Option.iter go b
+    | Seq l -> List.iter go l
+    | Alloc { buf; body; _ } ->
+        go body;
+        (* kernel-local scratch is private *)
+        reads := Ir.Var.Set.remove buf !reads;
+        writes := Ir.Var.Set.remove buf !writes
+    | Eval e -> scan_expr () e
+    | Nop -> ()
+  in
+  go k.Lower.body;
+  (!reads, !writes)
+
+(** [validate kernels] — raise {!Illegal} if horizontally fusing these
+    kernels could race.
+
+    Writes to a common buffer are allowed only when every writing kernel
+    targets the same output tensor through {e disjoint index ranges} — the
+    tiles/tail pieces of operation splitting.  We approximate "disjoint" by
+    requiring the kernels to be the distinct range-mode pieces of one
+    operator (same output tensor, same name prefix), which is how
+    {!Lower.lower} produces them. *)
+let validate (kernels : Lower.kernel list) =
+  (* does the kernel initialise its own output (a plain Store to it)?  The
+     tail piece of a reduction-loop split does not — it accumulates into
+     the main piece's partial sums and therefore may NOT be h-fused with it
+     (the paper's §7.1 footnote: that would need atomics). *)
+  let initialises (k : Lower.kernel) =
+    let rec go (s : Ir.Stmt.t) =
+      match s with
+      | Store { buf; _ } -> Ir.Var.equal buf k.Lower.out.Tensor.buf
+      | Reduce_store _ | Eval _ | Nop -> false
+      | For { body; _ } | Let_stmt (_, _, body) | Alloc { body; _ } -> go body
+      | If (_, a, b) -> go a || (match b with Some b -> go b | None -> false)
+      | Seq l -> List.exists go l
+    in
+    go k.Lower.body
+  in
+  let rws = List.map (fun k -> (k, reads_writes k)) kernels in
+  List.iteri
+    (fun i (ka, (ra, wa)) ->
+      List.iteri
+        (fun j (kb, (rb, wb)) ->
+          if i < j then begin
+            let piece_pair =
+              (* tiles/tail pieces of one NON-REDUCTION split write disjoint
+                 ranges of the same tensor: both initialise their rows *)
+              ka.Lower.out == kb.Lower.out && initialises ka && initialises kb
+            in
+            (* read-after-write or write-after-read across kernels *)
+            let raw = Ir.Var.Set.inter wa rb and war = Ir.Var.Set.inter ra wb in
+            let waw = Ir.Var.Set.inter wa wb in
+            let conflict s =
+              if piece_pair then
+                (* only the shared output is exempt *)
+                not (Ir.Var.Set.is_empty (Ir.Var.Set.remove ka.Lower.out.Tensor.buf s))
+              else not (Ir.Var.Set.is_empty s)
+            in
+            if conflict waw then
+              illegal "hfusion of %s and %s: write-write conflict" ka.Lower.kname kb.Lower.kname;
+            if conflict raw || conflict war then
+              illegal "hfusion of %s and %s: one kernel reads the other's output"
+                ka.Lower.kname kb.Lower.kname
+          end)
+        rws)
+    rws;
+  kernels

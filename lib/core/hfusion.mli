@@ -1,0 +1,11 @@
+(** Horizontal fusion validation (§4.1, Fig. 5 step 3; §C): several
+    operators may execute concurrently as one kernel only when independent.
+    The tiles/tail pieces of a {e non-reduction} operation split (disjoint
+    output ranges, each initialising its own rows) are allowed; the pieces
+    of a reduction-loop split are rejected — they accumulate into the same
+    elements and would need atomics (the paper's §7.1 footnote). *)
+
+exception Illegal of string
+
+(** Returns the kernels unchanged, or raises {!Illegal}. *)
+val validate : Lower.kernel list -> Lower.kernel list

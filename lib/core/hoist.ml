@@ -1,0 +1,92 @@
+open Ir
+
+(** Load hoisting (§D.7, Fig. 23 "+LoadHoist").
+
+    CoRa-generated kernels read prelude-built auxiliary structures
+    (uninterpreted-function calls in our IR).  A C compiler often fails to
+    hoist these indirect accesses out of hot loops; CoRa knows they are
+    pure and loop-invariant and hoists them itself.  This pass moves every
+    maximal ufun-containing integer subexpression to the outermost program
+    point where its free variables are bound, binding it with [Let_stmt]. *)
+
+(* Maximal subexpressions that contain at least one Ufun call, are built
+   only from pure integer arithmetic / ufuns / constants / variables, and
+   whose free variables avoid [forbidden]. *)
+let rec candidates forbidden (e : Expr.t) : Expr.t list =
+  let pure_int =
+    (* only arithmetic over ints, vars and ufuns — no float loads *)
+    let rec ok : Expr.t -> bool = function
+      | Int _ | Var _ -> true
+      | Ufun (_, args) -> List.for_all ok args
+      | Binop ((Add | Sub | Mul | FloorDiv | Mod | Min | Max), a, b) -> ok a && ok b
+      | _ -> false
+    in
+    ok
+  in
+  let has_ufun e =
+    Expr.fold (fun acc -> function Expr.Ufun _ -> true | _ -> acc) false e
+  in
+  let hoistable e =
+    has_ufun e && pure_int e && Var.Set.is_empty (Var.Set.inter (Expr.free_vars e) forbidden)
+  in
+  if hoistable e then [ e ]
+  else
+    match e with
+    | Int _ | Float _ | Bool _ | Var _ -> []
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+        candidates forbidden a @ candidates forbidden b
+    | Not a -> candidates forbidden a
+    | Select (c, a, b) ->
+        candidates forbidden c @ candidates forbidden a @ candidates forbidden b
+    | Load { index; _ } -> candidates forbidden index
+    | Ufun (_, args) | Call (_, args) -> List.concat_map (candidates forbidden) args
+    | Access { indices; _ } -> List.concat_map (candidates forbidden) indices
+    | Let (_, v, b) -> candidates forbidden v @ candidates forbidden b
+
+(* Variables bound anywhere inside a statement (loop vars, lets, allocs). *)
+let rec bound_vars (s : Stmt.t) : Var.Set.t =
+  match s with
+  | For { var; body; _ } -> Var.Set.add var (bound_vars body)
+  | Let_stmt (v, _, body) -> Var.Set.add v (bound_vars body)
+  | Alloc { buf; body; _ } -> Var.Set.add buf (bound_vars body)
+  | If (_, a, b) -> (
+      let s = bound_vars a in
+      match b with Some b -> Var.Set.union s (bound_vars b) | None -> s)
+  | Seq l -> List.fold_left (fun acc x -> Var.Set.union acc (bound_vars x)) Var.Set.empty l
+  | Store _ | Reduce_store _ | Eval _ | Nop -> Var.Set.empty
+
+let replace_expr ~target ~by e =
+  Expr.map_bottom_up (fun x -> if x = target then by else x) e
+
+(* Collect hoist candidates of an entire statement (expressions whose free
+   vars avoid [forbidden]). *)
+let stmt_candidates forbidden stmt =
+  Stmt.fold_exprs (fun acc e -> acc @ candidates forbidden e) [] stmt
+  |> List.fold_left (fun acc e -> if List.mem e acc then acc else acc @ [ e ]) []
+
+(** Hoist auxiliary loads as far out as possible.  Applied recursively: at
+    each loop, expressions inside the body that do not depend on the loop
+    variable (nor on anything bound deeper) are bound just before the
+    loop. *)
+let rec hoist (s : Stmt.t) : Stmt.t =
+  match s with
+  | For r ->
+      let forbidden = Var.Set.add r.var (bound_vars r.body) in
+      let cands = stmt_candidates forbidden r.body in
+      let body, bindings =
+        List.fold_left
+          (fun (body, binds) e ->
+            let v = Var.fresh "aux" in
+            (Stmt.map_exprs (replace_expr ~target:e ~by:(Expr.var v)) body, (v, e) :: binds))
+          (r.body, []) cands
+      in
+      let inner = hoist body in
+      List.fold_left
+        (fun acc (v, e) -> Stmt.Let_stmt (v, e, acc))
+        (Stmt.For { r with body = inner })
+        bindings
+  | Let_stmt (v, e, body) -> Let_stmt (v, e, hoist body)
+  | If (c, a, b) -> If (c, hoist a, Option.map hoist b)
+  | Seq l -> Seq (List.map hoist l)
+  | Alloc r -> Alloc { r with body = hoist r.body }
+  | (Store _ | Reduce_store _ | Eval _ | Nop) as s -> s

@@ -1,0 +1,10 @@
+(** Load hoisting (§D.7, Fig. 23 "+LoadHoist"): move every maximal
+    ufun-containing pure-integer subexpression to the outermost program
+    point where its free variables are bound, binding it with [Let_stmt].
+    CoRa knows these auxiliary accesses are pure and loop-invariant even
+    when a downstream C compiler cannot prove it. *)
+
+val hoist : Ir.Stmt.t -> Ir.Stmt.t
+
+(** Variables bound anywhere inside a statement (exposed for tests). *)
+val bound_vars : Ir.Stmt.t -> Ir.Var.Set.t

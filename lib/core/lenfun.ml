@@ -1,0 +1,42 @@
+(** Length functions.
+
+    A length function is the uninterpreted function [s(·)] that gives the
+    slice size of a variable dimension (vdim) or the bound of a variable
+    loop (vloop) as a function of an outer index.  At compile time only its
+    name is known; at launch time the runtime binds it to concrete data —
+    typically the sequence-length array of the mini-batch, or a closed form
+    like [fun r -> r + 1] for triangular matrices. *)
+
+type t = { name : string }
+
+let make name = { name }
+let name t = t.name
+
+(** Runtime environment binding length-function names to integer functions. *)
+type env = (string * (int -> int)) list
+
+let lookup (env : env) name : int -> int =
+  match List.assoc_opt name env with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Lenfun.lookup: unbound length function %s" name)
+
+(** [of_array name a] — an environment entry backed by an array.
+
+    The one-past-the-end index is defined as 0: bulk padding appends a
+    {e virtual padding sequence} to the batch (§7.2), and the fused-loop
+    maps send bulk iterations to that row — giving it length 0 makes every
+    guard and ragged extent evaluated there collapse to nothing, which is
+    exactly the padding semantics.  Indices beyond that report a clear
+    error. *)
+let of_array name (a : int array) : string * (int -> int) =
+  ( name,
+    fun i ->
+      if i = Array.length a then 0
+      else if i < 0 || i > Array.length a then
+        invalid_arg
+          (Printf.sprintf "length function %s: index %d out of range [0,%d]" name i
+             (Array.length a))
+      else a.(i) )
+
+(** [of_fun name f] — an environment entry backed by a closed form. *)
+let of_fun name f : string * (int -> int) = (name, f)

@@ -1,0 +1,23 @@
+(** Length functions: the uninterpreted [s(·)] giving a vdim's slice size /
+    a vloop's bound as a function of one outer index.  Known by name at
+    compile time; bound to data (a sequence-length array, or a closed form
+    like [fun r -> r + 1]) at launch time. *)
+
+type t = { name : string }
+
+val make : string -> t
+val name : t -> string
+
+(** Runtime environment binding length-function names to functions. *)
+type env = (string * (int -> int)) list
+
+(** Raises [Invalid_argument] for unbound names. *)
+val lookup : env -> string -> int -> int
+
+(** Environment entry backed by an array (bounds-checked).  The
+    one-past-the-end index is defined as 0 — the virtual zero-length
+    padding sequence bulk padding appends to the batch (§7.2). *)
+val of_array : string -> int array -> string * (int -> int)
+
+(** Environment entry backed by a closed form. *)
+val of_fun : string -> (int -> int) -> string * (int -> int)

@@ -1,0 +1,38 @@
+(** Lowering: schedule → IR kernel (CoRa §5).
+
+    Reconstructs root index expressions from the transformed loop
+    variables, materialises (possibly ragged) loop extents, inserts bound
+    guards exactly where the iteration space over-covers and elision is
+    unsound, lowers tensor accesses to flat offsets, applies load hoisting
+    and simplification, and collects every prelude definition the kernel
+    needs. *)
+
+exception Error of string
+
+(** A compiled kernel. *)
+type kernel = {
+  kname : string;
+  body : Ir.Stmt.t;
+  aux : Prelude.def list;  (** prelude structures the kernel references *)
+  triples : Ir.Simplify.fusion_triple list;
+  eff : float;  (** compiled-code efficiency for the machine model *)
+  remap : Schedule.remap_policy;
+  bound : Schedule.boundedness;
+  out : Tensor.t;
+}
+
+(** [lower sched] compiles the schedule.
+
+    [ranges] assigns a {!Schedule.range_mode} per split-parent axis id —
+    the vehicle for operation splitting: lower once with [Tiles_only] and
+    once with [Tail_only] to obtain the pair of kernels of Fig. 5.
+    For reduction splits, pass [~init:false] to the tail so it accumulates
+    into the main kernel's partial sums; an [epilogue] runs only where
+    [apply_epilogue] is true (defaults to [init]). *)
+val lower :
+  ?ranges:(int * Schedule.range_mode) list ->
+  ?init:bool ->
+  ?apply_epilogue:bool ->
+  ?name_suffix:string ->
+  Schedule.t ->
+  kernel

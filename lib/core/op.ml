@@ -1,0 +1,109 @@
+open Ir
+
+(** Operator definitions — CoRa's analogue of [te.compute] (Listing 1).
+
+    An operator computes one output tensor.  Each output dimension has a
+    {e loop extent} which may differ from the output's storage extent
+    (loop padding vs storage padding are independent as long as storage
+    padding is at least as large, §4.1).  Reductions add reduction
+    dimensions whose extents may themselves be ragged — a ragged reduction
+    loop is what trmm and AttnV have.
+
+    The body is an expression over the dimension index variables, with
+    multi-dimensional tensor reads written as [Expr.Access] nodes; storage
+    lowering turns those into flat loads. *)
+
+type rvar = { rv : Var.t; rdim : Dim.t; rextent : Shape.t }
+
+type t = {
+  name : string;
+  out : Tensor.t;
+  dim_vars : Var.t array;  (** one index variable per output dimension *)
+  loop_extents : Shape.t array;
+  rvars : rvar array;
+  body : Expr.t;
+  reduce : Stmt.reduce_op option;
+  init : Expr.t;  (** initial value of the reduction accumulator; may access
+                      tensors (a fused bias / residual add, Fig. 3) *)
+  epilogue : (Expr.t -> Expr.t) option;
+      (** applied to the accumulated value after the reduction completes —
+          fused activations such as gelu in "FF1 MM + Bias + Activation" *)
+  reads : Tensor.t list;  (** tensors the body may access *)
+}
+
+(** [access t idxs] — a (not yet lowered) read of tensor [t]. *)
+let access (t : Tensor.t) idxs = Expr.access t.Tensor.name idxs
+
+let dim_var_exprs op = Array.to_list (Array.map Expr.var op.dim_vars)
+
+let validate op =
+  Array.iteri
+    (fun i ext ->
+      match Shape.dependence ext with
+      | None -> ()
+      | Some dep ->
+          let outer = List.filteri (fun j _ -> j < i) op.out.Tensor.dims in
+          if not (List.exists (Dim.equal dep) outer) then
+            invalid_arg
+              (Printf.sprintf "Op %s: loop extent %d depends on non-outer dim %s" op.name i
+                 (Dim.name dep)))
+    op.loop_extents;
+  op
+
+(** [compute ~name ~out ~loop_extents ~reads f] — an elementwise/map-style
+    operator: [out\[i...\] = f \[i...\]]. *)
+let compute ~name ~out ~loop_extents ~reads f =
+  let dim_vars =
+    Array.of_list (List.map (fun d -> Var.fresh (Dim.name d)) out.Tensor.dims)
+  in
+  let idx = Array.to_list (Array.map Expr.var dim_vars) in
+  validate
+    {
+      name;
+      out;
+      dim_vars;
+      loop_extents = Array.of_list loop_extents;
+      rvars = [||];
+      body = f idx;
+      reduce = None;
+      init = Expr.float 0.0;
+      epilogue = None;
+      reads;
+    }
+
+(** [reduce ~name ~out ~loop_extents ~rdims ~combine ~init ~reads f] — a
+    reduction operator: [out\[i...\] = combine over \[r...\] of f \[i...\] \[r...\]].
+    Reduction extents may be ragged (vloop reductions).  [init] receives the
+    output index expressions, so a bias or residual read can be fused into
+    the accumulator initialisation (Fig. 3's fused ResidualAdd). *)
+let reduce ~name ~out ~loop_extents ~rdims ~combine ~init ?epilogue ~reads f =
+  let dim_vars =
+    Array.of_list (List.map (fun d -> Var.fresh (Dim.name d)) out.Tensor.dims)
+  in
+  let rvars =
+    Array.of_list
+      (List.map (fun (d, ext) -> { rv = Var.fresh (Dim.name d); rdim = d; rextent = ext }) rdims)
+  in
+  let idx = Array.to_list (Array.map Expr.var dim_vars) in
+  let ridx = Array.to_list (Array.map (fun r -> Expr.var r.rv) rvars) in
+  validate
+    {
+      name;
+      out;
+      dim_vars;
+      loop_extents = Array.of_list loop_extents;
+      rvars;
+      body = f idx ridx;
+      reduce = Some combine;
+      init = init idx;
+      epilogue;
+      reads;
+    }
+
+(** Find a tensor named [name] among the op's reads and output. *)
+let tensor_named op name =
+  if String.equal op.out.Tensor.name name then Some op.out
+  else List.find_opt (fun t -> String.equal t.Tensor.name name) op.reads
+
+let n_dims op = Array.length op.dim_vars
+let n_rdims op = Array.length op.rvars

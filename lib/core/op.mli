@@ -1,0 +1,57 @@
+(** Operator definitions — CoRa's analogue of [te.compute] (Listing 1).
+
+    An operator computes one output tensor; each output dimension has a
+    loop extent that may differ from the storage extent (independent loop
+    vs storage padding, §4.1).  Reductions add reduction dimensions whose
+    extents may themselves be ragged (trmm, AttnV). *)
+
+type rvar = { rv : Ir.Var.t; rdim : Dim.t; rextent : Shape.t }
+
+type t = {
+  name : string;
+  out : Tensor.t;
+  dim_vars : Ir.Var.t array;
+  loop_extents : Shape.t array;
+  rvars : rvar array;
+  body : Ir.Expr.t;
+  reduce : Ir.Stmt.reduce_op option;
+  init : Ir.Expr.t;
+  epilogue : (Ir.Expr.t -> Ir.Expr.t) option;
+  reads : Tensor.t list;
+}
+
+(** A (not yet lowered) multi-dimensional read of a tensor. *)
+val access : Tensor.t -> Ir.Expr.t list -> Ir.Expr.t
+
+val dim_var_exprs : t -> Ir.Expr.t list
+
+(** Map-style operator: [out[i...] = f [i...]]. *)
+val compute :
+  name:string ->
+  out:Tensor.t ->
+  loop_extents:Shape.t list ->
+  reads:Tensor.t list ->
+  (Ir.Expr.t list -> Ir.Expr.t) ->
+  t
+
+(** Reduction operator: [out[i...] = combine over [r...] of f [i...] [r...]].
+    [init] receives the output index expressions so a bias/residual read
+    can be fused into the accumulator initialisation; [epilogue] is applied
+    once after the reduction (fused activations). *)
+val reduce :
+  name:string ->
+  out:Tensor.t ->
+  loop_extents:Shape.t list ->
+  rdims:(Dim.t * Shape.t) list ->
+  combine:Ir.Stmt.reduce_op ->
+  init:(Ir.Expr.t list -> Ir.Expr.t) ->
+  ?epilogue:(Ir.Expr.t -> Ir.Expr.t) ->
+  reads:Tensor.t list ->
+  (Ir.Expr.t list -> Ir.Expr.t list -> Ir.Expr.t) ->
+  t
+
+(** Find a tensor by name among the op's reads and output. *)
+val tensor_named : t -> string -> Tensor.t option
+
+val n_dims : t -> int
+val n_rdims : t -> int

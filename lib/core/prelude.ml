@@ -1,0 +1,267 @@
+(** Prelude: host-side construction of auxiliary data structures (§2, §5).
+
+    Storage lowering and vloop fusion emit references to uninterpreted
+    functions whose values depend only on the raggedness pattern (insight I1
+    of the paper: lengths are known before the kernel runs).  Each such
+    function is described here as a {!def}; [build] materialises all of
+    them from the concrete length-function environment, yielding runtime
+    tables plus the time/memory accounting reported in §7.4 (and the
+    host→device copy volume). *)
+
+type kind =
+  | Storage  (** ragged-storage offset arrays, CoRa's [A_d] (§B.1) *)
+  | Loop_fusion  (** fused-vloop maps [f_fo]/[f_fi]/offsets/totals (§5.1) *)
+
+type value = Scalar of int | Table of int array
+
+type def = {
+  name : string;  (** doubles as the uninterpreted-function name in the IR *)
+  kind : kind;
+  compute : Lenfun.env -> value;
+  work : Lenfun.env -> int;
+      (** host operations needed to build it (≈ entries written) *)
+  c_src : string option;
+      (** host-side C implementation, when the def comes from one of the
+          standard constructors (emitted by {!Codegen_c.prelude}) *)
+}
+
+(** Result of running the prelude for one kernel/pipeline. *)
+type built = {
+  tables : (string * value) list;
+  storage_entries : int;  (** int entries in Storage aux structures *)
+  fusion_entries : int;  (** int entries in Loop_fusion aux structures *)
+  storage_work : int;
+  fusion_work : int;
+}
+
+let value_entries = function Scalar _ -> 1 | Table a -> Array.length a
+
+(** Deduplicate defs by name: CoRa shares auxiliary structures across
+    operators and layers when the raggedness pattern is the same (§7.4,
+    CoRa-Optimized).  Keeping duplicates models CoRa-Redundant. *)
+let dedup defs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      if Hashtbl.mem seen d.name then false
+      else begin
+        Hashtbl.add seen d.name ();
+        true
+      end)
+    defs
+
+(** Build all aux structures.  [dedup_defs:false] reproduces the redundant
+    per-operator computation of the unoptimized prototype (Tables 7–8). *)
+let build ?(dedup_defs = true) (defs : def list) (lenv : Lenfun.env) : built =
+  let defs = if dedup_defs then dedup defs else defs in
+  let tables = List.map (fun d -> (d.name, d.compute lenv)) defs in
+  let acc kind f =
+    List.fold_left2
+      (fun total d (_, v) -> if d.kind = kind then total + f d v else total)
+      0 defs tables
+  in
+  {
+    tables;
+    storage_entries = acc Storage (fun _ v -> value_entries v);
+    fusion_entries = acc Loop_fusion (fun _ v -> value_entries v);
+    storage_work = acc Storage (fun d _ -> d.work lenv);
+    fusion_work = acc Loop_fusion (fun d _ -> d.work lenv);
+  }
+
+(** Memory footprint in bytes (4-byte entries, as the paper reports). *)
+let bytes built = 4 * (built.storage_entries + built.fusion_entries)
+
+let storage_bytes built = 4 * built.storage_entries
+let fusion_bytes built = 4 * built.fusion_entries
+
+(** Bind every built table as an uninterpreted function in an interpreter
+    environment. *)
+let bind_all (built : built) (env : Runtime.Interp.env) =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Scalar n -> Runtime.Interp.bind_ufun env name (fun _ -> n)
+      | Table a -> Runtime.Interp.bind_ufun_array env name a)
+    built.tables
+
+(** Bind the raw length functions themselves (the kernel may reference them
+    directly as loop extents). *)
+let bind_lenfuns (lenv : Lenfun.env) (env : Runtime.Interp.env) =
+  List.iter (fun (name, f) -> Runtime.Interp.bind_ufun env name (function
+    | [ i ] -> f i
+    | _ -> invalid_arg ("lenfun " ^ name ^ ": expected 1 argument"))) lenv
+
+(* ------------------------------------------------------------------ *)
+(* Standard definitions used by storage lowering and loop fusion.      *)
+
+(** Prefix-sum array over padded slice sizes:
+    [psum\[x\] = Σ_{t<x} pad_to (fn t) pad], with [count + 1] entries.
+    This is both the factored storage offset array for a (cdim, vdim) pair
+    and the fused-loop offset array [f_oif(o, i) = psum\[o\] + i]. *)
+let psum_def ~name ~fn_name ~count ~pad : def =
+  {
+    name;
+    kind = Storage;
+    c_src =
+      Some
+        (Printf.sprintf
+           "void build_%s(const int* %s, int* %s) {\n  %s[0] = 0;\n  for (int t = 0; t < %d; ++t)\n    %s[t + 1] = %s[t] + %s;\n}\n"
+           name fn_name name name count name name
+           (if pad <= 1 then Printf.sprintf "%s[t]" fn_name
+            else Printf.sprintf "((%s[t] + %d) / %d) * %d" fn_name (pad - 1) pad pad));
+    compute =
+      (fun lenv ->
+        let f = Lenfun.lookup lenv fn_name in
+        let a = Array.make (count + 1) 0 in
+        for t = 0 to count - 1 do
+          a.(t + 1) <- a.(t) + Shape.pad_to (f t) pad
+        done;
+        Table a);
+    work = (fun _ -> count + 1);
+  }
+
+(** General prefix-sum of per-slice volumes for storage lowering when the
+    slice volume is not a constant multiple of a single length function
+    (e.g. the attention tensor, volume [H * s(b)^2]).  The entry count may
+    itself be length-dependent (nested raggedness: the row dimension of a
+    triangular attention matrix has as many distinct values as the longest
+    sequence), so it is a function of the environment. *)
+let volume_psum_def ~name ~(count : Lenfun.env -> int) ~(volume : Lenfun.env -> int -> int) :
+    def =
+  {
+    name;
+    kind = Storage;
+    c_src =
+      Some
+        (Printf.sprintf
+           "void build_%s(int count, int (*volume)(int), int* %s) {\n  %s[0] = 0;\n  for (int t = 0; t < count; ++t) %s[t + 1] = %s[t] + volume(t);\n}\n"
+           name name name name name);
+    compute =
+      (fun lenv ->
+        let n = count lenv in
+        let a = Array.make (n + 1) 0 in
+        for t = 0 to n - 1 do
+          a.(t + 1) <- a.(t) + volume lenv t
+        done;
+        Table a);
+    work = (fun lenv -> count lenv + 1);
+  }
+
+(** Pointwise table: [name.(x) = value lenv x] for [x < count lenv] — used
+    for subtree-volume strides when a dimension's inner region contains an
+    internal ragged pair. *)
+let pointwise_def ~name ~(count : Lenfun.env -> int) ~(value : Lenfun.env -> int -> int) : def =
+  {
+    name;
+    kind = Storage;
+    c_src =
+      Some
+        (Printf.sprintf
+           "void build_%s(int count, int (*value)(int), int* %s) {\n  for (int t = 0; t < count; ++t) %s[t] = value(t);\n}\n"
+           name name name);
+    compute =
+      (fun lenv ->
+        let n = count lenv in
+        Table (Array.init n (value lenv)));
+    work = (fun lenv -> count lenv);
+  }
+
+(** Scalar value computed by the prelude. *)
+let scalar_def ~name ~(value : Lenfun.env -> int) : def =
+  {
+    name;
+    kind = Storage;
+    c_src = None;
+    compute = (fun lenv -> Scalar (value lenv));
+    work = (fun _ -> 1);
+  }
+
+(** Fused-loop total [F]: sum of padded slice sizes, bulk-padded (§7.2). *)
+let fused_total_def ~name ~fn_name ~count ~pad ~bulk : def =
+  {
+    name;
+    kind = Loop_fusion;
+    c_src =
+      Some
+        (Printf.sprintf
+           "int build_%s(const int* %s) {\n  int total = 0;\n  for (int t = 0; t < %d; ++t) total += %s;\n  return ((total + %d) / %d) * %d;\n}\n"
+           name fn_name count
+           (if pad <= 1 then Printf.sprintf "%s[t]" fn_name
+            else Printf.sprintf "((%s[t] + %d) / %d) * %d" fn_name (pad - 1) pad pad)
+           (bulk - 1) (max bulk 1) (max bulk 1));
+    compute =
+      (fun lenv ->
+        let f = Lenfun.lookup lenv fn_name in
+        let total = ref 0 in
+        for t = 0 to count - 1 do
+          total := !total + Shape.pad_to (f t) pad
+        done;
+        Scalar (Shape.pad_to !total bulk));
+    work = (fun _ -> count);
+  }
+
+(** Fused-loop mapping arrays (§5.1): [f_fo f] and [f_fi f] recover the
+    outer/inner iteration variables from the fused one.  Entries in the
+    bulk-padding region map to a virtual row [count] starting at the real
+    total, so padded iterations still touch only the (bulk-padded) buffer
+    tail. *)
+let fused_map_defs ~fo_name ~fi_name ~fn_name ~count ~pad ~bulk : def list =
+  let build_maps lenv =
+    let f = Lenfun.lookup lenv fn_name in
+    let real = ref 0 in
+    for t = 0 to count - 1 do
+      real := !real + Shape.pad_to (f t) pad
+    done;
+    let total = Shape.pad_to !real bulk in
+    let fo = Array.make (max total 1) 0 and fi = Array.make (max total 1) 0 in
+    let pos = ref 0 in
+    for t = 0 to count - 1 do
+      let s = Shape.pad_to (f t) pad in
+      for i = 0 to s - 1 do
+        fo.(!pos) <- t;
+        fi.(!pos) <- i;
+        incr pos
+      done
+    done;
+    (* bulk-padding region: virtual row [count] *)
+    let base = !pos in
+    while !pos < total do
+      fo.(!pos) <- count;
+      fi.(!pos) <- !pos - base;
+      incr pos
+    done;
+    (fo, fi)
+  in
+  let work lenv =
+    let f = Lenfun.lookup lenv fn_name in
+    let total = ref 0 in
+    for t = 0 to count - 1 do
+      total := !total + Shape.pad_to (f t) pad
+    done;
+    2 * Shape.pad_to !total bulk
+  in
+  let maps_src which =
+    Printf.sprintf
+      "void build_%s(const int* %s, int total, int* out) {\n  int pos = 0;\n  for (int t = 0; t < %d; ++t) {\n    int s = %s;\n    for (int i = 0; i < s; ++i) { out[pos] = %s; ++pos; }\n  }\n  int base = pos;\n  for (; pos < total; ++pos) out[pos] = %s;  /* virtual padding row */\n}\n"
+      which fn_name count
+      (if pad <= 1 then Printf.sprintf "%s[t]" fn_name
+       else Printf.sprintf "((%s[t] + %d) / %d) * %d" fn_name (pad - 1) pad pad)
+      (if which = fo_name then "t" else "i")
+      (if which = fo_name then Printf.sprintf "%d" count else "pos - base")
+  in
+  [
+    {
+      name = fo_name;
+      kind = Loop_fusion;
+      c_src = Some (maps_src fo_name);
+      compute = (fun lenv -> Table (fst (build_maps lenv)));
+      work = (fun lenv -> work lenv / 2);
+    };
+    {
+      name = fi_name;
+      kind = Loop_fusion;
+      c_src = Some (maps_src fi_name);
+      compute = (fun lenv -> Table (snd (build_maps lenv)));
+      work = (fun lenv -> work lenv / 2);
+    };
+  ]

@@ -1,0 +1,74 @@
+(** Prelude: host-side construction of auxiliary data structures (§2, §5,
+    §7.4).  Each uninterpreted function the lowered kernels reference —
+    storage offset arrays ([A_d]), fused-loop maps and totals — is
+    described as a {!def}; {!build} materialises them from the concrete
+    length functions, with the time/memory accounting the paper reports. *)
+
+type kind =
+  | Storage  (** ragged-storage offset arrays (§B.1) *)
+  | Loop_fusion  (** fused-vloop maps [f_fo]/[f_fi]/offsets/totals (§5.1) *)
+
+type value = Scalar of int | Table of int array
+
+type def = {
+  name : string;  (** doubles as the uninterpreted-function name in the IR *)
+  kind : kind;
+  compute : Lenfun.env -> value;
+  work : Lenfun.env -> int;  (** host operations to build it (≈ entries) *)
+  c_src : string option;  (** host-side C implementation, when available *)
+}
+
+type built = {
+  tables : (string * value) list;
+  storage_entries : int;
+  fusion_entries : int;
+  storage_work : int;
+  fusion_work : int;
+}
+
+val value_entries : value -> int
+
+(** Keep one def per name — CoRa shares aux structures across operators and
+    layers with the same raggedness pattern (CoRA-Optimized, §7.4). *)
+val dedup : def list -> def list
+
+(** Build all aux structures.  [~dedup_defs:false] reproduces the redundant
+    per-operator computation of the unoptimized prototype (Tables 7–8). *)
+val build : ?dedup_defs:bool -> def list -> Lenfun.env -> built
+
+(** Memory footprint in bytes (4-byte entries, as the paper reports). *)
+val bytes : built -> int
+
+val storage_bytes : built -> int
+val fusion_bytes : built -> int
+
+(** Bind every built table as an uninterpreted function for execution. *)
+val bind_all : built -> Runtime.Interp.env -> unit
+
+(** Bind the raw length functions (kernels use them as loop extents). *)
+val bind_lenfuns : Lenfun.env -> Runtime.Interp.env -> unit
+
+(** Prefix sums of padded slice sizes: the factored storage offset array
+    for a (cdim, vdim) pair AND the fused-loop offsets array. *)
+val psum_def : name:string -> fn_name:string -> count:int -> pad:int -> def
+
+(** General prefix sum of per-slice volumes (entry count may itself be
+    length-dependent: nested raggedness). *)
+val volume_psum_def :
+  name:string -> count:(Lenfun.env -> int) -> volume:(Lenfun.env -> int -> int) -> def
+
+(** Pointwise table [name.(x) = value lenv x] (subtree-volume strides). *)
+val pointwise_def :
+  name:string -> count:(Lenfun.env -> int) -> value:(Lenfun.env -> int -> int) -> def
+
+(** Scalar computed by the prelude. *)
+val scalar_def : name:string -> value:(Lenfun.env -> int) -> def
+
+(** Fused-loop total [F], bulk-padded (§7.2). *)
+val fused_total_def : name:string -> fn_name:string -> count:int -> pad:int -> bulk:int -> def
+
+(** Fused-loop maps [f_fo]/[f_fi] (§5.1); bulk-padding entries map to a
+    virtual row so padded iterations stay within the padded buffer. *)
+val fused_map_defs :
+  fo_name:string -> fi_name:string -> fn_name:string -> count:int -> pad:int -> bulk:int ->
+  def list

@@ -1,0 +1,126 @@
+(** Runtime ragged-tensor values.
+
+    A ragged tensor value is a flat float buffer laid out according to its
+    {!Tensor.t} declaration (densely packed vdim slices with the declared
+    storage padding).  This module allocates buffers, computes numeric
+    offsets (mirroring {!Storage.lower}), and converts to and from fully
+    padded dense layouts — the runtime counterpart of the paper's
+    AddPad/RemovePad operators. *)
+
+type t = {
+  tensor : Tensor.t;
+  buf : Runtime.Buffer.t;
+  lenv : Lenfun.env;
+}
+
+(** Allocate a zero-filled buffer sized for [tensor] under [lenv] (zero fill
+    matters: padded regions must read as 0 so padded reductions stay
+    correct). *)
+let alloc tensor lenv =
+  { tensor; buf = Runtime.Buffer.float_buf (Tensor.size_elems tensor ~lenv); lenv }
+
+(** Numeric flat offset of a multi-index — the runtime mirror of the
+    symbolic scheme in {!Storage.lower} (same layout, computed directly). *)
+let offset { tensor = t; lenv; _ } (idx : int list) : int =
+  let n = Tensor.rank t in
+  let idx = Array.of_list idx in
+  if Array.length idx <> n then invalid_arg "Ragged.offset: wrong index arity";
+  let dependents i = Tensor.has_dependents t i in
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    if not (dependents i) then begin
+      (* stride = subtree volume given the current outer assignment; the
+         recursive volume handles internal ragged pairs that a plain
+         product of sizes would get wrong *)
+      let env =
+        List.filteri (fun j _ -> j <= i) t.Tensor.dims
+        |> List.mapi (fun j (d : Dim.t) -> (d.Dim.id, idx.(j)))
+      in
+      let stride = Tensor.slice_volume t ~lenv ~level:(i + 1) ~env in
+      off := !off + (idx.(i) * stride)
+    end
+    else begin
+      (* prefix sum of slice volumes for values < idx.(i); the recursive
+         volume handles nested raggedness *)
+      let di_id = (List.nth t.Tensor.dims i).Dim.id in
+      let acc = ref 0 in
+      for v = 0 to idx.(i) - 1 do
+        acc := !acc + Tensor.slice_volume t ~lenv ~level:(i + 1) ~env:[ (di_id, v) ]
+      done;
+      off := !off + !acc
+    end
+  done;
+  !off
+
+let get r idx = Runtime.Buffer.get_float r.buf (offset r idx)
+let set r idx v = Runtime.Buffer.set_float r.buf (offset r idx) v
+
+(** Iterate over every valid (unpadded) multi-index of the tensor. *)
+let iter_indices r (f : int list -> unit) =
+  let t = r.tensor in
+  let n = Tensor.rank t in
+  let exts = Array.of_list t.Tensor.extents in
+  let idx = Array.make n 0 in
+  let rec go i =
+    if i = n then f (Array.to_list idx)
+    else
+      let dep_value =
+        match Shape.dependence exts.(i) with
+        | None -> 0
+        | Some d -> idx.(Tensor.dim_pos t d)
+      in
+      let e = Shape.eval exts.(i) ~lenv:r.lenv ~dep_value in
+      for v = 0 to e - 1 do
+        idx.(i) <- v;
+        go (i + 1)
+      done
+  in
+  go 0
+
+(** Fill with a function of the multi-index (valid region only; padding
+    stays zero). *)
+let fill r f = iter_indices r (fun idx -> set r idx (f idx))
+
+(** Dense (fully padded) shape: every ragged extent replaced by its maximum
+    over the dependee's range. *)
+let dense_shape r =
+  let t = r.tensor in
+  let exts = Array.of_list t.Tensor.extents in
+  Array.to_list
+    (Array.mapi
+       (fun i ext ->
+         match ext with
+         | Shape.Fixed c -> Shape.pad_to c t.Tensor.pads.(i)
+         | Shape.Ragged { dep; fn } ->
+             let dpos = Tensor.dim_pos t dep in
+             let dep_extent =
+               match exts.(dpos) with
+               | Shape.Fixed c -> c
+               | Shape.Ragged _ -> invalid_arg "Ragged.dense_shape: nested raggedness"
+             in
+             let f = Lenfun.lookup r.lenv (Lenfun.name fn) in
+             let m = ref 0 in
+             for v = 0 to dep_extent - 1 do
+               m := max !m (f v)
+             done;
+             Shape.pad_to !m t.Tensor.pads.(i))
+       exts)
+
+(** Pack a dense row-major array (of [dense_shape]) into ragged storage —
+    the RemovePad operator. *)
+let pack r (dense : float array) =
+  let shape = Array.of_list (dense_shape r) in
+  let flat idx =
+    List.fold_left2 (fun acc i s -> (acc * s) + i) 0 idx (Array.to_list shape) |> fun x -> x
+  in
+  iter_indices r (fun idx -> set r idx dense.(flat idx))
+
+(** Unpack ragged storage into a dense row-major array, zero elsewhere —
+    the AddPad operator. *)
+let unpack r : float array =
+  let shape = dense_shape r in
+  let total = List.fold_left ( * ) 1 shape in
+  let dense = Array.make total 0.0 in
+  let flat idx = List.fold_left2 (fun acc i s -> (acc * s) + i) 0 idx shape in
+  iter_indices r (fun idx -> dense.(flat idx) <- get r idx);
+  dense

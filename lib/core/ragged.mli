@@ -1,0 +1,36 @@
+(** Runtime ragged-tensor values: a flat float buffer laid out per the
+    {!Tensor.t} declaration (densely packed vdim slices with the declared
+    padding), numeric offsets mirroring {!Storage.lower}, and conversions
+    to/from fully padded dense layouts (the AddPad/RemovePad operators). *)
+
+type t = {
+  tensor : Tensor.t;
+  buf : Runtime.Buffer.t;
+  lenv : Lenfun.env;
+}
+
+(** Zero-filled buffer sized for the tensor (zero padding keeps padded
+    reductions exact). *)
+val alloc : Tensor.t -> Lenfun.env -> t
+
+(** Numeric flat offset of a multi-index — the runtime mirror of the
+    symbolic lowering (checked equal by the test suite). *)
+val offset : t -> int list -> int
+
+val get : t -> int list -> float
+val set : t -> int list -> float -> unit
+
+(** Iterate over every valid (unpadded) multi-index. *)
+val iter_indices : t -> (int list -> unit) -> unit
+
+(** Fill the valid region with a function of the multi-index. *)
+val fill : t -> (int list -> float) -> unit
+
+(** Fully padded shape (ragged extents replaced by their maxima). *)
+val dense_shape : t -> int list
+
+(** Pack a dense row-major array into ragged storage (RemovePad). *)
+val pack : t -> float array -> unit
+
+(** Unpack into a dense row-major array, zero elsewhere (AddPad). *)
+val unpack : t -> float array

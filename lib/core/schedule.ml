@@ -1,0 +1,274 @@
+open Ir
+
+(** Schedules (CoRa §4.1).
+
+    A schedule transforms the loop nest of one operator: axes can be split,
+    fused (including {e vloop fusion}, §5.1), reordered, padded, bound to
+    hardware (GPU grid/threads, CPU parallel, vector lanes), given a thread
+    remapping policy for load balancing, and marked for load hoisting.
+    Operation splitting is expressed at lowering time as a range mode on a
+    split pair (see {!range_mode}); horizontal fusion groups whole kernels
+    and lives in {!Hfusion}. *)
+
+type role = Data of int  (** output dim position *) | Reduction of int  (** rvar position *)
+
+type remap_policy =
+  | No_remap
+  | Descending_work
+      (** issue thread blocks in decreasing order of work (Fig. 14, §7.1) *)
+
+type axis = {
+  aid : int;
+  avar : Var.t;
+  origin : origin;
+  mutable kind : Stmt.for_kind;
+  mutable pad : int;  (** loop padding multiple; on a fused axis: bulk padding *)
+  mutable remap : remap_policy;
+  mutable elide_guard : bool;
+      (** skip this dimension's bound check even where padding over-covers —
+          the user asserts the extra iterations are harmless (e.g. a padded
+          reduction over zero-filled attention columns) *)
+}
+
+and origin =
+  | Root of role
+  | Split_outer of axis * int  (** (parent, factor) *)
+  | Split_inner of axis * int
+  | Fused of fused_info
+
+and fused_info = {
+  fa : axis;
+  fb : axis;
+  f_kind : fused_kind;
+}
+
+and fused_kind =
+  | Dense_fuse of int  (** extent of [fb]; index recovered by div/mod *)
+  | Ragged_fuse of {
+      fn_name : string;  (** length function of the inner vloop *)
+      count : int;  (** constant extent of the outer loop *)
+      inner_pad : int;  (** loop padding of the inner vloop at fuse time *)
+      triple : Simplify.fusion_triple;
+      off_name : string;  (** prefix-sum array, shared with storage lowering *)
+      total_name : string;  (** 0-ary ufun giving the (bulk-padded) total *)
+      real_total_name : string;  (** total without bulk padding, for guards *)
+    }
+
+(** How a split pair is ranged at lowering time — the vehicle for
+    {e operation splitting} (§4.1, Fig. 5). *)
+type range_mode =
+  | Full  (** outer covers ceil(extent/factor) tiles; inner may need a guard *)
+  | Tiles_only  (** outer covers floor(extent/factor) full tiles, no guard *)
+  | Tail_only  (** the single remainder tile *)
+
+(** How the machine model prices the kernel: compute-bound kernels by their
+    (lane-normalised) operation counts through the block scheduler;
+    memory-bound kernels (elementwise, softmax, normalisation, layout
+    changes) by their raw memory traffic against device bandwidth. *)
+type boundedness = Compute_bound | Memory_bound
+
+type guard_mode =
+  | Guard  (** emit bound checks for every dimension that may be over-covered *)
+  | Elide
+      (** skip guards on non-reduction dims: padded storage absorbs the extra
+          writes (valid because storage padding >= loop padding, §4.1) *)
+
+type t = {
+  op : Op.t;
+  data_roots : axis array;  (** root axis of each output dimension *)
+  red_roots : axis array;  (** root axis of each reduction dimension *)
+  mutable leaves : axis list;  (** current loop order, outermost first *)
+  mutable guard_mode : guard_mode;
+  mutable hoist : bool;  (** hoist auxiliary-structure loads (§D.7) *)
+  mutable eff : float;  (** efficiency of the compiled kernel on the device *)
+  mutable bound : boundedness;
+}
+
+let axis_counter = ref 0
+
+let mk_axis ?(kind = Stmt.Serial) ~origin name =
+  incr axis_counter;
+  {
+    aid = !axis_counter;
+    avar = Var.fresh name;
+    origin;
+    kind;
+    pad = 1;
+    remap = No_remap;
+    elide_guard = false;
+  }
+
+(** Fresh schedule: one root axis per output dim, then one per reduction dim,
+    in declaration order. *)
+let create (op : Op.t) : t =
+  let data =
+    List.mapi
+      (fun i d -> mk_axis ~origin:(Root (Data i)) (Dim.name d))
+      op.Op.out.Tensor.dims
+  in
+  let red =
+    Array.to_list
+      (Array.mapi (fun i r -> mk_axis ~origin:(Root (Reduction i)) (Dim.name r.Op.rdim)) op.Op.rvars)
+  in
+  {
+    op;
+    data_roots = Array.of_list data;
+    red_roots = Array.of_list red;
+    leaves = data @ red;
+    guard_mode = Guard;
+    hoist = false;
+    eff = 0.8;
+    bound = Compute_bound;
+  }
+
+let leaf_pos s a =
+  let rec go i = function
+    | [] -> invalid_arg "Schedule: axis is not a leaf"
+    | x :: rest -> if x.aid = a.aid then i else go (i + 1) rest
+  in
+  go 0 s.leaves
+
+(** Root axis for output dimension position [i] (valid even after the axis
+    has been split or fused away). *)
+let axis_of_dim s i = s.data_roots.(i)
+
+let axis_of_rdim s i = s.red_roots.(i)
+
+(** Is this axis (transitively) derived from a reduction dimension? *)
+let rec is_reduction_axis a =
+  match a.origin with
+  | Root (Reduction _) -> true
+  | Root (Data _) -> false
+  | Split_outer (p, _) | Split_inner (p, _) -> is_reduction_axis p
+  | Fused { fa; fb; _ } -> is_reduction_axis fa || is_reduction_axis fb
+
+(** [split s a factor] — replace leaf [a] with (outer, inner) such that
+    [a = outer * factor + inner]. *)
+let split s a factor =
+  if factor < 1 then invalid_arg "Schedule.split: factor must be >= 1";
+  let pos = leaf_pos s a in
+  let outer = mk_axis ~origin:(Split_outer (a, factor)) (Var.name a.avar ^ "_o") in
+  let inner = mk_axis ~origin:(Split_inner (a, factor)) (Var.name a.avar ^ "_i") in
+  s.leaves <-
+    List.concat
+      (List.mapi (fun i x -> if i = pos then [ outer; inner ] else [ x ]) s.leaves);
+  (outer, inner)
+
+(** The root dimension position underlying an axis, if it is a pure
+    descendant of a single data dim. *)
+let rec root_data_pos a =
+  match a.origin with
+  | Root (Data i) -> Some i
+  | Split_outer (p, _) | Split_inner (p, _) -> root_data_pos p
+  | _ -> None
+
+(** [fuse s a b] — fuse adjacent leaves [a] (outer) and [b] (inner) into one.
+
+    If [b] is a ragged root dim whose extent depends on [a]'s root dim, this
+    is {e vloop fusion} (§5.1): the fused extent is the prelude-computed
+    total, and the outer/inner indices are recovered through the
+    uninterpreted functions [f_fo]/[f_fi] whose identities are registered
+    with the simplifier.  Otherwise both extents must be constant. *)
+let fuse s a b =
+  let pa = leaf_pos s a and pb = leaf_pos s b in
+  if pb <> pa + 1 then invalid_arg "Schedule.fuse: axes must be adjacent (outer, inner)";
+  let op = s.op in
+  let f_kind =
+    match (a.origin, b.origin) with
+    | Root (Data ia), Root (Data ib) -> (
+        match (op.Op.loop_extents.(ia), op.Op.loop_extents.(ib)) with
+        | _, Shape.Fixed n ->
+            Dense_fuse (Shape.pad_to n b.pad)
+        | Shape.Fixed count, Shape.Ragged { dep; fn } ->
+            let da = List.nth op.Op.out.Tensor.dims ia in
+            if not (Dim.equal dep da) then
+              invalid_arg "Schedule.fuse: inner vloop must depend on the outer loop being fused";
+            let fn_name = Lenfun.name fn in
+            let inner_pad = b.pad in
+            let suffix = Printf.sprintf "%s_p%d" fn_name inner_pad in
+            Ragged_fuse
+              {
+                fn_name;
+                count;
+                inner_pad;
+                triple =
+                  {
+                    Simplify.fo = "ffo_" ^ suffix;
+                    fi = "ffi_" ^ suffix;
+                    oif = "foif_" ^ suffix;
+                    off = Storage.psum_name ~fn_name ~pad:inner_pad;
+                  };
+                off_name = Storage.psum_name ~fn_name ~pad:inner_pad;
+                total_name = "ftot_" ^ suffix;
+                real_total_name = "ftot_real_" ^ suffix;
+              }
+        | Shape.Ragged _, _ ->
+            invalid_arg "Schedule.fuse: outer loop of a vloop fusion must be constant")
+    | _ -> (
+        (* fusing derived axes: only the dense case is supported *)
+        match b.origin with
+        | Root (Data ib) -> (
+            match op.Op.loop_extents.(ib) with
+            | Shape.Fixed n -> Dense_fuse (Shape.pad_to n b.pad)
+            | _ -> invalid_arg "Schedule.fuse: unsupported fusion of derived ragged axes")
+        | Split_inner (_, f) -> Dense_fuse f
+        | _ -> invalid_arg "Schedule.fuse: unsupported fusion")
+  in
+  let fused =
+    mk_axis ~origin:(Fused { fa = a; fb = b; f_kind }) (Var.name a.avar ^ Var.name b.avar)
+  in
+  s.leaves <-
+    List.concat
+      (List.mapi
+         (fun i x -> if i = pa then [ fused ] else if i = pb then [] else [ x ])
+         s.leaves);
+  fused
+
+(** [reorder s leaves] — set the loop order.  Must be a permutation of the
+    current leaves; the vloop-ordering restriction of §4.1 (a vloop may not
+    move outside the loops its bound depends on) is enforced at lowering. *)
+let reorder s leaves =
+  let ids xs = List.sort Int.compare (List.map (fun a -> a.aid) xs) in
+  if ids leaves <> ids s.leaves then
+    invalid_arg "Schedule.reorder: new order must be a permutation of the leaves";
+  s.leaves <- leaves
+
+(** [pad_loop s a m] — pad the loop extent of [a] to multiples of [m]
+    (Listing 1 line 18).  On a fused axis this is {e bulk padding} (§7.2). *)
+let pad_loop _s a m =
+  if m < 1 then invalid_arg "Schedule.pad_loop: multiple must be >= 1";
+  a.pad <- m
+
+(** Bind an axis to an execution resource. *)
+let bind _s a kind = a.kind <- kind
+
+let parallelize s a = bind s a Stmt.Parallel
+let vectorize s a = bind s a Stmt.Vectorized
+let bind_block s a = bind s a Stmt.Gpu_block
+let bind_thread s a = bind s a Stmt.Gpu_thread
+
+(** Thread remapping policy (§4.1, Fig. 14): reorder block issue so heavy
+    blocks are scheduled first. *)
+let set_remap _s a policy = a.remap <- policy
+
+(** Assert that over-covered iterations of this axis are harmless, so its
+    bound check may be dropped (e.g. a reduction over padded, zero-filled
+    attention columns). *)
+let set_elide_guard _s a = a.elide_guard <- true
+
+let set_guard_mode s m = s.guard_mode <- m
+let set_hoist s b = s.hoist <- b
+let set_eff s e = s.eff <- e
+let set_memory_bound s = s.bound <- Memory_bound
+
+(** All fusion triples introduced by ragged fusions in this schedule. *)
+let fusion_triples s =
+  let rec of_axis a =
+    match a.origin with
+    | Root _ -> []
+    | Split_outer (p, _) | Split_inner (p, _) -> of_axis p
+    | Fused { fa; fb; f_kind } -> (
+        let sub = of_axis fa @ of_axis fb in
+        match f_kind with Ragged_fuse r -> r.triple :: sub | Dense_fuse _ -> sub)
+  in
+  List.concat_map of_axis s.leaves

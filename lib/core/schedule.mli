@@ -1,0 +1,120 @@
+(** Schedules (CoRa §4.1): performance-only transformations of one
+    operator's loop nest — splits, (vloop) fusion, reordering, loop
+    padding, hardware binding, thread remapping, guard elision, load
+    hoisting.  Operation splitting is expressed at lowering time as a
+    {!range_mode} on a split pair (Fig. 5); horizontal fusion groups whole
+    kernels in {!Machine.Launch}. *)
+
+type role = Data of int | Reduction of int
+
+type remap_policy =
+  | No_remap
+  | Descending_work  (** issue heaviest thread blocks first (Fig. 14) *)
+
+type axis = {
+  aid : int;
+  avar : Ir.Var.t;
+  origin : origin;
+  mutable kind : Ir.Stmt.for_kind;
+  mutable pad : int;  (** loop padding multiple; bulk padding on fused axes *)
+  mutable remap : remap_policy;
+  mutable elide_guard : bool;
+}
+
+and origin =
+  | Root of role
+  | Split_outer of axis * int
+  | Split_inner of axis * int
+  | Fused of fused_info
+
+and fused_info = { fa : axis; fb : axis; f_kind : fused_kind }
+
+and fused_kind =
+  | Dense_fuse of int
+  | Ragged_fuse of {
+      fn_name : string;
+      count : int;
+      inner_pad : int;
+      triple : Ir.Simplify.fusion_triple;
+      off_name : string;
+      total_name : string;
+      real_total_name : string;
+    }
+
+(** Operation splitting (§4.1, Fig. 5): how a split pair is ranged. *)
+type range_mode =
+  | Full  (** ceil(extent/factor) tiles; the last may need a guard *)
+  | Tiles_only  (** floor(extent/factor) complete tiles, no guard *)
+  | Tail_only  (** the single remainder tile *)
+
+(** How the machine model prices the kernel. *)
+type boundedness = Compute_bound | Memory_bound
+
+type guard_mode =
+  | Guard  (** bound checks wherever the iteration space may over-cover *)
+  | Elide
+      (** drop non-reduction guards: padded storage absorbs the extra
+          writes (sound only when storage padding covers the loop coverage;
+          {!Lower.lower} re-checks and keeps the guard otherwise) *)
+
+type t = {
+  op : Op.t;
+  data_roots : axis array;
+  red_roots : axis array;
+  mutable leaves : axis list;  (** current loop order, outermost first *)
+  mutable guard_mode : guard_mode;
+  mutable hoist : bool;
+  mutable eff : float;
+  mutable bound : boundedness;
+}
+
+(** Fresh schedule: one root axis per output dim, then per reduction dim. *)
+val create : Op.t -> t
+
+val leaf_pos : t -> axis -> int
+
+(** Root axis of output dimension [i] / reduction dimension [i] (valid even
+    after the axis has been split or fused away). *)
+val axis_of_dim : t -> int -> axis
+
+val axis_of_rdim : t -> int -> axis
+val is_reduction_axis : axis -> bool
+val root_data_pos : axis -> int option
+
+(** [split s a factor] replaces leaf [a] with (outer, inner):
+    [a = outer*factor + inner]. *)
+val split : t -> axis -> int -> axis * axis
+
+(** [fuse s a b] fuses adjacent leaves.  A constant outer with a ragged
+    inner that depends on it is {e vloop fusion} (§5.1): the fused extent
+    is the prelude-computed total and the pair is recovered through
+    [f_fo]/[f_fi], whose identities are registered with the simplifier. *)
+val fuse : t -> axis -> axis -> axis
+
+(** Set the loop order (a permutation of the leaves; the vloop-ordering
+    restriction of §4.1 is enforced at lowering). *)
+val reorder : t -> axis list -> unit
+
+(** Loop padding (Listing 1 line 18); on a fused axis: bulk padding. *)
+val pad_loop : t -> axis -> int -> unit
+
+val bind : t -> axis -> Ir.Stmt.for_kind -> unit
+val parallelize : t -> axis -> unit
+val vectorize : t -> axis -> unit
+val bind_block : t -> axis -> unit
+val bind_thread : t -> axis -> unit
+
+(** Thread remapping policy (§4.1, Fig. 14). *)
+val set_remap : t -> axis -> remap_policy -> unit
+
+(** Assert over-covered iterations of this axis are harmless (e.g. a padded
+    reduction over zero-filled attention columns). *)
+val set_elide_guard : t -> axis -> unit
+
+val set_guard_mode : t -> guard_mode -> unit
+val set_hoist : t -> bool -> unit
+val set_eff : t -> float -> unit
+val set_memory_bound : t -> unit
+
+(** All fusion triples introduced by ragged fusions in this schedule. *)
+val fusion_triples : t -> Ir.Simplify.fusion_triple list

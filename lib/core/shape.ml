@@ -1,0 +1,36 @@
+(** Extent specifications for loops and tensor dimensions (CoRa §3, §4).
+
+    An extent is either constant ([Fixed]) or variable ([Ragged]): the size
+    of a slice of a vdim — equivalently the bound of a vloop — given as a
+    length function of the index of one outer dimension.  Like the CoRa
+    prototype (§6) we restrict a vdim to depend on at most one outer
+    dimension; none of the paper's evaluation needs more. *)
+
+type t =
+  | Fixed of int
+  | Ragged of { dep : Dim.t; fn : Lenfun.t }
+
+let fixed n =
+  if n < 0 then invalid_arg "Shape.fixed: negative extent";
+  Fixed n
+
+let ragged ~dep ~fn = Ragged { dep; fn }
+
+let is_ragged = function Ragged _ -> true | Fixed _ -> false
+
+(** The dimension this extent depends on, if any. *)
+let dependence = function Ragged { dep; _ } -> Some dep | Fixed _ -> None
+
+(** Evaluate the extent numerically given a length-function environment and
+    the value of the dependee index. *)
+let eval (t : t) ~(lenv : Lenfun.env) ~(dep_value : int) =
+  match t with
+  | Fixed n -> n
+  | Ragged { fn; _ } -> Lenfun.lookup lenv (Lenfun.name fn) dep_value
+
+(** Round [n] up to a multiple of [m] ([m <= 1] is a no-op). *)
+let pad_to n m = if m <= 1 then n else (n + m - 1) / m * m
+
+let pp ppf = function
+  | Fixed n -> Fmt.int ppf n
+  | Ragged { dep; fn } -> Fmt.pf ppf "%s(%a)" (Lenfun.name fn) Dim.pp dep

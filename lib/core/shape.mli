@@ -1,0 +1,24 @@
+(** Extent specifications for loops and tensor dimensions (CoRa §3–4):
+    constant ([Fixed]) or variable ([Ragged]) — the size of a vdim slice /
+    bound of a vloop as a length function of one outer dimension's index.
+    As in the paper's prototype (§6), a vdim depends on at most one outer
+    dimension. *)
+
+type t =
+  | Fixed of int
+  | Ragged of { dep : Dim.t; fn : Lenfun.t }
+
+val fixed : int -> t
+val ragged : dep:Dim.t -> fn:Lenfun.t -> t
+val is_ragged : t -> bool
+
+(** The dimension this extent depends on, if any. *)
+val dependence : t -> Dim.t option
+
+(** Numeric value given the dependee's index. *)
+val eval : t -> lenv:Lenfun.env -> dep_value:int -> int
+
+(** [pad_to n m] rounds [n] up to a multiple of [m] ([m <= 1] is identity). *)
+val pad_to : int -> int -> int
+
+val pp : Format.formatter -> t -> unit

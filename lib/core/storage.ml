@@ -1,0 +1,230 @@
+open Ir
+
+(** Storage access lowering (CoRa §5.2, §B.1, Algorithm 1).
+
+    Rewrites a multi-dimensional tensor access into a flat buffer offset in
+    O(1) operations.  Because data within a vdim slice is densely packed
+    (insight I2), no per-element indices are stored: the only auxiliary data
+    are prefix-sum offset arrays ([A_d]) for dimensions that other
+    dimensions depend on, computed by the prelude.  The dimension graph
+    tells us exactly which dimensions need one — this is what makes CoRa's
+    aux data so much smaller than the CSF scheme's (§7.4).
+
+    Specializations implemented here:
+    - a dimension with no dependents contributes [idx * stride] with a
+      symbolic stride (which may itself contain length functions of outer
+      indices);
+    - a dimension whose single ragged dependent is adjacent and whose other
+      inner dimensions are constant contributes the {e factored} form
+      [(psum\[idx\] + idx_inner) * C]; the prefix-sum array [psum] is shared
+      by name with vloop fusion, which enables the fused-access
+      simplification [psum\[f_fo f\] + f_fi f = f];
+    - a dimension with several ragged dependents (e.g. the attention tensor
+      [X\[B\]\[s(b)\]\[H\]\[s(b)\]]) contributes [A\[idx\]] where [A] prefix-sums
+      the full slice volume. *)
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+(** Name of the shared prefix-sum aux array for a (lenfun, pad) pair. *)
+let psum_name ~fn_name ~pad = Printf.sprintf "psum_%s_p%d" fn_name pad
+
+(** Symbolic padded size of dimension [pos] of [t], where [idx] gives the
+    access index expressions. *)
+let size_expr (t : Tensor.t) (idx : Expr.t array) pos =
+  let ext = List.nth t.Tensor.extents pos in
+  let pad = t.Tensor.pads.(pos) in
+  match ext with
+  | Shape.Fixed c -> Expr.int (Shape.pad_to c pad)
+  | Shape.Ragged { dep; fn } ->
+      let dpos = Tensor.dim_pos t dep in
+      Expr.pad_up (Expr.ufun (Lenfun.name fn) [ idx.(dpos) ]) pad
+
+(** [lower t indices] — flat offset expression plus the prelude definitions
+    for any auxiliary arrays it references. *)
+let lower (t : Tensor.t) (indices : Expr.t list) : Expr.t * Prelude.def list =
+  let n = Tensor.rank t in
+  if List.length indices <> n then
+    unsupported "access to %s: expected %d indices, got %d" t.Tensor.name n
+      (List.length indices);
+  let idx = Array.of_list indices in
+  let exts = Array.of_list t.Tensor.extents in
+  let dims = Array.of_list t.Tensor.dims in
+  let aux = ref [] in
+  let add_aux d = if not (List.exists (fun x -> x.Prelude.name = d.Prelude.name) !aux) then aux := d :: !aux in
+  (* dependents.(i) = positions of inner dims whose size depends on dim i *)
+  let dependents i =
+    let di = dims.(i) in
+    let deps = ref [] in
+    for j = n - 1 downto 0 do
+      (match Shape.dependence exts.(j) with
+      | Some d when Dim.equal d di ->
+          if j <= i then
+            unsupported "tensor %s: dim %d depends on non-outer dim %d" t.Tensor.name j i;
+          deps := j :: !deps
+      | _ -> ())
+    done;
+    !deps
+  in
+  (* are all dims > i constant except (possibly) dim j? *)
+  let all_inner_fixed_except i j =
+    let ok = ref true in
+    for k = i + 1 to n - 1 do
+      if k <> j then match exts.(k) with Shape.Fixed _ -> () | Shape.Ragged _ -> ok := false
+    done;
+    !ok
+  in
+  (* stride of dim j = product of padded sizes of dims > j, symbolic *)
+  let stride j =
+    let s = ref Expr.one in
+    for k = n - 1 downto j + 1 do
+      s := Expr.mul (size_expr t idx k) !s
+    done;
+    !s
+  in
+  (* Number of aux-table entries for the prefix sum of dim i.  For a
+     constant dimension this is its extent; for a ragged dimension with
+     dependents (nested raggedness — triangular attention rows) the table is
+     indexed by the dimension's index value, whose range is the maximum
+     slice size, computed at prelude-build time. *)
+  let aux_count_of i : Lenfun.env -> int =
+    match exts.(i) with
+    | Shape.Fixed c ->
+        let n = Shape.pad_to c t.Tensor.pads.(i) in
+        fun _ -> n
+    | Shape.Ragged { dep; fn } -> (
+        let dpos = Tensor.dim_pos t dep in
+        match exts.(dpos) with
+        | Shape.Fixed dc ->
+            fun lenv ->
+              let f = Lenfun.lookup lenv (Lenfun.name fn) in
+              let m = ref 0 in
+              for v = 0 to dc - 1 do
+                m := max !m (Shape.pad_to (f v) t.Tensor.pads.(i))
+              done;
+              !m
+        | Shape.Ragged _ ->
+            unsupported "tensor %s: more than two levels of nested raggedness" t.Tensor.name)
+  in
+  let fixed_extent_of i =
+    match exts.(i) with
+    | Shape.Fixed c -> Shape.pad_to c t.Tensor.pads.(i)
+    | Shape.Ragged _ ->
+        unsupported "tensor %s: dim %d with dependents must have a constant extent"
+          t.Tensor.name i
+  in
+  (* Stride of dim i when its subtree contains an {e internal} ragged pair
+     (some dim j > i depends on a dim p with i < p < j): the plain product
+     of sizes is wrong — the true stride is the subtree volume, constant in
+     idx_i, computed by the prelude.  It may reference at most one outer
+     dimension (through inner sizes depending on dims <= i). *)
+  let subtree_has_internal_pair i =
+    let found = ref false in
+    for j = i + 1 to n - 1 do
+      match Shape.dependence exts.(j) with
+      | Some d ->
+          let p = Tensor.dim_pos t d in
+          if p > i then found := true
+      | None -> ()
+    done;
+    !found
+  in
+  let subtree_outer_refs i =
+    let refs = ref [] in
+    for j = i + 1 to n - 1 do
+      match Shape.dependence exts.(j) with
+      | Some d ->
+          let p = Tensor.dim_pos t d in
+          if p <= i && not (List.mem p !refs) then refs := p :: !refs
+      | None -> ()
+    done;
+    !refs
+  in
+  let aux = aux and add_aux = add_aux in
+  let subtree_stride i : Expr.t =
+    (* volume of dims > i; valid because it does not depend on idx_i *)
+    match subtree_outer_refs i with
+    | [] ->
+        let name = Printf.sprintf "stride_%s_d%d" t.Tensor.name i in
+        add_aux
+          (Prelude.scalar_def ~name ~value:(fun lenv ->
+               Tensor.slice_volume t ~lenv ~level:(i + 1) ~env:[]));
+        Expr.ufun name []
+    | [ d ] ->
+        let name = Printf.sprintf "stride_%s_d%d" t.Tensor.name i in
+        let dd_id = (dims.(d)).Dim.id in
+        add_aux
+          (Prelude.pointwise_def ~name ~count:(aux_count_of d) ~value:(fun lenv x ->
+               Tensor.slice_volume t ~lenv ~level:(i + 1) ~env:[ (dd_id, x) ]));
+        Expr.ufun name [ idx.(d) ]
+    | _ ->
+        unsupported
+          "tensor %s: dim %d's subtree volume depends on several outer dimensions"
+          t.Tensor.name i
+  in
+  (* Walk dims outermost-first, accumulating contributions; [skip] marks a
+     dim already folded into the factored form of its dependee. *)
+  let offset = ref Expr.zero in
+  let skip = Array.make n false in
+  for i = 0 to n - 1 do
+    if not skip.(i) then begin
+      let deps = dependents i in
+      if deps = [] then begin
+        let w = if subtree_has_internal_pair i then subtree_stride i else stride i in
+        offset := Expr.add !offset (Expr.mul idx.(i) w)
+      end
+      else begin
+        (* Validate: every dim strictly inside dim i's ragged region depends
+           on dim i or on a dim at/inside i (nested raggedness); outer deps
+           would make the slice volume multi-indexed, which the prototype
+           (like the paper's) does not support. *)
+        for j = i + 1 to n - 1 do
+          match Shape.dependence exts.(j) with
+          | None -> ()
+          | Some d ->
+              if Tensor.dim_pos t d < i then
+                unsupported
+                  "tensor %s: dim %d depends on a dim outside its ragged region (dim < %d)"
+                  t.Tensor.name j i
+        done;
+        match deps with
+        | [ j ]
+          when j = i + 1
+               && (not (Tensor.has_dependents t j))
+               && all_inner_fixed_except i j
+               && (match exts.(i) with Shape.Fixed _ -> true | Shape.Ragged _ -> false) ->
+            (* Factored adjacent form: (psum[idx_i] + idx_j) * stride_j. *)
+            let count = fixed_extent_of i in
+            let fn_name =
+              match exts.(j) with
+              | Shape.Ragged { fn; _ } -> Lenfun.name fn
+              | Shape.Fixed _ -> assert false
+            in
+            let pad = t.Tensor.pads.(j) in
+            let name = psum_name ~fn_name ~pad in
+            add_aux (Prelude.psum_def ~name ~fn_name ~count ~pad);
+            offset :=
+              Expr.add !offset
+                (Expr.mul (Expr.add (Expr.ufun name [ idx.(i) ]) idx.(j)) (stride j));
+            skip.(j) <- true
+        | _ ->
+            (* General volume prefix sum over slices of dim i.  The volume is
+               computed recursively, so nested raggedness (triangular
+               attention) is handled. *)
+            let name = Printf.sprintf "vol_%s_d%d" t.Tensor.name i in
+            let di_id = (dims.(i)).Dim.id in
+            let volume lenv v =
+              Tensor.slice_volume t ~lenv ~level:(i + 1) ~env:[ (di_id, v) ]
+            in
+            add_aux (Prelude.volume_psum_def ~name ~count:(aux_count_of i) ~volume);
+            offset := Expr.add !offset (Expr.ufun name [ idx.(i) ])
+      end
+    end
+  done;
+  (!offset, List.rev !aux)
+
+(** Convenience: lower to a [Load] from the tensor's buffer. *)
+let load t indices =
+  let off, aux = lower t indices in
+  (Expr.load t.Tensor.buf off, aux)

@@ -1,0 +1,28 @@
+(** Storage access lowering (CoRa §5.2, §B.1, Algorithm 1): rewrite a
+    multi-dimensional tensor access into a flat buffer offset computable in
+    O(1) operations, using only small prefix-sum auxiliary arrays for the
+    dimensions the dimension graph says need one.
+
+    Specialisations: dimensions with no dependents contribute
+    [idx * stride] (symbolic stride); a dimension whose single ragged
+    dependent is adjacent with constant inner dims contributes the
+    {e factored} form [(psum[idx] + idx_inner) * C] whose array is shared
+    by name with vloop fusion (enabling the fused-access collapse); several
+    ragged dependents or nested raggedness fall back to a full
+    slice-volume prefix sum. *)
+
+exception Unsupported of string
+
+(** Shared prefix-sum array name for a (length function, padding) pair. *)
+val psum_name : fn_name:string -> pad:int -> string
+
+(** Symbolic padded size of dimension [pos] under the given index
+    expressions. *)
+val size_expr : Tensor.t -> Ir.Expr.t array -> int -> Ir.Expr.t
+
+(** [lower t indices] — flat offset expression plus the prelude definitions
+    of the auxiliary arrays it references. *)
+val lower : Tensor.t -> Ir.Expr.t list -> Ir.Expr.t * Prelude.def list
+
+(** Convenience: a [Load] from the tensor's buffer at the lowered offset. *)
+val load : Tensor.t -> Ir.Expr.t list -> Ir.Expr.t * Prelude.def list

@@ -1,0 +1,152 @@
+open Ir
+
+(** Tensor declarations.
+
+    A tensor has named dimensions, a storage extent per dimension
+    (constant or ragged), a storage-padding multiple per dimension
+    (CoRa's [pad_dimension], §4.1), an optional bulk padding of the total
+    ragged prefix (used when storage dimensions are fused with a
+    bulk-padded fused loop, §7.2), and a runtime buffer handle. *)
+
+type t = {
+  name : string;
+  buf : Var.t;  (** flat runtime buffer this tensor is stored in *)
+  dims : Dim.t list;
+  extents : Shape.t list;  (** storage extents, outermost dimension first *)
+  pads : int array;  (** storage padding multiple per dimension *)
+  mutable bulk_pad : int;
+      (** pad the total size of the leading ragged prefix to this multiple *)
+  mutable fused_dims : (int * int) option;
+      (** record of [fuse_dims]: positions fused in storage *)
+}
+
+let create ~name ~dims ~extents =
+  if List.length dims <> List.length extents then
+    invalid_arg "Tensor.create: dims/extents length mismatch";
+  List.iteri
+    (fun i ext ->
+      match Shape.dependence ext with
+      | None -> ()
+      | Some dep ->
+          let outer = List.filteri (fun j _ -> j < i) dims in
+          if not (List.exists (Dim.equal dep) outer) then
+            invalid_arg
+              (Printf.sprintf
+                 "Tensor.create %s: dim %d depends on %s which is not an outer dimension"
+                 name i (Dim.name dep)))
+    extents;
+  {
+    name;
+    buf = Var.fresh (name ^ "_buf");
+    dims;
+    extents;
+    pads = Array.make (List.length dims) 1;
+    bulk_pad = 1;
+    fused_dims = None;
+  }
+
+let rank t = List.length t.dims
+
+(** Position of a named dimension within the tensor. *)
+let dim_pos t d =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Tensor.dim_pos: %s has no dim %s" t.name (Dim.name d))
+    | x :: rest -> if Dim.equal x d then i else go (i + 1) rest
+  in
+  go 0 t.dims
+
+(** [pad_dimension t d m] — pad the storage of dimension [d] to multiples of
+    [m] (CoRa scheduling primitive, Listing 1 line 19). *)
+let pad_dimension t d m =
+  if m < 1 then invalid_arg "Tensor.pad_dimension: multiple must be >= 1";
+  t.pads.(dim_pos t d) <- m
+
+(** [set_bulk_pad t m] — pad the total number of "rows" of the variable
+    prefix to a multiple of [m] ({e bulk padding}, §7.2). *)
+let set_bulk_pad t m =
+  if m < 1 then invalid_arg "Tensor.set_bulk_pad: multiple must be >= 1";
+  t.bulk_pad <- m
+
+(** [fuse_dims t i j] — declare storage dimensions [i..j] fused (§4.1,
+    "Tensor Dimension Scheduling").  Offsets are unchanged — ragged
+    row-major storage already lays a (cdim, dependent vdim) pair
+    contiguously — but the marker lets lowering check that a bulk-padded
+    fused loop indexes this tensor through the fused pair, and lets the code
+    generator print the simplified access. *)
+let fuse_dims t i j =
+  if j <> i + 1 then invalid_arg "Tensor.fuse_dims: only adjacent pairs supported";
+  t.fused_dims <- Some (i, j)
+
+(** Does any dimension of [t] depend on dimension position [i]? *)
+let has_dependents t i =
+  let di = List.nth t.dims i in
+  List.exists
+    (fun ext -> match Shape.dependence ext with Some d -> Dim.equal d di | None -> false)
+    t.extents
+
+(** Padded size of dimension [pos] as an integer, given the value of its
+    dependee.  *)
+let padded_extent_at t pos ~lenv ~dep_value =
+  let ext = List.nth t.extents pos in
+  Shape.pad_to (Shape.eval ext ~lenv ~dep_value) t.pads.(pos)
+
+(** [slice_volume t ~lenv ~level ~env] — number of stored elements of the
+    sub-tensor spanned by dimensions [level..], given index assignments for
+    outer dimensions in [env] (pairs of [Dim.id] and value).  Handles nested
+    raggedness (a ragged dimension that other ragged dimensions depend on,
+    as in triangular attention) by recursive summation. *)
+let rec slice_volume t ~lenv ~level ~env =
+  let dims = Array.of_list t.dims and exts = Array.of_list t.extents in
+  let n = Array.length dims in
+  if level >= n then 1
+  else
+    let dep_value =
+      match Shape.dependence exts.(level) with
+      | None -> 0
+      | Some d -> (
+          match List.assoc_opt d.Dim.id env with
+          | Some v -> v
+          | None -> invalid_arg "Tensor.slice_volume: missing dependee value")
+    in
+    let ext = Shape.pad_to (Shape.eval exts.(level) ~lenv ~dep_value) t.pads.(level) in
+    if not (has_dependents t level) then ext * slice_volume t ~lenv ~level:(level + 1) ~env
+    else begin
+      let total = ref 0 in
+      for v = 0 to ext - 1 do
+        total :=
+          !total
+          + slice_volume t ~lenv ~level:(level + 1) ~env:(((dims.(level)).Dim.id, v) :: env)
+      done;
+      !total
+    end
+
+(** Total number of stored elements (including all padding), computed
+    numerically from the length-function environment.  Used to allocate
+    runtime buffers. *)
+let size_elems t ~lenv =
+  let exts = Array.of_list t.extents in
+  let n = Array.length exts in
+  let base = slice_volume t ~lenv ~level:0 ~env:[] in
+  (* Bulk padding applies to the number of variable "rows": when the leading
+     dims form a (cdim, vdim) ragged prefix with constant inner dims, the
+     total is rows * row_size; pad rows up to the bulk multiple. *)
+  if t.bulk_pad <= 1 then base
+  else begin
+    (* row size = product of the trailing constant dims *)
+    let rec const_tail i acc =
+      if i < 0 then acc
+      else
+        match exts.(i) with
+        | Shape.Fixed c when not (has_dependents t i) ->
+            const_tail (i - 1) (acc * Shape.pad_to c t.pads.(i))
+        | _ -> acc
+    in
+    let row = const_tail (n - 1) 1 in
+    if row = 0 || base mod row <> 0 then base
+    else Shape.pad_to (base / row) t.bulk_pad * row
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%a]" t.name
+    Fmt.(list ~sep:(any ", ") Shape.pp)
+    t.extents

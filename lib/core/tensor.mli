@@ -1,0 +1,52 @@
+(** Tensor declarations: named dimensions, per-dimension storage extents
+    (constant or ragged), per-dimension storage padding ([pad_dimension],
+    §4.1), optional bulk padding of the ragged prefix (§7.2), and a runtime
+    buffer handle. *)
+
+type t = {
+  name : string;
+  buf : Ir.Var.t;  (** flat runtime buffer this tensor is stored in *)
+  dims : Dim.t list;
+  extents : Shape.t list;  (** storage extents, outermost first *)
+  pads : int array;  (** storage padding multiple per dimension *)
+  mutable bulk_pad : int;
+  mutable fused_dims : (int * int) option;
+}
+
+(** Validates that every ragged extent depends on an outer dimension of the
+    same tensor. *)
+val create : name:string -> dims:Dim.t list -> extents:Shape.t list -> t
+
+val rank : t -> int
+
+(** Position of a named dimension within the tensor. *)
+val dim_pos : t -> Dim.t -> int
+
+(** [pad_dimension t d m] — pad dimension [d]'s storage to multiples of [m]
+    (Listing 1, line 19). *)
+val pad_dimension : t -> Dim.t -> int -> unit
+
+(** Pad the total row count of the ragged prefix to a multiple — {e bulk
+    padding} for bulk-padded fused loops (§7.2). *)
+val set_bulk_pad : t -> int -> unit
+
+(** Declare two adjacent storage dimensions fused (§4.1, "Tensor Dimension
+    Scheduling").  Offsets are unchanged — ragged row-major storage already
+    lays the pair contiguously — the marker documents intent and guides the
+    code generator. *)
+val fuse_dims : t -> int -> int -> unit
+
+(** Does any dimension's extent depend on dimension position [i]? *)
+val has_dependents : t -> int -> bool
+
+val padded_extent_at : t -> int -> lenv:Lenfun.env -> dep_value:int -> int
+
+(** Stored elements of the sub-tensor spanned by dims [level..] under the
+    outer-index assignment [env] (pairs of [Dim.id] × value).  Handles
+    nested raggedness by recursive summation. *)
+val slice_volume : t -> lenv:Lenfun.env -> level:int -> env:(int * int) list -> int
+
+(** Total stored elements (including all padding) — runtime buffer size. *)
+val size_elems : t -> lenv:Lenfun.env -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,232 @@
+(** Scalar expressions of the tensor IR.
+
+    The expression language is deliberately small: integer and floating
+    arithmetic, comparisons, selection, buffer loads, calls to math
+    intrinsics, and — the key ingredient for ragged tensors — calls to
+    {e uninterpreted functions} ([Ufun]).  An uninterpreted function stands
+    for a quantity that is only known at kernel launch time (e.g. the
+    sequence-length function [s(b)], or the fused-loop mapping arrays
+    [f_fo]/[f_fi] of CoRa §5.1).  The prelude materialises each of them as a
+    host-computed lookup array before the kernel runs. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** float division *)
+  | FloorDiv  (** integer floor division *)
+  | Mod  (** integer modulo (result has the sign of the divisor) *)
+  | Min
+  | Max
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Var of Var.t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Select of t * t * t  (** [Select (cond, if_true, if_false)] *)
+  | Load of { buf : Var.t; index : t }
+      (** Read element [index] of flat buffer [buf]. *)
+  | Ufun of string * t list
+      (** Call to an uninterpreted function; materialised by the prelude. *)
+  | Call of string * t list  (** Math intrinsic: exp, sqrt, tanh, ... *)
+  | Access of { tensor : string; indices : t list }
+      (** Multi-dimensional access to a named tensor.  Eliminated by storage
+          lowering (CoRa §5.2), which rewrites it into a [Load] at a computed
+          flat offset. *)
+  | Let of Var.t * t * t
+
+(* Smart constructors.  They perform the cheap, always-valid foldings so that
+   lowering code can combine expressions freely without drowning the IR in
+   [x + 0] noise; the full rewriter lives in {!Simplify}. *)
+
+let int n = Int n
+let float f = Float f
+let bool b = Bool b
+let var v = Var v
+let zero = Int 0
+let one = Int 1
+
+let add a b =
+  match (a, b) with
+  | Int 0, e | e, Int 0 -> e
+  | Int x, Int y -> Int (x + y)
+  | Float x, Float y -> Float (x +. y)
+  | _ -> Binop (Add, a, b)
+
+let sub a b =
+  match (a, b) with
+  | e, Int 0 -> e
+  | Int x, Int y -> Int (x - y)
+  | Float x, Float y -> Float (x -. y)
+  | _ -> Binop (Sub, a, b)
+
+let mul a b =
+  match (a, b) with
+  | Int 0, _ | _, Int 0 -> Int 0
+  | Int 1, e | e, Int 1 -> e
+  | Int x, Int y -> Int (x * y)
+  | Float x, Float y -> Float (x *. y)
+  | _ -> Binop (Mul, a, b)
+
+let div a b =
+  match (a, b) with
+  | e, Float 1.0 -> e
+  | Float x, Float y -> Float (x /. y)
+  | _ -> Binop (Div, a, b)
+
+(** Euclidean-style floor division: rounds toward negative infinity, matching
+    what index arithmetic needs when splitting loops. *)
+let floordiv a b =
+  match (a, b) with
+  | e, Int 1 -> e
+  | Int x, Int y when y <> 0 ->
+      let q = if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) - 1 else x / y in
+      Int q
+  | _ -> Binop (FloorDiv, a, b)
+
+let imod a b =
+  match (a, b) with
+  | _, Int 1 -> Int 0
+  | Int x, Int y when y <> 0 ->
+      let r = x mod y in
+      Int (if r <> 0 && (r < 0) <> (y < 0) then r + y else r)
+  | _ -> Binop (Mod, a, b)
+
+let min_ a b =
+  match (a, b) with
+  | Int x, Int y -> Int (min x y)
+  | _ -> if a = b then a else Binop (Min, a, b)
+
+let max_ a b =
+  match (a, b) with
+  | Int x, Int y -> Int (max x y)
+  | _ -> if a = b then a else Binop (Max, a, b)
+
+let lt a b = match (a, b) with Int x, Int y -> Bool (x < y) | _ -> Cmp (Lt, a, b)
+let le a b = match (a, b) with Int x, Int y -> Bool (x <= y) | _ -> Cmp (Le, a, b)
+let gt a b = match (a, b) with Int x, Int y -> Bool (x > y) | _ -> Cmp (Gt, a, b)
+let ge a b = match (a, b) with Int x, Int y -> Bool (x >= y) | _ -> Cmp (Ge, a, b)
+let eq a b = match (a, b) with Int x, Int y -> Bool (x = y) | _ -> Cmp (Eq, a, b)
+let ne a b = match (a, b) with Int x, Int y -> Bool (x <> y) | _ -> Cmp (Ne, a, b)
+
+let and_ a b =
+  match (a, b) with
+  | Bool true, e | e, Bool true -> e
+  | Bool false, _ | _, Bool false -> Bool false
+  | _ -> And (a, b)
+
+let or_ a b =
+  match (a, b) with
+  | Bool false, e | e, Bool false -> e
+  | Bool true, _ | _, Bool true -> Bool true
+  | _ -> Or (a, b)
+
+let not_ = function Bool b -> Bool (not b) | Not e -> e | e -> Not e
+
+let select c t f =
+  match c with Bool true -> t | Bool false -> f | _ -> Select (c, t, f)
+
+let load buf index = Load { buf; index }
+let ufun name args = Ufun (name, args)
+let call name args = Call (name, args)
+let access tensor indices = Access { tensor; indices }
+
+(** [pad_up e m] rounds [e] up to the next multiple of [m] — the expression
+    form of CoRa's loop/storage padding (§4.1). *)
+let pad_up e m =
+  if m <= 1 then e
+  else
+    match e with
+    | Int n -> Int ((n + m - 1) / m * m)
+    | _ -> mul (floordiv (add e (Int (m - 1))) (Int m)) (Int m)
+
+(** Fold [f] over every node of [e] (pre-order). *)
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Int _ | Float _ | Bool _ | Var _ -> acc
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      fold f (fold f acc a) b
+  | Not a -> fold f acc a
+  | Select (c, a, b) -> fold f (fold f (fold f acc c) a) b
+  | Load { index; _ } -> fold f acc index
+  | Ufun (_, args) | Call (_, args) -> List.fold_left (fold f) acc args
+  | Access { indices; _ } -> List.fold_left (fold f) acc indices
+  | Let (_, v, b) -> fold f (fold f acc v) b
+
+(** Free variables of [e].  A [Let]-bound variable is not free in its body. *)
+let rec free_vars e =
+  match e with
+  | Int _ | Float _ | Bool _ -> Var.Set.empty
+  | Var v -> Var.Set.singleton v
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      Var.Set.union (free_vars a) (free_vars b)
+  | Not a -> free_vars a
+  | Select (c, a, b) ->
+      Var.Set.union (free_vars c) (Var.Set.union (free_vars a) (free_vars b))
+  | Load { buf; index } -> Var.Set.add buf (free_vars index)
+  | Ufun (_, args) | Call (_, args) ->
+      List.fold_left (fun s a -> Var.Set.union s (free_vars a)) Var.Set.empty args
+  | Access { indices; _ } ->
+      List.fold_left (fun s a -> Var.Set.union s (free_vars a)) Var.Set.empty indices
+  | Let (v, value, body) ->
+      Var.Set.union (free_vars value) (Var.Set.remove v (free_vars body))
+
+(** [uses_var v e] — does [v] occur free in [e]? *)
+let uses_var v e = Var.Set.mem v (free_vars e)
+
+(** Structural rewrite: apply [f] to each node bottom-up. *)
+let rec map_bottom_up f e =
+  let r = map_bottom_up f in
+  let e' =
+    match e with
+    | Int _ | Float _ | Bool _ | Var _ -> e
+    | Binop (op, a, b) -> Binop (op, r a, r b)
+    | Cmp (op, a, b) -> Cmp (op, r a, r b)
+    | And (a, b) -> And (r a, r b)
+    | Or (a, b) -> Or (r a, r b)
+    | Not a -> Not (r a)
+    | Select (c, a, b) -> Select (r c, r a, r b)
+    | Load { buf; index } -> Load { buf; index = r index }
+    | Ufun (n, args) -> Ufun (n, List.map r args)
+    | Call (n, args) -> Call (n, List.map r args)
+    | Access { tensor; indices } -> Access { tensor; indices = List.map r indices }
+    | Let (v, value, body) -> Let (v, r value, r body)
+  in
+  f e'
+
+(** Capture-avoiding substitution is not needed here: all variables are
+    globally unique by construction ({!Var.fresh}), so plain replacement is
+    sound. *)
+let subst map e =
+  map_bottom_up
+    (function Var v as e -> ( match Var.Map.find_opt v map with Some e' -> e' | None -> e) | e -> e)
+    e
+
+let subst1 v replacement e = subst (Var.Map.singleton v replacement) e
+
+(* Infix helpers for building bodies concisely. *)
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( % ) = imod
+  let ( /^ ) = floordiv
+  let ( < ) = lt
+  let ( <= ) = le
+  let ( > ) = gt
+  let ( >= ) = ge
+  let ( = ) = eq
+  let ( <> ) = ne
+  let ( && ) = and_
+  let ( || ) = or_
+end

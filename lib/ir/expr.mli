@@ -1,0 +1,116 @@
+(** Scalar expressions of the tensor IR.
+
+    Deliberately small: integer and floating arithmetic, comparisons,
+    selection, buffer loads, math intrinsics, and — the key ingredient for
+    ragged tensors — calls to {e uninterpreted functions} ([Ufun]): values
+    known only at kernel launch (the length function [s(b)], CoRa's [A_d]
+    offset arrays, the fused-loop maps [f_fo]/[f_fi] of §5.1).  The prelude
+    materialises each of them as a host-built lookup table.
+
+    [Access] is a multi-dimensional read of a {e named} tensor; storage
+    lowering ({!module:Cora.Storage}) eliminates it before execution. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** float division *)
+  | FloorDiv  (** integer floor division (rounds toward -inf) *)
+  | Mod  (** integer modulo (result has the sign of the divisor) *)
+  | Min
+  | Max
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Var of Var.t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Select of t * t * t  (** [Select (cond, if_true, if_false)] *)
+  | Load of { buf : Var.t; index : t }
+  | Ufun of string * t list  (** uninterpreted function call *)
+  | Call of string * t list  (** math intrinsic: exp, sqrt, tanh, erf, relu *)
+  | Access of { tensor : string; indices : t list }
+  | Let of Var.t * t * t
+
+(** {1 Smart constructors} — fold constants and drop identities so lowering
+    code can compose expressions freely. *)
+
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+val var : Var.t -> t
+val zero : t
+val one : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+(** Euclidean-style floor division. *)
+val floordiv : t -> t -> t
+
+val imod : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val lt : t -> t -> t
+val le : t -> t -> t
+val gt : t -> t -> t
+val ge : t -> t -> t
+val eq : t -> t -> t
+val ne : t -> t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val not_ : t -> t
+val select : t -> t -> t -> t
+val load : Var.t -> t -> t
+val ufun : string -> t list -> t
+val call : string -> t list -> t
+val access : string -> t list -> t
+
+(** [pad_up e m] rounds [e] up to the next multiple of [m] — the expression
+    form of CoRa's loop/storage padding (§4.1).  [m <= 1] is the identity. *)
+val pad_up : t -> int -> t
+
+(** {1 Traversals} *)
+
+(** Pre-order fold over every node. *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Free variables ([Let]-bound variables excluded in their body). *)
+val free_vars : t -> Var.Set.t
+
+val uses_var : Var.t -> t -> bool
+
+(** Structural rewrite, children first. *)
+val map_bottom_up : (t -> t) -> t -> t
+
+(** Plain simultaneous substitution (sound because variables are globally
+    unique by construction). *)
+val subst : t Var.Map.t -> t -> t
+
+val subst1 : Var.t -> t -> t -> t
+
+(** Infix operators for building expression bodies concisely. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( % ) : t -> t -> t
+  val ( /^ ) : t -> t -> t
+  val ( < ) : t -> t -> t
+  val ( <= ) : t -> t -> t
+  val ( > ) : t -> t -> t
+  val ( >= ) : t -> t -> t
+  val ( = ) : t -> t -> t
+  val ( <> ) : t -> t -> t
+  val ( && ) : t -> t -> t
+  val ( || ) : t -> t -> t
+end

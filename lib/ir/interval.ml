@@ -1,0 +1,111 @@
+(** Integer interval arithmetic for bounds inference.
+
+    Bounds inference (CoRa §B.3) needs conservative ranges of index
+    expressions to size buffers, prove guard conditions redundant, and decide
+    when padding makes a guard unnecessary.  Intervals are closed and may be
+    unbounded on either side. *)
+
+type bound = Neg_inf | Pos_inf | Finite of int
+
+type t = { lo : bound; hi : bound }
+
+let make lo hi = { lo = Finite lo; hi = Finite hi }
+let point n = make n n
+let top = { lo = Neg_inf; hi = Pos_inf }
+let nonneg = { lo = Finite 0; hi = Pos_inf }
+
+(** [of_range min extent] — interval of a loop variable with the given
+    constant min and extent (empty extent yields a degenerate interval). *)
+let of_range min extent = make min (min + extent - 1)
+
+let is_bounded i =
+  match (i.lo, i.hi) with Finite _, Finite _ -> true | _ -> false
+
+let lo_int i = match i.lo with Finite n -> Some n | _ -> None
+let hi_int i = match i.hi with Finite n -> Some n | _ -> None
+
+let bound_add a b =
+  match (a, b) with
+  | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> invalid_arg "Interval.bound_add"
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+  | Finite x, Finite y -> Finite (x + y)
+
+let bound_neg = function Neg_inf -> Pos_inf | Pos_inf -> Neg_inf | Finite n -> Finite (-n)
+
+let bound_min a b =
+  match (a, b) with
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Pos_inf, x | x, Pos_inf -> x
+  | Finite x, Finite y -> Finite (min x y)
+
+let bound_max a b =
+  match (a, b) with
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+  | Neg_inf, x | x, Neg_inf -> x
+  | Finite x, Finite y -> Finite (max x y)
+
+let bound_mul a b =
+  match (a, b) with
+  | Finite x, Finite y -> Finite (x * y)
+  | (Neg_inf | Pos_inf), Finite 0 | Finite 0, (Neg_inf | Pos_inf) -> Finite 0
+  | Neg_inf, Finite y | Finite y, Neg_inf -> if y > 0 then Neg_inf else Pos_inf
+  | Pos_inf, Finite y | Finite y, Pos_inf -> if y > 0 then Pos_inf else Neg_inf
+  | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> Pos_inf
+  | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> Neg_inf
+
+let add a b = { lo = bound_add a.lo b.lo; hi = bound_add a.hi b.hi }
+let neg a = { lo = bound_neg a.hi; hi = bound_neg a.lo }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let candidates =
+    [ bound_mul a.lo b.lo; bound_mul a.lo b.hi; bound_mul a.hi b.lo; bound_mul a.hi b.hi ]
+  in
+  {
+    lo = List.fold_left bound_min Pos_inf candidates;
+    hi = List.fold_left bound_max Neg_inf candidates;
+  }
+
+let union a b = { lo = bound_min a.lo b.lo; hi = bound_max a.hi b.hi }
+let min_ a b = { lo = bound_min a.lo b.lo; hi = bound_min a.hi b.hi }
+let max_ a b = { lo = bound_max a.lo b.lo; hi = bound_max a.hi b.hi }
+
+(** Floor division by a positive constant. *)
+let div_const a c =
+  if c <= 0 then top
+  else
+    let fd n c = if n >= 0 then n / c else -(((-n) + c - 1) / c) in
+    {
+      lo = (match a.lo with Finite n -> Finite (fd n c) | b -> b);
+      hi = (match a.hi with Finite n -> Finite (fd n c) | b -> b);
+    }
+
+(** Modulo by a positive constant: always lands in [0, c-1]; tighter if the
+    interval already fits inside one period. *)
+let mod_const a c =
+  if c <= 0 then top
+  else
+    match (a.lo, a.hi) with
+    | Finite lo, Finite hi
+      when lo >= 0 && hi - lo < c && lo mod c <= hi mod c ->
+        make (lo mod c) (hi mod c)
+    | _ -> make 0 (c - 1)
+
+(** [definitely_lt a b] — every value of [a] is < every value of [b]. *)
+let definitely_lt a b =
+  match (a.hi, b.lo) with Finite x, Finite y -> x < y | _ -> false
+
+let definitely_le a b =
+  match (a.hi, b.lo) with Finite x, Finite y -> x <= y | _ -> false
+
+let definitely_ge a b =
+  match (a.lo, b.hi) with Finite x, Finite y -> x >= y | _ -> false
+
+let pp ppf i =
+  let pb ppf = function
+    | Neg_inf -> Fmt.string ppf "-inf"
+    | Pos_inf -> Fmt.string ppf "+inf"
+    | Finite n -> Fmt.int ppf n
+  in
+  Fmt.pf ppf "[%a, %a]" pb i.lo pb i.hi

@@ -1,0 +1,47 @@
+(** Integer interval arithmetic for bounds inference (CoRa §B.3).
+
+    Intervals are closed and may be unbounded on either side.  Used to
+    size buffers, prove guard conditions redundant, and decide when padding
+    makes a bound check unnecessary. *)
+
+type bound = Neg_inf | Pos_inf | Finite of int
+type t = { lo : bound; hi : bound }
+
+val make : int -> int -> t
+val point : int -> t
+val top : t
+val nonneg : t
+
+(** [of_range min extent] — range of a loop variable with constant bounds. *)
+val of_range : int -> int -> t
+
+val is_bounded : t -> bool
+val lo_int : t -> int option
+val hi_int : t -> int option
+
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Convex hull. *)
+val union : t -> t -> t
+
+(** Pointwise min / max (the interval of [min a b] / [max a b]). *)
+val min_ : t -> t -> t
+
+val max_ : t -> t -> t
+
+(** Floor division / modulo by a positive constant (top otherwise). *)
+val div_const : t -> int -> t
+
+val mod_const : t -> int -> t
+
+(** Definite comparisons: true only when every pair of values satisfies the
+    relation. *)
+val definitely_lt : t -> t -> bool
+
+val definitely_le : t -> t -> bool
+val definitely_ge : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

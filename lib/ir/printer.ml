@@ -1,0 +1,83 @@
+(** Pretty-printing of IR expressions and statements in a C-flavoured
+    concrete syntax, used for dumps, debugging and golden tests. *)
+
+let binop_str : Expr.binop -> string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | FloorDiv -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+
+let cmpop_str : Expr.cmpop -> string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let rec pp_expr ppf (e : Expr.t) =
+  match e with
+  | Int n -> Fmt.int ppf n
+  | Float f -> Fmt.pf ppf "%g" f
+  | Bool b -> Fmt.bool ppf b
+  | Var v -> Var.pp ppf v
+  | Binop (((Min | Max) as op), a, b) ->
+      Fmt.pf ppf "%s(%a, %a)" (binop_str op) pp_expr a pp_expr b
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Cmp (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (cmpop_str op) pp_expr b
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp_expr a pp_expr b
+  | Not a -> Fmt.pf ppf "!(%a)" pp_expr a
+  | Select (c, a, b) -> Fmt.pf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Load { buf; index } -> Fmt.pf ppf "%a[%a]" Var.pp buf pp_expr index
+  | Ufun (n, args) -> Fmt.pf ppf "%s(%a)" n Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Call (n, args) -> Fmt.pf ppf "%s(%a)" n Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Access { tensor; indices } ->
+      Fmt.pf ppf "%s[%a]" tensor Fmt.(list ~sep:(any ", ") pp_expr) indices
+  | Let (v, value, body) ->
+      Fmt.pf ppf "(let %a = %a in %a)" Var.pp v pp_expr value pp_expr body
+
+let kind_str : Stmt.for_kind -> string = function
+  | Serial -> "for"
+  | Parallel -> "parallel_for"
+  | Vectorized -> "vectorized_for"
+  | Unrolled -> "unrolled_for"
+  | Gpu_block -> "gpu_block_for"
+  | Gpu_thread -> "gpu_thread_for"
+
+let reduce_str : Stmt.reduce_op -> string = function
+  | Sum -> "+="
+  | Prod -> "*="
+  | Rmax -> "max="
+  | Rmin -> "min="
+
+let rec pp_stmt ?(indent = 0) ppf (s : Stmt.t) =
+  let pad = String.make indent ' ' in
+  let next = indent + 2 in
+  match s with
+  | For { var; min; extent; kind; body } ->
+      Fmt.pf ppf "%s%s %a in [%a, %a + %a) {@\n%a@\n%s}" pad (kind_str kind) Var.pp var
+        pp_expr min pp_expr min pp_expr extent (pp_stmt ~indent:next) body pad
+  | Let_stmt (v, e, body) ->
+      Fmt.pf ppf "%slet %a = %a;@\n%a" pad Var.pp v pp_expr e (pp_stmt ~indent) body
+  | Store { buf; index; value } ->
+      Fmt.pf ppf "%s%a[%a] = %a;" pad Var.pp buf pp_expr index pp_expr value
+  | Reduce_store { buf; index; value; op } ->
+      Fmt.pf ppf "%s%a[%a] %s %a;" pad Var.pp buf pp_expr index (reduce_str op) pp_expr value
+  | If (c, a, None) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c (pp_stmt ~indent:next) a pad
+  | If (c, a, Some b) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr c
+        (pp_stmt ~indent:next) a pad (pp_stmt ~indent:next) b pad
+  | Seq l -> Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) l
+  | Alloc { buf; size; body } ->
+      Fmt.pf ppf "%salloc %a[%a];@\n%a" pad Var.pp buf pp_expr size (pp_stmt ~indent) body
+  | Eval e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | Nop -> Fmt.pf ppf "%s// nop" pad
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let stmt_to_string s = Fmt.str "%a" (pp_stmt ~indent:0) s

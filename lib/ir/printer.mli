@@ -1,0 +1,11 @@
+(** Pretty-printing of IR expressions and statements in a C-flavoured
+    concrete syntax, for dumps, debugging and golden tests. *)
+
+val binop_str : Expr.binop -> string
+val cmpop_str : Expr.cmpop -> string
+val pp_expr : Format.formatter -> Expr.t -> unit
+val kind_str : Stmt.for_kind -> string
+val reduce_str : Stmt.reduce_op -> string
+val pp_stmt : ?indent:int -> Format.formatter -> Stmt.t -> unit
+val expr_to_string : Expr.t -> string
+val stmt_to_string : Stmt.t -> string

@@ -1,0 +1,226 @@
+(** Expression simplifier.
+
+    Plays the role that Z3 plays in the original CoRa prototype (§B.2): it
+    folds constants, normalises the algebra that loop splitting/fusion
+    generates, proves guard conditions from interval facts about loop
+    variables and uninterpreted functions, and knows the three fused-loop
+    identities relating [f_oif], [f_fo] and [f_fi]:
+
+    - [f_oif (f_fo f, f_fi f) = f]
+    - [f_fo (f_oif (o, i)) = o]
+    - [f_fi (f_oif (o, i)) = i] *)
+
+type fusion_triple = {
+  fo : string;
+  fi : string;
+  oif : string;
+  off : string;
+      (** prefix-sum offset array shared between loop fusion and ragged
+          storage: [off[fo f] + fi f = f], the "fused dimension" access
+          simplification of CoRa §5.1 *)
+}
+
+type ctx = {
+  var_ranges : Interval.t Var.Map.t;  (** known ranges of loop variables *)
+  ufun_ranges : (string * Interval.t) list;  (** known ranges of ufun results *)
+  fusion_triples : fusion_triple list;
+}
+
+let empty_ctx = { var_ranges = Var.Map.empty; ufun_ranges = []; fusion_triples = [] }
+
+let with_var ctx v iv = { ctx with var_ranges = Var.Map.add v iv ctx.var_ranges }
+let with_ufun_range ctx name iv = { ctx with ufun_ranges = (name, iv) :: ctx.ufun_ranges }
+let with_fusion ctx triple = { ctx with fusion_triples = triple :: ctx.fusion_triples }
+
+(** Conservative interval of an integer expression under [ctx].  Float and
+    boolean expressions yield [top]. *)
+let rec interval_of ctx (e : Expr.t) : Interval.t =
+  match e with
+  | Int n -> Interval.point n
+  | Var v -> (
+      match Var.Map.find_opt v ctx.var_ranges with Some iv -> iv | None -> Interval.top)
+  | Binop (Add, a, b) -> Interval.add (interval_of ctx a) (interval_of ctx b)
+  | Binop (Sub, a, b) -> Interval.sub (interval_of ctx a) (interval_of ctx b)
+  | Binop (Mul, a, b) -> Interval.mul (interval_of ctx a) (interval_of ctx b)
+  | Binop (Min, a, b) -> Interval.min_ (interval_of ctx a) (interval_of ctx b)
+  | Binop (Max, a, b) -> Interval.max_ (interval_of ctx a) (interval_of ctx b)
+  | Binop (FloorDiv, a, Int c) when c > 0 -> Interval.div_const (interval_of ctx a) c
+  | Binop (Mod, a, Int c) when c > 0 -> Interval.mod_const (interval_of ctx a) c
+  | Select (_, a, b) -> Interval.union (interval_of ctx a) (interval_of ctx b)
+  | Ufun (name, _) -> (
+      match List.assoc_opt name ctx.ufun_ranges with
+      | Some iv -> iv
+      | None -> Interval.nonneg)
+  | Let (v, value, body) ->
+      interval_of { ctx with var_ranges = Var.Map.add v (interval_of ctx value) ctx.var_ranges } body
+  | _ -> Interval.top
+
+(** Try to prove a comparison from intervals.  Returns [Some true],
+    [Some false], or [None] when undecidable. *)
+let prove_cmp ctx (op : Expr.cmpop) a b =
+  let ia = interval_of ctx a and ib = interval_of ctx b in
+  match op with
+  | Lt ->
+      if Interval.definitely_lt ia ib then Some true
+      else if Interval.definitely_ge ia ib then Some false
+      else None
+  | Le ->
+      if Interval.definitely_le ia ib then Some true
+      else if Interval.definitely_lt ib ia then Some false
+      else None
+  | Gt ->
+      if Interval.definitely_lt ib ia then Some true
+      else if Interval.definitely_le ia ib then Some false
+      else None
+  | Ge ->
+      if Interval.definitely_le ib ia then Some true
+      else if Interval.definitely_lt ia ib then Some false
+      else None
+  | Eq | Ne -> None
+
+let triple_of_oif ctx n = List.find_opt (fun t -> String.equal t.oif n) ctx.fusion_triples
+
+(* One local rewriting step applied bottom-up by [simplify]. *)
+let rewrite ctx (e : Expr.t) : Expr.t =
+  let open Expr in
+  match e with
+  (* Reassociate and fold constants in + and -. *)
+  | Binop (Add, Binop (Add, a, Int x), Int y) -> add a (Int (x + y))
+  | Binop (Add, Int x, b) -> add b (Int x)
+  | Binop (Sub, Binop (Add, a, Int x), Int y) -> add a (Int (x - y))
+  | Binop (Sub, a, Int x) when x <> 0 -> add a (Int (-x))
+  | Binop (Add, Binop (Sub, a, b), c) when b = c -> a
+  | Binop (Sub, Binop (Add, a, b), c) when b = c -> a
+  | Binop (Sub, a, b) when a = b -> Int 0
+  (* (k / c) * c + k mod c = k *)
+  | Binop (Add, Binop (Mul, Binop (FloorDiv, k1, Int c1), Int c2), Binop (Mod, k2, Int c3))
+    when k1 = k2 && c1 = c2 && c2 = c3 ->
+      k1
+  (* (a*c + r) / c = a + r/c when 0 <= r < c. *)
+  | Binop (FloorDiv, Binop (Add, Binop (Mul, a, Int c), r), Int c') when c = c' && c > 0
+    -> (
+      let ir = interval_of ctx r in
+      if Interval.definitely_ge ir (Interval.point 0)
+         && Interval.definitely_lt ir (Interval.point c)
+      then a
+      else e)
+  (* (a*c + r) mod c = r under the same conditions. *)
+  | Binop (Mod, Binop (Add, Binop (Mul, a, Int c), r), Int c') when c = c' && c > 0 -> (
+      let ir = interval_of ctx r in
+      ignore a;
+      if Interval.definitely_ge ir (Interval.point 0)
+         && Interval.definitely_lt ir (Interval.point c)
+      then r
+      else e)
+  (* x / c, x mod c when the range of x fits in one period. *)
+  | Binop (FloorDiv, a, Int c) when c > 0 -> (
+      let ia = interval_of ctx a in
+      match (Interval.lo_int ia, Interval.hi_int ia) with
+      | Some lo, Some hi when lo >= 0 && lo / c = hi / c -> Int (lo / c)
+      | _ -> e)
+  | Binop (Mod, a, Int c) when c > 0 -> (
+      let ia = interval_of ctx a in
+      match (Interval.lo_int ia, Interval.hi_int ia) with
+      | Some lo, Some hi when lo >= 0 && hi < c ->
+          ignore lo;
+          ignore hi;
+          a
+      | _ -> e)
+  (* min/max folding using intervals. *)
+  | Binop (Min, a, b) ->
+      let ia = interval_of ctx a and ib = interval_of ctx b in
+      if Interval.definitely_le ia ib then a
+      else if Interval.definitely_le ib ia then b
+      else e
+  | Binop (Max, a, b) ->
+      let ia = interval_of ctx a and ib = interval_of ctx b in
+      if Interval.definitely_le ia ib then b
+      else if Interval.definitely_le ib ia then a
+      else e
+  (* Comparisons provable from intervals. *)
+  | Cmp (op, a, b) -> ( match prove_cmp ctx op a b with Some v -> Bool v | None -> e)
+  (* Fused-loop identities (§B.2). *)
+  | Ufun (oif, [ Ufun (fo, [ f1 ]); Ufun (fi, [ f2 ]) ])
+    when f1 = f2
+         && (match triple_of_oif ctx oif with
+            | Some t -> String.equal t.fo fo && String.equal t.fi fi
+            | None -> false) ->
+      f1
+  | Ufun (fo_or_fi, [ Ufun (oif, [ o; i ]) ]) -> (
+      match triple_of_oif ctx oif with
+      | Some t when String.equal t.fo fo_or_fi -> o
+      | Some t when String.equal t.fi fo_or_fi -> i
+      | _ -> e)
+  (* Fused-access simplification: storage offsets through a fused (cdim,
+     vdim) pair collapse to the fused loop variable when storage and loop
+     fusion share the prefix-sum array: off[fo f] + fi f = f. *)
+  | Binop (Add, Ufun (off, [ Ufun (fo, [ f1 ]) ]), Ufun (fi, [ f2 ]))
+    when f1 = f2
+         && List.exists
+              (fun t ->
+                String.equal t.off off && String.equal t.fo fo && String.equal t.fi fi)
+              ctx.fusion_triples ->
+      f1
+  | _ -> (
+      (* Re-run smart constructors to fold any constants exposed by child
+         rewrites. *)
+      match e with
+      | Binop (Add, a, b) -> add a b
+      | Binop (Sub, a, b) -> sub a b
+      | Binop (Mul, a, b) -> mul a b
+      | Binop (Div, a, b) -> div a b
+      | Binop (FloorDiv, a, b) -> floordiv a b
+      | Binop (Mod, a, b) -> imod a b
+      | And (a, b) -> and_ a b
+      | Or (a, b) -> or_ a b
+      | Not a -> not_ a
+      | Select (c, a, b) -> select c a b
+      | _ -> e)
+
+(** Simplify to a fixpoint (bounded number of passes). *)
+let simplify ?(ctx = empty_ctx) e =
+  let rec go n e =
+    if n = 0 then e
+    else
+      let e' = Expr.map_bottom_up (rewrite ctx) e in
+      if e' = e then e else go (n - 1) e'
+  in
+  go 8 e
+
+(** [provably_true ctx e] — the condition simplifies to literal [true]. *)
+let provably_true ctx e = match simplify ~ctx e with Expr.Bool true -> true | _ -> false
+
+(** Simplify all expressions in a statement, tracking loop-variable ranges on
+    the way down so guards inside loops can be proven redundant. *)
+let simplify_stmt ?(ctx = empty_ctx) stmt =
+  let rec go ctx (s : Stmt.t) : Stmt.t =
+    match s with
+    | For r ->
+        let min = simplify ~ctx r.min and extent = simplify ~ctx r.extent in
+        let iv =
+          match (min, extent) with
+          | Expr.Int m, Expr.Int e -> Interval.of_range m e
+          | Expr.Int m, _ -> (
+              match Interval.hi_int (interval_of ctx extent) with
+              | Some hi -> Interval.make m (m + hi - 1)
+              | None -> { Interval.lo = Finite m; hi = Pos_inf })
+          | _ -> Interval.top
+        in
+        For { r with min; extent; body = go (with_var ctx r.var iv) r.body }
+    | Let_stmt (v, e, body) ->
+        let e = simplify ~ctx e in
+        Let_stmt (v, e, go (with_var ctx v (interval_of ctx e)) body)
+    | Store r -> Store { r with index = simplify ~ctx r.index; value = simplify ~ctx r.value }
+    | Reduce_store r ->
+        Reduce_store { r with index = simplify ~ctx r.index; value = simplify ~ctx r.value }
+    | If (c, a, b) -> (
+        match simplify ~ctx c with
+        | Expr.Bool true -> go ctx a
+        | Expr.Bool false -> ( match b with Some b -> go ctx b | None -> Nop)
+        | c -> If (c, go ctx a, Option.map (go ctx) b))
+    | Seq l -> Stmt.seq (List.map (go ctx) l)
+    | Alloc r -> Alloc { r with size = simplify ~ctx r.size; body = go ctx r.body }
+    | Eval e -> Eval (simplify ~ctx e)
+    | Nop -> Nop
+  in
+  go ctx stmt

@@ -1,0 +1,50 @@
+(** Expression simplifier.
+
+    Plays the role Z3 plays in the original CoRa prototype (§B.2): folds
+    constants, normalises the algebra that loop splitting/fusion generates,
+    proves guard conditions from interval facts, and knows the fused-loop
+    identities relating [f_oif], [f_fo], [f_fi] and the shared offsets
+    array. *)
+
+(** The uninterpreted functions of one ragged loop fusion (§5.1):
+    - [f_oif (f_fo f) (f_fi f) = f]
+    - [f_fo (f_oif o i) = o] and [f_fi (f_oif o i) = i]
+    - [off.(f_fo f) + f_fi f = f] — the fused-access collapse, valid when
+      loop fusion and ragged storage share the prefix-sum array [off]. *)
+type fusion_triple = {
+  fo : string;
+  fi : string;
+  oif : string;
+  off : string;
+}
+
+(** Facts available during simplification. *)
+type ctx = {
+  var_ranges : Interval.t Var.Map.t;
+  ufun_ranges : (string * Interval.t) list;
+  fusion_triples : fusion_triple list;
+}
+
+val empty_ctx : ctx
+val with_var : ctx -> Var.t -> Interval.t -> ctx
+val with_ufun_range : ctx -> string -> Interval.t -> ctx
+val with_fusion : ctx -> fusion_triple -> ctx
+
+(** Conservative interval of an integer expression under [ctx]. *)
+val interval_of : ctx -> Expr.t -> Interval.t
+
+(** Try to prove a comparison from intervals: [Some true]/[Some false] when
+    decidable, [None] otherwise. *)
+val prove_cmp : ctx -> Expr.cmpop -> Expr.t -> Expr.t -> bool option
+
+(** Simplify to a fixpoint (bounded number of passes).  Guaranteed to
+    preserve the value of the expression under any environment consistent
+    with [ctx] (property-tested). *)
+val simplify : ?ctx:ctx -> Expr.t -> Expr.t
+
+(** The condition simplifies to literal [true]. *)
+val provably_true : ctx -> Expr.t -> bool
+
+(** Simplify all expressions in a statement, tracking loop-variable ranges
+    on the way down so guards provable from loop bounds are elided. *)
+val simplify_stmt : ?ctx:ctx -> Stmt.t -> Stmt.t

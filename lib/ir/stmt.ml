@@ -1,0 +1,97 @@
+(** Statements of the tensor IR.
+
+    A lowered CoRa operator is one [t] per kernel: a loop nest whose loops
+    carry an execution "binding" ([for_kind]) that records how the loop maps
+    onto the simulated hardware — serial, multicore-parallel, vectorised, or
+    bound to the GPU grid (thread blocks) / GPU threads.  Loop extents are
+    arbitrary expressions and may reference outer loop variables through
+    uninterpreted functions: that is exactly what makes a loop a {e vloop}. *)
+
+type for_kind =
+  | Serial
+  | Parallel  (** CPU multicore parallel-for *)
+  | Vectorized  (** SIMD lanes; the cost model divides by the vector width *)
+  | Unrolled
+  | Gpu_block  (** bound to the GPU grid: one iteration = one thread block *)
+  | Gpu_thread  (** bound to threads within a block *)
+
+type t =
+  | For of { var : Var.t; min : Expr.t; extent : Expr.t; kind : for_kind; body : t }
+  | Let_stmt of Var.t * Expr.t * t
+      (** Scalar let visible to the whole body — the vehicle for load
+          hoisting (§D.7): hoisted auxiliary-structure reads become
+          [Let_stmt]s outside the hot loop. *)
+  | Store of { buf : Var.t; index : Expr.t; value : Expr.t }
+  | Reduce_store of { buf : Var.t; index : Expr.t; value : Expr.t; op : reduce_op }
+      (** [buf[index] <- buf[index] `op` value] *)
+  | If of Expr.t * t * t option
+  | Seq of t list
+  | Alloc of { buf : Var.t; size : Expr.t; body : t }
+      (** Scratch buffer local to the kernel. *)
+  | Eval of Expr.t  (** Evaluate for effect (used in prelude snippets). *)
+  | Nop
+
+and reduce_op = Sum | Prod | Rmax | Rmin
+
+let seq = function [] -> Nop | [ s ] -> s | l -> Seq l
+
+let rec fold_exprs f acc stmt =
+  match stmt with
+  | For { min; extent; body; _ } -> fold_exprs f (f (f acc min) extent) body
+  | Let_stmt (_, e, body) -> fold_exprs f (f acc e) body
+  | Store { index; value; _ } | Reduce_store { index; value; _ } -> f (f acc index) value
+  | If (c, a, b) -> (
+      let acc = fold_exprs f (f acc c) a in
+      match b with Some b -> fold_exprs f acc b | None -> acc)
+  | Seq l -> List.fold_left (fold_exprs f) acc l
+  | Alloc { size; body; _ } -> fold_exprs f (f acc size) body
+  | Eval e -> f acc e
+  | Nop -> acc
+
+(** Variables free in the statement (loop variables and let-bound variables
+    are not free inside their scope). *)
+let rec free_vars stmt =
+  match stmt with
+  | For { var; min; extent; body; _ } ->
+      Var.Set.union
+        (Var.Set.union (Expr.free_vars min) (Expr.free_vars extent))
+        (Var.Set.remove var (free_vars body))
+  | Let_stmt (v, e, body) ->
+      Var.Set.union (Expr.free_vars e) (Var.Set.remove v (free_vars body))
+  | Store { buf; index; value } | Reduce_store { buf; index; value; _ } ->
+      Var.Set.add buf (Var.Set.union (Expr.free_vars index) (Expr.free_vars value))
+  | If (c, a, b) ->
+      let s = Var.Set.union (Expr.free_vars c) (free_vars a) in
+      (match b with Some b -> Var.Set.union s (free_vars b) | None -> s)
+  | Seq l -> List.fold_left (fun s st -> Var.Set.union s (free_vars st)) Var.Set.empty l
+  | Alloc { buf; size; body } ->
+      Var.Set.union (Expr.free_vars size) (Var.Set.remove buf (free_vars body))
+  | Eval e -> Expr.free_vars e
+  | Nop -> Var.Set.empty
+
+(** Rewrite every expression in the statement with [f] (bottom-up per
+    expression, top-down over statements). *)
+let rec map_exprs f stmt =
+  match stmt with
+  | For r -> For { r with min = f r.min; extent = f r.extent; body = map_exprs f r.body }
+  | Let_stmt (v, e, body) -> Let_stmt (v, f e, map_exprs f body)
+  | Store r -> Store { r with index = f r.index; value = f r.value }
+  | Reduce_store r -> Reduce_store { r with index = f r.index; value = f r.value }
+  | If (c, a, b) -> If (f c, map_exprs f a, Option.map (map_exprs f) b)
+  | Seq l -> Seq (List.map (map_exprs f) l)
+  | Alloc r -> Alloc { r with size = f r.size; body = map_exprs f r.body }
+  | Eval e -> Eval (f e)
+  | Nop -> Nop
+
+(** Substitute variables by expressions throughout the statement. *)
+let subst map stmt = map_exprs (Expr.subst map) stmt
+
+(** Collect the names of all uninterpreted functions referenced. *)
+let ufuns stmt =
+  fold_exprs
+    (fun acc e ->
+      Expr.fold
+        (fun acc -> function Expr.Ufun (n, _) -> n :: acc | _ -> acc)
+        acc e)
+    [] stmt
+  |> List.sort_uniq String.compare

@@ -1,0 +1,49 @@
+(** Statements of the tensor IR.
+
+    A lowered CoRa operator is one statement per kernel: a loop nest whose
+    loops carry an execution binding ([for_kind]) mapping them onto the
+    simulated hardware.  Extents are arbitrary expressions and may
+    reference outer loop variables through uninterpreted functions — that
+    is exactly what makes a loop a {e vloop}. *)
+
+type for_kind =
+  | Serial
+  | Parallel  (** CPU multicore parallel-for *)
+  | Vectorized  (** SIMD lanes; the cost model divides by the vector width *)
+  | Unrolled
+  | Gpu_block  (** bound to the GPU grid: one iteration = one thread block *)
+  | Gpu_thread  (** bound to threads within a block *)
+
+type t =
+  | For of { var : Var.t; min : Expr.t; extent : Expr.t; kind : for_kind; body : t }
+  | Let_stmt of Var.t * Expr.t * t
+      (** scalar binding — the vehicle for load hoisting (§D.7) *)
+  | Store of { buf : Var.t; index : Expr.t; value : Expr.t }
+  | Reduce_store of { buf : Var.t; index : Expr.t; value : Expr.t; op : reduce_op }
+      (** [buf.(index) <- buf.(index) `op` value] *)
+  | If of Expr.t * t * t option
+  | Seq of t list
+  | Alloc of { buf : Var.t; size : Expr.t; body : t }
+      (** kernel-local scratch (registers / shared memory) *)
+  | Eval of Expr.t
+  | Nop
+
+and reduce_op = Sum | Prod | Rmax | Rmin
+
+(** Smart sequence: flattens empty and singleton lists. *)
+val seq : t list -> t
+
+(** Fold [f] over every expression in the statement. *)
+val fold_exprs : ('a -> Expr.t -> 'a) -> 'a -> t -> 'a
+
+(** Free variables (loop, let and alloc binders excluded in scope). *)
+val free_vars : t -> Var.Set.t
+
+(** Rewrite every expression with [f]. *)
+val map_exprs : (Expr.t -> Expr.t) -> t -> t
+
+(** Substitute variables by expressions throughout. *)
+val subst : Expr.t Var.Map.t -> t -> t
+
+(** Names of all uninterpreted functions referenced (sorted, unique). *)
+val ufuns : t -> string list

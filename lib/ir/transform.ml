@@ -1,0 +1,30 @@
+(** IR-to-IR transformations applied after lowering.
+
+    [unroll] replicates the bodies of [Unrolled] loops with constant
+    extents — the classic epilogue of tensor-compiler pipelines, letting
+    the (simulated) backend see straight-line code with no loop
+    bookkeeping. *)
+
+(** Replicate [Unrolled] loops with constant bounds; loops whose extents
+    are not compile-time constants are left as serial loops. *)
+let rec unroll (s : Stmt.t) : Stmt.t =
+  match s with
+  | For { var; min = Expr.Int m; extent = Expr.Int n; kind = Unrolled; body } when n <= 64 ->
+      let body = unroll body in
+      Stmt.seq
+        (List.init n (fun i -> Stmt.subst (Var.Map.singleton var (Expr.int (m + i))) body))
+  | For r -> For { r with kind = (if r.kind = Unrolled then Serial else r.kind); body = unroll r.body }
+  | Let_stmt (v, e, body) -> Let_stmt (v, e, unroll body)
+  | If (c, a, b) -> If (c, unroll a, Option.map unroll b)
+  | Seq l -> Seq (List.map unroll l)
+  | Alloc r -> Alloc { r with body = unroll r.body }
+  | (Store _ | Reduce_store _ | Eval _ | Nop) as s -> s
+
+(** Count loop nodes (diagnostics for tests). *)
+let rec count_loops (s : Stmt.t) : int =
+  match s with
+  | For { body; _ } -> 1 + count_loops body
+  | Let_stmt (_, _, body) | Alloc { body; _ } -> count_loops body
+  | If (_, a, b) -> count_loops a + (match b with Some b -> count_loops b | None -> 0)
+  | Seq l -> List.fold_left (fun acc x -> acc + count_loops x) 0 l
+  | Store _ | Reduce_store _ | Eval _ | Nop -> 0

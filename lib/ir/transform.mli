@@ -1,0 +1,8 @@
+(** Post-lowering IR transformations. *)
+
+(** Replicate [Unrolled] loops with constant bounds (capped at 64 copies);
+    non-constant unrolled loops degrade to serial. *)
+val unroll : Stmt.t -> Stmt.t
+
+(** Number of loop nodes (diagnostics). *)
+val count_loops : Stmt.t -> int

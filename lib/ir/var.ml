@@ -1,0 +1,40 @@
+(** Variables (identifiers) used throughout the IR.
+
+    Every variable carries a globally unique integer id, so two variables with
+    the same display name never collide.  Variables stand for loop iteration
+    variables, buffer handles and scalar lets. *)
+
+type t = { id : int; name : string }
+
+let counter = ref 0
+
+(** [fresh name] creates a new variable with display name [name]. *)
+let fresh name =
+  incr counter;
+  { id = !counter; name }
+
+(** [equal a b] is physical identity of variables (by unique id). *)
+let equal a b = a.id = b.id
+
+let compare a b = Int.compare a.id b.id
+let name v = v.name
+let id v = v.id
+
+(** [pp] prints the variable as [name_id] so distinct variables with the same
+    display name remain distinguishable in dumps. *)
+let pp ppf v = Fmt.pf ppf "%s_%d" v.name v.id
+
+(** Unique printable name, suitable for generated C code. *)
+let mangled v = Printf.sprintf "%s_%d" v.name v.id
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

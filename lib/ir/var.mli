@@ -1,0 +1,27 @@
+(** Variables (identifiers) used throughout the IR.
+
+    Every variable carries a globally unique integer id, so two variables
+    with the same display name never collide; substitution never needs to
+    be capture-avoiding. *)
+
+type t = { id : int; name : string }
+
+(** [fresh name] creates a new variable with display name [name] and a
+    globally unique id. *)
+val fresh : string -> t
+
+(** Identity (by unique id). *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val name : t -> string
+val id : t -> int
+
+(** Prints as [name_id], keeping same-named variables distinguishable. *)
+val pp : Format.formatter -> t -> unit
+
+(** Unique printable name, suitable for generated C code. *)
+val mangled : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,122 @@
+(** Device models.
+
+    The machine simulator is deliberately first-order: a device is a set of
+    processors (GPU SMs or CPU cores), per-scalar-operation nanosecond
+    weights (after accounting for within-block thread parallelism and SIMD,
+    which the cost model applies), a kernel-launch overhead, and a
+    host→device copy bandwidth.  Absolute numbers are calibrated so that the
+    simulated V100 lands in the millisecond range the paper reports for the
+    transformer encoder; what the benches rely on is the {e relative}
+    behaviour — wasted padding computation, load imbalance, launch counts —
+    which these mechanisms model directly. *)
+
+type t = {
+  name : string;
+  n_proc : int;  (** SMs (GPU) or cores (CPU) *)
+  lanes : int;  (** within-block thread parallelism the cost model divides by *)
+  vec_width : int;
+  flop_ns : float;  (** ns per floating-point op (per lane) *)
+  iop_ns : float;
+  load_ns : float;
+  indirect_ns : float;  (** auxiliary-structure (ufun) access *)
+  store_ns : float;
+  branch_ns : float;
+  intrinsic_ns : float;
+  launch_ns : float;  (** per-kernel launch overhead *)
+  mem_bw_bytes_per_ns : float;
+      (** effective (cache-assisted) device memory bandwidth; kernels cannot
+          run faster than their load/store traffic allows *)
+  h2d_bytes_per_ns : float;  (** host→device copy bandwidth *)
+  aux_entry_ns : float;  (** host-side prelude cost per table entry *)
+  grid_kind : Ir.Stmt.for_kind;  (** which loop binding forms the grid *)
+}
+
+(** V100-flavoured GPU: 80 SMs; effective per-SM throughput after the
+    128-lane division of the cost model. *)
+let v100 =
+  {
+    name = "gpu-v100";
+    n_proc = 80;
+    lanes = 128;
+    vec_width = 1;
+    (* 80 SMs x 128 lanes / 0.65 ns = 15.75 Tflop/s peak, matching a V100.
+       Loads/index arithmetic are weighted lightly (registers and shared
+       memory amortise them in real tiled kernels); branches and indirect
+       auxiliary accesses carry the costs the paper's ablations measure. *)
+    flop_ns = 0.65;
+    iop_ns = 0.01;
+    load_ns = 0.06;
+    indirect_ns = 1.6;
+    store_ns = 0.25;
+    branch_ns = 1.2;
+    intrinsic_ns = 2.6;
+    launch_ns = 4_000.0;
+    mem_bw_bytes_per_ns = 850.0;
+    h2d_bytes_per_ns = 2.6;
+    aux_entry_ns = 1.2;
+    grid_kind = Ir.Stmt.Gpu_block;
+  }
+
+(** 8-core / 16-thread Intel Cascade Lake flavour (AVX-512-ish SIMD). *)
+let intel_cpu =
+  {
+    name = "cpu-intel";
+    n_proc = 8;
+    lanes = 1;
+    vec_width = 16;
+    (* 8 cores x 16 fp32 SIMD lanes / 0.16 ns = 800 Gflop/s. *)
+    flop_ns = 0.16;
+    iop_ns = 0.004;
+    load_ns = 0.015;
+    indirect_ns = 0.6;
+    store_ns = 0.05;
+    branch_ns = 0.5;
+    intrinsic_ns = 2.0;
+    launch_ns = 1_500.0;
+    mem_bw_bytes_per_ns = 60.0;
+    h2d_bytes_per_ns = infinity;
+    aux_entry_ns = 1.0;
+    grid_kind = Ir.Stmt.Parallel;
+  }
+
+(** 8-core ARM Graviton2 flavour (NEON SIMD, lower clock). *)
+let arm_cpu =
+  {
+    name = "cpu-arm";
+    n_proc = 8;
+    lanes = 1;
+    vec_width = 4;
+    (* Graviton2: 8 cores, two 128-bit FMA pipes each — 8 cores x 4 lanes
+       / 0.1 ns = 320 Gflop/s fp32 peak.  Loads/index ops are light, as on
+       the GPU: tiled code keeps them in registers. *)
+    flop_ns = 0.1;
+    iop_ns = 0.005;
+    load_ns = 0.02;
+    indirect_ns = 0.8;
+    store_ns = 0.05;
+    branch_ns = 0.6;
+    intrinsic_ns = 3.0;
+    launch_ns = 1_000.0;
+    mem_bw_bytes_per_ns = 40.0;
+    h2d_bytes_per_ns = infinity;
+    aux_entry_ns = 1.5;
+    grid_kind = Ir.Stmt.Parallel;
+  }
+
+let cost_params (d : t) : Runtime.Cost_model.params =
+  { Runtime.Cost_model.lanes = d.lanes; vec_width = d.vec_width }
+
+(** Bytes of main-memory traffic implied by the counts (4-byte elements;
+    auxiliary/indirect accesses included). *)
+let block_bytes (c : Runtime.Cost_model.counts) : float =
+  let open Runtime.Cost_model in
+  4.0 *. (c.loads +. c.indirect +. c.stores)
+
+(** Nanoseconds for one block with the given counts at efficiency [eff]. *)
+let block_ns (d : t) ~(eff : float) (c : Runtime.Cost_model.counts) : float =
+  let open Runtime.Cost_model in
+  ((c.flops *. d.flop_ns) +. (c.iops *. d.iop_ns) +. (c.loads *. d.load_ns)
+  +. (c.indirect *. d.indirect_ns) +. (c.stores *. d.store_ns)
+  +. (c.branches *. d.branch_ns)
+  +. (c.intrinsics *. d.intrinsic_ns))
+  /. eff

@@ -1,0 +1,41 @@
+(** Device models: processors (SMs/cores), per-scalar-operation nanosecond
+    weights, launch overhead, bandwidths.  Absolute numbers are calibrated
+    so the simulated V100 lands in the millisecond range the paper reports;
+    the benches rely on relative behaviour (padding waste, load imbalance,
+    launch counts), which the mechanisms model directly. *)
+
+type t = {
+  name : string;
+  n_proc : int;
+  lanes : int;  (** within-block thread parallelism the cost model divides by *)
+  vec_width : int;
+  flop_ns : float;
+  iop_ns : float;
+  load_ns : float;
+  indirect_ns : float;  (** auxiliary-structure (ufun) access *)
+  store_ns : float;
+  branch_ns : float;
+  intrinsic_ns : float;
+  launch_ns : float;
+  mem_bw_bytes_per_ns : float;
+  h2d_bytes_per_ns : float;
+  aux_entry_ns : float;  (** host-side prelude cost per table entry *)
+  grid_kind : Ir.Stmt.for_kind;  (** which loop binding forms the grid *)
+}
+
+(** V100-flavoured GPU: 80 SMs, 15.75 Tflop/s fp32 peak. *)
+val v100 : t
+
+(** 8-core Cascade-Lake-flavoured CPU with 16-wide fp32 SIMD. *)
+val intel_cpu : t
+
+(** 8-core Graviton2-flavoured CPU, two 128-bit FMA pipes per core. *)
+val arm_cpu : t
+
+val cost_params : t -> Runtime.Cost_model.params
+
+(** Main-memory traffic in bytes implied by the counts. *)
+val block_bytes : Runtime.Cost_model.counts -> float
+
+(** Nanoseconds for one block at efficiency [eff]. *)
+val block_ns : t -> eff:float -> Runtime.Cost_model.counts -> float

@@ -1,0 +1,56 @@
+(** Thread-block scheduling simulator.
+
+    Models the hardware scheduler that assigns thread blocks to processors
+    (GPU SMs / CPU cores): greedy list scheduling — each block, in issue
+    order, goes to the processor that frees up first.  The kernel's latency
+    is the makespan.  Thread remapping (§4.1, Fig. 14) changes the issue
+    order; with variable-size blocks (vloop nests!) issuing the heavy
+    blocks first yields visibly better makespans, which is exactly the
+    trmm experiment of Fig. 9. *)
+
+type policy = Issue_order | Descending_work
+
+(* A tiny binary min-heap over floats, for processor free times. *)
+module Heap = struct
+  type t = { mutable a : float array; mutable n : int }
+
+  let create n_proc = { a = Array.make (max n_proc 1) 0.0; n = n_proc }
+
+  let pop_min h =
+    let best = ref 0 in
+    for i = 1 to h.n - 1 do
+      if h.a.(i) < h.a.(!best) then best := i
+    done;
+    !best
+
+  let get h i = h.a.(i)
+  let set h i v = h.a.(i) <- v
+  let max_time h = Array.fold_left Float.max 0.0 (Array.sub h.a 0 h.n)
+end
+
+(** [makespan ~n_proc ~policy costs] — wall time to drain all blocks. *)
+let makespan ~n_proc ?(policy = Issue_order) (costs : float array) : float =
+  if Array.length costs = 0 then 0.0
+  else begin
+    let costs =
+      match policy with
+      | Issue_order -> costs
+      | Descending_work ->
+          let c = Array.copy costs in
+          Array.sort (fun a b -> Float.compare b a) c;
+          c
+    in
+    let h = Heap.create n_proc in
+    Array.iter
+      (fun c ->
+        let p = Heap.pop_min h in
+        Heap.set h p (Heap.get h p +. c))
+      costs;
+    Heap.max_time h
+  end
+
+(** Average processor utilisation for a given schedule (diagnostics). *)
+let utilisation ~n_proc ?(policy = Issue_order) (costs : float array) : float =
+  let span = makespan ~n_proc ~policy costs in
+  if span <= 0.0 then 1.0
+  else Array.fold_left ( +. ) 0.0 costs /. (span *. float_of_int n_proc)

@@ -1,0 +1,15 @@
+(** Thread-block scheduling simulator: greedy list scheduling of blocks
+    onto processors (GPU SMs / CPU cores) in issue order.  Thread remapping
+    (§4.1, Fig. 14) changes the issue order; with variable-size blocks —
+    vloop nests — issuing heaviest-first visibly improves the makespan
+    (Fig. 9's trmm). *)
+
+type policy = Issue_order | Descending_work
+
+(** Wall time to drain all blocks on [n_proc] processors.  Satisfies the
+    Graham bounds [max(max_block, total/n) <= makespan <= total/n +
+    max_block] (property-tested). *)
+val makespan : n_proc:int -> ?policy:policy -> float array -> float
+
+(** Busy fraction of the processors under the schedule. *)
+val utilisation : n_proc:int -> ?policy:policy -> float array -> float

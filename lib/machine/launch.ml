@@ -1,0 +1,151 @@
+open Cora
+
+(** Kernel launch timing.
+
+    Glues compiler output to the machine model: builds the launch-time
+    environment (length functions + prelude tables), enumerates the grid of
+    thread blocks, costs each block with the memoised cost model, and runs
+    the block scheduler.  A launch of several kernels is a {e horizontal
+    fusion} (§4.1): their blocks share one grid and one launch overhead. *)
+
+type t = {
+  kernels : Lower.kernel list;  (** singleton, or several when h-fused *)
+  label : string;
+}
+
+let single (k : Lower.kernel) = { kernels = [ k ]; label = k.Lower.kname }
+
+(** Horizontally fuse several kernels into one launch (Fig. 5, step 3).
+    Validates independence: raises {!Cora.Hfusion.Illegal} on racy fusions
+    (e.g. the pieces of a reduction-loop split, §7.1 footnote). *)
+let hfused ?label (ks : Lower.kernel list) =
+  let ks = Hfusion.validate ks in
+  {
+    kernels = ks;
+    label =
+      (match label with
+      | Some l -> l
+      | None -> String.concat "+" (List.map (fun (k : Lower.kernel) -> k.Lower.kname) ks));
+  }
+
+(** Launch-time context shared by all kernels of a pipeline. *)
+type ctx = {
+  device : Device.t;
+  lenv : Lenfun.env;
+  built : Prelude.built;
+}
+
+let make_ctx ~device ~lenv ~(kernels : Lower.kernel list) : ctx =
+  let defs = List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) kernels in
+  { device; lenv; built = Prelude.build ~dedup_defs:true defs lenv }
+
+let cost_env (ctx : ctx) : Runtime.Cost_model.env =
+  let env = Runtime.Cost_model.env_create () in
+  List.iter
+    (fun (name, f) ->
+      Runtime.Cost_model.bind_ufun env name (function
+        | [ i ] -> f i
+        | _ -> invalid_arg ("lenfun " ^ name ^ " arity")))
+    ctx.lenv;
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Prelude.Scalar n -> Runtime.Cost_model.bind_ufun env name (fun _ -> n)
+      | Prelude.Table a ->
+          Runtime.Cost_model.bind_ufun env name (function
+            | [ i ] when i >= 0 && i < Array.length a -> a.(i)
+            | [ i ] -> invalid_arg (Printf.sprintf "aux %s: index %d out of range" name i)
+            | _ -> invalid_arg ("aux " ^ name ^ " arity")))
+    ctx.built.Prelude.tables;
+  env
+
+(** Per-block (cost_ns, bytes) of one kernel under the context. *)
+let block_costs_bytes (ctx : ctx) (k : Lower.kernel) : (float * float) array =
+  let device = ctx.device in
+  let env = cost_env ctx in
+  let blocks =
+    Runtime.Cost_model.enumerate_blocks ~grid_kind:device.Device.grid_kind env k.Lower.body
+  in
+  (* Compute-bound kernels are priced by lane-normalised operation counts
+     through the block scheduler; memory-bound kernels (softmax, layernorm,
+     layout changes) by raw traffic against the per-processor share of the
+     device bandwidth. *)
+  let params =
+    match k.Lower.bound with
+    | Schedule.Compute_bound -> Device.cost_params device
+    | Schedule.Memory_bound -> { Runtime.Cost_model.lanes = 1; vec_width = 1 }
+  in
+  (* Blocks of the same kernel share (physically) the same body subtree:
+     compile it once so the cost model's memo tables are shared across all
+     blocks. *)
+  let compiled : (Ir.Stmt.t * Runtime.Cost_model.node) list ref = ref [] in
+  let node_for body =
+    match List.find_opt (fun (b, _) -> b == body) !compiled with
+    | Some (_, n) -> n
+    | None ->
+        let n = Runtime.Cost_model.compile params body in
+        compiled := (body, n) :: !compiled;
+        n
+  in
+  let bw_per_proc = device.Device.mem_bw_bytes_per_ns /. float_of_int device.Device.n_proc in
+  let costs =
+    List.map
+      (fun (vars, body) ->
+        let benv = { env with Runtime.Cost_model.vars } in
+        let c = node_for body benv in
+        let bytes = Device.block_bytes c in
+        let ns =
+          match k.Lower.bound with
+          | Schedule.Compute_bound -> Device.block_ns device ~eff:k.Lower.eff c
+          | Schedule.Memory_bound -> bytes /. bw_per_proc /. k.Lower.eff
+        in
+        (ns, bytes))
+      blocks
+  in
+  Array.of_list costs
+
+let block_costs ctx k = Array.map fst (block_costs_bytes ctx k)
+
+(** Wall time of one launch: makespan of all its blocks plus the launch
+    overhead.  Blocks of h-fused kernels are interleaved in issue order so
+    they genuinely execute concurrently. *)
+let time (ctx : ctx) (l : t) : float =
+  let device = ctx.device in
+  let all = List.map (fun k -> (block_costs_bytes ctx k, (k : Lower.kernel).remap)) l.kernels in
+  let policy =
+    if List.exists (fun (_, r) -> r = Schedule.Descending_work) all then Gpusim.Descending_work
+    else Gpusim.Issue_order
+  in
+  (* Block counts are lane-normalised by the cost model, so the per-kernel
+     efficiency factor (not a raw-bytes floor) carries the memory-bound
+     behaviour of compiled kernels; the analytic baselines, whose counts are
+     raw totals, apply the bandwidth floor in {!Baselines.Analytic}. *)
+  let costs = Array.map fst (Array.concat (List.map fst all)) in
+  let compute_ns = Gpusim.makespan ~n_proc:device.Device.n_proc ~policy costs in
+  compute_ns +. device.Device.launch_ns
+
+(** Timing summary of a full pipeline (Fig. 4's runtime half):
+    prelude build on the host, host→device copy of the aux structures, then
+    the sequence of launches. *)
+type pipeline_time = {
+  kernels_ns : float;
+  per_launch : (string * float) list;
+  prelude_host_ns : float;
+  prelude_copy_ns : float;
+}
+
+let total_ns p = p.kernels_ns +. p.prelude_host_ns +. p.prelude_copy_ns
+
+let pipeline ~device ~lenv (launches : t list) : pipeline_time =
+  let kernels = List.concat_map (fun l -> l.kernels) launches in
+  let ctx = make_ctx ~device ~lenv ~kernels in
+  let per_launch = List.map (fun l -> (l.label, time ctx l)) launches in
+  let kernels_ns = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 per_launch in
+  let work = ctx.built.Prelude.storage_work + ctx.built.Prelude.fusion_work in
+  let prelude_host_ns = float_of_int work *. device.Device.aux_entry_ns in
+  let bytes = float_of_int (Prelude.bytes ctx.built) in
+  let prelude_copy_ns =
+    if device.Device.h2d_bytes_per_ns = infinity then 0.0
+    else bytes /. device.Device.h2d_bytes_per_ns
+  in
+  { kernels_ns; per_launch; prelude_host_ns; prelude_copy_ns }

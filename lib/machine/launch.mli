@@ -1,0 +1,49 @@
+(** Kernel launch timing: builds the launch-time environment (length
+    functions + prelude tables), enumerates the grid of thread blocks,
+    costs each block, and schedules them.  A launch of several kernels is
+    a {e horizontal fusion} (§4.1): one grid, one launch overhead. *)
+
+type t = {
+  kernels : Cora.Lower.kernel list;
+  label : string;
+}
+
+val single : Cora.Lower.kernel -> t
+
+(** Horizontally fuse several kernels into one launch (Fig. 5, step 3).
+    Raises {!Cora.Hfusion.Illegal} on racy fusions. *)
+val hfused : ?label:string -> Cora.Lower.kernel list -> t
+
+(** Launch-time context shared by a pipeline's kernels. *)
+type ctx = {
+  device : Device.t;
+  lenv : Cora.Lenfun.env;
+  built : Cora.Prelude.built;
+}
+
+val make_ctx : device:Device.t -> lenv:Cora.Lenfun.env -> kernels:Cora.Lower.kernel list -> ctx
+val cost_env : ctx -> Runtime.Cost_model.env
+
+(** Per-block (cost_ns, bytes).  Compute-bound kernels are priced by
+    lane-normalised operation counts; memory-bound ones by raw traffic
+    against the per-processor bandwidth share. *)
+val block_costs_bytes : ctx -> Cora.Lower.kernel -> (float * float) array
+
+val block_costs : ctx -> Cora.Lower.kernel -> float array
+
+(** Makespan of the launch's blocks plus the launch overhead; h-fused
+    kernels' blocks execute concurrently. *)
+val time : ctx -> t -> float
+
+type pipeline_time = {
+  kernels_ns : float;
+  per_launch : (string * float) list;
+  prelude_host_ns : float;
+  prelude_copy_ns : float;
+}
+
+val total_ns : pipeline_time -> float
+
+(** Time a sequence of launches, including prelude build and host→device
+    copy of the auxiliary structures (Fig. 4's runtime pipeline). *)
+val pipeline : device:Device.t -> lenv:Cora.Lenfun.env -> t list -> pipeline_time

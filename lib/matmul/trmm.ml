@@ -1,0 +1,169 @@
+open Cora
+module E = Ir.Expr
+
+(** Triangular matrix multiplication (§7.1, Fig. 9).
+
+    [C = A · B] where [A] is square lower-triangular: the reduction loop
+    over [k] has the variable bound [r + 1] — a ragged reduction.  Three
+    CoRa variants reproduce the paper's ablation:
+
+    - {e unsplit-unbalanced}: the tiled reduction keeps a per-iteration
+      bound check;
+    - {e split-unbalanced}: operation splitting (§4.1) peels the partial
+      last tile into a separate kernel, eliding the check from the main
+      body;
+    - {e split-balanced}: additionally issues row blocks heaviest-first via
+      thread remapping (§4.1, Fig. 14).
+
+    As in the paper, storage is fully padded ([A] stored square). *)
+
+type variant = Unsplit_unbalanced | Split_unbalanced | Split_balanced
+
+let variant_name = function
+  | Unsplit_unbalanced -> "CoRA-unsplit-unbalanced"
+  | Split_unbalanced -> "CoRA-split-unbalanced"
+  | Split_balanced -> "CoRA-split-balanced"
+
+type t = {
+  n : int;
+  a : Tensor.t;
+  b : Tensor.t;
+  c : Tensor.t;
+  kernels : Lower.kernel list;  (** one, or main+tail when split *)
+  lenv : Lenfun.env;
+}
+
+let tri = Lenfun.make "tri"
+
+let lenv_of n = [ Lenfun.of_fun "tri" (fun r -> min (r + 1) n) ]
+
+(* 64x64 output tiles: large enough that the block grid has only a few
+   waves per SM at mid sizes, where issue order visibly matters (Fig. 9). *)
+let build ?(tile = 64) ~(variant : variant) ~n () : t =
+  let mk name =
+    let rd = Dim.make "r" and cd = Dim.make "c" in
+    Tensor.create ~name ~dims:[ rd; cd ] ~extents:[ Shape.fixed n; Shape.fixed n ]
+  in
+  let a = mk "TA" and b = mk "TB" and c = mk "TC" in
+  let rd0 = List.nth c.Tensor.dims 0 in
+  let kd = Dim.make "k" in
+  let op =
+    Op.reduce ~name:"trmm" ~out:c
+      ~loop_extents:[ Shape.fixed n; Shape.fixed n ]
+      ~rdims:[ (kd, Shape.ragged ~dep:rd0 ~fn:tri) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ a; b ]
+      (fun idx ridx ->
+        let r = List.nth idx 0 and j = List.nth idx 1 in
+        let k = List.nth ridx 0 in
+        E.mul (Op.access a [ r; k ]) (Op.access b [ k; j ]))
+  in
+  let build_sched () =
+    let s = Schedule.create op in
+    Schedule.set_eff s 0.72;
+    let ro, ri = Schedule.split s (Schedule.axis_of_dim s 0) tile in
+    let jo, ji = Schedule.split s (Schedule.axis_of_dim s 1) tile in
+    let k = Schedule.axis_of_rdim s 0 in
+    let ko, ki = Schedule.split s k tile in
+    Schedule.reorder s [ ro; jo; ri; ji; ko; ki ];
+    List.iter (Schedule.bind_block s) [ ro; jo ];
+    Schedule.bind_thread s ri;
+    Schedule.bind_thread s ji;
+    (s, ro, k)
+  in
+  let kernels =
+    match variant with
+    | Unsplit_unbalanced ->
+        let s, _ro, _k = build_sched () in
+        [ Lower.lower s ]
+    | Split_unbalanced | Split_balanced ->
+        let s, ro, k = build_sched () in
+        if variant = Split_balanced then Schedule.set_remap s ro Schedule.Descending_work;
+        let main =
+          Lower.lower ~ranges:[ (k.Schedule.aid, Schedule.Tiles_only) ] ~name_suffix:"_main" s
+        in
+        let tail =
+          Lower.lower
+            ~ranges:[ (k.Schedule.aid, Schedule.Tail_only) ]
+            ~init:false ~name_suffix:"_tail" s
+        in
+        [ main; tail ]
+  in
+  { n; a; b; c; kernels; lenv = lenv_of n }
+
+(** Simulated wall time (ns). *)
+let time ~device (t : t) =
+  let p =
+    Machine.Launch.pipeline ~device ~lenv:t.lenv (List.map Machine.Launch.single t.kernels)
+  in
+  Machine.Launch.total_ns p
+
+(** Execute through the interpreter. *)
+let run (t : t) ~fill_a ~fill_b =
+  let ra = Ragged.alloc t.a t.lenv
+  and rb = Ragged.alloc t.b t.lenv
+  and rc = Ragged.alloc t.c t.lenv in
+  (* only the lower triangle of A is meaningful *)
+  Ragged.fill ra (fun idx ->
+      let r = List.nth idx 0 and c = List.nth idx 1 in
+      if c <= r then fill_a idx else 0.0);
+  Ragged.fill rb fill_b;
+  let _ = Exec.run_ragged ~lenv:t.lenv ~tensors:[ ra; rb; rc ] t.kernels in
+  (ra, rb, rc)
+
+(* ------------------------------------------------------------------ *)
+
+(** Triangular elementwise ops (tradd / trmul, §D.4 Table 6) on {e packed}
+    triangular (ragged) storage — the natural CoRa layout for a triangular
+    matrix. *)
+type elementwise = {
+  en : int;
+  ea : Tensor.t;
+  eb : Tensor.t;
+  ec : Tensor.t;
+  ekernel : Lower.kernel;
+  elenv : Lenfun.env;
+}
+
+let build_elementwise ~(op : [ `Add | `Mul ]) ~n () : elementwise =
+  let mk name =
+    let rd = Dim.make "r" and cd = Dim.make "c" in
+    Tensor.create ~name ~dims:[ rd; cd ]
+      ~extents:[ Shape.fixed n; Shape.ragged ~dep:rd ~fn:tri ]
+  in
+  let a = mk "EA" and b = mk "EB" and c = mk "EC" in
+  let o =
+    Op.compute
+      ~name:(match op with `Add -> "tradd" | `Mul -> "trmul")
+      ~out:c
+      ~loop_extents:
+        [ Shape.fixed n; Shape.ragged ~dep:(List.nth c.Tensor.dims 0) ~fn:tri ]
+      ~reads:[ a; b ]
+      (fun idx ->
+        let f = match op with `Add -> E.add | `Mul -> E.mul in
+        f (Op.access a idx) (Op.access b idx))
+  in
+  let s = Schedule.create o in
+  Schedule.set_eff s 0.9;
+  let tile = if n >= 32 then 32 else 2 in
+  let ro, ri = Schedule.split s (Schedule.axis_of_dim s 0) tile in
+  Schedule.bind_block s ro;
+  Schedule.bind_thread s ri;
+  ignore (Schedule.axis_of_dim s 1);
+  { en = n; ea = a; eb = b; ec = c; ekernel = Lower.lower s; elenv = lenv_of n }
+
+(** Elementwise triangular ops are bandwidth-bound; price them by traffic. *)
+let elementwise_time ~(device : Machine.Device.t) (e : elementwise) =
+  let nnz = float_of_int (e.en * (e.en + 1) / 2) in
+  let bytes = nnz *. 3.0 *. 4.0 in
+  (bytes /. device.Machine.Device.mem_bw_bytes_per_ns /. 0.9) +. device.Machine.Device.launch_ns
+
+let run_elementwise (e : elementwise) ~fill_a ~fill_b =
+  let ra = Ragged.alloc e.ea e.elenv
+  and rb = Ragged.alloc e.eb e.elenv
+  and rc = Ragged.alloc e.ec e.elenv in
+  Ragged.fill ra fill_a;
+  Ragged.fill rb fill_b;
+  let _ = Exec.run_ragged ~lenv:e.elenv ~tensors:[ ra; rb; rc ] [ e.ekernel ] in
+  (ra, rb, rc)

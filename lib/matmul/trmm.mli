@@ -1,0 +1,49 @@
+(** Triangular matrix multiplication (§7.1, Fig. 9) and triangular
+    elementwise operators (Table 6).
+
+    trmm's reduction loop has the variable bound [r + 1] — a ragged
+    reduction.  The three variants reproduce the paper's ablation:
+    unsplit (per-iteration bound check), split (operation splitting peels
+    the partial tile), and split+balanced (heaviest thread blocks issued
+    first). *)
+
+type variant = Unsplit_unbalanced | Split_unbalanced | Split_balanced
+
+val variant_name : variant -> string
+
+type t = {
+  n : int;
+  a : Cora.Tensor.t;
+  b : Cora.Tensor.t;
+  c : Cora.Tensor.t;
+  kernels : Cora.Lower.kernel list;  (** one, or main+tail when split *)
+  lenv : Cora.Lenfun.env;
+}
+
+val tri : Cora.Lenfun.t
+val lenv_of : int -> Cora.Lenfun.env
+val build : ?tile:int -> variant:variant -> n:int -> unit -> t
+val time : device:Machine.Device.t -> t -> float
+
+val run :
+  t -> fill_a:(int list -> float) -> fill_b:(int list -> float) ->
+  Cora.Ragged.t * Cora.Ragged.t * Cora.Ragged.t
+
+(** Triangular elementwise ops on packed (ragged) triangular storage. *)
+type elementwise = {
+  en : int;
+  ea : Cora.Tensor.t;
+  eb : Cora.Tensor.t;
+  ec : Cora.Tensor.t;
+  ekernel : Cora.Lower.kernel;
+  elenv : Cora.Lenfun.env;
+}
+
+val build_elementwise : op:[ `Add | `Mul ] -> n:int -> unit -> elementwise
+
+(** Bandwidth-bound pricing (these ops move 3 words per element). *)
+val elementwise_time : device:Machine.Device.t -> elementwise -> float
+
+val run_elementwise :
+  elementwise -> fill_a:(int list -> float) -> fill_b:(int list -> float) ->
+  Cora.Ragged.t * Cora.Ragged.t * Cora.Ragged.t

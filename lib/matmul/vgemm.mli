@@ -1,0 +1,29 @@
+(** Variable-sized batched gemm (§7.1, Fig. 8): a batch of gemms, each with
+    its own (M, N, K).  Storage is fully padded to the batch maxima, as in
+    the paper's evaluation — only the loops are ragged. *)
+
+type target = Gpu | Cpu
+
+type t = {
+  batch : int;
+  a : Cora.Tensor.t;
+  b : Cora.Tensor.t;
+  c : Cora.Tensor.t;
+  kernel : Cora.Lower.kernel;
+  lenv : Cora.Lenfun.env;
+  workload : Workloads.Vgemm_workload.t;
+}
+
+val lenv_of : Workloads.Vgemm_workload.t -> Cora.Lenfun.env
+
+(** Compile the vgemm kernel.  Dimensions must be multiples of [tile]
+    (the paper's workload uses multiples of 128). *)
+val build : ?tile:int -> target:target -> Workloads.Vgemm_workload.t -> t
+
+(** Simulated wall time (ns). *)
+val time : device:Machine.Device.t -> t -> float
+
+(** Execute through the interpreter; returns (A, B, C) values. *)
+val run :
+  t -> fill_a:(int list -> float) -> fill_b:(int list -> float) ->
+  Cora.Ragged.t * Cora.Ragged.t * Cora.Ragged.t

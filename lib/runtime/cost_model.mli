@@ -1,0 +1,60 @@
+(** Analytic cost model over lowered IR: counts the scalar work a kernel
+    performs (flops, index arithmetic, loads, auxiliary/indirect accesses,
+    stores, branches, intrinsics) with trip counts evaluated numerically
+    from the launch-time environment — so padding waste, the paper's
+    central quantity, is measured exactly without executing floating-point
+    work.  Loop nodes memoise on control-relevant outer values, making
+    transformer-sized kernels cost out in microseconds. *)
+
+type counts = {
+  flops : float;
+  iops : float;
+  loads : float;
+  indirect : float;  (** prelude-table (uninterpreted-function) accesses *)
+  stores : float;
+  branches : float;
+  intrinsics : float;
+}
+
+val zero_counts : counts
+val ( ++ ) : counts -> counts -> counts
+val scale : float -> counts -> counts
+val total : counts -> float
+
+(** Machine-shape parameters: within-block thread parallelism and SIMD
+    width (per-op costs live in the device model). *)
+type params = { lanes : int; vec_width : int }
+
+type env = {
+  mutable vars : int Ir.Var.Map.t;
+  ufuns : (string, int list -> int) Hashtbl.t;
+}
+
+val env_create : unit -> env
+val bind_var : env -> Ir.Var.t -> int -> unit
+val bind_ufun : env -> string -> (int list -> int) -> unit
+
+exception Cost_error of string
+
+(** Evaluate an integer / boolean control expression. *)
+val eval_int : env -> Ir.Expr.t -> int
+
+val eval_bool : env -> Ir.Expr.t -> bool
+
+(** Static per-evaluation counts of an expression ([Select] counts both
+    arms, as predication would). *)
+val expr_counts : Ir.Expr.t -> counts
+
+type node = env -> counts
+
+(** Compile a statement into a memoised cost function.  Nested GPU-thread
+    loops consume the lane budget multiplicatively; [Vectorized] loops
+    divide by the SIMD width; loads/stores to [Alloc]ed scratch count as
+    cheap integer ops, not memory traffic. *)
+val compile : params -> Ir.Stmt.t -> node
+
+(** Enumerate the grid: peel leading loops of [grid_kind], one block per
+    index combination, returning each block's variable assignment and
+    body. *)
+val enumerate_blocks :
+  grid_kind:Ir.Stmt.for_kind -> env -> Ir.Stmt.t -> (int Ir.Var.Map.t * Ir.Stmt.t) list

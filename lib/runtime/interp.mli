@@ -1,0 +1,38 @@
+(** Reference interpreter for the lowered IR — the ground truth of the test
+    suite.  Executes kernels scalar-by-scalar over real buffers with bounds
+    checking; GPU/parallel bindings run sequentially (bindings only matter
+    to the machine model). *)
+
+type value = VInt of int | VFloat of float | VBool of bool
+
+exception Error of string
+
+val to_int : value -> int
+val to_float : value -> float
+val to_bool : value -> bool
+
+type env = {
+  mutable vars : value Ir.Var.Map.t;
+  mutable bufs : Buffer.t Ir.Var.Map.t;
+  ufuns : (string, int list -> int) Hashtbl.t;
+  mutable loads : int;  (** statistics: scalar loads executed *)
+  mutable stores : int;
+  mutable flops : int;
+}
+
+val create : unit -> env
+val bind_buf : env -> Ir.Var.t -> Buffer.t -> unit
+val bind_var : env -> Ir.Var.t -> value -> unit
+val bind_ufun : env -> string -> (int list -> int) -> unit
+
+(** 1-argument ufun backed by an int array (bounds-checked). *)
+val bind_ufun_array : env -> string -> int array -> unit
+
+val eval : env -> Ir.Expr.t -> value
+val exec : env -> Ir.Stmt.t -> unit
+
+(** Execute with [Parallel]-bound loops spread across OCaml domains — the
+    multicore runtime for CPU-scheduled kernels.  Buffers are shared (a
+    correctly scheduled parallel loop writes disjoint locations); the
+    statistics counters are not aggregated across domains. *)
+val exec_multicore : ?domains:int -> env -> Ir.Stmt.t -> unit

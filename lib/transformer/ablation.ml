@@ -1,0 +1,606 @@
+open Cora
+module E = Ir.Expr
+
+(** Ablation studies on the transformer operators:
+
+    - Fig. 13: operation splitting and horizontal fusion on AttnV's
+      non-reduction vloop;
+    - Figs. 20–21: the same on one or both non-reduction vloops of QK^T;
+    - Fig. 11: fusing vs not fusing the padding-change operators in MHA;
+    - Fig. 23: the cost of vloops, vdims (auxiliary indirect accesses) and
+      the benefit of load hoisting, on a constant-length dataset. *)
+
+type target = Gpu | Cpu
+
+let seq = Builder.seq
+let nth = List.nth
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 13: AttnV — NoSplit / Split / Split-HFused                      *)
+
+type split_variant = No_split | Split | Split_hfused
+
+let split_variant_name = function
+  | No_split -> "NoSplit"
+  | Split -> "Split"
+  | Split_hfused -> "Split-HFused"
+
+(* AttnV over existing probs/qkv/attn tensors, with a parameterised row
+   treatment. [tile] is the large tile (64) the optimisation enables. *)
+let attnv_variant (cfg : Config.t) ~(tensors : Builder.tensors) ~(target : target)
+    ~(variant : split_variant) ~(tile : int) : Machine.Launch.t list =
+  let t = tensors in
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let op =
+    let cd = Dim.make "c" in
+    Op.reduce ~name:"AttnV" ~out:t.Builder.attn
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.Builder.attn.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (cd, Shape.ragged ~dep:(nth t.Builder.attn.Tensor.dims 0) ~fn:seq) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ t.Builder.probs; t.Builder.qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and j = nth idx 3 in
+        let c = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        let p = Op.access t.Builder.probs [ b; r; hh; c ] in
+        let v =
+          Op.access t.Builder.qkv
+            [ b; c; E.add (E.int (2 * h)) (E.add (E.mul hh (E.int dh)) j) ]
+        in
+        E.select (E.lt c sb) (E.mul p v) (E.float 0.0))
+  in
+  let mk_sched ~pad_rows =
+    let s = Schedule.create op in
+    Schedule.set_eff s (Builder.effs_of (match target with Gpu -> Builder.Gpu | Cpu -> Builder.Cpu)).Builder.sdpa;
+    Schedule.set_hoist s true;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and j = Schedule.axis_of_dim s 3 in
+    if pad_rows then Schedule.pad_loop s r tile;
+    let c = Schedule.axis_of_rdim s 0 in
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    Schedule.set_elide_guard s c;
+    let ro, ri = Schedule.split s r tile in
+    (* the constant-extent head-size loop is the outer thread loop so the
+       lane budget is consumed by a known extent even in tail kernels *)
+    Schedule.reorder s [ b; hh; ro; j; ri; c ];
+    (match target with
+    | Gpu ->
+        List.iter (Schedule.bind_block s) [ b; hh; ro ];
+        Schedule.bind_thread s j;
+        Schedule.bind_thread s ri
+    | Cpu ->
+        Schedule.parallelize s b;
+        Schedule.vectorize s j);
+    (s, r)
+  in
+  match variant with
+  | No_split ->
+      (* large tile forces padding rows to the tile multiple *)
+      let s, _ = mk_sched ~pad_rows:true in
+      [ Machine.Launch.single (Lower.lower s) ]
+  | Split | Split_hfused ->
+      let s, r = mk_sched ~pad_rows:false in
+      let main =
+        Lower.lower ~ranges:[ (r.Schedule.aid, Schedule.Tiles_only) ] ~name_suffix:"_tiles" s
+      in
+      let tail =
+        Lower.lower ~ranges:[ (r.Schedule.aid, Schedule.Tail_only) ] ~name_suffix:"_tail" s
+      in
+      if variant = Split_hfused then [ Machine.Launch.hfused [ main; tail ] ]
+      else [ Machine.Launch.single main; Machine.Launch.single tail ]
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 20–21: QK^T with splitting on one or both non-reduction vloops *)
+
+type qkt_variant = Qkt_no_split | Qkt_split1_hfused | Qkt_split2_hfused
+
+let qkt_variant_name = function
+  | Qkt_no_split -> "NoSplit"
+  | Qkt_split1_hfused -> "Split1-HFused"
+  | Qkt_split2_hfused -> "Split2-HFused"
+
+let qkt_variant (cfg : Config.t) ~(tensors : Builder.tensors) ~(target : target)
+    ~(variant : qkt_variant) ~(tile : int) : Machine.Launch.t list =
+  let t = tensors in
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let op =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"QKT" ~out:t.Builder.scores
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.Builder.scores.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.ragged ~dep:(nth t.Builder.scores.Tensor.dims 0) ~fn:seq;
+        ]
+      ~rdims:[ (kd, Shape.fixed dh) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~epilogue:(fun v -> E.mul v (E.float (1.0 /. sqrt (float_of_int dh))))
+      ~reads:[ t.Builder.qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and c = nth idx 3 in
+        let k = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        let q = Op.access t.Builder.qkv [ b; r; E.add (E.mul hh (E.int dh)) k ] in
+        let kk =
+          Op.access t.Builder.qkv [ b; c; E.add (E.int h) (E.add (E.mul hh (E.int dh)) k) ]
+        in
+        E.select (E.and_ (E.lt r sb) (E.lt c sb)) (E.mul q kk) (E.float 0.0))
+  in
+  let mk_sched ~pad_r ~pad_c =
+    let s = Schedule.create op in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s (Builder.effs_of (match target with Gpu -> Builder.Gpu | Cpu -> Builder.Cpu)).Builder.sdpa;
+    Schedule.set_hoist s true;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and c = Schedule.axis_of_dim s 3 in
+    if pad_r then Schedule.pad_loop s r tile;
+    if pad_c then Schedule.pad_loop s c tile;
+    let ro, ri = Schedule.split s r tile in
+    let co, ci = Schedule.split s c tile in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ b; hh; ro; co; ci; ri; k ];
+    (match target with
+    | Gpu ->
+        List.iter (Schedule.bind_block s) [ b; hh; ro ];
+        Schedule.bind_thread s ci;
+        Schedule.bind_thread s ri
+    | Cpu ->
+        Schedule.parallelize s b;
+        Schedule.vectorize s ci);
+    ignore co;
+    (s, r, c)
+  in
+  match variant with
+  | Qkt_no_split ->
+      let s, _, _ = mk_sched ~pad_r:true ~pad_c:true in
+      [ Machine.Launch.single (Lower.lower s) ]
+  | Qkt_split1_hfused ->
+      let s, r, _ = mk_sched ~pad_r:false ~pad_c:true in
+      let main =
+        Lower.lower ~ranges:[ (r.Schedule.aid, Schedule.Tiles_only) ] ~name_suffix:"_tiles" s
+      in
+      let tail =
+        Lower.lower ~ranges:[ (r.Schedule.aid, Schedule.Tail_only) ] ~name_suffix:"_tail" s
+      in
+      [ Machine.Launch.hfused [ main; tail ] ]
+  | Qkt_split2_hfused ->
+      let s, r, c = mk_sched ~pad_r:false ~pad_c:false in
+      let piece rm cm suffix =
+        Lower.lower
+          ~ranges:[ (r.Schedule.aid, rm); (c.Schedule.aid, cm) ]
+          ~name_suffix:suffix s
+      in
+      [
+        Machine.Launch.hfused
+          [
+            piece Schedule.Tiles_only Schedule.Tiles_only "_tt";
+            piece Schedule.Tiles_only Schedule.Tail_only "_tl";
+            piece Schedule.Tail_only Schedule.Tiles_only "_lt";
+            piece Schedule.Tail_only Schedule.Tail_only "_ll";
+          ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11: MHA with pad-change operators fused vs as separate kernels  *)
+
+(** Result of building the unfused-pads MHA: launches, kernels, the
+    underlying standard builder (whose weight/data tensors the kernels
+    share), and the extra padded intermediates. *)
+type unfused = {
+  u_launches : Machine.Launch.t list;
+  u_kernels : Lower.kernel list;
+  u_built : Builder.built;
+  u_padded : Tensor.t list;  (** QP, KP, VP, AOP *)
+}
+
+(** Unfused variant: explicit AddPad kernels materialise padded Q/K/V
+    tensors, SDPA reads them without predication, and a RemovePad kernel
+    packs the attention output back — FasterTransformer's structure. *)
+let mha_unfused_full (cfg : Config.t) ~(target : target) : unfused =
+  let builder_target = match target with Gpu -> Builder.Gpu | Cpu -> Builder.Cpu in
+  let built = Builder.build ~target:builder_target cfg in
+  let t = built.Builder.tensors in
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let effs = Builder.effs_of builder_target in
+  (* padded per-head tensors [B][s~32][H][dh] *)
+  let padded name =
+    let bd = Dim.make "batch" and rd = Dim.make "row" and hd = Dim.make "head" and jd = Dim.make "j" in
+    let tt =
+      Tensor.create ~name
+        ~dims:[ bd; rd; hd; jd ]
+        ~extents:
+          [
+            Shape.fixed cfg.Config.batch;
+            Shape.ragged ~dep:bd ~fn:seq;
+            Shape.fixed nh;
+            Shape.fixed dh;
+          ]
+    in
+    Tensor.pad_dimension tt rd cfg.Config.seq_pad;
+    tt
+  in
+  let qp = padded "QP" and kp = padded "KP" and vp = padded "VP" and aop = padded "AOP" in
+  let addpad name which out =
+    let op =
+      Op.compute ~name ~out
+        ~loop_extents:
+          [
+            Shape.fixed cfg.Config.batch;
+            Shape.ragged ~dep:(nth out.Tensor.dims 0) ~fn:seq;
+            Shape.fixed nh;
+            Shape.fixed dh;
+          ]
+        ~reads:[ t.Builder.qkv ]
+        (fun idx ->
+          let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and j = nth idx 3 in
+          let sb = E.ufun "seq" [ b ] in
+          E.select (E.lt r sb)
+            (Op.access t.Builder.qkv
+               [ b; r; E.add (E.int (which * h)) (E.add (E.mul hh (E.int dh)) j) ])
+            (E.float 0.0))
+    in
+    let s = Schedule.create op in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.elementwise;
+    Schedule.set_memory_bound s;
+    let b = Schedule.axis_of_dim s 0 and r = Schedule.axis_of_dim s 1 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    Schedule.reorder s [ b; ro; ri; Schedule.axis_of_dim s 2; Schedule.axis_of_dim s 3 ];
+    (match target with
+    | Gpu ->
+        List.iter (Schedule.bind_block s) [ b; ro ];
+        Schedule.bind_thread s ri;
+        Schedule.bind_thread s (Schedule.axis_of_dim s 3)
+    | Cpu ->
+        Schedule.parallelize s b;
+        Schedule.vectorize s (Schedule.axis_of_dim s 3));
+    Lower.lower s
+  in
+  (* QK^T and AttnV reading the padded tensors: no predication needed. *)
+  let op_qkt =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"QKT_prepadded" ~out:t.Builder.scores
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.Builder.scores.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.ragged ~dep:(nth t.Builder.scores.Tensor.dims 0) ~fn:seq;
+        ]
+      ~rdims:[ (kd, Shape.fixed dh) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~epilogue:(fun v -> E.mul v (E.float (1.0 /. sqrt (float_of_int dh))))
+      ~reads:[ qp; kp ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and c = nth idx 3 in
+        let k = nth ridx 0 in
+        E.mul (Op.access qp [ b; r; hh; k ]) (Op.access kp [ b; c; hh; k ]))
+  in
+  let qkt =
+    let s = Schedule.create op_qkt in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s true;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and c = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    let co, ci = Schedule.split s c cfg.Config.seq_pad in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ b; hh; ro; co; ri; ci; k ];
+    (match target with
+    | Gpu ->
+        List.iter (Schedule.bind_block s) [ b; hh; ro; co ];
+        Schedule.bind_thread s ri;
+        Schedule.bind_thread s ci
+    | Cpu ->
+        Schedule.parallelize s b;
+        Schedule.vectorize s ci);
+    Lower.lower s
+  in
+  let op_attnv =
+    let cd = Dim.make "c" in
+    Op.reduce ~name:"AttnV_prepadded" ~out:aop
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth aop.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (cd, Shape.ragged ~dep:(nth aop.Tensor.dims 0) ~fn:seq) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ t.Builder.probs; vp ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and j = nth idx 3 in
+        let c = nth ridx 0 in
+        E.mul (Op.access t.Builder.probs [ b; r; hh; c ]) (Op.access vp [ b; c; hh; j ]))
+  in
+  let attnv =
+    let s = Schedule.create op_attnv in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s true;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and j = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    let c = Schedule.axis_of_rdim s 0 in
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    Schedule.set_elide_guard s c;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    Schedule.reorder s [ b; hh; ro; ri; j; c ];
+    (match target with
+    | Gpu ->
+        List.iter (Schedule.bind_block s) [ b; hh; ro ];
+        Schedule.bind_thread s ri;
+        Schedule.bind_thread s j
+    | Cpu ->
+        Schedule.parallelize s b;
+        Schedule.vectorize s j);
+    Lower.lower s
+  in
+  (* RemovePad: pack AOP back into the packed AO layout. *)
+  let removepad =
+    let op =
+      Op.compute ~name:"RemovePad" ~out:t.Builder.attn
+        ~loop_extents:
+          [
+            Shape.fixed cfg.Config.batch;
+            Shape.ragged ~dep:(nth t.Builder.attn.Tensor.dims 0) ~fn:seq;
+            Shape.fixed nh;
+            Shape.fixed dh;
+          ]
+        ~reads:[ aop ]
+        (fun idx -> Op.access aop idx)
+    in
+    let s = Schedule.create op in
+    Schedule.set_eff s effs.Builder.elementwise;
+    Schedule.set_memory_bound s;
+    (match target with
+    | Gpu ->
+        Schedule.bind_block s (Schedule.axis_of_dim s 0);
+        Schedule.bind_thread s (Schedule.axis_of_dim s 3)
+    | Cpu -> Schedule.parallelize s (Schedule.axis_of_dim s 0));
+    Lower.lower s
+  in
+  let kernels =
+    [
+      built.Builder.qkv_proj;
+      addpad "AddPadQ" 0 qp;
+      addpad "AddPadK" 1 kp;
+      addpad "AddPadV" 2 vp;
+      qkt;
+      built.Builder.softmax;
+      attnv;
+      removepad;
+      built.Builder.proj2;
+    ]
+  in
+  {
+    u_launches = List.map Machine.Launch.single kernels;
+    u_kernels = kernels;
+    u_built = built;
+    u_padded = [ qp; kp; vp; aop ];
+  }
+
+let mha_unfused cfg ~target =
+  let u = mha_unfused_full cfg ~target in
+  (u.u_launches, u.u_kernels)
+
+(** Fused variant: the standard builder MHA (pad changes folded into the
+    compute kernels). *)
+let mha_fused (cfg : Config.t) ~(target : target) : Machine.Launch.t list =
+  let builder_target = match target with Gpu -> Builder.Gpu | Cpu -> Builder.Cpu in
+  Builder.mha_launches (Builder.build ~target:builder_target cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 23: Dense / +vloops / +vdims / +LoadHoist on constant lengths    *)
+
+type overhead_variant = Dense | Plus_vloops | Plus_vdims | Plus_loadhoist
+
+let overhead_variant_name = function
+  | Dense -> "Dense"
+  | Plus_vloops -> "+vloops"
+  | Plus_vdims -> "+vdims"
+  | Plus_loadhoist -> "+LoadHoist"
+
+(** The five MHA operators under the given variant, on a constant-length
+    batch (all lengths equal), per Fig. 23's methodology.  [Dense] uses
+    constant extents everywhere; [Plus_vloops] makes loops ragged over
+    dense storage; [Plus_vdims] adds ragged storage (auxiliary-structure
+    accesses in the offsets); [Plus_loadhoist] also hoists them. *)
+let overhead_mha (cfg : Config.t) ~(variant : overhead_variant) : (string * Lower.kernel) list
+    =
+  let len = cfg.Config.lens.(0) in
+  Array.iter (fun l -> if l <> len then invalid_arg "overhead_mha: lengths must be constant")
+    cfg.Config.lens;
+  let dense_storage = match variant with Dense | Plus_vloops -> true | _ -> false in
+  let dense_loops = match variant with Dense -> true | _ -> false in
+  (* The CUDA compiler hoists the simple auxiliary accesses of the
+     projection and AttnV operators by itself; only QK^T's complex fused
+     accesses defeat it (§D.7).  So "+vdims" models nvcc-level hoisting
+     everywhere except QK^T, and "+LoadHoist" adds CoRa's own hoisting
+     there. *)
+  let hoist = match variant with Dense | Plus_vloops -> false | Plus_vdims | Plus_loadhoist -> true in
+  let hoist_qkt = variant = Plus_loadhoist in
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let b = cfg.Config.batch in
+  let effs = Builder.gpu_effs in
+  (* tensors *)
+  let row_extent bd = if dense_storage then Shape.fixed len else Shape.ragged ~dep:bd ~fn:seq in
+  let token name inner =
+    let bd = Dim.make "batch" and ld = Dim.make "len" in
+    let dims = bd :: ld :: List.map (fun _ -> Dim.make "c") inner in
+    let tt = Tensor.create ~name ~dims ~extents:(Shape.fixed b :: row_extent bd :: inner) in
+    if not dense_storage then Tensor.set_bulk_pad tt cfg.Config.bulk;
+    tt
+  in
+  let matrix name =
+    let bd = Dim.make "batch" and rd = Dim.make "row" and hd = Dim.make "head" and cd = Dim.make "col" in
+    let tt =
+      Tensor.create ~name
+        ~dims:[ bd; rd; hd; cd ]
+        ~extents:[ Shape.fixed b; row_extent bd; Shape.fixed nh; row_extent bd ]
+    in
+    if not dense_storage then begin
+      Tensor.pad_dimension tt rd cfg.Config.seq_pad;
+      Tensor.pad_dimension tt cd cfg.Config.seq_pad
+    end;
+    tt
+  in
+  let in_t = token "OIN" [ Shape.fixed h ] in
+  let wqkv = Builder.dense_tensor "OWQKV" [ 3 * h; h ] in
+  let qkv = token "OQKV" [ Shape.fixed (3 * h) ] in
+  let scores = matrix "OX" and probs = matrix "OXS" in
+  let attn = token "OAO" [ Shape.fixed nh; Shape.fixed dh ] in
+  let w2 = Builder.dense_tensor "OW2" [ h; h ] in
+  let p2 = token "OP2" [ Shape.fixed h ] in
+  let loop_rows out_t = if dense_loops then Shape.fixed len else Shape.ragged ~dep:(nth out_t.Tensor.dims 0) ~fn:seq in
+  (* Proj1 *)
+  let op_p1 =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"Proj1" ~out:qkv
+      ~loop_extents:[ Shape.fixed b; loop_rows qkv; Shape.fixed (3 * h) ]
+      ~rdims:[ (kd, Shape.fixed h) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ in_t; wqkv ]
+      (fun idx ridx ->
+        E.mul
+          (Op.access in_t [ nth idx 0; nth idx 1; nth ridx 0 ])
+          (Op.access wqkv [ nth idx 2; nth ridx 0 ]))
+  in
+  let sched_gemm op =
+    let s = Schedule.create op in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.gemm;
+    Schedule.set_hoist s hoist;
+    let bax = Schedule.axis_of_dim s 0 and l = Schedule.axis_of_dim s 1 in
+    let lo, li = Schedule.split s l cfg.Config.seq_pad in
+    let jo, ji = Schedule.split s (Schedule.axis_of_dim s 2) (Builder.jtile_for cfg) in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ bax; lo; jo; li; ji; k ];
+    List.iter (Schedule.bind_block s) [ bax; lo; jo ];
+    Schedule.bind_thread s li;
+    Schedule.bind_thread s ji;
+    Lower.lower s
+  in
+  let p1 = sched_gemm op_p1 in
+  (* QK^T: fuse the (batch, row) pair when ragged — the configuration §D.7
+     singles out as having the most complex auxiliary accesses. *)
+  let op_qkt =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"QKT" ~out:scores
+      ~loop_extents:[ Shape.fixed b; loop_rows scores; Shape.fixed nh; loop_rows scores ]
+      ~rdims:[ (kd, Shape.fixed dh) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~epilogue:(fun v -> E.mul v (E.float (1.0 /. sqrt (float_of_int dh))))
+      ~reads:[ qkv ]
+      (fun idx ridx ->
+        let bb = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and c = nth idx 3 in
+        let k = nth ridx 0 in
+        E.mul
+          (Op.access qkv [ bb; r; E.add (E.mul hh (E.int dh)) k ])
+          (Op.access qkv [ bb; c; E.add (E.int h) (E.add (E.mul hh (E.int dh)) k) ]))
+  in
+  let qkt =
+    let s = Schedule.create op_qkt in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist_qkt;
+    let bax = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and c = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    let co, ci = Schedule.split s c cfg.Config.seq_pad in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ bax; hh; ro; co; ri; ci; k ];
+    List.iter (Schedule.bind_block s) [ bax; hh; ro; co ];
+    Schedule.bind_thread s ri;
+    Schedule.bind_thread s ci;
+    Lower.lower s
+  in
+  (* Softmax *)
+  let softmax =
+    Custom.softmax ~cfg ~scores ~probs ~target:Custom.Gpu ~eff:effs.Builder.softmax
+      ~name:"Softmax" ()
+  in
+  (* AttnV *)
+  let op_attnv =
+    let cd = Dim.make "c" in
+    Op.reduce ~name:"AttnV" ~out:attn
+      ~loop_extents:[ Shape.fixed b; loop_rows attn; Shape.fixed nh; Shape.fixed dh ]
+      ~rdims:
+        [ (cd, if dense_loops then Shape.fixed len else Shape.ragged ~dep:(nth attn.Tensor.dims 0) ~fn:seq) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ probs; qkv ]
+      (fun idx ridx ->
+        let bb = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and j = nth idx 3 in
+        let c = nth ridx 0 in
+        E.mul
+          (Op.access probs [ bb; r; hh; c ])
+          (Op.access qkv [ bb; c; E.add (E.int (2 * h)) (E.add (E.mul hh (E.int dh)) j) ]))
+  in
+  let attnv =
+    let s = Schedule.create op_attnv in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let bax = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and j = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    let c = Schedule.axis_of_rdim s 0 in
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    Schedule.set_elide_guard s c;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    Schedule.reorder s [ bax; hh; ro; ri; j; c ];
+    List.iter (Schedule.bind_block s) [ bax; hh; ro ];
+    Schedule.bind_thread s ri;
+    Schedule.bind_thread s j;
+    Lower.lower s
+  in
+  (* Proj2 *)
+  let op_p2 =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"Proj2" ~out:p2
+      ~loop_extents:[ Shape.fixed b; loop_rows p2; Shape.fixed h ]
+      ~rdims:[ (kd, Shape.fixed h) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ attn; w2 ]
+      (fun idx ridx ->
+        let k = nth ridx 0 in
+        E.mul
+          (Op.access attn [ nth idx 0; nth idx 1; E.floordiv k (E.int dh); E.imod k (E.int dh) ])
+          (Op.access w2 [ nth idx 2; k ]))
+  in
+  let p2k = sched_gemm op_p2 in
+  [ ("Proj1", p1); ("QKT", qkt); ("Softmax", softmax); ("AttnV", attnv); ("Proj2", p2k) ]

@@ -1,0 +1,69 @@
+(** Ablation studies on the transformer operators: operation splitting and
+    horizontal fusion (Figs. 13, 20, 21), fused vs explicit padding-change
+    operators (Fig. 11), and the vloops/vdims/load-hoisting overhead study
+    (Fig. 23). *)
+
+type target = Gpu | Cpu
+
+(** {1 Fig. 13 — AttnV} *)
+
+type split_variant = No_split | Split | Split_hfused
+
+val split_variant_name : split_variant -> string
+
+(** AttnV with a parameterised row treatment: [No_split] pads rows to the
+    large [tile]; the split variants peel the partial tile (two sequential
+    launches, or one horizontally fused launch). *)
+val attnv_variant :
+  Config.t ->
+  tensors:Builder.tensors ->
+  target:target ->
+  variant:split_variant ->
+  tile:int ->
+  Machine.Launch.t list
+
+(** {1 Figs. 20–21 — QK^T} *)
+
+type qkt_variant = Qkt_no_split | Qkt_split1_hfused | Qkt_split2_hfused
+
+val qkt_variant_name : qkt_variant -> string
+
+(** QK^T with splitting on the outer non-reduction vloop ([Split1]) or on
+    both ([Split2], a 4-way h-fused grid of tile/tail pieces). *)
+val qkt_variant :
+  Config.t ->
+  tensors:Builder.tensors ->
+  target:target ->
+  variant:qkt_variant ->
+  tile:int ->
+  Machine.Launch.t list
+
+(** {1 Fig. 11 — padding-change fusion} *)
+
+type unfused = {
+  u_launches : Machine.Launch.t list;
+  u_kernels : Cora.Lower.kernel list;
+  u_built : Builder.built;
+  u_padded : Cora.Tensor.t list;  (** QP, KP, VP, AOP *)
+}
+
+(** MHA with explicit AddPad ×3 / RemovePad kernels (FasterTransformer's
+    structure). *)
+val mha_unfused_full : Config.t -> target:target -> unfused
+
+val mha_unfused : Config.t -> target:target -> Machine.Launch.t list * Cora.Lower.kernel list
+
+(** The standard builder MHA (pad changes folded into the compute). *)
+val mha_fused : Config.t -> target:target -> Machine.Launch.t list
+
+(** {1 Fig. 23 — ragged overheads} *)
+
+type overhead_variant = Dense | Plus_vloops | Plus_vdims | Plus_loadhoist
+
+val overhead_variant_name : overhead_variant -> string
+
+(** The five MHA operators on a constant-length batch under the variant:
+    dense extents everywhere; ragged loops over dense storage; ragged
+    storage (auxiliary accesses — un-hoistable only in QK^T, matching
+    §D.7's account of nvcc); or with CoRa's own hoisting. *)
+val overhead_mha : Config.t -> variant:overhead_variant -> (string * Cora.Lower.kernel) list

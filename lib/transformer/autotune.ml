@@ -1,0 +1,80 @@
+open Cora
+
+(** Grid-search auto-scheduling (§6: the paper's evaluation uses "a
+    combination of manual scheduling and grid search"; full auto-scheduling
+    is called out as future work — this module implements the grid-search
+    half for the fused-token gemm operators, using the machine model as the
+    cost oracle). *)
+
+type candidate = { ftile : int; jtile : int }
+
+let default_space =
+  List.concat_map
+    (fun ftile -> List.map (fun jtile -> { ftile; jtile }) [ 32; 64; 128; 256 ])
+    [ 32; 64; 128 ]
+
+type result = {
+  best : candidate;
+  best_ns : float;
+  default_ns : float;  (** the hand schedule (ftile = bulk, jtile = 128) *)
+  evaluated : (candidate * float) list;
+}
+
+(** A QKV-projection gemm over the given config, scheduled with the
+    candidate's tiles.  Pass [tensors] to reuse an existing tensor set
+    (needed when the kernel will actually be executed). *)
+let qkv_with ?tensors (cfg : Config.t) (c : candidate) : Lower.kernel =
+  let t = match tensors with Some t -> t | None -> Builder.make_tensors cfg in
+  let h = cfg.Config.hidden in
+  let nth = List.nth in
+  let op =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"QKVProj" ~out:t.Builder.qkv
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.Builder.qkv.Tensor.dims 0) ~fn:Builder.seq;
+          Shape.fixed (3 * h);
+        ]
+      ~rdims:[ (kd, Shape.fixed h) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun idx -> Op.access t.Builder.bqkv [ nth idx 2 ])
+      ~reads:[ t.Builder.in_t; t.Builder.wqkv; t.Builder.bqkv ]
+      (fun idx ridx ->
+        Ir.Expr.mul
+          (Op.access t.Builder.in_t [ nth idx 0; nth idx 1; nth ridx 0 ])
+          (Op.access t.Builder.wqkv [ nth idx 2; nth ridx 0 ]))
+  in
+  let s = Schedule.create op in
+  Schedule.set_guard_mode s Schedule.Elide;
+  Schedule.set_eff s (Builder.gpu_effs).Builder.gemm;
+  let f = Schedule.fuse s (Schedule.axis_of_dim s 0) (Schedule.axis_of_dim s 1) in
+  Schedule.pad_loop s f (Shape.pad_to cfg.Config.bulk c.ftile) (* bulk must cover the tile *);
+  let fo, fi = Schedule.split s f c.ftile in
+  let jo, ji = Schedule.split s (Schedule.axis_of_dim s 2) (min c.jtile (3 * h)) in
+  let k = Schedule.axis_of_rdim s 0 in
+  Schedule.reorder s [ fo; jo; fi; ji; k ];
+  Schedule.bind_block s fo;
+  Schedule.bind_block s jo;
+  Schedule.bind_thread s fi;
+  Schedule.bind_thread s ji;
+  Lower.lower s
+
+(** Grid-search the QKV projection for one batch configuration. *)
+let tune_qkv ?(space = default_space) ~(device : Machine.Device.t) (cfg : Config.t) : result =
+  let evaluate c =
+    let k = qkv_with cfg c in
+    let p =
+      Machine.Launch.pipeline ~device ~lenv:(Config.lenv cfg) [ Machine.Launch.single k ]
+    in
+    p.Machine.Launch.kernels_ns
+  in
+  let evaluated = List.map (fun c -> (c, evaluate c)) space in
+  let best, best_ns =
+    List.fold_left
+      (fun (bc, bt) (c, t) -> if t < bt then (c, t) else (bc, bt))
+      (List.hd evaluated |> fst, List.hd evaluated |> snd)
+      evaluated
+  in
+  let default_ns = evaluate { ftile = cfg.Config.bulk; jtile = 128 } in
+  { best; best_ns; default_ns; evaluated }

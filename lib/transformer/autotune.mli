@@ -1,0 +1,20 @@
+(** Grid-search auto-scheduling (§6 uses "manual scheduling and grid
+    search"; full auto-scheduling is the paper's future work).  Searches
+    the fused-token gemm tile space with the machine model as oracle. *)
+
+type candidate = { ftile : int; jtile : int }
+
+val default_space : candidate list
+
+type result = {
+  best : candidate;
+  best_ns : float;
+  default_ns : float;  (** the hand schedule (ftile = bulk, jtile = 128) *)
+  evaluated : (candidate * float) list;
+}
+
+(** The QKV projection scheduled with the candidate's tiles; pass [tensors]
+    to reuse an existing tensor set (needed to execute the kernel). *)
+val qkv_with : ?tensors:Builder.tensors -> Config.t -> candidate -> Cora.Lower.kernel
+
+val tune_qkv : ?space:candidate list -> device:Machine.Device.t -> Config.t -> result

@@ -1,0 +1,333 @@
+open Cora
+module E = Ir.Expr
+
+(** Backward pass of scaled dot-product attention on ragged tensors.
+
+    The paper's memory study (§7.2 "Memory Consumption", §D.5) is about the
+    forward activations kept for training's backward pass; this module
+    closes the loop by implementing that backward pass itself with CoRa:
+    given the saved attention probabilities [P] and the upstream gradient
+    [dO], compute [dQ], [dK], [dV].
+
+    Gradient operators exercise raggedness patterns the forward pass does
+    not: [dV] and [dK] reduce over the ragged {e row} dimension (the
+    forward reductions run over columns), producing ragged outputs from
+    ragged reductions. *)
+
+type t = {
+  cfg : Config.t;
+  qkv : Tensor.t;  (** forward input: fused QKV activations [B][s][3h] *)
+  probs : Tensor.t;  (** saved softmax output [B][s~32][H][s~32] *)
+  dout : Tensor.t;  (** upstream gradient [B][s][H][dh] *)
+  dscores : Tensor.t;  (** gradient w.r.t. pre-softmax scores *)
+  dprobs : Tensor.t;  (** gradient w.r.t. probabilities *)
+  dq : Tensor.t;
+  dk : Tensor.t;
+  dv : Tensor.t;
+  kernels : Lower.kernel list;
+}
+
+let seq = Builder.seq
+let nth = List.nth
+
+let build ?(hoist = true) (cfg : Config.t) : t =
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let effs = Builder.gpu_effs in
+  let qkv = Builder.token_tensor cfg "BQKV" [ Shape.fixed (3 * h) ] in
+  let head_tensor name = Builder.token_tensor cfg name [ Shape.fixed nh; Shape.fixed dh ] in
+  let dout = head_tensor "DOUT" in
+  let dq = head_tensor "GQ" and dk = head_tensor "GK" and dv = head_tensor "GV" in
+  let matrix name =
+    let bd = Dim.make "batch" and rd = Dim.make "row" and hd = Dim.make "head" and cd = Dim.make "col" in
+    let t =
+      Tensor.create ~name
+        ~dims:[ bd; rd; hd; cd ]
+        ~extents:
+          [
+            Shape.fixed cfg.Config.batch;
+            Shape.ragged ~dep:bd ~fn:seq;
+            Shape.fixed nh;
+            Shape.ragged ~dep:bd ~fn:seq;
+          ]
+    in
+    Tensor.pad_dimension t rd cfg.Config.seq_pad;
+    Tensor.pad_dimension t cd cfg.Config.seq_pad;
+    t
+  in
+  let probs = matrix "BXS" and dprobs = matrix "GXP" and dscores = matrix "GX" in
+  let scale = 1.0 /. sqrt (float_of_int dh) in
+
+  (* standard SDPA-style schedule over [b; hh; row-tiles] blocks *)
+  let sdpa_schedule ?(elide_red = true) op =
+    let s = Schedule.create op in
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and j = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    let red = Schedule.axis_of_rdim s 0 in
+    Schedule.pad_loop s red cfg.Config.seq_pad;
+    if elide_red then Schedule.set_elide_guard s red;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    Schedule.reorder s [ b; hh; ro; j; ri; red ];
+    List.iter (Schedule.bind_block s) [ b; hh; ro ];
+    Schedule.bind_thread s j;
+    Schedule.bind_thread s ri;
+    Lower.lower s
+  in
+
+  (* --- dV[b,c,hh,k] = Σ_r P[b,r,hh,c] · dO[b,r,hh,k] : ragged reduction
+         over the ROW dimension --- *)
+  let op_dv =
+    let rd = Dim.make "r" in
+    Op.reduce ~name:"dV" ~out:dv
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth dv.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (rd, Shape.ragged ~dep:(nth dv.Tensor.dims 0) ~fn:seq) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ probs; dout ]
+      (fun idx ridx ->
+        let b = nth idx 0 and c = nth idx 1 and hh = nth idx 2 and k = nth idx 3 in
+        let r = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        (* P at padded rows is zero, but dO's packed storage must not be
+           read out of bounds *)
+        E.select (E.lt r sb)
+          (E.mul (Op.access probs [ b; r; hh; c ]) (Op.access dout [ b; r; hh; k ]))
+          (E.float 0.0))
+  in
+  let kdv = sdpa_schedule op_dv in
+
+  (* --- dP[b,r,hh,c] = Σ_k dO[b,r,hh,k] · V[b,c,hh,k] --- *)
+  let op_dp =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"dP" ~out:dprobs
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth dprobs.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.ragged ~dep:(nth dprobs.Tensor.dims 0) ~fn:seq;
+        ]
+      ~rdims:[ (kd, Shape.fixed dh) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ dout; qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and c = nth idx 3 in
+        let k = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        let v =
+          Op.access qkv [ b; c; E.add (E.int (2 * h)) (E.add (E.mul hh (E.int dh)) k) ]
+        in
+        E.select (E.and_ (E.lt r sb) (E.lt c sb))
+          (E.mul (Op.access dout [ b; r; hh; k ]) v)
+          (E.float 0.0))
+  in
+  let kdp =
+    let s = Schedule.create op_dp in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and c = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    let co, ci = Schedule.split s c cfg.Config.seq_pad in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ b; hh; ro; co; ri; ci; k ];
+    List.iter (Schedule.bind_block s) [ b; hh; ro; co ];
+    Schedule.bind_thread s ri;
+    Schedule.bind_thread s ci;
+    Lower.lower s
+  in
+
+  (* --- softmax backward (custom kernel):
+         dS[r, c] = scale · P[r, c] · (dP[r, c] − Σ_c' P[r, c']·dP[r, c'])
+         (the 1/sqrt(dh) scale folds the QK^T epilogue's derivative) --- *)
+  let softmax_bwd =
+    let b = Ir.Var.fresh "b"
+    and hh = Ir.Var.fresh "hh"
+    and r = Ir.Var.fresh "r"
+    and c1 = Ir.Var.fresh "c1"
+    and c2 = Ir.Var.fresh "c2" in
+    let seqb = E.ufun "seq" [ E.var b ] in
+    let aux = ref [] in
+    let add_aux defs =
+      List.iter
+        (fun (d : Prelude.def) ->
+          if not (List.exists (fun x -> x.Prelude.name = d.Prelude.name) !aux) then
+            aux := !aux @ [ d ])
+        defs
+    in
+    let at tensor cv =
+      let off, defs = Storage.lower tensor [ E.var b; E.var r; E.var hh; E.var cv ] in
+      add_aux defs;
+      (E.load tensor.Tensor.buf off, off)
+    in
+    let dot = Ir.Var.fresh "dot" in
+    let p1, _ = at probs c1 and dp1, _ = at dprobs c1 in
+    let p2, _ = at probs c2 and dp2, _ = at dprobs c2 in
+    let _, out_off = at dscores c2 in
+    let body =
+      Ir.Stmt.Alloc
+        {
+          buf = dot;
+          size = E.one;
+          body =
+            Ir.Stmt.seq
+              [
+                Ir.Stmt.Store { buf = dot; index = E.zero; value = E.float 0.0 };
+                Ir.Stmt.For
+                  {
+                    var = c1;
+                    min = E.zero;
+                    extent = seqb;
+                    kind = Serial;
+                    body =
+                      Ir.Stmt.Reduce_store
+                        { buf = dot; index = E.zero; value = E.mul p1 dp1; op = Sum };
+                  };
+                Ir.Stmt.For
+                  {
+                    var = c2;
+                    min = E.zero;
+                    extent = E.pad_up seqb cfg.Config.seq_pad;
+                    kind = Serial;
+                    body =
+                      Ir.Stmt.Store
+                        {
+                          buf = dscores.Tensor.buf;
+                          index = out_off;
+                          value =
+                            E.select (E.lt (E.var c2) seqb)
+                              (E.mul (E.float scale)
+                                 (E.mul p2 (E.sub dp2 (E.load dot E.zero))))
+                              (E.float 0.0);
+                        };
+                  };
+              ];
+        }
+    in
+    let guarded = Ir.Stmt.If (E.lt (E.var r) seqb, body, None) in
+    let nest =
+      Ir.Stmt.For
+        {
+          var = b;
+          min = E.zero;
+          extent = E.int cfg.Config.batch;
+          kind = Gpu_block;
+          body =
+            Ir.Stmt.For
+              {
+                var = hh;
+                min = E.zero;
+                extent = E.int nh;
+                kind = Gpu_block;
+                body =
+                  Ir.Stmt.For
+                    {
+                      var = r;
+                      min = E.zero;
+                      extent = E.pad_up seqb cfg.Config.seq_pad;
+                      kind = Gpu_thread;
+                      body = guarded;
+                    };
+              };
+        }
+    in
+    let nest = if hoist then Hoist.hoist nest else nest in
+    {
+      Lower.kname = "SoftmaxBwd";
+      body = nest;
+      aux = !aux;
+      triples = [];
+      eff = effs.Builder.softmax;
+      remap = Schedule.No_remap;
+      bound = Schedule.Memory_bound;
+      out = dscores;
+    }
+  in
+
+  (* --- dQ[b,r,hh,k] = Σ_c dS[b,r,hh,c] · K[b,c,hh,k] --- *)
+  let op_dq =
+    let cd = Dim.make "c" in
+    Op.reduce ~name:"dQ" ~out:dq
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth dq.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (cd, Shape.ragged ~dep:(nth dq.Tensor.dims 0) ~fn:seq) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ dscores; qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and k = nth idx 3 in
+        let c = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        let kk =
+          Op.access qkv [ b; c; E.add (E.int h) (E.add (E.mul hh (E.int dh)) k) ]
+        in
+        E.select (E.lt c sb) (E.mul (Op.access dscores [ b; r; hh; c ]) kk) (E.float 0.0))
+  in
+  let kdq = sdpa_schedule op_dq in
+
+  (* --- dK[b,c,hh,k] = Σ_r dS[b,r,hh,c] · Q[b,r,hh,k] : again a ragged
+         row reduction --- *)
+  let op_dk =
+    let rd = Dim.make "r" in
+    Op.reduce ~name:"dK" ~out:dk
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth dk.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (rd, Shape.ragged ~dep:(nth dk.Tensor.dims 0) ~fn:seq) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ dscores; qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and c = nth idx 1 and hh = nth idx 2 and k = nth idx 3 in
+        let r = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        let q = Op.access qkv [ b; r; E.add (E.mul hh (E.int dh)) k ] in
+        E.select (E.lt r sb) (E.mul (Op.access dscores [ b; r; hh; c ]) q) (E.float 0.0))
+  in
+  let kdk = sdpa_schedule op_dk in
+
+  {
+    cfg;
+    qkv;
+    probs;
+    dout;
+    dscores;
+    dprobs;
+    dq;
+    dk;
+    dv;
+    kernels = [ kdv; kdp; softmax_bwd; kdq; kdk ];
+  }
+
+(** Simulated wall time of the SDPA backward. *)
+let time ~device (t : t) =
+  let p =
+    Machine.Launch.pipeline ~device ~lenv:(Config.lenv t.cfg)
+      (List.map Machine.Launch.single t.kernels)
+  in
+  Machine.Launch.total_ns p

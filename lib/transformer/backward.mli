@@ -1,0 +1,20 @@
+(** Backward pass of scaled dot-product attention on ragged tensors —
+    closing the training loop the paper's memory study (§7.2, §D.5)
+    motivates.  Gradient operators exercise new raggedness patterns: [dV]
+    and [dK] reduce over the ragged {e row} dimension. *)
+
+type t = {
+  cfg : Config.t;
+  qkv : Cora.Tensor.t;  (** forward input [B][s][3h] *)
+  probs : Cora.Tensor.t;  (** saved softmax output *)
+  dout : Cora.Tensor.t;  (** upstream gradient [B][s][H][dh] *)
+  dscores : Cora.Tensor.t;
+  dprobs : Cora.Tensor.t;
+  dq : Cora.Tensor.t;
+  dk : Cora.Tensor.t;
+  dv : Cora.Tensor.t;
+  kernels : Cora.Lower.kernel list;  (** dV · dP · SoftmaxBwd · dQ · dK *)
+}
+
+val build : ?hoist:bool -> Config.t -> t
+val time : device:Machine.Device.t -> t -> float

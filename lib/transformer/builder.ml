@@ -1,0 +1,418 @@
+open Cora
+module E = Ir.Expr
+
+(** CoRa implementation of the transformer encoder layer (Fig. 3, right).
+
+    Nine kernels, matching the paper's fusion structure:
+    QKVProj · (AddPad+)QK^T · (ChangePad+)Softmax(+ChangePad) · AttnV ·
+    (RemovePad+)Proj2(+Bias+Residual) · LayerNorm · FF1(+Bias+Gelu) ·
+    FF2(+Bias+Residual) · LayerNorm.
+
+    All linear operators run over the fused, bulk-padded token loop (§5.1,
+    §7.2); the SDPA operators use partial padding to [seq_pad] with the
+    AddPad/RemovePad operators fused in as predicated loads/guarded
+    stores. *)
+
+type target = Gpu | Cpu
+
+let custom_target = function Gpu -> Custom.Gpu | Cpu -> Custom.Cpu
+
+(** Per-kernel efficiency factors: how close each class of generated code
+    gets to the device's peak, per backend.  GPU numbers are calibrated so
+    the simulated encoder matches the magnitude and ordering of Table 4;
+    the CPU numbers model OpenBLAS-tile offload for the projections (§D.8)
+    and plainer compiled code elsewhere. *)
+type effs = {
+  gemm : float;
+  sdpa : float;
+  softmax : float;
+  norm : float;
+  elementwise : float;
+}
+
+let gpu_effs = { gemm = 0.88; sdpa = 0.75; softmax = 0.72; norm = 0.72; elementwise = 0.7 }
+let cpu_effs = { gemm = 0.76; sdpa = 0.59; softmax = 0.6; norm = 0.6; elementwise = 0.5 }
+
+let effs_of = function Gpu -> gpu_effs | Cpu -> cpu_effs
+
+type tensors = {
+  in_t : Tensor.t;  (** input hidden states [B][s][h] *)
+  wqkv : Tensor.t;
+  bqkv : Tensor.t;
+  qkv : Tensor.t;  (** fused QKV projection output [B][s][3h] *)
+  scores : Tensor.t;  (** attention scores [B][s~32][H][s~32] *)
+  probs : Tensor.t;  (** softmax output, same layout *)
+  attn : Tensor.t;  (** attention output [B][s][H][dh] *)
+  w2 : Tensor.t;
+  b2 : Tensor.t;
+  p2 : Tensor.t;  (** projection + residual [B][s][h] *)
+  ln1 : Tensor.t;
+  wf1 : Tensor.t;
+  bf1 : Tensor.t;
+  f1 : Tensor.t;  (** FF inner activations [B][s][ff] *)
+  wf2 : Tensor.t;
+  bf2 : Tensor.t;
+  out : Tensor.t;  (** layer output [B][s][h] *)
+}
+
+let seq = Lenfun.make "seq"
+
+(** A bulk-padded ragged "token" tensor [B][s(b)][inner...]. *)
+let token_tensor (cfg : Config.t) name inner_extents =
+  let bd = Dim.make "batch" and ld = Dim.make "len" in
+  let inner_dims = List.map (fun _ -> Dim.make "c") inner_extents in
+  let t =
+    Tensor.create ~name ~dims:(bd :: ld :: inner_dims)
+      ~extents:(Shape.fixed cfg.Config.batch :: Shape.ragged ~dep:bd ~fn:seq :: inner_extents)
+  in
+  Tensor.set_bulk_pad t cfg.Config.bulk;
+  t
+
+let dense_tensor name extents =
+  let dims = List.map (fun _ -> Dim.make "d") extents in
+  Tensor.create ~name ~dims ~extents:(List.map Shape.fixed extents)
+
+let make_tensors (cfg : Config.t) : tensors =
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let ff = cfg.Config.ff in
+  (* attention scores/probs: [B][row][H][col], rows and cols padded to the
+     partial-padding multiple *)
+  let attn_matrix name =
+    let bd = Dim.make "batch" and rd = Dim.make "row" and hd = Dim.make "head" and cd = Dim.make "col" in
+    let t =
+      Tensor.create ~name
+        ~dims:[ bd; rd; hd; cd ]
+        ~extents:
+          [
+            Shape.fixed cfg.Config.batch;
+            Shape.ragged ~dep:bd ~fn:seq;
+            Shape.fixed nh;
+            Shape.ragged ~dep:bd ~fn:seq;
+          ]
+    in
+    Tensor.pad_dimension t rd cfg.Config.seq_pad;
+    Tensor.pad_dimension t cd cfg.Config.seq_pad;
+    t
+  in
+  {
+    in_t = token_tensor cfg "IN" [ Shape.fixed h ];
+    wqkv = dense_tensor "WQKV" [ 3 * h; h ];
+    bqkv = dense_tensor "BQKV" [ 3 * h ];
+    qkv = token_tensor cfg "QKV" [ Shape.fixed (3 * h) ];
+    scores = attn_matrix "X";
+    probs = attn_matrix "XS";
+    attn = token_tensor cfg "AO" [ Shape.fixed nh; Shape.fixed dh ];
+    w2 = dense_tensor "W2" [ h; h ];
+    b2 = dense_tensor "B2" [ h ];
+    p2 = token_tensor cfg "P2" [ Shape.fixed h ];
+    ln1 = token_tensor cfg "LN1" [ Shape.fixed h ];
+    wf1 = dense_tensor "WF1" [ ff; h ];
+    bf1 = dense_tensor "BF1" [ ff ];
+    f1 = token_tensor cfg "F1" [ Shape.fixed ff ];
+    wf2 = dense_tensor "WF2" [ h; ff ];
+    bf2 = dense_tensor "BF2" [ h ];
+    out = token_tensor cfg "OUT" [ Shape.fixed h ];
+  }
+
+let all_tensors t =
+  [
+    t.in_t; t.wqkv; t.bqkv; t.qkv; t.scores; t.probs; t.attn; t.w2; t.b2; t.p2; t.ln1;
+    t.wf1; t.bf1; t.f1; t.wf2; t.bf2; t.out;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+
+(** Schedule a fused-token gemm ([out\[b,l,j\] = Σ_k ...]): fuse (batch, len)
+    with bulk padding, tile the fused loop by [bulk] and the output feature
+    dim by [jtile]. *)
+let gemm_schedule (cfg : Config.t) ~target ~eff ~jtile op =
+  let s = Schedule.create op in
+  Schedule.set_guard_mode s Schedule.Elide;
+  Schedule.set_eff s eff;
+  let f = Schedule.fuse s (Schedule.axis_of_dim s 0) (Schedule.axis_of_dim s 1) in
+  Schedule.pad_loop s f cfg.Config.bulk;
+  let fo, fi = Schedule.split s f cfg.Config.bulk in
+  let jo, ji = Schedule.split s (Schedule.axis_of_dim s 2) jtile in
+  let k = Schedule.axis_of_rdim s 0 in
+  Schedule.reorder s [ fo; jo; fi; ji; k ];
+  (match target with
+  | Gpu ->
+      Schedule.bind_block s fo;
+      Schedule.bind_block s jo;
+      Schedule.bind_thread s fi;
+      Schedule.bind_thread s ji
+  | Cpu ->
+      Schedule.parallelize s fo;
+      Schedule.vectorize s ji);
+  s
+
+let gelu x =
+  E.mul (E.mul (E.float 0.5) x)
+    (E.add (E.float 1.0)
+       (E.call "tanh"
+          [
+            E.mul (E.float 0.7978845608)
+              (E.add x (E.mul (E.float 0.044715) (E.mul x (E.mul x x))));
+          ]))
+
+(** The full set of compiled kernels of one encoder layer, in execution
+    order, plus handles needed by benchmarks. *)
+type built = {
+  cfg : Config.t;
+  tensors : tensors;
+  lenv : Lenfun.env;
+  qkv_proj : Lower.kernel;
+  qkt : Lower.kernel;
+  softmax : Lower.kernel;
+  attnv : Lower.kernel;
+  proj2 : Lower.kernel;
+  norm1 : Lower.kernel;
+  ff1 : Lower.kernel;
+  ff2 : Lower.kernel;
+  norm2 : Lower.kernel;
+}
+
+let kernels b =
+  [ b.qkv_proj; b.qkt; b.softmax; b.attnv; b.proj2; b.norm1; b.ff1; b.ff2; b.norm2 ]
+
+let mha_kernels b = [ b.qkv_proj; b.qkt; b.softmax; b.attnv; b.proj2 ]
+
+let launches b = List.map Machine.Launch.single (kernels b)
+let mha_launches b = List.map Machine.Launch.single (mha_kernels b)
+
+(* Feature-dimension tile: large models tile by 128, tiny test models by 8. *)
+let jtile_for cfg = if cfg.Config.hidden >= 128 then 128 else 8
+
+let build ?(hoist = true) ~(target : target) (cfg : Config.t) : built =
+  let t = make_tensors cfg in
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let ff = cfg.Config.ff in
+  let effs = effs_of target in
+  let jtile = jtile_for cfg in
+  let nth = List.nth in
+
+  (* --- 1. QKV projection: qkv[b,l,j] = bqkv[j] + Σ_k in[b,l,k]·wqkv[j,k] --- *)
+  let op_qkv =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"QKVProj" ~out:t.qkv
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.qkv.Tensor.dims 0) ~fn:seq;
+          Shape.fixed (3 * h);
+        ]
+      ~rdims:[ (kd, Shape.fixed h) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun idx -> Op.access t.bqkv [ nth idx 2 ])
+      ~reads:[ t.in_t; t.wqkv; t.bqkv ]
+      (fun idx ridx ->
+        E.mul
+          (Op.access t.in_t [ nth idx 0; nth idx 1; nth ridx 0 ])
+          (Op.access t.wqkv [ nth idx 2; nth ridx 0 ]))
+  in
+  let qkv_proj = Lower.lower (gemm_schedule cfg ~target ~eff:effs.gemm ~jtile op_qkv) in
+
+  (* --- 2. QK^T with fused AddPad: predicated loads add the partial padding
+         (zeros) without a separate kernel --- *)
+  let op_qkt =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"QKT" ~out:t.scores
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.scores.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.ragged ~dep:(nth t.scores.Tensor.dims 0) ~fn:seq;
+        ]
+      ~rdims:[ (kd, Shape.fixed dh) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~epilogue:(fun v -> E.mul v (E.float (1.0 /. sqrt (float_of_int dh))))
+      ~reads:[ t.qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and c = nth idx 3 in
+        let k = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        let q = Op.access t.qkv [ b; r; E.add (E.mul hh (E.int dh)) k ] in
+        let kk = Op.access t.qkv [ b; c; E.add (E.int h) (E.add (E.mul hh (E.int dh)) k) ] in
+        E.select (E.and_ (E.lt r sb) (E.lt c sb)) (E.mul q kk) (E.float 0.0))
+  in
+  let qkt =
+    let s = Schedule.create op_qkt in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and c = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    let co, ci = Schedule.split s c cfg.Config.seq_pad in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ b; hh; ro; co; ri; ci; k ];
+    (match target with
+    | Gpu ->
+        List.iter (Schedule.bind_block s) [ b; hh; ro; co ];
+        Schedule.bind_thread s ri;
+        Schedule.bind_thread s ci
+    | Cpu ->
+        Schedule.parallelize s b;
+        Schedule.vectorize s ci);
+    Lower.lower s
+  in
+
+  (* --- 3. Softmax with fused ChangePad --- *)
+  let softmax =
+    Custom.softmax ~cfg ~scores:t.scores ~probs:t.probs ~target:(custom_target target)
+      ~eff:effs.softmax ~name:"Softmax" ()
+  in
+
+  (* --- 4. AttnV: padded (zero-filled) column reduction, guarded row writes
+         (fused RemovePad) --- *)
+  let op_attnv =
+    let cd = Dim.make "c" in
+    Op.reduce ~name:"AttnV" ~out:t.attn
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.attn.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (cd, Shape.ragged ~dep:(nth t.attn.Tensor.dims 0) ~fn:seq) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ t.probs; t.qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and j = nth idx 3 in
+        let c = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        let p = Op.access t.probs [ b; r; hh; c ] in
+        let v =
+          Op.access t.qkv [ b; c; E.add (E.int (2 * h)) (E.add (E.mul hh (E.int dh)) j) ]
+        in
+        E.select (E.lt c sb) (E.mul p v) (E.float 0.0))
+  in
+  let attnv =
+    let s = Schedule.create op_attnv in
+    Schedule.set_eff s effs.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and j = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    let c = Schedule.axis_of_rdim s 0 in
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    Schedule.set_elide_guard s c (* zero-filled padded columns *);
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    Schedule.reorder s [ b; hh; ro; ri; j; c ];
+    (match target with
+    | Gpu ->
+        List.iter (Schedule.bind_block s) [ b; hh; ro ];
+        Schedule.bind_thread s ri;
+        Schedule.bind_thread s j
+    | Cpu ->
+        Schedule.parallelize s b;
+        Schedule.vectorize s j);
+    Lower.lower s
+  in
+
+  (* --- 5. Output projection with fused bias + residual (RemovePad folded
+         into the fused-token loop) --- *)
+  let op_proj2 =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"Proj2" ~out:t.p2
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.p2.Tensor.dims 0) ~fn:seq;
+          Shape.fixed h;
+        ]
+      ~rdims:[ (kd, Shape.fixed h) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun idx ->
+        E.add (Op.access t.in_t idx) (Op.access t.b2 [ nth idx 2 ]))
+      ~reads:[ t.attn; t.w2; t.b2; t.in_t ]
+      (fun idx ridx ->
+        let k = nth ridx 0 in
+        E.mul
+          (Op.access t.attn
+             [ nth idx 0; nth idx 1; E.floordiv k (E.int dh); E.imod k (E.int dh) ])
+          (Op.access t.w2 [ nth idx 2; k ]))
+  in
+  let proj2 = Lower.lower (gemm_schedule cfg ~target ~eff:effs.gemm ~jtile op_proj2) in
+
+  (* --- 6. LayerNorm --- *)
+  let norm1 =
+    Custom.layernorm ~cfg ~x:t.p2 ~y:t.ln1 ~target:(custom_target target) ~eff:effs.norm
+      ~name:"LayerNorm1" ()
+  in
+
+  (* --- 7. FF1 with fused bias + gelu --- *)
+  let op_ff1 =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"FF1" ~out:t.f1
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.f1.Tensor.dims 0) ~fn:seq;
+          Shape.fixed ff;
+        ]
+      ~rdims:[ (kd, Shape.fixed h) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun idx -> Op.access t.bf1 [ nth idx 2 ])
+      ~epilogue:gelu
+      ~reads:[ t.ln1; t.wf1; t.bf1 ]
+      (fun idx ridx ->
+        E.mul
+          (Op.access t.ln1 [ nth idx 0; nth idx 1; nth ridx 0 ])
+          (Op.access t.wf1 [ nth idx 2; nth ridx 0 ]))
+  in
+  let ff1 = Lower.lower (gemm_schedule cfg ~target ~eff:effs.gemm ~jtile op_ff1) in
+
+  (* --- 8. FF2 with fused bias + residual --- *)
+  let op_ff2 =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"FF2" ~out:t.out
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth t.out.Tensor.dims 0) ~fn:seq;
+          Shape.fixed h;
+        ]
+      ~rdims:[ (kd, Shape.fixed ff) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun idx ->
+        E.add (Op.access t.ln1 idx) (Op.access t.bf2 [ nth idx 2 ]))
+      ~reads:[ t.f1; t.wf2; t.bf2; t.ln1 ]
+      (fun idx ridx ->
+        E.mul
+          (Op.access t.f1 [ nth idx 0; nth idx 1; nth ridx 0 ])
+          (Op.access t.wf2 [ nth idx 2; nth ridx 0 ]))
+  in
+  let ff2 = Lower.lower (gemm_schedule cfg ~target ~eff:effs.gemm ~jtile op_ff2) in
+
+  (* --- 9. Final LayerNorm (FF2 output already holds the residual) --- *)
+  let norm2 =
+    Custom.layernorm ~cfg ~x:t.out ~y:t.out ~target:(custom_target target) ~eff:effs.norm
+      ~name:"LayerNorm2" ()
+  in
+
+  {
+    cfg;
+    tensors = t;
+    lenv = Config.lenv cfg;
+    qkv_proj;
+    qkt;
+    softmax;
+    attnv;
+    proj2;
+    norm1;
+    ff1;
+    ff2;
+    norm2;
+  }

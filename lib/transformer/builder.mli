@@ -1,0 +1,87 @@
+(** CoRa implementation of the transformer encoder layer (Fig. 3, right):
+    nine kernels matching the paper's fusion structure, with all linear
+    operators on the fused bulk-padded token loop (§5.1, §7.2) and the SDPA
+    operators partially padded with AddPad/RemovePad fused in as predicated
+    loads / guarded stores. *)
+
+type target = Gpu | Cpu
+
+val custom_target : target -> Custom.target
+
+(** Per-kernel efficiency factors (calibrated against Tables 4/5/9; see
+    EXPERIMENTS.md). *)
+type effs = {
+  gemm : float;
+  sdpa : float;
+  softmax : float;
+  norm : float;
+  elementwise : float;
+}
+
+val gpu_effs : effs
+val cpu_effs : effs
+val effs_of : target -> effs
+
+type tensors = {
+  in_t : Cora.Tensor.t;
+  wqkv : Cora.Tensor.t;
+  bqkv : Cora.Tensor.t;
+  qkv : Cora.Tensor.t;
+  scores : Cora.Tensor.t;
+  probs : Cora.Tensor.t;
+  attn : Cora.Tensor.t;
+  w2 : Cora.Tensor.t;
+  b2 : Cora.Tensor.t;
+  p2 : Cora.Tensor.t;
+  ln1 : Cora.Tensor.t;
+  wf1 : Cora.Tensor.t;
+  bf1 : Cora.Tensor.t;
+  f1 : Cora.Tensor.t;
+  wf2 : Cora.Tensor.t;
+  bf2 : Cora.Tensor.t;
+  out : Cora.Tensor.t;
+}
+
+(** The "seq" length function all encoder tensors are declared against. *)
+val seq : Cora.Lenfun.t
+
+(** A bulk-padded ragged token tensor [B][s(b)][inner...]. *)
+val token_tensor : Config.t -> string -> Cora.Shape.t list -> Cora.Tensor.t
+
+val dense_tensor : string -> int list -> Cora.Tensor.t
+val make_tensors : Config.t -> tensors
+val all_tensors : tensors -> Cora.Tensor.t list
+
+(** Fused-token gemm schedule (shared by QKV / Proj2 / FF1 / FF2). *)
+val gemm_schedule :
+  Config.t -> target:target -> eff:float -> jtile:int -> Cora.Op.t -> Cora.Schedule.t
+
+val gelu : Ir.Expr.t -> Ir.Expr.t
+
+type built = {
+  cfg : Config.t;
+  tensors : tensors;
+  lenv : Cora.Lenfun.env;
+  qkv_proj : Cora.Lower.kernel;
+  qkt : Cora.Lower.kernel;
+  softmax : Cora.Lower.kernel;
+  attnv : Cora.Lower.kernel;
+  proj2 : Cora.Lower.kernel;
+  norm1 : Cora.Lower.kernel;
+  ff1 : Cora.Lower.kernel;
+  ff2 : Cora.Lower.kernel;
+  norm2 : Cora.Lower.kernel;
+}
+
+(** All nine kernels in execution order. *)
+val kernels : built -> Cora.Lower.kernel list
+
+(** The MHA prefix (through Proj2). *)
+val mha_kernels : built -> Cora.Lower.kernel list
+
+val launches : built -> Machine.Launch.t list
+val mha_launches : built -> Machine.Launch.t list
+val jtile_for : Config.t -> int
+
+(** Compile the whole layer; [hoist] controls auxiliary-load hoisting. *)
+val build : ?hoist:bool -> target:target -> Config.t -> built

@@ -1,0 +1,67 @@
+(** Transformer configuration (§7.2).
+
+    The paper's base model: 6 layers, hidden 512, 8 heads of 64, inner
+    feed-forward 2048.  A configuration also fixes the mini-batch: the
+    sequence lengths (sorted descending, the paper's load-balancing trick of
+    §D.2), the SDPA partial-padding multiple (32) and the bulk padding of
+    fused token loops (64). *)
+
+type t = {
+  batch : int;
+  lens : int array;  (** sequence lengths of the mini-batch, descending *)
+  hidden : int;
+  heads : int;
+  head_size : int;
+  ff : int;
+  layers : int;
+  seq_pad : int;  (** partial padding multiple for SDPA vloops/vdims *)
+  bulk : int;  (** bulk padding multiple for fused token loops *)
+}
+
+let validate cfg =
+  if cfg.hidden <> cfg.heads * cfg.head_size then
+    invalid_arg "Config: hidden must equal heads * head_size";
+  if Array.length cfg.lens <> cfg.batch then invalid_arg "Config: |lens| <> batch";
+  cfg
+
+(** Paper base model over a given batch of lengths. *)
+let base ~lens =
+  let lens = Array.copy lens in
+  Array.sort (fun a b -> Int.compare b a) lens;
+  validate
+    {
+      batch = Array.length lens;
+      lens;
+      hidden = 512;
+      heads = 8;
+      head_size = 64;
+      ff = 2048;
+      layers = 6;
+      seq_pad = 32;
+      bulk = 64;
+    }
+
+(** Tiny model for correctness tests (same structure, interpretable sizes). *)
+let tiny ~lens =
+  let lens = Array.copy lens in
+  Array.sort (fun a b -> Int.compare b a) lens;
+  validate
+    {
+      batch = Array.length lens;
+      lens;
+      hidden = 16;
+      heads = 2;
+      head_size = 8;
+      ff = 32;
+      layers = 2;
+      seq_pad = 4;
+      bulk = 8;
+    }
+
+(** Length-function environment: "seq" bound to the batch lengths, plus the
+    derived total-token count helpers. *)
+let lenv cfg : Cora.Lenfun.env = [ Cora.Lenfun.of_array "seq" cfg.lens ]
+
+let tokens cfg = Array.fold_left ( + ) 0 cfg.lens
+let max_len cfg = Array.fold_left max 0 cfg.lens
+let padded_tokens cfg = Cora.Shape.pad_to (tokens cfg) cfg.bulk

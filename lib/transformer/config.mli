@@ -1,0 +1,30 @@
+(** Transformer configuration (§7.2): the paper's base model hyperparameters
+    plus the mini-batch (lengths sorted descending, §D.2) and CoRa's
+    padding multiples. *)
+
+type t = {
+  batch : int;
+  lens : int array;  (** sequence lengths, descending *)
+  hidden : int;
+  heads : int;
+  head_size : int;
+  ff : int;
+  layers : int;
+  seq_pad : int;  (** SDPA partial-padding multiple (32) *)
+  bulk : int;  (** bulk padding of fused token loops (64) *)
+}
+
+val validate : t -> t
+
+(** Paper base model (hidden 512, 8×64 heads, FF 2048, 6 layers). *)
+val base : lens:int array -> t
+
+(** Tiny model for correctness tests (same structure). *)
+val tiny : lens:int array -> t
+
+(** "seq" bound to the batch lengths. *)
+val lenv : t -> Cora.Lenfun.env
+
+val tokens : t -> int
+val max_len : t -> int
+val padded_tokens : t -> int

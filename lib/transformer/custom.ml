@@ -1,0 +1,307 @@
+open Cora
+module E = Ir.Expr
+
+(** Hand-assembled kernels for the operators whose natural form is a small
+    multi-pass program rather than a single [compute] — softmax and layer
+    normalisation.  They use the same storage lowering as scheduled
+    operators, so their ragged accesses and prelude requirements are
+    identical to compiler-generated code; CoRa's prototype similarly treats
+    these as individually optimised operators (§C). *)
+
+type target = Gpu | Cpu
+
+let block_kind = function Gpu -> Ir.Stmt.Gpu_block | Cpu -> Ir.Stmt.Parallel
+let thread_kind = function Gpu -> Ir.Stmt.Gpu_thread | Cpu -> Ir.Stmt.Serial
+
+(** Softmax over the last (ragged) dimension of the attention scores
+    [X\[B\]\[r\]\[H\]\[c\]], fused with the padding-change operators of Fig. 3:
+    the real columns are normalised over the {e true} sequence length, and
+    the partially padded columns are written as exact zeros so that the
+    downstream AttnV reduction can run over the padded extent without bound
+    checks.  [col_extent] lets masked attention restrict the reduction to
+    the lower triangle (§D.3). *)
+let softmax ~(cfg : Config.t) ~(scores : Tensor.t) ~(probs : Tensor.t) ~(target : target)
+    ?(eff = 0.7) ?(hoist = true) ?(rows_fn = "seq") ?col_extent ~name () : Lower.kernel =
+  let b = Ir.Var.fresh "b"
+  and hh = Ir.Var.fresh "hh"
+  and r = Ir.Var.fresh "r"
+  and c0 = Ir.Var.fresh "c0"
+  and c1 = Ir.Var.fresh "c1"
+  and c2 = Ir.Var.fresh "c2"
+  and c3 = Ir.Var.fresh "c3" in
+  let seqb = E.ufun rows_fn [ E.var b ] in
+  (* columns each row attends to: the full row length by default, a
+     triangle-limited one for masked attention, or a different length
+     function entirely for cross-attention *)
+  let cols =
+    match col_extent with
+    | None -> seqb
+    | Some f -> f ~row:(E.var r) ~seq:seqb ~batch:(E.var b)
+  in
+  let cols_padded = E.pad_up cols cfg.Config.seq_pad in
+  let aux = ref [] in
+  let add_aux defs =
+    List.iter
+      (fun (d : Prelude.def) ->
+        if not (List.exists (fun x -> x.Prelude.name = d.Prelude.name) !aux) then
+          aux := !aux @ [ d ])
+      defs
+  in
+  let x_at cv =
+    let off, defs = Storage.lower scores [ E.var b; E.var r; E.var hh; E.var cv ] in
+    add_aux defs;
+    E.load scores.Tensor.buf off
+  in
+  let p_off =
+    let off, defs = Storage.lower probs [ E.var b; E.var r; E.var hh; E.var c3 ] in
+    add_aux defs;
+    off
+  in
+  let m = Ir.Var.fresh "rowmax" and d = Ir.Var.fresh "denom" in
+  (* the row is staged into shared-memory scratch once, so the three passes
+     below read it at register speed (one global read + one write per
+     element) *)
+  let row = Ir.Var.fresh "rowbuf" in
+  let row_at cv = E.load row (E.var cv) in
+  let body =
+    Ir.Stmt.Alloc
+      {
+        buf = row;
+        size = cols_padded;
+        body =
+          Ir.Stmt.Alloc
+            {
+              buf = m;
+              size = E.one;
+              body =
+                Ir.Stmt.Alloc
+                  {
+                    buf = d;
+                    size = E.one;
+                    body =
+                      Ir.Stmt.seq
+                        [
+                          Ir.Stmt.For
+                            {
+                              var = c0;
+                              min = E.zero;
+                              extent = cols;
+                              kind = Serial;
+                              body =
+                                Ir.Stmt.Store { buf = row; index = E.var c0; value = x_at c0 };
+                            };
+                          Ir.Stmt.Store
+                            { buf = m; index = E.zero; value = E.float neg_infinity };
+                          Ir.Stmt.For
+                            {
+                              var = c1;
+                              min = E.zero;
+                              extent = cols;
+                              kind = Serial;
+                              body =
+                                Ir.Stmt.Reduce_store
+                                  { buf = m; index = E.zero; value = row_at c1; op = Rmax };
+                            };
+                          Ir.Stmt.Store { buf = d; index = E.zero; value = E.float 0.0 };
+                          Ir.Stmt.For
+                            {
+                              var = c2;
+                              min = E.zero;
+                              extent = cols;
+                              kind = Serial;
+                              body =
+                                Ir.Stmt.Reduce_store
+                                  {
+                                    buf = d;
+                                    index = E.zero;
+                                    value =
+                                      E.call "exp" [ E.sub (row_at c2) (E.load m E.zero) ];
+                                    op = Sum;
+                                  };
+                            };
+                          Ir.Stmt.For
+                            {
+                              var = c3;
+                              min = E.zero;
+                              extent = cols_padded;
+                              kind = Serial;
+                              body =
+                                Ir.Stmt.Store
+                                  {
+                                    buf = probs.Tensor.buf;
+                                    index = p_off;
+                                    value =
+                                      E.select (E.lt (E.var c3) cols)
+                                        (E.div
+                                           (E.call "exp"
+                                              [ E.sub (row_at c3) (E.load m E.zero) ])
+                                           (E.load d E.zero))
+                                        (E.float 0.0);
+                                  };
+                            };
+                        ];
+                  };
+            };
+      }
+  in
+  let guarded = Ir.Stmt.If (E.lt (E.var r) seqb, body, None) in
+  let nest =
+    Ir.Stmt.For
+      {
+        var = b;
+        min = E.zero;
+        extent = E.int cfg.Config.batch;
+        kind = block_kind target;
+        body =
+          Ir.Stmt.For
+            {
+              var = hh;
+              min = E.zero;
+              extent = E.int cfg.Config.heads;
+              kind = (match target with Gpu -> Ir.Stmt.Gpu_block | Cpu -> Ir.Stmt.Serial);
+              body =
+                Ir.Stmt.For
+                  {
+                    var = r;
+                    min = E.zero;
+                    extent = E.pad_up seqb cfg.Config.seq_pad;
+                    kind = thread_kind target;
+                    body = guarded;
+                  };
+            };
+      }
+  in
+  let nest = if hoist then Hoist.hoist nest else nest in
+  {
+    Lower.kname = name;
+    body = nest;
+    aux = !aux;
+    triples = [];
+    eff;
+    remap = Schedule.No_remap;
+    bound = Schedule.Memory_bound;
+    out = probs;
+  }
+
+(** Layer normalisation over hidden vectors, operating directly on the
+    bulk-padded fused token layout ([F_pad] rows of [hidden] floats).  The
+    bulk-padding rows compute garbage in place, which is exactly CoRa's
+    elided-guard behaviour for fused loops. *)
+let layernorm ~(cfg : Config.t) ~(x : Tensor.t) ~(y : Tensor.t) ~(target : target)
+    ?(eff = 0.72) ~name () : Lower.kernel =
+  let h = cfg.Config.hidden in
+  let fo = Ir.Var.fresh "fo" and fi = Ir.Var.fresh "fi" in
+  let j1 = Ir.Var.fresh "j1" and j2 = Ir.Var.fresh "j2" and j3 = Ir.Var.fresh "j3" in
+  let f = E.add (E.mul (E.var fo) (E.int cfg.Config.bulk)) (E.var fi) in
+  let x_at jv = E.load x.Tensor.buf (E.add (E.mul f (E.int h)) (E.var jv)) in
+  let total_name = "ftot_seq_p1" in
+  let aux =
+    [
+      {
+        (Prelude.fused_total_def ~name:total_name ~fn_name:"seq" ~count:cfg.Config.batch ~pad:1
+           ~bulk:cfg.Config.bulk)
+        with
+        kind = Prelude.Loop_fusion;
+      };
+    ]
+  in
+  let mean = Ir.Var.fresh "mean" and var = Ir.Var.fresh "var" in
+  let inv_h = 1.0 /. float_of_int h in
+  let row = Ir.Var.fresh "rowbuf" in
+  let j0 = Ir.Var.fresh "j0" in
+  let row_at jv = E.load row (E.var jv) in
+  let body =
+    Ir.Stmt.Alloc
+      {
+        buf = mean;
+        size = E.one;
+        body =
+          Ir.Stmt.Alloc
+            {
+              buf = var;
+              size = E.one;
+              body =
+                Ir.Stmt.seq
+                  [
+                    Ir.Stmt.For
+                      {
+                        var = j0;
+                        min = E.zero;
+                        extent = E.int h;
+                        kind = Serial;
+                        body = Ir.Stmt.Store { buf = row; index = E.var j0; value = x_at j0 };
+                      };
+                    Ir.Stmt.Store { buf = mean; index = E.zero; value = E.float 0.0 };
+                    Ir.Stmt.For
+                      {
+                        var = j1;
+                        min = E.zero;
+                        extent = E.int h;
+                        kind = Serial;
+                        body =
+                          Ir.Stmt.Reduce_store
+                            { buf = mean; index = E.zero; value = row_at j1; op = Sum };
+                      };
+                    Ir.Stmt.Store { buf = var; index = E.zero; value = E.float 0.0 };
+                    Ir.Stmt.For
+                      {
+                        var = j2;
+                        min = E.zero;
+                        extent = E.int h;
+                        kind = Serial;
+                        body =
+                          (let centred =
+                             E.sub (row_at j2) (E.mul (E.load mean E.zero) (E.float inv_h))
+                           in
+                           Ir.Stmt.Reduce_store
+                             { buf = var; index = E.zero; value = E.mul centred centred; op = Sum });
+                      };
+                    Ir.Stmt.For
+                      {
+                        var = j3;
+                        min = E.zero;
+                        extent = E.int h;
+                        kind = Serial;
+                        body =
+                          Ir.Stmt.Store
+                            {
+                              buf = y.Tensor.buf;
+                              index = E.add (E.mul f (E.int h)) (E.var j3);
+                              value =
+                                E.div
+                                  (E.sub (row_at j3) (E.mul (E.load mean E.zero) (E.float inv_h)))
+                                  (E.call "sqrt"
+                                     [
+                                       E.add
+                                         (E.mul (E.load var E.zero) (E.float inv_h))
+                                         (E.float 1e-5);
+                                     ]);
+                            };
+                      };
+                  ];
+            };
+      }
+  in
+  let body = Ir.Stmt.Alloc { buf = row; size = E.int h; body } in
+  let nest =
+    Ir.Stmt.For
+      {
+        var = fo;
+        min = E.zero;
+        extent = E.floordiv (E.ufun total_name []) (E.int cfg.Config.bulk);
+        kind = block_kind target;
+        body =
+          Ir.Stmt.For
+            { var = fi; min = E.zero; extent = E.int cfg.Config.bulk; kind = thread_kind target; body };
+      }
+  in
+  {
+    Lower.kname = name;
+    body = nest;
+    aux;
+    triples = [];
+    eff;
+    remap = Schedule.No_remap;
+    bound = Schedule.Memory_bound;
+    out = y;
+  }

@@ -1,0 +1,42 @@
+(** Hand-assembled kernels for the multi-pass operators — softmax and layer
+    normalisation.  They use the same storage lowering as scheduled
+    operators, so their ragged accesses and prelude requirements are
+    identical to generated code (cf. §C). *)
+
+type target = Gpu | Cpu
+
+val block_kind : target -> Ir.Stmt.for_kind
+val thread_kind : target -> Ir.Stmt.for_kind
+
+(** Softmax over the last (ragged) dimension of the attention scores, with
+    the padding-change operators fused in: real columns normalise over the
+    true extent, padded columns are written as exact zeros so AttnV can
+    reduce over the padded extent unguarded.
+
+    [rows_fn] names the length function of the row dimension (default
+    "seq"); [col_extent] overrides the reduced column range — the triangle
+    for masked attention, the source length for cross-attention. *)
+val softmax :
+  cfg:Config.t ->
+  scores:Cora.Tensor.t ->
+  probs:Cora.Tensor.t ->
+  target:target ->
+  ?eff:float ->
+  ?hoist:bool ->
+  ?rows_fn:string ->
+  ?col_extent:(row:Ir.Expr.t -> seq:Ir.Expr.t -> batch:Ir.Expr.t -> Ir.Expr.t) ->
+  name:string ->
+  unit ->
+  Cora.Lower.kernel
+
+(** Layer normalisation over hidden vectors on the bulk-padded fused token
+    layout; bulk-padding rows compute garbage in place (elided guards). *)
+val layernorm :
+  cfg:Config.t ->
+  x:Cora.Tensor.t ->
+  y:Cora.Tensor.t ->
+  target:target ->
+  ?eff:float ->
+  name:string ->
+  unit ->
+  Cora.Lower.kernel

@@ -1,0 +1,197 @@
+open Cora
+module E = Ir.Expr
+
+(** Transformer decoder attention (§7.2 "Masked Scaled Dot-Product
+    Attention" situates masked MHA in the decoder; this module builds the
+    decoder's two attention stages end-to-end as an extension of the
+    paper's evaluation):
+
+    - {b masked self-attention} over the target sequence (the triangular
+      computation of {!Masked});
+    - {b cross-attention}, where each target position attends to the full
+      {e source} sequence — an attention matrix that is ragged in {e two
+      independent} length functions: rows follow [tgt(b)], columns follow
+      [src(b)].  This exercises a raggedness pattern none of the encoder
+      operators have (two different lenfuns in one tensor). *)
+
+let tgt = Lenfun.make "tgt"
+let src = Lenfun.make "src"
+
+(** Cross-attention configuration: a decoder (target) batch plus the
+    encoder (source) lengths. *)
+type cfg = {
+  base : Config.t;  (** batch/hidden/heads/... with [lens] = target lengths *)
+  src_lens : int array;
+}
+
+let make ~(tgt_lens : int array) ~(src_lens : int array) ~tiny () : cfg =
+  if Array.length tgt_lens <> Array.length src_lens then
+    invalid_arg "Decoder.make: source/target batch mismatch";
+  let base = if tiny then Config.tiny ~lens:tgt_lens else Config.base ~lens:tgt_lens in
+  (* Config sorts target lengths descending; sort sources with the same
+     permutation semantics (descending) to keep pairs plausible. *)
+  let src_lens = Array.copy src_lens in
+  Array.sort (fun a b -> Int.compare b a) src_lens;
+  { base; src_lens }
+
+let lenv (c : cfg) : Lenfun.env =
+  [
+    Lenfun.of_array "tgt" c.base.Config.lens;
+    Lenfun.of_array "src" c.src_lens;
+    (* the encoder-side tensors are declared against "seq" *)
+    Lenfun.of_array "seq" c.base.Config.lens;
+  ]
+
+(** Tensors of the cross-attention stage. *)
+type t = {
+  cfg : cfg;
+  q_in : Tensor.t;  (** decoder hidden states [B][tgt(b)][h] *)
+  kv_in : Tensor.t;  (** encoder output [B][src(b)][h] *)
+  scores : Tensor.t;  (** [B][tgt(b)~32][H][src(b)~32] *)
+  probs : Tensor.t;
+  attn : Tensor.t;  (** [B][tgt(b)][H][dh] *)
+  kernels : Lower.kernel list;
+}
+
+(* token tensor against an arbitrary length function *)
+let token (c : cfg) fn name inner =
+  let bd = Dim.make "batch" and ld = Dim.make "len" in
+  let inner_dims = List.map (fun _ -> Dim.make "c") inner in
+  let tt =
+    Tensor.create ~name
+      ~dims:(bd :: ld :: inner_dims)
+      ~extents:(Shape.fixed c.base.Config.batch :: Shape.ragged ~dep:bd ~fn :: inner)
+  in
+  Tensor.set_bulk_pad tt c.base.Config.bulk;
+  tt
+
+let cross_matrix (c : cfg) name =
+  let bd = Dim.make "batch" and rd = Dim.make "row" and hd = Dim.make "head" and cd = Dim.make "col" in
+  let tt =
+    Tensor.create ~name
+      ~dims:[ bd; rd; hd; cd ]
+      ~extents:
+        [
+          Shape.fixed c.base.Config.batch;
+          Shape.ragged ~dep:bd ~fn:tgt;
+          Shape.fixed c.base.Config.heads;
+          Shape.ragged ~dep:bd ~fn:src;
+        ]
+  in
+  Tensor.pad_dimension tt rd c.base.Config.seq_pad;
+  Tensor.pad_dimension tt cd c.base.Config.seq_pad;
+  tt
+
+(** Build the cross-attention kernels: QK^T over (tgt x src), softmax over
+    the source length, AttnV reducing over the source. *)
+let build_cross ?(hoist = true) (c : cfg) : t =
+  let base = c.base in
+  let h = base.Config.hidden and nh = base.Config.heads and dh = base.Config.head_size in
+  let nth = List.nth in
+  let effs = Builder.gpu_effs in
+  let q_in = token c tgt "DQ" [ Shape.fixed h ] in
+  let kv_in = token c src "DKV" [ Shape.fixed (2 * h) ] in
+  let scores = cross_matrix c "DX" and probs = cross_matrix c "DXS" in
+  let attn = token c tgt "DAO" [ Shape.fixed nh; Shape.fixed dh ] in
+  (* QK^T: rows over tgt(b), cols over src(b) *)
+  let op_qkt =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"CrossQKT" ~out:scores
+      ~loop_extents:
+        [
+          Shape.fixed base.Config.batch;
+          Shape.ragged ~dep:(nth scores.Tensor.dims 0) ~fn:tgt;
+          Shape.fixed nh;
+          Shape.ragged ~dep:(nth scores.Tensor.dims 0) ~fn:src;
+        ]
+      ~rdims:[ (kd, Shape.fixed dh) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~epilogue:(fun v -> E.mul v (E.float (1.0 /. sqrt (float_of_int dh))))
+      ~reads:[ q_in; kv_in ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and cc = nth idx 3 in
+        let k = nth ridx 0 in
+        let tb = E.ufun "tgt" [ b ] and sb = E.ufun "src" [ b ] in
+        let q = Op.access q_in [ b; r; E.add (E.mul hh (E.int dh)) k ] in
+        let kk = Op.access kv_in [ b; cc; E.add (E.mul hh (E.int dh)) k ] in
+        E.select (E.and_ (E.lt r tb) (E.lt cc sb)) (E.mul q kk) (E.float 0.0))
+  in
+  let qkt =
+    let s = Schedule.create op_qkt in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and cc = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r base.Config.seq_pad;
+    Schedule.pad_loop s cc base.Config.seq_pad;
+    let ro, ri = Schedule.split s r base.Config.seq_pad in
+    let co, ci = Schedule.split s cc base.Config.seq_pad in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ b; hh; ro; co; ri; ci; k ];
+    List.iter (Schedule.bind_block s) [ b; hh; ro; co ];
+    Schedule.bind_thread s ri;
+    Schedule.bind_thread s ci;
+    Lower.lower s
+  in
+  (* softmax over the source length: rows follow tgt(b), columns src(b) *)
+  let softmax =
+    Custom.softmax ~cfg:base ~scores ~probs ~target:Custom.Gpu ~eff:effs.Builder.softmax
+      ~rows_fn:"tgt"
+      ~col_extent:(fun ~row:_ ~seq:_ ~batch -> E.ufun "src" [ batch ])
+      ~name:"CrossSoftmax" ()
+  in
+  (* AttnV: reduce over the source columns *)
+  let op_attnv =
+    let cd = Dim.make "c" in
+    Op.reduce ~name:"CrossAttnV" ~out:attn
+      ~loop_extents:
+        [
+          Shape.fixed base.Config.batch;
+          Shape.ragged ~dep:(nth attn.Tensor.dims 0) ~fn:tgt;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (cd, Shape.ragged ~dep:(nth attn.Tensor.dims 0) ~fn:src) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ probs; kv_in ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and j = nth idx 3 in
+        let cc = nth ridx 0 in
+        let sb = E.ufun "src" [ b ] in
+        let p = Op.access probs [ b; r; hh; cc ] in
+        let v = Op.access kv_in [ b; cc; E.add (E.int h) (E.add (E.mul hh (E.int dh)) j) ] in
+        E.select (E.lt cc sb) (E.mul p v) (E.float 0.0))
+  in
+  let attnv =
+    let s = Schedule.create op_attnv in
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and j = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r base.Config.seq_pad;
+    let cd = Schedule.axis_of_rdim s 0 in
+    Schedule.pad_loop s cd base.Config.seq_pad;
+    Schedule.set_elide_guard s cd;
+    let ro, ri = Schedule.split s r base.Config.seq_pad in
+    Schedule.reorder s [ b; hh; ro; j; ri; cd ];
+    List.iter (Schedule.bind_block s) [ b; hh; ro ];
+    Schedule.bind_thread s j;
+    Schedule.bind_thread s ri;
+    Lower.lower s
+  in
+  { cfg = c; q_in; kv_in; scores; probs; attn; kernels = [ qkt; softmax; attnv ] }
+
+(** Simulated wall time of the cross-attention stage. *)
+let time ~device (t : t) =
+  let p =
+    Machine.Launch.pipeline ~device ~lenv:(lenv t.cfg)
+      (List.map Machine.Launch.single t.kernels)
+  in
+  Machine.Launch.total_ns p

@@ -1,0 +1,29 @@
+(** Decoder cross-attention (extension of §7.2's masked-MHA setting): each
+    target position attends to the full source sequence, so the attention
+    matrix is ragged in {e two independent} length functions — rows follow
+    [tgt(b)], columns follow [src(b)]. *)
+
+val tgt : Cora.Lenfun.t
+val src : Cora.Lenfun.t
+
+type cfg = {
+  base : Config.t;  (** [lens] holds the target lengths *)
+  src_lens : int array;
+}
+
+val make : tgt_lens:int array -> src_lens:int array -> tiny:bool -> unit -> cfg
+val lenv : cfg -> Cora.Lenfun.env
+
+type t = {
+  cfg : cfg;
+  q_in : Cora.Tensor.t;  (** decoder hidden states [B][tgt(b)][h] *)
+  kv_in : Cora.Tensor.t;  (** encoder keys+values [B][src(b)][2h] *)
+  scores : Cora.Tensor.t;
+  probs : Cora.Tensor.t;
+  attn : Cora.Tensor.t;
+  kernels : Cora.Lower.kernel list;
+}
+
+val cross_matrix : cfg -> string -> Cora.Tensor.t
+val build_cross : ?hoist:bool -> cfg -> t
+val time : device:Machine.Device.t -> t -> float

@@ -1,0 +1,199 @@
+open Cora
+module E = Ir.Expr
+
+(** Masked scaled dot-product attention (§7.2 "Masked SDPA", §D.3,
+    Figs. 17–18) — the decoder's SDPA where each row attends only to
+    columns [c <= r].
+
+    Three variants mirror Fig. 17:
+    - {b CoRa-NoPad}: the attention matrix is stored {e triangularly} —
+      nested raggedness: rows are ragged in the batch, and each row's
+      column count is ragged in the row index (partially padded to the
+      sequence multiple).  QK^T and AttnV compute only the triangle.
+    - {b CoRa-Pad}: square (outer-vloop-only padded) storage; QK^T and
+      AttnV compute full rows, softmax applies the mask.
+    - PyTorch (full padding to the batch max) lives in
+      {!Baselines.Frameworks.pytorch_masked_sdpa}. *)
+
+type variant = No_pad | Pad
+
+let seq = Builder.seq
+let tri = Lenfun.make "tri"
+
+(** Extend a config's length environment with the triangle function. *)
+let lenv (cfg : Config.t) : Lenfun.env = Config.lenv cfg @ [ Lenfun.of_fun "tri" (fun r -> r + 1) ]
+
+type t = {
+  cfg : Config.t;
+  qkv : Tensor.t;  (** input: fused QKV activations [B][s][3h] *)
+  scores : Tensor.t;
+  probs : Tensor.t;
+  attn : Tensor.t;  (** output [B][s][H][dh] *)
+  kernels : Lower.kernel list;
+}
+
+(* Triangular attention matrix: [B][row: s(b) ~seq_pad][H][col: row+1 ~seq_pad].
+   The col dimension depends on the row dimension — nested raggedness. *)
+let tri_matrix (cfg : Config.t) name =
+  let bd = Dim.make "batch" and rd = Dim.make "row" and hd = Dim.make "head" and cd = Dim.make "col" in
+  let t =
+    Tensor.create ~name
+      ~dims:[ bd; rd; hd; cd ]
+      ~extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:bd ~fn:seq;
+          Shape.fixed cfg.Config.heads;
+          Shape.ragged ~dep:rd ~fn:tri;
+        ]
+  in
+  Tensor.pad_dimension t rd cfg.Config.seq_pad;
+  Tensor.pad_dimension t cd cfg.Config.seq_pad;
+  t
+
+let square_matrix (cfg : Config.t) name =
+  let bd = Dim.make "batch" and rd = Dim.make "row" and hd = Dim.make "head" and cd = Dim.make "col" in
+  let t =
+    Tensor.create ~name
+      ~dims:[ bd; rd; hd; cd ]
+      ~extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:bd ~fn:seq;
+          Shape.fixed cfg.Config.heads;
+          Shape.ragged ~dep:bd ~fn:seq;
+        ]
+  in
+  Tensor.pad_dimension t rd cfg.Config.seq_pad;
+  Tensor.pad_dimension t cd cfg.Config.seq_pad;
+  t
+
+let build ?(hoist = true) ~(variant : variant) (cfg : Config.t) : t =
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let qkv = Builder.token_tensor cfg "MQKV" [ Shape.fixed (3 * h) ] in
+  let attn = Builder.token_tensor cfg "MAO" [ Shape.fixed nh; Shape.fixed dh ] in
+  let scores, probs =
+    match variant with
+    | No_pad -> (tri_matrix cfg "MX", tri_matrix cfg "MXS")
+    | Pad -> (square_matrix cfg "MX", square_matrix cfg "MXS")
+  in
+  let nth = List.nth in
+  let effs = Builder.gpu_effs in
+
+  (* --- masked QK^T --- *)
+  let col_loop_extent =
+    match variant with
+    | No_pad -> Shape.ragged ~dep:(nth scores.Tensor.dims 1) ~fn:tri
+    | Pad -> Shape.ragged ~dep:(nth scores.Tensor.dims 0) ~fn:seq
+  in
+  let op_qkt =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"MaskedQKT" ~out:scores
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth scores.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          col_loop_extent;
+        ]
+      ~rdims:[ (kd, Shape.fixed dh) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~epilogue:(fun v -> E.mul v (E.float (1.0 /. sqrt (float_of_int dh))))
+      ~reads:[ qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and c = nth idx 3 in
+        let k = nth ridx 0 in
+        let sb = E.ufun "seq" [ b ] in
+        let q = Op.access qkv [ b; r; E.add (E.mul hh (E.int dh)) k ] in
+        let kk = Op.access qkv [ b; c; E.add (E.int h) (E.add (E.mul hh (E.int dh)) k) ] in
+        (* mask: rows beyond the sequence and columns beyond the diagonal
+           produce zeros (fused mask application) *)
+        E.select (E.and_ (E.lt r sb) (E.le c r)) (E.mul q kk) (E.float 0.0))
+  in
+  let qkt =
+    let s = Schedule.create op_qkt in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and c = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    let co, ci = Schedule.split s c cfg.Config.seq_pad in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ b; hh; ro; ri; co; ci; k ];
+    List.iter (Schedule.bind_block s) [ b; hh; ro ];
+    Schedule.bind_thread s ri;
+    Schedule.bind_thread s ci;
+    ignore co;
+    Lower.lower s
+  in
+
+  (* --- masked softmax: normalise over the triangle row prefix --- *)
+  let softmax =
+    Custom.softmax ~cfg ~scores ~probs ~target:Custom.Gpu ~eff:effs.Builder.softmax
+      ~col_extent:(fun ~row ~seq ~batch:_ -> E.min_ (E.add row E.one) seq)
+      ~name:"MaskedSoftmax" ()
+  in
+
+  (* --- masked AttnV --- *)
+  let red_extent =
+    match variant with
+    | No_pad -> Shape.ragged ~dep:(nth attn.Tensor.dims 1) ~fn:tri
+    | Pad -> Shape.ragged ~dep:(nth attn.Tensor.dims 0) ~fn:seq
+  in
+  let op_attnv =
+    let cd = Dim.make "c" in
+    Op.reduce ~name:"MaskedAttnV" ~out:attn
+      ~loop_extents:
+        [
+          Shape.fixed cfg.Config.batch;
+          Shape.ragged ~dep:(nth attn.Tensor.dims 0) ~fn:seq;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (cd, red_extent) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ probs; qkv ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and j = nth idx 3 in
+        let c = nth ridx 0 in
+        let p = Op.access probs [ b; r; hh; c ] in
+        let v =
+          Op.access qkv [ b; c; E.add (E.int (2 * h)) (E.add (E.mul hh (E.int dh)) j) ]
+        in
+        E.select (E.le c r) (E.mul p v) (E.float 0.0))
+  in
+  let attnv =
+    let s = Schedule.create op_attnv in
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and j = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r cfg.Config.seq_pad;
+    let c = Schedule.axis_of_rdim s 0 in
+    Schedule.pad_loop s c cfg.Config.seq_pad;
+    Schedule.set_elide_guard s c (* padded probability columns are zero *);
+    let ro, ri = Schedule.split s r cfg.Config.seq_pad in
+    Schedule.reorder s [ b; hh; ro; ri; j; c ];
+    List.iter (Schedule.bind_block s) [ b; hh; ro ];
+    Schedule.bind_thread s ri;
+    Schedule.bind_thread s j;
+    Lower.lower s
+  in
+  { cfg; qkv; scores; probs; attn; kernels = [ qkt; softmax; attnv ] }
+
+(** Simulated wall time. *)
+let time ~device (t : t) =
+  let p =
+    Machine.Launch.pipeline ~device ~lenv:(lenv t.cfg)
+      (List.map Machine.Launch.single t.kernels)
+  in
+  Machine.Launch.total_ns p

@@ -1,0 +1,32 @@
+(** Masked scaled dot-product attention (§7.2, §D.3, Figs. 17–18): the
+    decoder's SDPA where row [r] attends only to columns [c <= r].
+
+    [No_pad] stores the attention matrix {e triangularly} — nested
+    raggedness (rows ragged in the batch, columns ragged in the row) — and
+    computes only the triangle; [Pad] keeps square per-sequence storage and
+    computes full rows with the mask applied.  PyTorch's fully padded
+    variant lives in {!Baselines.Frameworks.pytorch_masked_sdpa}. *)
+
+type variant = No_pad | Pad
+
+val seq : Cora.Lenfun.t
+val tri : Cora.Lenfun.t
+
+(** The config's environment extended with the triangle function. *)
+val lenv : Config.t -> Cora.Lenfun.env
+
+type t = {
+  cfg : Config.t;
+  qkv : Cora.Tensor.t;
+  scores : Cora.Tensor.t;
+  probs : Cora.Tensor.t;
+  attn : Cora.Tensor.t;
+  kernels : Cora.Lower.kernel list;
+}
+
+(** Triangular (nested-ragged) / square attention-matrix declarations. *)
+val tri_matrix : Config.t -> string -> Cora.Tensor.t
+
+val square_matrix : Config.t -> string -> Cora.Tensor.t
+val build : ?hoist:bool -> variant:variant -> Config.t -> t
+val time : device:Machine.Device.t -> t -> float

@@ -1,0 +1,141 @@
+(** Straight-line dense reference implementation of the encoder layer.
+
+    Computes each sequence independently at its true length with plain
+    OCaml float arrays — no padding, no compiler.  The test suite checks
+    the CoRa-compiled kernels (under every schedule) against this. *)
+
+type weights = {
+  wqkv : float array;  (** [3h][h] row-major *)
+  bqkv : float array;
+  w2 : float array;  (** [h][h] *)
+  b2 : float array;
+  wf1 : float array;  (** [ff][h] *)
+  bf1 : float array;
+  wf2 : float array;  (** [h][ff] *)
+  bf2 : float array;
+}
+
+let gelu x = 0.5 *. x *. (1.0 +. tanh (0.7978845608 *. (x +. (0.044715 *. x *. x *. x))))
+
+(** [mha cfg w x] — multi-head attention + output projection + residual for
+    one sequence; [x] is [len][h] row-major.  Returns [len][h]. *)
+let mha (cfg : Config.t) (w : weights) (x : float array) ~len : float array =
+  let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
+  let qkv = Array.make (len * 3 * h) 0.0 in
+  for l = 0 to len - 1 do
+    for j = 0 to (3 * h) - 1 do
+      let acc = ref w.bqkv.(j) in
+      for k = 0 to h - 1 do
+        acc := !acc +. (x.((l * h) + k) *. w.wqkv.((j * h) + k))
+      done;
+      qkv.((l * 3 * h) + j) <- !acc
+    done
+  done;
+  let attn = Array.make (len * h) 0.0 in
+  let scale = 1.0 /. sqrt (float_of_int dh) in
+  for hh = 0 to nh - 1 do
+    for r = 0 to len - 1 do
+      (* scores for row r, head hh *)
+      let scores = Array.make len 0.0 in
+      for c = 0 to len - 1 do
+        let acc = ref 0.0 in
+        for k = 0 to dh - 1 do
+          acc :=
+            !acc
+            +. qkv.((r * 3 * h) + (hh * dh) + k)
+               *. qkv.((c * 3 * h) + h + (hh * dh) + k)
+        done;
+        scores.(c) <- !acc *. scale
+      done;
+      let m = Array.fold_left Float.max neg_infinity scores in
+      let d = Array.fold_left (fun acc s -> acc +. exp (s -. m)) 0.0 scores in
+      for j = 0 to dh - 1 do
+        let acc = ref 0.0 in
+        for c = 0 to len - 1 do
+          acc := !acc +. (exp (scores.(c) -. m) /. d *. qkv.((c * 3 * h) + (2 * h) + (hh * dh) + j))
+        done;
+        attn.((r * h) + (hh * dh) + j) <- !acc
+      done
+    done
+  done;
+  (* output projection + bias + residual *)
+  let out = Array.make (len * h) 0.0 in
+  for l = 0 to len - 1 do
+    for j = 0 to h - 1 do
+      let acc = ref (x.((l * h) + j) +. w.b2.(j)) in
+      for k = 0 to h - 1 do
+        acc := !acc +. (attn.((l * h) + k) *. w.w2.((j * h) + k))
+      done;
+      out.((l * h) + j) <- !acc
+    done
+  done;
+  out
+
+let layernorm (cfg : Config.t) (x : float array) ~len : float array =
+  let h = cfg.Config.hidden in
+  let y = Array.make (len * h) 0.0 in
+  for l = 0 to len - 1 do
+    let mean = ref 0.0 in
+    for j = 0 to h - 1 do
+      mean := !mean +. x.((l * h) + j)
+    done;
+    let mean = !mean /. float_of_int h in
+    let var = ref 0.0 in
+    for j = 0 to h - 1 do
+      let c = x.((l * h) + j) -. mean in
+      var := !var +. (c *. c)
+    done;
+    let var = !var /. float_of_int h in
+    for j = 0 to h - 1 do
+      y.((l * h) + j) <- (x.((l * h) + j) -. mean) /. sqrt (var +. 1e-5)
+    done
+  done;
+  y
+
+let feed_forward (cfg : Config.t) (w : weights) (x : float array) ~len : float array =
+  let h = cfg.Config.hidden and ff = cfg.Config.ff in
+  let f1 = Array.make (len * ff) 0.0 in
+  for l = 0 to len - 1 do
+    for j = 0 to ff - 1 do
+      let acc = ref w.bf1.(j) in
+      for k = 0 to h - 1 do
+        acc := !acc +. (x.((l * h) + k) *. w.wf1.((j * h) + k))
+      done;
+      f1.((l * ff) + j) <- gelu !acc
+    done
+  done;
+  let out = Array.make (len * h) 0.0 in
+  for l = 0 to len - 1 do
+    for j = 0 to h - 1 do
+      let acc = ref (x.((l * h) + j) +. w.bf2.(j)) in
+      for k = 0 to ff - 1 do
+        acc := !acc +. (f1.((l * ff) + k) *. w.wf2.((j * ff) + k))
+      done;
+      out.((l * h) + j) <- !acc
+    done
+  done;
+  out
+
+(** Full encoder layer for one sequence. *)
+let encoder cfg w x ~len =
+  let a = mha cfg w x ~len in
+  let a = layernorm cfg a ~len in
+  let b = feed_forward cfg w a ~len in
+  layernorm cfg b ~len
+
+(** Deterministic pseudo-random weights (small magnitudes keep softmax and
+    layernorm numerically tame). *)
+let random_weights (cfg : Config.t) ~seed : weights =
+  let rng = Workloads.Rng.create seed in
+  let mk n scale = Array.init n (fun _ -> (Workloads.Rng.float rng -. 0.5) *. scale) in
+  let h = cfg.Config.hidden and ff = cfg.Config.ff in
+  {
+    wqkv = mk (3 * h * h) (1.0 /. sqrt (float_of_int h));
+    bqkv = mk (3 * h) 0.1;
+    w2 = mk (h * h) (1.0 /. sqrt (float_of_int h));
+    b2 = mk h 0.1;
+    wf1 = mk (ff * h) (1.0 /. sqrt (float_of_int h));
+    bf1 = mk ff 0.1;
+    wf2 = mk (h * ff) (1.0 /. sqrt (float_of_int ff));
+    bf2 = mk h 0.1;
+  }

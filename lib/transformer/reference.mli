@@ -1,0 +1,28 @@
+(** Straight-line dense reference implementation of the encoder layer: each
+    sequence computed independently at its true length with plain float
+    arrays — the oracle the CoRa-compiled kernels are tested against. *)
+
+type weights = {
+  wqkv : float array;
+  bqkv : float array;
+  w2 : float array;
+  b2 : float array;
+  wf1 : float array;
+  bf1 : float array;
+  wf2 : float array;
+  bf2 : float array;
+}
+
+val gelu : float -> float
+
+(** MHA + output projection + residual for one sequence ([len][h]). *)
+val mha : Config.t -> weights -> float array -> len:int -> float array
+
+val layernorm : Config.t -> float array -> len:int -> float array
+val feed_forward : Config.t -> weights -> float array -> len:int -> float array
+
+(** Full encoder layer for one sequence. *)
+val encoder : Config.t -> weights -> float array -> len:int -> float array
+
+(** Deterministic pseudo-random weights with tame magnitudes. *)
+val random_weights : Config.t -> seed:int -> weights

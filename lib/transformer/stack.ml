@@ -1,0 +1,75 @@
+open Cora
+
+(** A multi-layer encoder stack (§7.2: the paper evaluates a 6-layer model
+    whose prelude-built auxiliary structures are shared across layers,
+    because raggedness depends only on the mini-batch's lengths).
+
+    Layers ping-pong between two activation tensor sets: layer [i] reads
+    the previous layer's output as its input.  All layers share one
+    prelude build — the amortisation Table 4's CoRa column assumes. *)
+
+type t = {
+  cfg : Config.t;
+  layers : Builder.built array;
+  kernels : Lower.kernel list;  (** all layers, in execution order *)
+}
+
+(** Build an [n]-layer stack.  Each layer gets its own weights/tensors, but
+    every layer's kernels reference the same auxiliary-structure names, so
+    the prelude is built once (checked by the test suite). *)
+let build ?(hoist = true) ~(target : Builder.target) ~(layers : int) (cfg : Config.t) : t =
+  if layers < 1 then invalid_arg "Stack.build: need at least one layer";
+  let ls = Array.init layers (fun _ -> Builder.build ~hoist ~target cfg) in
+  (* stitch: layer i's input tensor is layer (i-1)'s output tensor.  The
+     builder allocates distinct input tensors; we rewrite each layer's
+     kernels to read the previous output buffer by substituting the buffer
+     variable. *)
+  let kernels =
+    List.concat
+      (List.mapi
+         (fun i (b : Builder.built) ->
+           let ks = Builder.kernels b in
+           if i = 0 then ks
+           else
+             let prev_out = ls.(i - 1).Builder.tensors.Builder.out.Tensor.buf in
+             let this_in = b.Builder.tensors.Builder.in_t.Tensor.buf in
+             let remap =
+               Ir.Var.Map.singleton this_in (Ir.Expr.var prev_out)
+             in
+             (* buffer variables appear as Load bufs and Store bufs; a plain
+                variable substitution covers Loads, and Stores never target
+                the input *)
+             List.map
+               (fun (k : Lower.kernel) ->
+                 {
+                   k with
+                   Lower.body =
+                     Ir.Stmt.map_exprs
+                       (Ir.Expr.map_bottom_up (function
+                         | Ir.Expr.Load { buf; index } when Ir.Var.equal buf this_in ->
+                             Ir.Expr.Load { buf = prev_out; index }
+                         | e -> e))
+                       k.Lower.body;
+                 })
+               ks
+             |> fun ks ->
+             ignore remap;
+             ks)
+         (Array.to_list ls))
+  in
+  { cfg; layers = ls; kernels }
+
+(** All tensors of all layers (for allocation). *)
+let all_tensors (t : t) : Tensor.t list =
+  List.concat_map
+    (fun (b : Builder.built) -> Builder.all_tensors b.Builder.tensors)
+    (Array.to_list t.layers)
+
+(** Simulated end-to-end time: the prelude is built and copied once for the
+    whole stack. *)
+let time ~device (t : t) =
+  let p =
+    Machine.Launch.pipeline ~device ~lenv:(Config.lenv t.cfg)
+      (List.map Machine.Launch.single t.kernels)
+  in
+  Machine.Launch.total_ns p

@@ -1,0 +1,16 @@
+(** Multi-layer encoder stack (§7.2: the 6-layer model shares one prelude,
+    because raggedness depends only on the mini-batch's lengths).  Layers
+    chain by rewriting each layer's input loads to the previous layer's
+    output buffer. *)
+
+type t = {
+  cfg : Config.t;
+  layers : Builder.built array;
+  kernels : Cora.Lower.kernel list;  (** all layers, in execution order *)
+}
+
+val build : ?hoist:bool -> target:Builder.target -> layers:int -> Config.t -> t
+val all_tensors : t -> Cora.Tensor.t list
+
+(** End-to-end simulated time; the prelude is built and copied once. *)
+val time : device:Machine.Device.t -> t -> float

@@ -1,0 +1,70 @@
+(** Sequence-length workloads (Table 3 of the paper).
+
+    The paper evaluates on sequence lengths from eight NLP datasets.  The
+    datasets themselves are not redistributable inputs of this repository,
+    so we substitute deterministic samplers that reproduce each dataset's
+    published (min, mean, max) statistics: lengths are drawn as
+    [min + u^k * (max - min)] with [k] chosen so the expectation matches
+    the published mean ([E\[u^k\] = 1/(k+1)]).  This matches what the
+    experiments consume — the multiset of lengths in a mini-batch — and
+    reproduces the qualitative split between "long" datasets (RACE,
+    Wiki512) and "short, highly ragged" ones (MNLI, CoLA). *)
+
+type t = {
+  name : string;
+  min_len : int;
+  mean_len : int;
+  max_len : int;
+}
+
+let race = { name = "RACE"; min_len = 80; mean_len = 364; max_len = 512 }
+let wiki512 = { name = "Wiki512"; min_len = 12; mean_len = 371; max_len = 512 }
+let squad = { name = "SQuAD"; min_len = 39; mean_len = 192; max_len = 384 }
+let wiki128 = { name = "Wiki128"; min_len = 14; mean_len = 117; max_len = 128 }
+let mnli = { name = "MNLI"; min_len = 9; mean_len = 43; max_len = 128 }
+let xnli = { name = "XNLI"; min_len = 9; mean_len = 70; max_len = 128 }
+let mrpc = { name = "MRPC"; min_len = 21; mean_len = 59; max_len = 102 }
+let cola = { name = "CoLA"; min_len = 6; mean_len = 13; max_len = 37 }
+
+(** All eight, in the paper's (descending sequence length) order. *)
+let all = [ race; wiki512; squad; wiki128; mnli; xnli; mrpc; cola ]
+
+let by_name name =
+  match List.find_opt (fun d -> String.lowercase_ascii d.name = String.lowercase_ascii name) all with
+  | Some d -> d
+  | None -> invalid_arg ("Datasets.by_name: unknown dataset " ^ name)
+
+(** Shape parameter matching the published mean. *)
+let shape d =
+  let range = float_of_int (d.max_len - d.min_len) in
+  let target = float_of_int (d.mean_len - d.min_len) in
+  if target <= 0.0 then 1e6 else Float.max 0.05 ((range /. target) -. 1.0)
+
+(** [sample d ~batch ~seed] — a mini-batch of sequence lengths. *)
+let sample d ~batch ~seed =
+  let rng = Rng.create (seed + (1299709 * Char.code d.name.[0]) + (7919 * batch)) in
+  let k = shape d in
+  Array.init batch (fun _ ->
+      let u = Rng.float rng in
+      let x = Float.pow u k in
+      let len = d.min_len + int_of_float (Float.round (x *. float_of_int (d.max_len - d.min_len))) in
+      max d.min_len (min d.max_len len))
+
+(** [sample_sorted] — descending lengths, the paper's load-balancing trick
+    for the transformer kernels (§D.2). *)
+let sample_sorted d ~batch ~seed =
+  let a = sample d ~batch ~seed in
+  Array.sort (fun x y -> Int.compare y x) a;
+  a
+
+(** A synthetic "dataset" where every sequence has the same length — used by
+    the overhead study of Fig. 23. *)
+let constant ~len ~batch = Array.make batch len
+
+let max_len d = d.max_len
+
+let stats (a : int array) =
+  let n = Array.length a in
+  let mn = Array.fold_left min max_int a and mx = Array.fold_left max 0 a in
+  let sum = Array.fold_left ( + ) 0 a in
+  (mn, float_of_int sum /. float_of_int n, mx)

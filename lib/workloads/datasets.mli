@@ -1,0 +1,41 @@
+(** Sequence-length workloads (Table 3): deterministic samplers reproducing
+    each NLP dataset's published (min, mean, max) statistics — the only
+    aspect of the datasets the experiments consume. *)
+
+type t = {
+  name : string;
+  min_len : int;
+  mean_len : int;
+  max_len : int;
+}
+
+val race : t
+val wiki512 : t
+val squad : t
+val wiki128 : t
+val mnli : t
+val xnli : t
+val mrpc : t
+val cola : t
+
+(** All eight, in the paper's order. *)
+val all : t list
+
+(** Case-insensitive; raises on unknown names. *)
+val by_name : string -> t
+
+val shape : t -> float
+
+(** Deterministic mini-batch of sequence lengths. *)
+val sample : t -> batch:int -> seed:int -> int array
+
+(** Descending lengths — the paper's load-balancing sort (§D.2). *)
+val sample_sorted : t -> batch:int -> seed:int -> int array
+
+(** Constant-length batch (Fig. 23's synthetic dataset). *)
+val constant : len:int -> batch:int -> int array
+
+val max_len : t -> int
+
+(** (min, mean, max) of a batch. *)
+val stats : int array -> int * float * int

@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random numbers (splitmix64): every workload draws
+    from a fixed seed, so tests, examples and benchmarks are exactly
+    reproducible. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+val choose : t -> 'a array -> 'a
+
+(** Standard normal (Box–Muller). *)
+val gaussian : t -> float

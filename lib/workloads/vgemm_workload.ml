@@ -1,0 +1,32 @@
+(** Workload generator for the variable-sized batched gemm experiments
+    (§7.1, Fig. 8): per-batch matrix dimensions are uniformly random
+    multiples of 128 in [512, 1408], exactly as in the paper. *)
+
+type t = {
+  batch : int;
+  ms : int array;
+  ns : int array;
+  ks : int array;
+}
+
+let dims_choices = Array.init 8 (fun i -> 512 + (128 * i)) (* 512 .. 1408 *)
+
+let generate ~batch ~seed =
+  let rng = Rng.create (seed + (31 * batch)) in
+  let pick () = Array.init batch (fun _ -> Rng.choose rng dims_choices) in
+  { batch; ms = pick (); ns = pick (); ks = pick () }
+
+let max3 a = Array.fold_left max 0 a
+
+(** FLOPs of the ragged computation (2·M·N·K per instance). *)
+let ragged_flops w =
+  let total = ref 0.0 in
+  for b = 0 to w.batch - 1 do
+    total := !total +. (2.0 *. float_of_int w.ms.(b) *. float_of_int w.ns.(b) *. float_of_int w.ks.(b))
+  done;
+  !total
+
+(** FLOPs when every instance is padded to the batch maxima. *)
+let padded_flops w =
+  2.0 *. float_of_int w.batch *. float_of_int (max3 w.ms) *. float_of_int (max3 w.ns)
+  *. float_of_int (max3 w.ks)

@@ -1,0 +1,18 @@
+(** Variable-sized batched gemm workloads (§7.1, Fig. 8): per-instance
+    dimensions are uniformly random multiples of 128 in [512, 1408]. *)
+
+type t = {
+  batch : int;
+  ms : int array;
+  ns : int array;
+  ks : int array;
+}
+
+val dims_choices : int array
+val generate : batch:int -> seed:int -> t
+val max3 : int array -> int
+
+(** FLOPs of the exact ragged computation / of the fully padded one. *)
+val ragged_flops : t -> float
+
+val padded_flops : t -> float

@@ -1,0 +1,238 @@
+(* SDPA backward on ragged tensors: gradients from the CoRa kernels must
+   match (a) an analytic dense reference and (b) central finite differences
+   of the forward attention. *)
+
+open Cora
+open Transformer
+
+let lens = [| 5; 3; 2 |]
+let cfg = Config.tiny ~lens
+let lenv = Config.lenv cfg
+
+let h = cfg.Config.hidden
+let nh = cfg.Config.heads
+let dh = cfg.Config.head_size
+let scale = 1.0 /. sqrt (float_of_int dh)
+
+(* dense forward attention for one sequence: returns (probs, out) *)
+let forward (qkv : float array) ~len =
+  let probs = Array.make (nh * len * len) 0.0 in
+  let out = Array.make (len * h) 0.0 in
+  for hh = 0 to nh - 1 do
+    for r = 0 to len - 1 do
+      let scores = Array.make len 0.0 in
+      for c = 0 to len - 1 do
+        let acc = ref 0.0 in
+        for k = 0 to dh - 1 do
+          acc :=
+            !acc +. (qkv.((r * 3 * h) + (hh * dh) + k) *. qkv.((c * 3 * h) + h + (hh * dh) + k))
+        done;
+        scores.(c) <- !acc *. scale
+      done;
+      let m = Array.fold_left Float.max neg_infinity scores in
+      let d = Array.fold_left (fun acc s -> acc +. exp (s -. m)) 0.0 scores in
+      for c = 0 to len - 1 do
+        probs.((hh * len * len) + (r * len) + c) <- exp (scores.(c) -. m) /. d
+      done;
+      for k = 0 to dh - 1 do
+        let acc = ref 0.0 in
+        for c = 0 to len - 1 do
+          acc :=
+            !acc
+            +. probs.((hh * len * len) + (r * len) + c)
+               *. qkv.((c * 3 * h) + (2 * h) + (hh * dh) + k)
+        done;
+        out.((r * h) + (hh * dh) + k) <- !acc
+      done
+    done
+  done;
+  (probs, out)
+
+(* dense analytic backward for one sequence *)
+let backward (qkv : float array) (dout : float array) ~len =
+  let probs, _ = forward qkv ~len in
+  let dq = Array.make (len * h) 0.0
+  and dk = Array.make (len * h) 0.0
+  and dv = Array.make (len * h) 0.0 in
+  for hh = 0 to nh - 1 do
+    let p r c = probs.((hh * len * len) + (r * len) + c) in
+    (* dV *)
+    for c = 0 to len - 1 do
+      for k = 0 to dh - 1 do
+        let acc = ref 0.0 in
+        for r = 0 to len - 1 do
+          acc := !acc +. (p r c *. dout.((r * h) + (hh * dh) + k))
+        done;
+        dv.((c * h) + (hh * dh) + k) <- !acc
+      done
+    done;
+    (* dP, dS *)
+    let ds = Array.make (len * len) 0.0 in
+    for r = 0 to len - 1 do
+      let dp = Array.make len 0.0 in
+      for c = 0 to len - 1 do
+        let acc = ref 0.0 in
+        for k = 0 to dh - 1 do
+          acc :=
+            !acc
+            +. dout.((r * h) + (hh * dh) + k) *. qkv.((c * 3 * h) + (2 * h) + (hh * dh) + k)
+        done;
+        dp.(c) <- !acc
+      done;
+      let dot = ref 0.0 in
+      for c = 0 to len - 1 do
+        dot := !dot +. (p r c *. dp.(c))
+      done;
+      for c = 0 to len - 1 do
+        ds.((r * len) + c) <- scale *. p r c *. (dp.(c) -. !dot)
+      done
+    done;
+    (* dQ, dK *)
+    for r = 0 to len - 1 do
+      for k = 0 to dh - 1 do
+        let acc = ref 0.0 in
+        for c = 0 to len - 1 do
+          acc := !acc +. (ds.((r * len) + c) *. qkv.((c * 3 * h) + h + (hh * dh) + k))
+        done;
+        dq.((r * h) + (hh * dh) + k) <- !acc
+      done
+    done;
+    for c = 0 to len - 1 do
+      for k = 0 to dh - 1 do
+        let acc = ref 0.0 in
+        for r = 0 to len - 1 do
+          acc := !acc +. (ds.((r * len) + c) *. qkv.((r * 3 * h) + (hh * dh) + k))
+        done;
+        dk.((c * h) + (hh * dh) + k) <- !acc
+      done
+    done
+  done;
+  (dq, dk, dv)
+
+let qkv_value b l j = sin (float_of_int ((b * 29) + (l * 7) + j)) *. 0.4
+let dout_value b l hh k = cos (float_of_int ((b * 13) + (l * 3) + (hh * 5) + k)) *. 0.3
+
+let run_cora () =
+  let t = Backward.build cfg in
+  let tensors =
+    List.map (fun tensor -> Ragged.alloc tensor lenv)
+      [ t.Backward.qkv; t.Backward.probs; t.Backward.dout; t.Backward.dscores;
+        t.Backward.dprobs; t.Backward.dq; t.Backward.dk; t.Backward.dv ]
+  in
+  let rqkv = List.nth tensors 0 and rprobs = List.nth tensors 1 and rdout = List.nth tensors 2 in
+  Ragged.fill rqkv (fun idx -> qkv_value (List.nth idx 0) (List.nth idx 1) (List.nth idx 2));
+  Ragged.fill rdout (fun idx ->
+      dout_value (List.nth idx 0) (List.nth idx 1) (List.nth idx 2) (List.nth idx 3));
+  (* the saved forward probabilities come from the dense forward *)
+  Array.iteri
+    (fun b len ->
+      let qkv = Array.make (len * 3 * h) 0.0 in
+      for l = 0 to len - 1 do
+        for j = 0 to (3 * h) - 1 do
+          qkv.((l * 3 * h) + j) <- Ragged.get rqkv [ b; l; j ]
+        done
+      done;
+      let probs, _ = forward qkv ~len in
+      for hh = 0 to nh - 1 do
+        for r = 0 to len - 1 do
+          for c = 0 to len - 1 do
+            Ragged.set rprobs [ b; r; hh; c ] probs.((hh * len * len) + (r * len) + c)
+          done
+        done
+      done)
+    lens;
+  let _ = Exec.run_ragged ~lenv ~tensors t.Backward.kernels in
+  (rqkv, rdout, List.nth tensors 5, List.nth tensors 6, List.nth tensors 7)
+
+let test_matches_analytic () =
+  let rqkv, rdout, rdq, rdk, rdv = run_cora () in
+  Array.iteri
+    (fun b len ->
+      let qkv = Array.make (len * 3 * h) 0.0 and dout = Array.make (len * h) 0.0 in
+      for l = 0 to len - 1 do
+        for j = 0 to (3 * h) - 1 do
+          qkv.((l * 3 * h) + j) <- Ragged.get rqkv [ b; l; j ]
+        done;
+        for hh = 0 to nh - 1 do
+          for k = 0 to dh - 1 do
+            dout.((l * h) + (hh * dh) + k) <- Ragged.get rdout [ b; l; hh; k ]
+          done
+        done
+      done;
+      let dq, dk, dv = backward qkv dout ~len in
+      for l = 0 to len - 1 do
+        for hh = 0 to nh - 1 do
+          for k = 0 to dh - 1 do
+            let check name (r : Ragged.t) (expect : float array) =
+              let got = Ragged.get r [ b; l; hh; k ] in
+              let want = expect.((l * h) + (hh * dh) + k) in
+              if Float.abs (got -. want) > 1e-6 *. (1.0 +. Float.abs want) then
+                Alcotest.failf "%s b=%d l=%d hh=%d k=%d: got %.8f want %.8f" name b l hh k got
+                  want
+            in
+            check "dQ" rdq dq;
+            check "dK" rdk dk;
+            check "dV" rdv dv
+          done
+        done
+      done)
+    lens
+
+(* central finite differences: loss = Σ out·dout; perturb a few Q entries *)
+let test_finite_differences () =
+  let rqkv, rdout, rdq, _, _ = run_cora () in
+  let b = 0 in
+  let len = lens.(b) in
+  let loss qkv =
+    let _, out = forward qkv ~len in
+    let acc = ref 0.0 in
+    for l = 0 to len - 1 do
+      for hh = 0 to nh - 1 do
+        for k = 0 to dh - 1 do
+          acc := !acc +. (out.((l * h) + (hh * dh) + k) *. Ragged.get rdout [ b; l; hh; k ])
+        done
+      done
+    done;
+    !acc
+  in
+  let base_qkv = Array.make (len * 3 * h) 0.0 in
+  for l = 0 to len - 1 do
+    for j = 0 to (3 * h) - 1 do
+      base_qkv.((l * 3 * h) + j) <- Ragged.get rqkv [ b; l; j ]
+    done
+  done;
+  let eps = 1e-5 in
+  List.iter
+    (fun (l, hh, k) ->
+      let pos = (l * 3 * h) + (hh * dh) + k (* a Q entry *) in
+      let plus = Array.copy base_qkv and minus = Array.copy base_qkv in
+      plus.(pos) <- plus.(pos) +. eps;
+      minus.(pos) <- minus.(pos) -. eps;
+      let fd = (loss plus -. loss minus) /. (2.0 *. eps) in
+      let got = Ragged.get rdq [ b; l; hh; k ] in
+      if Float.abs (got -. fd) > 1e-4 *. (1.0 +. Float.abs fd) then
+        Alcotest.failf "finite diff dQ at l=%d hh=%d k=%d: got %.8f fd %.8f" l hh k got fd)
+    [ (0, 0, 0); (2, 1, 3); (4, 0, 5); (1, 1, 1) ]
+
+let test_backward_time_ragged_savings () =
+  (* the backward, like the forward, saves quadratically on ragged batches *)
+  let short = Workloads.Datasets.sample_sorted Workloads.Datasets.mnli ~batch:32 ~seed:1 in
+  let t_short =
+    Backward.time ~device:Machine.Device.v100 (Backward.build (Config.base ~lens:short))
+  in
+  let padded = Workloads.Datasets.constant ~len:128 ~batch:32 in
+  let t_padded =
+    Backward.time ~device:Machine.Device.v100 (Backward.build (Config.base ~lens:padded))
+  in
+  Alcotest.(check bool) "ragged backward cheaper than padded" true (t_short < t_padded /. 2.0)
+
+let () =
+  Alcotest.run "backward"
+    [
+      ( "sdpa-backward",
+        [
+          Alcotest.test_case "matches analytic gradients" `Quick test_matches_analytic;
+          Alcotest.test_case "matches finite differences" `Quick test_finite_differences;
+          Alcotest.test_case "ragged savings (sim)" `Quick test_backward_time_ragged_savings;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Baselines: the CSR/BCSR Taco kernels must compute correct results; the
+   framework pipelines must show the paper's orderings on the machine
+   model. *)
+
+open Baselines
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_csr_construction () =
+  let m = Taco.csr_lower_triangular 4 (fun r c -> float_of_int ((10 * r) + c)) in
+  Alcotest.(check int) "nnz" 10 (Taco.nnz m);
+  check_float "diag" 33.0 (Taco.csr_get m 3 3);
+  check_float "zero above diag" 0.0 (Taco.csr_get m 1 3)
+
+let test_trmm_csr () =
+  let n = 6 and mcols = 5 in
+  let a = Taco.csr_lower_triangular n (fun r c -> float_of_int (r + c + 1)) in
+  let b = Array.init (n * mcols) (fun i -> float_of_int ((i mod 7) + 1)) in
+  let c = Taco.trmm_csr a b ~m:mcols in
+  for r = 0 to n - 1 do
+    for j = 0 to mcols - 1 do
+      let expect = ref 0.0 in
+      for k = 0 to r do
+        expect := !expect +. (float_of_int (r + k + 1) *. b.((k * mcols) + j))
+      done;
+      check_float "trmm csr" !expect c.((r * mcols) + j)
+    done
+  done
+
+let test_tradd_trmul_csr () =
+  let n = 5 in
+  let a = Taco.csr_lower_triangular n (fun r c -> float_of_int (r + c)) in
+  let b = Taco.csr_lower_triangular n (fun r c -> float_of_int ((2 * r) - c)) in
+  let s = Taco.tradd_csr a b and p = Taco.trmul_csr a b in
+  for r = 0 to n - 1 do
+    for c = 0 to r do
+      check_float "tradd" (float_of_int (r + c) +. float_of_int ((2 * r) - c)) (Taco.csr_get s r c);
+      check_float "trmul" (float_of_int (r + c) *. float_of_int ((2 * r) - c)) (Taco.csr_get p r c)
+    done
+  done;
+  Alcotest.(check int) "union nnz" (Taco.nnz a) (Taco.nnz s)
+
+let test_taco_vs_cora_execution () =
+  (* Taco's CSR trmm and CoRa's ragged trmm must agree numerically. *)
+  let n = 9 in
+  let t = Matmul.Trmm.build ~tile:3 ~variant:Matmul.Trmm.Split_unbalanced ~n () in
+  let fa idx = float_of_int ((3 * List.nth idx 0) + List.nth idx 1 + 1) in
+  let fb idx = float_of_int (List.nth idx 0 + (2 * List.nth idx 1) + 1) in
+  let _, _, rc = Matmul.Trmm.run t ~fill_a:fa ~fill_b:fb in
+  let a = Taco.csr_lower_triangular n (fun r c -> fa [ r; c ]) in
+  let b = Array.init (n * n) (fun i -> fb [ i / n; i mod n ]) in
+  let c = Taco.trmm_csr a b ~m:n in
+  for r = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      check_float "taco = cora" c.((r * n) + j) (Cora.Ragged.get rc [ r; j ])
+    done
+  done
+
+let test_taco_slowdowns_grow () =
+  (* the paper's Table 6: Taco's relative slowdown grows with matrix size *)
+  let dev = Machine.Device.v100 in
+  let slowdown n =
+    let cora =
+      Matmul.Trmm.time ~device:dev (Matmul.Trmm.build ~variant:Matmul.Trmm.Split_balanced ~n ())
+    in
+    Taco.trmm_csr_ns dev ~n /. cora
+  in
+  Alcotest.(check bool) "512 slower than 128" true (slowdown 512 > slowdown 128);
+  Alcotest.(check bool) "2048 slower than 512" true (slowdown 2048 > slowdown 512);
+  Alcotest.(check bool) "big slowdowns at 2048" true (slowdown 2048 > 20.0)
+
+let test_framework_orderings () =
+  let dev = Machine.Device.v100 in
+  List.iter
+    (fun (d, bs) ->
+      let lens = Workloads.Datasets.sample_sorted d ~batch:bs ~seed:1 in
+      let s =
+        Frameworks.of_config ~batch:bs ~lens ~hidden:512 ~heads:8 ~head_size:64 ~ff:2048
+      in
+      let pt = Analytic.pipeline_ns dev (Frameworks.pytorch_encoder s) in
+      let ft = Analytic.pipeline_ns dev (Frameworks.ft_encoder s) in
+      let fte = Analytic.pipeline_ns dev (Frameworks.ft_eff_encoder s) in
+      Alcotest.(check bool) "FT <= PyTorch" true (ft <= pt);
+      Alcotest.(check bool) "FT-Eff <= FT" true (fte <= ft))
+    [ (Workloads.Datasets.race, 128); (Workloads.Datasets.mnli, 32); (Workloads.Datasets.cola, 64) ]
+
+let test_cora_beats_padded_frameworks () =
+  (* Table 4 headline: CoRa beats PyTorch and FT on ragged datasets *)
+  let dev = Machine.Device.v100 in
+  List.iter
+    (fun d ->
+      let lens = Workloads.Datasets.sample_sorted d ~batch:128 ~seed:1 in
+      let cfg = Transformer.Config.base ~lens in
+      let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+      let p =
+        Machine.Launch.pipeline ~device:dev ~lenv:(Transformer.Config.lenv cfg)
+          (Transformer.Builder.launches built)
+      in
+      let cora = Machine.Launch.total_ns p in
+      let s =
+        Frameworks.of_config ~batch:128 ~lens ~hidden:512 ~heads:8 ~head_size:64 ~ff:2048
+      in
+      let pt = Analytic.pipeline_ns dev (Frameworks.pytorch_encoder s) in
+      let ft = Analytic.pipeline_ns dev (Frameworks.ft_encoder s) in
+      Alcotest.(check bool) (d.Workloads.Datasets.name ^ ": CoRa < PyTorch") true (cora < pt);
+      Alcotest.(check bool) (d.Workloads.Datasets.name ^ ": CoRa < FT") true (cora < ft))
+    [ Workloads.Datasets.race; Workloads.Datasets.squad; Workloads.Datasets.mnli ]
+
+let test_csf_model_far_larger () =
+  (* sparse-storage scheme vs CoRa's (§7.4's table) *)
+  let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.race ~batch:128 ~seed:1 in
+  let cfg = Transformer.Config.base ~lens in
+  let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+  let defs =
+    List.concat_map (fun (k : Cora.Lower.kernel) -> k.Cora.Lower.aux)
+      (Transformer.Builder.kernels built)
+  in
+  let b = Cora.Prelude.build defs (Transformer.Config.lenv cfg) in
+  let seqf = Cora.Lenfun.lookup (Transformer.Config.lenv cfg) "seq" in
+  let csf =
+    List.fold_left
+      (fun acc (t : Cora.Tensor.t) ->
+        let extent_of pos dep =
+          match List.nth t.Cora.Tensor.extents pos with
+          | Cora.Shape.Fixed c -> c
+          | Cora.Shape.Ragged _ -> seqf dep
+        in
+        acc + Taco.csf_entries t ~extent_of)
+      0
+      (Transformer.Builder.all_tensors built.Transformer.Builder.tensors)
+  in
+  Alcotest.(check bool) "CSF >> CoRa storage aux" true (csf > 50 * b.Cora.Prelude.storage_entries)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "taco",
+        [
+          Alcotest.test_case "csr construction + search access" `Quick test_csr_construction;
+          Alcotest.test_case "trmm csr correctness" `Quick test_trmm_csr;
+          Alcotest.test_case "tradd/trmul merge loops" `Quick test_tradd_trmul_csr;
+          Alcotest.test_case "taco = cora numerics" `Quick test_taco_vs_cora_execution;
+          Alcotest.test_case "slowdowns grow with size (Table 6)" `Quick test_taco_slowdowns_grow;
+        ] );
+      ( "frameworks",
+        [
+          Alcotest.test_case "FT-Eff <= FT <= PyTorch" `Quick test_framework_orderings;
+          Alcotest.test_case "CoRa beats padded frameworks" `Quick test_cora_beats_padded_frameworks;
+          Alcotest.test_case "CSF aux far larger (7.4)" `Quick test_csf_model_far_larger;
+        ] );
+    ]

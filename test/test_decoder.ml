@@ -1,0 +1,120 @@
+(* Decoder cross-attention: the attention matrix is ragged in TWO
+   independent length functions (target rows, source columns).  The
+   compiled kernels must match a dense per-pair reference. *)
+
+open Cora
+open Transformer
+
+let tgt_lens = [| 6; 4; 2 |]
+let src_lens = [| 7; 3; 5 |]
+
+let cfg = Decoder.make ~tgt_lens ~src_lens ~tiny:true ()
+let lenv = Decoder.lenv cfg
+
+(* reference cross attention for one (target, source) pair:
+   q is [tl][h], kv is [sl][2h] (keys then values) *)
+let reference (c : Config.t) (q : float array) (kv : float array) ~tl ~sl =
+  let h = c.Config.hidden and nh = c.Config.heads and dh = c.Config.head_size in
+  let out = Array.make (tl * h) 0.0 in
+  let scale = 1.0 /. sqrt (float_of_int dh) in
+  for hh = 0 to nh - 1 do
+    for r = 0 to tl - 1 do
+      let scores = Array.make sl 0.0 in
+      for cc = 0 to sl - 1 do
+        let acc = ref 0.0 in
+        for k = 0 to dh - 1 do
+          acc := !acc +. (q.((r * h) + (hh * dh) + k) *. kv.((cc * 2 * h) + (hh * dh) + k))
+        done;
+        scores.(cc) <- !acc *. scale
+      done;
+      let m = Array.fold_left Float.max neg_infinity scores in
+      let d = Array.fold_left (fun acc s -> acc +. exp (s -. m)) 0.0 scores in
+      for j = 0 to dh - 1 do
+        let acc = ref 0.0 in
+        for cc = 0 to sl - 1 do
+          acc :=
+            !acc
+            +. (exp (scores.(cc) -. m) /. d *. kv.((cc * 2 * h) + h + (hh * dh) + j))
+        done;
+        out.((r * h) + (hh * dh) + j) <- !acc
+      done
+    done
+  done;
+  out
+
+let test_cross_attention () =
+  let t = Decoder.build_cross cfg in
+  let tensors =
+    List.map (fun tensor -> Ragged.alloc tensor lenv)
+      [ t.Decoder.q_in; t.Decoder.kv_in; t.Decoder.scores; t.Decoder.probs; t.Decoder.attn ]
+  in
+  let rq = List.nth tensors 0 and rkv = List.nth tensors 1 and rattn = List.nth tensors 4 in
+  Ragged.fill rq (fun idx ->
+      sin (float_of_int ((11 * List.nth idx 0) + (3 * List.nth idx 1) + List.nth idx 2)) *. 0.4);
+  Ragged.fill rkv (fun idx ->
+      cos (float_of_int ((5 * List.nth idx 0) + (7 * List.nth idx 1) + List.nth idx 2)) *. 0.4);
+  let _ = Exec.run_ragged ~lenv ~tensors t.Decoder.kernels in
+  let base = cfg.Decoder.base in
+  let h = base.Config.hidden and nh = base.Config.heads and dh = base.Config.head_size in
+  Array.iteri
+    (fun b tl ->
+      let sl = cfg.Decoder.src_lens.(b) in
+      let q = Array.make (tl * h) 0.0 and kv = Array.make (sl * 2 * h) 0.0 in
+      for l = 0 to tl - 1 do
+        for j = 0 to h - 1 do
+          q.((l * h) + j) <- Ragged.get rq [ b; l; j ]
+        done
+      done;
+      for l = 0 to sl - 1 do
+        for j = 0 to (2 * h) - 1 do
+          kv.((l * 2 * h) + j) <- Ragged.get rkv [ b; l; j ]
+        done
+      done;
+      let expect = reference base q kv ~tl ~sl in
+      for r = 0 to tl - 1 do
+        for hh = 0 to nh - 1 do
+          for j = 0 to dh - 1 do
+            let got = Ragged.get rattn [ b; r; hh; j ] in
+            let want = expect.((r * h) + (hh * dh) + j) in
+            if Float.abs (got -. want) > 1e-6 *. (1.0 +. Float.abs want) then
+              Alcotest.failf "cross b=%d r=%d hh=%d j=%d: got %f want %f" b r hh j got want
+          done
+        done
+      done)
+    cfg.Decoder.base.Config.lens
+
+(* the cross matrix's two ragged dims must have distinct dependence
+   structure in the dgraph and distinct prefix-sum arrays *)
+let test_cross_storage () =
+  let t = Decoder.build_cross cfg in
+  let g = Dgraph.of_tensor t.Decoder.scores in
+  Alcotest.(check (list int)) "batch drives rows and cols" [ 1; 3 ]
+    (List.sort compare (Dgraph.outgoing g 0));
+  let r = Ragged.alloc t.Decoder.scores lenv in
+  (* size = Σ_b pad32(tgt b) * H * pad32(src b) *)
+  let expected =
+    Array.to_list cfg.Decoder.base.Config.lens
+    |> List.mapi (fun b tl ->
+           Shape.pad_to tl 4 * cfg.Decoder.base.Config.heads
+           * Shape.pad_to cfg.Decoder.src_lens.(b) 4)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "two-lenfun tensor size" expected (Runtime.Buffer.length r.Ragged.buf)
+
+let test_cross_time_scales_with_source () =
+  (* doubling source lengths should increase simulated cross-attention time *)
+  let short = Decoder.make ~tgt_lens:[| 64; 64 |] ~src_lens:[| 64; 64 |] ~tiny:false () in
+  let long = Decoder.make ~tgt_lens:[| 64; 64 |] ~src_lens:[| 256; 256 |] ~tiny:false () in
+  let time c = Decoder.time ~device:Machine.Device.v100 (Decoder.build_cross c) in
+  Alcotest.(check bool) "longer sources cost more" true (time long > time short)
+
+let () =
+  Alcotest.run "decoder"
+    [
+      ( "cross-attention",
+        [
+          Alcotest.test_case "matches dense reference" `Quick test_cross_attention;
+          Alcotest.test_case "two-lenfun storage" `Quick test_cross_storage;
+          Alcotest.test_case "time scales with source" `Quick test_cross_time_scales_with_source;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Failure injection and interpreter semantics: the compiler must reject
+   illegal schedules/declarations with clear errors, and the interpreter
+   must catch out-of-bounds accesses (this is what makes it a trustworthy
+   oracle for the padded/split/fused kernels). *)
+
+open Cora
+module E = Ir.Expr
+module S = Ir.Stmt
+
+let lens = [| 3; 1; 4 |]
+let lenv = [ Lenfun.of_array "lens" lens ]
+let lensf = Lenfun.make "lens"
+
+let mk_ragged_pair () =
+  let b = Dim.make "b" and l = Dim.make "l" in
+  let extents = [ Shape.fixed 3; Shape.ragged ~dep:b ~fn:lensf ] in
+  let a = Tensor.create ~name:"EA" ~dims:[ b; l ] ~extents in
+  let o = Tensor.create ~name:"EO" ~dims:[ b; l ] ~extents in
+  (a, o)
+
+(* ---------------- interpreter ---------------- *)
+
+let test_interp_intrinsics () =
+  let env = Runtime.Interp.create () in
+  let v e = Runtime.Interp.to_float (Runtime.Interp.eval env e) in
+  Alcotest.(check (float 1e-9)) "exp" (exp 1.5) (v (E.call "exp" [ E.float 1.5 ]));
+  Alcotest.(check (float 1e-9)) "sqrt" 3.0 (v (E.call "sqrt" [ E.float 9.0 ]));
+  Alcotest.(check (float 1e-9)) "tanh" (tanh 0.3) (v (E.call "tanh" [ E.float 0.3 ]));
+  Alcotest.(check (float 1e-9)) "relu neg" 0.0 (v (E.call "relu" [ E.float (-2.0) ]));
+  Alcotest.(check bool) "erf close" true (Float.abs (v (E.call "erf" [ E.float 1.0 ]) -. 0.8427) < 1e-3)
+
+let test_interp_reduce_ops' () =
+  let env = Runtime.Interp.create () in
+  let arr = [| 2.0 |] in
+  let buf = Ir.Var.fresh "acc" in
+  Runtime.Interp.bind_buf env buf (Runtime.Buffer.of_floats arr);
+  Runtime.Interp.exec env (S.Reduce_store { buf; index = E.zero; value = E.float 3.0; op = S.Sum });
+  Alcotest.(check (float 1e-9)) "sum" 5.0 arr.(0);
+  Runtime.Interp.exec env (S.Reduce_store { buf; index = E.zero; value = E.float 4.0; op = S.Rmax });
+  Alcotest.(check (float 1e-9)) "max" 5.0 arr.(0);
+  Runtime.Interp.exec env (S.Reduce_store { buf; index = E.zero; value = E.float 2.0; op = S.Rmin });
+  Alcotest.(check (float 1e-9)) "min" 2.0 arr.(0);
+  Runtime.Interp.exec env (S.Reduce_store { buf; index = E.zero; value = E.float 3.0; op = S.Prod });
+  Alcotest.(check (float 1e-9)) "prod" 6.0 arr.(0)
+
+let test_interp_alloc_scoping () =
+  let env = Runtime.Interp.create () in
+  let out = Ir.Var.fresh "out" in
+  let arr = [| 0.0 |] in
+  Runtime.Interp.bind_buf env out (Runtime.Buffer.of_floats arr);
+  let scratch = Ir.Var.fresh "scratch" in
+  let body =
+    S.Alloc
+      {
+        buf = scratch;
+        size = E.int 2;
+        body =
+          S.seq
+            [
+              S.Store { buf = scratch; index = E.zero; value = E.float 7.0 };
+              S.Store { buf = out; index = E.zero; value = E.load scratch E.zero };
+            ];
+      }
+  in
+  Runtime.Interp.exec env body;
+  Alcotest.(check (float 1e-9)) "scratch visible inside" 7.0 arr.(0);
+  (* scratch must be unbound outside the Alloc *)
+  Alcotest.(check bool) "scratch scoped" true
+    (try
+       Runtime.Interp.exec env (S.Eval (E.load scratch E.zero));
+       false
+     with Runtime.Interp.Error _ -> true)
+
+let test_interp_ufun_bounds () =
+  let env = Runtime.Interp.create () in
+  Runtime.Interp.bind_ufun_array env "t" [| 10; 20 |];
+  Alcotest.(check int) "lookup" 20 (Runtime.Interp.to_int (Runtime.Interp.eval env (E.ufun "t" [ E.one ])));
+  Alcotest.(check bool) "ufun OOB detected" true
+    (try
+       ignore (Runtime.Interp.eval env (E.ufun "t" [ E.int 5 ]));
+       false
+     with Runtime.Interp.Error _ -> true)
+
+(* ---------------- compiler error paths ---------------- *)
+
+let test_reorder_vloop_outside_dep () =
+  let a, o = mk_ragged_pair () in
+  let op =
+    Op.compute ~name:"bad" ~out:o
+      ~loop_extents:[ Shape.fixed 3; Shape.ragged ~dep:(List.nth o.Tensor.dims 0) ~fn:lensf ]
+      ~reads:[ a ]
+      (fun idx -> Op.access a idx)
+  in
+  let s = Schedule.create op in
+  let b = Schedule.axis_of_dim s 0 and l = Schedule.axis_of_dim s 1 in
+  Schedule.reorder s [ l; b ];
+  Alcotest.(check bool) "vloop outside its dep rejected" true
+    (try
+       ignore (Lower.lower s);
+       false
+     with Lower.Error _ -> true)
+
+let test_fuse_non_adjacent () =
+  let a, o = mk_ragged_pair () in
+  let op =
+    Op.compute ~name:"bad2" ~out:o
+      ~loop_extents:[ Shape.fixed 3; Shape.ragged ~dep:(List.nth o.Tensor.dims 0) ~fn:lensf ]
+      ~reads:[ a ]
+      (fun idx -> Op.access a idx)
+  in
+  let s = Schedule.create op in
+  let b = Schedule.axis_of_dim s 0 and l = Schedule.axis_of_dim s 1 in
+  Alcotest.(check bool) "fuse (inner, outer) rejected" true
+    (try
+       ignore (Schedule.fuse s l b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reorder_non_permutation () =
+  let a, o = mk_ragged_pair () in
+  let op =
+    Op.compute ~name:"bad3" ~out:o
+      ~loop_extents:[ Shape.fixed 3; Shape.ragged ~dep:(List.nth o.Tensor.dims 0) ~fn:lensf ]
+      ~reads:[ a ]
+      (fun idx -> Op.access a idx)
+  in
+  let s = Schedule.create op in
+  let b = Schedule.axis_of_dim s 0 in
+  Alcotest.(check bool) "non-permutation rejected" true
+    (try
+       Schedule.reorder s [ b ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_bad_factors () =
+  let a, o = mk_ragged_pair () in
+  let op =
+    Op.compute ~name:"bad4" ~out:o
+      ~loop_extents:[ Shape.fixed 3; Shape.ragged ~dep:(List.nth o.Tensor.dims 0) ~fn:lensf ]
+      ~reads:[ a ]
+      (fun idx -> Op.access a idx)
+  in
+  let s = Schedule.create op in
+  Alcotest.(check bool) "split 0 rejected" true
+    (try
+       ignore (Schedule.split s (Schedule.axis_of_dim s 0) 0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "pad 0 rejected" true
+    (try
+       Schedule.pad_loop s (Schedule.axis_of_dim s 0) 0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_unknown_tensor_access () =
+  let a, o = mk_ragged_pair () in
+  ignore a;
+  let op =
+    Op.compute ~name:"bad5" ~out:o
+      ~loop_extents:[ Shape.fixed 3; Shape.ragged ~dep:(List.nth o.Tensor.dims 0) ~fn:lensf ]
+      ~reads:[] (* forgot to declare the read *)
+      (fun idx -> E.access "PHANTOM" idx)
+  in
+  let s = Schedule.create op in
+  Alcotest.(check bool) "unknown tensor rejected" true
+    (try
+       ignore (Lower.lower s);
+       false
+     with Lower.Error _ -> true)
+
+let test_storage_arity () =
+  let a, _ = mk_ragged_pair () in
+  Alcotest.(check bool) "wrong arity rejected" true
+    (try
+       ignore (Storage.lower a [ E.zero ]);
+       false
+     with Storage.Unsupported _ -> true)
+
+let test_tensor_fuse_dims_validation () =
+  let a, _ = mk_ragged_pair () in
+  Alcotest.(check bool) "non-adjacent storage fusion rejected" true
+    (try
+       Tensor.fuse_dims a 0 2;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- exec + prelude sharing ---------------- *)
+
+let test_exec_dedups_shared_aux () =
+  let a, o = mk_ragged_pair () in
+  let op =
+    Op.compute ~name:"share" ~out:o
+      ~loop_extents:[ Shape.fixed 3; Shape.ragged ~dep:(List.nth o.Tensor.dims 0) ~fn:lensf ]
+      ~reads:[ a ]
+      (fun idx -> Op.access a idx)
+  in
+  let k1 = Lower.lower (Schedule.create op) in
+  let k2 = Lower.lower (Schedule.create op) in
+  let ra = Ragged.alloc a lenv and ro = Ragged.alloc o lenv in
+  let _, built = Exec.run_ragged ~lenv ~tensors:[ ra; ro ] [ k1; k2 ] in
+  (* both kernels use the same psum array; the prelude builds it once *)
+  Alcotest.(check int) "one shared table" 1 (List.length built.Prelude.tables)
+
+let () =
+  Alcotest.run "errors-interp"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "intrinsics" `Quick test_interp_intrinsics;
+          Alcotest.test_case "reduce ops" `Quick test_interp_reduce_ops';
+          Alcotest.test_case "alloc scoping" `Quick test_interp_alloc_scoping;
+          Alcotest.test_case "ufun bounds checked" `Quick test_interp_ufun_bounds;
+        ] );
+      ( "compiler-errors",
+        [
+          Alcotest.test_case "vloop reorder restriction (4.1)" `Quick test_reorder_vloop_outside_dep;
+          Alcotest.test_case "fuse adjacency" `Quick test_fuse_non_adjacent;
+          Alcotest.test_case "reorder permutation" `Quick test_reorder_non_permutation;
+          Alcotest.test_case "bad factors" `Quick test_bad_factors;
+          Alcotest.test_case "unknown tensor" `Quick test_unknown_tensor_access;
+          Alcotest.test_case "storage arity" `Quick test_storage_arity;
+          Alcotest.test_case "fuse_dims validation" `Quick test_tensor_fuse_dims_validation;
+        ] );
+      ( "exec",
+        [ Alcotest.test_case "aux shared across kernels" `Quick test_exec_dedups_shared_aux ] );
+    ]

@@ -1,0 +1,149 @@
+(* Operator graph + memory planner: liveness ranges must be correct, the
+   plan must reduce peak activation memory, and executing the encoder with
+   aliased buffers must produce exactly the same output as with private
+   buffers. *)
+
+open Cora
+open Transformer
+
+let lens = [| 7; 4; 2 |]
+let cfg = Config.tiny ~lens
+let lenv = Config.lenv cfg
+
+let build_graph () =
+  let built = Builder.build ~target:Builder.Gpu cfg in
+  let t = built.Builder.tensors in
+  let tensors = Builder.all_tensors t in
+  let weights = [ t.Builder.wqkv; t.Builder.bqkv; t.Builder.w2; t.Builder.b2;
+                  t.Builder.wf1; t.Builder.bf1; t.Builder.wf2; t.Builder.bf2 ] in
+  let g =
+    Graph.make ~tensors
+      ~inputs:(t.Builder.in_t :: weights)
+      ~outputs:[ t.Builder.out ]
+      (Builder.kernels built)
+  in
+  (built, g)
+
+let test_liveness () =
+  let built, g = build_graph () in
+  let t = built.Builder.tensors in
+  let ranges = Graph.liveness g in
+  let range (tensor : Tensor.t) =
+    let _, lo, hi =
+      List.find (fun ((x : Tensor.t), _, _) -> x == tensor) ranges
+    in
+    (lo, hi)
+  in
+  (* kernels: 0 QKV, 1 QKT, 2 Softmax, 3 AttnV, 4 Proj2, 5 LN1, 6 FF1, 7 FF2, 8 LN2 *)
+  Alcotest.(check (pair int int)) "qkv live 0..3" (0, 3) (range t.Builder.qkv);
+  Alcotest.(check (pair int int)) "scores live 1..2" (1, 2) (range t.Builder.scores);
+  Alcotest.(check (pair int int)) "probs live 2..3" (2, 3) (range t.Builder.probs);
+  Alcotest.(check (pair int int)) "ln1 live 5..7" (5, 7) (range t.Builder.ln1)
+
+let test_plan_reduces_memory () =
+  let _, g = build_graph () in
+  let p = Graph.plan g ~lenv in
+  let naive = Graph.naive_bytes g ~lenv in
+  let planned = Graph.planned_bytes p in
+  Alcotest.(check bool) "planned < naive" true (planned < naive);
+  Alcotest.(check bool) "planned >= biggest tensor" true (planned > 0)
+
+let test_no_overlapping_aliases () =
+  let _, g = build_graph () in
+  let p = Graph.plan g ~lenv in
+  let ranges = Graph.liveness g in
+  (* tensors sharing a slot must have disjoint live ranges *)
+  List.iter
+    (fun ((ta : Tensor.t), la, ha) ->
+      List.iter
+        (fun ((tb : Tensor.t), lb, hb) ->
+          if not (ta == tb) then
+            match
+              ( Hashtbl.find_opt p.Graph.slot_of ta.Tensor.buf.Ir.Var.id,
+                Hashtbl.find_opt p.Graph.slot_of tb.Tensor.buf.Ir.Var.id )
+            with
+            | Some sa, Some sb when sa = sb ->
+                if not (ha < lb || hb < la) then
+                  Alcotest.failf "%s and %s share slot %d but overlap" ta.Tensor.name
+                    tb.Tensor.name sa
+            | _ -> ())
+        ranges)
+    ranges
+
+let test_planned_execution_identical () =
+  let built, g = build_graph () in
+  let t = built.Builder.tensors in
+  let w = Reference.random_weights cfg ~seed:9 in
+  let fill_dense (tensor : Tensor.t) a =
+    let r = Ragged.alloc tensor lenv in
+    Array.blit a 0 (Runtime.Buffer.floats r.Ragged.buf) 0 (Array.length a);
+    (tensor, r.Ragged.buf)
+  in
+  let rin = Ragged.alloc t.Builder.in_t lenv in
+  Ragged.fill rin (fun idx ->
+      sin (float_of_int ((23 * List.nth idx 0) + (7 * List.nth idx 1) + List.nth idx 2)) *. 0.4);
+  let rout = Ragged.alloc t.Builder.out lenv in
+  let external_bindings =
+    [
+      fill_dense t.Builder.wqkv w.Reference.wqkv; fill_dense t.Builder.bqkv w.Reference.bqkv;
+      fill_dense t.Builder.w2 w.Reference.w2; fill_dense t.Builder.b2 w.Reference.b2;
+      fill_dense t.Builder.wf1 w.Reference.wf1; fill_dense t.Builder.bf1 w.Reference.bf1;
+      fill_dense t.Builder.wf2 w.Reference.wf2; fill_dense t.Builder.bf2 w.Reference.bf2;
+      (t.Builder.in_t, rin.Ragged.buf);
+      (t.Builder.out, rout.Ragged.buf);
+    ]
+  in
+  let p = Graph.plan g ~lenv in
+  let _ = Graph.execute g p ~lenv ~bindings:external_bindings in
+  (* reference: dense per-sequence encoder *)
+  let h = cfg.Config.hidden in
+  Array.iteri
+    (fun b len ->
+      let x = Array.make (len * h) 0.0 in
+      for l = 0 to len - 1 do
+        for j = 0 to h - 1 do
+          x.((l * h) + j) <- Ragged.get rin [ b; l; j ]
+        done
+      done;
+      let expect = Reference.encoder cfg w x ~len in
+      for l = 0 to len - 1 do
+        for j = 0 to h - 1 do
+          let got = Ragged.get rout [ b; l; j ] in
+          if Float.abs (got -. expect.((l * h) + j)) > 1e-6 then
+            Alcotest.failf "planned exec b=%d l=%d j=%d: %f vs %f" b l j got
+              expect.((l * h) + j)
+        done
+      done)
+    lens
+
+let test_memory_plan_at_scale () =
+  (* paper-scale sanity: planning roughly halves peak intermediates *)
+  let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.squad ~batch:32 ~seed:1 in
+  let cfg = Config.base ~lens in
+  let lenv = Config.lenv cfg in
+  let built = Builder.build ~target:Builder.Gpu cfg in
+  let t = built.Builder.tensors in
+  let g =
+    Graph.make ~tensors:(Builder.all_tensors t)
+      ~inputs:
+        [ t.Builder.in_t; t.Builder.wqkv; t.Builder.bqkv; t.Builder.w2; t.Builder.b2;
+          t.Builder.wf1; t.Builder.bf1; t.Builder.wf2; t.Builder.bf2 ]
+      ~outputs:[ t.Builder.out ]
+      (Builder.kernels built)
+  in
+  let p = Graph.plan g ~lenv in
+  let ratio = float_of_int (Graph.planned_bytes p) /. float_of_int (Graph.naive_bytes g ~lenv) in
+  Alcotest.(check bool) "saves at least 25%" true (ratio < 0.75)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "memory-planner",
+        [
+          Alcotest.test_case "liveness ranges" `Quick test_liveness;
+          Alcotest.test_case "plan reduces memory" `Quick test_plan_reduces_memory;
+          Alcotest.test_case "no overlapping aliases" `Quick test_no_overlapping_aliases;
+          Alcotest.test_case "planned execution identical" `Quick test_planned_execution_identical;
+          Alcotest.test_case "savings at paper scale" `Quick test_memory_plan_at_scale;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* IR substrate tests: expression algebra, the simplifier (including the
+   fused-loop identities standing in for Z3), interval arithmetic, and the
+   printer.  The central property: simplification never changes what an
+   expression evaluates to. *)
+
+open Ir
+module E = Expr
+
+(* ------------------------------------------------------------------ *)
+(* Random integer expressions over a fixed set of variables. *)
+
+let vars = Array.init 4 (fun i -> Var.fresh (Printf.sprintf "x%d" i))
+
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> E.int (n - 8)) (int_bound 16);
+        map (fun i -> E.var vars.(i)) (int_bound 3);
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 6,
+              oneofl [ `Add; `Sub; `Mul; `Div; `Mod; `Min; `Max ] >>= fun op ->
+              self (depth - 1) >>= fun a ->
+              self (depth - 1) >>= fun b ->
+              return
+                (match op with
+                | `Add -> E.add a b
+                | `Sub -> E.sub a b
+                | `Mul -> E.mul a b
+                | `Div -> E.floordiv a (E.add (E.imod b (E.int 7)) (E.int 8))
+                | `Mod -> E.imod a (E.add (E.imod b (E.int 7)) (E.int 8))
+                | `Min -> E.min_ a b
+                | `Max -> E.max_ a b) );
+            ( 1,
+              self (depth - 1) >>= fun c ->
+              self (depth - 1) >>= fun a ->
+              self (depth - 1) >>= fun b -> return (E.select (E.lt c (E.int 3)) a b) );
+          ])
+    3
+
+let arbitrary_expr = QCheck.make ~print:Printer.expr_to_string expr_gen
+
+(* direct big-step evaluation, independent of the interpreter *)
+let rec eval env (e : E.t) : int =
+  match e with
+  | Int n -> n
+  | Var v -> List.assoc v.Var.id env
+  | Binop (op, a, b) -> (
+      let x = eval env a and y = eval env b in
+      match op with
+      | Add -> x + y
+      | Sub -> x - y
+      | Mul -> x * y
+      | Min -> min x y
+      | Max -> max x y
+      | FloorDiv -> if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) - 1 else x / y
+      | Mod ->
+          let r = x mod y in
+          if r <> 0 && (r < 0) <> (y < 0) then r + y else r
+      | Div -> failwith "float div")
+  | Cmp (op, a, b) -> (
+      let x = eval env a and y = eval env b in
+      match op with
+      | Lt -> if x < y then 1 else 0
+      | Le -> if x <= y then 1 else 0
+      | Gt -> if x > y then 1 else 0
+      | Ge -> if x >= y then 1 else 0
+      | Eq -> if x = y then 1 else 0
+      | Ne -> if x <> y then 1 else 0)
+  | Select (c, a, b) -> if eval env c <> 0 then eval env a else eval env b
+  | Bool b -> if b then 1 else 0
+  | And (a, b) -> if eval env a <> 0 && eval env b <> 0 then 1 else 0
+  | Or (a, b) -> if eval env a <> 0 || eval env b <> 0 then 1 else 0
+  | Not a -> if eval env a = 0 then 1 else 0
+  | Let (v, value, body) -> eval ((v.Var.id, eval env value) :: env) body
+  | Float _ | Load _ | Ufun _ | Call _ | Access _ -> failwith "not evaluable"
+
+let prop_simplify_preserves_eval =
+  QCheck.Test.make ~count:500 ~name:"simplify preserves evaluation" arbitrary_expr (fun e ->
+      let env = Array.to_list (Array.mapi (fun i v -> (v.Var.id, (i * 3) - 4)) vars) in
+      let ctx =
+        Array.fold_left
+          (fun ctx v -> Simplify.with_var ctx v (Interval.make (-10) 10))
+          Simplify.empty_ctx vars
+      in
+      eval env e = eval env (Simplify.simplify ~ctx e))
+
+let prop_interval_sound =
+  QCheck.Test.make ~count:500 ~name:"interval_of bounds the value" arbitrary_expr (fun e ->
+      (* variables constrained to [0, 5] *)
+      let ctx =
+        Array.fold_left
+          (fun ctx v -> Simplify.with_var ctx v (Interval.make 0 5))
+          Simplify.empty_ctx vars
+      in
+      let iv = Simplify.interval_of ctx e in
+      List.for_all
+        (fun values ->
+          let env = Array.to_list (Array.mapi (fun i v -> (v.Var.id, List.nth values i)) vars) in
+          let x = eval env e in
+          (match Interval.lo_int iv with Some lo -> lo <= x | None -> true)
+          && match Interval.hi_int iv with Some hi -> x <= hi | None -> true)
+        [ [ 0; 0; 0; 0 ]; [ 5; 5; 5; 5 ]; [ 1; 4; 2; 3 ]; [ 3; 0; 5; 2 ] ])
+
+let prop_pad_up =
+  QCheck.Test.make ~count:200 ~name:"pad_up rounds up to a multiple"
+    QCheck.(pair (int_bound 1000) (int_range 1 64))
+    (fun (n, m) ->
+      match E.pad_up (E.int n) m with
+      | E.Int p -> p >= n && p mod m = 0 && p - n < m
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Directed simplifier tests. *)
+
+let fused_ctx =
+  Simplify.with_fusion Simplify.empty_ctx
+    { Simplify.fo = "f_fo"; fi = "f_fi"; oif = "f_oif"; off = "off" }
+
+let test_fusion_identities () =
+  let f = E.var (Var.fresh "f") in
+  let o = E.var (Var.fresh "o") and i = E.var (Var.fresh "i") in
+  (* f_oif (f_fo f) (f_fi f) = f *)
+  let e1 = E.ufun "f_oif" [ E.ufun "f_fo" [ f ]; E.ufun "f_fi" [ f ] ] in
+  Alcotest.(check bool) "oif(fo,fi) = id" true (Simplify.simplify ~ctx:fused_ctx e1 = f);
+  (* f_fo (f_oif o i) = o,  f_fi (f_oif o i) = i *)
+  let e2 = E.ufun "f_fo" [ E.ufun "f_oif" [ o; i ] ] in
+  Alcotest.(check bool) "fo(oif) = o" true (Simplify.simplify ~ctx:fused_ctx e2 = o);
+  let e3 = E.ufun "f_fi" [ E.ufun "f_oif" [ o; i ] ] in
+  Alcotest.(check bool) "fi(oif) = i" true (Simplify.simplify ~ctx:fused_ctx e3 = i);
+  (* the fused-access rule: off[f_fo f] + f_fi f = f *)
+  let e4 = E.add (E.ufun "off" [ E.ufun "f_fo" [ f ] ]) (E.ufun "f_fi" [ f ]) in
+  Alcotest.(check bool) "off[fo f] + fi f = f" true (Simplify.simplify ~ctx:fused_ctx e4 = f)
+
+let test_divmod_recombine () =
+  let k = E.var (Var.fresh "k") in
+  let e = E.add (E.mul (E.floordiv k (E.int 64)) (E.int 64)) (E.imod k (E.int 64)) in
+  Alcotest.(check bool) "(k/64)*64 + k%64 = k" true (Simplify.simplify e = k)
+
+let test_split_roundtrip () =
+  (* (o*f + i) / f = o and (o*f + i) mod f = i given 0 <= i < f *)
+  let o = Var.fresh "o" and i = Var.fresh "i" in
+  let ctx =
+    Simplify.with_var
+      (Simplify.with_var Simplify.empty_ctx o (Interval.make 0 100))
+      i (Interval.make 0 7)
+  in
+  let value = E.add (E.mul (E.var o) (E.int 8)) (E.var i) in
+  Alcotest.(check bool) "(o*8+i)/8 = o" true
+    (Simplify.simplify ~ctx (E.floordiv value (E.int 8)) = E.var o);
+  Alcotest.(check bool) "(o*8+i)%8 = i" true
+    (Simplify.simplify ~ctx (E.imod value (E.int 8)) = E.var i)
+
+let test_guard_elision () =
+  (* a guard provable from loop ranges must simplify to true *)
+  let v = Var.fresh "v" in
+  let ctx = Simplify.with_var Simplify.empty_ctx v (Interval.make 0 31) in
+  Alcotest.(check bool) "v < 32 provable" true
+    (Simplify.provably_true ctx E.(lt (var v) (int 32)));
+  Alcotest.(check bool) "v < 31 not provable" false
+    (Simplify.provably_true ctx E.(lt (var v) (int 31)))
+
+let test_simplify_stmt_kills_dead_branch () =
+  let v = Var.fresh "v" in
+  let body =
+    Stmt.For
+      {
+        var = v;
+        min = E.zero;
+        extent = E.int 8;
+        kind = Serial;
+        body =
+          Stmt.If
+            (E.lt (E.var v) (E.int 8), Stmt.Eval (E.var v), Some (Stmt.Eval (E.int 999)));
+      }
+  in
+  match Simplify.simplify_stmt body with
+  | Stmt.For { body = Stmt.Eval _; _ } -> ()
+  | s -> Alcotest.failf "guard not elided: %s" (Printer.stmt_to_string s)
+
+let test_free_vars () =
+  let v = Var.fresh "v" and w = Var.fresh "w" in
+  let e = E.Let (v, E.var w, E.add (E.var v) (E.var w)) in
+  let fv = E.free_vars e in
+  Alcotest.(check bool) "w free" true (Var.Set.mem w fv);
+  Alcotest.(check bool) "v bound" false (Var.Set.mem v fv)
+
+let test_subst () =
+  let v = Var.fresh "v" in
+  let e = E.add (E.var v) (E.mul (E.var v) (E.int 2)) in
+  let e' = E.subst1 v (E.int 3) e in
+  Alcotest.(check int) "subst folds" 9 (match Simplify.simplify e' with E.Int n -> n | _ -> -1)
+
+let test_interval_ops () =
+  let a = Interval.make 2 5 and b = Interval.make (-1) 3 in
+  Alcotest.(check bool) "add" true (Interval.add a b = Interval.make 1 8);
+  Alcotest.(check bool) "sub" true (Interval.sub a b = Interval.make (-1) 6);
+  Alcotest.(check bool) "mul" true (Interval.mul a b = Interval.make (-5) 15);
+  Alcotest.(check bool) "div" true
+    (Interval.div_const (Interval.make (-7) 7) 2 = Interval.make (-4) 3);
+  Alcotest.(check bool) "union" true (Interval.union a b = Interval.make (-1) 5);
+  Alcotest.(check bool) "lt" true
+    (Interval.definitely_lt (Interval.make 0 3) (Interval.make 4 9));
+  Alcotest.(check bool) "not lt" false
+    (Interval.definitely_lt (Interval.make 0 4) (Interval.make 4 9))
+
+let test_printer_roundtrip_smoke () =
+  let v = Var.fresh "i" in
+  let s =
+    Stmt.For
+      {
+        var = v;
+        min = E.zero;
+        extent = E.int 4;
+        kind = Gpu_block;
+        body = Stmt.Store { buf = Var.fresh "out"; index = E.var v; value = E.float 1.5 };
+      }
+  in
+  let str = Printer.stmt_to_string s in
+  Alcotest.(check bool) "mentions loop kind" true
+    (String.length str > 13 && String.sub str 0 13 = "gpu_block_for")
+
+let test_stmt_ufuns () =
+  let v = Var.fresh "i" in
+  let s =
+    Stmt.For
+      {
+        var = v;
+        min = E.zero;
+        extent = E.ufun "seq" [ E.int 0 ];
+        kind = Serial;
+        body = Stmt.Eval (E.ufun "psum" [ E.var v ]);
+      }
+  in
+  Alcotest.(check (list string)) "collected ufuns" [ "psum"; "seq" ] (Stmt.ufuns s)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_simplify_preserves_eval; prop_interval_sound; prop_pad_up ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "fused-loop identities (B.2)" `Quick test_fusion_identities;
+          Alcotest.test_case "div/mod recombination" `Quick test_divmod_recombine;
+          Alcotest.test_case "split roundtrip" `Quick test_split_roundtrip;
+          Alcotest.test_case "guard provability" `Quick test_guard_elision;
+          Alcotest.test_case "dead branch elision in stmts" `Quick
+            test_simplify_stmt_kills_dead_branch;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "free vars with let" `Quick test_free_vars;
+          Alcotest.test_case "substitution" `Quick test_subst;
+          Alcotest.test_case "interval operations" `Quick test_interval_ops;
+          Alcotest.test_case "printer smoke" `Quick test_printer_roundtrip_smoke;
+          Alcotest.test_case "stmt ufun collection" `Quick test_stmt_ufuns;
+        ] );
+    ]

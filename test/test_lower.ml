@@ -1,0 +1,265 @@
+(* End-to-end lowering tests: CoRa programs lowered to IR, interpreted, and
+   checked against direct reference computations. *)
+
+open Cora
+
+let lens_arr = [| 3; 1; 4 |]
+let lenv = [ Lenfun.of_array "lens" lens_arr ]
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Fig. 1 of the paper: O[b][j] = 2 * A[b][j] with ragged j. *)
+let fig1_setup () =
+  let batch = Dim.make "b" and len = Dim.make "j" in
+  let lens = Lenfun.make "lens" in
+  let extents = [ Shape.fixed 3; Shape.ragged ~dep:batch ~fn:lens ] in
+  let a = Tensor.create ~name:"A" ~dims:[ batch; len ] ~extents in
+  let o = Tensor.create ~name:"O" ~dims:[ batch; len ] ~extents in
+  let op =
+    Op.compute ~name:"double" ~out:o ~loop_extents:extents ~reads:[ a ] (fun idx ->
+        Ir.Expr.mul (Ir.Expr.float 2.0) (Op.access a idx))
+  in
+  (a, o, op)
+
+let test_fig1_plain () =
+  let a, o, op = fig1_setup () in
+  let sched = Schedule.create op in
+  let kernel = Lower.lower sched in
+  let ra = Ragged.alloc a lenv and ro = Ragged.alloc o lenv in
+  Ragged.fill ra (fun idx -> float_of_int ((10 * List.nth idx 0) + List.nth idx 1));
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; ro ] [ kernel ] in
+  Ragged.iter_indices ro (fun idx ->
+      check_float "O = 2A" (2.0 *. Ragged.get ra idx) (Ragged.get ro idx))
+
+(* Same op with loop padding 2 and storage padding 4: padded iterations land
+   in padded storage, real results unchanged (Listing 1 schedule). *)
+let test_fig1_padded () =
+  let a, o, op = fig1_setup () in
+  Tensor.pad_dimension o (List.nth o.Tensor.dims 1) 4;
+  let sched = Schedule.create op in
+  Schedule.pad_loop sched (Schedule.axis_of_dim sched 1) 2;
+  Schedule.set_guard_mode sched Schedule.Guard;
+  let kernel = Lower.lower sched in
+  let ra = Ragged.alloc a lenv and ro = Ragged.alloc o lenv in
+  Ragged.fill ra (fun idx -> float_of_int ((10 * List.nth idx 0) + List.nth idx 1));
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; ro ] [ kernel ] in
+  Ragged.iter_indices ro (fun idx ->
+      check_float "O = 2A (padded)" (2.0 *. Ragged.get ra idx) (Ragged.get ro idx))
+
+(* Elided guards: loop pad 2 <= storage pad 2; extra writes stay in padding. *)
+let test_fig1_elide () =
+  let a, o, op = fig1_setup () in
+  Tensor.pad_dimension a (List.nth a.Tensor.dims 1) 2;
+  Tensor.pad_dimension o (List.nth o.Tensor.dims 1) 2;
+  let sched = Schedule.create op in
+  Schedule.pad_loop sched (Schedule.axis_of_dim sched 1) 2;
+  Schedule.set_guard_mode sched Schedule.Elide;
+  let kernel = Lower.lower sched in
+  let ra = Ragged.alloc a lenv and ro = Ragged.alloc o lenv in
+  Ragged.fill ra (fun idx -> float_of_int ((10 * List.nth idx 0) + List.nth idx 1));
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; ro ] [ kernel ] in
+  Ragged.iter_indices ro (fun idx ->
+      check_float "O = 2A (elide)" (2.0 *. Ragged.get ra idx) (Ragged.get ro idx))
+
+(* Ragged reduction: row sums of a ragged matrix, with the reduction loop
+   split by a non-dividing factor (guarded). *)
+let test_ragged_reduction_split () =
+  let batch = Dim.make "b" and len = Dim.make "j" in
+  let lens = Lenfun.make "lens" in
+  let a =
+    Tensor.create ~name:"A2" ~dims:[ batch; len ]
+      ~extents:[ Shape.fixed 3; Shape.ragged ~dep:batch ~fn:lens ]
+  in
+  let s = Tensor.create ~name:"S" ~dims:[ batch ] ~extents:[ Shape.fixed 3 ] in
+  let op =
+    Op.reduce ~name:"rowsum" ~out:s ~loop_extents:[ Shape.fixed 3 ]
+      ~rdims:[ (len, Shape.ragged ~dep:batch ~fn:lens) ]
+      ~combine:Ir.Stmt.Sum ~init:(fun _ -> Ir.Expr.float 0.0) ~reads:[ a ]
+      (fun idx ridx -> Op.access a (idx @ ridx))
+  in
+  let sched = Schedule.create op in
+  let k = Schedule.axis_of_rdim sched 0 in
+  let _ = Schedule.split sched k 2 in
+  let kernel = Lower.lower sched in
+  let ra = Ragged.alloc a lenv and rs = Ragged.alloc s lenv in
+  Ragged.fill ra (fun idx -> float_of_int (1 + List.nth idx 1));
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; rs ] [ kernel ] in
+  Array.iteri
+    (fun b n ->
+      let expect = float_of_int (n * (n + 1) / 2) in
+      check_float "rowsum" expect (Ragged.get rs [ b ]))
+    lens_arr
+
+(* vloop fusion (§5.1): fused (batch, len) loop over a ragged tensor with
+   fused storage; the access must simplify to a direct fused-index load. *)
+let test_vloop_fusion () =
+  let batch = Dim.make "b" and len = Dim.make "j" and h = Dim.make "h" in
+  let lens = Lenfun.make "lens" in
+  let hsize = 4 in
+  let mk name =
+    Tensor.create ~name ~dims:[ batch; len; h ]
+      ~extents:[ Shape.fixed 3; Shape.ragged ~dep:batch ~fn:lens; Shape.fixed hsize ]
+  in
+  let a = mk "AF" and o = mk "OF" in
+  Tensor.set_bulk_pad a 4;
+  Tensor.set_bulk_pad o 4;
+  let op =
+    Op.compute ~name:"scale" ~out:o
+      ~loop_extents:[ Shape.fixed 3; Shape.ragged ~dep:batch ~fn:lens; Shape.fixed hsize ]
+      ~reads:[ a ]
+      (fun idx -> Ir.Expr.add (Op.access a idx) (Ir.Expr.float 1.0))
+  in
+  let sched = Schedule.create op in
+  let ab = Schedule.axis_of_dim sched 0 and al = Schedule.axis_of_dim sched 1 in
+  let fused = Schedule.fuse sched ab al in
+  Schedule.pad_loop sched fused 4 (* bulk padding *);
+  Schedule.set_guard_mode sched Schedule.Elide;
+  let kernel = Lower.lower sched in
+  (* the kernel must not reference f_fo/f_fi: the fused-access rule fires *)
+  let ufuns = Ir.Stmt.ufuns kernel.Lower.body in
+  Alcotest.(check bool)
+    "no residual f_fo/f_fi"
+    false
+    (List.exists (fun u -> String.length u >= 3 && String.sub u 0 3 = "ffo") ufuns
+    || List.exists (fun u -> String.length u >= 3 && String.sub u 0 3 = "ffi") ufuns);
+  let ra = Ragged.alloc a lenv and ro = Ragged.alloc o lenv in
+  Ragged.fill ra (fun idx -> float_of_int ((100 * List.nth idx 0) + (10 * List.nth idx 1) + List.nth idx 2));
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; ro ] [ kernel ] in
+  Ragged.iter_indices ro (fun idx ->
+      check_float "O = A + 1 (fused)" (Ragged.get ra idx +. 1.0) (Ragged.get ro idx))
+
+(* Operation splitting (§4.1, Fig. 5): split a ragged reduction into a
+   tiles-only kernel plus a tail kernel; together they equal the full sum. *)
+let test_operation_splitting () =
+  let row = Dim.make "r" and col = Dim.make "k" in
+  let tri = Lenfun.make "tri" in
+  let n = 7 in
+  let lenv = [ Lenfun.of_fun "tri" (fun r -> r + 1) ] in
+  let a =
+    Tensor.create ~name:"TRI" ~dims:[ row; col ]
+      ~extents:[ Shape.fixed n; Shape.ragged ~dep:row ~fn:tri ]
+  in
+  let s = Tensor.create ~name:"SR" ~dims:[ row ] ~extents:[ Shape.fixed n ] in
+  let op =
+    Op.reduce ~name:"trisum" ~out:s ~loop_extents:[ Shape.fixed n ]
+      ~rdims:[ (col, Shape.ragged ~dep:row ~fn:tri) ]
+      ~combine:Ir.Stmt.Sum ~init:(fun _ -> Ir.Expr.float 0.0) ~reads:[ a ]
+      (fun idx ridx -> Op.access a (idx @ ridx))
+  in
+  let sched = Schedule.create op in
+  let k = Schedule.axis_of_rdim sched 0 in
+  let ko, _ki = Schedule.split sched k 3 in
+  ignore ko;
+  let main = Lower.lower ~ranges:[ (k.Schedule.aid, Schedule.Tiles_only) ] ~name_suffix:"_main" sched in
+  let tail =
+    Lower.lower ~ranges:[ (k.Schedule.aid, Schedule.Tail_only) ] ~init:false ~name_suffix:"_tail"
+      sched
+  in
+  let ra = Ragged.alloc a lenv and rs = Ragged.alloc s lenv in
+  Ragged.fill ra (fun _ -> 1.0);
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; rs ] [ main; tail ] in
+  for r = 0 to n - 1 do
+    check_float "trisum" (float_of_int (r + 1)) (Ragged.get rs [ r ])
+  done
+
+(* Dense fusion: two constant loops fused into one (div/mod recovery). *)
+let test_dense_fusion () =
+  let d1 = Dim.make "i" and d2 = Dim.make "j" in
+  let extents = [ Shape.fixed 3; Shape.fixed 5 ] in
+  let a = Tensor.create ~name:"DA" ~dims:[ d1; d2 ] ~extents in
+  let o = Tensor.create ~name:"DO" ~dims:[ d1; d2 ] ~extents in
+  let op =
+    Op.compute ~name:"dfuse" ~out:o ~loop_extents:extents ~reads:[ a ] (fun idx ->
+        Ir.Expr.add (Op.access a idx) (Ir.Expr.float 0.5))
+  in
+  let sched = Schedule.create op in
+  let f = Schedule.fuse sched (Schedule.axis_of_dim sched 0) (Schedule.axis_of_dim sched 1) in
+  Schedule.bind_block sched f;
+  let kernel = Lower.lower sched in
+  let ra = Ragged.alloc a [] and ro = Ragged.alloc o [] in
+  Ragged.fill ra (fun idx -> float_of_int ((10 * List.nth idx 0) + List.nth idx 1));
+  let _ = Exec.run_ragged ~lenv:[] ~tensors:[ ra; ro ] [ kernel ] in
+  Ragged.iter_indices ro (fun idx ->
+      check_float "dense fuse" (Ragged.get ra idx +. 0.5) (Ragged.get ro idx))
+
+(* Fused init (bias read) and epilogue (activation) around a reduction. *)
+let test_init_and_epilogue () =
+  let batch = Dim.make "b" and len = Dim.make "j" in
+  let lens = Lenfun.make "lens" in
+  let a =
+    Tensor.create ~name:"IEA" ~dims:[ batch; len ]
+      ~extents:[ Shape.fixed 3; Shape.ragged ~dep:batch ~fn:lens ]
+  in
+  let bias = Tensor.create ~name:"IEB" ~dims:[ Dim.make "b" ] ~extents:[ Shape.fixed 3 ] in
+  let s = Tensor.create ~name:"IES" ~dims:[ batch ] ~extents:[ Shape.fixed 3 ] in
+  let op =
+    Op.reduce ~name:"biased" ~out:s ~loop_extents:[ Shape.fixed 3 ]
+      ~rdims:[ (len, Shape.ragged ~dep:batch ~fn:lens) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun idx -> Op.access bias idx)
+      ~epilogue:(fun v -> Ir.Expr.mul v v)
+      ~reads:[ a; bias ]
+      (fun idx ridx -> Op.access a (idx @ ridx))
+  in
+  let kernel = Lower.lower (Schedule.create op) in
+  let ra = Ragged.alloc a lenv and rb = Ragged.alloc bias lenv and rs = Ragged.alloc s lenv in
+  Ragged.fill ra (fun idx -> float_of_int (List.nth idx 1 + 1));
+  Ragged.fill rb (fun idx -> float_of_int (List.nth idx 0) *. 0.5);
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; rb; rs ] [ kernel ] in
+  Array.iteri
+    (fun b n ->
+      let base = (float_of_int b *. 0.5) +. float_of_int (n * (n + 1) / 2) in
+      check_float "init+epilogue" (base *. base) (Ragged.get rs [ b ]))
+    lens_arr
+
+(* The bulk-padded fused gemm with a tile larger than the bulk multiple
+   must still be exact (autotune explores these). *)
+let test_bulk_vs_tile () =
+  let batch = Dim.make "b" and len = Dim.make "j" and hdim = Dim.make "h" in
+  let lens = Lenfun.make "lens" in
+  let mk name =
+    let t =
+      Tensor.create ~name ~dims:[ batch; len; hdim ]
+        ~extents:[ Shape.fixed 3; Shape.ragged ~dep:batch ~fn:lens; Shape.fixed 2 ]
+    in
+    Tensor.set_bulk_pad t 8;
+    t
+  in
+  let a = mk "BTA" and o = mk "BTO" in
+  let op =
+    Op.compute ~name:"bt" ~out:o
+      ~loop_extents:[ Shape.fixed 3; Shape.ragged ~dep:batch ~fn:lens; Shape.fixed 2 ]
+      ~reads:[ a ]
+      (fun idx -> Ir.Expr.mul (Op.access a idx) (Ir.Expr.float 2.0))
+  in
+  let sched = Schedule.create op in
+  Schedule.set_guard_mode sched Schedule.Elide;
+  let f = Schedule.fuse sched (Schedule.axis_of_dim sched 0) (Schedule.axis_of_dim sched 1) in
+  Schedule.pad_loop sched f 8;
+  let fo, fi = Schedule.split sched f 8 in
+  Schedule.bind_block sched fo;
+  Schedule.bind_thread sched fi;
+  let kernel = Lower.lower sched in
+  let ra = Ragged.alloc a lenv and ro = Ragged.alloc o lenv in
+  Ragged.fill ra (fun idx ->
+      float_of_int ((100 * List.nth idx 0) + (10 * List.nth idx 1) + List.nth idx 2));
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; ro ] [ kernel ] in
+  Ragged.iter_indices ro (fun idx ->
+      check_float "bulk tile" (2.0 *. Ragged.get ra idx) (Ragged.get ro idx))
+
+let () =
+  Alcotest.run "lower"
+    [
+      ( "lower",
+        [
+          Alcotest.test_case "fig1 plain" `Quick test_fig1_plain;
+          Alcotest.test_case "fig1 padded+guarded" `Quick test_fig1_padded;
+          Alcotest.test_case "fig1 elided guards" `Quick test_fig1_elide;
+          Alcotest.test_case "ragged reduction split" `Quick test_ragged_reduction_split;
+          Alcotest.test_case "vloop fusion" `Quick test_vloop_fusion;
+          Alcotest.test_case "operation splitting" `Quick test_operation_splitting;
+          Alcotest.test_case "dense fusion" `Quick test_dense_fusion;
+          Alcotest.test_case "fused init + epilogue" `Quick test_init_and_epilogue;
+          Alcotest.test_case "bulk padding with tiles" `Quick test_bulk_vs_tile;
+        ] );
+    ]

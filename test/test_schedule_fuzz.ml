@@ -1,0 +1,169 @@
+(* Schedule fuzzing: for a fixed ragged operator, ANY legal combination of
+   scheduling primitives — loop padding, storage padding, splits (possibly
+   nested, with non-dividing factors), guard elision where storage permits,
+   binding, hoisting — must compute exactly the same values.  This is the
+   correctness core of a scheduling language: schedules affect performance,
+   never semantics. *)
+
+open Cora
+
+type decision = {
+  storage_pad : int;
+  loop_pad : int;
+  fuse : bool;  (* vloop-fuse (batch, j) with bulk padding *)
+  fsplit : int option;  (* split factor for the fused loop (divides bulk) *)
+  split1 : int option;  (* split factor for the vloop *)
+  split2 : int option;  (* second-level split of the outer part *)
+  rsplit : int option;  (* split factor for the ragged reduction *)
+  elide : bool;
+  hoist : bool;
+  bind_gpu : bool;
+}
+
+let decision_gen =
+  let open QCheck.Gen in
+  let maybe_factor = oneofl [ None; Some 2; Some 3; Some 4; Some 5 ] in
+  let* storage_pad = oneofl [ 1; 2; 4; 8 ] in
+  let* loop_pad = oneofl [ 1; 2; 4 ] in
+  let* fuse = bool in
+  let* fsplit = oneofl [ None; Some 2; Some 4; Some 8 ] in
+  let* split1 = maybe_factor in
+  let* split2 = oneofl [ None; Some 2 ] in
+  let* rsplit = maybe_factor in
+  let* elide = bool in
+  let* hoist = bool in
+  let* bind_gpu = bool in
+  (* legality: elision requires storage padding >= loop padding; fusion
+     requires the inner vloop unpadded relative to storage (shared psum) *)
+  let loop_pad = if elide && loop_pad > storage_pad then storage_pad else loop_pad in
+  let loop_pad, storage_pad = if fuse then (1, 1) else (loop_pad, storage_pad) in
+  return { storage_pad; loop_pad; fuse; fsplit; split1; split2; rsplit; elide; hoist; bind_gpu }
+
+let print_decision d =
+  Printf.sprintf
+    "{storage_pad=%d; loop_pad=%d; fuse=%b; fsplit=%s; split1=%s; split2=%s; rsplit=%s; elide=%b; hoist=%b; gpu=%b}"
+    d.storage_pad d.loop_pad d.fuse
+    (match d.fsplit with None -> "-" | Some f -> string_of_int f)
+    (match d.split1 with None -> "-" | Some f -> string_of_int f)
+    (match d.split2 with None -> "-" | Some f -> string_of_int f)
+    (match d.rsplit with None -> "-" | Some f -> string_of_int f)
+    d.elide d.hoist d.bind_gpu
+
+let lens = [| 7; 1; 5; 3; 6 |]
+let lenv = [ Lenfun.of_array "lens" lens ]
+
+(* op: weighted ragged row reduction into a ragged output:
+   O[b][j] = Σ_k A[b][k] * (j + 1)   for j < lens[b], k < lens[b] *)
+let build_op () =
+  let batch = Dim.make "b" and len = Dim.make "j" and red = Dim.make "k" in
+  let lensf = Lenfun.make "lens" in
+  let extents = [ Shape.fixed 5; Shape.ragged ~dep:batch ~fn:lensf ] in
+  let a = Tensor.create ~name:"FA" ~dims:[ batch; len ] ~extents in
+  let o = Tensor.create ~name:"FO" ~dims:[ batch; len ] ~extents in
+  let op =
+    Op.reduce ~name:"fuzz" ~out:o ~loop_extents:extents
+      ~rdims:[ (red, Shape.ragged ~dep:batch ~fn:lensf) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> Ir.Expr.float 0.0)
+      ~reads:[ a ]
+      (fun idx ridx ->
+        Ir.Expr.mul
+          (Op.access a [ List.nth idx 0; List.nth ridx 0 ])
+          (Ir.Expr.add (List.nth idx 1) Ir.Expr.one))
+  in
+  (a, o, op)
+
+let reference () =
+  (* expected[b][j] = (Σ_k A[b][k]) * (j+1) with A[b][k] = b*10 + k *)
+  Array.map
+    (fun n ->
+      let s = ref 0.0 in
+      ignore n;
+      !s)
+    lens
+
+let run_with_decision d =
+  let a, o, op = build_op () in
+  let s = Schedule.create op in
+  if d.elide then Schedule.set_guard_mode s Schedule.Elide;
+  Schedule.set_hoist s d.hoist;
+  if d.fuse then begin
+    (* vloop fusion with bulk padding: tensors must carry bulk storage *)
+    Tensor.set_bulk_pad a 8;
+    Tensor.set_bulk_pad o 8;
+    let f = Schedule.fuse s (Schedule.axis_of_dim s 0) (Schedule.axis_of_dim s 1) in
+    Schedule.pad_loop s f 8;
+    (match d.fsplit with
+    | Some factor ->
+        let fo, _fi = Schedule.split s f factor in
+        if d.bind_gpu then Schedule.bind_block s fo
+    | None -> if d.bind_gpu then Schedule.bind_block s f)
+  end
+  else begin
+    Tensor.pad_dimension o (List.nth o.Tensor.dims 1) d.storage_pad;
+    let jax = Schedule.axis_of_dim s 1 in
+    Schedule.pad_loop s jax d.loop_pad;
+    (match d.split1 with
+    | Some f ->
+        let jo, _ji = Schedule.split s jax f in
+        (match d.split2 with Some f2 -> ignore (Schedule.split s jo f2) | None -> ());
+        if d.bind_gpu then Schedule.bind_block s (Schedule.axis_of_dim s 0)
+    | None -> if d.bind_gpu then Schedule.bind_block s (Schedule.axis_of_dim s 0))
+  end;
+  (match d.rsplit with
+  | Some f -> ignore (Schedule.split s (Schedule.axis_of_rdim s 0) f)
+  | None -> ());
+  let kernel = Lower.lower s in
+  let ra = Ragged.alloc a lenv and ro = Ragged.alloc o lenv in
+  Ragged.fill ra (fun idx -> float_of_int ((10 * List.nth idx 0) + List.nth idx 1));
+  let _ = Exec.run_ragged ~lenv ~tensors:[ ra; ro ] [ kernel ] in
+  (ra, ro)
+
+let check_result (ra, ro) =
+  let ok = ref true in
+  Ragged.iter_indices ro (fun idx ->
+      let b = List.nth idx 0 and j = List.nth idx 1 in
+      let sum = ref 0.0 in
+      for k = 0 to lens.(b) - 1 do
+        sum := !sum +. Ragged.get ra [ b; k ]
+      done;
+      let expect = !sum *. float_of_int (j + 1) in
+      if Float.abs (expect -. Ragged.get ro idx) > 1e-9 *. (1.0 +. Float.abs expect) then
+        ok := false);
+  !ok
+
+let prop_schedules_preserve_semantics =
+  QCheck.Test.make ~count:200 ~name:"random schedules preserve semantics"
+    (QCheck.make ~print:print_decision decision_gen)
+    (fun d -> check_result (run_with_decision d))
+
+(* a couple of fixed tricky corners, kept as regression tests *)
+let corner d () =
+  ignore (reference ());
+  Alcotest.(check bool) (print_decision d) true (check_result (run_with_decision d))
+
+let corners =
+  [
+    (* non-dividing split of a padded loop with elision *)
+    { storage_pad = 4; loop_pad = 4; fuse = false; fsplit = None; split1 = Some 3;
+      split2 = None; rsplit = None; elide = true; hoist = false; bind_gpu = true };
+    (* nested splits with guards *)
+    { storage_pad = 1; loop_pad = 1; fuse = false; fsplit = None; split1 = Some 5;
+      split2 = Some 2; rsplit = Some 3; elide = false; hoist = true; bind_gpu = false };
+    (* padded reduction split *)
+    { storage_pad = 2; loop_pad = 2; fuse = false; fsplit = None; split1 = None;
+      split2 = None; rsplit = Some 4; elide = true; hoist = true; bind_gpu = true };
+    (* bulk-padded fusion split into tiles, with a split ragged reduction *)
+    { storage_pad = 1; loop_pad = 1; fuse = true; fsplit = Some 4; split1 = None;
+      split2 = None; rsplit = Some 3; elide = true; hoist = true; bind_gpu = true };
+  ]
+
+let () =
+  Alcotest.run "schedule-fuzz"
+    [
+      ( "fuzz",
+        QCheck_alcotest.to_alcotest prop_schedules_preserve_semantics
+        :: List.mapi
+             (fun i d -> Alcotest.test_case (Printf.sprintf "corner %d" i) `Quick (corner d))
+             corners );
+    ]

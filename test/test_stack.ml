@@ -1,0 +1,113 @@
+(* Multi-layer encoder stack: must equal the per-sequence reference applied
+   layer by layer, and the prelude must be shared across layers (§7.2). *)
+
+open Cora
+open Transformer
+
+let lens = [| 6; 4; 2 |]
+let cfg = Config.tiny ~lens
+let lenv = Config.lenv cfg
+let n_layers = 3
+
+let test_stack_matches_reference () =
+  let stack = Stack.build ~target:Builder.Gpu ~layers:n_layers cfg in
+  (* weights per layer *)
+  let ws = Array.init n_layers (fun i -> Reference.random_weights cfg ~seed:(100 + i)) in
+  let fill_dense (tensor : Tensor.t) a =
+    let r = Ragged.alloc tensor lenv in
+    Array.blit a 0 (Runtime.Buffer.floats r.Ragged.buf) 0 (Array.length a);
+    r
+  in
+  let weight_tensors =
+    List.concat
+      (List.mapi
+         (fun i (b : Builder.built) ->
+           let t = b.Builder.tensors in
+           let w = ws.(i) in
+           [
+             fill_dense t.Builder.wqkv w.Reference.wqkv; fill_dense t.Builder.bqkv w.Reference.bqkv;
+             fill_dense t.Builder.w2 w.Reference.w2; fill_dense t.Builder.b2 w.Reference.b2;
+             fill_dense t.Builder.wf1 w.Reference.wf1; fill_dense t.Builder.bf1 w.Reference.bf1;
+             fill_dense t.Builder.wf2 w.Reference.wf2; fill_dense t.Builder.bf2 w.Reference.bf2;
+           ])
+         (Array.to_list stack.Stack.layers))
+  in
+  let data_tensors =
+    List.concat_map
+      (fun (b : Builder.built) ->
+        let t = b.Builder.tensors in
+        List.map (fun tensor -> Ragged.alloc tensor lenv)
+          [ t.Builder.in_t; t.Builder.qkv; t.Builder.scores; t.Builder.probs; t.Builder.attn;
+            t.Builder.p2; t.Builder.ln1; t.Builder.f1; t.Builder.out ])
+      (Array.to_list stack.Stack.layers)
+  in
+  let rin = List.hd data_tensors in
+  Ragged.fill rin (fun idx ->
+      sin (float_of_int ((19 * List.nth idx 0) + (5 * List.nth idx 1) + List.nth idx 2)) *. 0.4);
+  let _, built = Exec.run_ragged ~lenv ~tensors:(weight_tensors @ data_tensors) stack.Stack.kernels in
+  (* prelude shared: the same aux tables as a single layer *)
+  let single = Builder.build ~target:Builder.Gpu cfg in
+  let _, single_built =
+    let t = single.Builder.tensors in
+    let ts =
+      List.map (fun tensor -> Ragged.alloc tensor lenv)
+        (Builder.all_tensors t)
+    in
+    Exec.run_ragged ~lenv ~tensors:ts (Builder.kernels single)
+  in
+  Alcotest.(check int) "aux tables shared across layers"
+    (List.length single_built.Prelude.tables)
+    (List.length built.Prelude.tables);
+  (* last layer's output vs iterated reference *)
+  let last = stack.Stack.layers.(n_layers - 1) in
+  let rout =
+    (* the out tensor of the last layer is the 9th tensor of its group *)
+    List.nth data_tensors ((n_layers * 9) - 1)
+  in
+  ignore last;
+  let h = cfg.Config.hidden in
+  Array.iteri
+    (fun b len ->
+      let x = ref (Array.make (len * h) 0.0) in
+      for l = 0 to len - 1 do
+        for j = 0 to h - 1 do
+          !x.((l * h) + j) <- Ragged.get rin [ b; l; j ]
+        done
+      done;
+      for i = 0 to n_layers - 1 do
+        x := Reference.encoder cfg ws.(i) !x ~len
+      done;
+      for l = 0 to len - 1 do
+        for j = 0 to h - 1 do
+          let got = Ragged.get rout [ b; l; j ] in
+          let want = !x.((l * h) + j) in
+          if Float.abs (got -. want) > 1e-5 *. (1.0 +. Float.abs want) then
+            Alcotest.failf "stack b=%d l=%d j=%d: got %f want %f" b l j got want
+        done
+      done)
+    lens
+
+let test_stack_prelude_amortised () =
+  (* simulated: the 3-layer stack's prelude cost equals the 1-layer one *)
+  let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.mnli ~batch:32 ~seed:1 in
+  let cfg = Config.base ~lens in
+  let one = Stack.build ~target:Builder.Gpu ~layers:1 cfg in
+  let three = Stack.build ~target:Builder.Gpu ~layers:3 cfg in
+  let prelude t =
+    let p =
+      Machine.Launch.pipeline ~device:Machine.Device.v100 ~lenv:(Config.lenv cfg)
+        (List.map Machine.Launch.single t.Stack.kernels)
+    in
+    p.Machine.Launch.prelude_host_ns +. p.Machine.Launch.prelude_copy_ns
+  in
+  Alcotest.(check (float 1.0)) "same prelude cost" (prelude one) (prelude three)
+
+let () =
+  Alcotest.run "stack"
+    [
+      ( "encoder-stack",
+        [
+          Alcotest.test_case "3 layers vs iterated reference" `Quick test_stack_matches_reference;
+          Alcotest.test_case "prelude amortised across layers" `Quick test_stack_prelude_amortised;
+        ] );
+    ]

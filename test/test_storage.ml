@@ -1,0 +1,237 @@
+(* Storage lowering (§5.2 / §B.1): the symbolic offset scheme must agree
+   with the direct numeric layout, give each valid index a distinct
+   in-bounds slot, and compute exactly the small auxiliary structures the
+   dimension graph predicts — far fewer than the tree-based CSF scheme. *)
+
+open Cora
+
+let lens = [| 5; 3; 7; 1 |]
+let lenv = [ Lenfun.of_array "seq" lens; Lenfun.of_fun "tri" (fun r -> r + 1) ]
+let seq = Lenfun.make "seq"
+let tri = Lenfun.make "tri"
+
+(* Evaluate a symbolic offset with the prelude's aux structures bound. *)
+let eval_offset (t : Tensor.t) idx =
+  let exprs = List.map Ir.Expr.int idx in
+  let off, defs = Storage.lower t exprs in
+  let built = Prelude.build defs lenv in
+  let env = Runtime.Cost_model.env_create () in
+  List.iter
+    (fun (name, f) ->
+      Runtime.Cost_model.bind_ufun env name (function [ i ] -> f i | _ -> assert false))
+    lenv;
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Prelude.Scalar n -> Runtime.Cost_model.bind_ufun env name (fun _ -> n)
+      | Prelude.Table a ->
+          Runtime.Cost_model.bind_ufun env name (function [ i ] -> a.(i) | _ -> assert false))
+    built.Prelude.tables;
+  Runtime.Cost_model.eval_int env off
+
+(* a representative family of tensors *)
+let tensors () =
+  let mk name dims extents pads =
+    let t = Tensor.create ~name ~dims ~extents in
+    List.iteri (fun i p -> if p > 1 then Tensor.pad_dimension t (List.nth dims i) p) pads;
+    t
+  in
+  let d () = Dim.make "d" in
+  [
+    (* dense 3-d *)
+    (let a = d () and b = d () and c = d () in
+     mk "dense3" [ a; b; c ] [ Shape.fixed 3; Shape.fixed 4; Shape.fixed 5 ] [ 1; 1; 1 ]);
+    (* ragged pair with constant inner dims (factored form) *)
+    (let b = d () and l = d () and h = d () in
+     mk "tok" [ b; l; h ]
+       [ Shape.fixed 4; Shape.ragged ~dep:b ~fn:seq; Shape.fixed 6 ]
+       [ 1; 1; 1 ]);
+    (* ragged pair with padding *)
+    (let b = d () and l = d () in
+     mk "tokpad" [ b; l ] [ Shape.fixed 4; Shape.ragged ~dep:b ~fn:seq ] [ 1; 4 ]);
+    (* attention-style double raggedness on the same dependee *)
+    (let b = d () and r = d () and h = d () and c = d () in
+     mk "attn" [ b; r; h; c ]
+       [ Shape.fixed 4; Shape.ragged ~dep:b ~fn:seq; Shape.fixed 2; Shape.ragged ~dep:b ~fn:seq ]
+       [ 1; 2; 1; 2 ]);
+    (* nested raggedness: triangular rows inside batch-ragged rows *)
+    (let b = d () and r = d () and c = d () in
+     mk "tri3" [ b; r; c ]
+       [ Shape.fixed 4; Shape.ragged ~dep:b ~fn:seq; Shape.ragged ~dep:r ~fn:tri ]
+       [ 1; 1; 2 ]);
+  ]
+
+let test_offsets_match_runtime () =
+  List.iter
+    (fun t ->
+      let r = Ragged.alloc t lenv in
+      Ragged.iter_indices r (fun idx ->
+          let sym = eval_offset t idx in
+          let num = Ragged.offset r idx in
+          if sym <> num then
+            Alcotest.failf "%s[%s]: symbolic %d <> runtime %d" t.Tensor.name
+              (String.concat "," (List.map string_of_int idx))
+              sym num))
+    (tensors ())
+
+let test_offsets_injective_in_bounds () =
+  List.iter
+    (fun t ->
+      let r = Ragged.alloc t lenv in
+      let size = Runtime.Buffer.length r.Ragged.buf in
+      let seen = Hashtbl.create 97 in
+      Ragged.iter_indices r (fun idx ->
+          let off = Ragged.offset r idx in
+          if off < 0 || off >= size then
+            Alcotest.failf "%s: offset %d out of bounds (size %d)" t.Tensor.name off size;
+          if Hashtbl.mem seen off then Alcotest.failf "%s: duplicate offset %d" t.Tensor.name off;
+          Hashtbl.add seen off ()))
+    (tensors ())
+
+let test_pack_unpack_roundtrip () =
+  let b = Dim.make "b" and l = Dim.make "l" and h = Dim.make "h" in
+  let t =
+    Tensor.create ~name:"rt" ~dims:[ b; l; h ]
+      ~extents:[ Shape.fixed 4; Shape.ragged ~dep:b ~fn:seq; Shape.fixed 3 ]
+  in
+  let r = Ragged.alloc t lenv in
+  Ragged.fill r (fun idx -> float_of_int ((100 * List.nth idx 0) + (10 * List.nth idx 1) + List.nth idx 2));
+  let dense = Ragged.unpack r in
+  let r2 = Ragged.alloc t lenv in
+  Ragged.pack r2 dense;
+  Ragged.iter_indices r (fun idx ->
+      Alcotest.(check (float 0.0)) "roundtrip" (Ragged.get r idx) (Ragged.get r2 idx))
+
+(* The aux structures CoRa computes must be tiny compared to the CSF
+   scheme: for the attention tensor [B][s][H][s] the paper's formula is
+   s1 + s3 * Σ s(i) entries for CSF, vs O(B) prefix sums for CoRa. *)
+let test_aux_size_vs_csf () =
+  let b = Dim.make "b" and r = Dim.make "r" and h = Dim.make "h" and c = Dim.make "c" in
+  let t =
+    Tensor.create ~name:"X" ~dims:[ b; r; h; c ]
+      ~extents:
+        [ Shape.fixed 4; Shape.ragged ~dep:b ~fn:seq; Shape.fixed 2; Shape.ragged ~dep:b ~fn:seq ]
+  in
+  let g = Dgraph.of_tensor t in
+  Alcotest.(check bool) "well formed" true (Dgraph.well_formed g);
+  Alcotest.(check (list int)) "O_G(batch)" [ 1; 3 ] (List.sort compare (Dgraph.outgoing g 0));
+  Alcotest.(check (list int)) "I_G(col)" [ 0 ] (Dgraph.incoming g 3);
+  let sum = Array.fold_left ( + ) 0 lens in
+  let expect_csf = 4 + (2 * sum) (* s1 + s3 * Σ s(i) *) in
+  let extent_of pos dep =
+    match List.nth t.Tensor.extents pos with
+    | Shape.Fixed cst -> cst
+    | Shape.Ragged _ -> lens.(dep)
+  in
+  Alcotest.(check int) "CSF entries match paper formula" expect_csf
+    (Dgraph.csf_aux_entries g ~extent_of);
+  (* CoRa's side: one prefix-sum array with B+1 entries *)
+  let _, defs = Storage.lower t (List.map Ir.Expr.int [ 0; 0; 0; 0 ]) in
+  let built = Prelude.build defs lenv in
+  Alcotest.(check bool) "CoRa aux far smaller than CSF" true
+    (built.Prelude.storage_entries < expect_csf / 2);
+  Alcotest.(check int) "exactly B+1 entries" 5 built.Prelude.storage_entries
+
+let test_size_elems_matches_enumeration () =
+  List.iter
+    (fun (t : Tensor.t) ->
+      (* when there is no padding, size = number of valid indices *)
+      if Array.for_all (fun p -> p = 1) t.Tensor.pads && t.Tensor.bulk_pad = 1 then begin
+        let r = Ragged.alloc t lenv in
+        let count = ref 0 in
+        Ragged.iter_indices r (fun _ -> incr count);
+        Alcotest.(check int)
+          (t.Tensor.name ^ " size = #indices")
+          !count
+          (Tensor.size_elems t ~lenv)
+      end)
+    (tensors ())
+
+let test_bulk_pad_sizing () =
+  let b = Dim.make "b" and l = Dim.make "l" and h = Dim.make "h" in
+  let t =
+    Tensor.create ~name:"bulk" ~dims:[ b; l; h ]
+      ~extents:[ Shape.fixed 4; Shape.ragged ~dep:b ~fn:seq; Shape.fixed 3 ]
+  in
+  Tensor.set_bulk_pad t 8;
+  (* Σ lens = 16 -> rows bulk-padded 16 stays 16; with 8 -> 16; total 16*3 *)
+  Alcotest.(check int) "bulk size" (16 * 3) (Tensor.size_elems t ~lenv);
+  Tensor.set_bulk_pad t 10;
+  Alcotest.(check int) "bulk size rounded" (20 * 3) (Tensor.size_elems t ~lenv)
+
+let test_shared_psum_names () =
+  (* tensors with the same lenfun and padding share the aux array name *)
+  let mk name =
+    let b = Dim.make "b" and l = Dim.make "l" in
+    Tensor.create ~name ~dims:[ b; l ]
+      ~extents:[ Shape.fixed 4; Shape.ragged ~dep:b ~fn:seq ]
+  in
+  let t1 = mk "s1" and t2 = mk "s2" in
+  let _, d1 = Storage.lower t1 [ Ir.Expr.int 0; Ir.Expr.int 0 ] in
+  let _, d2 = Storage.lower t2 [ Ir.Expr.int 0; Ir.Expr.int 0 ] in
+  Alcotest.(check string) "shared name" (List.hd d1).Prelude.name (List.hd d2).Prelude.name
+
+let test_rejects_outer_dependence () =
+  (* a dim depending on a non-outer dim must be rejected at declaration *)
+  let b = Dim.make "b" and l = Dim.make "l" in
+  Alcotest.check_raises "inner dependence rejected"
+    (Invalid_argument
+       "Tensor.create bad: dim 0 depends on l which is not an outer dimension")
+    (fun () ->
+      ignore
+        (Tensor.create ~name:"bad" ~dims:[ b; l ]
+           ~extents:[ Shape.ragged ~dep:l ~fn:seq; Shape.fixed 3 ]))
+
+(* prelude value checks *)
+let test_prelude_psum_values () =
+  let def = Prelude.psum_def ~name:"p" ~fn_name:"seq" ~count:4 ~pad:2 in
+  match def.Prelude.compute lenv with
+  | Prelude.Table a ->
+      (* lens = 5 3 7 1, padded to 2 -> 6 4 8 2; prefix: 0 6 10 18 20 *)
+      Alcotest.(check (array int)) "psum" [| 0; 6; 10; 18; 20 |] a
+  | _ -> Alcotest.fail "expected table"
+
+let test_prelude_fused_maps () =
+  let defs = Prelude.fused_map_defs ~fo_name:"fo" ~fi_name:"fi" ~fn_name:"seq" ~count:4 ~pad:1 ~bulk:8 in
+  let built = Prelude.build defs lenv in
+  let fo = match List.assoc "fo" built.Prelude.tables with Prelude.Table a -> a | _ -> [||] in
+  let fi = match List.assoc "fi" built.Prelude.tables with Prelude.Table a -> a | _ -> [||] in
+  (* total = pad8(16) = 16 *)
+  Alcotest.(check int) "fo length" 16 (Array.length fo);
+  (* check f_oif(f_fo f, f_fi f) = f through the offsets array *)
+  let off = match (Prelude.psum_def ~name:"o" ~fn_name:"seq" ~count:4 ~pad:1).Prelude.compute lenv with
+    | Prelude.Table a -> a
+    | _ -> [||]
+  in
+  for f = 0 to 15 do
+    Alcotest.(check int) "off[fo f] + fi f = f" f (off.(fo.(f)) + fi.(f))
+  done
+
+let test_prelude_dedup_accounting () =
+  let d = Prelude.psum_def ~name:"p" ~fn_name:"seq" ~count:4 ~pad:1 in
+  let twice = Prelude.build ~dedup_defs:false [ d; d ] lenv in
+  let once = Prelude.build ~dedup_defs:true [ d; d ] lenv in
+  Alcotest.(check int) "redundant doubles entries" (2 * once.Prelude.storage_entries)
+    twice.Prelude.storage_entries
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "offsets",
+        [
+          Alcotest.test_case "symbolic = runtime layout" `Quick test_offsets_match_runtime;
+          Alcotest.test_case "injective and in bounds" `Quick test_offsets_injective_in_bounds;
+          Alcotest.test_case "pack/unpack roundtrip" `Quick test_pack_unpack_roundtrip;
+          Alcotest.test_case "size_elems = #indices" `Quick test_size_elems_matches_enumeration;
+          Alcotest.test_case "bulk padding sizing" `Quick test_bulk_pad_sizing;
+          Alcotest.test_case "shared psum aux names" `Quick test_shared_psum_names;
+          Alcotest.test_case "rejects non-outer dependence" `Quick test_rejects_outer_dependence;
+        ] );
+      ( "dgraph+prelude",
+        [
+          Alcotest.test_case "aux size vs CSF (paper formula)" `Quick test_aux_size_vs_csf;
+          Alcotest.test_case "psum values" `Quick test_prelude_psum_values;
+          Alcotest.test_case "fused maps invert offsets" `Quick test_prelude_fused_maps;
+          Alcotest.test_case "dedup accounting" `Quick test_prelude_dedup_accounting;
+        ] );
+    ]

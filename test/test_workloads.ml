@@ -1,0 +1,121 @@
+(* Workload generators: dataset samplers must hit Table 3's statistics,
+   be deterministic, and the vgemm generator must produce the paper's
+   dimension distribution.  Plus the analytic FLOP / memory models. *)
+
+let test_dataset_stats () =
+  List.iter
+    (fun (d : Workloads.Datasets.t) ->
+      let lens = Workloads.Datasets.sample d ~batch:512 ~seed:7 in
+      let mn, mean, mx = Workloads.Datasets.stats lens in
+      Alcotest.(check bool)
+        (d.Workloads.Datasets.name ^ " bounds")
+        true
+        (mn >= d.Workloads.Datasets.min_len && mx <= d.Workloads.Datasets.max_len);
+      let target = float_of_int d.Workloads.Datasets.mean_len in
+      if Float.abs (mean -. target) > 0.15 *. target +. 4.0 then
+        Alcotest.failf "%s mean %.1f too far from %.0f" d.Workloads.Datasets.name mean target)
+    Workloads.Datasets.all
+
+let test_dataset_determinism () =
+  let a = Workloads.Datasets.sample Workloads.Datasets.race ~batch:64 ~seed:3 in
+  let b = Workloads.Datasets.sample Workloads.Datasets.race ~batch:64 ~seed:3 in
+  Alcotest.(check bool) "same seed, same lengths" true (a = b);
+  let c = Workloads.Datasets.sample Workloads.Datasets.race ~batch:64 ~seed:4 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_sorted_descending () =
+  let a = Workloads.Datasets.sample_sorted Workloads.Datasets.squad ~batch:64 ~seed:1 in
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) < a.(i + 1) then ok := false
+  done;
+  Alcotest.(check bool) "descending" true !ok
+
+let test_vgemm_dims () =
+  let w = Workloads.Vgemm_workload.generate ~batch:64 ~seed:2 in
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "multiple of 128 in range" true
+        (m mod 128 = 0 && m >= 512 && m <= 1408))
+    w.Workloads.Vgemm_workload.ms;
+  Alcotest.(check bool) "padded >= ragged flops" true
+    (Workloads.Vgemm_workload.padded_flops w >= Workloads.Vgemm_workload.ragged_flops w)
+
+let test_rng_uniformity () =
+  let rng = Workloads.Rng.create 11 in
+  let n = 10_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Workloads.Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0);
+    sum := !sum +. x
+  done;
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs ((!sum /. float_of_int n) -. 0.5) < 0.02)
+
+(* ---------------- analytic models ---------------- *)
+
+let cfg = Analysis.Flops.base
+
+let test_flops_orderings () =
+  List.iter
+    (fun (d : Workloads.Datasets.t) ->
+      let lens = Workloads.Datasets.sample d ~batch:32 ~seed:1 in
+      let ideal = Analysis.Flops.encoder_total cfg lens Analysis.Flops.No_padding in
+      let partial =
+        Analysis.Flops.encoder_total cfg lens
+          (Analysis.Flops.Partial { seq_multiple = 32; bulk_multiple = 64 })
+      in
+      let full = Analysis.Flops.encoder_total cfg lens Analysis.Flops.Full in
+      Alcotest.(check bool) "ideal <= partial <= full" true (ideal <= partial && partial <= full))
+    Workloads.Datasets.all
+
+let test_flops_uniform_batch_no_waste () =
+  (* constant lengths at the max: padding wastes nothing *)
+  let lens = Workloads.Datasets.constant ~len:128 ~batch:16 in
+  Alcotest.(check (float 1e-9)) "ratio 1.0" 1.0 (Analysis.Flops.padding_waste_ratio cfg lens)
+
+let test_flops_hand_computed () =
+  (* two sequences, lengths 1 and 2, tiny model: check the linear term *)
+  let tiny = { Analysis.Flops.hidden = 2; heads = 1; head_size = 2; ff = 4 } in
+  let lens = [| 2; 1 |] in
+  let linear, sdpa, _ = Analysis.Flops.encoder_flops tiny lens Analysis.Flops.No_padding in
+  (* tokens=3; per token: 2*2*6 + 2*2*2 + 2*2*2*4 = 24+8+32 = 64 *)
+  Alcotest.(check (float 1e-9)) "linear flops" (3.0 *. 64.0) linear;
+  (* sdpa: 1 head * (4+1) entries * (2*2*2+5) = 5*13 *)
+  Alcotest.(check (float 1e-9)) "sdpa flops" 65.0 sdpa
+
+let test_memory_ratio_bounds () =
+  List.iter
+    (fun (d : Workloads.Datasets.t) ->
+      let lens = Workloads.Datasets.sample d ~batch:64 ~seed:1 in
+      let r = Analysis.Memory.ragged_to_dense_ratio cfg lens ~seq_multiple:32 ~bulk_multiple:64 in
+      Alcotest.(check bool) (d.Workloads.Datasets.name ^ " ratio in (0,1.05]") true
+        (r > 0.0 && r <= 1.05))
+    Workloads.Datasets.all
+
+let test_mha_flops_subset () =
+  let lens = Workloads.Datasets.sample Workloads.Datasets.race ~batch:16 ~seed:1 in
+  let mha = Analysis.Flops.mha_flops cfg lens Analysis.Flops.No_padding in
+  let enc = Analysis.Flops.encoder_total cfg lens Analysis.Flops.No_padding in
+  Alcotest.(check bool) "MHA < encoder" true (mha < enc)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "datasets",
+        [
+          Alcotest.test_case "Table 3 statistics" `Quick test_dataset_stats;
+          Alcotest.test_case "determinism" `Quick test_dataset_determinism;
+          Alcotest.test_case "sorted descending (D.2)" `Quick test_sorted_descending;
+          Alcotest.test_case "vgemm dimensions" `Quick test_vgemm_dims;
+          Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "padding orderings" `Quick test_flops_orderings;
+          Alcotest.test_case "uniform batch wastes nothing" `Quick test_flops_uniform_batch_no_waste;
+          Alcotest.test_case "hand-computed flops" `Quick test_flops_hand_computed;
+          Alcotest.test_case "memory ratio bounds" `Quick test_memory_ratio_bounds;
+          Alcotest.test_case "mha subset of encoder" `Quick test_mha_flops_subset;
+        ] );
+    ]
