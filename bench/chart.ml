@@ -1,5 +1,38 @@
-(* Tiny ASCII horizontal bar charts for the "figure" experiments, and CSV
-   export so results can be plotted externally. *)
+(* Tiny ASCII horizontal bar charts for the "figure" experiments, CSV
+   export so results can be plotted externally, and the output channels of
+   the harness: human-readable tables go to stderr AND to a per-experiment
+   results/<name>.txt, keeping stdout free for machine-readable JSON. *)
+
+let results_dir = "results"
+let ensure_dir () = if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+
+(* Transcript file of the currently running experiment, if any. *)
+let table_oc : out_channel option ref = ref None
+
+let open_table ~name =
+  ensure_dir ();
+  table_oc := Some (open_out (Filename.concat results_dir (name ^ ".txt")))
+
+let close_table () =
+  match !table_oc with
+  | Some oc ->
+      close_out oc;
+      table_oc := None
+  | None -> ()
+
+(** Status/table text: stderr, plus the open experiment transcript. *)
+let out s =
+  output_string stderr s;
+  flush stderr;
+  match !table_oc with Some oc -> output_string oc s | None -> ()
+
+(** Write a machine-readable blob to results/BENCH_<name>.json. *)
+let write_json ~name s =
+  ensure_dir ();
+  let oc = open_out (Filename.concat results_dir ("BENCH_" ^ name ^ ".json")) in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
 
 (** [bars rows] prints one bar per (label, value), scaled to the max. *)
 let bars ?(width = 46) (rows : (string * float) list) =
@@ -7,14 +40,13 @@ let bars ?(width = 46) (rows : (string * float) list) =
   List.iter
     (fun (label, v) ->
       let n = int_of_float (Float.round (v /. mx *. float_of_int width)) in
-      Printf.printf "  %-22s %s %.3g\n" label (String.make (max n 1) '#') v)
+      out (Printf.sprintf "  %-22s %s %.3g\n" label (String.make (max n 1) '#') v))
     rows
 
 (** Append rows to results/<name>.csv (header written on creation). *)
 let csv ~name ~header (rows : string list list) =
-  let dir = "results" in
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let path = Filename.concat dir (name ^ ".csv") in
+  ensure_dir ();
+  let path = Filename.concat results_dir (name ^ ".csv") in
   let existed = Sys.file_exists path in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   if not existed then output_string oc (String.concat "," header ^ "\n");
@@ -23,5 +55,5 @@ let csv ~name ~header (rows : string list list) =
 
 (** Truncate a previous run's CSV so re-runs do not accumulate. *)
 let csv_reset ~name =
-  let path = Filename.concat "results" (name ^ ".csv") in
+  let path = Filename.concat results_dir (name ^ ".csv") in
   if Sys.file_exists path then Sys.remove path

@@ -4,6 +4,11 @@
    fig25 table5 fig18 fig13 fig20 fig21 table6 table7 fig19 memory fig22
    fig23 autotune bechamel.
 
+   Output channels: human-readable tables go to stderr and to
+   results/<experiment>.txt; stdout carries one machine-readable JSON line
+   per experiment (also written to results/BENCH_<experiment>.json) with
+   the metrics-registry snapshot accumulated during that experiment.
+
    Times come from the machine simulator over the real compiled kernels
    (see DESIGN.md for the substitution rationale); EXPERIMENTS.md records
    the paper-vs-measured comparison. *)
@@ -16,7 +21,7 @@ let batches = [ 32; 64; 128 ]
 
 let datasets = Workloads.Datasets.all
 
-let line fmt = Printf.printf (fmt ^^ "\n%!")
+let line fmt = Printf.ksprintf (fun s -> Chart.out (s ^ "\n")) fmt
 let header title = line "\n================ %s ================" title
 
 let shape_of lens =
@@ -771,4 +776,19 @@ let () =
                 exit 1)
           names
   in
-  List.iter (fun (_, f) -> f ()) to_run
+  List.iter
+    (fun (name, f) ->
+      Obs.Metrics.reset ();
+      Chart.open_table ~name;
+      Fun.protect ~finally:Chart.close_table f;
+      let blob =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.String name); ("metrics", Obs.Report.metrics_json ());
+          ]
+      in
+      let s = Obs.Json.to_string blob in
+      Chart.write_json ~name s;
+      (* stdout: one JSON line per experiment, nothing else *)
+      print_endline s)
+    to_run

@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI wrapper: build, run the test suite, then smoke-test the observability
+# layer end to end — `cora trace` on the quickstart workload must produce a
+# parseable, non-empty Chrome trace (the trace subcommand re-parses its own
+# output and exits nonzero otherwise).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check" >&2
+dune build @check
+
+echo "== dune runtest" >&2
+dune runtest
+
+echo "== cora trace quickstart" >&2
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+dune exec bin/cora_cli.exe -- trace quickstart \
+  -o "$tmpdir/trace.json" --metrics "$tmpdir/metrics.json" > "$tmpdir/summary.txt"
+
+test -s "$tmpdir/trace.json" || { echo "ci: trace.json is empty" >&2; exit 1; }
+test -s "$tmpdir/metrics.json" || { echo "ci: metrics.json is empty" >&2; exit 1; }
+grep -q "interp.flops" "$tmpdir/summary.txt" \
+  || { echo "ci: metrics summary missing interp counters" >&2; exit 1; }
+
+echo "ci: OK" >&2

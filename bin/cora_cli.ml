@@ -6,6 +6,8 @@
      encode — simulate one transformer-encoder configuration against the
               framework baselines
      stats  — print dataset sequence-length statistics (Table 3 check)
+     trace  — compile + run a named workload with tracing on, write a
+              Chrome trace-event file and print the metrics registry
 
    The full evaluation harness lives in bench/main.exe. *)
 
@@ -145,6 +147,231 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Dataset sequence-length statistics (Table 3).")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* trace: compile + run a workload with the observability layer on.    *)
+
+let trace_workloads = [ "quickstart"; "fig1"; "encoder"; "trmm"; "vgemm" ]
+
+(* Each workload compiles (lowers) its kernels, executes them through the
+   interpreter and times them through the machine model, all inside the
+   enabled tracing window, so the trace covers lowering passes, prelude
+   build, kernel execution and the launch pipeline. *)
+let run_traced_workload ~device ~multicore ~domains workload =
+  match workload with
+  | "quickstart" | "fig1" ->
+      (* The Fig. 1 operator, exactly as examples/quickstart.ml builds it. *)
+      let batch_dim = Cora.Dim.make "batch" and len_dim = Cora.Dim.make "len" in
+      let lens_fn = Cora.Lenfun.make "lens" in
+      let extents =
+        [ Cora.Shape.fixed 4; Cora.Shape.ragged ~dep:batch_dim ~fn:lens_fn ]
+      in
+      let a = Cora.Tensor.create ~name:"A" ~dims:[ batch_dim; len_dim ] ~extents in
+      let o = Cora.Tensor.create ~name:"O" ~dims:[ batch_dim; len_dim ] ~extents in
+      Cora.Tensor.pad_dimension o len_dim 4;
+      let op =
+        Cora.Op.compute ~name:"double" ~out:o ~loop_extents:extents ~reads:[ a ]
+          (fun idx -> Ir.Expr.mul (Ir.Expr.float 2.0) (Cora.Op.access a idx))
+      in
+      let sched = Cora.Schedule.create op in
+      Cora.Schedule.pad_loop sched (Cora.Schedule.axis_of_dim sched 1) 2;
+      Cora.Schedule.bind_block sched (Cora.Schedule.axis_of_dim sched 0);
+      let kernel = Cora.Lower.lower sched in
+      let lenv = [ Cora.Lenfun.of_array "lens" [| 3; 1; 4; 2 |] ] in
+      let ra = Cora.Ragged.alloc a lenv and ro = Cora.Ragged.alloc o lenv in
+      Cora.Ragged.fill ra (fun idx ->
+          float_of_int ((10 * List.nth idx 0) + List.nth idx 1));
+      let _ =
+        Cora.Exec.run_ragged ~multicore ~domains ~lenv ~tensors:[ ra; ro ] [ kernel ]
+      in
+      ignore (Machine.Launch.pipeline ~device ~lenv [ Machine.Launch.single kernel ])
+  | "encoder" ->
+      let lens = [| 7; 5; 3; 2 |] in
+      let cfg = Transformer.Config.tiny ~lens in
+      let lenv = Transformer.Config.lenv cfg in
+      let target =
+        if device.Machine.Device.grid_kind = Ir.Stmt.Gpu_block then
+          Transformer.Builder.Gpu
+        else Transformer.Builder.Cpu
+      in
+      let built = Transformer.Builder.build ~target cfg in
+      let t = built.Transformer.Builder.tensors in
+      let w = Transformer.Reference.random_weights cfg ~seed:42 in
+      let fill_dense (tensor : Cora.Tensor.t) (arr : float array) =
+        let r = Cora.Ragged.alloc tensor lenv in
+        Array.blit arr 0 (Runtime.Buffer.floats r.Cora.Ragged.buf) 0 (Array.length arr);
+        r
+      in
+      let weights =
+        [
+          fill_dense t.Transformer.Builder.wqkv w.Transformer.Reference.wqkv;
+          fill_dense t.Transformer.Builder.bqkv w.Transformer.Reference.bqkv;
+          fill_dense t.Transformer.Builder.w2 w.Transformer.Reference.w2;
+          fill_dense t.Transformer.Builder.b2 w.Transformer.Reference.b2;
+          fill_dense t.Transformer.Builder.wf1 w.Transformer.Reference.wf1;
+          fill_dense t.Transformer.Builder.bf1 w.Transformer.Reference.bf1;
+          fill_dense t.Transformer.Builder.wf2 w.Transformer.Reference.wf2;
+          fill_dense t.Transformer.Builder.bf2 w.Transformer.Reference.bf2;
+        ]
+      in
+      let data =
+        List.map
+          (fun tensor -> Cora.Ragged.alloc tensor lenv)
+          [
+            t.Transformer.Builder.in_t; t.Transformer.Builder.qkv;
+            t.Transformer.Builder.scores; t.Transformer.Builder.probs;
+            t.Transformer.Builder.attn; t.Transformer.Builder.p2;
+            t.Transformer.Builder.ln1; t.Transformer.Builder.f1;
+            t.Transformer.Builder.out;
+          ]
+      in
+      Cora.Ragged.fill (List.hd data) (fun idx ->
+          sin (float_of_int ((List.nth idx 0 * 131) + (List.nth idx 1 * 17) + List.nth idx 2))
+          *. 0.5);
+      let _ =
+        Cora.Exec.run_ragged ~multicore ~domains ~lenv ~tensors:(weights @ data)
+          (Transformer.Builder.kernels built)
+      in
+      ignore
+        (Machine.Launch.pipeline ~device ~lenv (Transformer.Builder.launches built))
+  | "trmm" ->
+      let t = Matmul.Trmm.build ~tile:4 ~variant:Matmul.Trmm.Split_balanced ~n:16 () in
+      let _ =
+        Matmul.Trmm.run t
+          ~fill_a:(fun idx -> float_of_int (List.nth idx 0 + List.nth idx 1 + 1))
+          ~fill_b:(fun idx -> float_of_int ((List.nth idx 0 * 2) - List.nth idx 1))
+      in
+      ignore
+        (Machine.Launch.pipeline ~device ~lenv:t.Matmul.Trmm.lenv
+           (List.map Machine.Launch.single t.Matmul.Trmm.kernels))
+  | "vgemm" ->
+      (* Paper-scale instances (512-1408 per dim) are too big for the
+         reference interpreter; trace a shrunken batch with the same
+         shape-raggedness structure.  Dims stay multiples of the tile so
+         the elided-guard schedule remains exact. *)
+      let w =
+        {
+          Workloads.Vgemm_workload.batch = 4;
+          ms = [| 16; 8; 16; 8 |];
+          ns = [| 8; 16; 8; 16 |];
+          ks = [| 16; 16; 8; 8 |];
+        }
+      in
+      let target =
+        if device.Machine.Device.grid_kind = Ir.Stmt.Gpu_block then Matmul.Vgemm.Gpu
+        else Matmul.Vgemm.Cpu
+      in
+      let t = Matmul.Vgemm.build ~tile:8 ~target w in
+      let _ =
+        Matmul.Vgemm.run t
+          ~fill_a:(fun idx -> sin (float_of_int (List.nth idx 1 + List.nth idx 2)))
+          ~fill_b:(fun idx -> cos (float_of_int (List.nth idx 1 - List.nth idx 2)))
+      in
+      ignore
+        (Machine.Launch.pipeline ~device ~lenv:t.Matmul.Vgemm.lenv
+           [ Machine.Launch.single t.Matmul.Vgemm.kernel ])
+  | other ->
+      Fmt.failwith "unknown workload %s (available: %s)" other
+        (String.concat " " trace_workloads)
+
+(* Validate the written trace by re-parsing it: the ci wrapper (bin/ci.sh)
+   relies on a nonzero exit here when the file is not well-formed. *)
+let validate_trace path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  match Obs.Json.parse src with
+  | Error e -> Fmt.failwith "%s: emitted trace does not parse: %s" path e
+  | Ok j -> (
+      match Option.bind (Obs.Json.member "traceEvents" j) Obs.Json.to_list with
+      | None -> Fmt.failwith "%s: no traceEvents array" path
+      | Some [] -> Fmt.failwith "%s: traceEvents is empty" path
+      | Some evs ->
+          let names =
+            List.filter_map
+              (fun e ->
+                match Obs.Json.member "name" e with
+                | Some (Obs.Json.String s) -> Some s
+                | _ -> None)
+              evs
+          in
+          List.iter
+            (fun required ->
+              if not (List.mem required names) then
+                Fmt.failwith "%s: missing expected span %S" path required)
+            [ "trace"; "lower"; "prelude.build"; "exec.run"; "launch.pipeline" ];
+          List.length evs)
+
+let trace_cmd =
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:(Printf.sprintf "Workload to trace (%s)." (String.concat ", " trace_workloads)))
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json" & info [ "o" ] ~doc:"Chrome trace output file.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~doc:"Also write the metrics registry as JSON to $(docv).")
+  in
+  let device_arg =
+    Arg.(value & opt string "gpu" & info [ "device" ] ~doc:"Device: gpu, intel or arm.")
+  in
+  let multicore_flag =
+    Arg.(value & flag & info [ "multicore" ] ~doc:"Execute Parallel loops across domains.")
+  in
+  let domains_arg =
+    Arg.(value & opt int 4 & info [ "domains" ] ~doc:"Domain count for --multicore.")
+  in
+  let tree_flag =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Also print the span tree to stderr.")
+  in
+  let run workload out metrics_out device multicore domains tree =
+    let dev =
+      match device with
+      | "gpu" -> Machine.Device.v100
+      | "intel" -> Machine.Device.intel_cpu
+      | "arm" -> Machine.Device.arm_cpu
+      | d -> Fmt.failwith "unknown device %s" d
+    in
+    Obs.Span.set_enabled true;
+    Obs.Metrics.reset ();
+    Obs.Trace_sink.clear ();
+    Obs.Span.with_span
+      ~attrs:
+        [
+          ("workload", Obs.Trace_sink.Str workload);
+          ("device", Obs.Trace_sink.Str dev.Machine.Device.name);
+          ("multicore", Obs.Trace_sink.Bool multicore);
+        ]
+      "trace"
+      (fun () -> run_traced_workload ~device:dev ~multicore ~domains workload);
+    Obs.Span.set_enabled false;
+    Obs.Report.write_file out (Obs.Trace_sink.to_chrome_string ());
+    let n_events = validate_trace out in
+    Printf.eprintf "wrote %s (%d spans, validated)\n%!" out n_events;
+    (match metrics_out with
+    | Some path ->
+        Obs.Report.write_file path (Obs.Json.to_string (Obs.Report.metrics_json ()));
+        Printf.eprintf "wrote %s\n%!" path
+    | None -> ());
+    if tree then prerr_string (Obs.Trace_sink.tree ());
+    print_string (Obs.Report.metrics_summary ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Compile and run a workload with tracing enabled; write a Chrome trace-event \
+          file (validated by re-parsing) and print the metrics registry.")
+    Term.(
+      const run $ workload_arg $ out_arg $ metrics_arg $ device_arg $ multicore_flag
+      $ domains_arg $ tree_flag)
+
 let () =
   let info = Cmd.info "cora" ~doc:"CoRa ragged tensor compiler — reproduction CLI." in
-  exit (Cmd.eval (Cmd.group info [ dump_cmd; encode_cmd; emit_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ dump_cmd; encode_cmd; emit_cmd; stats_cmd; trace_cmd ]))

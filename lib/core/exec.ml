@@ -4,24 +4,45 @@
     build auxiliary structures, bind them (and the raw length functions and
     tensor buffers), then execute the generated kernels.  Used by tests,
     examples and any place that needs real numerics; performance questions
-    go to the machine simulator instead. *)
+    go to the machine simulator instead.
+
+    The whole pipeline is traced: one [exec.run] span wrapping the prelude
+    build and one [exec.kernel] span per kernel, and the interpreter's
+    statistics counters are flushed into the {!Obs.Metrics} registry
+    (under [interp.*]) when the run completes. *)
 
 type binding = Tensor.t * Runtime.Buffer.t
 
 (** [run ~lenv ~bindings kernels] — build the (deduplicated) prelude for all
-    kernels and interpret them in order.  Returns the interpreter
-    environment (for statistics) and the built prelude. *)
-let run ~(lenv : Lenfun.env) ~(bindings : binding list) (kernels : Lower.kernel list) :
-    Runtime.Interp.env * Prelude.built =
+    kernels and interpret them in order.  [~multicore:true] executes
+    [Parallel]-bound loops across [domains] OCaml domains.  Returns the
+    interpreter environment (for statistics) and the built prelude. *)
+let run ?(multicore = false) ?(domains = 4) ~(lenv : Lenfun.env) ~(bindings : binding list)
+    (kernels : Lower.kernel list) : Runtime.Interp.env * Prelude.built =
+  Obs.Span.with_span
+    ~attrs:[ ("kernels", Obs.Trace_sink.Int (List.length kernels)) ]
+    "exec.run"
+  @@ fun () ->
   let env = Runtime.Interp.create () in
   List.iter (fun (t, b) -> Runtime.Interp.bind_buf env t.Tensor.buf b) bindings;
   Prelude.bind_lenfuns lenv env;
   let defs = List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) kernels in
   let built = Prelude.build ~dedup_defs:true defs lenv in
   Prelude.bind_all built env;
-  List.iter (fun (k : Lower.kernel) -> Runtime.Interp.exec env k.Lower.body) kernels;
+  List.iter
+    (fun (k : Lower.kernel) ->
+      Obs.Span.with_span
+        ~attrs:[ ("kernel", Obs.Trace_sink.Str k.Lower.kname) ]
+        "exec.kernel"
+        (fun () ->
+          if multicore then Runtime.Interp.exec_multicore ~domains env k.Lower.body
+          else Runtime.Interp.exec env k.Lower.body))
+    kernels;
+  Runtime.Interp.flush_metrics env;
   (env, built)
 
 (** Convenience wrapper for ragged tensor values. *)
-let run_ragged ~(lenv : Lenfun.env) ~(tensors : Ragged.t list) kernels =
-  run ~lenv ~bindings:(List.map (fun (r : Ragged.t) -> (r.Ragged.tensor, r.Ragged.buf)) tensors) kernels
+let run_ragged ?multicore ?domains ~(lenv : Lenfun.env) ~(tensors : Ragged.t list) kernels =
+  run ?multicore ?domains ~lenv
+    ~bindings:(List.map (fun (r : Ragged.t) -> (r.Ragged.tensor, r.Ragged.buf)) tensors)
+    kernels

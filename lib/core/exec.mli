@@ -2,16 +2,24 @@
     of Fig. 4: build the (deduplicated) prelude on the host, bind aux
     tables, length functions and tensor buffers, interpret the kernels in
     order.  Used wherever real numerics are needed; performance questions
-    go to {!Machine.Launch}. *)
+    go to {!Machine.Launch}.
+
+    Traced as one [exec.run] span (prelude build inside) plus one
+    [exec.kernel] span per kernel; the interpreter's statistics counters
+    are flushed into the {!Obs.Metrics} registry under [interp.*]. *)
 
 type binding = Tensor.t * Runtime.Buffer.t
 
 (** Returns the interpreter environment (for statistics) and the built
-    prelude (for overhead accounting). *)
+    prelude (for overhead accounting).  [~multicore:true] executes
+    [Parallel]-bound loops across [domains] OCaml domains; the statistics
+    are aggregated either way. *)
 val run :
+  ?multicore:bool -> ?domains:int ->
   lenv:Lenfun.env -> bindings:binding list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built
 
 val run_ragged :
+  ?multicore:bool -> ?domains:int ->
   lenv:Lenfun.env -> tensors:Ragged.t list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built

@@ -72,6 +72,11 @@ let lower ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?appl
      [~apply_epilogue:false], the tail [~init:false ~apply_epilogue:true]. *)
   let apply_epilogue = match apply_epilogue with Some b -> b | None -> init in
   let op = s.op in
+  Obs.Span.with_span
+    ~attrs:[ ("kernel", Obs.Trace_sink.Str (op.Op.name ^ name_suffix)) ]
+    "lower"
+  @@ fun () ->
+  Obs.Metrics.incr (Obs.Metrics.counter "lower.kernels");
   let links = build_links s.leaves in
   let mode_of aid =
     match List.assoc_opt aid ranges with Some m -> m | None -> Schedule.Full
@@ -266,11 +271,16 @@ let lower ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?appl
     in
     List.iter per_axis s.leaves
   in
-  register_fusion_aux ();
+  Obs.Span.with_span "lower.vloop_fusion" (fun () ->
+      register_fusion_aux ();
+      Obs.Span.add_attr "aux_defs" (Obs.Trace_sink.Int (List.length !aux)));
 
-  (* --- reconstruct root index expressions --- *)
-  let data_values = Array.map value s.data_roots in
-  let red_values = Array.map value s.red_roots in
+  (* --- reconstruct root index expressions (bounds inference: every root
+         index is rebuilt from the transformed loop variables) --- *)
+  let data_values, red_values =
+    Obs.Span.with_span "lower.bounds" (fun () ->
+        (Array.map value s.data_roots, Array.map value s.red_roots))
+  in
 
   (* --- body: substitute index vars, lower tensor accesses --- *)
   let substitution =
@@ -292,10 +302,15 @@ let lower ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?appl
         | e -> e)
       e
   in
-  let body_expr = lower_accesses (Expr.subst substitution op.Op.body) in
-  let init_expr = lower_accesses (Expr.subst substitution op.Op.init) in
-  let out_offset, out_defs = Storage.lower op.Op.out (Array.to_list data_values) in
-  List.iter add_aux out_defs;
+  let body_expr, init_expr, out_offset =
+    Obs.Span.with_span "lower.storage" (fun () ->
+        let body_expr = lower_accesses (Expr.subst substitution op.Op.body) in
+        let init_expr = lower_accesses (Expr.subst substitution op.Op.init) in
+        let out_offset, out_defs = Storage.lower op.Op.out (Array.to_list data_values) in
+        List.iter add_aux out_defs;
+        Obs.Span.add_attr "aux_defs" (Obs.Trace_sink.Int (List.length !aux));
+        (body_expr, init_expr, out_offset))
+  in
 
   (* --- guards --- *)
   let leaf_arr = Array.of_list s.leaves in
@@ -374,9 +389,15 @@ let lower ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?appl
          roots)
     |> List.filter_map Fun.id
   in
-  let data_guards = mk_guards s.data_roots data_values true_data_extent ~is_red:false in
-  let red_guards = mk_guards s.red_roots red_values true_red_extent ~is_red:true in
-  let guards = List.map (fun g -> (innermost_leaf g, g)) (data_guards @ red_guards) in
+  let guards =
+    Obs.Span.with_span "lower.guards" (fun () ->
+        let data_guards = mk_guards s.data_roots data_values true_data_extent ~is_red:false in
+        let red_guards = mk_guards s.red_roots red_values true_red_extent ~is_red:true in
+        let gs = List.map (fun g -> (innermost_leaf g, g)) (data_guards @ red_guards) in
+        Obs.Span.add_attr "guards_inserted" (Obs.Trace_sink.Int (List.length gs));
+        Obs.Metrics.add (Obs.Metrics.counter "lower.guards_inserted") (List.length gs);
+        gs)
+  in
 
   (* --- validate loop order: a vloop extent may only reference outer leaf
          variables (§4.1's reordering restriction) --- *)
@@ -405,8 +426,11 @@ let lower ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?appl
     rs
   in
 
-  (* --- assemble the loop nest inside out --- *)
-  let wrap_loop k body =
+  (* --- assemble the loop nest inside out (materialising the padded
+         extents bounds inference derived) --- *)
+  let full_nest =
+    Obs.Span.with_span "lower.assemble" @@ fun () ->
+    let wrap_loop k body =
     let a = leaf_arr.(k) in
     Stmt.For { var = a.avar; min = loop_min a; extent = padded_extent a; kind = a.kind; body }
   in
@@ -452,25 +476,44 @@ let lower ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?appl
     | Some _ -> Stmt.seq (red_nest :: epilogue_stmt)
     | None -> red_nest
   in
-  let full_nest =
-    let rec go k body =
-      if k < 0 then attach_guards (-1) body
-      else go (k - 1) (wrap_loop k (attach_guards k body))
+    let full_nest =
+      let rec go k body =
+        if k < 0 then attach_guards (-1) body
+        else go (k - 1) (wrap_loop k (attach_guards k body))
+      in
+      go (red_start - 1) with_init
     in
-    go (red_start - 1) with_init
+    Obs.Span.add_attr "nodes" (Obs.Trace_sink.Int (Stmt.size full_nest));
+    full_nest
   in
 
   (* --- hoisting and simplification --- *)
   let triples = Schedule.fusion_triples s in
   let ctx = List.fold_left Simplify.with_fusion Simplify.empty_ctx triples in
-  let stmt = Simplify.simplify_stmt ~ctx full_nest in
-  let stmt = if s.hoist then Hoist.hoist stmt else stmt in
+  let stmt =
+    Obs.Span.with_span "lower.simplify" (fun () ->
+        Obs.Span.add_attr "nodes_before" (Obs.Trace_sink.Int (Stmt.size full_nest));
+        let st = Simplify.simplify_stmt ~ctx full_nest in
+        Obs.Span.add_attr "nodes_after" (Obs.Trace_sink.Int (Stmt.size st));
+        st)
+  in
+  let stmt =
+    if s.hoist then
+      Obs.Span.with_span "lower.hoist" (fun () ->
+          Obs.Span.add_attr "nodes_before" (Obs.Trace_sink.Int (Stmt.size stmt));
+          let st = Hoist.hoist stmt in
+          Obs.Span.add_attr "nodes_after" (Obs.Trace_sink.Int (Stmt.size st));
+          st)
+    else stmt
+  in
   let remap =
     List.fold_left
       (fun acc (a : Schedule.axis) ->
         match a.remap with Schedule.No_remap -> acc | p -> p)
       Schedule.No_remap s.leaves
   in
+  Obs.Span.add_attr "nodes_final" (Obs.Trace_sink.Int (Stmt.size stmt));
+  Obs.Span.add_attr "aux_defs" (Obs.Trace_sink.Int (List.length !aux));
   {
     kname = op.Op.name ^ name_suffix;
     body = stmt;

@@ -53,20 +53,44 @@ let dedup defs =
 (** Build all aux structures.  [dedup_defs:false] reproduces the redundant
     per-operator computation of the unoptimized prototype (Tables 7–8). *)
 let build ?(dedup_defs = true) (defs : def list) (lenv : Lenfun.env) : built =
+  Obs.Span.with_span "prelude.build" @@ fun () ->
+  let requested = List.length defs in
   let defs = if dedup_defs then dedup defs else defs in
-  let tables = List.map (fun d -> (d.name, d.compute lenv)) defs in
+  let dedup_hits = requested - List.length defs in
+  Obs.Metrics.add (Obs.Metrics.counter "prelude.dedup_hits") dedup_hits;
+  Obs.Metrics.add (Obs.Metrics.counter "prelude.tables_built") (List.length defs);
+  let entries_h = Obs.Metrics.histogram "prelude.table_entries" in
+  let tables =
+    List.map
+      (fun d ->
+        Obs.Span.with_span ~attrs:[ ("table", Obs.Trace_sink.Str d.name) ] "prelude.def"
+        @@ fun () ->
+        let v = d.compute lenv in
+        Obs.Span.add_attr "entries" (Obs.Trace_sink.Int (value_entries v));
+        Obs.Metrics.observe entries_h (float_of_int (value_entries v));
+        (d.name, v))
+      defs
+  in
   let acc kind f =
     List.fold_left2
       (fun total d (_, v) -> if d.kind = kind then total + f d v else total)
       0 defs tables
   in
-  {
-    tables;
-    storage_entries = acc Storage (fun _ v -> value_entries v);
-    fusion_entries = acc Loop_fusion (fun _ v -> value_entries v);
-    storage_work = acc Storage (fun d _ -> d.work lenv);
-    fusion_work = acc Loop_fusion (fun d _ -> d.work lenv);
-  }
+  let built =
+    {
+      tables;
+      storage_entries = acc Storage (fun _ v -> value_entries v);
+      fusion_entries = acc Loop_fusion (fun _ v -> value_entries v);
+      storage_work = acc Storage (fun d _ -> d.work lenv);
+      fusion_work = acc Loop_fusion (fun d _ -> d.work lenv);
+    }
+  in
+  Obs.Span.add_attr "dedup_hits" (Obs.Trace_sink.Int dedup_hits);
+  Obs.Span.add_attr "storage_entries" (Obs.Trace_sink.Int built.storage_entries);
+  Obs.Span.add_attr "fusion_entries" (Obs.Trace_sink.Int built.fusion_entries);
+  Obs.Span.add_attr "bytes"
+    (Obs.Trace_sink.Int (4 * (built.storage_entries + built.fusion_entries)));
+  built
 
 (** Memory footprint in bytes (4-byte entries, as the paper reports). *)
 let bytes built = 4 * (built.storage_entries + built.fusion_entries)

@@ -86,6 +86,23 @@ let rec map_exprs f stmt =
 (** Substitute variables by expressions throughout the statement. *)
 let subst map stmt = map_exprs (Expr.subst map) stmt
 
+(** Total IR node count (statement nodes plus every expression node) —
+    the size metric the lowering passes report before/after rewrites. *)
+let rec size stmt =
+  let expr_nodes acc e = acc + Expr.fold (fun n _ -> n + 1) 0 e in
+  match stmt with
+  | For { min; extent; body; _ } -> 1 + expr_nodes 0 min + expr_nodes 0 extent + size body
+  | Let_stmt (_, e, body) -> 1 + expr_nodes 0 e + size body
+  | Store { index; value; _ } | Reduce_store { index; value; _ } ->
+      1 + expr_nodes (expr_nodes 0 index) value
+  | If (c, a, b) -> (
+      let n = 1 + expr_nodes 0 c + size a in
+      match b with Some b -> n + size b | None -> n)
+  | Seq l -> List.fold_left (fun acc s -> acc + size s) 1 l
+  | Alloc { size = sz; body; _ } -> 1 + expr_nodes 0 sz + size body
+  | Eval e -> 1 + expr_nodes 0 e
+  | Nop -> 1
+
 (** Collect the names of all uninterpreted functions referenced. *)
 let ufuns stmt =
   fold_exprs

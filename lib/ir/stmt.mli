@@ -45,5 +45,9 @@ val map_exprs : (Expr.t -> Expr.t) -> t -> t
 (** Substitute variables by expressions throughout. *)
 val subst : Expr.t Var.Map.t -> t -> t
 
+(** Total IR node count (statement nodes plus every expression node) —
+    the size metric the lowering passes report before/after rewrites. *)
+val size : t -> int
+
 (** Names of all uninterpreted functions referenced (sorted, unique). *)
 val ufuns : t -> string list

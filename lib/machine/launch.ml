@@ -88,6 +88,7 @@ let block_costs_bytes (ctx : ctx) (k : Lower.kernel) : (float * float) array =
         n
   in
   let bw_per_proc = device.Device.mem_bw_bytes_per_ns /. float_of_int device.Device.n_proc in
+  let cost_h = Obs.Metrics.histogram ("launch.block_cost_ns." ^ k.Lower.kname) in
   let costs =
     List.map
       (fun (vars, body) ->
@@ -99,6 +100,7 @@ let block_costs_bytes (ctx : ctx) (k : Lower.kernel) : (float * float) array =
           | Schedule.Compute_bound -> Device.block_ns device ~eff:k.Lower.eff c
           | Schedule.Memory_bound -> bytes /. bw_per_proc /. k.Lower.eff
         in
+        Obs.Metrics.observe cost_h ns;
         (ns, bytes))
       blocks
   in
@@ -137,9 +139,36 @@ type pipeline_time = {
 let total_ns p = p.kernels_ns +. p.prelude_host_ns +. p.prelude_copy_ns
 
 let pipeline ~device ~lenv (launches : t list) : pipeline_time =
+  Obs.Span.with_span
+    ~attrs:
+      [
+        ("device", Obs.Trace_sink.Str device.Device.name);
+        ("launches", Obs.Trace_sink.Int (List.length launches));
+      ]
+    "launch.pipeline"
+  @@ fun () ->
   let kernels = List.concat_map (fun l -> l.kernels) launches in
   let ctx = make_ctx ~device ~lenv ~kernels in
-  let per_launch = List.map (fun l -> (l.label, time ctx l)) launches in
+  let per_launch =
+    List.map
+      (fun l ->
+        Obs.Span.with_span
+          ~attrs:[ ("launch", Obs.Trace_sink.Str l.label) ]
+          "launch"
+          (fun () ->
+            let t = time ctx l in
+            Obs.Span.add_attr "blocks"
+              (Obs.Trace_sink.Int
+                 (List.fold_left
+                    (fun acc (k : Cora.Lower.kernel) ->
+                      acc
+                      + Obs.Metrics.count
+                          (Obs.Metrics.histogram ("launch.block_cost_ns." ^ k.Lower.kname)))
+                    0 l.kernels));
+            Obs.Span.add_attr "model_ns" (Obs.Trace_sink.Float t);
+            (l.label, t)))
+      launches
+  in
   let kernels_ns = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 per_launch in
   let work = ctx.built.Prelude.storage_work + ctx.built.Prelude.fusion_work in
   let prelude_host_ns = float_of_int work *. device.Device.aux_entry_ns in
@@ -148,4 +177,11 @@ let pipeline ~device ~lenv (launches : t list) : pipeline_time =
     if device.Device.h2d_bytes_per_ns = infinity then 0.0
     else bytes /. device.Device.h2d_bytes_per_ns
   in
+  (* makespan breakdown of the modelled pipeline, attached as attributes
+     of the pipeline span *)
+  Obs.Span.add_attr "kernels_ns" (Obs.Trace_sink.Float kernels_ns);
+  Obs.Span.add_attr "prelude_host_ns" (Obs.Trace_sink.Float prelude_host_ns);
+  Obs.Span.add_attr "prelude_copy_ns" (Obs.Trace_sink.Float prelude_copy_ns);
+  Obs.Span.add_attr "total_ns"
+    (Obs.Trace_sink.Float (kernels_ns +. prelude_host_ns +. prelude_copy_ns));
   { kernels_ns; per_launch; prelude_host_ns; prelude_copy_ns }

@@ -1,0 +1,230 @@
+(** Minimal JSON support for the observability layer.
+
+    The container ships no JSON library, and the traces we emit (Chrome
+    trace-event files, metrics blobs) only need scalars, arrays and
+    objects — so we carry a small, total emitter and a recursive-descent
+    parser.  The parser exists so emitted traces can be validated by
+    round-trip ([cora_cli trace] refuses to leave an unparseable
+    [trace.json] behind, and the test suite re-reads what it writes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------------- emission ---------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+      (* JSON has no NaN/Infinity; degrade to null rather than emit an
+         unparseable file. *)
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+      else Buffer.add_string b "null"
+  | String s -> escape_string b s
+  | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b v;
+  Buffer.contents b
+
+(* ---------------- parsing ---------------- *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st fmt = Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "%s at offset %d" m st.pos))) fmt
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | Some x -> fail st "expected '%c', found '%c'" c x
+  | None -> fail st "expected '%c', found end of input" c
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st "invalid literal"
+
+let parse_string_body st =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> advance st; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance st; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance st; Buffer.add_char b '/'; go ()
+        | Some 'b' -> advance st; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance st; Buffer.add_char b '\012'; go ()
+        | Some 'n' -> advance st; Buffer.add_char b '\n'; go ()
+        | Some 'r' -> advance st; Buffer.add_char b '\r'; go ()
+        | Some 't' -> advance st; Buffer.add_char b '\t'; go ()
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            let code = try int_of_string ("0x" ^ hex) with _ -> fail st "bad \\u escape" in
+            st.pos <- st.pos + 4;
+            (* encode as UTF-8 (no surrogate-pair handling: the emitter only
+               escapes control characters) *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail st "bad escape")
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c when is_num_char c -> true | _ -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail st "invalid number %S" s)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' ->
+      advance st;
+      String (parse_string_body st)
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin advance st; List [] end
+      else begin
+        let items = ref [ parse_value st ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          items := parse_value st :: !items;
+          skip_ws st
+        done;
+        expect st ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin advance st; Obj [] end
+      else begin
+        let field () =
+          skip_ws st;
+          expect st '"';
+          let k = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          fields := field () :: !fields;
+          skip_ws st
+        done;
+        expect st '}';
+        Obj (List.rev !fields)
+      end
+  | Some c -> if c = '-' || (c >= '0' && c <= '9') then parse_number st else fail st "unexpected character '%c'" c
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  try
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+    else Ok v
+  with Parse_error m -> Error m
+
+(* ---------------- accessors ---------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,24 @@
+(** Minimal JSON values, emitter and parser for the observability layer.
+    Enough for Chrome trace-event files and metrics blobs; the parser
+    exists so emitted traces can be validated by round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) serialization.  Non-finite floats become
+    [null] so the output is always parseable. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document. *)
+val parse : string -> (t, string) result
+
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option

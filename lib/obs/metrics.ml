@@ -1,0 +1,195 @@
+(** Process-wide metrics registry: counters, gauges and histograms.
+
+    Counters are the hot-path primitive — the interpreter bumps one per
+    scalar load — so they are sharded into per-domain atomic cells: an
+    increment touches only the cell indexed by the calling domain's id
+    (modulo the shard count), never a lock, and allocates nothing.
+    Reading a counter sums the shards.  This makes the registry safe
+    under [Interp.exec_multicore] without serialising the domains.
+
+    Histograms record full sample sets (they are fed block costs and
+    table sizes, not per-scalar events), sharded with a small mutex per
+    shard; percentiles merge and sort on read. *)
+
+let shards = 16 (* power of two: shard index is [domain_id land (shards-1)] *)
+
+let shard_id () = (Domain.self () :> int) land (shards - 1)
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; cell : int Atomic.t }
+
+type hshard = { lock : Mutex.t; mutable samples : float array; mutable len : int }
+type histogram = { h_name : string; hshards : hshard array }
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let register name make classify =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match classify m with
+          | Some v -> v
+          | None -> invalid_arg (Printf.sprintf "metric %s already registered with another kind" name))
+      | None ->
+          let v, m = make () in
+          Hashtbl.add registry name m;
+          v)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; cells = Array.init shards (fun _ -> Atomic.make 0) } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; cell = Atomic.make 0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          hshards =
+            Array.init shards (fun _ -> { lock = Mutex.create (); samples = [||]; len = 0 });
+        }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+(* ---------------- counters ---------------- *)
+
+let add c n = ignore (Atomic.fetch_and_add c.cells.(shard_id ()) n)
+let incr c = add c 1
+let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+let counter_name c = c.c_name
+
+(* ---------------- gauges ---------------- *)
+
+let set g n = Atomic.set g.cell n
+let gauge_value g = Atomic.get g.cell
+let gauge_name g = g.g_name
+
+(* ---------------- histograms ---------------- *)
+
+let observe h x =
+  let s = h.hshards.(shard_id ()) in
+  Mutex.lock s.lock;
+  if s.len = Array.length s.samples then begin
+    let cap = max 64 (2 * s.len) in
+    let grown = Array.make cap 0.0 in
+    Array.blit s.samples 0 grown 0 s.len;
+    s.samples <- grown
+  end;
+  s.samples.(s.len) <- x;
+  s.len <- s.len + 1;
+  Mutex.unlock s.lock
+
+let samples h =
+  let parts =
+    Array.map
+      (fun s ->
+        Mutex.lock s.lock;
+        let a = Array.sub s.samples 0 s.len in
+        Mutex.unlock s.lock;
+        a)
+      h.hshards
+  in
+  Array.concat (Array.to_list parts)
+
+let count h = Array.length (samples h)
+
+(** Percentile by linear interpolation between closest ranks; [nan] on an
+    empty histogram.  [p] in [0, 100]. *)
+let percentile h p =
+  let xs = samples h in
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else begin
+    Array.sort compare xs;
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.of_int (max 0 (min (n - 1) (int_of_float (floor rank))))) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    xs.(lo) +. (frac *. (xs.(hi) -. xs.(lo)))
+  end
+
+type hsummary = {
+  n : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize h =
+  let xs = samples h in
+  let n = Array.length xs in
+  if n = 0 then
+    { n = 0; sum = 0.0; min_v = Float.nan; max_v = Float.nan; mean = Float.nan;
+      p50 = Float.nan; p90 = Float.nan; p99 = Float.nan }
+  else begin
+    Array.sort compare xs;
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let pct p =
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = max 0 (min (n - 1) (int_of_float (floor rank))) in
+      let hi = min (n - 1) (lo + 1) in
+      xs.(lo) +. ((rank -. float_of_int lo) *. (xs.(hi) -. xs.(lo)))
+    in
+    { n; sum; min_v = xs.(0); max_v = xs.(n - 1); mean = sum /. float_of_int n;
+      p50 = pct 50.0; p90 = pct 90.0; p99 = pct 99.0 }
+  end
+
+let histogram_name h = h.h_name
+
+(* ---------------- registry-wide operations ---------------- *)
+
+(** Zero every counter and gauge and drop every histogram's samples;
+    registrations (and handles) stay valid. *)
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells
+          | Gauge g -> Atomic.set g.cell 0
+          | Histogram h ->
+              Array.iter
+                (fun s ->
+                  Mutex.lock s.lock;
+                  s.len <- 0;
+                  s.samples <- [||];
+                  Mutex.unlock s.lock)
+                h.hshards)
+        registry)
+
+type snapshot = Counter_v of int | Gauge_v of int | Histogram_v of hsummary
+
+(** Consistent-enough snapshot of every registered metric, sorted by
+    name.  Metrics that are identically zero/empty are kept: absence of
+    traffic is itself a signal. *)
+let dump () =
+  let items = with_lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry []) in
+  items
+  |> List.map (fun (name, m) ->
+         match m with
+         | Counter c -> (name, Counter_v (value c))
+         | Gauge g -> (name, Gauge_v (gauge_value g))
+         | Histogram h -> (name, Histogram_v (summarize h)))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

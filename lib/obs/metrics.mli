@@ -1,0 +1,61 @@
+(** Process-wide metrics registry: counters, gauges and histograms.
+
+    Counters are sharded into per-domain atomic cells, so incrementing
+    one from inside [Interp.exec_multicore] is lock-free and
+    allocation-free; reads sum the shards.  Histograms keep full sample
+    sets behind per-shard mutexes (they record block costs and table
+    sizes, not per-scalar events). *)
+
+type counter
+type gauge
+type histogram
+
+(** [counter name] returns the counter registered under [name],
+    creating it on first use.  Raises [Invalid_argument] if [name] is
+    already registered as a different kind (same for {!gauge} and
+    {!histogram}). *)
+val counter : string -> counter
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+val gauge_name : gauge -> string
+
+val observe : histogram -> float -> unit
+val count : histogram -> int
+
+(** All recorded samples, in no particular order. *)
+val samples : histogram -> float array
+
+(** Percentile in [0, 100] by linear interpolation between closest
+    ranks; [nan] when empty. *)
+val percentile : histogram -> float -> float
+
+type hsummary = {
+  n : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : histogram -> hsummary
+val histogram_name : histogram -> string
+
+(** Zero counters/gauges and empty histograms; handles stay valid. *)
+val reset : unit -> unit
+
+type snapshot = Counter_v of int | Gauge_v of int | Histogram_v of hsummary
+
+(** Snapshot of every registered metric, sorted by name. *)
+val dump : unit -> (string * snapshot) list

@@ -1,0 +1,49 @@
+(** Rendering of the metrics registry: JSON blobs for machines (the
+    bench harness's [BENCH_*.json] files, [cora_cli trace]'s metrics
+    output) and an aligned text summary for humans. *)
+
+let float_or_null f = if Float.is_finite f then Json.Float f else Json.Null
+
+let hsummary_json (s : Metrics.hsummary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.Metrics.n);
+      ("sum", float_or_null s.Metrics.sum);
+      ("min", float_or_null s.Metrics.min_v);
+      ("max", float_or_null s.Metrics.max_v);
+      ("mean", float_or_null s.Metrics.mean);
+      ("p50", float_or_null s.Metrics.p50);
+      ("p90", float_or_null s.Metrics.p90);
+      ("p99", float_or_null s.Metrics.p99);
+    ]
+
+(** The full registry as one JSON object, metric names as keys. *)
+let metrics_json () =
+  Json.Obj
+    (List.map
+       (fun (name, snap) ->
+         match snap with
+         | Metrics.Counter_v n -> (name, Json.Int n)
+         | Metrics.Gauge_v n -> (name, Json.Int n)
+         | Metrics.Histogram_v s -> (name, hsummary_json s))
+       (Metrics.dump ()))
+
+(** Aligned text table of every registered metric. *)
+let metrics_summary () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, snap) ->
+      match snap with
+      | Metrics.Counter_v n -> Buffer.add_string b (Printf.sprintf "%-40s %12d\n" name n)
+      | Metrics.Gauge_v n -> Buffer.add_string b (Printf.sprintf "%-40s %12d (gauge)\n" name n)
+      | Metrics.Histogram_v s ->
+          Buffer.add_string b
+            (Printf.sprintf "%-40s n=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n" name
+               s.Metrics.n s.Metrics.mean s.Metrics.p50 s.Metrics.p90 s.Metrics.p99
+               s.Metrics.max_v))
+    (Metrics.dump ());
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

@@ -1,0 +1,12 @@
+(** Rendering of the metrics registry as JSON (machine-readable blobs)
+    and aligned text (human summaries). *)
+
+(** The full registry as one JSON object, metric names as keys:
+    counters/gauges as integers, histograms as
+    [{count,sum,min,max,mean,p50,p90,p99}]. *)
+val metrics_json : unit -> Json.t
+
+(** Aligned text table of every registered metric. *)
+val metrics_summary : unit -> string
+
+val write_file : string -> string -> unit

@@ -1,0 +1,19 @@
+(** Hierarchical timed spans with key/value attributes, recorded into
+    {!Trace_sink} on close.  Disabled by default; the disabled path of
+    {!with_span} is one atomic load and a call into the thunk — no
+    allocation on the hot path. *)
+
+(** Turn span recording on/off process-wide (default off). *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [with_span ?attrs name f] runs [f], timing it as a span nested
+    under the calling domain's innermost open span.  The span is closed
+    (and recorded) even if [f] raises, tagged with an [error]
+    attribute. *)
+val with_span : ?attrs:(string * Trace_sink.attr) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span of the calling
+    domain; a no-op when tracing is disabled or no span is open. *)
+val add_attr : string -> Trace_sink.attr -> unit

@@ -1,0 +1,122 @@
+(** Sink for completed spans.
+
+    Spans are recorded here when they close (see {!Span}); the sink keeps
+    them in a process-global, mutex-protected buffer — domains close
+    spans concurrently under [exec_multicore] — and exports them either
+    as Chrome trace-event JSON (load [trace.json] in [chrome://tracing]
+    or Perfetto) or as a human-readable tree. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  name : string;
+  ts_us : float;  (** start, microseconds since the trace epoch *)
+  dur_us : float;
+  tid : int;  (** OCaml domain id *)
+  depth : int;  (** span-stack depth in its domain at open time *)
+  attrs : (string * attr) list;
+}
+
+let lock = Mutex.create ()
+let buffer : event list ref = ref []
+let epoch : float option ref = ref None
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let record ev =
+  Mutex.lock lock;
+  (* epoch = earliest span *start* seen; spans record on close, so the
+     first recorded event (an innermost leaf) rarely has the earliest
+     start *)
+  (match !epoch with
+  | None -> epoch := Some ev.ts_us
+  | Some e -> if ev.ts_us < e then epoch := Some ev.ts_us);
+  buffer := ev :: !buffer;
+  Mutex.unlock lock
+
+let clear () =
+  Mutex.lock lock;
+  buffer := [];
+  epoch := None;
+  Mutex.unlock lock
+
+(** Completed spans in start-time order.  Clock ties (sub-microsecond
+    siblings) fall back to record order, which for same-domain siblings is
+    close order = start order. *)
+let events () =
+  Mutex.lock lock;
+  let evs = List.rev !buffer in
+  Mutex.unlock lock;
+  List.stable_sort (fun a b -> compare (a.ts_us, a.depth) (b.ts_us, b.depth)) evs
+
+(* ---------------- Chrome trace-event export ---------------- *)
+
+let attr_json = function
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let to_chrome () =
+  let base = match !epoch with Some e -> e | None -> 0.0 in
+  let evs = events () in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (List.map
+             (fun ev ->
+               Json.Obj
+                 [
+                   ("name", Json.String ev.name);
+                   ("cat", Json.String "cora");
+                   ("ph", Json.String "X");
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int ev.tid);
+                   ("ts", Json.Float (ev.ts_us -. base));
+                   ("dur", Json.Float ev.dur_us);
+                   ("args", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) ev.attrs));
+                 ])
+             evs) );
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_chrome_string () = Json.to_string (to_chrome ())
+
+(* ---------------- human-readable tree ---------------- *)
+
+let attr_to_string = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+(** Render the recorded spans as an indented tree, one block per domain.
+    Spans nest properly within a domain, so start-time order plus the
+    recorded depth reconstructs the hierarchy. *)
+let tree () =
+  let evs = events () in
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun tid ->
+      if List.length tids > 1 then Buffer.add_string b (Printf.sprintf "domain %d:\n" tid);
+      List.iter
+        (fun ev ->
+          if ev.tid = tid then begin
+            Buffer.add_string b (String.make (2 * ev.depth) ' ');
+            Buffer.add_string b (Printf.sprintf "%-30s %10.1f us" ev.name ev.dur_us);
+            if ev.attrs <> [] then begin
+              Buffer.add_string b "  [";
+              List.iteri
+                (fun i (k, v) ->
+                  if i > 0 then Buffer.add_string b ", ";
+                  Buffer.add_string b (Printf.sprintf "%s=%s" k (attr_to_string v)))
+                ev.attrs;
+              Buffer.add_char b ']'
+            end;
+            Buffer.add_char b '\n'
+          end)
+        evs)
+    tids;
+  Buffer.contents b

@@ -1,0 +1,30 @@
+(** Sink for completed spans, exporting Chrome trace-event JSON and a
+    human-readable tree.  Safe to record into from multiple domains. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  name : string;
+  ts_us : float;  (** start, microseconds since the trace epoch *)
+  dur_us : float;
+  tid : int;  (** OCaml domain id *)
+  depth : int;  (** span-stack depth in its domain at open time *)
+  attrs : (string * attr) list;
+}
+
+val now_us : unit -> float
+val record : event -> unit
+val clear : unit -> unit
+
+(** Completed spans in start-time order. *)
+val events : unit -> event list
+
+(** Chrome trace-event document ([chrome://tracing] / Perfetto format):
+    one complete ("ph":"X") event per span, timestamps relative to the
+    trace epoch, attributes under ["args"]. *)
+val to_chrome : unit -> Json.t
+
+val to_chrome_string : unit -> string
+
+(** Indented per-domain tree of span names, durations and attributes. *)
+val tree : unit -> string

@@ -209,6 +209,12 @@ let rec relevant (s : Stmt.t) : Var.Set.t =
 
 type node = env -> counts
 
+(* Loop-memoisation visibility: every loop-node cost lookup is counted
+   process-wide, so the memo's effectiveness on real kernels can be
+   asserted instead of assumed. *)
+let memo_hits = Obs.Metrics.counter "cost_model.memo_hits"
+let memo_misses = Obs.Metrics.counter "cost_model.memo_misses"
+
 (** Compile a statement into a memoised cost function.  [lanes_left] tracks
     the remaining within-block thread parallelism: nested GPU-thread loops
     consume the lane budget multiplicatively (a 64x128 thread grid on a
@@ -301,8 +307,11 @@ let compile (params : params) (stmt : Stmt.t) : node =
               key_vars
           in
           match Hashtbl.find_opt memo key with
-          | Some c -> c
+          | Some c ->
+              Obs.Metrics.incr memo_hits;
+              c
           | None ->
+              Obs.Metrics.incr memo_misses;
               let m = eval_int env min and n = eval_int env extent in
               let c =
                 if n <= 0 then zero_counts

@@ -50,7 +50,9 @@ type node = env -> counts
 (** Compile a statement into a memoised cost function.  Nested GPU-thread
     loops consume the lane budget multiplicatively; [Vectorized] loops
     divide by the SIMD width; loads/stores to [Alloc]ed scratch count as
-    cheap integer ops, not memory traffic. *)
+    cheap integer ops, not memory traffic.  Every loop-node memo lookup
+    is counted in the {!Obs.Metrics} registry under
+    [cost_model.memo_hits] / [cost_model.memo_misses]. *)
 val compile : params -> Ir.Stmt.t -> node
 
 (** Enumerate the grid: peel leading loops of [grid_kind], one block per

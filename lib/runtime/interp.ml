@@ -35,11 +35,16 @@ type env = {
   mutable loads : int;  (** statistics: scalar loads executed *)
   mutable stores : int;
   mutable flops : int;  (** floating-point operations executed *)
+  mutable indirect : int;
+      (** uninterpreted-function (prelude table) accesses — the indirect
+          accesses whose overhead §D.7 studies; also counted in [loads] *)
+  mutable guards : int;  (** bound-guard ([If]) conditions evaluated *)
+  mutable guard_hits : int;  (** guard conditions that held (body ran) *)
 }
 
 let create () =
   { vars = Var.Map.empty; bufs = Var.Map.empty; ufuns = Hashtbl.create 16;
-    loads = 0; stores = 0; flops = 0 }
+    loads = 0; stores = 0; flops = 0; indirect = 0; guards = 0; guard_hits = 0 }
 
 let bind_buf env v b = env.bufs <- Var.Map.add v b env.bufs
 let bind_var env v value = env.vars <- Var.Map.add v value env.vars
@@ -124,6 +129,7 @@ let rec eval env (e : Expr.t) : value =
       match Hashtbl.find_opt env.ufuns name with
       | Some f ->
           env.loads <- env.loads + 1;
+          env.indirect <- env.indirect + 1;
           VInt (f (List.map (fun a -> to_int (eval env a)) args))
       | None -> err "unbound uninterpreted function %s" name)
   | Call (name, args) ->
@@ -233,7 +239,11 @@ let rec exec env (s : Stmt.t) : unit =
         in
         Buffer.set_float b i combined
   | If (c, a, b) -> (
-      if to_bool (eval env c) then exec env a
+      env.guards <- env.guards + 1;
+      if to_bool (eval env c) then begin
+        env.guard_hits <- env.guard_hits + 1;
+        exec env a
+      end
       else match b with Some b -> exec env b | None -> ())
   | Seq l -> List.iter (exec env) l
   | Alloc { buf = v; size; body } ->
@@ -250,16 +260,33 @@ let rec exec env (s : Stmt.t) : unit =
     copy of the scalar environment; buffers are shared — sound because a
     correctly scheduled parallel loop writes disjoint locations (the same
     guarantee a real parallel-for needs).  Statistics counters are
-    per-domain and folded back approximately (they are diagnostics). *)
+    per-iteration-local and folded into the parent [env] through atomics
+    once all domains join, so a multicore run reports exactly the same
+    counts as a serial one. *)
 and exec_multicore ?(domains = 4) env (s : Stmt.t) : unit =
   match s with
   | For { var; min = mn; extent; kind = Parallel; body } ->
       let m = to_int (eval env mn) and n = to_int (eval env extent) in
+      let loads = Atomic.make 0 and stores = Atomic.make 0 and flops = Atomic.make 0 in
+      let indirect = Atomic.make 0 and guards = Atomic.make 0 and guard_hits = Atomic.make 0 in
       parallel_for ~domains m n (fun i ->
           let env' =
-            { env with vars = Var.Map.add var (VInt i) env.vars; loads = 0; stores = 0; flops = 0 }
+            { env with vars = Var.Map.add var (VInt i) env.vars;
+              loads = 0; stores = 0; flops = 0; indirect = 0; guards = 0; guard_hits = 0 }
           in
-          exec env' body)
+          exec env' body;
+          ignore (Atomic.fetch_and_add loads env'.loads);
+          ignore (Atomic.fetch_and_add stores env'.stores);
+          ignore (Atomic.fetch_and_add flops env'.flops);
+          ignore (Atomic.fetch_and_add indirect env'.indirect);
+          ignore (Atomic.fetch_and_add guards env'.guards);
+          ignore (Atomic.fetch_and_add guard_hits env'.guard_hits));
+      env.loads <- env.loads + Atomic.get loads;
+      env.stores <- env.stores + Atomic.get stores;
+      env.flops <- env.flops + Atomic.get flops;
+      env.indirect <- env.indirect + Atomic.get indirect;
+      env.guards <- env.guards + Atomic.get guards;
+      env.guard_hits <- env.guard_hits + Atomic.get guard_hits
   | For { var; min = mn; extent; kind; body } ->
       let m = to_int (eval env mn) and n = to_int (eval env extent) in
       ignore kind;
@@ -276,3 +303,14 @@ and exec_multicore ?(domains = 4) env (s : Stmt.t) : unit =
       env.vars <- saved
   | Seq l -> List.iter (exec_multicore ~domains env) l
   | s -> exec env s
+
+(** Add the environment's statistics counters into the process-wide
+    metrics registry (under [interp.*]).  Called once per run by
+    {!Cora.Exec.run} and the CLI; idempotence is the caller's concern. *)
+let flush_metrics env =
+  Obs.Metrics.add (Obs.Metrics.counter "interp.loads") env.loads;
+  Obs.Metrics.add (Obs.Metrics.counter "interp.stores") env.stores;
+  Obs.Metrics.add (Obs.Metrics.counter "interp.flops") env.flops;
+  Obs.Metrics.add (Obs.Metrics.counter "interp.indirect") env.indirect;
+  Obs.Metrics.add (Obs.Metrics.counter "interp.guards") env.guards;
+  Obs.Metrics.add (Obs.Metrics.counter "interp.guard_hits") env.guard_hits

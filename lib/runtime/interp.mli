@@ -18,6 +18,10 @@ type env = {
   mutable loads : int;  (** statistics: scalar loads executed *)
   mutable stores : int;
   mutable flops : int;
+  mutable indirect : int;
+      (** uninterpreted-function (prelude table) accesses, also in [loads] *)
+  mutable guards : int;  (** bound-guard conditions evaluated *)
+  mutable guard_hits : int;  (** guard conditions that held (body ran) *)
 }
 
 val create : unit -> env
@@ -34,5 +38,13 @@ val exec : env -> Ir.Stmt.t -> unit
 (** Execute with [Parallel]-bound loops spread across OCaml domains — the
     multicore runtime for CPU-scheduled kernels.  Buffers are shared (a
     correctly scheduled parallel loop writes disjoint locations); the
-    statistics counters are not aggregated across domains. *)
+    per-domain statistics counters are aggregated into [env] when the
+    domains join, so a multicore run reports the same counts as a serial
+    one. *)
 val exec_multicore : ?domains:int -> env -> Ir.Stmt.t -> unit
+
+(** Add the environment's statistics counters into the process-wide
+    {!Obs.Metrics} registry under [interp.loads], [interp.stores],
+    [interp.flops], [interp.indirect], [interp.guards] and
+    [interp.guard_hits].  Call once per run. *)
+val flush_metrics : env -> unit

@@ -90,6 +90,25 @@ let test_autotune_kernel_correct () =
       done)
     lens
 
+(* The cost model memoises For-subtree compilation; on a transformer-sized
+   pipeline the blocks of each kernel share their body subtree, so the
+   memo hit rate must be substantial (it is what makes simulation feasible,
+   §6). *)
+let test_cost_model_memo_hits () =
+  Obs.Metrics.reset ();
+  let lens = Workloads.Datasets.sample_sorted Workloads.Datasets.squad ~batch:64 ~seed:1 in
+  let cfg = Transformer.Config.base ~lens in
+  let built = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+  ignore
+    (Machine.Launch.pipeline ~device:Machine.Device.v100
+       ~lenv:(Transformer.Config.lenv cfg)
+       (Transformer.Builder.launches built));
+  let hits = Obs.Metrics.value (Obs.Metrics.counter "cost_model.memo_hits") in
+  let misses = Obs.Metrics.value (Obs.Metrics.counter "cost_model.memo_misses") in
+  Alcotest.(check bool)
+    (Printf.sprintf "nonzero memo hit rate (%d hits / %d misses)" hits misses)
+    true (hits > 0)
+
 let () =
   Alcotest.run "bounds-autotune"
     [
@@ -106,5 +125,6 @@ let () =
           Alcotest.test_case "grid search beats hand schedule" `Quick
             test_autotune_improves_or_matches;
           Alcotest.test_case "tuned kernel builds" `Quick test_autotune_kernel_correct;
+          Alcotest.test_case "cost-model memoisation hits" `Quick test_cost_model_memo_hits;
         ] );
     ]

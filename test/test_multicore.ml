@@ -49,11 +49,11 @@ let run ~multicore =
       if multicore then Runtime.Interp.exec_multicore ~domains:4 env k.Lower.body
       else Runtime.Interp.exec env k.Lower.body)
     kernels;
-  Ragged.unpack rout
+  (Ragged.unpack rout, env)
 
 let test_multicore_identical () =
-  let serial = run ~multicore:false in
-  let parallel = run ~multicore:true in
+  let serial, _ = run ~multicore:false in
+  let parallel, _ = run ~multicore:true in
   Alcotest.(check int) "same size" (Array.length serial) (Array.length parallel);
   Array.iteri
     (fun i x ->
@@ -90,6 +90,49 @@ let test_parallel_for_covers_range () =
   Array.iteri (fun idx v -> if int_of_float v <> idx + 1 then Alcotest.failf "missed %d" idx) arr;
   ignore hits
 
+(* Regression: statistics from iterations executed on worker domains used
+   to be dropped; a multicore run must report exactly the counters of the
+   equivalent serial one. *)
+let test_multicore_counters_aggregate () =
+  let mk () =
+    let buf = Ir.Var.fresh "out" in
+    let env = Runtime.Interp.create () in
+    Runtime.Interp.bind_buf env buf (Runtime.Buffer.of_floats (Array.make 40 0.0));
+    let i = Ir.Var.fresh "i" in
+    let body =
+      Ir.Stmt.For
+        {
+          var = i;
+          min = Ir.Expr.int 0;
+          extent = Ir.Expr.int 40;
+          kind = Parallel;
+          body =
+            Ir.Stmt.Store
+              { buf; index = Ir.Expr.var i; value = Ir.Expr.add (Ir.Expr.var i) Ir.Expr.one };
+        }
+    in
+    (env, body)
+  in
+  let senv, sbody = mk () in
+  Runtime.Interp.exec senv sbody;
+  let menv, mbody = mk () in
+  Runtime.Interp.exec_multicore ~domains:4 menv mbody;
+  Alcotest.(check int) "stores" senv.Runtime.Interp.stores menv.Runtime.Interp.stores;
+  Alcotest.(check int) "loads" senv.Runtime.Interp.loads menv.Runtime.Interp.loads;
+  Alcotest.(check int) "flops" senv.Runtime.Interp.flops menv.Runtime.Interp.flops;
+  Alcotest.(check int) "all 40 stores seen" 40 menv.Runtime.Interp.stores
+
+let test_multicore_encoder_counters () =
+  let _, senv = run ~multicore:false in
+  let _, menv = run ~multicore:true in
+  Alcotest.(check int) "loads" senv.Runtime.Interp.loads menv.Runtime.Interp.loads;
+  Alcotest.(check int) "stores" senv.Runtime.Interp.stores menv.Runtime.Interp.stores;
+  Alcotest.(check int) "flops" senv.Runtime.Interp.flops menv.Runtime.Interp.flops;
+  Alcotest.(check int) "indirect" senv.Runtime.Interp.indirect menv.Runtime.Interp.indirect;
+  Alcotest.(check int) "guards" senv.Runtime.Interp.guards menv.Runtime.Interp.guards;
+  Alcotest.(check int) "guard hits" senv.Runtime.Interp.guard_hits
+    menv.Runtime.Interp.guard_hits
+
 let () =
   Alcotest.run "multicore"
     [
@@ -97,5 +140,9 @@ let () =
         [
           Alcotest.test_case "encoder identical across domains" `Quick test_multicore_identical;
           Alcotest.test_case "parallel_for covers the range" `Quick test_parallel_for_covers_range;
+          Alcotest.test_case "counters aggregate across domains" `Quick
+            test_multicore_counters_aggregate;
+          Alcotest.test_case "encoder counters match serial" `Quick
+            test_multicore_encoder_counters;
         ] );
     ]

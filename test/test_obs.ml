@@ -1,0 +1,185 @@
+(* Observability layer: span nesting and ordering, Chrome trace-event
+   round-trip through the bundled JSON parser, histogram percentile math,
+   counter sharding across domains, the zero-allocation disabled path, and
+   the interpreter-counter -> metrics-registry flush. *)
+
+open Obs
+
+let reset_all () =
+  Span.set_enabled false;
+  Metrics.reset ();
+  Trace_sink.clear ()
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting () =
+  reset_all ();
+  Span.set_enabled true;
+  Span.with_span "outer" (fun () ->
+      Span.with_span "first" (fun () -> ignore (Sys.opaque_identity (Array.make 10 0)));
+      Span.with_span ~attrs:[ ("k", Trace_sink.Int 7) ] "second" (fun () -> ()));
+  Span.set_enabled false;
+  let evs = Trace_sink.events () in
+  Alcotest.(check (list string))
+    "start-time order" [ "outer"; "first"; "second" ]
+    (List.map (fun e -> e.Trace_sink.name) evs);
+  let find n = List.find (fun e -> e.Trace_sink.name = n) evs in
+  let outer = find "outer" and first = find "first" and second = find "second" in
+  Alcotest.(check int) "outer depth" 0 outer.Trace_sink.depth;
+  Alcotest.(check int) "first depth" 1 first.Trace_sink.depth;
+  Alcotest.(check int) "second depth" 1 second.Trace_sink.depth;
+  Alcotest.(check bool) "children start within the parent" true
+    (first.Trace_sink.ts_us >= outer.Trace_sink.ts_us
+    && second.Trace_sink.ts_us >= first.Trace_sink.ts_us);
+  (* enclosure, with a microsecond of clock-rounding tolerance *)
+  Alcotest.(check bool) "children end within the parent" true
+    (second.Trace_sink.ts_us +. second.Trace_sink.dur_us
+    <= outer.Trace_sink.ts_us +. outer.Trace_sink.dur_us +. 1.0);
+  Alcotest.(check bool) "attrs survive" true
+    (List.mem_assoc "k" second.Trace_sink.attrs)
+
+let test_span_exception_closes () =
+  reset_all ();
+  Span.set_enabled true;
+  (try Span.with_span "boom" (fun () -> failwith "no") with Failure _ -> ());
+  Span.set_enabled false;
+  match Trace_sink.events () with
+  | [ e ] ->
+      Alcotest.(check string) "span recorded" "boom" e.Trace_sink.name;
+      Alcotest.(check bool) "error attr" true (List.mem_assoc "error" e.Trace_sink.attrs)
+  | evs -> Alcotest.failf "expected 1 span, got %d" (List.length evs)
+
+(* ---------------- Chrome trace-event round-trip ---------------- *)
+
+let test_chrome_roundtrip () =
+  reset_all ();
+  Span.set_enabled true;
+  Span.with_span "root" (fun () ->
+      Span.with_span
+        ~attrs:[ ("s", Trace_sink.Str "x\"y\\z"); ("f", Trace_sink.Float 1.5) ]
+        "leaf"
+        (fun () -> ()));
+  Span.set_enabled false;
+  let doc = Trace_sink.to_chrome_string () in
+  match Json.parse doc with
+  | Error e -> Alcotest.failf "emitted trace does not parse: %s" e
+  | Ok j -> (
+      let evs =
+        match Option.bind (Json.member "traceEvents" j) Json.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check int) "one complete event per span" 2 (List.length evs);
+      List.iter
+        (fun ev ->
+          Alcotest.(check bool) "ph = X" true (Json.member "ph" ev = Some (Json.String "X")))
+        evs;
+      let leaf =
+        List.find (fun ev -> Json.member "name" ev = Some (Json.String "leaf")) evs
+      in
+      match Option.bind (Json.member "args" leaf) (Json.member "s") with
+      | Some (Json.String s) ->
+          Alcotest.(check string) "escaped attr round-trips" "x\"y\\z" s
+      | _ -> Alcotest.fail "leaf args.s missing")
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_percentiles () =
+  reset_all ();
+  let h = Metrics.histogram "test.latency" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.count h);
+  let feq = Alcotest.(check (float 1e-9)) in
+  feq "p0 = min" 1.0 (Metrics.percentile h 0.0);
+  feq "p100 = max" 100.0 (Metrics.percentile h 100.0);
+  (* linear interpolation between closest ranks *)
+  feq "p50" 50.5 (Metrics.percentile h 50.0);
+  feq "p90" 90.1 (Metrics.percentile h 90.0);
+  let s = Metrics.summarize h in
+  feq "mean" 50.5 s.Metrics.mean;
+  feq "sum" 5050.0 s.Metrics.sum
+
+(* ---------------- counters across domains ---------------- *)
+
+let test_counter_sharded () =
+  reset_all ();
+  let c = Metrics.counter "test.hits" in
+  let workers =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Metrics.incr c
+            done))
+  in
+  Array.iter Domain.join workers;
+  Metrics.add c 5;
+  Alcotest.(check int) "shards sum" 4005 (Metrics.value c);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes, handle stays valid" 0 (Metrics.value c)
+
+(* ---------------- zero-cost disabled path ---------------- *)
+
+let test_noop_no_alloc () =
+  reset_all ();
+  let f = Sys.opaque_identity (fun () -> 0) in
+  for _ = 1 to 100 do
+    ignore (Span.with_span "warmup" f)
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Span.with_span "hot" f)
+  done;
+  let after = Gc.minor_words () in
+  (* small slack for the Gc.minor_words boxes themselves *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled with_span allocates nothing (%.0f words)" (after -. before))
+    true
+    (after -. before < 100.0);
+  Alcotest.(check int) "events" 0 (List.length (Trace_sink.events ()))
+
+(* ---------------- interpreter counters -> registry ---------------- *)
+
+let test_interp_flush_matches () =
+  reset_all ();
+  let batch_dim = Cora.Dim.make "batch" and len_dim = Cora.Dim.make "len" in
+  let lens_fn = Cora.Lenfun.make "lens" in
+  let extents = [ Cora.Shape.fixed 4; Cora.Shape.ragged ~dep:batch_dim ~fn:lens_fn ] in
+  let a = Cora.Tensor.create ~name:"A" ~dims:[ batch_dim; len_dim ] ~extents in
+  let o = Cora.Tensor.create ~name:"O" ~dims:[ batch_dim; len_dim ] ~extents in
+  let op =
+    Cora.Op.compute ~name:"double" ~out:o ~loop_extents:extents ~reads:[ a ] (fun idx ->
+        Ir.Expr.mul (Ir.Expr.float 2.0) (Cora.Op.access a idx))
+  in
+  let kernel = Cora.Lower.lower (Cora.Schedule.create op) in
+  let lenv = [ Cora.Lenfun.of_array "lens" [| 3; 1; 4; 2 |] ] in
+  let ra = Cora.Ragged.alloc a lenv and ro = Cora.Ragged.alloc o lenv in
+  Cora.Ragged.fill ra (fun _ -> 1.0);
+  let env, _ = Cora.Exec.run_ragged ~lenv ~tensors:[ ra; ro ] [ kernel ] in
+  let reg name = Metrics.value (Metrics.counter name) in
+  Alcotest.(check int) "loads" env.Runtime.Interp.loads (reg "interp.loads");
+  Alcotest.(check int) "stores" env.Runtime.Interp.stores (reg "interp.stores");
+  Alcotest.(check int) "flops" env.Runtime.Interp.flops (reg "interp.flops");
+  Alcotest.(check int) "indirect" env.Runtime.Interp.indirect (reg "interp.indirect");
+  Alcotest.(check int) "guards" env.Runtime.Interp.guards (reg "interp.guards");
+  Alcotest.(check bool) "something executed" true (env.Runtime.Interp.stores > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "closed on exception" `Quick test_span_exception_closes;
+          Alcotest.test_case "chrome JSON round-trip" `Quick test_chrome_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "counters shard across domains" `Quick test_counter_sharded;
+          Alcotest.test_case "interp flush matches env" `Quick test_interp_flush_matches;
+        ] );
+      ( "overhead",
+        [ Alcotest.test_case "disabled path allocation-free" `Quick test_noop_no_alloc ] );
+    ]
