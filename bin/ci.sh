@@ -25,4 +25,24 @@ test -s "$tmpdir/metrics.json" || { echo "ci: metrics.json is empty" >&2; exit 1
 grep -q "interp.flops" "$tmpdir/summary.txt" \
   || { echo "ci: metrics summary missing interp counters" >&2; exit 1; }
 
+echo "== cora bench-stream --smoke" >&2
+# Replays a deterministic request stream through the serving caches; --smoke
+# makes the binary self-validate (nonzero hit rates, zero prelude host work
+# on hits, monotone non-increasing per-window overhead p50 after warmup) and
+# exit nonzero on violation.  The JSON line is then parsed here as a second,
+# independent sanity check.
+dune exec bin/cora_cli.exe -- bench-stream --exec --smoke > "$tmpdir/stream.txt"
+
+json=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream.txt")
+test -n "$json" || { echo "ci: no BENCH_STREAM line" >&2; exit 1; }
+echo "$json" | grep -q '"seed":' || { echo "ci: stream seed not documented" >&2; exit 1; }
+for field in compile_hit_rate prelude_hit_rate; do
+  rate=$(echo "$json" | sed "s/.*\"$field\":\([0-9.eE+-]*\).*/\1/")
+  awk -v r="$rate" 'BEGIN { exit (r > 0 && r <= 1) ? 0 : 1 }' \
+    || { echo "ci: $field=$rate not in (0, 1]" >&2; exit 1; }
+done
+hostns=$(echo "$json" | sed 's/.*"prelude_host_ns_on_hits":\([0-9.eE+-]*\).*/\1/')
+awk -v h="$hostns" 'BEGIN { exit (h == 0) ? 0 : 1 }' \
+  || { echo "ci: prelude host work on hits is $hostns, expected 0" >&2; exit 1; }
+
 echo "ci: OK" >&2

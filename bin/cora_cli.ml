@@ -372,6 +372,186 @@ let trace_cmd =
       const run $ workload_arg $ out_arg $ metrics_arg $ device_arg $ multicore_flag
       $ domains_arg $ tree_flag)
 
+(* ------------------------------------------------------------------ *)
+(* bench-stream: replay a request stream through the serving layer.    *)
+
+let bench_stream_workloads = [ "fig1"; "vgemm"; "trmm"; "encoder" ]
+
+(* Bench-scale adapters: paper-scale vgemm/encoder instances are far too
+   large for the reference interpreter, so execution defaults to off and
+   the interp-friendly workloads use shrunken dimensions (raggedness
+   structure unchanged). *)
+let bench_workload ~dataset = function
+  | "fig1" -> Serving.Workload.fig1 ~batch:6 ~max_len:10 ()
+  | "vgemm" -> Serving.Workload.vgemm ~batch:4 ~tile:8 ~dims_choices:[| 8; 16; 24 |] ()
+  | "trmm" -> Serving.Workload.trmm ~tile:8 ~sizes:[| 16; 24; 32 |] ()
+  | "encoder" ->
+      Serving.Workload.encoder ~batch:4 ~dataset:(Workloads.Datasets.by_name dataset) ()
+  | other ->
+      Fmt.failwith "unknown workload %s (available: %s)" other
+        (String.concat " " bench_stream_workloads)
+
+let bench_stream_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "fig1"
+      & info [ "workload" ]
+          ~doc:(Printf.sprintf "Workload (%s)." (String.concat ", " bench_stream_workloads)))
+  in
+  let dataset_arg =
+    Arg.(
+      value & opt string "squad"
+      & info [ "dataset" ] ~doc:"Dataset for the encoder workload (Table 3).")
+  in
+  let requests_arg =
+    Arg.(value & opt int 40 & info [ "requests" ] ~doc:"Number of requests in the stream.")
+  in
+  let pool_arg =
+    Arg.(value & opt int 4 & info [ "pool" ] ~doc:"Distinct batch shapes in the stream.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Stream RNG seed.") in
+  let windows_arg =
+    Arg.(value & opt int 4 & info [ "windows" ] ~doc:"Latency windows for per-window p50.")
+  in
+  let no_cc_flag =
+    Arg.(value & flag & info [ "no-compile-cache" ] ~doc:"Bypass the compile cache.")
+  in
+  let no_pc_flag =
+    Arg.(value & flag & info [ "no-prelude-cache" ] ~doc:"Bypass the prelude cache.")
+  in
+  let exec_flag =
+    Arg.(
+      value & flag
+      & info [ "exec" ] ~doc:"Also execute each request through the reference interpreter.")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Self-validate: nonzero hit rates, zero prelude host time on hits, monotone \
+             non-increasing per-window p50 after warmup.  Exits nonzero on violation.")
+  in
+  let run workload dataset requests pool seed windows no_cc no_pc exec smoke =
+    if requests <= 0 || pool <= 0 || windows <= 0 then
+      Fmt.failwith "requests, pool and windows must be positive";
+    let w = bench_workload ~dataset workload in
+    Obs.Metrics.reset ();
+    Serving.Server.reset_caches ();
+    let srv =
+      Serving.Server.create ~compile_cache:(not no_cc) ~prelude_cache:(not no_pc)
+        ~execute:exec ()
+    in
+    let stream = Serving.Stream.generate ~workload:w ~pool ~n:requests ~seed () in
+    let responses = Serving.Stream.replay srv w stream in
+    let lat = Array.of_list (List.map (fun r -> r.Serving.Server.model_ns) responses) in
+    let p q = Obs.Metrics.percentile_of (Array.copy lat) q in
+    let total_ns = Array.fold_left ( +. ) 0.0 lat in
+    let throughput_rps = float_of_int requests /. (total_ns /. 1e9) in
+    let sum f = List.fold_left (fun acc r -> acc + f r) 0 responses in
+    let c_hits = sum (fun r -> r.Serving.Server.compile_hits)
+    and c_misses = sum (fun r -> r.Serving.Server.compile_misses) in
+    let compile_hit_rate =
+      if c_hits + c_misses = 0 then 0.0
+      else float_of_int c_hits /. float_of_int (c_hits + c_misses)
+    in
+    let p_hits = sum (fun r -> if r.Serving.Server.prelude_hit then 1 else 0) in
+    let prelude_hit_rate = float_of_int p_hits /. float_of_int requests in
+    (* Per-window p50s, over total latency and over the cache-sensitive
+       overhead (prelude host build + copy).  Total latency varies with
+       which shapes land in a window; the overhead is what caching
+       removes — cold shapes concentrate in the first window, so under
+       caching the later windows' overhead p50 must not rise. *)
+    let overhead =
+      Array.of_list
+        (List.map
+           (fun r -> r.Serving.Server.prelude_host_ns +. r.Serving.Server.prelude_copy_ns)
+           responses)
+    in
+    let windows = min windows requests in
+    let wsize = requests / windows in
+    let window_p50_of arr =
+      List.init windows (fun i ->
+          let lo = i * wsize in
+          let hi = if i = windows - 1 then requests else lo + wsize in
+          Obs.Metrics.percentile_of (Array.sub arr lo (hi - lo)) 50.0)
+    in
+    let window_p50 = window_p50_of lat in
+    let window_overhead_p50 = window_p50_of overhead in
+    let host_ns_on_hits =
+      List.fold_left
+        (fun acc r ->
+          if r.Serving.Server.prelude_hit then acc +. r.Serving.Server.prelude_host_ns
+          else acc)
+        0.0 responses
+    in
+    let json =
+      Obs.Json.Obj
+        [
+          ("workload", Obs.Json.String workload);
+          ( "dataset",
+            if workload = "encoder" then Obs.Json.String dataset else Obs.Json.Null );
+          ("seed", Obs.Json.Int seed);
+          ("requests", Obs.Json.Int requests);
+          ("pool", Obs.Json.Int pool);
+          ("compile_cache", Obs.Json.Bool (not no_cc));
+          ("prelude_cache", Obs.Json.Bool (not no_pc));
+          ("execute", Obs.Json.Bool exec);
+          ("compile_hit_rate", Obs.Json.Float compile_hit_rate);
+          ("prelude_hit_rate", Obs.Json.Float prelude_hit_rate);
+          ("throughput_rps", Obs.Json.Float throughput_rps);
+          ("p50_ns", Obs.Json.Float (p 50.0));
+          ("p95_ns", Obs.Json.Float (p 95.0));
+          ("p99_ns", Obs.Json.Float (p 99.0));
+          ("window_p50_ns", Obs.Json.List (List.map (fun v -> Obs.Json.Float v) window_p50));
+          ( "window_overhead_p50_ns",
+            Obs.Json.List (List.map (fun v -> Obs.Json.Float v) window_overhead_p50) );
+          ("prelude_host_ns_on_hits", Obs.Json.Float host_ns_on_hits);
+          ("compile_cache_entries", Obs.Json.Int (Cora.Lower.memo_size ()));
+          ("prelude_cache_entries", Obs.Json.Int (Cora.Prelude_cache.size ()));
+        ]
+    in
+    Printf.printf "BENCH_STREAM %s\n" (Obs.Json.to_string json);
+    Printf.eprintf
+      "%s: %d requests (%d shapes, seed %d): p50 %.1f us, p95 %.1f us, p99 %.1f us; compile \
+       hit rate %.2f, prelude hit rate %.2f\n"
+      workload requests pool seed (p 50.0 /. 1e3) (p 95.0 /. 1e3) (p 99.0 /. 1e3)
+      compile_hit_rate prelude_hit_rate;
+    if smoke then begin
+      if not no_cc then begin
+        if compile_hit_rate <= 0.0 then Fmt.failwith "smoke: compile cache never hit";
+        if Cora.Lower.memo_size () = 0 then Fmt.failwith "smoke: compile cache is empty"
+      end;
+      if not no_pc then begin
+        if prelude_hit_rate <= 0.0 then Fmt.failwith "smoke: prelude cache never hit";
+        if host_ns_on_hits <> 0.0 then
+          Fmt.failwith "smoke: prelude host work on hits is %g ns, expected 0" host_ns_on_hits
+      end;
+      (* the cache-sensitive overhead must not rise again once warm *)
+      let rec check_monotone i = function
+        | prev :: (cur :: _ as rest) ->
+            if cur > prev +. 1e-6 then
+              Fmt.failwith "smoke: window %d overhead p50 rose (%.1f -> %.1f ns)" (i + 1)
+                prev cur;
+            check_monotone (i + 1) rest
+        | _ -> ()
+      in
+      if not no_pc then check_monotone 0 window_overhead_p50;
+      Printf.eprintf "smoke: OK\n"
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-stream"
+       ~doc:
+         "Replay a deterministic request stream through the serving layer (compile + \
+          prelude caches) and print a BENCH_STREAM JSON summary line.")
+    Term.(
+      const run $ workload_arg $ dataset_arg $ requests_arg $ pool_arg $ seed_arg
+      $ windows_arg $ no_cc_flag $ no_pc_flag $ exec_flag $ smoke_flag)
+
 let () =
   let info = Cmd.info "cora" ~doc:"CoRa ragged tensor compiler — reproduction CLI." in
-  exit (Cmd.eval (Cmd.group info [ dump_cmd; encode_cmd; emit_cmd; stats_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ dump_cmd; encode_cmd; emit_cmd; stats_cmd; trace_cmd; bench_stream_cmd ]))

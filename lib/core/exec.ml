@@ -15,10 +15,13 @@ type binding = Tensor.t * Runtime.Buffer.t
 
 (** [run ~lenv ~bindings kernels] — build the (deduplicated) prelude for all
     kernels and interpret them in order.  [~multicore:true] executes
-    [Parallel]-bound loops across [domains] OCaml domains.  Returns the
-    interpreter environment (for statistics) and the built prelude. *)
-let run ?(multicore = false) ?(domains = 4) ~(lenv : Lenfun.env) ~(bindings : binding list)
-    (kernels : Lower.kernel list) : Runtime.Interp.env * Prelude.built =
+    [Parallel]-bound loops across [domains] OCaml domains.  [?prelude]
+    supplies already-built aux structures (e.g. from {!Prelude_cache}),
+    skipping the build entirely.  Returns the interpreter environment (for
+    statistics) and the prelude used. *)
+let run ?(multicore = false) ?(domains = 4) ?prelude ~(lenv : Lenfun.env)
+    ~(bindings : binding list) (kernels : Lower.kernel list) :
+    Runtime.Interp.env * Prelude.built =
   Obs.Span.with_span
     ~attrs:[ ("kernels", Obs.Trace_sink.Int (List.length kernels)) ]
     "exec.run"
@@ -26,8 +29,13 @@ let run ?(multicore = false) ?(domains = 4) ~(lenv : Lenfun.env) ~(bindings : bi
   let env = Runtime.Interp.create () in
   List.iter (fun (t, b) -> Runtime.Interp.bind_buf env t.Tensor.buf b) bindings;
   Prelude.bind_lenfuns lenv env;
-  let defs = List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) kernels in
-  let built = Prelude.build ~dedup_defs:true defs lenv in
+  let built =
+    match prelude with
+    | Some built -> built
+    | None ->
+        let defs = List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) kernels in
+        Prelude.build ~dedup_defs:true defs lenv
+  in
   Prelude.bind_all built env;
   List.iter
     (fun (k : Lower.kernel) ->
@@ -42,7 +50,8 @@ let run ?(multicore = false) ?(domains = 4) ~(lenv : Lenfun.env) ~(bindings : bi
   (env, built)
 
 (** Convenience wrapper for ragged tensor values. *)
-let run_ragged ?multicore ?domains ~(lenv : Lenfun.env) ~(tensors : Ragged.t list) kernels =
-  run ?multicore ?domains ~lenv
+let run_ragged ?multicore ?domains ?prelude ~(lenv : Lenfun.env) ~(tensors : Ragged.t list)
+    kernels =
+  run ?multicore ?domains ?prelude ~lenv
     ~bindings:(List.map (fun (r : Ragged.t) -> (r.Ragged.tensor, r.Ragged.buf)) tensors)
     kernels

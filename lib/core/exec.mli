@@ -10,16 +10,17 @@
 
 type binding = Tensor.t * Runtime.Buffer.t
 
-(** Returns the interpreter environment (for statistics) and the built
-    prelude (for overhead accounting).  [~multicore:true] executes
+(** Returns the interpreter environment (for statistics) and the prelude
+    used (for overhead accounting).  [~multicore:true] executes
     [Parallel]-bound loops across [domains] OCaml domains; the statistics
-    are aggregated either way. *)
+    are aggregated either way.  [?prelude] supplies already-built aux
+    structures (e.g. from {!Prelude_cache}), skipping the build. *)
 val run :
-  ?multicore:bool -> ?domains:int ->
+  ?multicore:bool -> ?domains:int -> ?prelude:Prelude.built ->
   lenv:Lenfun.env -> bindings:binding list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built
 
 val run_ragged :
-  ?multicore:bool -> ?domains:int ->
+  ?multicore:bool -> ?domains:int -> ?prelude:Prelude.built ->
   lenv:Lenfun.env -> tensors:Ragged.t list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built

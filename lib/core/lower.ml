@@ -24,6 +24,7 @@ type kernel = {
   remap : Schedule.remap_policy;  (** thread-block issue order policy *)
   bound : Schedule.boundedness;
   out : Tensor.t;
+  reads : Tensor.t list;  (** input tensors, for generic runners/serving *)
 }
 
 type links = {
@@ -65,7 +66,7 @@ let is_leaf links (a : Schedule.axis) = Hashtbl.mem links.leaf_ids a.aid
 
 (* ------------------------------------------------------------------ *)
 
-let lower ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?apply_epilogue
+let lower_impl ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?apply_epilogue
     ?(name_suffix = "") (s : Schedule.t) : kernel =
   (* When a reduction is operation-split, the epilogue (fused activation)
      must run only once, after the final partial kernel: main kernels pass
@@ -523,4 +524,40 @@ let lower ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) ?appl
     remap;
     bound = s.Schedule.bound;
     out = op.Op.out;
+    reads = op.Op.reads;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Compile cache: structural memoization of lowering.
+
+   When enabled, every [lower] call is keyed by {!Sig.lowering_key} — the
+   canonical form of the schedule plus the lowering options — so a
+   pipeline re-submitted by a later request (even one rebuilt from
+   scratch, with fresh variables and dimensions) is lowered exactly once
+   per distinct (operator, schedule) pair.  Keys compare on the full
+   canonical string, never on a hash, so a collision can never return
+   the wrong kernel.  Off by default: builds outside a serving loop pay
+   nothing, not even the key construction. *)
+
+let memo_table : (Sig.t, kernel) Hashtbl.t = Hashtbl.create 64
+let memo_flag = ref false
+
+let set_memo b = memo_flag := b
+let memo_enabled () = !memo_flag
+let clear_memo () = Hashtbl.reset memo_table
+let memo_size () = Hashtbl.length memo_table
+
+let lower ?ranges ?init ?apply_epilogue ?name_suffix (s : Schedule.t) : kernel =
+  if not !memo_flag then lower_impl ?ranges ?init ?apply_epilogue ?name_suffix s
+  else begin
+    let key = Sig.lowering_key ?ranges ?init ?apply_epilogue ?name_suffix s in
+    match Hashtbl.find_opt memo_table key with
+    | Some k ->
+        Obs.Metrics.incr (Obs.Metrics.counter "compile_cache.hit");
+        k
+    | None ->
+        Obs.Metrics.incr (Obs.Metrics.counter "compile_cache.miss");
+        let k = lower_impl ?ranges ?init ?apply_epilogue ?name_suffix s in
+        Hashtbl.replace memo_table key k;
+        k
+  end

@@ -19,6 +19,7 @@ type kernel = {
   remap : Schedule.remap_policy;
   bound : Schedule.boundedness;
   out : Tensor.t;
+  reads : Tensor.t list;  (** the op's input tensors, for generic runners *)
 }
 
 (** [lower sched] compiles the schedule.
@@ -36,3 +37,18 @@ val lower :
   ?name_suffix:string ->
   Schedule.t ->
   kernel
+
+(** {2 Compile cache}
+
+    When enabled ([set_memo true]), [lower] memoizes its output keyed by
+    {!Sig.lowering_key} — structural equality, so independently rebuilt
+    but identical (operator, schedule) pairs are lowered once.  Hits and
+    misses are counted in the {!Obs.Metrics} registry as
+    [compile_cache.hit] / [compile_cache.miss].  Off by default (no key
+    is even computed); the cache survives toggling and is dropped only by
+    [clear_memo]. *)
+
+val set_memo : bool -> unit
+val memo_enabled : unit -> bool
+val clear_memo : unit -> unit
+val memo_size : unit -> int

@@ -1,0 +1,35 @@
+(** Prelude cache (see prelude_cache.mli). *)
+
+let table : (Sig.t, Prelude.built) Hashtbl.t = Hashtbl.create 32
+
+let clear () = Hashtbl.reset table
+let size () = Hashtbl.length table
+
+let key ~(tables_sig : Sig.t) ~dedup_defs (defs : Prelude.def list) : Sig.t =
+  let names =
+    List.map
+      (fun (d : Prelude.def) ->
+        Printf.sprintf "%s:%s" d.Prelude.name
+          (match d.Prelude.kind with Prelude.Storage -> "s" | Prelude.Loop_fusion -> "f"))
+      defs
+    |> List.sort_uniq String.compare
+  in
+  Sig.combine
+    [
+      Sig.of_string (if dedup_defs then "dedup" else "redundant");
+      Sig.of_string (String.concat "," names);
+      tables_sig;
+    ]
+
+let build_cached ~(tables_sig : Sig.t) ?(dedup_defs = true) (defs : Prelude.def list)
+    (lenv : Lenfun.env) : Prelude.built * bool =
+  let k = key ~tables_sig ~dedup_defs defs in
+  match Hashtbl.find_opt table k with
+  | Some b ->
+      Obs.Metrics.incr (Obs.Metrics.counter "prelude_cache.hit");
+      (b, true)
+  | None ->
+      Obs.Metrics.incr (Obs.Metrics.counter "prelude_cache.miss");
+      let b = Prelude.build ~dedup_defs defs lenv in
+      Hashtbl.replace table k b;
+      (b, false)

@@ -1,0 +1,33 @@
+(** Prelude cache: reuse built auxiliary structures across requests whose
+    batch has the same raggedness signature.
+
+    The paper amortises prelude cost across the six layers of one encoder
+    (§7.4); a request stream amortises further — across requests — because
+    mini-batches with the same multiset of sequence lengths recur.  The
+    cache key is the canonical pair (def set, concrete length tables):
+    defs are identified by name (the repository-wide invariant behind
+    {!Prelude.dedup} is that a def's name determines its content given the
+    environment) and the environment by {!Sig.of_tables} over the concrete
+    length arrays.  Because the tables' {e values} are part of the key,
+    mutating any sequence length yields a different key — stale reuse is
+    impossible by construction; keys compare as full canonical strings,
+    never as hashes, so a collision can cost a miss but never a wrong
+    reuse. *)
+
+(** [build_cached ~tables_sig defs lenv] — like {!Prelude.build}, but
+    consults the cache first.  [tables_sig] must be {!Sig.of_tables} over
+    the concrete tables backing {e every} length function the defs read
+    (the serving layer constructs [lenv] from exactly those tables, so the
+    signature determines the build).  Returns the built structures and
+    whether they came from the cache; on a hit no def is computed — the
+    host work for the request is zero.  Counters: [prelude_cache.hit] /
+    [prelude_cache.miss]. *)
+val build_cached :
+  tables_sig:Sig.t -> ?dedup_defs:bool -> Prelude.def list -> Lenfun.env ->
+  Prelude.built * bool
+
+(** Explicit invalidation: drop every cached build (for when length
+    functions change identity rather than content). *)
+val clear : unit -> unit
+
+val size : unit -> int

@@ -21,7 +21,11 @@ type ctx = {
   built : Cora.Prelude.built;
 }
 
-val make_ctx : device:Device.t -> lenv:Cora.Lenfun.env -> kernels:Cora.Lower.kernel list -> ctx
+(** [?prelude] supplies already-built aux structures (e.g. from
+    {!Cora.Prelude_cache}) instead of building them here. *)
+val make_ctx :
+  ?prelude:Cora.Prelude.built ->
+  device:Device.t -> lenv:Cora.Lenfun.env -> Cora.Lower.kernel list -> ctx
 val cost_env : ctx -> Runtime.Cost_model.env
 
 (** Per-block (cost_ns, bytes).  Compute-bound kernels are priced by
@@ -44,6 +48,14 @@ type pipeline_time = {
 
 val total_ns : pipeline_time -> float
 
+(** (host-build ns, host→device copy ns) of built aux structures. *)
+val prelude_cost : device:Device.t -> Cora.Prelude.built -> float * float
+
 (** Time a sequence of launches, including prelude build and host→device
-    copy of the auxiliary structures (Fig. 4's runtime pipeline). *)
-val pipeline : device:Device.t -> lenv:Cora.Lenfun.env -> t list -> pipeline_time
+    copy of the auxiliary structures (Fig. 4's runtime pipeline).
+    With [?prelude] the supplied structures are reused: an earlier request
+    with the same raggedness signature already built and copied them, so
+    [prelude_host_ns] and [prelude_copy_ns] are both 0. *)
+val pipeline :
+  ?prelude:Cora.Prelude.built ->
+  device:Device.t -> lenv:Cora.Lenfun.env -> t list -> pipeline_time

@@ -111,20 +111,25 @@ let samples h =
 
 let count h = Array.length (samples h)
 
-(** Percentile by linear interpolation between closest ranks; [nan] on an
-    empty histogram.  [p] in [0, 100]. *)
-let percentile h p =
-  let xs = samples h in
+(** Percentile of an arbitrary sample array (same linear interpolation
+    between closest ranks as histogram percentiles; [nan] when empty) —
+    for callers computing percentiles over their own windows, e.g. the
+    serving bench's per-window p50s.  [xs] is sorted in place. *)
+let percentile_of (xs : float array) p =
   let n = Array.length xs in
   if n = 0 then Float.nan
   else begin
     Array.sort compare xs;
     let rank = p /. 100.0 *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.of_int (max 0 (min (n - 1) (int_of_float (floor rank))))) in
+    let lo = max 0 (min (n - 1) (int_of_float (floor rank))) in
     let hi = min (n - 1) (lo + 1) in
     let frac = rank -. float_of_int lo in
     xs.(lo) +. (frac *. (xs.(hi) -. xs.(lo)))
   end
+
+(** Percentile by linear interpolation between closest ranks; [nan] on an
+    empty histogram.  [p] in [0, 100]. *)
+let percentile h p = percentile_of (samples h) p
 
 type hsummary = {
   n : int;

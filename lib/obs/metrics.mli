@@ -38,6 +38,10 @@ val samples : histogram -> float array
     ranks; [nan] when empty. *)
 val percentile : histogram -> float -> float
 
+(** Same computation over a caller-supplied sample array (sorted in
+    place) — for percentiles over ad-hoc windows. *)
+val percentile_of : float array -> float -> float
+
 type hsummary = {
   n : int;
   sum : float;

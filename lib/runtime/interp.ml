@@ -314,3 +314,15 @@ let flush_metrics env =
   Obs.Metrics.add (Obs.Metrics.counter "interp.indirect") env.indirect;
   Obs.Metrics.add (Obs.Metrics.counter "interp.guards") env.guards;
   Obs.Metrics.add (Obs.Metrics.counter "interp.guard_hits") env.guard_hits
+
+(** Snapshot of the statistics counters as an association list, in a fixed
+    order — lets differential tests compare whole runs structurally. *)
+let stats env =
+  [
+    ("loads", env.loads);
+    ("stores", env.stores);
+    ("flops", env.flops);
+    ("indirect", env.indirect);
+    ("guards", env.guards);
+    ("guard_hits", env.guard_hits);
+  ]

@@ -48,3 +48,8 @@ val exec_multicore : ?domains:int -> env -> Ir.Stmt.t -> unit
     [interp.flops], [interp.indirect], [interp.guards] and
     [interp.guard_hits].  Call once per run. *)
 val flush_metrics : env -> unit
+
+(** Snapshot of the statistics counters as a fixed-order association list
+    ([loads], [stores], [flops], [indirect], [guards], [guard_hits]) — for
+    structural comparison of whole runs in differential tests. *)
+val stats : env -> (string * int) list

@@ -1,0 +1,156 @@
+open Cora
+
+type counters = (string * int) list
+
+type response = {
+  model_ns : float;
+  kernels_ns : float;
+  prelude_host_ns : float;
+  prelude_copy_ns : float;
+  compile_hits : int;
+  compile_misses : int;
+  prelude_hit : bool;
+  counters : counters option;
+  out : float array option;
+  checksum : float;
+}
+
+type t = {
+  device : Machine.Device.t;
+  compile_cache : bool;
+  prelude_cache : bool;
+  execute : bool;
+}
+
+let create ?(device = Machine.Device.v100) ?(compile_cache = true) ?(prelude_cache = true)
+    ?(execute = true) () : t =
+  { device; compile_cache; prelude_cache; execute }
+
+let compile_cache_enabled t = t.compile_cache
+let prelude_cache_enabled t = t.prelude_cache
+
+let reset_caches () =
+  Lower.clear_memo ();
+  Prelude_cache.clear ()
+
+let default_fill name idx =
+  let h =
+    List.fold_left
+      (fun acc i -> ((acc * 31) + i + 1) land 0xFFFFFF)
+      (Hashtbl.hash name land 0xFFFF)
+      idx
+  in
+  (float_of_int (h mod 1009) /. 504.5) -. 1.0
+
+(* Execute the job's kernels through the reference interpreter.
+
+   Cached kernels reference the tensor objects of whichever build first
+   produced them, while uncached kernels of the same job (e.g. the
+   hand-assembled softmax) reference this build's — so buffers are
+   allocated per tensor *name* and bound to every instance.  Instances
+   sharing a name are structurally identical (that is what made the
+   compile key match), hence lay out identically under [job.lenv]. *)
+let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
+    counters * float array =
+  ignore srv;
+  let raggeds : (string, Ragged.t) Hashtbl.t = Hashtbl.create 16 in
+  let bound : (Ir.Var.t, unit) Hashtbl.t = Hashtbl.create 32 in
+  let written : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (k : Lower.kernel) -> Hashtbl.replace written k.Lower.out.Tensor.name ())
+    job.Workload.kernels;
+  let bindings = ref [] in
+  let note (t : Tensor.t) =
+    if not (Hashtbl.mem bound t.Tensor.buf) then begin
+      Hashtbl.add bound t.Tensor.buf ();
+      let r =
+        match Hashtbl.find_opt raggeds t.Tensor.name with
+        | Some r -> r
+        | None ->
+            let r = Ragged.alloc t job.Workload.lenv in
+            Hashtbl.add raggeds t.Tensor.name r;
+            r
+      in
+      bindings := (t, r.Ragged.buf) :: !bindings
+    end
+  in
+  List.iter
+    (fun (k : Lower.kernel) ->
+      note k.Lower.out;
+      List.iter note k.Lower.reads)
+    job.Workload.kernels;
+  (* deterministic inputs: tensors read but never written *)
+  Hashtbl.iter
+    (fun name r -> if not (Hashtbl.mem written name) then Ragged.fill r (default_fill name))
+    raggeds;
+  let env, _ =
+    Exec.run ~prelude:built ~lenv:job.Workload.lenv ~bindings:!bindings job.Workload.kernels
+  in
+  let out =
+    match Hashtbl.find_opt raggeds job.Workload.out_name with
+    | Some r -> Ragged.unpack r
+    | None -> invalid_arg ("serving: no tensor named " ^ job.Workload.out_name)
+  in
+  (Runtime.Interp.stats env, out)
+
+let handle (srv : t) (w : Workload.t) (lens : int array) : response =
+  Obs.Span.with_span
+    ~attrs:[ ("workload", Obs.Trace_sink.Str w.Workload.name) ]
+    "serve.request"
+  @@ fun () ->
+  let ch = Obs.Metrics.counter "compile_cache.hit"
+  and cm = Obs.Metrics.counter "compile_cache.miss" in
+  let ch0 = Obs.Metrics.value ch and cm0 = Obs.Metrics.value cm in
+  let memo_was = Lower.memo_enabled () in
+  let job =
+    Fun.protect
+      ~finally:(fun () -> Lower.set_memo memo_was)
+      (fun () ->
+        Lower.set_memo srv.compile_cache;
+        Obs.Span.with_span "serve.compile" (fun () -> w.Workload.build lens))
+  in
+  let compile_hits = Obs.Metrics.value ch - ch0
+  and compile_misses = Obs.Metrics.value cm - cm0 in
+  let defs = List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) job.Workload.kernels in
+  let built, prelude_hit =
+    Obs.Span.with_span "serve.prelude" (fun () ->
+        if srv.prelude_cache then
+          let tables_sig = Sig.of_tables job.Workload.tables in
+          Prelude_cache.build_cached ~tables_sig defs job.Workload.lenv
+        else (Prelude.build ~dedup_defs:true defs job.Workload.lenv, false))
+  in
+  (* Model time: the launches are timed against the supplied prelude (no
+     rebuild inside the pipeline); its host/copy cost is charged only when
+     this request actually built it. *)
+  let pt =
+    Machine.Launch.pipeline ~prelude:built ~device:srv.device ~lenv:job.Workload.lenv
+      job.Workload.launches
+  in
+  let prelude_host_ns, prelude_copy_ns =
+    if prelude_hit then (0.0, 0.0) else Machine.Launch.prelude_cost ~device:srv.device built
+  in
+  let kernels_ns = pt.Machine.Launch.kernels_ns in
+  let model_ns = kernels_ns +. prelude_host_ns +. prelude_copy_ns in
+  let counters, out =
+    if srv.execute then
+      let c, o = Obs.Span.with_span "serve.execute" (fun () -> execute srv job built) in
+      (Some c, Some o)
+    else (None, None)
+  in
+  let checksum = match out with None -> 0.0 | Some a -> Array.fold_left ( +. ) 0.0 a in
+  Obs.Metrics.observe (Obs.Metrics.histogram "serve.latency_ns") model_ns;
+  Obs.Span.add_attr "model_ns" (Obs.Trace_sink.Float model_ns);
+  Obs.Span.add_attr "compile_hits" (Obs.Trace_sink.Int compile_hits);
+  Obs.Span.add_attr "prelude_hit" (Obs.Trace_sink.Str (if prelude_hit then "yes" else "no"));
+  {
+    model_ns;
+    kernels_ns;
+    prelude_host_ns;
+    prelude_copy_ns;
+    compile_hits;
+    compile_misses;
+    prelude_hit;
+    counters;
+    out;
+    checksum;
+  }

@@ -1,0 +1,49 @@
+(** The serving loop's core: handle one request = compile (through the
+    {!Cora.Lower} compile cache), build the prelude (through
+    {!Cora.Prelude_cache}, keyed by the batch's raggedness signature),
+    time the pipeline on the machine model, and optionally execute it
+    through the reference interpreter.
+
+    Both caches can be bypassed per server — a bypassed server recompiles
+    and rebuilds everything per request, which is what the differential
+    tests compare against.  Latencies are model time (deterministic), not
+    wall time; each request runs under a [serve.request] span and lands in
+    the [serve.latency_ns] histogram. *)
+
+(** Interpreter statistics of one request, for differential comparison. *)
+type counters = (string * int) list
+
+type response = {
+  model_ns : float;  (** kernels + (on prelude miss) host build + copy *)
+  kernels_ns : float;
+  prelude_host_ns : float;  (** 0 on a prelude-cache hit *)
+  prelude_copy_ns : float;  (** 0 on a prelude-cache hit *)
+  compile_hits : int;  (** compile-cache hits while building this job *)
+  compile_misses : int;
+  prelude_hit : bool;
+  counters : counters option;  (** [None] when execution is off *)
+  out : float array option;  (** dense (padded) output values *)
+  checksum : float;  (** sum of [out]; 0 when execution is off *)
+}
+
+type t
+
+(** [create ()] — a server with both caches on.  [~execute:false] skips
+    interpretation (machine-model timing only): streams too large to
+    interpret still exercise both caches. *)
+val create :
+  ?device:Machine.Device.t ->
+  ?compile_cache:bool -> ?prelude_cache:bool -> ?execute:bool -> unit -> t
+
+val compile_cache_enabled : t -> bool
+val prelude_cache_enabled : t -> bool
+
+(** Handle one request: workload + raggedness vector. *)
+val handle : t -> Workload.t -> int array -> response
+
+(** Drop both caches' contents (compile memo and prelude builds). *)
+val reset_caches : unit -> unit
+
+(** Deterministic input fill used for every tensor that is read but never
+    written: a hash of the tensor name and multi-index. *)
+val default_fill : string -> int list -> float

@@ -1,0 +1,16 @@
+type t = {
+  seed : int;
+  shapes : int array array;
+  items : int array array;
+}
+
+let generate ~(workload : Workload.t) ?(pool = 4) ~n ~seed () : t =
+  let rng = Workloads.Rng.create seed in
+  let shapes = Array.init pool (fun _ -> workload.Workload.sample rng) in
+  let items = Array.init n (fun _ -> Workloads.Rng.choose rng shapes) in
+  { seed; shapes; items }
+
+let repeat ~shape ~n ~seed : t = { seed; shapes = [| shape |]; items = Array.make n shape }
+
+let replay (srv : Server.t) (w : Workload.t) (s : t) : Server.response list =
+  Array.to_list (Array.map (fun lens -> Server.handle srv w lens) s.items)

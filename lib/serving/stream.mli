@@ -1,0 +1,23 @@
+(** Deterministic request streams: a pool of distinct batch shapes drawn
+    from the workload's sampler, replayed in random order.  All
+    randomness flows through {!Workloads.Rng} from one seed, so a stream
+    is exactly reproducible — the seed is part of the bench's JSON
+    output line. *)
+
+type t = {
+  seed : int;
+  shapes : int array array;  (** the pool of distinct raggedness vectors *)
+  items : int array array;  (** one entry per request, drawn from [shapes] *)
+}
+
+(** [generate ~workload ~n ~seed ()] — [n] requests over a pool of
+    [pool] (default 4) distinct shapes.  With [n >> pool], most requests
+    repeat an earlier shape, which is what gives the caches their hits. *)
+val generate : workload:Workload.t -> ?pool:int -> n:int -> seed:int -> unit -> t
+
+(** [repeat ~shape ~n ~seed] — the degenerate stream of one shape [n]
+    times (the ×10 repeated-batch scenario of the acceptance tests). *)
+val repeat : shape:int array -> n:int -> seed:int -> t
+
+(** Replay through a server, in order; returns one response per item. *)
+val replay : Server.t -> Workload.t -> t -> Server.response list

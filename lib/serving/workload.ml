@@ -1,0 +1,137 @@
+open Cora
+module E = Ir.Expr
+
+type job = {
+  kernels : Lower.kernel list;
+  launches : Machine.Launch.t list;
+  tables : (string * int array) list;
+  lenv : Lenfun.env;
+  out_name : string;
+}
+
+type t = {
+  name : string;
+  sample : Workloads.Rng.t -> int array;
+  build : int array -> job;
+}
+
+(* The invariant every adapter maintains: the runtime environment is built
+   from the tables and nothing else, so [Sig.of_tables tables] determines
+   the prelude build and can safely key the cache. *)
+let lenv_of_tables tables = List.map (fun (n, a) -> Lenfun.of_array n a) tables
+
+(* --- Fig. 1: O[b][j] = 2 * A[b][j], ragged j, padded + guarded --- *)
+
+let fig1 ?(batch = 6) ?(max_len = 10) () : t =
+  let build lens =
+    let batch = Array.length lens in
+    let bdim = Dim.make "b" and jdim = Dim.make "j" in
+    let lensf = Lenfun.make "lens" in
+    let extents = [ Shape.fixed batch; Shape.ragged ~dep:bdim ~fn:lensf ] in
+    let a = Tensor.create ~name:"A" ~dims:[ bdim; jdim ] ~extents in
+    let o = Tensor.create ~name:"O" ~dims:[ bdim; jdim ] ~extents in
+    let op =
+      Op.compute ~name:"double" ~out:o ~loop_extents:extents ~reads:[ a ] (fun idx ->
+          E.mul (E.float 2.0) (Op.access a idx))
+    in
+    let s = Schedule.create op in
+    Schedule.pad_loop s (Schedule.axis_of_dim s 1) 2;
+    Schedule.set_guard_mode s Schedule.Guard;
+    let k = Lower.lower s in
+    let tables = [ ("lens", lens) ] in
+    {
+      kernels = [ k ];
+      launches = [ Machine.Launch.single k ];
+      tables;
+      lenv = lenv_of_tables tables;
+      out_name = o.Tensor.name;
+    }
+  in
+  {
+    name = "fig1";
+    sample = (fun rng -> Array.init batch (fun _ -> 1 + Workloads.Rng.int rng max_len));
+    build;
+  }
+
+(* --- Variable-sized batched gemm (§7.1) --- *)
+
+let vgemm ?(batch = 4) ?(tile = 32)
+    ?(dims_choices = Workloads.Vgemm_workload.dims_choices) () : t =
+  let sample rng = Array.init (3 * batch) (fun _ -> Workloads.Rng.choose rng dims_choices) in
+  let build dims =
+    let batch = Array.length dims / 3 in
+    let w =
+      {
+        Workloads.Vgemm_workload.batch;
+        ms = Array.sub dims 0 batch;
+        ns = Array.sub dims batch batch;
+        ks = Array.sub dims (2 * batch) batch;
+      }
+    in
+    let v = Matmul.Vgemm.build ~tile ~target:Matmul.Vgemm.Gpu w in
+    let tables =
+      [
+        ("vm", w.Workloads.Vgemm_workload.ms);
+        ("vn", w.Workloads.Vgemm_workload.ns);
+        ("vk", w.Workloads.Vgemm_workload.ks);
+      ]
+    in
+    {
+      kernels = [ v.Matmul.Vgemm.kernel ];
+      launches = [ Machine.Launch.single v.Matmul.Vgemm.kernel ];
+      tables;
+      lenv = lenv_of_tables tables;
+      out_name = v.Matmul.Vgemm.c.Tensor.name;
+    }
+  in
+  { name = "vgemm"; sample; build }
+
+(* --- Triangular matmul, split + balanced (§7.1) --- *)
+
+let trmm ?(tile = 16) ?(sizes = [| 32; 48; 64 |]) () : t =
+  let sample rng = [| Workloads.Rng.choose rng sizes |] in
+  let build lens =
+    let n = lens.(0) in
+    let tm = Matmul.Trmm.build ~tile ~variant:Matmul.Trmm.Split_balanced ~n () in
+    (* The closed-form [tri] materialised as a table: same values the
+       kernels see, but now hashable as a raggedness signature. *)
+    let tables = [ ("tri", Array.init n (fun r -> min (r + 1) n)) ] in
+    {
+      kernels = tm.Matmul.Trmm.kernels;
+      (* main + tail are a reduction split: racy under h-fusion, so they
+         stay separate launches (§7.1 footnote) *)
+      launches = List.map Machine.Launch.single tm.Matmul.Trmm.kernels;
+      tables;
+      lenv = lenv_of_tables tables;
+      out_name = tm.Matmul.Trmm.c.Tensor.name;
+    }
+  in
+  { name = "trmm"; sample; build }
+
+(* --- Transformer encoder layer (§7.2) --- *)
+
+let encoder ?(base = false) ?(batch = 4) ~(dataset : Workloads.Datasets.t) () : t =
+  let sample rng =
+    let seed = Workloads.Rng.int rng 1_000_000 in
+    Workloads.Datasets.sample_sorted dataset ~batch ~seed
+  in
+  let build lens =
+    let cfg = (if base then Transformer.Config.base else Transformer.Config.tiny) ~lens in
+    let b = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+    let tables = [ ("seq", lens) ] in
+    {
+      kernels = Transformer.Builder.kernels b;
+      launches = Transformer.Builder.launches b;
+      tables;
+      lenv = lenv_of_tables tables;
+      out_name = b.Transformer.Builder.tensors.Transformer.Builder.out.Tensor.name;
+    }
+  in
+  { name = "encoder"; sample; build }
+
+let by_name ?(dataset = Workloads.Datasets.squad) = function
+  | "fig1" -> fig1 ()
+  | "vgemm" -> vgemm ()
+  | "trmm" -> trmm ()
+  | "encoder" -> encoder ~dataset ()
+  | s -> invalid_arg ("Serving.Workload.by_name: unknown workload " ^ s)

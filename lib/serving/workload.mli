@@ -1,0 +1,50 @@
+(** Serving workloads: adapters from a raggedness vector (the only part of
+    a request that varies) to a compiled, executable job.
+
+    Each adapter rebuilds its operator and schedule from scratch on every
+    request — exactly what a serving system presented with "the same"
+    model would do — so the compile cache ({!Cora.Lower.set_memo}) is what
+    makes repeated structures cheap, and the concrete tables are what key
+    the prelude cache.  [job.lenv] is constructed from [job.tables] alone,
+    so {!Cora.Sig.of_tables} over the tables fully determines the prelude
+    build. *)
+
+type job = {
+  kernels : Cora.Lower.kernel list;  (** execution order *)
+  launches : Machine.Launch.t list;  (** same kernels, grouped for timing *)
+  tables : (string * int array) list;
+      (** concrete length tables — the batch's raggedness signature *)
+  lenv : Cora.Lenfun.env;  (** built from [tables], nothing else *)
+  out_name : string;  (** name of the tensor holding the final result *)
+}
+
+type t = {
+  name : string;
+  sample : Workloads.Rng.t -> int array;
+      (** draw one request's raggedness vector *)
+  build : int array -> job;  (** compile the job for that vector *)
+}
+
+(** Fig. 1 of the paper: [O\[b\]\[j\] = 2 * A\[b\]\[j\]] with ragged [j],
+    loop-padded and guarded.  Raggedness vector = the row lengths. *)
+val fig1 : ?batch:int -> ?max_len:int -> unit -> t
+
+(** Variable-sized batched gemm (§7.1).  Raggedness vector = the
+    concatenation [ms @ ns @ ks]; dimensions are drawn from
+    [dims_choices] and must be multiples of [tile]. *)
+val vgemm : ?batch:int -> ?tile:int -> ?dims_choices:int array -> unit -> t
+
+(** Triangular matmul, split + balanced (§7.1).  Raggedness vector =
+    [\[| n |\]] drawn from [sizes]; the closed-form [tri] length function
+    is materialised as an explicit table so it can key the prelude
+    cache. *)
+val trmm : ?tile:int -> ?sizes:int array -> unit -> t
+
+(** Transformer encoder layer (§7.2), batch lengths sampled from
+    [dataset] (sorted descending, §D.2).  [~base:true] uses the paper's
+    base model; the default tiny model keeps interpretation affordable. *)
+val encoder : ?base:bool -> ?batch:int -> dataset:Workloads.Datasets.t -> unit -> t
+
+(** The four adapters above with bench-friendly defaults, keyed by name
+    ([fig1], [vgemm], [trmm], [encoder]); raises on unknown names. *)
+val by_name : ?dataset:Workloads.Datasets.t -> string -> t

@@ -257,6 +257,7 @@ let build ?(hoist = true) (cfg : Config.t) : t =
       remap = Schedule.No_remap;
       bound = Schedule.Memory_bound;
       out = dscores;
+      reads = [ probs; dprobs ];
     }
   in
 

@@ -181,6 +181,7 @@ let softmax ~(cfg : Config.t) ~(scores : Tensor.t) ~(probs : Tensor.t) ~(target 
     remap = Schedule.No_remap;
     bound = Schedule.Memory_bound;
     out = probs;
+    reads = [ scores ];
   }
 
 (** Layer normalisation over hidden vectors, operating directly on the
@@ -304,4 +305,5 @@ let layernorm ~(cfg : Config.t) ~(x : Tensor.t) ~(y : Tensor.t) ~(target : targe
     remap = Schedule.No_remap;
     bound = Schedule.Memory_bound;
     out = y;
+    reads = [ x ];
   }

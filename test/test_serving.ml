@@ -1,0 +1,172 @@
+(* Serving-layer tests: the caches must be invisible to results.
+
+   - differential: for each workload, a caching server and a cache-bypassed
+     server replay the same 3-repeat stream and must produce bit-identical
+     outputs and identical interpreter counters, while the caching server's
+     hit counters go 0 -> nonzero on repeats;
+   - hit rate: a x10 repeated-batch stream must hit both caches on every
+     request after the first (>= 80%), with zero prelude host work on hits;
+   - invalidation: mutating one sequence length must miss the prelude cache
+     (fresh build) and still produce results identical to an uncached run;
+   - determinism: regenerating a stream from the same seed replays to the
+     same checksums. *)
+
+let toy_dataset =
+  { Workloads.Datasets.name = "toy"; min_len = 2; mean_len = 5; max_len = 9 }
+
+let workloads () =
+  [
+    Serving.Workload.fig1 ~batch:4 ~max_len:6 ();
+    Serving.Workload.vgemm ~batch:2 ~tile:4 ~dims_choices:[| 4; 8; 12 |] ();
+    Serving.Workload.trmm ~tile:4 ~sizes:[| 8; 12; 16 |] ();
+    Serving.Workload.encoder ~batch:3 ~dataset:toy_dataset ();
+  ]
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) a b
+
+let get_out (r : Serving.Server.response) =
+  match r.Serving.Server.out with
+  | Some a -> a
+  | None -> Alcotest.fail "response carries no output"
+
+let get_counters (r : Serving.Server.response) =
+  match r.Serving.Server.counters with
+  | Some c -> c
+  | None -> Alcotest.fail "response carries no counters"
+
+(* Two distinct shapes, repeated three times each, interleaved. *)
+let three_repeat_stream (w : Serving.Workload.t) seed =
+  let rng = Workloads.Rng.create seed in
+  let s1 = w.Serving.Workload.sample rng in
+  let s2 = w.Serving.Workload.sample rng in
+  [ s1; s2; s1; s2; s1; s2 ]
+
+let test_differential (w : Serving.Workload.t) () =
+  Serving.Server.reset_caches ();
+  let cached = Serving.Server.create () in
+  let bypass = Serving.Server.create ~compile_cache:false ~prelude_cache:false () in
+  let items = three_repeat_stream w 7 in
+  let ra = List.map (Serving.Server.handle cached w) items in
+  let rb = List.map (Serving.Server.handle bypass w) items in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s request %d: outputs bit-identical" w.Serving.Workload.name i)
+        true
+        (bits_equal (get_out a) (get_out b));
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "%s request %d: interp counters identical" w.Serving.Workload.name i)
+        (get_counters b) (get_counters a))
+    (List.combine ra rb);
+  (* hit counters: cold on the first request, warm on the repeats *)
+  let first = List.hd ra and last = List.nth ra (List.length ra - 1) in
+  Alcotest.(check int) "first request: no compile hits" 0 first.Serving.Server.compile_hits;
+  Alcotest.(check bool) "first request: prelude miss" false first.Serving.Server.prelude_hit;
+  Alcotest.(check bool) "repeat: compile hits nonzero" true
+    (last.Serving.Server.compile_hits > 0);
+  Alcotest.(check int) "repeat: no compile misses" 0 last.Serving.Server.compile_misses;
+  Alcotest.(check bool) "repeat: prelude hit" true last.Serving.Server.prelude_hit;
+  (* the bypass server must never touch a cache *)
+  List.iter
+    (fun (r : Serving.Server.response) ->
+      Alcotest.(check int) "bypass: no compile hits" 0 r.Serving.Server.compile_hits;
+      Alcotest.(check bool) "bypass: no prelude hit" false r.Serving.Server.prelude_hit)
+    rb
+
+(* The acceptance scenario: the same raggedness signature x10 must hit both
+   caches on at least 80% of requests, with zero prelude host work on hits. *)
+let test_hit_rate_10x () =
+  Serving.Server.reset_caches ();
+  let w = Serving.Workload.fig1 ~batch:4 ~max_len:6 () in
+  let rng = Workloads.Rng.create 11 in
+  let shape = w.Serving.Workload.sample rng in
+  let stream = Serving.Stream.repeat ~shape ~n:10 ~seed:11 in
+  let srv = Serving.Server.create () in
+  let rs = Serving.Stream.replay srv w stream in
+  let hits = List.filter (fun r -> r.Serving.Server.prelude_hit) rs in
+  let c_hits = List.fold_left (fun a r -> a + r.Serving.Server.compile_hits) 0 rs in
+  let c_total =
+    List.fold_left
+      (fun a (r : Serving.Server.response) ->
+        a + r.Serving.Server.compile_hits + r.Serving.Server.compile_misses)
+      0 rs
+  in
+  Alcotest.(check bool) "prelude hit rate >= 80%" true
+    (float_of_int (List.length hits) /. 10.0 >= 0.8);
+  Alcotest.(check bool) "compile hit rate >= 80%" true
+    (float_of_int c_hits /. float_of_int c_total >= 0.8);
+  List.iter
+    (fun (r : Serving.Server.response) ->
+      Alcotest.(check (float 0.0)) "hit: prelude host work is 0" 0.0
+        r.Serving.Server.prelude_host_ns;
+      Alcotest.(check (float 0.0)) "hit: prelude copy is 0" 0.0
+        r.Serving.Server.prelude_copy_ns)
+    hits;
+  (* all 10 responses identical outputs *)
+  let out0 = get_out (List.hd rs) in
+  List.iter (fun r -> Alcotest.(check bool) "same output" true (bits_equal out0 (get_out r))) rs
+
+(* Regression: prelude-cache invalidation.  Mutating one sequence length
+   must change the raggedness signature (fresh build, a miss) and produce
+   exactly the results an uncached server computes for the mutated batch —
+   i.e. stale reuse is impossible. *)
+let test_invalidation () =
+  Serving.Server.reset_caches ();
+  let w = Serving.Workload.fig1 ~batch:4 ~max_len:6 () in
+  let srv = Serving.Server.create () in
+  let shape = [| 5; 3; 6; 2 |] in
+  let r1 = Serving.Server.handle srv w shape in
+  let r1' = Serving.Server.handle srv w shape in
+  Alcotest.(check bool) "warm: prelude hit" true r1'.Serving.Server.prelude_hit;
+  (* mutate one sequence length *)
+  let mutated = Array.copy shape in
+  mutated.(2) <- mutated.(2) + 1;
+  let r2 = Serving.Server.handle srv w mutated in
+  Alcotest.(check bool) "mutated batch: prelude miss (fresh build)" false
+    r2.Serving.Server.prelude_hit;
+  Alcotest.(check bool) "mutated batch: host work nonzero" true
+    (r2.Serving.Server.prelude_host_ns > 0.0);
+  let bypass = Serving.Server.create ~compile_cache:false ~prelude_cache:false () in
+  let rb = Serving.Server.handle bypass w mutated in
+  Alcotest.(check bool) "mutated batch: results identical to uncached" true
+    (bits_equal (get_out r2) (get_out rb));
+  (* the original shape is still cached and still correct *)
+  let r3 = Serving.Server.handle srv w shape in
+  Alcotest.(check bool) "original shape still hits" true r3.Serving.Server.prelude_hit;
+  Alcotest.(check bool) "original shape unchanged" true
+    (bits_equal (get_out r1) (get_out r3))
+
+(* Streams regenerate identically from their seed, and replay to the same
+   checksums. *)
+let test_determinism () =
+  Serving.Server.reset_caches ();
+  let w = Serving.Workload.trmm ~tile:4 ~sizes:[| 8; 12 |] () in
+  let s1 = Serving.Stream.generate ~workload:w ~pool:2 ~n:6 ~seed:5 () in
+  let s2 = Serving.Stream.generate ~workload:w ~pool:2 ~n:6 ~seed:5 () in
+  Alcotest.(check bool) "same items" true (s1.Serving.Stream.items = s2.Serving.Stream.items);
+  let srv = Serving.Server.create () in
+  let c1 = List.map (fun r -> r.Serving.Server.checksum) (Serving.Stream.replay srv w s1) in
+  Serving.Server.reset_caches ();
+  let c2 = List.map (fun r -> r.Serving.Server.checksum) (Serving.Stream.replay srv w s2) in
+  Alcotest.(check (list (float 0.0))) "same checksums" c1 c2
+
+let () =
+  let diff =
+    List.map
+      (fun (w : Serving.Workload.t) ->
+        Alcotest.test_case ("differential " ^ w.Serving.Workload.name) `Quick
+          (test_differential w))
+      (workloads ())
+  in
+  Alcotest.run "serving"
+    [
+      ("differential", diff);
+      ( "caches",
+        [
+          Alcotest.test_case "x10 repeated batch hits >= 80%" `Quick test_hit_rate_10x;
+          Alcotest.test_case "length mutation invalidates" `Quick test_invalidation;
+          Alcotest.test_case "stream determinism" `Quick test_determinism;
+        ] );
+    ]

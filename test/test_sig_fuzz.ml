@@ -1,0 +1,310 @@
+(* Structural-signature fuzzing (Cora.Sig, the compile-cache key).
+
+   Extends the decision-generator approach of test_schedule_fuzz.ml from
+   semantics to signatures:
+
+   - stability / alpha-invariance: rebuilding the same (operator, schedule)
+     from scratch — fresh Var/Dim ids every time — must produce equal
+     signatures, with equal hashes;
+   - mutation sensitivity: semantics-relevant edits (extent perturbation,
+     length-function or tensor rename, reorder swap, split ranges, guard
+     mode, padding) must change the key, while pure renames of dims must
+     not;
+   - collision bound: over >= 1000 random programs, distinct canonical keys
+     must have distinct 64-bit hashes (the cache compares full keys, so a
+     collision could only cost a miss — but the hash must still be usable
+     as a fingerprint). *)
+
+open Cora
+module E = Ir.Expr
+
+type decision = {
+  batch : int;
+  lenfun : string;
+  storage_pad : int;
+  loop_pad : int;
+  split1 : int option;
+  split2 : int option;
+  rsplit : int option;
+  elide : bool;
+  hoist : bool;
+  bind_gpu : bool;
+}
+
+let decision_gen =
+  let open QCheck.Gen in
+  let maybe_factor = oneofl [ None; Some 2; Some 3; Some 4; Some 5 ] in
+  let* batch = oneofl [ 3; 4; 5; 6 ] in
+  let* lenfun = oneofl [ "lens"; "rows" ] in
+  let* storage_pad = oneofl [ 1; 2; 4; 8 ] in
+  let* loop_pad = oneofl [ 1; 2; 4 ] in
+  let* split1 = maybe_factor in
+  let* split2 = oneofl [ None; Some 2 ] in
+  let* rsplit = maybe_factor in
+  let* elide = bool in
+  let* hoist = bool in
+  let* bind_gpu = bool in
+  let loop_pad = if elide && loop_pad > storage_pad then storage_pad else loop_pad in
+  return { batch; lenfun; storage_pad; loop_pad; split1; split2; rsplit; elide; hoist; bind_gpu }
+
+let print_decision d =
+  Printf.sprintf
+    "{batch=%d; lenfun=%s; storage_pad=%d; loop_pad=%d; split1=%s; split2=%s; rsplit=%s; elide=%b; hoist=%b; gpu=%b}"
+    d.batch d.lenfun d.storage_pad d.loop_pad
+    (match d.split1 with None -> "-" | Some f -> string_of_int f)
+    (match d.split2 with None -> "-" | Some f -> string_of_int f)
+    (match d.rsplit with None -> "-" | Some f -> string_of_int f)
+    d.elide d.hoist d.bind_gpu
+
+(* Same operator family as test_schedule_fuzz: weighted ragged row
+   reduction O[b][j] = sum_k A[b][k] * (j + 1).  Every Var/Dim is fresh on
+   every call, so two builds of the same decision are alpha-equivalent but
+   not physically equal. *)
+let make_schedule (d : decision) : Schedule.t =
+  let batch = Dim.make "b" and len = Dim.make "j" and red = Dim.make "k" in
+  let lensf = Lenfun.make d.lenfun in
+  let extents = [ Shape.fixed d.batch; Shape.ragged ~dep:batch ~fn:lensf ] in
+  let a = Tensor.create ~name:"FA" ~dims:[ batch; len ] ~extents in
+  let o = Tensor.create ~name:"FO" ~dims:[ batch; len ] ~extents in
+  let op =
+    Op.reduce ~name:"fuzz" ~out:o ~loop_extents:extents
+      ~rdims:[ (red, Shape.ragged ~dep:batch ~fn:lensf) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ a ]
+      (fun idx ridx ->
+        E.mul (Op.access a [ List.nth idx 0; List.nth ridx 0 ]) (E.add (List.nth idx 1) E.one))
+  in
+  Tensor.pad_dimension o (List.nth o.Tensor.dims 1) d.storage_pad;
+  let s = Schedule.create op in
+  if d.elide then Schedule.set_guard_mode s Schedule.Elide;
+  Schedule.set_hoist s d.hoist;
+  let jax = Schedule.axis_of_dim s 1 in
+  Schedule.pad_loop s jax d.loop_pad;
+  (match d.split1 with
+  | Some f ->
+      let jo, _ji = Schedule.split s jax f in
+      (match d.split2 with Some f2 -> ignore (Schedule.split s jo f2) | None -> ())
+  | None -> ());
+  (match d.rsplit with
+  | Some f -> ignore (Schedule.split s (Schedule.axis_of_rdim s 0) f)
+  | None -> ());
+  if d.bind_gpu then Schedule.bind_block s (Schedule.axis_of_dim s 0);
+  s
+
+let key d = Sig.lowering_key (make_schedule d)
+
+(* --- property: independent rebuilds agree (alpha-invariance) --- *)
+
+let prop_stable =
+  QCheck.Test.make ~count:300 ~name:"independent rebuilds produce equal signatures"
+    (QCheck.make ~print:print_decision decision_gen)
+    (fun d ->
+      let k1 = key d and k2 = key d in
+      Sig.equal k1 k2
+      && Int64.equal (Sig.hash64 k1) (Sig.hash64 k2)
+      && Sig.equal (Sig.of_schedule (make_schedule d)) (Sig.of_schedule (make_schedule d)))
+
+(* --- property: semantics-relevant mutations change the key --- *)
+
+type mutation = Extent | Lenfun_rename | Rsplit_toggle | Guard_toggle | Pad_bump
+
+let mutation_gen =
+  QCheck.Gen.oneofl [ Extent; Lenfun_rename; Rsplit_toggle; Guard_toggle; Pad_bump ]
+
+let mutate (m : mutation) (d : decision) : decision =
+  match m with
+  | Extent -> { d with batch = d.batch + 1 }
+  | Lenfun_rename -> { d with lenfun = d.lenfun ^ "x" }
+  | Rsplit_toggle ->
+      { d with rsplit = (match d.rsplit with None -> Some 2 | Some _ -> None) }
+  | Guard_toggle ->
+      (* keep the elide legality clamp from firing: elision is only toggled
+         on when storage padding covers the loop padding *)
+      if d.elide then { d with elide = false }
+      else { d with elide = true; loop_pad = min d.loop_pad d.storage_pad }
+  | Pad_bump -> { d with storage_pad = d.storage_pad * 2 }
+
+let mutation_name = function
+  | Extent -> "extent"
+  | Lenfun_rename -> "lenfun-rename"
+  | Rsplit_toggle -> "rsplit-toggle"
+  | Guard_toggle -> "guard-toggle"
+  | Pad_bump -> "pad-bump"
+
+let prop_mutation =
+  QCheck.Test.make ~count:300 ~name:"semantic mutations change the signature"
+    (QCheck.make
+       ~print:(fun (d, m) -> Printf.sprintf "%s under %s" (print_decision d) (mutation_name m))
+       QCheck.Gen.(pair decision_gen mutation_gen))
+    (fun (d, m) -> not (Sig.equal (key d) (key (mutate m d))))
+
+(* --- deterministic corners --- *)
+
+(* Renaming dims and the op's internal variables is alpha-renaming: the
+   signature must not change.  (Tensor and length-function names are
+   launch-time-resolved, hence semantic; dim names are not.) *)
+let test_dim_rename_invisible () =
+  let build dim_names =
+    let bn, jn, kn = dim_names in
+    let batch = Dim.make bn and len = Dim.make jn and red = Dim.make kn in
+    let lensf = Lenfun.make "lens" in
+    let extents = [ Shape.fixed 4; Shape.ragged ~dep:batch ~fn:lensf ] in
+    let a = Tensor.create ~name:"FA" ~dims:[ batch; len ] ~extents in
+    let o = Tensor.create ~name:"FO" ~dims:[ batch; len ] ~extents in
+    let op =
+      Op.reduce ~name:"fuzz" ~out:o ~loop_extents:extents
+        ~rdims:[ (red, Shape.ragged ~dep:batch ~fn:lensf) ]
+        ~combine:Ir.Stmt.Sum
+        ~init:(fun _ -> E.float 0.0)
+        ~reads:[ a ]
+        (fun idx ridx -> E.mul (Op.access a [ List.nth idx 0; List.nth ridx 0 ]) (List.nth idx 1))
+    in
+    Sig.lowering_key (Schedule.create op)
+  in
+  Alcotest.(check bool) "dim renames invisible" true
+    (Sig.equal (build ("b", "j", "k")) (build ("row", "col", "kk")))
+
+let test_tensor_rename_visible () =
+  let d =
+    { batch = 4; lenfun = "lens"; storage_pad = 2; loop_pad = 2; split1 = Some 2;
+      split2 = None; rsplit = None; elide = false; hoist = true; bind_gpu = false }
+  in
+  let k1 = key d in
+  (* same structure, different output tensor name *)
+  let batch = Dim.make "b" and len = Dim.make "j" and red = Dim.make "k" in
+  let lensf = Lenfun.make "lens" in
+  let extents = [ Shape.fixed 4; Shape.ragged ~dep:batch ~fn:lensf ] in
+  let a = Tensor.create ~name:"FA" ~dims:[ batch; len ] ~extents in
+  let o = Tensor.create ~name:"GO" ~dims:[ batch; len ] ~extents in
+  let op =
+    Op.reduce ~name:"fuzz" ~out:o ~loop_extents:extents
+      ~rdims:[ (red, Shape.ragged ~dep:batch ~fn:lensf) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ a ]
+      (fun idx ridx ->
+        E.mul (Op.access a [ List.nth idx 0; List.nth ridx 0 ]) (E.add (List.nth idx 1) E.one))
+  in
+  Tensor.pad_dimension o (List.nth o.Tensor.dims 1) 2;
+  let s = Schedule.create op in
+  Schedule.set_hoist s true;
+  let jax = Schedule.axis_of_dim s 1 in
+  Schedule.pad_loop s jax 2;
+  ignore (Schedule.split s jax 2);
+  Alcotest.(check bool) "tensor rename changes key" false
+    (Sig.equal k1 (Sig.lowering_key s))
+
+(* A reorder swap of two legally-exchangeable dense axes must change the
+   key (iteration order is semantics-relevant to the lowered kernel). *)
+let test_reorder_swap_visible () =
+  let build swapped =
+    let rd = Dim.make "r" and cd = Dim.make "c" in
+    let a = Tensor.create ~name:"RA" ~dims:[ rd; cd ]
+        ~extents:[ Shape.fixed 8; Shape.fixed 8 ] in
+    let o = Tensor.create ~name:"RO" ~dims:[ rd; cd ]
+        ~extents:[ Shape.fixed 8; Shape.fixed 8 ] in
+    let op =
+      Op.compute ~name:"copy" ~out:o
+        ~loop_extents:[ Shape.fixed 8; Shape.fixed 8 ]
+        ~reads:[ a ]
+        (fun idx -> Op.access a idx)
+    in
+    let s = Schedule.create op in
+    let ro, ri = Schedule.split s (Schedule.axis_of_dim s 0) 4 in
+    let co, ci = Schedule.split s (Schedule.axis_of_dim s 1) 4 in
+    Schedule.reorder s (if swapped then [ co; ro; ri; ci ] else [ ro; co; ri; ci ]);
+    Sig.lowering_key s
+  in
+  Alcotest.(check bool) "reorder stable across rebuilds" true
+    (Sig.equal (build false) (build false));
+  Alcotest.(check bool) "reorder swap changes key" false
+    (Sig.equal (build false) (build true))
+
+(* Operation splitting: the same schedule lowered with different range
+   modes / init / suffix must key differently — these select different
+   kernels (Fig. 5). *)
+let test_lowering_options_visible () =
+  let d =
+    { batch = 4; lenfun = "lens"; storage_pad = 1; loop_pad = 1; split1 = None;
+      split2 = None; rsplit = Some 2; elide = false; hoist = false; bind_gpu = false }
+  in
+  let with_opts ?ranges ?init ?name_suffix () =
+    let s = make_schedule d in
+    let ranges =
+      match ranges with
+      | None -> None
+      | Some mode -> Some [ ((Schedule.axis_of_rdim s 0).Schedule.aid, mode) ]
+    in
+    Sig.lowering_key ?ranges ?init ?name_suffix s
+  in
+  let base = with_opts () in
+  Alcotest.(check bool) "tiles_only differs" false
+    (Sig.equal base (with_opts ~ranges:Schedule.Tiles_only ()));
+  Alcotest.(check bool) "tiles vs tail differ" false
+    (Sig.equal
+       (with_opts ~ranges:Schedule.Tiles_only ())
+       (with_opts ~ranges:Schedule.Tail_only ()));
+  Alcotest.(check bool) "init:false differs" false
+    (Sig.equal base (with_opts ~init:false ()));
+  Alcotest.(check bool) "name_suffix differs" false
+    (Sig.equal base (with_opts ~name_suffix:"_tail" ()));
+  Alcotest.(check bool) "options stable" true
+    (Sig.equal (with_opts ~ranges:Schedule.Tiles_only ()) (with_opts ~ranges:Schedule.Tiles_only ()))
+
+(* Raggedness signatures over concrete tables (the prelude-cache key). *)
+let test_of_tables () =
+  let t1 = [ ("seq", [| 5; 3; 2 |]); ("tri", [| 1; 2; 3 |]) ] in
+  let same_reordered = [ ("tri", [| 1; 2; 3 |]); ("seq", [| 5; 3; 2 |]) ] in
+  let perturbed = [ ("seq", [| 5; 4; 2 |]); ("tri", [| 1; 2; 3 |]) ] in
+  let renamed = [ ("seq2", [| 5; 3; 2 |]); ("tri", [| 1; 2; 3 |]) ] in
+  Alcotest.(check bool) "equal tables equal sig" true
+    (Sig.equal (Sig.of_tables t1) (Sig.of_tables t1));
+  Alcotest.(check bool) "order-insensitive" true
+    (Sig.equal (Sig.of_tables t1) (Sig.of_tables same_reordered));
+  Alcotest.(check bool) "one entry perturbed differs" false
+    (Sig.equal (Sig.of_tables t1) (Sig.of_tables perturbed));
+  Alcotest.(check bool) "table rename differs" false
+    (Sig.equal (Sig.of_tables t1) (Sig.of_tables renamed))
+
+(* Collision bound: >= 1000 random programs; distinct canonical keys must
+   hash to distinct 64-bit values. *)
+let test_collision_bound () =
+  let rand = Random.State.make [| 0x5161 |] in
+  let keys = Hashtbl.create 1024 in
+  let hashes = Hashtbl.create 1024 in
+  let n = 1200 in
+  for _ = 1 to n do
+    let d = QCheck.Gen.generate1 ~rand decision_gen in
+    let k = key d in
+    Hashtbl.replace keys (Sig.canonical k) ();
+    Hashtbl.replace hashes (Sig.hash64 k) ()
+  done;
+  (* also mix in raggedness signatures *)
+  for i = 1 to 200 do
+    let k = Sig.of_tables [ ("seq", Array.init 8 (fun j -> ((i * 31) + j) mod 97)) ] in
+    Hashtbl.replace keys (Sig.canonical k) ();
+    Hashtbl.replace hashes (Sig.hash64 k) ()
+  done;
+  Alcotest.(check bool) "saw many distinct programs" true (Hashtbl.length keys > 50);
+  Alcotest.(check int) "no 64-bit hash collisions among distinct keys"
+    (Hashtbl.length keys) (Hashtbl.length hashes)
+
+let () =
+  Alcotest.run "sig-fuzz"
+    [
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_stable;
+          QCheck_alcotest.to_alcotest prop_mutation;
+        ] );
+      ( "corners",
+        [
+          Alcotest.test_case "dim renames invisible" `Quick test_dim_rename_invisible;
+          Alcotest.test_case "tensor rename visible" `Quick test_tensor_rename_visible;
+          Alcotest.test_case "reorder swap visible" `Quick test_reorder_swap_visible;
+          Alcotest.test_case "lowering options visible" `Quick test_lowering_options_visible;
+          Alcotest.test_case "raggedness tables" `Quick test_of_tables;
+          Alcotest.test_case "collision bound (1k+ programs)" `Quick test_collision_bound;
+        ] );
+    ]
