@@ -2,7 +2,7 @@
    evaluation (§7, §D).  Run with no arguments for everything, or with a
    list of experiment ids: fig2 fig8 fig9 table4 fig10 fig11 table9 fig24
    fig25 table5 fig18 fig13 fig20 fig21 table6 table7 fig19 memory fig22
-   fig23 autotune bechamel.
+   fig23 autotune engine bechamel.
 
    Output channels: human-readable tables go to stderr and to
    results/<experiment>.txt; stdout carries one machine-readable JSON line
@@ -730,6 +730,129 @@ let bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+(* interp vs compiled closure engine, real wall time (the one experiment
+   in this harness that measures the host clock rather than the machine
+   model: the two engines are numerically identical, so the only
+   observable difference IS host time).  Workloads are bench-scale
+   variants of the trace workloads; outputs are compared bitwise before
+   timing so a reported speedup is always a speedup on identical work. *)
+let engine_bench () =
+  header "engine — reference interpreter vs compiled closure engine (wall time)";
+  let time_one run =
+    (* warm (compiles the kernel and fills the Sig-keyed memo), then
+       repeat adaptively until the sample covers >= 0.2 s. *)
+    ignore (run ());
+    let rec measure reps =
+      let t0 = Obs.Trace_sink.now_us () in
+      for _ = 1 to reps do
+        ignore (run ())
+      done;
+      let ns = (Obs.Trace_sink.now_us () -. t0) *. 1e3 in
+      if ns < 2e8 && reps < 4096 then measure (reps * 4)
+      else ns /. float_of_int reps
+    in
+    measure 1
+  in
+  let bits = Array.map Int64.bits_of_float in
+  let bench name run =
+    let out_i = run ~engine:`Interp () and out_c = run ~engine:`Compiled () in
+    let matches = bits out_i = bits out_c in
+    let interp_ns = time_one (run ~engine:`Interp) in
+    let compiled_ns = time_one (run ~engine:`Compiled) in
+    let speedup = interp_ns /. compiled_ns in
+    line "%-10s interp %10.0f ns   compiled %10.0f ns   speedup %5.2fx   outputs %s"
+      name interp_ns compiled_ns speedup
+      (if matches then "bit-identical" else "DIFFER");
+    ( name,
+      Obs.Json.Obj
+        [
+          ("interp_ns", Obs.Json.Float interp_ns);
+          ("compiled_ns", Obs.Json.Float compiled_ns);
+          ("speedup", Obs.Json.Float speedup);
+          ("outputs_match", Obs.Json.Bool matches);
+        ] )
+  in
+  (* vgemm: same bench-scale instance as `cora trace -w vgemm`. *)
+  let vgemm =
+    let w =
+      {
+        Workloads.Vgemm_workload.batch = 4;
+        ms = [| 16; 8; 16; 8 |];
+        ns = [| 8; 16; 8; 16 |];
+        ks = [| 16; 16; 8; 8 |];
+      }
+    in
+    let t = Matmul.Vgemm.build ~tile:8 ~target:Matmul.Vgemm.Cpu w in
+    let lenv = t.Matmul.Vgemm.lenv in
+    let ra = Cora.Ragged.alloc t.Matmul.Vgemm.a lenv in
+    let rb = Cora.Ragged.alloc t.Matmul.Vgemm.b lenv in
+    Cora.Ragged.fill ra (fun idx ->
+        sin (float_of_int (List.nth idx 1 + List.nth idx 2)));
+    Cora.Ragged.fill rb (fun idx ->
+        cos (float_of_int (List.nth idx 1 - List.nth idx 2)));
+    fun ~engine () ->
+      let rc = Cora.Ragged.alloc t.Matmul.Vgemm.c lenv in
+      let _ =
+        Cora.Exec.run_ragged ~engine ~lenv ~tensors:[ ra; rb; rc ]
+          [ t.Matmul.Vgemm.kernel ]
+      in
+      Array.copy (Runtime.Buffer.floats rc.Cora.Ragged.buf)
+  in
+  (* encoder: the tiny config, full nine-kernel layer on the Cpu target. *)
+  let encoder =
+    let lens = [| 7; 5; 3; 2 |] in
+    let cfg = Transformer.Config.tiny ~lens in
+    let lenv = Transformer.Config.lenv cfg in
+    let built = Transformer.Builder.build ~target:Transformer.Builder.Cpu cfg in
+    let t = built.Transformer.Builder.tensors in
+    let w = Transformer.Reference.random_weights cfg ~seed:7 in
+    let fill_dense tensor arr =
+      let r = Cora.Ragged.alloc tensor lenv in
+      Array.blit arr 0 (Runtime.Buffer.floats r.Cora.Ragged.buf) 0 (Array.length arr);
+      r
+    in
+    let weights =
+      [
+        fill_dense t.Transformer.Builder.wqkv w.Transformer.Reference.wqkv;
+        fill_dense t.Transformer.Builder.bqkv w.Transformer.Reference.bqkv;
+        fill_dense t.Transformer.Builder.w2 w.Transformer.Reference.w2;
+        fill_dense t.Transformer.Builder.b2 w.Transformer.Reference.b2;
+        fill_dense t.Transformer.Builder.wf1 w.Transformer.Reference.wf1;
+        fill_dense t.Transformer.Builder.bf1 w.Transformer.Reference.bf1;
+        fill_dense t.Transformer.Builder.wf2 w.Transformer.Reference.wf2;
+        fill_dense t.Transformer.Builder.bf2 w.Transformer.Reference.bf2;
+      ]
+    in
+    let in_r = Cora.Ragged.alloc t.Transformer.Builder.in_t lenv in
+    Cora.Ragged.fill in_r (fun idx ->
+        sin
+          (float_of_int
+             ((List.nth idx 0 * 131) + (List.nth idx 1 * 17) + List.nth idx 2))
+        *. 0.5);
+    fun ~engine () ->
+      let data =
+        List.map
+          (fun tensor -> Cora.Ragged.alloc tensor lenv)
+          [
+            t.Transformer.Builder.qkv; t.Transformer.Builder.scores;
+            t.Transformer.Builder.probs; t.Transformer.Builder.attn;
+            t.Transformer.Builder.p2; t.Transformer.Builder.ln1;
+            t.Transformer.Builder.f1; t.Transformer.Builder.out;
+          ]
+      in
+      let out_r = List.nth data (List.length data - 1) in
+      let _ =
+        Cora.Exec.run_ragged ~engine ~lenv
+          ~tensors:(weights @ (in_r :: data))
+          (Transformer.Builder.kernels built)
+      in
+      Array.copy (Runtime.Buffer.floats out_r.Cora.Ragged.buf)
+  in
+  let rows = [ bench "vgemm" vgemm; bench "encoder" encoder ] in
+  print_endline ("BENCH_ENGINE " ^ Obs.Json.to_string (Obs.Json.Obj rows))
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [
     ("fig2", fig2);
@@ -755,6 +878,7 @@ let experiments =
     ("fig22", fig22);
     ("fig23", fig23);
     ("autotune", autotune);
+    ("engine", engine_bench);
     ("bechamel", bechamel);
   ]
 

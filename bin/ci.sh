@@ -45,4 +45,23 @@ hostns=$(echo "$json" | sed 's/.*"prelude_host_ns_on_hits":\([0-9.eE+-]*\).*/\1/
 awk -v h="$hostns" 'BEGIN { exit (h == 0) ? 0 : 1 }' \
   || { echo "ci: prelude host work on hits is $hostns, expected 0" >&2; exit 1; }
 
+echo "== cora bench-stream --exec --engine compiled --smoke" >&2
+# Same stream, executed through the compiled closure engine.  --smoke
+# additionally replays the first window through the interpreter and fails
+# on any bitwise output divergence, so this step proves engine parity on
+# the serving path, not just in the unit tests.
+dune exec bin/cora_cli.exe -- bench-stream --exec --engine compiled --smoke \
+  > "$tmpdir/stream_compiled.txt"
+
+cjson=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_compiled.txt")
+test -n "$cjson" || { echo "ci: no BENCH_STREAM line (compiled)" >&2; exit 1; }
+echo "$cjson" | grep -q '"engine":"compiled"' \
+  || { echo "ci: compiled run not labelled engine=compiled" >&2; exit 1; }
+entries=$(echo "$cjson" | sed 's/.*"engine_cache_entries":\([0-9]*\).*/\1/')
+awk -v n="$entries" 'BEGIN { exit (n > 0) ? 0 : 1 }' \
+  || { echo "ci: engine cache has $entries entries, expected > 0" >&2; exit 1; }
+ops=$(echo "$cjson" | sed 's/.*"scalar_ops_per_sec":\([0-9.eE+-]*\).*/\1/')
+awk -v o="$ops" 'BEGIN { exit (o > 0) ? 0 : 1 }' \
+  || { echo "ci: scalar_ops_per_sec=$ops, expected > 0" >&2; exit 1; }
+
 echo "ci: OK" >&2

@@ -422,7 +422,15 @@ let bench_stream_cmd =
   let exec_flag =
     Arg.(
       value & flag
-      & info [ "exec" ] ~doc:"Also execute each request through the reference interpreter.")
+      & info [ "exec" ] ~doc:"Also execute each request through the selected engine.")
+  in
+  let engine_arg =
+    Arg.(
+      value & opt string "interp"
+      & info [ "engine" ]
+          ~doc:
+            "Execution engine for --exec: 'interp' (tree-walking reference interpreter) or \
+             'compiled' (slot-resolved closure kernels, Sig-memoized).")
   in
   let smoke_flag =
     Arg.(
@@ -430,20 +438,30 @@ let bench_stream_cmd =
       & info [ "smoke" ]
           ~doc:
             "Self-validate: nonzero hit rates, zero prelude host time on hits, monotone \
-             non-increasing per-window p50 after warmup.  Exits nonzero on violation.")
+             non-increasing per-window p50 after warmup; with --exec --engine compiled, \
+             also that the first window's outputs are bit-identical to the interpreter's.  \
+             Exits nonzero on violation.")
   in
-  let run workload dataset requests pool seed windows no_cc no_pc exec smoke =
+  let run workload dataset requests pool seed windows no_cc no_pc exec engine smoke =
     if requests <= 0 || pool <= 0 || windows <= 0 then
       Fmt.failwith "requests, pool and windows must be positive";
+    let engine =
+      match engine with
+      | "interp" -> `Interp
+      | "compiled" -> `Compiled
+      | other -> Fmt.failwith "unknown engine %s (available: interp compiled)" other
+    in
     let w = bench_workload ~dataset workload in
     Obs.Metrics.reset ();
     Serving.Server.reset_caches ();
     let srv =
       Serving.Server.create ~compile_cache:(not no_cc) ~prelude_cache:(not no_pc)
-        ~execute:exec ()
+        ~execute:exec ~engine ()
     in
     let stream = Serving.Stream.generate ~workload:w ~pool ~n:requests ~seed () in
+    let t0_us = Obs.Trace_sink.now_us () in
     let responses = Serving.Stream.replay srv w stream in
+    let wall_ns = (Obs.Trace_sink.now_us () -. t0_us) *. 1e3 in
     let lat = Array.of_list (List.map (fun r -> r.Serving.Server.model_ns) responses) in
     let p q = Obs.Metrics.percentile_of (Array.copy lat) q in
     let total_ns = Array.fold_left ( +. ) 0.0 lat in
@@ -485,10 +503,29 @@ let bench_stream_cmd =
           else acc)
         0.0 responses
     in
+    (* Scalar work actually executed (loads + stores + flops across all
+       requests) and its wall-clock rate — the engine A/B number: model
+       latencies are engine-independent, this is not. *)
+    let scalar_ops =
+      List.fold_left
+        (fun acc r ->
+          match r.Serving.Server.counters with
+          | None -> acc
+          | Some cs ->
+              List.fold_left
+                (fun acc (name, v) ->
+                  match name with "loads" | "stores" | "flops" -> acc + v | _ -> acc)
+                acc cs)
+        0 responses
+    in
+    let scalar_ops_per_sec =
+      if wall_ns > 0.0 then float_of_int scalar_ops /. (wall_ns /. 1e9) else 0.0
+    in
     let json =
       Obs.Json.Obj
         [
           ("workload", Obs.Json.String workload);
+          ("engine", Obs.Json.String (match engine with `Interp -> "interp" | `Compiled -> "compiled"));
           ( "dataset",
             if workload = "encoder" then Obs.Json.String dataset else Obs.Json.Null );
           ("seed", Obs.Json.Int seed);
@@ -509,6 +546,10 @@ let bench_stream_cmd =
           ("prelude_host_ns_on_hits", Obs.Json.Float host_ns_on_hits);
           ("compile_cache_entries", Obs.Json.Int (Cora.Lower.memo_size ()));
           ("prelude_cache_entries", Obs.Json.Int (Cora.Prelude_cache.size ()));
+          ("engine_cache_entries", Obs.Json.Int (Cora.Exec.engine_memo_size ()));
+          ("wall_ns", Obs.Json.Float wall_ns);
+          ("scalar_ops", Obs.Json.Int scalar_ops);
+          ("scalar_ops_per_sec", Obs.Json.Float scalar_ops_per_sec);
         ]
     in
     Printf.printf "BENCH_STREAM %s\n" (Obs.Json.to_string json);
@@ -537,6 +578,25 @@ let bench_stream_cmd =
         | _ -> ()
       in
       if not no_pc then check_monotone 0 window_overhead_p50;
+      (* compiled engine: first-window outputs must be bit-identical to a
+         fresh interpreter replay of the same requests *)
+      (if exec && engine = `Compiled then
+         let srv_i =
+           Serving.Server.create ~compile_cache:(not no_cc) ~prelude_cache:(not no_pc)
+             ~execute:true ~engine:`Interp ()
+         in
+         let first = { stream with Serving.Stream.items = Array.sub stream.items 0 wsize } in
+         let interp_responses = Serving.Stream.replay srv_i w first in
+         List.iteri
+           (fun i (ri : Serving.Server.response) ->
+             let rc = List.nth responses i in
+             match (ri.Serving.Server.out, rc.Serving.Server.out) with
+             | Some a, Some b ->
+                 let bits = Array.map Int64.bits_of_float in
+                 if bits a <> bits b then
+                   Fmt.failwith "smoke: request %d: compiled and interp outputs differ" i
+             | _ -> Fmt.failwith "smoke: request %d missing outputs" i)
+           interp_responses);
       Printf.eprintf "smoke: OK\n"
     end
   in
@@ -547,7 +607,7 @@ let bench_stream_cmd =
           prelude caches) and print a BENCH_STREAM JSON summary line.")
     Term.(
       const run $ workload_arg $ dataset_arg $ requests_arg $ pool_arg $ seed_arg
-      $ windows_arg $ no_cc_flag $ no_pc_flag $ exec_flag $ smoke_flag)
+      $ windows_arg $ no_cc_flag $ no_pc_flag $ exec_flag $ engine_arg $ smoke_flag)
 
 let () =
   let info = Cmd.info "cora" ~doc:"CoRa ragged tensor compiler — reproduction CLI." in

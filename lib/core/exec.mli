@@ -1,26 +1,42 @@
-(** Kernel execution through the reference interpreter — the runtime half
-    of Fig. 4: build the (deduplicated) prelude on the host, bind aux
-    tables, length functions and tensor buffers, interpret the kernels in
-    order.  Used wherever real numerics are needed; performance questions
-    go to {!Machine.Launch}.
+(** Kernel execution — the runtime half of Fig. 4: build the (deduplicated)
+    prelude on the host, bind aux tables, length functions and tensor
+    buffers, then execute the kernels in order through the selected engine.
+    Used wherever real numerics are needed; performance questions go to
+    {!Machine.Launch}.
 
     Traced as one [exec.run] span (prelude build inside) plus one
-    [exec.kernel] span per kernel; the interpreter's statistics counters
-    are flushed into the {!Obs.Metrics} registry under [interp.*]. *)
+    [exec.kernel] span per kernel; statistics counters are flushed into
+    the {!Obs.Metrics} registry under [interp.*] or [engine.*]. *)
 
 type binding = Tensor.t * Runtime.Buffer.t
 
-(** Returns the interpreter environment (for statistics) and the prelude
-    used (for overhead accounting).  [~multicore:true] executes
-    [Parallel]-bound loops across [domains] OCaml domains; the statistics
-    are aggregated either way.  [?prelude] supplies already-built aux
-    structures (e.g. from {!Prelude_cache}), skipping the build. *)
+(** [`Interp] walks the tree through {!Runtime.Interp} (ground truth);
+    [`Compiled] stages each kernel into slot-resolved closures through
+    {!Runtime.Engine} — same results, same counters, interpretive overhead
+    gone.  Compiled kernels are memoized per structural signature. *)
+type engine = [ `Interp | `Compiled ]
+
+(** Returns the interpreter environment (for statistics — identical
+    counter semantics under both engines) and the prelude used (for
+    overhead accounting).  [~multicore:true] executes [Parallel]-bound
+    loops across [domains] OCaml domains: per-loop [Domain.spawn] under
+    [`Interp], one persistent domain pool per call under [`Compiled]; the
+    statistics are aggregated either way.  [?prelude] supplies
+    already-built aux structures (e.g. from {!Prelude_cache}), skipping
+    the build. *)
 val run :
-  ?multicore:bool -> ?domains:int -> ?prelude:Prelude.built ->
+  ?engine:engine -> ?multicore:bool -> ?domains:int -> ?prelude:Prelude.built ->
   lenv:Lenfun.env -> bindings:binding list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built
 
 val run_ragged :
-  ?multicore:bool -> ?domains:int -> ?prelude:Prelude.built ->
+  ?engine:engine -> ?multicore:bool -> ?domains:int -> ?prelude:Prelude.built ->
   lenv:Lenfun.env -> tensors:Ragged.t list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built
+
+(** Clear the [Sig]-keyed compiled-kernel memo (paired with
+    {!Lower.clear_memo} by [Serving.Server.reset_caches]). *)
+val clear_engine_memo : unit -> unit
+
+(** Number of compiled kernels currently memoized. *)
+val engine_memo_size : unit -> int

@@ -111,9 +111,7 @@ let bind_all (built : built) (env : Runtime.Interp.env) =
 (** Bind the raw length functions themselves (the kernel may reference them
     directly as loop extents). *)
 let bind_lenfuns (lenv : Lenfun.env) (env : Runtime.Interp.env) =
-  List.iter (fun (name, f) -> Runtime.Interp.bind_ufun env name (function
-    | [ i ] -> f i
-    | _ -> invalid_arg ("lenfun " ^ name ^ ": expected 1 argument"))) lenv
+  List.iter (fun (name, f) -> Runtime.Interp.bind_ufun1 env name f) lenv
 
 (* ------------------------------------------------------------------ *)
 (* Standard definitions used by storage lowering and loop fusion.      *)

@@ -153,13 +153,20 @@ let prelude_cost ~(device : Device.t) (built : Prelude.built) : float * float =
   in
   (host, copy)
 
-let pipeline ?prelude ~device ~lenv (launches : t list) : pipeline_time =
+let pipeline ?engine ?prelude ~device ~lenv (launches : t list) : pipeline_time =
   Obs.Span.with_span
     ~attrs:
-      [
-        ("device", Obs.Trace_sink.Str device.Device.name);
-        ("launches", Obs.Trace_sink.Int (List.length launches));
-      ]
+      ([
+         ("device", Obs.Trace_sink.Str device.Device.name);
+         ("launches", Obs.Trace_sink.Int (List.length launches));
+       ]
+      @
+      (* which execution engine serves the request this model run prices —
+         lets a trace correlate modelled and measured times per engine *)
+      match engine with
+      | Some e ->
+          [ ("engine", Obs.Trace_sink.Str (match e with `Interp -> "interp" | `Compiled -> "compiled")) ]
+      | None -> [])
     "launch.pipeline"
   @@ fun () ->
   let kernels = List.concat_map (fun l -> l.kernels) launches in

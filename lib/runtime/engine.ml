@@ -1,0 +1,828 @@
+open Ir
+
+(* Compiled execution engine.  See engine.mli for the contract; the key
+   invariant maintained throughout this file is *interpreter parity*: for
+   every IR node the compiled closure performs the same stores, the same
+   bounds checks and the same counter bumps, in the same order, as the
+   corresponding branch of Interp.eval / Interp.exec — that is what makes
+   the differential fuzz in test/test_engine.ml meaningful. *)
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Persistent domain pool *)
+
+module Pool = struct
+  (* One job = one chunked parallel-for.  The atomics live in the job, not
+     the pool: a worker that wakes up late simply finds every chunk of the
+     old job already claimed and goes back to waiting, so there is no
+     generation race on shared counters. *)
+  type job = {
+    f : int -> unit;
+    chunks : int;
+    next : int Atomic.t;  (* next chunk index to claim *)
+    remaining : int Atomic.t;  (* chunks not yet finished *)
+  }
+
+  type t = {
+    mutex : Mutex.t;
+    work : Condition.t;  (* a new job was published *)
+    done_ : Condition.t;  (* a job's last chunk finished *)
+    mutable job : job option;
+    mutable generation : int;
+    mutable stop : bool;
+    mutable error : exn option;
+    mutable domains : unit Domain.t list;
+    parallelism : int;
+  }
+
+  let parallelism t = t.parallelism
+
+  let drain t (j : job) =
+    let rec loop () =
+      let c = Atomic.fetch_and_add j.next 1 in
+      if c < j.chunks then begin
+        (try j.f c
+         with e ->
+           Mutex.lock t.mutex;
+           (match t.error with None -> t.error <- Some e | Some _ -> ());
+           Mutex.unlock t.mutex);
+        (* decrement *after* the handler so an exception can't hang [run] *)
+        let left = Atomic.fetch_and_add j.remaining (-1) - 1 in
+        if left = 0 then begin
+          Mutex.lock t.mutex;
+          Condition.broadcast t.done_;
+          Mutex.unlock t.mutex
+        end;
+        loop ()
+      end
+    in
+    loop ()
+
+  let worker t =
+    let last_gen = ref 0 in
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while (not t.stop) && t.generation = !last_gen do
+        Condition.wait t.work t.mutex
+      done;
+      if t.stop then Mutex.unlock t.mutex
+      else begin
+        last_gen := t.generation;
+        let j = t.job in
+        Mutex.unlock t.mutex;
+        (match j with Some j -> drain t j | None -> ());
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?(domains = 4) () =
+    let t =
+      {
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        done_ = Condition.create ();
+        job = None;
+        generation = 0;
+        stop = false;
+        error = None;
+        domains = [];
+        parallelism = max 1 domains;
+      }
+    in
+    t.domains <-
+      List.init (max 0 (domains - 1)) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let run t ~chunks (f : int -> unit) =
+    if chunks > 0 then begin
+      let j = { f; chunks; next = Atomic.make 0; remaining = Atomic.make chunks } in
+      Mutex.lock t.mutex;
+      t.error <- None;
+      t.job <- Some j;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      (* the caller is a worker too: total parallelism = domains *)
+      drain t j;
+      Mutex.lock t.mutex;
+      while Atomic.get j.remaining > 0 do
+        Condition.wait t.done_ t.mutex
+      done;
+      let e = t.error in
+      t.job <- None;
+      t.error <- None;
+      Mutex.unlock t.mutex;
+      match e with Some e -> raise e | None -> ()
+    end
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Frames *)
+
+type ufun_binding =
+  | U_unbound
+  | U_table of int array  (* prelude table: direct indexing *)
+  | U_fn of (int -> int)  (* length function *)
+  | U_const of int  (* prelude scalar: any arity, like (fun _ -> n) *)
+  | U_gen of (int list -> int)
+
+type layout = {
+  n_ints : int;
+  n_floats : int;
+  n_bools : int;
+  buf_slots : (int, int) Hashtbl.t;  (* Var.id -> fbuf slot *)
+  buf_by_name : (string, int) Hashtbl.t;
+      (* display name -> external slot; -1 when the name is ambiguous.
+         Compiled kernels are shared across alpha-equivalent bodies (the
+         Sig-keyed memo), whose buffer vars carry fresh ids but the same
+         deterministic display names — name lookup is the fallback that
+         lets a cached kernel be re-bound to another build's tensors. *)
+  buf_names : string array;  (* slot -> mangled name, for errors *)
+  buf_external : bool array;  (* slot must be bound before run *)
+  ufun_slots : (string, int) Hashtbl.t;
+  ufun_names : string array;
+}
+
+type frame = {
+  layout : layout;
+  entry : frame -> unit;
+  ints : int array;
+  floats : float array;
+  bools : bool array;
+  fbufs : float array array;
+  buf_bound : bool array;
+  ufuns : ufun_binding array;
+  mutable pool : Pool.t option;
+  mutable loads : int;
+  mutable stores : int;
+  mutable flops : int;
+  mutable indirect : int;
+  mutable guards : int;
+  mutable guard_hits : int;
+}
+
+type compiled = { c_layout : layout; c_entry : frame -> unit }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation context: name -> slot resolution, done exactly once *)
+
+type slot = SInt of int | SFloat of int | SBool of int
+type ty = TInt | TFloat | TBool
+
+type ctx = {
+  vars : (int, slot) Hashtbl.t;  (* Var.id -> scalar slot *)
+  mutable n_int : int;
+  mutable n_float : int;
+  mutable n_bool : int;
+  c_buf_slots : (int, int) Hashtbl.t;
+  mutable bufs_rev : (string * string * bool ref) list;
+      (* (mangled, display name, external), newest first *)
+  mutable n_buf : int;
+  c_ufun_slots : (string, int) Hashtbl.t;
+  mutable ufuns_rev : string list;
+  mutable n_ufun : int;
+}
+
+let new_ctx () =
+  {
+    vars = Hashtbl.create 32;
+    n_int = 0;
+    n_float = 0;
+    n_bool = 0;
+    c_buf_slots = Hashtbl.create 16;
+    bufs_rev = [];
+    n_buf = 0;
+    c_ufun_slots = Hashtbl.create 16;
+    ufuns_rev = [];
+    n_ufun = 0;
+  }
+
+(* Scoped variable binding: allocate a fresh slot for [v], compile the scope
+   body through [k], then restore whatever [v] meant outside (lowering never
+   shadows, but correctness here is one save/restore away, so keep it). *)
+let with_var ctx (v : Var.t) ty (k : int -> 'a) : 'a =
+  let slot, raw =
+    match ty with
+    | TInt ->
+        let s = ctx.n_int in
+        ctx.n_int <- s + 1;
+        (SInt s, s)
+    | TFloat ->
+        let s = ctx.n_float in
+        ctx.n_float <- s + 1;
+        (SFloat s, s)
+    | TBool ->
+        let s = ctx.n_bool in
+        ctx.n_bool <- s + 1;
+        (SBool s, s)
+  in
+  let prev = Hashtbl.find_opt ctx.vars v.Var.id in
+  Hashtbl.replace ctx.vars v.Var.id slot;
+  let r = k raw in
+  (match prev with
+  | Some p -> Hashtbl.replace ctx.vars v.Var.id p
+  | None -> Hashtbl.remove ctx.vars v.Var.id);
+  r
+
+(* Buffer slot for [v].  [internal] marks Alloc-introduced scratch, which
+   needs no binding before run. *)
+let buf_slot ?(internal = false) ctx (v : Var.t) : int =
+  match Hashtbl.find_opt ctx.c_buf_slots v.Var.id with
+  | Some s ->
+      if internal then begin
+        match List.nth_opt ctx.bufs_rev (ctx.n_buf - 1 - s) with
+        | Some (_, _, ext) -> ext := false
+        | None -> ()
+      end;
+      s
+  | None ->
+      let s = ctx.n_buf in
+      ctx.n_buf <- s + 1;
+      Hashtbl.add ctx.c_buf_slots v.Var.id s;
+      ctx.bufs_rev <- (Var.mangled v, Var.name v, ref (not internal)) :: ctx.bufs_rev;
+      s
+
+let ufun_slot ctx name : int =
+  match Hashtbl.find_opt ctx.c_ufun_slots name with
+  | Some s -> s
+  | None ->
+      let s = ctx.n_ufun in
+      ctx.n_ufun <- s + 1;
+      Hashtbl.add ctx.c_ufun_slots name s;
+      ctx.ufuns_rev <- name :: ctx.ufuns_rev;
+      s
+
+let finalize ctx : layout =
+  let bufs = Array.of_list (List.rev ctx.bufs_rev) in
+  let buf_by_name = Hashtbl.create (Array.length bufs) in
+  Array.iteri
+    (fun slot (_, name, ext) ->
+      if !ext then
+        match Hashtbl.find_opt buf_by_name name with
+        | None -> Hashtbl.replace buf_by_name name slot
+        | Some _ -> Hashtbl.replace buf_by_name name (-1) (* ambiguous: id-only *))
+    bufs;
+  {
+    n_ints = ctx.n_int;
+    n_floats = ctx.n_float;
+    n_bools = ctx.n_bool;
+    buf_slots = ctx.c_buf_slots;
+    buf_by_name;
+    buf_names = Array.map (fun (m, _, _) -> m) bufs;
+    buf_external = Array.map (fun (_, _, e) -> !e) bufs;
+    ufun_slots = ctx.c_ufun_slots;
+    ufun_names = Array.of_list (List.rev ctx.ufuns_rev);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation: staged, unboxed per scalar type *)
+
+type cexpr =
+  | CInt of (frame -> int)
+  | CFloat of (frame -> float)
+  | CBool of (frame -> bool)
+
+let as_int = function
+  | CInt f -> f
+  | CFloat f -> fun fr -> int_of_float (f fr)
+  | CBool _ -> err "expected int, got bool"
+
+let as_float = function
+  | CFloat f -> f
+  | CInt f -> fun fr -> float_of_int (f fr)
+  | CBool _ -> err "expected float, got bool"
+
+let as_bool = function
+  | CBool f -> f
+  | CInt _ | CFloat _ -> err "expected bool, got a scalar"
+
+(* Slot accesses use unsafe_get/set: indices are compiler-assigned, in range
+   by construction.  Buffer element accesses keep explicit bounds checks with
+   interpreter-identical error messages. *)
+
+let compile_binop (op : Expr.binop) ca cb : cexpr =
+  match (op, ca, cb) with
+  | Expr.Add, CInt fa, CInt fb -> CInt (fun fr -> fa fr + fb fr)
+  | Expr.Sub, CInt fa, CInt fb -> CInt (fun fr -> fa fr - fb fr)
+  | Expr.Mul, CInt fa, CInt fb -> CInt (fun fr -> fa fr * fb fr)
+  | Expr.Min, CInt fa, CInt fb ->
+      CInt
+        (fun fr ->
+          let x = fa fr in
+          let y = fb fr in
+          if x <= y then x else y)
+  | Expr.Max, CInt fa, CInt fb ->
+      CInt
+        (fun fr ->
+          let x = fa fr in
+          let y = fb fr in
+          if x >= y then x else y)
+  | Expr.FloorDiv, CInt fa, CInt fb ->
+      CInt
+        (fun fr ->
+          let x = fa fr in
+          let y = fb fr in
+          if y = 0 then err "division by zero"
+          else if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) - 1
+          else x / y)
+  | Expr.Mod, CInt fa, CInt fb ->
+      CInt
+        (fun fr ->
+          let x = fa fr in
+          let y = fb fr in
+          if y = 0 then err "mod by zero"
+          else
+            let r = x mod y in
+            if r <> 0 && (r < 0) <> (y < 0) then r + y else r)
+  | (Expr.FloorDiv | Expr.Mod), _, _ -> err "floordiv/mod on floats"
+  | (Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Min | Expr.Max), _, _ ->
+      (* float path; Div is float even on int operands, like the interpreter *)
+      let fa = as_float ca and fb = as_float cb in
+      let lift f =
+        CFloat
+          (fun fr ->
+            let x = fa fr in
+            let y = fb fr in
+            fr.flops <- fr.flops + 1;
+            f x y)
+      in
+      (match op with
+      | Expr.Add -> lift ( +. )
+      | Expr.Sub -> lift ( -. )
+      | Expr.Mul -> lift ( *. )
+      | Expr.Div -> lift ( /. )
+      | Expr.Min -> lift Float.min
+      | Expr.Max -> lift Float.max
+      | Expr.FloorDiv | Expr.Mod -> assert false)
+
+let compile_cmp (op : Expr.cmpop) ca cb : cexpr =
+  match (ca, cb) with
+  | CBool _, _ | _, CBool _ -> err "expected int, got bool"
+  | (CFloat _, _ | _, CFloat _) ->
+      (* Float.compare, not (<): NaN ordering must match the interpreter *)
+      let fa = as_float ca and fb = as_float cb in
+      let lift test = CBool (fun fr -> test (Float.compare (fa fr) (fb fr)) 0) in
+      (match op with
+      | Expr.Lt -> lift ( < )
+      | Expr.Le -> lift ( <= )
+      | Expr.Gt -> lift ( > )
+      | Expr.Ge -> lift ( >= )
+      | Expr.Eq -> lift ( = )
+      | Expr.Ne -> lift ( <> ))
+  | CInt fa, CInt fb -> (
+      match op with
+      | Expr.Lt -> CBool (fun fr -> fa fr < fb fr)
+      | Expr.Le -> CBool (fun fr -> fa fr <= fb fr)
+      | Expr.Gt -> CBool (fun fr -> fa fr > fb fr)
+      | Expr.Ge -> CBool (fun fr -> fa fr >= fb fr)
+      | Expr.Eq -> CBool (fun fr -> fa fr = fb fr)
+      | Expr.Ne -> CBool (fun fr -> fa fr <> fb fr))
+
+let rec compile_expr ctx (e : Expr.t) : cexpr =
+  match e with
+  | Int n -> CInt (fun _ -> n)
+  | Float f -> CFloat (fun _ -> f)
+  | Bool b -> CBool (fun _ -> b)
+  | Var v -> (
+      match Hashtbl.find_opt ctx.vars v.Var.id with
+      | Some (SInt s) -> CInt (fun fr -> Array.unsafe_get fr.ints s)
+      | Some (SFloat s) -> CFloat (fun fr -> Array.unsafe_get fr.floats s)
+      | Some (SBool s) -> CBool (fun fr -> Array.unsafe_get fr.bools s)
+      | None -> err "unbound variable %s" (Var.mangled v))
+  | Binop (op, a, b) -> compile_binop op (compile_expr ctx a) (compile_expr ctx b)
+  | Cmp (op, a, b) -> compile_cmp op (compile_expr ctx a) (compile_expr ctx b)
+  | And (a, b) ->
+      let fa = as_bool (compile_expr ctx a) and fb = as_bool (compile_expr ctx b) in
+      CBool (fun fr -> fa fr && fb fr)
+  | Or (a, b) ->
+      let fa = as_bool (compile_expr ctx a) and fb = as_bool (compile_expr ctx b) in
+      CBool (fun fr -> fa fr || fb fr)
+  | Not a ->
+      let fa = as_bool (compile_expr ctx a) in
+      CBool (fun fr -> not (fa fr))
+  | Select (c, a, b) -> (
+      let fc = as_bool (compile_expr ctx c) in
+      let ca = compile_expr ctx a and cb = compile_expr ctx b in
+      match (ca, cb) with
+      | CInt fa, CInt fb -> CInt (fun fr -> if fc fr then fa fr else fb fr)
+      | CBool fa, CBool fb -> CBool (fun fr -> if fc fr then fa fr else fb fr)
+      | (CInt _ | CFloat _), (CInt _ | CFloat _) ->
+          let fa = as_float ca and fb = as_float cb in
+          CFloat (fun fr -> if fc fr then fa fr else fb fr)
+      | _ -> err "select branches have mismatched types")
+  | Load { buf = v; index } ->
+      let slot = buf_slot ctx v in
+      let name = Var.mangled v in
+      let fi = as_int (compile_expr ctx index) in
+      CFloat
+        (fun fr ->
+          fr.loads <- fr.loads + 1;
+          let a = Array.unsafe_get fr.fbufs slot in
+          let i = fi fr in
+          if i < 0 || i >= Array.length a then
+            err "load %s[%d] out of bounds (len %d)" name i (Array.length a)
+          else Array.unsafe_get a i)
+  | Ufun (name, args) -> compile_ufun ctx name args
+  | Call (name, args) -> compile_call ctx name args
+  | Access { tensor; _ } -> err "unlowered tensor access to %s reached the engine" tensor
+  | Let (v, value, body) -> (
+      let cv = compile_expr ctx value in
+      let ty = match cv with CInt _ -> TInt | CFloat _ -> TFloat | CBool _ -> TBool in
+      with_var ctx v ty @@ fun slot ->
+      let set : frame -> unit =
+        match cv with
+        | CInt f -> fun fr -> Array.unsafe_set fr.ints slot (f fr)
+        | CFloat f -> fun fr -> Array.unsafe_set fr.floats slot (f fr)
+        | CBool f -> fun fr -> Array.unsafe_set fr.bools slot (f fr)
+      in
+      match compile_expr ctx body with
+      | CInt f ->
+          CInt
+            (fun fr ->
+              set fr;
+              f fr)
+      | CFloat f ->
+          CFloat
+            (fun fr ->
+              set fr;
+              f fr)
+      | CBool f ->
+          CBool
+            (fun fr ->
+              set fr;
+              f fr))
+
+and compile_ufun ctx name args : cexpr =
+  let slot = ufun_slot ctx name in
+  match args with
+  | [ a ] ->
+      (* the hot path: one counter bump, one arg, direct table indexing *)
+      let fi = as_int (compile_expr ctx a) in
+      CInt
+        (fun fr ->
+          fr.loads <- fr.loads + 1;
+          fr.indirect <- fr.indirect + 1;
+          let i = fi fr in
+          match Array.unsafe_get fr.ufuns slot with
+          | U_table t ->
+              if i < 0 || i >= Array.length t then
+                err "ufun %s: index %d out of bounds (len %d)" name i (Array.length t)
+              else Array.unsafe_get t i
+          | U_fn f -> f i
+          | U_const n -> n
+          | U_gen f -> f [ i ]
+          | U_unbound -> err "unbound uninterpreted function %s" name)
+  | [] ->
+      CInt
+        (fun fr ->
+          fr.loads <- fr.loads + 1;
+          fr.indirect <- fr.indirect + 1;
+          match Array.unsafe_get fr.ufuns slot with
+          | U_const n -> n
+          | U_gen f -> f []
+          | U_table _ | U_fn _ -> err "ufun %s: arity mismatch (0 args)" name
+          | U_unbound -> err "unbound uninterpreted function %s" name)
+  | args ->
+      let fis = List.map (fun a -> as_int (compile_expr ctx a)) args in
+      let nargs = List.length args in
+      CInt
+        (fun fr ->
+          fr.loads <- fr.loads + 1;
+          fr.indirect <- fr.indirect + 1;
+          let l = List.map (fun f -> f fr) fis in
+          match Array.unsafe_get fr.ufuns slot with
+          | U_gen f -> f l
+          | U_const n -> n
+          | U_table _ | U_fn _ -> err "ufun %s: arity mismatch (%d args)" name nargs
+          | U_unbound -> err "unbound uninterpreted function %s" name)
+
+and compile_call ctx name args : cexpr =
+  (* intrinsics resolve at compile time; flops+4 per call, like the interp *)
+  let cargs = List.map (fun a -> as_float (compile_expr ctx a)) args in
+  let unary f =
+    match cargs with
+    | [ fa ] ->
+        CFloat
+          (fun fr ->
+            fr.flops <- fr.flops + 4;
+            f (fa fr))
+    | _ -> err "unknown intrinsic %s/%d" name (List.length cargs)
+  in
+  match name with
+  | "exp" -> unary exp
+  | "log" -> unary log
+  | "sqrt" -> unary sqrt
+  | "tanh" -> unary tanh
+  | "erf" -> unary Interp.erf_approx
+  | "relu" -> unary (Float.max 0.0)
+  | "neg_infinity" -> (
+      match cargs with
+      | [] ->
+          CFloat
+            (fun fr ->
+              fr.flops <- fr.flops + 4;
+              neg_infinity)
+      | _ -> err "unknown intrinsic %s/%d" name (List.length cargs))
+  | _ -> err "unknown intrinsic %s/%d" name (List.length cargs)
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation *)
+
+(* Parallel chunk execution.  Mirrors Interp.exec_multicore: scalar state is
+   copied per chunk (loop writes to disjoint buffer locations, per the
+   Parallel-binding contract), the buffer slot table is shallow-copied so
+   Alloc scratch stays chunk-local, and per-chunk counters fold into the
+   parent through atomics — totals are exactly those of a serial run. *)
+let run_parallel pool (fr : frame) slot m n (cbody : frame -> unit) =
+  let loads = Atomic.make 0 and stores = Atomic.make 0 and flops = Atomic.make 0 in
+  let indirect = Atomic.make 0 and guards = Atomic.make 0 and guard_hits = Atomic.make 0 in
+  let chunks = min n (Pool.parallelism pool * 4) in
+  let csize = (n + chunks - 1) / chunks in
+  let ti = Array.copy fr.ints
+  and tf = Array.copy fr.floats
+  and tb = Array.copy fr.bools in
+  Pool.run pool ~chunks (fun c ->
+      let lo = m + (c * csize) in
+      let hi = min (m + n - 1) (lo + csize - 1) in
+      if lo <= hi then begin
+        let w =
+          {
+            fr with
+            ints = Array.copy ti;
+            floats = Array.copy tf;
+            bools = Array.copy tb;
+            fbufs = Array.copy fr.fbufs;
+            pool = None (* no nested parallelism, like exec_multicore *);
+            loads = 0;
+            stores = 0;
+            flops = 0;
+            indirect = 0;
+            guards = 0;
+            guard_hits = 0;
+          }
+        in
+        for i = lo to hi do
+          Array.unsafe_set w.ints slot i;
+          cbody w
+        done;
+        ignore (Atomic.fetch_and_add loads w.loads);
+        ignore (Atomic.fetch_and_add stores w.stores);
+        ignore (Atomic.fetch_and_add flops w.flops);
+        ignore (Atomic.fetch_and_add indirect w.indirect);
+        ignore (Atomic.fetch_and_add guards w.guards);
+        ignore (Atomic.fetch_and_add guard_hits w.guard_hits)
+      end);
+  fr.loads <- fr.loads + Atomic.get loads;
+  fr.stores <- fr.stores + Atomic.get stores;
+  fr.flops <- fr.flops + Atomic.get flops;
+  fr.indirect <- fr.indirect + Atomic.get indirect;
+  fr.guards <- fr.guards + Atomic.get guards;
+  fr.guard_hits <- fr.guard_hits + Atomic.get guard_hits
+
+(* [par_ok] tracks which Parallel loops Interp.exec_multicore would actually
+   parallelize: those reachable through For / Let_stmt / Seq only.  Bodies
+   of parallel loops, If branches and Alloc bodies execute serially there,
+   so they compile with par_ok = false here — keeping the engine's execution
+   structure (and hence its soundness obligations) identical. *)
+let rec compile_stmt ctx ~par_ok (s : Stmt.t) : frame -> unit =
+  match s with
+  | For { var; min; extent; kind; body } ->
+      let fm = as_int (compile_expr ctx min) in
+      let fn = as_int (compile_expr ctx extent) in
+      let par = par_ok && (match kind with Stmt.Parallel -> true | _ -> false) in
+      with_var ctx var TInt @@ fun slot ->
+      let cbody = compile_stmt ctx ~par_ok:(par_ok && not par) body in
+      if par then
+        fun fr ->
+          let m = fm fr in
+          let n = fn fr in
+          (match fr.pool with
+          | Some p when n > 1 && Pool.parallelism p > 1 -> run_parallel p fr slot m n cbody
+          | _ ->
+              for i = m to m + n - 1 do
+                Array.unsafe_set fr.ints slot i;
+                cbody fr
+              done)
+      else
+        fun fr ->
+          let m = fm fr in
+          let n = fn fr in
+          for i = m to m + n - 1 do
+            Array.unsafe_set fr.ints slot i;
+            cbody fr
+          done
+  | Let_stmt (v, e, body) -> (
+      let cv = compile_expr ctx e in
+      let ty = match cv with CInt _ -> TInt | CFloat _ -> TFloat | CBool _ -> TBool in
+      with_var ctx v ty @@ fun slot ->
+      let cbody = compile_stmt ctx ~par_ok body in
+      match cv with
+      | CInt f ->
+          fun fr ->
+            Array.unsafe_set fr.ints slot (f fr);
+            cbody fr
+      | CFloat f ->
+          fun fr ->
+            Array.unsafe_set fr.floats slot (f fr);
+            cbody fr
+      | CBool f ->
+          fun fr ->
+            Array.unsafe_set fr.bools slot (f fr);
+            cbody fr)
+  | Store { buf = v; index; value } ->
+      let slot = buf_slot ctx v in
+      let name = Var.mangled v in
+      let fi = as_int (compile_expr ctx index) in
+      let fv = as_float (compile_expr ctx value) in
+      fun fr ->
+        fr.stores <- fr.stores + 1;
+        let a = Array.unsafe_get fr.fbufs slot in
+        let i = fi fr in
+        if i < 0 || i >= Array.length a then
+          err "store %s[%d] out of bounds (len %d)" name i (Array.length a)
+        else Array.unsafe_set a i (fv fr)
+  | Reduce_store { buf = v; index; value; op } -> (
+      let slot = buf_slot ctx v in
+      let name = Var.mangled v in
+      let fi = as_int (compile_expr ctx index) in
+      let fv = as_float (compile_expr ctx value) in
+      let reduce combine fr =
+        fr.stores <- fr.stores + 1;
+        fr.flops <- fr.flops + 1;
+        let a = Array.unsafe_get fr.fbufs slot in
+        let i = fi fr in
+        if i < 0 || i >= Array.length a then
+          err "reduce_store %s[%d] out of bounds (len %d)" name i (Array.length a)
+        else
+          (* value first, then the current cell — interpreter order *)
+          let x = fv fr in
+          let cur = Array.unsafe_get a i in
+          Array.unsafe_set a i (combine cur x)
+      in
+      match op with
+      | Stmt.Sum ->
+          fun fr ->
+            fr.stores <- fr.stores + 1;
+            fr.flops <- fr.flops + 1;
+            let a = Array.unsafe_get fr.fbufs slot in
+            let i = fi fr in
+            if i < 0 || i >= Array.length a then
+              err "reduce_store %s[%d] out of bounds (len %d)" name i (Array.length a)
+            else
+              let x = fv fr in
+              Array.unsafe_set a i (Array.unsafe_get a i +. x)
+      | Stmt.Prod -> reduce ( *. )
+      | Stmt.Rmax -> reduce Float.max
+      | Stmt.Rmin -> reduce Float.min)
+  | If (c, a, b) -> (
+      let fc = as_bool (compile_expr ctx c) in
+      let ca = compile_stmt ctx ~par_ok:false a in
+      match Option.map (compile_stmt ctx ~par_ok:false) b with
+      | None ->
+          fun fr ->
+            fr.guards <- fr.guards + 1;
+            if fc fr then begin
+              fr.guard_hits <- fr.guard_hits + 1;
+              ca fr
+            end
+      | Some cb ->
+          fun fr ->
+            fr.guards <- fr.guards + 1;
+            if fc fr then begin
+              fr.guard_hits <- fr.guard_hits + 1;
+              ca fr
+            end
+            else cb fr)
+  | Seq l -> (
+      match List.map (compile_stmt ctx ~par_ok) l with
+      | [] -> fun _ -> ()
+      | [ c ] -> c
+      | [ c1; c2 ] ->
+          fun fr ->
+            c1 fr;
+            c2 fr
+      | cs ->
+          let arr = Array.of_list cs in
+          let n = Array.length arr in
+          fun fr ->
+            for i = 0 to n - 1 do
+              (Array.unsafe_get arr i) fr
+            done)
+  | Alloc { buf = v; size; body } ->
+      let fn = as_int (compile_expr ctx size) in
+      let slot = buf_slot ~internal:true ctx v in
+      let cbody = compile_stmt ctx ~par_ok:false body in
+      fun fr ->
+        let n = fn fr in
+        Array.unsafe_set fr.fbufs slot (Array.make n 0.0);
+        cbody fr
+  | Eval e -> (
+      match compile_expr ctx e with
+      | CInt f -> fun fr -> ignore (f fr)
+      | CFloat f -> fun fr -> ignore (f fr)
+      | CBool f -> fun fr -> ignore (f fr))
+  | Nop -> fun _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Public API *)
+
+let compile (s : Stmt.t) : compiled =
+  let ctx = new_ctx () in
+  let entry = compile_stmt ctx ~par_ok:true s in
+  { c_layout = finalize ctx; c_entry = entry }
+
+let slot_count c = c.c_layout.n_ints + c.c_layout.n_floats + c.c_layout.n_bools
+
+let frame (c : compiled) : frame =
+  let l = c.c_layout in
+  let nbufs = Array.length l.buf_names in
+  {
+    layout = l;
+    entry = c.c_entry;
+    ints = Array.make (max 1 l.n_ints) 0;
+    floats = Array.make (max 1 l.n_floats) 0.0;
+    bools = Array.make (max 1 l.n_bools) false;
+    fbufs = Array.make (max 1 nbufs) [||];
+    buf_bound = Array.make (max 1 nbufs) false;
+    ufuns = Array.make (max 1 (Array.length l.ufun_names)) U_unbound;
+    pool = None;
+    loads = 0;
+    stores = 0;
+    flops = 0;
+    indirect = 0;
+    guards = 0;
+    guard_hits = 0;
+  }
+
+let bind_buf fr (v : Var.t) (b : Buffer.t) =
+  let slot =
+    match Hashtbl.find_opt fr.layout.buf_slots v.Var.id with
+    | Some s -> Some s
+    | None -> (
+        (* alpha-equivalent rebind: same display name, fresh var id *)
+        match Hashtbl.find_opt fr.layout.buf_by_name (Var.name v) with
+        | Some s when s >= 0 -> Some s
+        | _ -> None)
+  in
+  match slot with
+  | None -> () (* this kernel never touches that tensor *)
+  | Some slot -> (
+      match b with
+      | Buffer.F a ->
+          fr.fbufs.(slot) <- a;
+          fr.buf_bound.(slot) <- true
+      | Buffer.I _ -> err "engine: integer buffer %s unsupported" (Var.mangled v))
+
+let bind_ufun_binding fr name u =
+  match Hashtbl.find_opt fr.layout.ufun_slots name with
+  | None -> () (* this kernel never calls that ufun *)
+  | Some slot -> fr.ufuns.(slot) <- u
+
+let bind_ufun_table fr name a = bind_ufun_binding fr name (U_table a)
+let bind_ufun1 fr name f = bind_ufun_binding fr name (U_fn f)
+let bind_ufun_const fr name n = bind_ufun_binding fr name (U_const n)
+let bind_ufun fr name f = bind_ufun_binding fr name (U_gen f)
+
+let run ?pool (fr : frame) : unit =
+  let l = fr.layout in
+  Array.iteri
+    (fun i ext -> if ext && not fr.buf_bound.(i) then err "unbound buffer %s" l.buf_names.(i))
+    l.buf_external;
+  Array.iteri
+    (fun i name ->
+      match fr.ufuns.(i) with
+      | U_unbound -> err "unbound uninterpreted function %s" name
+      | _ -> ())
+    l.ufun_names;
+  fr.pool <- pool;
+  Fun.protect ~finally:(fun () -> fr.pool <- None) (fun () -> fr.entry fr)
+
+let stats fr =
+  [
+    ("loads", fr.loads);
+    ("stores", fr.stores);
+    ("flops", fr.flops);
+    ("indirect", fr.indirect);
+    ("guards", fr.guards);
+    ("guard_hits", fr.guard_hits);
+  ]
+
+let flush_metrics fr =
+  Obs.Metrics.add (Obs.Metrics.counter "engine.loads") fr.loads;
+  Obs.Metrics.add (Obs.Metrics.counter "engine.stores") fr.stores;
+  Obs.Metrics.add (Obs.Metrics.counter "engine.flops") fr.flops;
+  Obs.Metrics.add (Obs.Metrics.counter "engine.indirect") fr.indirect;
+  Obs.Metrics.add (Obs.Metrics.counter "engine.guards") fr.guards;
+  Obs.Metrics.add (Obs.Metrics.counter "engine.guard_hits") fr.guard_hits

@@ -1,0 +1,110 @@
+(** Compiled execution engine: a one-pass compiler from the lowered IR to
+    nested OCaml closures over a slot-indexed frame.
+
+    Where {!Interp} walks the tree re-resolving every variable through a
+    [Var.Map] and every prelude table through a string-keyed [Hashtbl], the
+    engine resolves those names {e once, at compile time}: scalar variables
+    become integer slots into unboxed [int array] / [float array] /
+    [bool array] frames, buffers become direct [float array] references,
+    and 1-argument uninterpreted functions become direct int-array
+    indexing.  Evaluation is staged into separate int / float / bool
+    closure types, so the hot path never boxes a scalar.
+
+    The engine maintains the same [loads] / [stores] / [flops] /
+    [indirect] / [guards] / [guard_hits] counters as {!Interp}, with the
+    same per-IR-node accounting — a compiled run is differentially
+    comparable against the interpreter counter-for-counter and
+    bit-for-bit (see [test/test_engine.ml]).
+
+    [Parallel]-bound loops execute on a persistent {!Pool} of domains
+    (spawned once per [Exec.run], chunked work queue) instead of
+    [Domain.spawn] per loop encounter; per-chunk counters are folded into
+    the parent frame exactly as {!Interp.exec_multicore} folds per-
+    iteration counters, so totals agree with a serial run.
+
+    Restrictions (by design — lowered kernels satisfy them): buffers are
+    float-only ({!bind_buf} rejects [Buffer.I]); programs must be
+    scalar-typable at compile time (type mismatches that the interpreter
+    would only hit at runtime are reported by {!compile}); a buffer or
+    let-bound variable is never referenced outside its binding scope. *)
+
+exception Error of string
+
+(** Persistent domain pool: a fixed set of worker domains blocked on a
+    condition variable, fed chunked parallel-for jobs.  The caller of
+    {!Pool.run} participates in draining the chunk queue, so a pool
+    created with [~domains:n] applies [n]-way parallelism with [n - 1]
+    spawned domains. *)
+module Pool : sig
+  type t
+
+  (** [create ~domains ()] spawns [domains - 1] worker domains. *)
+  val create : ?domains:int -> unit -> t
+
+  (** Total parallelism (worker domains + the calling domain). *)
+  val parallelism : t -> int
+
+  (** [run t ~chunks f] executes [f 0 .. f (chunks - 1)] across the pool
+      and the calling domain; returns when every chunk has finished.  The
+      first exception raised by any chunk is re-raised here. *)
+  val run : t -> chunks:int -> (int -> unit) -> unit
+
+  (** Stop and join the worker domains.  Idempotent. *)
+  val shutdown : t -> unit
+end
+
+(** A compiled kernel body: closure tree + frame layout.  Compile once per
+    structural signature, then instantiate a fresh {!frame} per request. *)
+type compiled
+
+(** A run instance: the slot arrays, buffer / ufun bindings and statistics
+    counters for one execution of a {!compiled} kernel. *)
+type frame
+
+(** Compile a lowered statement.  Raises {!Error} on unbound variables,
+    compile-time type mismatches, unknown intrinsics, or [Access] nodes
+    that storage lowering should have eliminated. *)
+val compile : Ir.Stmt.t -> compiled
+
+(** Number of scalar slots (int + float + bool) the compiled kernel uses —
+    observability for the memo layer. *)
+val slot_count : compiled -> int
+
+(** Fresh frame with zeroed counters, no buffers bound, all uninterpreted
+    functions unbound. *)
+val frame : compiled -> frame
+
+(** Bind a buffer.  Names the compiled kernel never references are
+    silently ignored (preludes are shared across kernels).  Raises
+    {!Error} on an integer buffer. *)
+val bind_buf : frame -> Ir.Var.t -> Buffer.t -> unit
+
+(** Bind a 1-argument ufun backed by an int array — the fast path: a table
+    access compiles to one bounds check and one array read. *)
+val bind_ufun_table : frame -> string -> int array -> unit
+
+(** Bind a 1-argument ufun backed by an OCaml function (length functions). *)
+val bind_ufun1 : frame -> string -> (int -> int) -> unit
+
+(** Bind a constant ufun — prelude [Scalar] values; accepts any arity at
+    the call site, like the interpreter's [fun _ -> n] binding. *)
+val bind_ufun_const : frame -> string -> int -> unit
+
+(** Bind a general n-ary ufun (the slow path; kept for parity). *)
+val bind_ufun : frame -> string -> (int list -> int) -> unit
+
+(** Execute the frame.  Raises {!Error} up front if any externally-bound
+    buffer or any uninterpreted function referenced by the kernel is still
+    unbound — the compiled analogue of the interpreter's lazy "unbound"
+    errors.  When [pool] is given, [Parallel]-bound loops run across it
+    (counters still fold to serial-identical totals); otherwise they run
+    serially, like {!Interp.exec}. *)
+val run : ?pool:Pool.t -> frame -> unit
+
+(** Counter snapshot in the same fixed order as {!Interp.stats}. *)
+val stats : frame -> (string * int) list
+
+(** Add the frame's counters into the process-wide {!Obs.Metrics} registry
+    under [engine.loads], [engine.stores], [engine.flops],
+    [engine.indirect], [engine.guards], [engine.guard_hits]. *)
+val flush_metrics : frame -> unit

@@ -27,10 +27,16 @@ let to_float = function
 
 let to_bool = function VBool b -> b | v -> err "expected bool, got %d" (to_int v)
 
+(* Uninterpreted-function bindings: almost every ufun the lowered IR emits
+   takes exactly one argument (prelude tables, length functions), so a
+   dedicated 1-argument representation lets [eval] skip the per-access
+   argument-list allocation. *)
+type ufun = U1 of (int -> int) | UN of (int list -> int)
+
 type env = {
   mutable vars : value Var.Map.t;
   mutable bufs : Buffer.t Var.Map.t;
-  ufuns : (string, int list -> int) Hashtbl.t;
+  ufuns : (string, ufun) Hashtbl.t;
       (** uninterpreted functions, bound by the prelude at launch time *)
   mutable loads : int;  (** statistics: scalar loads executed *)
   mutable stores : int;
@@ -48,21 +54,39 @@ let create () =
 
 let bind_buf env v b = env.bufs <- Var.Map.add v b env.bufs
 let bind_var env v value = env.vars <- Var.Map.add v value env.vars
-let bind_ufun env name f = Hashtbl.replace env.ufuns name f
+let bind_ufun env name f = Hashtbl.replace env.ufuns name (UN f)
+
+(** Bind a 1-argument ufun on the allocation-free fast path. *)
+let bind_ufun1 env name f = Hashtbl.replace env.ufuns name (U1 f)
 
 (** Bind a 1-argument ufun backed by an int array. *)
 let bind_ufun_array env name (a : int array) =
-  bind_ufun env name (function
-    | [ i ] ->
-        if i < 0 || i >= Array.length a then
-          err "ufun %s: index %d out of bounds (len %d)" name i (Array.length a)
-        else a.(i)
-    | args -> err "ufun %s: arity mismatch (%d args)" name (List.length args))
+  bind_ufun1 env name (fun i ->
+      if i < 0 || i >= Array.length a then
+        err "ufun %s: index %d out of bounds (len %d)" name i (Array.length a)
+      else a.(i))
 
 let buf env v =
   match Var.Map.find_opt v env.bufs with
   | Some b -> b
   | None -> err "unbound buffer %s" (Var.mangled v)
+
+(* Abramowitz–Stegun 7.1.26 approximation; plenty for gelu tests.  Shared
+   with Engine so both execution paths are bit-identical. *)
+let erf_approx x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+         -. 0.284496736)
+        *. t
+       +. 0.254829592)
+       *. t
+       *. exp (-.x *. x)
+  in
+  sign *. y
 
 let intrinsic name args =
   match (name, args) with
@@ -70,21 +94,7 @@ let intrinsic name args =
   | "log", [ x ] -> log x
   | "sqrt", [ x ] -> sqrt x
   | "tanh", [ x ] -> tanh x
-  | "erf", [ x ] ->
-      (* Abramowitz–Stegun 7.1.26 approximation; plenty for gelu tests. *)
-      let sign = if x < 0.0 then -1.0 else 1.0 in
-      let x = Float.abs x in
-      let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
-      let y =
-        1.0
-        -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
-             -. 0.284496736)
-            *. t
-           +. 0.254829592)
-           *. t
-           *. exp (-.x *. x)
-      in
-      sign *. y
+  | "erf", [ x ] -> erf_approx x
   | "relu", [ x ] -> Float.max 0.0 x
   | "neg_infinity", [] -> neg_infinity
   | _ -> err "unknown intrinsic %s/%d" name (List.length args)
@@ -101,10 +111,11 @@ let rec eval env (e : Expr.t) : value =
   | Binop (op, a, b) -> eval_binop env op (eval env a) (eval env b)
   | Cmp (op, a, b) ->
       let a = eval env a and b = eval env b in
+      (* monomorphic compares: no polymorphic-compare dispatch per scalar *)
       let c =
         match (a, b) with
-        | VFloat _, _ | _, VFloat _ -> compare (to_float a) (to_float b)
-        | _ -> compare (to_int a) (to_int b)
+        | VFloat _, _ | _, VFloat _ -> Float.compare (to_float a) (to_float b)
+        | _ -> Int.compare (to_int a) (to_int b)
       in
       VBool
         (match op with
@@ -125,12 +136,29 @@ let rec eval env (e : Expr.t) : value =
       if i < 0 || i >= Buffer.length b then
         err "load %s[%d] out of bounds (len %d)" (Var.mangled v) i (Buffer.length b)
       else (match b with F a -> VFloat a.(i) | I a -> VInt a.(i))
-  | Ufun (name, args) -> (
+  | Ufun (name, [ a ]) -> (
+      (* fast path: the 1-argument case (every prelude table and length
+         function) evaluates without allocating an argument list *)
       match Hashtbl.find_opt env.ufuns name with
-      | Some f ->
+      | Some u ->
           env.loads <- env.loads + 1;
           env.indirect <- env.indirect + 1;
-          VInt (f (List.map (fun a -> to_int (eval env a)) args))
+          let i = to_int (eval env a) in
+          VInt (match u with U1 f -> f i | UN f -> f [ i ])
+      | None -> err "unbound uninterpreted function %s" name)
+  | Ufun (name, args) -> (
+      match Hashtbl.find_opt env.ufuns name with
+      | Some u ->
+          env.loads <- env.loads + 1;
+          env.indirect <- env.indirect + 1;
+          let l = List.map (fun a -> to_int (eval env a)) args in
+          VInt
+            (match u with
+            | UN f -> f l
+            | U1 f -> (
+                match l with
+                | [ i ] -> f i
+                | _ -> err "ufun %s: arity mismatch (%d args)" name (List.length l)))
       | None -> err "unbound uninterpreted function %s" name)
   | Call (name, args) ->
       env.flops <- env.flops + 4;

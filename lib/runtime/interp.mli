@@ -11,10 +11,14 @@ val to_int : value -> int
 val to_float : value -> float
 val to_bool : value -> bool
 
+(** Uninterpreted-function binding: [U1] is the allocation-free fast path
+    for the (overwhelmingly common) 1-argument ufuns. *)
+type ufun = U1 of (int -> int) | UN of (int list -> int)
+
 type env = {
   mutable vars : value Ir.Var.Map.t;
   mutable bufs : Buffer.t Ir.Var.Map.t;
-  ufuns : (string, int list -> int) Hashtbl.t;
+  ufuns : (string, ufun) Hashtbl.t;
   mutable loads : int;  (** statistics: scalar loads executed *)
   mutable stores : int;
   mutable flops : int;
@@ -29,8 +33,15 @@ val bind_buf : env -> Ir.Var.t -> Buffer.t -> unit
 val bind_var : env -> Ir.Var.t -> value -> unit
 val bind_ufun : env -> string -> (int list -> int) -> unit
 
+(** 1-argument ufun on the allocation-free fast path. *)
+val bind_ufun1 : env -> string -> (int -> int) -> unit
+
 (** 1-argument ufun backed by an int array (bounds-checked). *)
 val bind_ufun_array : env -> string -> int array -> unit
+
+(** Abramowitz–Stegun 7.1.26 [erf] approximation — shared with {!Engine}
+    so both execution paths are bit-identical. *)
+val erf_approx : float -> float
 
 val eval : env -> Ir.Expr.t -> value
 val exec : env -> Ir.Stmt.t -> unit

@@ -20,18 +20,21 @@ type t = {
   compile_cache : bool;
   prelude_cache : bool;
   execute : bool;
+  engine : Exec.engine;
 }
 
 let create ?(device = Machine.Device.v100) ?(compile_cache = true) ?(prelude_cache = true)
-    ?(execute = true) () : t =
-  { device; compile_cache; prelude_cache; execute }
+    ?(execute = true) ?(engine = `Interp) () : t =
+  { device; compile_cache; prelude_cache; execute; engine }
 
 let compile_cache_enabled t = t.compile_cache
 let prelude_cache_enabled t = t.prelude_cache
+let engine t = t.engine
 
 let reset_caches () =
   Lower.clear_memo ();
-  Prelude_cache.clear ()
+  Prelude_cache.clear ();
+  Exec.clear_engine_memo ()
 
 let default_fill name idx =
   let h =
@@ -52,7 +55,6 @@ let default_fill name idx =
    compile key match), hence lay out identically under [job.lenv]. *)
 let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
     counters * float array =
-  ignore srv;
   let raggeds : (string, Ragged.t) Hashtbl.t = Hashtbl.create 16 in
   let bound : (Ir.Var.t, unit) Hashtbl.t = Hashtbl.create 32 in
   let written : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -84,7 +86,8 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
     (fun name r -> if not (Hashtbl.mem written name) then Ragged.fill r (default_fill name))
     raggeds;
   let env, _ =
-    Exec.run ~prelude:built ~lenv:job.Workload.lenv ~bindings:!bindings job.Workload.kernels
+    Exec.run ~engine:srv.engine ~prelude:built ~lenv:job.Workload.lenv ~bindings:!bindings
+      job.Workload.kernels
   in
   let out =
     match Hashtbl.find_opt raggeds job.Workload.out_name with
@@ -123,8 +126,8 @@ let handle (srv : t) (w : Workload.t) (lens : int array) : response =
      rebuild inside the pipeline); its host/copy cost is charged only when
      this request actually built it. *)
   let pt =
-    Machine.Launch.pipeline ~prelude:built ~device:srv.device ~lenv:job.Workload.lenv
-      job.Workload.launches
+    Machine.Launch.pipeline ~engine:srv.engine ~prelude:built ~device:srv.device
+      ~lenv:job.Workload.lenv job.Workload.launches
   in
   let prelude_host_ns, prelude_copy_ns =
     if prelude_hit then (0.0, 0.0) else Machine.Launch.prelude_cost ~device:srv.device built

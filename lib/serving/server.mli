@@ -29,19 +29,25 @@ type response = {
 type t
 
 (** [create ()] — a server with both caches on.  [~execute:false] skips
-    interpretation (machine-model timing only): streams too large to
-    interpret still exercise both caches. *)
+    execution (machine-model timing only): streams too large to execute
+    still exercise both caches.  [~engine] selects how [~execute:true]
+    requests run: the reference interpreter (default) or the compiled
+    closure engine — identical outputs and counters, far less overhead
+    (see {!Cora.Exec.engine}). *)
 val create :
   ?device:Machine.Device.t ->
-  ?compile_cache:bool -> ?prelude_cache:bool -> ?execute:bool -> unit -> t
+  ?compile_cache:bool -> ?prelude_cache:bool -> ?execute:bool ->
+  ?engine:Cora.Exec.engine -> unit -> t
 
 val compile_cache_enabled : t -> bool
 val prelude_cache_enabled : t -> bool
+val engine : t -> Cora.Exec.engine
 
 (** Handle one request: workload + raggedness vector. *)
 val handle : t -> Workload.t -> int array -> response
 
-(** Drop both caches' contents (compile memo and prelude builds). *)
+(** Drop all cache contents (compile memo, prelude builds, and the
+    compiled-kernel memo of the engine). *)
 val reset_caches : unit -> unit
 
 (** Deterministic input fill used for every tensor that is read but never
