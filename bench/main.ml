@@ -736,42 +736,25 @@ let bechamel () =
    observable difference IS host time).  Workloads are bench-scale
    variants of the trace workloads; outputs are compared bitwise before
    timing so a reported speedup is always a speedup on identical work. *)
-let engine_bench () =
-  header "engine — reference interpreter vs compiled closure engine (wall time)";
-  let time_one run =
-    (* warm (compiles the kernel and fills the Sig-keyed memo), then
-       repeat adaptively until the sample covers >= 0.2 s. *)
-    ignore (run ());
-    let rec measure reps =
-      let t0 = Obs.Trace_sink.now_us () in
-      for _ = 1 to reps do
-        ignore (run ())
-      done;
-      let ns = (Obs.Trace_sink.now_us () -. t0) *. 1e3 in
-      if ns < 2e8 && reps < 4096 then measure (reps * 4)
-      else ns /. float_of_int reps
-    in
-    measure 1
+let time_one run =
+  (* warm (compiles the kernel and fills the Sig-keyed memo), then
+     repeat adaptively until the sample covers >= 0.2 s. *)
+  ignore (run ());
+  let rec measure reps =
+    let t0 = Obs.Trace_sink.now_us () in
+    for _ = 1 to reps do
+      ignore (run ())
+    done;
+    let ns = (Obs.Trace_sink.now_us () -. t0) *. 1e3 in
+    if ns < 2e8 && reps < 4096 then measure (reps * 4)
+    else ns /. float_of_int reps
   in
-  let bits = Array.map Int64.bits_of_float in
-  let bench name run =
-    let out_i = run ~engine:`Interp () and out_c = run ~engine:`Compiled () in
-    let matches = bits out_i = bits out_c in
-    let interp_ns = time_one (run ~engine:`Interp) in
-    let compiled_ns = time_one (run ~engine:`Compiled) in
-    let speedup = interp_ns /. compiled_ns in
-    line "%-10s interp %10.0f ns   compiled %10.0f ns   speedup %5.2fx   outputs %s"
-      name interp_ns compiled_ns speedup
-      (if matches then "bit-identical" else "DIFFER");
-    ( name,
-      Obs.Json.Obj
-        [
-          ("interp_ns", Obs.Json.Float interp_ns);
-          ("compiled_ns", Obs.Json.Float compiled_ns);
-          ("speedup", Obs.Json.Float speedup);
-          ("outputs_match", Obs.Json.Bool matches);
-        ] )
-  in
+  measure 1
+
+(* Bench-scale vgemm and encoder runners, shared by the engine and opt
+   experiments.  Each call executes the workload through [engine] at
+   [opt] and returns the raw output buffer. *)
+let make_engine_runners () =
   (* vgemm: same bench-scale instance as `cora trace -w vgemm`. *)
   let vgemm =
     let w =
@@ -790,13 +773,13 @@ let engine_bench () =
         sin (float_of_int (List.nth idx 1 + List.nth idx 2)));
     Cora.Ragged.fill rb (fun idx ->
         cos (float_of_int (List.nth idx 1 - List.nth idx 2)));
-    fun ~engine () ->
+    fun ~engine ?opt () ->
       let rc = Cora.Ragged.alloc t.Matmul.Vgemm.c lenv in
-      let _ =
-        Cora.Exec.run_ragged ~engine ~lenv ~tensors:[ ra; rb; rc ]
+      let env, _ =
+        Cora.Exec.run_ragged ~engine ?opt ~lenv ~tensors:[ ra; rb; rc ]
           [ t.Matmul.Vgemm.kernel ]
       in
-      Array.copy (Runtime.Buffer.floats rc.Cora.Ragged.buf)
+      (Array.copy (Runtime.Buffer.floats rc.Cora.Ragged.buf), env)
   in
   (* encoder: the tiny config, full nine-kernel layer on the Cpu target. *)
   let encoder =
@@ -829,7 +812,7 @@ let engine_bench () =
           (float_of_int
              ((List.nth idx 0 * 131) + (List.nth idx 1 * 17) + List.nth idx 2))
         *. 0.5);
-    fun ~engine () ->
+    fun ~engine ?opt () ->
       let data =
         List.map
           (fun tensor -> Cora.Ragged.alloc tensor lenv)
@@ -841,15 +824,105 @@ let engine_bench () =
           ]
       in
       let out_r = List.nth data (List.length data - 1) in
-      let _ =
-        Cora.Exec.run_ragged ~engine ~lenv
+      let env, _ =
+        Cora.Exec.run_ragged ~engine ?opt ~lenv
           ~tensors:(weights @ (in_r :: data))
           (Transformer.Builder.kernels built)
       in
-      Array.copy (Runtime.Buffer.floats out_r.Cora.Ragged.buf)
+      (Array.copy (Runtime.Buffer.floats out_r.Cora.Ragged.buf), env)
   in
-  let rows = [ bench "vgemm" vgemm; bench "encoder" encoder ] in
+  [ ("vgemm", vgemm); ("encoder", encoder) ]
+
+let engine_bench () =
+  header "engine — reference interpreter vs compiled closure engine (wall time)";
+  let bits = Array.map Int64.bits_of_float in
+  let bench
+      ( name,
+        (runner :
+          engine:Cora.Exec.engine ->
+          ?opt:Ir.Optimize.level ->
+          unit ->
+          float array * Runtime.Interp.env) ) =
+    let run ~engine () = fst (runner ~engine ()) in
+    let out_i = run ~engine:`Interp () and out_c = run ~engine:`Compiled () in
+    let matches = bits out_i = bits out_c in
+    let interp_ns = time_one (run ~engine:`Interp) in
+    let compiled_ns = time_one (run ~engine:`Compiled) in
+    let speedup = interp_ns /. compiled_ns in
+    line "%-10s interp %10.0f ns   compiled %10.0f ns   speedup %5.2fx   outputs %s"
+      name interp_ns compiled_ns speedup
+      (if matches then "bit-identical" else "DIFFER");
+    ( name,
+      Obs.Json.Obj
+        [
+          ("interp_ns", Obs.Json.Float interp_ns);
+          ("compiled_ns", Obs.Json.Float compiled_ns);
+          ("speedup", Obs.Json.Float speedup);
+          ("outputs_match", Obs.Json.Bool matches);
+        ] )
+  in
+  let rows = List.map bench (make_engine_runners ()) in
   print_endline ("BENCH_ENGINE " ^ Obs.Json.to_string (Obs.Json.Obj rows))
+
+(* ------------------------------------------------------------------ *)
+
+(* The optimization pipeline A/B: the compiled engine at O0 / O1 / O2 on
+   the same workloads, wall time + scalar-op counts.  Outputs are
+   bitwise-compared against the interpreter at every level first, so a
+   reported speedup is always a speedup on identical results; scalar-op
+   counts fall with the level (hoisted ufun reads, fused microkernels),
+   which is the documented counter divergence. *)
+let opt_bench () =
+  header "opt — compiled engine at O0 / O1 / O2 (wall time, scalar ops)";
+  let bits = Array.map Int64.bits_of_float in
+  let levels = [ Ir.Optimize.O0; Ir.Optimize.O1; Ir.Optimize.O2 ] in
+  let bench
+      ( name,
+        (runner :
+          engine:Cora.Exec.engine ->
+          ?opt:Ir.Optimize.level ->
+          unit ->
+          float array * Runtime.Interp.env) ) =
+    let ref_out = fst (runner ~engine:`Interp ()) in
+    let per_level =
+      List.map
+        (fun opt ->
+          let out, env = runner ~engine:`Compiled ~opt () in
+          let matches = bits out = bits ref_out in
+          let scalar_ops =
+            env.Runtime.Interp.loads + env.Runtime.Interp.stores + env.Runtime.Interp.flops
+          in
+          let ns = time_one (runner ~engine:`Compiled ~opt) in
+          (Ir.Optimize.level_name opt, ns, scalar_ops, matches))
+        levels
+    in
+    let ns_of lvl =
+      match List.find_opt (fun (l, _, _, _) -> l = lvl) per_level with
+      | Some (_, ns, _, _) -> ns
+      | None -> nan
+    in
+    let speedup = ns_of "O0" /. ns_of "O2" in
+    List.iter
+      (fun (lvl, ns, ops, matches) ->
+        line "%-10s %-3s %10.0f ns   %9d scalar ops   outputs %s" name lvl ns ops
+          (if matches then "bit-identical" else "DIFFER"))
+      per_level;
+    line "%-10s O2 speedup over O0: %5.2fx" name speedup;
+    ( name,
+      Obs.Json.Obj
+        (List.concat_map
+           (fun (lvl, ns, ops, matches) ->
+             let p = String.lowercase_ascii lvl in
+             [
+               (p ^ "_ns", Obs.Json.Float ns);
+               (p ^ "_scalar_ops", Obs.Json.Int ops);
+               (p ^ "_outputs_match", Obs.Json.Bool matches);
+             ])
+           per_level
+        @ [ ("speedup_o2_vs_o0", Obs.Json.Float speedup) ]) )
+  in
+  let rows = List.map bench (make_engine_runners ()) in
+  print_endline ("BENCH_OPT " ^ Obs.Json.to_string (Obs.Json.Obj rows))
 
 (* ------------------------------------------------------------------ *)
 
@@ -879,6 +952,7 @@ let experiments =
     ("fig23", fig23);
     ("autotune", autotune);
     ("engine", engine_bench);
+    ("opt", opt_bench);
     ("bechamel", bechamel);
   ]
 

@@ -64,4 +64,23 @@ ops=$(echo "$cjson" | sed 's/.*"scalar_ops_per_sec":\([0-9.eE+-]*\).*/\1/')
 awk -v o="$ops" 'BEGIN { exit (o > 0) ? 0 : 1 }' \
   || { echo "ci: scalar_ops_per_sec=$ops, expected > 0" >&2; exit 1; }
 
+echo "== cora bench-stream --exec --engine compiled --opt 2 --smoke" >&2
+# Same stream at the highest optimization level.  --smoke keeps the bitwise
+# interpreter comparison AND fails if the buffer arena misses after the
+# first window — the zero-allocation steady-state contract: once the first
+# window has populated the arena's size classes, serving must not allocate
+# fresh float storage.  The per-window miss counts are re-checked here from
+# the JSON as an independent assertion.
+dune exec bin/cora_cli.exe -- bench-stream --exec --engine compiled --opt 2 --smoke \
+  > "$tmpdir/stream_opt.txt"
+
+ojson=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_opt.txt")
+test -n "$ojson" || { echo "ci: no BENCH_STREAM line (opt)" >&2; exit 1; }
+echo "$ojson" | grep -q '"opt":2' \
+  || { echo "ci: opt run not labelled opt=2" >&2; exit 1; }
+wmiss=$(echo "$ojson" | sed 's/.*"window_arena_miss":\[\([0-9,]*\)\].*/\1/')
+test -n "$wmiss" || { echo "ci: no window_arena_miss in JSON" >&2; exit 1; }
+echo "$wmiss" | awk -F, '{ for (i = 2; i <= NF; i++) if ($i > 0) exit 1 }' \
+  || { echo "ci: arena misses grew after first window ($wmiss)" >&2; exit 1; }
+
 echo "ci: OK" >&2

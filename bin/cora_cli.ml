@@ -432,6 +432,15 @@ let bench_stream_cmd =
             "Execution engine for --exec: 'interp' (tree-walking reference interpreter) or \
              'compiled' (slot-resolved closure kernels, Sig-memoized).")
   in
+  let opt_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "opt" ]
+          ~doc:
+            "Optimization level for --engine compiled: 0 (none, counter-exact interpreter \
+             parity), 1 (+LICM, strength reduction), 2 (+fused microkernels).  Outputs are \
+             bitwise-identical at every level.")
+  in
   let smoke_flag =
     Arg.(
       value & flag
@@ -442,7 +451,7 @@ let bench_stream_cmd =
              also that the first window's outputs are bit-identical to the interpreter's.  \
              Exits nonzero on violation.")
   in
-  let run workload dataset requests pool seed windows no_cc no_pc exec engine smoke =
+  let run workload dataset requests pool seed windows no_cc no_pc exec engine opt smoke =
     if requests <= 0 || pool <= 0 || windows <= 0 then
       Fmt.failwith "requests, pool and windows must be positive";
     let engine =
@@ -451,16 +460,38 @@ let bench_stream_cmd =
       | "compiled" -> `Compiled
       | other -> Fmt.failwith "unknown engine %s (available: interp compiled)" other
     in
+    let opt = Ir.Optimize.level_of_int opt in
     let w = bench_workload ~dataset workload in
     Obs.Metrics.reset ();
     Serving.Server.reset_caches ();
+    Runtime.Buffer.Arena.clear Runtime.Buffer.Arena.global;
     let srv =
       Serving.Server.create ~compile_cache:(not no_cc) ~prelude_cache:(not no_pc)
-        ~execute:exec ~engine ()
+        ~execute:exec ~engine ~opt ()
     in
     let stream = Serving.Stream.generate ~workload:w ~pool ~n:requests ~seed () in
+    let windows = min windows requests in
+    let wsize = requests / windows in
+    (* replay window by window, sampling the arena miss counter at each
+       boundary: new misses after the first window mean the steady state
+       is still allocating fresh float storage *)
+    let arena_miss_now () = Obs.Metrics.value (Obs.Metrics.counter "arena.miss") in
     let t0_us = Obs.Trace_sink.now_us () in
-    let responses = Serving.Stream.replay srv w stream in
+    let responses, window_arena_miss =
+      let acc = ref [] and misses = ref [] and seen = ref (arena_miss_now ()) in
+      for i = 0 to windows - 1 do
+        let lo = i * wsize in
+        let hi = if i = windows - 1 then requests else lo + wsize in
+        let slice =
+          { stream with Serving.Stream.items = Array.sub stream.Serving.Stream.items lo (hi - lo) }
+        in
+        acc := !acc @ Serving.Stream.replay srv w slice;
+        let now = arena_miss_now () in
+        misses := (now - !seen) :: !misses;
+        seen := now
+      done;
+      (!acc, List.rev !misses)
+    in
     let wall_ns = (Obs.Trace_sink.now_us () -. t0_us) *. 1e3 in
     let lat = Array.of_list (List.map (fun r -> r.Serving.Server.model_ns) responses) in
     let p q = Obs.Metrics.percentile_of (Array.copy lat) q in
@@ -486,8 +517,6 @@ let bench_stream_cmd =
            (fun r -> r.Serving.Server.prelude_host_ns +. r.Serving.Server.prelude_copy_ns)
            responses)
     in
-    let windows = min windows requests in
-    let wsize = requests / windows in
     let window_p50_of arr =
       List.init windows (fun i ->
           let lo = i * wsize in
@@ -526,6 +555,7 @@ let bench_stream_cmd =
         [
           ("workload", Obs.Json.String workload);
           ("engine", Obs.Json.String (match engine with `Interp -> "interp" | `Compiled -> "compiled"));
+          ("opt", Obs.Json.Int (Ir.Optimize.int_of_level opt));
           ( "dataset",
             if workload = "encoder" then Obs.Json.String dataset else Obs.Json.Null );
           ("seed", Obs.Json.Int seed);
@@ -550,6 +580,10 @@ let bench_stream_cmd =
           ("wall_ns", Obs.Json.Float wall_ns);
           ("scalar_ops", Obs.Json.Int scalar_ops);
           ("scalar_ops_per_sec", Obs.Json.Float scalar_ops_per_sec);
+          ("arena_hits", Obs.Json.Int (Obs.Metrics.value (Obs.Metrics.counter "arena.hit")));
+          ("arena_misses", Obs.Json.Int (arena_miss_now ()));
+          ( "window_arena_miss",
+            Obs.Json.List (List.map (fun v -> Obs.Json.Int v) window_arena_miss) );
         ]
     in
     Printf.printf "BENCH_STREAM %s\n" (Obs.Json.to_string json);
@@ -578,6 +612,15 @@ let bench_stream_cmd =
         | _ -> ()
       in
       if not no_pc then check_monotone 0 window_overhead_p50;
+      (* zero-allocation steady state: once the first window has populated
+         the arena's size classes, later windows must not miss *)
+      if exec then
+        List.iteri
+          (fun i m ->
+            if i > 0 && m > 0 then
+              Fmt.failwith "smoke: arena misses grew in window %d (+%d) — steady state allocates"
+                i m)
+          window_arena_miss;
       (* compiled engine: first-window outputs must be bit-identical to a
          fresh interpreter replay of the same requests *)
       (if exec && engine = `Compiled then
@@ -607,7 +650,8 @@ let bench_stream_cmd =
           prelude caches) and print a BENCH_STREAM JSON summary line.")
     Term.(
       const run $ workload_arg $ dataset_arg $ requests_arg $ pool_arg $ seed_arg
-      $ windows_arg $ no_cc_flag $ no_pc_flag $ exec_flag $ engine_arg $ smoke_flag)
+      $ windows_arg $ no_cc_flag $ no_pc_flag $ exec_flag $ engine_arg $ opt_arg
+      $ smoke_flag)
 
 let () =
   let info = Cmd.info "cora" ~doc:"CoRa ragged tensor compiler — reproduction CLI." in

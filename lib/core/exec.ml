@@ -32,13 +32,15 @@ let engine_name = function `Interp -> "interp" | `Compiled -> "compiled"
    are bound per frame — so the alpha-invariant structural signature is a
    sound cache key for the same reason it is one for lowering. *)
 
-let engine_memo : (Sig.t, Runtime.Engine.compiled) Hashtbl.t = Hashtbl.create 64
+(* keyed by (signature, optimization level): the same structure compiles
+   to different closure trees at different levels *)
+let engine_memo : (Sig.t * int, Runtime.Engine.compiled) Hashtbl.t = Hashtbl.create 64
 
 let clear_engine_memo () = Hashtbl.reset engine_memo
 let engine_memo_size () = Hashtbl.length engine_memo
 
-let compile_cached (k : Lower.kernel) : Runtime.Engine.compiled =
-  let key = Sig.of_stmt k.Lower.body in
+let compile_cached ~(opt : Ir.Optimize.level) (k : Lower.kernel) : Runtime.Engine.compiled =
+  let key = (Sig.of_stmt k.Lower.body, Ir.Optimize.int_of_level opt) in
   match Hashtbl.find_opt engine_memo key with
   | Some c ->
       Obs.Metrics.incr (Obs.Metrics.counter "engine_cache.hit");
@@ -47,9 +49,13 @@ let compile_cached (k : Lower.kernel) : Runtime.Engine.compiled =
       Obs.Metrics.incr (Obs.Metrics.counter "engine_cache.miss");
       let c =
         Obs.Span.with_span
-          ~attrs:[ ("kernel", Obs.Trace_sink.Str k.Lower.kname) ]
+          ~attrs:
+            [
+              ("kernel", Obs.Trace_sink.Str k.Lower.kname);
+              ("opt", Obs.Trace_sink.Str (Ir.Optimize.level_name opt));
+            ]
           "engine.compile"
-          (fun () -> Runtime.Engine.compile k.Lower.body)
+          (fun () -> Runtime.Engine.compile ~opt k.Lower.body)
       in
       Hashtbl.replace engine_memo key c;
       c
@@ -66,14 +72,15 @@ let bind_frame ~(lenv : Lenfun.env) ~(built : Prelude.built) ~(bindings : bindin
       | Prelude.Table a -> Runtime.Engine.bind_ufun_table fr name a)
     built.Prelude.tables
 
-let run ?(engine = `Interp) ?(multicore = false) ?(domains = 4) ?prelude
-    ~(lenv : Lenfun.env) ~(bindings : binding list) (kernels : Lower.kernel list) :
+let run ?(engine = `Interp) ?(opt = Ir.Optimize.O0) ?(multicore = false) ?(domains = 4)
+    ?prelude ~(lenv : Lenfun.env) ~(bindings : binding list) (kernels : Lower.kernel list) :
     Runtime.Interp.env * Prelude.built =
   Obs.Span.with_span
     ~attrs:
       [
         ("kernels", Obs.Trace_sink.Int (List.length kernels));
         ("engine", Obs.Trace_sink.Str (engine_name engine));
+        ("opt", Obs.Trace_sink.Str (Ir.Optimize.level_name opt));
       ]
     "exec.run"
   @@ fun () ->
@@ -115,7 +122,7 @@ let run ?(engine = `Interp) ?(multicore = false) ?(domains = 4) ?prelude
             ~attrs:[ ("kernel", Obs.Trace_sink.Str k.Lower.kname) ]
             "exec.kernel"
           @@ fun () ->
-          let c = compile_cached k in
+          let c = compile_cached ~opt k in
           let fr = Runtime.Engine.frame c in
           bind_frame ~lenv ~built ~bindings fr;
           Obs.Span.with_span "engine.run" (fun () -> Runtime.Engine.run ?pool fr);
@@ -137,8 +144,8 @@ let run ?(engine = `Interp) ?(multicore = false) ?(domains = 4) ?prelude
   (env, built)
 
 (** Convenience wrapper for ragged tensor values. *)
-let run_ragged ?engine ?multicore ?domains ?prelude ~(lenv : Lenfun.env)
+let run_ragged ?engine ?opt ?multicore ?domains ?prelude ~(lenv : Lenfun.env)
     ~(tensors : Ragged.t list) kernels =
-  run ?engine ?multicore ?domains ?prelude ~lenv
+  run ?engine ?opt ?multicore ?domains ?prelude ~lenv
     ~bindings:(List.map (fun (r : Ragged.t) -> (r.Ragged.tensor, r.Ragged.buf)) tensors)
     kernels

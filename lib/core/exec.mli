@@ -23,18 +23,23 @@ type engine = [ `Interp | `Compiled ]
     [`Interp], one persistent domain pool per call under [`Compiled]; the
     statistics are aggregated either way.  [?prelude] supplies
     already-built aux structures (e.g. from {!Prelude_cache}), skipping
-    the build. *)
+    the build.  [?opt] (default [O0], compiled engine only) selects the
+    {!Ir.Optimize} level — outputs stay bitwise-identical at every level;
+    counter parity with the interpreter holds at [O0] only (see
+    {!Runtime.Engine}). *)
 val run :
-  ?engine:engine -> ?multicore:bool -> ?domains:int -> ?prelude:Prelude.built ->
+  ?engine:engine -> ?opt:Ir.Optimize.level -> ?multicore:bool -> ?domains:int ->
+  ?prelude:Prelude.built ->
   lenv:Lenfun.env -> bindings:binding list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built
 
 val run_ragged :
-  ?engine:engine -> ?multicore:bool -> ?domains:int -> ?prelude:Prelude.built ->
+  ?engine:engine -> ?opt:Ir.Optimize.level -> ?multicore:bool -> ?domains:int ->
+  ?prelude:Prelude.built ->
   lenv:Lenfun.env -> tensors:Ragged.t list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built
 
-(** Clear the [Sig]-keyed compiled-kernel memo (paired with
+(** Clear the [(Sig, opt level)]-keyed compiled-kernel memo (paired with
     {!Lower.clear_memo} by [Serving.Server.reset_caches]). *)
 val clear_engine_memo : unit -> unit
 

@@ -1,0 +1,268 @@
+(* IR optimization pipeline.  See optimize.mli for the contract; the load
+   hoisting here is the paper's §D.7 generalized from auxiliary-structure
+   reads to all loop-invariant ragged-offset arithmetic. *)
+
+type level = O0 | O1 | O2
+
+let level_of_int = function 0 -> O0 | 1 -> O1 | _ -> O2
+let int_of_level = function O0 -> 0 | O1 -> 1 | O2 -> 2
+let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
+
+type report = { hoisted : int }
+
+let hoist_var_name = "hv"
+
+(* ------------------------------------------------------------------ *)
+(* Purity / typing.  An expression is hoistable only when evaluating it
+   early can neither fault nor perturb the float stream: pure integer
+   arithmetic, ufun (prelude-table) reads, comparisons of the same — no
+   loads, no intrinsics, no float ops, and division only by a nonzero
+   literal.  [intvars] is the set of variables known to hold ints at this
+   point (loop variables and int-valued lets). *)
+
+let rec int_pure intvars (e : Expr.t) =
+  match e with
+  | Expr.Int _ -> true
+  | Expr.Var v -> Var.Set.mem v intvars
+  | Expr.Binop ((Expr.Add | Expr.Sub | Expr.Mul | Expr.Min | Expr.Max), a, b) ->
+      int_pure intvars a && int_pure intvars b
+  | Expr.Binop ((Expr.FloorDiv | Expr.Mod), a, Expr.Int n) when n <> 0 -> int_pure intvars a
+  | Expr.Select (c, a, b) -> bool_pure intvars c && int_pure intvars a && int_pure intvars b
+  | Expr.Ufun (_, args) -> List.for_all (int_pure intvars) args
+  | _ -> false
+
+and bool_pure intvars (e : Expr.t) =
+  match e with
+  | Expr.Bool _ -> true
+  | Expr.Cmp (_, a, b) -> int_pure intvars a && int_pure intvars b
+  | Expr.And (a, b) | Expr.Or (a, b) -> bool_pure intvars a && bool_pure intvars b
+  | Expr.Not a -> bool_pure intvars a
+  | _ -> false
+
+let node_count e = Expr.fold (fun n _ -> n + 1) 0 e
+let contains_ufun e = Expr.fold (fun b n -> b || match n with Expr.Ufun _ -> true | _ -> false) false e
+
+(* Worth a preheader slot: a prelude-table read, or a big enough arithmetic
+   tree that re-evaluating it per iteration actually costs something. *)
+let worth e = contains_ufun e || node_count e >= 4
+
+(* ------------------------------------------------------------------ *)
+(* Candidate collection: maximal hoistable subexpressions of a subtree
+   whose free variables are all bound at the prospective preheader. *)
+
+let collect ~bound ~intvars (stmt : Stmt.t) : Expr.t list =
+  let acc = ref [] in
+  let add e = if not (List.mem e !acc) then acc := e :: !acc in
+  let hoistable e =
+    int_pure intvars e && worth e && Var.Set.subset (Expr.free_vars e) bound
+  in
+  let rec scan e =
+    if hoistable e then add e
+    else
+      match (e : Expr.t) with
+      | Int _ | Float _ | Bool _ | Var _ -> ()
+      | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+          scan a;
+          scan b
+      | Not a -> scan a
+      | Select (c, a, b) ->
+          scan c;
+          scan a;
+          scan b
+      | Load { index; _ } -> scan index
+      | Ufun (_, args) | Call (_, args) -> List.iter scan args
+      | Access { indices; _ } -> List.iter scan indices
+      | Let (_, v, b) ->
+          scan v;
+          scan b
+  in
+  Stmt.fold_exprs (fun () e -> scan e) () stmt;
+  List.rev !acc
+
+(* Replace every occurrence of [target] (structural equality; sound because
+   hoistable expressions contain no floats and variables are globally
+   unique) with [Var hv], whole-match first so nothing inside a replaced
+   occurrence is rewritten twice. *)
+let replace_expr target hv e0 =
+  let rec go e =
+    if e = target then Expr.Var hv
+    else
+      match (e : Expr.t) with
+      | Int _ | Float _ | Bool _ | Var _ -> e
+      | Binop (op, a, b) -> Binop (op, go a, go b)
+      | Cmp (op, a, b) -> Cmp (op, go a, go b)
+      | And (a, b) -> And (go a, go b)
+      | Or (a, b) -> Or (go a, go b)
+      | Not a -> Not (go a)
+      | Select (c, a, b) -> Select (go c, go a, go b)
+      | Load { buf; index } -> Load { buf; index = go index }
+      | Ufun (n, args) -> Ufun (n, List.map go args)
+      | Call (n, args) -> Call (n, List.map go args)
+      | Access { tensor; indices } -> Access { tensor; indices = List.map go indices }
+      | Let (v, value, body) -> Let (v, go value, go body)
+  in
+  go e0
+
+let occurs_expr target e =
+  Expr.fold (fun b n -> b || n = target) false e
+
+let occurs_stmt target stmt =
+  Stmt.fold_exprs (fun b e -> b || occurs_expr target e) false stmt
+
+let replace_stmt target hv stmt = Stmt.map_exprs (replace_expr target hv) stmt
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant code motion.  Processed outermost-first: each [For]
+   hoists every candidate of its whole body subtree that is evaluable at
+   its preheader (free vars bound outside the loop), then recursion
+   inward hoists what remains (expressions depending on this loop's
+   variable) to deeper preheaders.  Candidates are substituted largest
+   first so a maximal tree is bound whole, never split. *)
+
+let licm (stmt : Stmt.t) : Stmt.t * report =
+  let hoisted = ref 0 in
+  let rec go ~bound ~intvars (s : Stmt.t) : Stmt.t =
+    match s with
+    | Stmt.For r ->
+        let cands =
+          collect ~bound ~intvars r.body
+          |> List.sort (fun a b -> Int.compare (node_count b) (node_count a))
+        in
+        let body, bindings =
+          List.fold_left
+            (fun (body, binds) e ->
+              (* earlier (larger) substitutions may have consumed every
+                 occurrence of a smaller candidate *)
+              if occurs_stmt e body then
+                let hv = Var.fresh hoist_var_name in
+                (replace_stmt e hv body, (hv, e) :: binds)
+              else (body, binds))
+            (r.body, []) cands
+        in
+        hoisted := !hoisted + List.length bindings;
+        let bound = List.fold_left (fun s (v, _) -> Var.Set.add v s) bound bindings in
+        let intvars = List.fold_left (fun s (v, _) -> Var.Set.add v s) intvars bindings in
+        let body =
+          go ~bound:(Var.Set.add r.var bound) ~intvars:(Var.Set.add r.var intvars) body
+        in
+        List.fold_left
+          (fun acc (v, e) -> Stmt.Let_stmt (v, e, acc))
+          (Stmt.For { r with body })
+          bindings
+    | Stmt.Let_stmt (v, e, body) ->
+        let intvars = if int_pure intvars e then Var.Set.add v intvars else intvars in
+        Stmt.Let_stmt (v, e, go ~bound:(Var.Set.add v bound) ~intvars body)
+    | Stmt.If (c, a, b) ->
+        Stmt.If (c, go ~bound ~intvars a, Option.map (go ~bound ~intvars) b)
+    | Stmt.Seq l -> Stmt.Seq (List.map (go ~bound ~intvars) l)
+    | Stmt.Alloc r ->
+        Stmt.Alloc { r with body = go ~bound:(Var.Set.add r.buf bound) ~intvars r.body }
+    | Stmt.Store _ | Stmt.Reduce_store _ | Stmt.Eval _ | Stmt.Nop -> s
+  in
+  let s = go ~bound:Var.Set.empty ~intvars:Var.Set.empty stmt in
+  (s, { hoisted = !hoisted })
+
+(* ------------------------------------------------------------------ *)
+(* Pass framework: each pass runs under an [optimize.<name>] span and
+   accounts what it did in the metrics registry. *)
+
+type pass = { pname : string; prun : Stmt.t -> Stmt.t * report }
+
+let licm_pass = { pname = "licm"; prun = licm }
+let passes = function O0 -> [] | O1 | O2 -> [ licm_pass ]
+
+let run ~level (stmt : Stmt.t) : Stmt.t * report =
+  List.fold_left
+    (fun (s, rep) p ->
+      let s', r =
+        Obs.Span.with_span
+          ~attrs:[ ("level", Obs.Trace_sink.Str (level_name level)) ]
+          ("optimize." ^ p.pname)
+          (fun () -> p.prun s)
+      in
+      Obs.Metrics.add (Obs.Metrics.counter "optimize.hoisted") r.hoisted;
+      (s', { hoisted = rep.hoisted + r.hoisted }))
+    (stmt, { hoisted = 0 })
+    (passes level)
+
+(* ------------------------------------------------------------------ *)
+(* Affine decomposition: [e = base + var * stride] with [base]/[stride]
+   free of [var].  Exact — only reassociates integer [+]/[-]/[*]. *)
+
+type affine = { base : Expr.t; stride : Expr.t }
+
+let rec affine_in v (e : Expr.t) : affine option =
+  if not (Expr.uses_var v e) then Some { base = e; stride = Expr.zero }
+  else
+    match e with
+    | Expr.Var u when Var.equal u v -> Some { base = Expr.zero; stride = Expr.one }
+    | Expr.Binop (Expr.Add, a, b) -> (
+        match (affine_in v a, affine_in v b) with
+        | Some x, Some y ->
+            Some { base = Expr.add x.base y.base; stride = Expr.add x.stride y.stride }
+        | _ -> None)
+    | Expr.Binop (Expr.Sub, a, b) -> (
+        match (affine_in v a, affine_in v b) with
+        | Some x, Some y ->
+            Some { base = Expr.sub x.base y.base; stride = Expr.sub x.stride y.stride }
+        | _ -> None)
+    | Expr.Binop (Expr.Mul, a, b) when not (Expr.uses_var v a) -> (
+        match affine_in v b with
+        | Some y -> Some { base = Expr.mul a y.base; stride = Expr.mul a y.stride }
+        | None -> None)
+    | Expr.Binop (Expr.Mul, a, b) when not (Expr.uses_var v b) -> (
+        match affine_in v a with
+        | Some x -> Some { base = Expr.mul x.base b; stride = Expr.mul x.stride b }
+        | None -> None)
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Innermost-loop classification *)
+
+type inner =
+  | Dot of {
+      dst : Var.t;
+      dst_idx : Expr.t;
+      op : Stmt.reduce_op;
+      a : Var.t;
+      a_ix : affine;
+      b : Var.t;
+      b_ix : affine;
+    }
+  | Reduce1 of { dst : Var.t; dst_idx : Expr.t; op : Stmt.reduce_op; src : Var.t; src_ix : affine }
+  | Copy of { dst : Var.t; dst_ix : affine; src : Var.t; src_ix : affine }
+  | Scale of { dst : Var.t; dst_ix : affine; src : Var.t; src_ix : affine; factor : float }
+
+let classify_inner ~var (body : Stmt.t) : inner option =
+  match body with
+  | Stmt.Reduce_store { buf; index; value; op } when not (Expr.uses_var var index) -> (
+      match value with
+      | Expr.Binop (Expr.Mul, Expr.Load { buf = a; index = ia }, Expr.Load { buf = b; index = ib })
+        -> (
+          match (affine_in var ia, affine_in var ib) with
+          | Some a_ix, Some b_ix -> Some (Dot { dst = buf; dst_idx = index; op; a; a_ix; b; b_ix })
+          | _ -> None)
+      | Expr.Load { buf = src; index = is } -> (
+          match affine_in var is with
+          | Some src_ix -> Some (Reduce1 { dst = buf; dst_idx = index; op; src; src_ix })
+          | None -> None)
+      | _ -> None)
+  | Stmt.Store { buf; index; value } -> (
+      match affine_in var index with
+      | None -> None
+      | Some dst_ix -> (
+          match value with
+          | Expr.Load { buf = src; index = is } -> (
+              match affine_in var is with
+              | Some src_ix -> Some (Copy { dst = buf; dst_ix; src; src_ix })
+              | None -> None)
+          (* literal factor only, and never NaN: [x *. c] must be bitwise
+             [c *. x] for the emitted loop to be order-insensitive *)
+          | Expr.Binop (Expr.Mul, Expr.Load { buf = src; index = is }, Expr.Float c)
+          | Expr.Binop (Expr.Mul, Expr.Float c, Expr.Load { buf = src; index = is })
+            when not (Float.is_nan c) -> (
+              match affine_in var is with
+              | Some src_ix -> Some (Scale { dst = buf; dst_ix; src; src_ix; factor = c })
+              | None -> None)
+          | _ -> None))
+  | _ -> None

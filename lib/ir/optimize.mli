@@ -1,0 +1,96 @@
+(** IR optimization pipeline — runs on lowered [Stmt]/[Expr] between
+    {!Lower} (well, the lowered kernel body it produced) and engine
+    compilation.
+
+    Three cooperating pieces, mirroring the paper's §D.7 load hoisting and
+    the LoopStack-style innermost-loop specialization:
+
+    - {b loop-invariant code motion} ({!licm}): ragged-offset
+      subexpressions — [A_d] prelude-table reads ([Ufun]s), affine index
+      products — are hoisted to the outermost loop level where their free
+      variables are bound, becoming [Let_stmt] preheaders;
+    - {b affine decomposition} ({!affine_in}): rewrites an index
+      expression as [base + var * stride], the analysis behind strength
+      reduction (running offsets instead of re-evaluated address trees);
+    - {b innermost-loop classification} ({!classify_inner}): recognizes
+      dense dot / reduction / copy / scale loop bodies so the engine can
+      emit fused microkernels.
+
+    The pipeline itself never changes observable values: hoisting moves
+    only {e pure integer} expressions (no loads, no float ops, no
+    division by a possibly-zero expression), so the optimized program is
+    bitwise-identical to the unoptimized one on well-formed kernels.
+    What {e does} change is the statistics profile: hoisted [Ufun] reads
+    bump [loads]/[indirect] once per preheader entry instead of once per
+    iteration.  That difference is deliberate, documented, and measured
+    by the engine's [hoisted] counter.
+
+    Speculation caveat: a hoisted binding is evaluated even when every
+    loop below it runs zero iterations (or every guard below it is
+    false), where the unoptimized program would not have evaluated it.
+    This is safe for the expressions we hoist — prelude tables are total
+    over the variables bound at the preheader — and is the standard LICM
+    trade; the differential fuzz in [test/test_optimize.ml] exercises it
+    across guarded, padded and zero-length schedules. *)
+
+(** Optimization level, threaded from [Exec]/[Serving]/the CLI down to
+    {!Runtime.Engine.compile}:
+    [O0] — none (bit- and counter-exact interpreter parity);
+    [O1] — LICM + strength-reduced innermost store loops;
+    [O2] — [O1] + fused microkernels. *)
+type level = O0 | O1 | O2
+
+val level_of_int : int -> level
+(** [0 -> O0], [1 -> O1], anything [>= 2 -> O2]. *)
+
+val int_of_level : level -> int
+val level_name : level -> string
+
+(** Per-run report of what the pipeline did. *)
+type report = { hoisted : int  (** [Let_stmt] preheader bindings created *) }
+
+(** Display name given to every hoisted binding's variable — the engine
+    recognizes it to maintain its [hoisted] runtime counter. *)
+val hoist_var_name : string
+
+val licm : Stmt.t -> Stmt.t * report
+(** Loop-invariant code motion (pass [optimize.licm], traced as a span;
+    bindings created are counted in the [optimize.hoisted] metric). *)
+
+val run : level:level -> Stmt.t -> Stmt.t * report
+(** Run the pass list for [level] ([O0] is the identity). *)
+
+(* ------------------------------------------------------------------ *)
+(* Analyses used by the engine's strength reduction and microkernels *)
+
+(** [index = base + var * stride], with [base] and [stride] free of [var]. *)
+type affine = { base : Expr.t; stride : Expr.t }
+
+val affine_in : Var.t -> Expr.t -> affine option
+(** Structural affine decomposition w.r.t. [var].  Exact in integer
+    arithmetic (only reassociates [+]/[-]/[*]); [None] when the
+    expression is not affine in [var] (e.g. [var] under floordiv/mod). *)
+
+(** Innermost-loop body shapes the engine fuses into microkernels.  All
+    index fields are affine in the loop variable; [dst_idx] of the
+    reductions is invariant in it (the register-accumulation condition). *)
+type inner =
+  | Dot of {
+      dst : Var.t;
+      dst_idx : Expr.t;
+      op : Stmt.reduce_op;
+      a : Var.t;
+      a_ix : affine;
+      b : Var.t;
+      b_ix : affine;
+    }  (** [dst[dst_idx] op= a[..] * b[..]] — the gemm/attention inner loop *)
+  | Reduce1 of { dst : Var.t; dst_idx : Expr.t; op : Stmt.reduce_op; src : Var.t; src_ix : affine }
+      (** [dst[dst_idx] op= src[..]] — row max / row sum *)
+  | Copy of { dst : Var.t; dst_ix : affine; src : Var.t; src_ix : affine }
+      (** [dst[..] = src[..]] — row gather / scatter *)
+  | Scale of { dst : Var.t; dst_ix : affine; src : Var.t; src_ix : affine; factor : float }
+      (** [dst[..] = src[..] * c] (or [c * src[..]]) with a literal [c] *)
+
+val classify_inner : var:Var.t -> Stmt.t -> inner option
+(** Classify a loop {e body} (single statement, no [Seq]/[If] wrapper)
+    against the microkernel shapes, w.r.t. loop variable [var]. *)

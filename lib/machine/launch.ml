@@ -153,19 +153,23 @@ let prelude_cost ~(device : Device.t) (built : Prelude.built) : float * float =
   in
   (host, copy)
 
-let pipeline ?engine ?prelude ~device ~lenv (launches : t list) : pipeline_time =
+let pipeline ?engine ?opt ?prelude ~device ~lenv (launches : t list) : pipeline_time =
   Obs.Span.with_span
     ~attrs:
       ([
          ("device", Obs.Trace_sink.Str device.Device.name);
          ("launches", Obs.Trace_sink.Int (List.length launches));
        ]
-      @
-      (* which execution engine serves the request this model run prices —
-         lets a trace correlate modelled and measured times per engine *)
-      match engine with
+      @ (* which execution engine (and optimization level) serves the
+           request this model run prices — lets a trace correlate modelled
+           and measured times per configuration *)
+      (match engine with
       | Some e ->
           [ ("engine", Obs.Trace_sink.Str (match e with `Interp -> "interp" | `Compiled -> "compiled")) ]
+      | None -> [])
+      @
+      match opt with
+      | Some o -> [ ("opt", Obs.Trace_sink.Str (Ir.Optimize.level_name o)) ]
       | None -> [])
     "launch.pipeline"
   @@ fun () ->

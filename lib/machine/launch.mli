@@ -55,10 +55,11 @@ val prelude_cost : device:Device.t -> Cora.Prelude.built -> float * float
     copy of the auxiliary structures (Fig. 4's runtime pipeline).
     With [?prelude] the supplied structures are reused: an earlier request
     with the same raggedness signature already built and copied them, so
-    [prelude_host_ns] and [prelude_copy_ns] are both 0.  [?engine] tags
-    the [launch.pipeline] span with the execution engine serving the
-    request being priced. *)
+    [prelude_host_ns] and [prelude_copy_ns] are both 0.  [?engine] /
+    [?opt] tag the [launch.pipeline] span with the execution engine (and
+    its optimization level) serving the request being priced. *)
 val pipeline :
   ?engine:[ `Interp | `Compiled ] ->
+  ?opt:Ir.Optimize.level ->
   ?prelude:Cora.Prelude.built ->
   device:Device.t -> lenv:Cora.Lenfun.env -> t list -> pipeline_time

@@ -22,3 +22,37 @@ val set_int : t -> int -> int -> unit
 val bytes : t -> int
 
 val fill_float : t -> float -> unit
+
+(** Recycling pool of float arrays, keyed by length — the zero-allocation
+    backbone of the steady-state serving path.  {!Arena.acquire} returns a
+    zero-filled array of exactly the requested length (recycled on a hit,
+    freshly allocated on a miss — [arena.hit] / [arena.miss] metrics);
+    {!Arena.acquire_class} rounds up to the next power-of-two size class
+    first, so streams of varying ragged sizes converge onto a closed set
+    of classes.  {!Arena.release} returns an array for reuse; the caller
+    must not touch it afterwards.  Thread-safe. *)
+module Arena : sig
+  type t
+
+  val create : unit -> t
+
+  (** Zero-filled array of length exactly [n].  Raises like
+      [Array.make] on a negative [n]. *)
+  val acquire : t -> int -> float array
+
+  (** Like {!acquire} but the result length is the next power of two
+      [>= n] (for [n > 0]). *)
+  val acquire_class : t -> int -> float array
+
+  val release : t -> float array -> unit
+
+  (** Drop all pooled arrays. *)
+  val clear : t -> unit
+
+  (** Number of arrays currently pooled (observability / tests). *)
+  val stored : t -> int
+
+  (** The process-wide arena shared by the engine's [Alloc] scratch and
+      the serving path. *)
+  val global : t
+end

@@ -171,6 +171,8 @@ type frame = {
   mutable indirect : int;
   mutable guards : int;
   mutable guard_hits : int;
+  mutable hoisted : int;  (** evaluations of LICM-hoisted preheader bindings *)
+  mutable microkernel_elems : int;  (** elements processed by fused microkernels *)
 }
 
 type compiled = { c_layout : layout; c_entry : frame -> unit }
@@ -182,6 +184,7 @@ type slot = SInt of int | SFloat of int | SBool of int
 type ty = TInt | TFloat | TBool
 
 type ctx = {
+  opt : int;  (* optimization level: 0 none, 1 +strength reduction, 2 +microkernels *)
   vars : (int, slot) Hashtbl.t;  (* Var.id -> scalar slot *)
   mutable n_int : int;
   mutable n_float : int;
@@ -195,8 +198,9 @@ type ctx = {
   mutable n_ufun : int;
 }
 
-let new_ctx () =
+let new_ctx ?(opt = 0) () =
   {
+    opt;
     vars = Hashtbl.create 32;
     n_int = 0;
     n_float = 0;
@@ -540,22 +544,71 @@ and compile_call ctx name args : cexpr =
 (* ------------------------------------------------------------------ *)
 (* Statement compilation *)
 
+(* Chunk boundaries balancing per-iteration [weights] across [k] chunks:
+   returns [k + 1] nondecreasing offsets with [bounds.(0) = 0] and
+   [bounds.(k) = n]; every chunk is contiguous and (for k <= n) nonempty.
+   Greedy by weight prefix: cut as soon as a chunk's proportional quota is
+   met, while always leaving at least one iteration per remaining chunk —
+   so one heavily ragged row cannot drag the whole tail into one chunk. *)
+let balance_chunks (ws : int array) k : int array =
+  let n = Array.length ws in
+  let k = max 1 (min k n) in
+  let total = max 1 (Array.fold_left ( + ) 0 ws) in
+  let bounds = Array.make (k + 1) n in
+  bounds.(0) <- 0;
+  let c = ref 1 and acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + ws.(i);
+    while
+      !c < k && !acc * k >= !c * total && n - (i + 1) >= k - !c && bounds.(!c - 1) <= i
+    do
+      bounds.(!c) <- i + 1;
+      incr c
+    done
+  done;
+  while !c < k do
+    bounds.(!c) <- max bounds.(!c - 1) (n - (k - !c));
+    incr c
+  done;
+  bounds
+
 (* Parallel chunk execution.  Mirrors Interp.exec_multicore: scalar state is
    copied per chunk (loop writes to disjoint buffer locations, per the
    Parallel-binding contract), the buffer slot table is shallow-copied so
    Alloc scratch stays chunk-local, and per-chunk counters fold into the
-   parent through atomics — totals are exactly those of a serial run. *)
-let run_parallel pool (fr : frame) slot m n (cbody : frame -> unit) =
+   parent through atomics — totals are exactly those of a serial run.
+
+   Chunks are sized by [est] (a per-iteration cost estimate compiled from
+   the loop body) when available, so a handful of long ragged rows no
+   longer starves the other domains; without an estimate the split is by
+   iteration count, as before.  The estimate runs on a scratch view of the
+   frame whose counters are discarded — chunking must never perturb the
+   statistics. *)
+let run_parallel pool (fr : frame) slot m n ?est (cbody : frame -> unit) =
   let loads = Atomic.make 0 and stores = Atomic.make 0 and flops = Atomic.make 0 in
   let indirect = Atomic.make 0 and guards = Atomic.make 0 and guard_hits = Atomic.make 0 in
+  let hoisted = Atomic.make 0 and mk_elems = Atomic.make 0 in
   let chunks = min n (Pool.parallelism pool * 4) in
-  let csize = (n + chunks - 1) / chunks in
+  let bounds =
+    match est with
+    | None ->
+        let csize = (n + chunks - 1) / chunks in
+        Array.init (chunks + 1) (fun c -> min n (c * csize))
+    | Some est ->
+        let sfr = { fr with loads = 0 } in
+        let ws =
+          Array.init n (fun j ->
+              Array.unsafe_set sfr.ints slot (m + j);
+              try max 1 (est sfr) with _ -> 1)
+        in
+        balance_chunks ws chunks
+  in
   let ti = Array.copy fr.ints
   and tf = Array.copy fr.floats
   and tb = Array.copy fr.bools in
   Pool.run pool ~chunks (fun c ->
-      let lo = m + (c * csize) in
-      let hi = min (m + n - 1) (lo + csize - 1) in
+      let lo = m + bounds.(c) in
+      let hi = m + bounds.(c + 1) - 1 in
       if lo <= hi then begin
         let w =
           {
@@ -571,6 +624,8 @@ let run_parallel pool (fr : frame) slot m n (cbody : frame -> unit) =
             indirect = 0;
             guards = 0;
             guard_hits = 0;
+            hoisted = 0;
+            microkernel_elems = 0;
           }
         in
         for i = lo to hi do
@@ -582,14 +637,234 @@ let run_parallel pool (fr : frame) slot m n (cbody : frame -> unit) =
         ignore (Atomic.fetch_and_add flops w.flops);
         ignore (Atomic.fetch_and_add indirect w.indirect);
         ignore (Atomic.fetch_and_add guards w.guards);
-        ignore (Atomic.fetch_and_add guard_hits w.guard_hits)
+        ignore (Atomic.fetch_and_add guard_hits w.guard_hits);
+        ignore (Atomic.fetch_and_add hoisted w.hoisted);
+        ignore (Atomic.fetch_and_add mk_elems w.microkernel_elems)
       end);
   fr.loads <- fr.loads + Atomic.get loads;
   fr.stores <- fr.stores + Atomic.get stores;
   fr.flops <- fr.flops + Atomic.get flops;
   fr.indirect <- fr.indirect + Atomic.get indirect;
   fr.guards <- fr.guards + Atomic.get guards;
-  fr.guard_hits <- fr.guard_hits + Atomic.get guard_hits
+  fr.guard_hits <- fr.guard_hits + Atomic.get guard_hits;
+  fr.hoisted <- fr.hoisted + Atomic.get hoisted;
+  fr.microkernel_elems <- fr.microkernel_elems + Atomic.get mk_elems
+
+(* ------------------------------------------------------------------ *)
+(* Microkernels (opt >= 2).  An innermost loop whose body matches one of
+   the Optimize.classify_inner shapes compiles to a tight float-array loop
+   with running (strength-reduced) offsets and a register accumulator — no
+   per-element slot traffic, no per-element closure calls, no per-element
+   bounds checks.  Bitwise parity holds because the float operation
+   sequence is exactly the interpreter's: reductions combine into the same
+   cell in the same order (kept in a register, legal because nothing else
+   reads or writes the cell mid-loop — enforced by the dst/src aliasing
+   dispatch), and element-wise loops process elements in the same order.
+   Bounds checks move to the loop head: a linear index sequence is in
+   bounds iff its two endpoints are (divergence only on error paths).
+   Counters are bulk-added with the same totals; [microkernel_elems]
+   records how many elements took this path. *)
+
+let check_lin ~what ~name arr i0 i1 =
+  let lo = if i0 <= i1 then i0 else i1 in
+  let hi = if i0 <= i1 then i1 else i0 in
+  if lo < 0 || hi >= Array.length arr then
+    err "%s %s[%d] out of bounds (len %d)" what name
+      (if lo < 0 then lo else hi)
+      (Array.length arr)
+
+let combine_of = function
+  | Stmt.Sum -> ( +. )
+  | Stmt.Prod -> ( *. )
+  | Stmt.Rmax -> Float.max
+  | Stmt.Rmin -> Float.min
+
+let compile_affine ctx (ax : Optimize.affine) =
+  (as_int (compile_expr ctx ax.Optimize.base), as_int (compile_expr ctx ax.Optimize.stride))
+
+(* [emit_inner ctx pattern] returns [fallback -> frame -> m -> n -> unit];
+   the fallback (the generic compiled loop) runs when the destination
+   aliases an input, where register accumulation would diverge.  Callers
+   guarantee n > 0. *)
+let emit_inner ctx (p : Optimize.inner) :
+    (frame -> int -> int -> unit) -> frame -> int -> int -> unit =
+  match p with
+  | Optimize.Dot { dst; dst_idx; op; a; a_ix; b; b_ix } ->
+      let dslot = buf_slot ctx dst and aslot = buf_slot ctx a and bslot = buf_slot ctx b in
+      let dname = Var.mangled dst and aname = Var.mangled a and bname = Var.mangled b in
+      let fdi = as_int (compile_expr ctx dst_idx) in
+      let fab, fas = compile_affine ctx a_ix in
+      let fbb, fbs = compile_affine ctx b_ix in
+      let combine = combine_of op in
+      let is_sum = match op with Stmt.Sum -> true | _ -> false in
+      fun fallback fr m n ->
+        let darr = Array.unsafe_get fr.fbufs dslot in
+        let aarr = Array.unsafe_get fr.fbufs aslot in
+        let barr = Array.unsafe_get fr.fbufs bslot in
+        if darr == aarr || darr == barr then fallback fr m n
+        else begin
+          let di = fdi fr in
+          if di < 0 || di >= Array.length darr then
+            err "reduce_store %s[%d] out of bounds (len %d)" dname di (Array.length darr);
+          let astep = fas fr in
+          let a0 = fab fr + (m * astep) in
+          let bstep = fbs fr in
+          let b0 = fbb fr + (m * bstep) in
+          check_lin ~what:"load" ~name:aname aarr a0 (a0 + ((n - 1) * astep));
+          check_lin ~what:"load" ~name:bname barr b0 (b0 + ((n - 1) * bstep));
+          let acc = ref (Array.unsafe_get darr di) in
+          let ai = ref a0 and bi = ref b0 in
+          if is_sum then
+            for _ = 1 to n do
+              acc := !acc +. (Array.unsafe_get aarr !ai *. Array.unsafe_get barr !bi);
+              ai := !ai + astep;
+              bi := !bi + bstep
+            done
+          else
+            for _ = 1 to n do
+              acc := combine !acc (Array.unsafe_get aarr !ai *. Array.unsafe_get barr !bi);
+              ai := !ai + astep;
+              bi := !bi + bstep
+            done;
+          Array.unsafe_set darr di !acc;
+          fr.loads <- fr.loads + (2 * n);
+          fr.flops <- fr.flops + (2 * n);
+          fr.stores <- fr.stores + n;
+          fr.microkernel_elems <- fr.microkernel_elems + n
+        end
+  | Optimize.Reduce1 { dst; dst_idx; op; src; src_ix } ->
+      let dslot = buf_slot ctx dst and sslot = buf_slot ctx src in
+      let dname = Var.mangled dst and sname = Var.mangled src in
+      let fdi = as_int (compile_expr ctx dst_idx) in
+      let fsb, fss = compile_affine ctx src_ix in
+      let combine = combine_of op in
+      fun fallback fr m n ->
+        let darr = Array.unsafe_get fr.fbufs dslot in
+        let sarr = Array.unsafe_get fr.fbufs sslot in
+        if darr == sarr then fallback fr m n
+        else begin
+          let di = fdi fr in
+          if di < 0 || di >= Array.length darr then
+            err "reduce_store %s[%d] out of bounds (len %d)" dname di (Array.length darr);
+          let sstep = fss fr in
+          let s0 = fsb fr + (m * sstep) in
+          check_lin ~what:"load" ~name:sname sarr s0 (s0 + ((n - 1) * sstep));
+          let acc = ref (Array.unsafe_get darr di) in
+          let si = ref s0 in
+          for _ = 1 to n do
+            acc := combine !acc (Array.unsafe_get sarr !si);
+            si := !si + sstep
+          done;
+          Array.unsafe_set darr di !acc;
+          fr.loads <- fr.loads + n;
+          fr.flops <- fr.flops + n;
+          fr.stores <- fr.stores + n;
+          fr.microkernel_elems <- fr.microkernel_elems + n
+        end
+  | Optimize.Copy { dst; dst_ix; src; src_ix } ->
+      let dslot = buf_slot ctx dst and sslot = buf_slot ctx src in
+      let dname = Var.mangled dst and sname = Var.mangled src in
+      let fdb, fds = compile_affine ctx dst_ix in
+      let fsb, fss = compile_affine ctx src_ix in
+      (* element order matches the generic loop, so aliasing is fine *)
+      fun _fallback fr m n ->
+        let darr = Array.unsafe_get fr.fbufs dslot in
+        let sarr = Array.unsafe_get fr.fbufs sslot in
+        let dstep = fds fr in
+        let d0 = fdb fr + (m * dstep) in
+        let sstep = fss fr in
+        let s0 = fsb fr + (m * sstep) in
+        check_lin ~what:"store" ~name:dname darr d0 (d0 + ((n - 1) * dstep));
+        check_lin ~what:"load" ~name:sname sarr s0 (s0 + ((n - 1) * sstep));
+        let di = ref d0 and si = ref s0 in
+        for _ = 1 to n do
+          Array.unsafe_set darr !di (Array.unsafe_get sarr !si);
+          di := !di + dstep;
+          si := !si + sstep
+        done;
+        fr.loads <- fr.loads + n;
+        fr.stores <- fr.stores + n;
+        fr.microkernel_elems <- fr.microkernel_elems + n
+  | Optimize.Scale { dst; dst_ix; src; src_ix; factor } ->
+      let dslot = buf_slot ctx dst and sslot = buf_slot ctx src in
+      let dname = Var.mangled dst and sname = Var.mangled src in
+      let fdb, fds = compile_affine ctx dst_ix in
+      let fsb, fss = compile_affine ctx src_ix in
+      fun _fallback fr m n ->
+        let darr = Array.unsafe_get fr.fbufs dslot in
+        let sarr = Array.unsafe_get fr.fbufs sslot in
+        let dstep = fds fr in
+        let d0 = fdb fr + (m * dstep) in
+        let sstep = fss fr in
+        let s0 = fsb fr + (m * sstep) in
+        check_lin ~what:"store" ~name:dname darr d0 (d0 + ((n - 1) * dstep));
+        check_lin ~what:"load" ~name:sname sarr s0 (s0 + ((n - 1) * sstep));
+        let di = ref d0 and si = ref s0 in
+        for _ = 1 to n do
+          Array.unsafe_set darr !di (Array.unsafe_get sarr !si *. factor);
+          di := !di + dstep;
+          si := !si + sstep
+        done;
+        fr.loads <- fr.loads + n;
+        fr.flops <- fr.flops + n;
+        fr.stores <- fr.stores + n;
+        fr.microkernel_elems <- fr.microkernel_elems + n
+
+(* ------------------------------------------------------------------ *)
+(* Per-iteration weight estimator for parallel chunk balancing: static
+   expression costs from the analytic cost model, dynamic trip counts by
+   evaluating loop bounds on the frame (inner loop variables pinned to
+   their first iteration — the estimate guides chunking only, so an
+   approximation is fine).  Compiled with its own scalar slots; evaluated
+   on a scratch frame view, so it can neither clobber the kernel's state
+   nor perturb its counters.  Any compile- or eval-time failure falls back
+   to uniform weights. *)
+let rec est_stmt ctx (s : Stmt.t) : frame -> int =
+  let ecost e = max 1 (int_of_float (Cost_model.total (Cost_model.expr_counts e))) in
+  match s with
+  | Stmt.Store { index; value; _ } | Stmt.Reduce_store { index; value; _ } ->
+      let c = ecost index + ecost value in
+      fun _ -> c
+  | Stmt.Eval e ->
+      let c = ecost e in
+      fun _ -> c
+  | Stmt.Nop -> fun _ -> 1
+  | Stmt.Seq l ->
+      let es = Array.of_list (List.map (est_stmt ctx) l) in
+      fun fr -> Array.fold_left (fun acc f -> acc + f fr) 0 es
+  | Stmt.If (c, a, b) ->
+      (* both branches, statically: the skew this estimator exists to fix
+         comes from ragged trip counts, not guard outcomes *)
+      let cc = ecost c in
+      let ea = est_stmt ctx a in
+      let eb = match b with Some b -> est_stmt ctx b | None -> fun _ -> 0 in
+      fun fr -> cc + ea fr + eb fr
+  | Stmt.Let_stmt (v, e, body) -> (
+      match compile_expr ctx e with
+      | CInt f ->
+          with_var ctx v TInt @@ fun slot ->
+          let eb = est_stmt ctx body in
+          fun fr ->
+            Array.unsafe_set fr.ints slot (f fr);
+            eb fr
+      | CFloat _ | CBool _ -> est_stmt ctx body)
+  | Stmt.Alloc { body; _ } -> est_stmt ctx body
+  | Stmt.For { var; min; extent; body; _ } ->
+      let fm = as_int (compile_expr ctx min) in
+      let fn = as_int (compile_expr ctx extent) in
+      with_var ctx var TInt @@ fun slot ->
+      let eb = est_stmt ctx body in
+      fun fr ->
+        let m = fm fr in
+        let n = fn fr in
+        if n <= 0 then 1
+        else begin
+          Array.unsafe_set fr.ints slot m;
+          1 + (n * eb fr)
+        end
+
+let compile_est ctx (s : Stmt.t) : (frame -> int) option =
+  match est_stmt ctx s with e -> Some e | exception Error _ -> None
 
 (* [par_ok] tracks which Parallel loops Interp.exec_multicore would actually
    parallelize: those reachable through For / Let_stmt / Seq only.  Bodies
@@ -598,37 +873,121 @@ let run_parallel pool (fr : frame) slot m n (cbody : frame -> unit) =
    structure (and hence its soundness obligations) identical. *)
 let rec compile_stmt ctx ~par_ok (s : Stmt.t) : frame -> unit =
   match s with
-  | For { var; min; extent; kind; body } ->
+  | For { var; min; extent; kind; body } -> (
       let fm = as_int (compile_expr ctx min) in
       let fn = as_int (compile_expr ctx extent) in
       let par = par_ok && (match kind with Stmt.Parallel -> true | _ -> false) in
       with_var ctx var TInt @@ fun slot ->
+      let micro =
+        if (not par) && ctx.opt >= 2 then
+          Option.map (emit_inner ctx) (Optimize.classify_inner ~var body)
+        else None
+      in
       let cbody = compile_stmt ctx ~par_ok:(par_ok && not par) body in
-      if par then
+      let serial fr m n =
+        for i = m to m + n - 1 do
+          Array.unsafe_set fr.ints slot i;
+          cbody fr
+        done
+      in
+      if par then begin
+        let est = compile_est ctx body in
         fun fr ->
           let m = fm fr in
           let n = fn fr in
-          (match fr.pool with
-          | Some p when n > 1 && Pool.parallelism p > 1 -> run_parallel p fr slot m n cbody
-          | _ ->
-              for i = m to m + n - 1 do
-                Array.unsafe_set fr.ints slot i;
-                cbody fr
-              done)
+          match fr.pool with
+          | Some p when n > 1 && Pool.parallelism p > 1 -> run_parallel p fr slot m n ?est cbody
+          | _ -> serial fr m n
+      end
       else
-        fun fr ->
-          let m = fm fr in
-          let n = fn fr in
-          for i = m to m + n - 1 do
-            Array.unsafe_set fr.ints slot i;
-            cbody fr
-          done
+        match micro with
+        | Some mk ->
+            let mk = mk serial in
+            fun fr ->
+              let m = fm fr in
+              let n = fn fr in
+              if n > 0 then mk fr m n
+        | None -> (
+            (* strength reduction (opt >= 1): an innermost store loop whose
+               index is affine in the loop variable becomes a running-offset
+               loop — the value closure still runs per element (arbitrary
+               expression), but the address tree is evaluated once and the
+               per-element bounds checks collapse to two endpoint checks. *)
+            let sred =
+              if ctx.opt >= 1 then
+                match body with
+                | Stmt.Store { buf; index; value } ->
+                    Option.map (fun ax -> (None, buf, ax, value)) (Optimize.affine_in var index)
+                | Stmt.Reduce_store { buf; index; value; op } ->
+                    Option.map
+                      (fun ax -> (Some op, buf, ax, value))
+                      (Optimize.affine_in var index)
+                | _ -> None
+              else None
+            in
+            match sred with
+            | Some (op, buf, ax, value) -> (
+                let bslot = buf_slot ctx buf in
+                let bname = Var.mangled buf in
+                let fbase, fstep = compile_affine ctx ax in
+                let fv = as_float (compile_expr ctx value) in
+                match op with
+                | None ->
+                    fun fr ->
+                      let m = fm fr in
+                      let n = fn fr in
+                      if n > 0 then begin
+                        let a = Array.unsafe_get fr.fbufs bslot in
+                        let step = fstep fr in
+                        let i0 = fbase fr + (m * step) in
+                        check_lin ~what:"store" ~name:bname a i0 (i0 + ((n - 1) * step));
+                        let ix = ref i0 in
+                        for i = m to m + n - 1 do
+                          Array.unsafe_set fr.ints slot i;
+                          Array.unsafe_set a !ix (fv fr);
+                          ix := !ix + step
+                        done;
+                        fr.stores <- fr.stores + n
+                      end
+                | Some rop ->
+                    let combine = combine_of rop in
+                    fun fr ->
+                      let m = fm fr in
+                      let n = fn fr in
+                      if n > 0 then begin
+                        let a = Array.unsafe_get fr.fbufs bslot in
+                        let step = fstep fr in
+                        let i0 = fbase fr + (m * step) in
+                        check_lin ~what:"reduce_store" ~name:bname a i0 (i0 + ((n - 1) * step));
+                        let ix = ref i0 in
+                        for i = m to m + n - 1 do
+                          Array.unsafe_set fr.ints slot i;
+                          (* value first, then the current cell — interpreter order *)
+                          let x = fv fr in
+                          Array.unsafe_set a !ix (combine (Array.unsafe_get a !ix) x);
+                          ix := !ix + step
+                        done;
+                        fr.stores <- fr.stores + n;
+                        fr.flops <- fr.flops + n
+                      end)
+            | None ->
+                fun fr ->
+                  let m = fm fr in
+                  let n = fn fr in
+                  serial fr m n))
   | Let_stmt (v, e, body) -> (
       let cv = compile_expr ctx e in
       let ty = match cv with CInt _ -> TInt | CFloat _ -> TFloat | CBool _ -> TBool in
+      let hoisted = String.equal (Var.name v) Optimize.hoist_var_name in
       with_var ctx v ty @@ fun slot ->
       let cbody = compile_stmt ctx ~par_ok body in
       match cv with
+      | CInt f when hoisted ->
+          (* LICM preheader binding: count each evaluation *)
+          fun fr ->
+            fr.hoisted <- fr.hoisted + 1;
+            Array.unsafe_set fr.ints slot (f fr);
+            cbody fr
       | CInt f ->
           fun fr ->
             Array.unsafe_set fr.ints slot (f fr);
@@ -724,10 +1083,23 @@ let rec compile_stmt ctx ~par_ok (s : Stmt.t) : frame -> unit =
       let fn = as_int (compile_expr ctx size) in
       let slot = buf_slot ~internal:true ctx v in
       let cbody = compile_stmt ctx ~par_ok:false body in
+      (* scratch comes from the process-wide arena: steady-state reuse
+         instead of per-row allocation.  [Arena.acquire] zero-fills and
+         raises on negative sizes exactly like the [Array.make n 0.0] it
+         replaces. *)
       fun fr ->
         let n = fn fr in
-        Array.unsafe_set fr.fbufs slot (Array.make n 0.0);
-        cbody fr
+        let a = Buffer.Arena.acquire Buffer.Arena.global n in
+        Array.unsafe_set fr.fbufs slot a;
+        let release () =
+          Array.unsafe_set fr.fbufs slot [||];
+          Buffer.Arena.release Buffer.Arena.global a
+        in
+        (try cbody fr
+         with e ->
+           release ();
+           raise e);
+        release ()
   | Eval e -> (
       match compile_expr ctx e with
       | CInt f -> fun fr -> ignore (f fr)
@@ -738,8 +1110,9 @@ let rec compile_stmt ctx ~par_ok (s : Stmt.t) : frame -> unit =
 (* ------------------------------------------------------------------ *)
 (* Public API *)
 
-let compile (s : Stmt.t) : compiled =
-  let ctx = new_ctx () in
+let compile ?(opt = Optimize.O0) (s : Stmt.t) : compiled =
+  let s = match opt with Optimize.O0 -> s | _ -> fst (Optimize.run ~level:opt s) in
+  let ctx = new_ctx ~opt:(Optimize.int_of_level opt) () in
   let entry = compile_stmt ctx ~par_ok:true s in
   { c_layout = finalize ctx; c_entry = entry }
 
@@ -764,6 +1137,8 @@ let frame (c : compiled) : frame =
     indirect = 0;
     guards = 0;
     guard_hits = 0;
+    hoisted = 0;
+    microkernel_elems = 0;
   }
 
 let bind_buf fr (v : Var.t) (b : Buffer.t) =
@@ -817,6 +1192,8 @@ let stats fr =
     ("indirect", fr.indirect);
     ("guards", fr.guards);
     ("guard_hits", fr.guard_hits);
+    ("hoisted", fr.hoisted);
+    ("microkernel_elems", fr.microkernel_elems);
   ]
 
 let flush_metrics fr =
@@ -825,4 +1202,6 @@ let flush_metrics fr =
   Obs.Metrics.add (Obs.Metrics.counter "engine.flops") fr.flops;
   Obs.Metrics.add (Obs.Metrics.counter "engine.indirect") fr.indirect;
   Obs.Metrics.add (Obs.Metrics.counter "engine.guards") fr.guards;
-  Obs.Metrics.add (Obs.Metrics.counter "engine.guard_hits") fr.guard_hits
+  Obs.Metrics.add (Obs.Metrics.counter "engine.guard_hits") fr.guard_hits;
+  Obs.Metrics.add (Obs.Metrics.counter "engine.hoisted") fr.hoisted;
+  Obs.Metrics.add (Obs.Metrics.counter "engine.microkernel_elems") fr.microkernel_elems

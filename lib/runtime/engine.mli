@@ -12,9 +12,31 @@
 
     The engine maintains the same [loads] / [stores] / [flops] /
     [indirect] / [guards] / [guard_hits] counters as {!Interp}, with the
-    same per-IR-node accounting — a compiled run is differentially
-    comparable against the interpreter counter-for-counter and
-    bit-for-bit (see [test/test_engine.ml]).
+    same per-IR-node accounting — a compiled run at the default [O0]
+    level is differentially comparable against the interpreter
+    counter-for-counter and bit-for-bit (see [test/test_engine.ml]).
+
+    {b Optimization levels.}  [compile ~opt] runs the {!Ir.Optimize}
+    pipeline first and enables engine-side specializations.  At every
+    level the {e outputs} stay bitwise-identical to the interpreter; at
+    [O1]/[O2] the counter profile legitimately differs (and two extra
+    counters appear):
+    - [O1]: LICM preheaders ([hoisted] counts their evaluations; loads
+      and indirect accesses inside hoisted expressions are now counted
+      once per preheader entry instead of once per iteration), plus
+      strength-reduced innermost store loops (running offsets; bounds
+      checks collapse to loop-endpoint checks, so counter divergence on
+      error paths only).
+    - [O2]: innermost dot / reduction / copy / scale loops fuse into
+      tight float-array microkernels ([microkernel_elems] counts the
+      elements they process; bulk counter accounting with the same
+      success-path totals, except address-tree traffic which follows the
+      LICM rule above).  A microkernel whose destination aliases an input
+      falls back to the generic loop at runtime, preserving parity.
+
+    [Alloc] scratch buffers come from {!Buffer.Arena.global} and return
+    to it when the body finishes, so steady-state reruns allocate no
+    fresh float storage.
 
     [Parallel]-bound loops execute on a persistent {!Pool} of domains
     (spawned once per [Exec.run], chunked work queue) instead of
@@ -61,10 +83,12 @@ type compiled
     counters for one execution of a {!compiled} kernel. *)
 type frame
 
-(** Compile a lowered statement.  Raises {!Error} on unbound variables,
-    compile-time type mismatches, unknown intrinsics, or [Access] nodes
-    that storage lowering should have eliminated. *)
-val compile : Ir.Stmt.t -> compiled
+(** Compile a lowered statement.  [opt] (default [O0]) selects the
+    {!Ir.Optimize} level; see the module docs for the parity contract per
+    level.  Raises {!Error} on unbound variables, compile-time type
+    mismatches, unknown intrinsics, or [Access] nodes that storage
+    lowering should have eliminated. *)
+val compile : ?opt:Ir.Optimize.level -> Ir.Stmt.t -> compiled
 
 (** Number of scalar slots (int + float + bool) the compiled kernel uses —
     observability for the memo layer. *)
@@ -101,10 +125,19 @@ val bind_ufun : frame -> string -> (int list -> int) -> unit
     serially, like {!Interp.exec}. *)
 val run : ?pool:Pool.t -> frame -> unit
 
-(** Counter snapshot in the same fixed order as {!Interp.stats}. *)
+(** Counter snapshot: the {!Interp.stats} names in the same fixed order,
+    followed by the engine-only [hoisted] and [microkernel_elems]. *)
 val stats : frame -> (string * int) list
 
 (** Add the frame's counters into the process-wide {!Obs.Metrics} registry
     under [engine.loads], [engine.stores], [engine.flops],
-    [engine.indirect], [engine.guards], [engine.guard_hits]. *)
+    [engine.indirect], [engine.guards], [engine.guard_hits],
+    [engine.hoisted], [engine.microkernel_elems]. *)
 val flush_metrics : frame -> unit
+
+(** [balance_chunks weights k] cuts the index range [0 .. n-1] (with
+    per-index [weights]) into [k] contiguous chunks of roughly equal
+    total weight, returned as [k + 1] ascending cut points (first [0],
+    last [n], every chunk nonempty while indices remain).  Used to size
+    parallel chunks from {!Cost_model} estimates; exposed for tests. *)
+val balance_chunks : int array -> int -> int array

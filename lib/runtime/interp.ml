@@ -30,8 +30,28 @@ let to_bool = function VBool b -> b | v -> err "expected bool, got %d" (to_int v
 (* Uninterpreted-function bindings: almost every ufun the lowered IR emits
    takes exactly one argument (prelude tables, length functions), so a
    dedicated 1-argument representation lets [eval] skip the per-access
-   argument-list allocation. *)
-type ufun = U1 of (int -> int) | UN of (int list -> int)
+   argument-list allocation.  Each [U1] carries a last-lookup cache:
+   lowered loop nests re-read the same ragged offset (e.g. [row_off b])
+   many times per row, so the common case is a repeat of the previous
+   argument.  The cache is a single [option ref] holding the pair, so
+   concurrent domains can race on it without tearing (each sees some
+   complete former pair); only successful lookups are cached, keeping
+   error behaviour identical. *)
+type ufun = U1 of (int -> int) * (int * int) option ref | UN of (int list -> int)
+
+(* hits counted process-wide; counter bumps ([loads]/[indirect]) are NOT
+   skipped on a hit, so cached and uncached runs stay counter-identical *)
+let ufun_cache_hit_c = Obs.Metrics.counter "ufun_cache.hit"
+
+let apply_u1 f cache i =
+  match !cache with
+  | Some (j, v) when j = i ->
+      Obs.Metrics.incr ufun_cache_hit_c;
+      v
+  | _ ->
+      let v = f i in
+      cache := Some (i, v);
+      v
 
 type env = {
   mutable vars : value Var.Map.t;
@@ -57,7 +77,7 @@ let bind_var env v value = env.vars <- Var.Map.add v value env.vars
 let bind_ufun env name f = Hashtbl.replace env.ufuns name (UN f)
 
 (** Bind a 1-argument ufun on the allocation-free fast path. *)
-let bind_ufun1 env name f = Hashtbl.replace env.ufuns name (U1 f)
+let bind_ufun1 env name f = Hashtbl.replace env.ufuns name (U1 (f, ref None))
 
 (** Bind a 1-argument ufun backed by an int array. *)
 let bind_ufun_array env name (a : int array) =
@@ -144,7 +164,7 @@ let rec eval env (e : Expr.t) : value =
           env.loads <- env.loads + 1;
           env.indirect <- env.indirect + 1;
           let i = to_int (eval env a) in
-          VInt (match u with U1 f -> f i | UN f -> f [ i ])
+          VInt (match u with U1 (f, cache) -> apply_u1 f cache i | UN f -> f [ i ])
       | None -> err "unbound uninterpreted function %s" name)
   | Ufun (name, args) -> (
       match Hashtbl.find_opt env.ufuns name with
@@ -155,9 +175,9 @@ let rec eval env (e : Expr.t) : value =
           VInt
             (match u with
             | UN f -> f l
-            | U1 f -> (
+            | U1 (f, cache) -> (
                 match l with
-                | [ i ] -> f i
+                | [ i ] -> apply_u1 f cache i
                 | _ -> err "ufun %s: arity mismatch (%d args)" name (List.length l)))
       | None -> err "unbound uninterpreted function %s" name)
   | Call (name, args) ->

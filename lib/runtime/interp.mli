@@ -12,8 +12,12 @@ val to_float : value -> float
 val to_bool : value -> bool
 
 (** Uninterpreted-function binding: [U1] is the allocation-free fast path
-    for the (overwhelmingly common) 1-argument ufuns. *)
-type ufun = U1 of (int -> int) | UN of (int list -> int)
+    for the (overwhelmingly common) 1-argument ufuns.  It carries a
+    last-lookup [(arg, result)] cache — ragged loop nests re-read the same
+    offset many times in a row; hits are counted in the [ufun_cache.hit]
+    metric while the [loads]/[indirect] statistics stay unchanged, so
+    cached and uncached runs remain counter-identical. *)
+type ufun = U1 of (int -> int) * (int * int) option ref | UN of (int list -> int)
 
 type env = {
   mutable vars : value Ir.Var.Map.t;

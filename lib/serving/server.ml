@@ -21,15 +21,17 @@ type t = {
   prelude_cache : bool;
   execute : bool;
   engine : Exec.engine;
+  opt : Ir.Optimize.level;
 }
 
 let create ?(device = Machine.Device.v100) ?(compile_cache = true) ?(prelude_cache = true)
-    ?(execute = true) ?(engine = `Interp) () : t =
-  { device; compile_cache; prelude_cache; execute; engine }
+    ?(execute = true) ?(engine = `Interp) ?(opt = Ir.Optimize.O0) () : t =
+  { device; compile_cache; prelude_cache; execute; engine; opt }
 
 let compile_cache_enabled t = t.compile_cache
 let prelude_cache_enabled t = t.prelude_cache
 let engine t = t.engine
+let opt_level t = t.opt
 
 let reset_caches () =
   Lower.clear_memo ();
@@ -45,16 +47,26 @@ let default_fill name idx =
   in
   (float_of_int (h mod 1009) /. 504.5) -. 1.0
 
-(* Execute the job's kernels through the reference interpreter.
+(* Execute the job's kernels through the selected engine.
 
    Cached kernels reference the tensor objects of whichever build first
    produced them, while uncached kernels of the same job (e.g. the
    hand-assembled softmax) reference this build's — so buffers are
    allocated per tensor *name* and bound to every instance.  Instances
    sharing a name are structurally identical (that is what made the
-   compile key match), hence lay out identically under [job.lenv]. *)
+   compile key match), hence lay out identically under [job.lenv].
+
+   Tensor storage comes from the process-wide {!Runtime.Buffer.Arena},
+   rounded up to power-of-two size classes, and is released once the
+   output has been unpacked (which copies) — so a steady-state request
+   stream allocates no fresh float arrays after its working set of size
+   classes is populated.  Acquired arrays are zero-filled, preserving the
+   [Array.make]-fresh semantics (including zeroed padding) the kernels
+   rely on; the extra class-rounding tail beyond the tensor's size is
+   never addressed by a correct kernel. *)
 let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
     counters * float array =
+  let arena = Runtime.Buffer.Arena.global in
   let raggeds : (string, Ragged.t) Hashtbl.t = Hashtbl.create 16 in
   let bound : (Ir.Var.t, unit) Hashtbl.t = Hashtbl.create 32 in
   let written : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -69,13 +81,23 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
         match Hashtbl.find_opt raggeds t.Tensor.name with
         | Some r -> r
         | None ->
-            let r = Ragged.alloc t job.Workload.lenv in
+            let n = Tensor.size_elems t ~lenv:job.Workload.lenv in
+            let a = Runtime.Buffer.Arena.acquire_class arena n in
+            let r =
+              { Ragged.tensor = t; buf = Runtime.Buffer.of_floats a; lenv = job.Workload.lenv }
+            in
             Hashtbl.add raggeds t.Tensor.name r;
             r
       in
       bindings := (t, r.Ragged.buf) :: !bindings
     end
   in
+  Fun.protect ~finally:(fun () ->
+      Hashtbl.iter
+        (fun _ (r : Ragged.t) ->
+          Runtime.Buffer.Arena.release arena (Runtime.Buffer.floats r.Ragged.buf))
+        raggeds)
+  @@ fun () ->
   List.iter
     (fun (k : Lower.kernel) ->
       note k.Lower.out;
@@ -86,8 +108,8 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
     (fun name r -> if not (Hashtbl.mem written name) then Ragged.fill r (default_fill name))
     raggeds;
   let env, _ =
-    Exec.run ~engine:srv.engine ~prelude:built ~lenv:job.Workload.lenv ~bindings:!bindings
-      job.Workload.kernels
+    Exec.run ~engine:srv.engine ~opt:srv.opt ~prelude:built ~lenv:job.Workload.lenv
+      ~bindings:!bindings job.Workload.kernels
   in
   let out =
     match Hashtbl.find_opt raggeds job.Workload.out_name with
@@ -126,7 +148,7 @@ let handle (srv : t) (w : Workload.t) (lens : int array) : response =
      rebuild inside the pipeline); its host/copy cost is charged only when
      this request actually built it. *)
   let pt =
-    Machine.Launch.pipeline ~engine:srv.engine ~prelude:built ~device:srv.device
+    Machine.Launch.pipeline ~engine:srv.engine ~opt:srv.opt ~prelude:built ~device:srv.device
       ~lenv:job.Workload.lenv job.Workload.launches
   in
   let prelude_host_ns, prelude_copy_ns =

@@ -33,15 +33,26 @@ type t
     still exercise both caches.  [~engine] selects how [~execute:true]
     requests run: the reference interpreter (default) or the compiled
     closure engine — identical outputs and counters, far less overhead
-    (see {!Cora.Exec.engine}). *)
+    (see {!Cora.Exec.engine}).  [~opt] (default [O0], compiled engine
+    only) selects the {!Ir.Optimize} level — outputs stay
+    bitwise-identical at every level.
+
+    Tensor buffers for execution come from the process-wide
+    {!Cora.Runtime.Buffer.Arena} (power-of-two size classes, released
+    after the response's output is unpacked), so a steady-state request
+    stream allocates no fresh float arrays — watch [arena.hit] /
+    [arena.miss]. *)
 val create :
   ?device:Machine.Device.t ->
   ?compile_cache:bool -> ?prelude_cache:bool -> ?execute:bool ->
-  ?engine:Cora.Exec.engine -> unit -> t
+  ?engine:Cora.Exec.engine -> ?opt:Ir.Optimize.level -> unit -> t
 
 val compile_cache_enabled : t -> bool
 val prelude_cache_enabled : t -> bool
 val engine : t -> Cora.Exec.engine
+
+(** Optimization level [~execute:true] requests run at. *)
+val opt_level : t -> Ir.Optimize.level
 
 (** Handle one request: workload + raggedness vector. *)
 val handle : t -> Workload.t -> int array -> response

@@ -1,0 +1,382 @@
+(* The optimization pipeline's contract: at every level (O0/O1/O2), serial
+   or multicore, the compiled engine's *outputs* are bitwise-identical to
+   the reference interpreter's.  (Counter parity is an O0-only contract,
+   covered by test_engine.ml; O1/O2 legitimately shift counter accounting
+   — see lib/ir/optimize.mli.)  Plus unit tests of LICM, the dot
+   microkernel, weighted chunk balancing, the interpreter's ufun cache and
+   the buffer arena. *)
+
+open Cora
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzed schedules: the test_engine.ml decision space (including a
+   zero-length row, which exercises LICM's speculation across zero-trip
+   loops), replayed per optimization level. *)
+
+type binding = No_bind | Gpu | Par
+
+type decision = {
+  storage_pad : int;
+  loop_pad : int;
+  fuse : bool;
+  fsplit : int option;
+  split1 : int option;
+  split2 : int option;
+  rsplit : int option;
+  elide : bool;
+  hoist : bool;
+  bind : binding;
+}
+
+let decision_gen =
+  let open QCheck.Gen in
+  let maybe_factor = oneofl [ None; Some 2; Some 3; Some 4; Some 5 ] in
+  let* storage_pad = oneofl [ 1; 2; 4; 8 ] in
+  let* loop_pad = oneofl [ 1; 2; 4 ] in
+  let* fuse = bool in
+  let* fsplit = oneofl [ None; Some 2; Some 4; Some 8 ] in
+  let* split1 = maybe_factor in
+  let* split2 = oneofl [ None; Some 2 ] in
+  let* rsplit = maybe_factor in
+  let* elide = bool in
+  let* hoist = bool in
+  let* bind = oneofl [ No_bind; Gpu; Par ] in
+  let loop_pad = if elide && loop_pad > storage_pad then storage_pad else loop_pad in
+  let loop_pad, storage_pad = if fuse then (1, 1) else (loop_pad, storage_pad) in
+  return { storage_pad; loop_pad; fuse; fsplit; split1; split2; rsplit; elide; hoist; bind }
+
+let print_decision d =
+  Printf.sprintf
+    "{storage_pad=%d; loop_pad=%d; fuse=%b; fsplit=%s; split1=%s; split2=%s; rsplit=%s; \
+     elide=%b; hoist=%b; bind=%s}"
+    d.storage_pad d.loop_pad d.fuse
+    (match d.fsplit with None -> "-" | Some f -> string_of_int f)
+    (match d.split1 with None -> "-" | Some f -> string_of_int f)
+    (match d.split2 with None -> "-" | Some f -> string_of_int f)
+    (match d.rsplit with None -> "-" | Some f -> string_of_int f)
+    d.elide d.hoist
+    (match d.bind with No_bind -> "none" | Gpu -> "gpu" | Par -> "par")
+
+let lens = [| 7; 0; 5; 3; 6 |]
+let lenv = [ Lenfun.of_array "lens" lens ]
+
+let build_op () =
+  let batch = Dim.make "b" and len = Dim.make "j" and red = Dim.make "k" in
+  let lensf = Lenfun.make "lens" in
+  let extents = [ Shape.fixed 5; Shape.ragged ~dep:batch ~fn:lensf ] in
+  let a = Tensor.create ~name:"ZA" ~dims:[ batch; len ] ~extents in
+  let o = Tensor.create ~name:"ZO" ~dims:[ batch; len ] ~extents in
+  let op =
+    Op.reduce ~name:"ofuzz" ~out:o ~loop_extents:extents
+      ~rdims:[ (red, Shape.ragged ~dep:batch ~fn:lensf) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> Ir.Expr.float 0.0)
+      ~reads:[ a ]
+      (fun idx ridx ->
+        Ir.Expr.mul
+          (Op.access a [ List.nth idx 0; List.nth ridx 0 ])
+          (Ir.Expr.add (List.nth idx 1) Ir.Expr.one))
+  in
+  (a, o, op)
+
+let lower_with_decision d : Lower.kernel * Tensor.t * Tensor.t =
+  let a, o, op = build_op () in
+  let s = Schedule.create op in
+  if d.elide then Schedule.set_guard_mode s Schedule.Elide;
+  Schedule.set_hoist s d.hoist;
+  let apply_bind ax =
+    match d.bind with
+    | No_bind -> ()
+    | Gpu -> Schedule.bind_block s ax
+    | Par -> Schedule.parallelize s ax
+  in
+  if d.fuse then begin
+    Tensor.set_bulk_pad a 8;
+    Tensor.set_bulk_pad o 8;
+    let f = Schedule.fuse s (Schedule.axis_of_dim s 0) (Schedule.axis_of_dim s 1) in
+    Schedule.pad_loop s f 8;
+    match d.fsplit with
+    | Some factor ->
+        let fo, _fi = Schedule.split s f factor in
+        apply_bind fo
+    | None -> apply_bind f
+  end
+  else begin
+    Tensor.pad_dimension o (List.nth o.Tensor.dims 1) d.storage_pad;
+    let jax = Schedule.axis_of_dim s 1 in
+    Schedule.pad_loop s jax d.loop_pad;
+    (match d.split1 with
+    | Some f ->
+        let jo, _ji = Schedule.split s jax f in
+        (match d.split2 with Some f2 -> ignore (Schedule.split s jo f2) | None -> ())
+    | None -> ());
+    apply_bind (Schedule.axis_of_dim s 0)
+  end;
+  (match d.rsplit with
+  | Some f -> ignore (Schedule.split s (Schedule.axis_of_rdim s 0) f)
+  | None -> ());
+  (Lower.lower s, a, o)
+
+let run_once ?opt (kernel : Lower.kernel) a o ~engine ~multicore : float array =
+  let ra = Ragged.alloc a lenv and ro = Ragged.alloc o lenv in
+  Ragged.fill ra (fun idx -> float_of_int ((10 * List.nth idx 0) + List.nth idx 1));
+  let _env, _ = Exec.run_ragged ~engine ?opt ~multicore ~lenv ~tensors:[ ra; ro ] [ kernel ] in
+  Array.copy (Runtime.Buffer.floats ro.Ragged.buf)
+
+let bits = Array.map Int64.bits_of_float
+
+let differential d =
+  let kernel, a, o = lower_with_decision d in
+  let ref_out = run_once kernel a o ~engine:`Interp ~multicore:false in
+  let agree label out =
+    if bits out <> bits ref_out then
+      QCheck.Test.fail_reportf "%s: outputs differ on %s" label (print_decision d);
+    true
+  in
+  List.for_all
+    (fun (opt : Ir.Optimize.level) ->
+      let name = Ir.Optimize.level_name opt in
+      let ok = agree (name ^ " serial") (run_once ~opt kernel a o ~engine:`Compiled ~multicore:false) in
+      ok
+      &&
+      match d.bind with
+      | Par -> agree (name ^ " multicore") (run_once ~opt kernel a o ~engine:`Compiled ~multicore:true)
+      | No_bind | Gpu -> true)
+    [ Ir.Optimize.O0; Ir.Optimize.O1; Ir.Optimize.O2 ]
+
+let prop_differential =
+  QCheck.Test.make ~count:150 ~name:"O0/O1/O2 outputs == interpreter (bitwise)"
+    (QCheck.make ~print:print_decision decision_gen)
+    differential
+
+(* Heavily skewed length table through a Parallel binding: the weighted
+   chunking path (Cost_model-estimated per-iteration weights) must not
+   change results. *)
+let skew_lens = [| 40; 1; 0; 1; 2 |]
+
+let test_skewed_parallel_differential () =
+  let d =
+    { storage_pad = 2; loop_pad = 2; fuse = false; fsplit = None; split1 = Some 3;
+      split2 = None; rsplit = Some 2; elide = false; hoist = true; bind = Par }
+  in
+  let kernel, a, o = lower_with_decision d in
+  let skew_lenv = [ Lenfun.of_array "lens" skew_lens ] in
+  let go engine opt multicore =
+    let ra = Ragged.alloc a skew_lenv and ro = Ragged.alloc o skew_lenv in
+    Ragged.fill ra (fun idx -> sin (float_of_int ((7 * List.nth idx 0) + List.nth idx 1)));
+    let _ =
+      Exec.run_ragged ~engine ~opt ~multicore ~lenv:skew_lenv ~tensors:[ ra; ro ] [ kernel ]
+    in
+    Array.copy (Runtime.Buffer.floats ro.Ragged.buf)
+  in
+  let ref_out = go `Interp Ir.Optimize.O0 false in
+  List.iter
+    (fun (label, opt, mc) ->
+      Alcotest.(check bool) (label ^ " bitwise") true (bits (go `Compiled opt mc) = bits ref_out))
+    [ ("O0 mc", Ir.Optimize.O0, true);
+      ("O2 serial", Ir.Optimize.O2, false);
+      ("O2 mc", Ir.Optimize.O2, true) ]
+
+(* ------------------------------------------------------------------ *)
+(* LICM: the vgemm kernel re-reads its ragged-dimension ufuns in every
+   guard, so hoisting must find work, and the engine must count the
+   preheader evaluations at run time. *)
+
+let vgemm_workload () =
+  Serving.Workload.vgemm ~batch:4 ~tile:8 ~dims_choices:[| 8; 16; 24 |] ()
+
+let vgemm_job () =
+  let w = vgemm_workload () in
+  let stream = Serving.Stream.generate ~workload:w ~pool:1 ~n:1 ~seed:7 () in
+  (w, stream, w.Serving.Workload.build stream.Serving.Stream.items.(0))
+
+let test_licm_hoists_on_vgemm () =
+  let _, _, job = vgemm_job () in
+  let k = List.hd job.Serving.Workload.kernels in
+  let _opt, r = Ir.Optimize.licm k.Lower.body in
+  Alcotest.(check bool) "hoisted bindings found" true (r.Ir.Optimize.hoisted > 0)
+
+let test_engine_hoisted_counter () =
+  let before = Obs.Metrics.value (Obs.Metrics.counter "engine.hoisted") in
+  let w, stream, _ = vgemm_job () in
+  let srv =
+    Serving.Server.create ~execute:true ~engine:`Compiled ~opt:Ir.Optimize.O1 ()
+  in
+  ignore (Serving.Stream.replay srv w stream);
+  let after = Obs.Metrics.value (Obs.Metrics.counter "engine.hoisted") in
+  Alcotest.(check bool) "hoisted counter advanced" true (after > before)
+
+(* ------------------------------------------------------------------ *)
+(* Microkernels *)
+
+let rec has_dot (s : Ir.Stmt.t) : bool =
+  match s with
+  | Ir.Stmt.For { var; body; _ } -> (
+      match Ir.Optimize.classify_inner ~var body with
+      | Some (Ir.Optimize.Dot _) -> true
+      | _ -> has_dot body)
+  | Ir.Stmt.Seq l -> List.exists has_dot l
+  | Ir.Stmt.If (_, a, b) -> has_dot a || Option.fold ~none:false ~some:has_dot b
+  | Ir.Stmt.Let_stmt (_, _, b) -> has_dot b
+  | Ir.Stmt.Alloc { body; _ } -> has_dot body
+  | _ -> false
+
+let test_vgemm_inner_is_dot () =
+  let _, _, job = vgemm_job () in
+  let k = List.hd job.Serving.Workload.kernels in
+  let opt, _ = Ir.Optimize.run ~level:Ir.Optimize.O2 k.Lower.body in
+  Alcotest.(check bool) "vgemm inner loop classifies as dot" true (has_dot opt)
+
+let test_vgemm_microkernel_fires () =
+  let before = Obs.Metrics.value (Obs.Metrics.counter "engine.microkernel_elems") in
+  let w, stream, _ = vgemm_job () in
+  let srv =
+    Serving.Server.create ~execute:true ~engine:`Compiled ~opt:Ir.Optimize.O2 ()
+  in
+  ignore (Serving.Stream.replay srv w stream);
+  let after = Obs.Metrics.value (Obs.Metrics.counter "engine.microkernel_elems") in
+  Alcotest.(check bool) "microkernel_elems advanced" true (after > before)
+
+(* A hand-built dot loop: the microkernel must fire, count its elements,
+   and agree with O0 bitwise. *)
+let test_dot_microkernel_direct () =
+  let module E = Runtime.Engine in
+  let i = Ir.Var.fresh "i" and a = Ir.Var.fresh "A" and b = Ir.Var.fresh "B" in
+  let c = Ir.Var.fresh "C" in
+  let body =
+    Ir.Stmt.For
+      { var = i; min = Ir.Expr.zero; extent = Ir.Expr.int 8; kind = Ir.Stmt.Serial;
+        body =
+          Ir.Stmt.Reduce_store
+            { buf = c; index = Ir.Expr.zero; op = Ir.Stmt.Sum;
+              value =
+                Ir.Expr.mul
+                  (Ir.Expr.Load { buf = a; index = Ir.Expr.var i })
+                  (Ir.Expr.Load { buf = b; index = Ir.Expr.var i });
+            };
+      }
+  in
+  let run opt =
+    let fr = E.frame (E.compile ~opt body) in
+    let fa = Array.init 8 (fun j -> 0.1 +. (0.3 *. float_of_int j)) in
+    let fb = Array.init 8 (fun j -> 1.7 -. (0.2 *. float_of_int j)) in
+    let fc = [| 0.0 |] in
+    E.bind_buf fr a (Runtime.Buffer.of_floats fa);
+    E.bind_buf fr b (Runtime.Buffer.of_floats fb);
+    E.bind_buf fr c (Runtime.Buffer.of_floats fc);
+    E.run fr;
+    (fc.(0), List.assoc "microkernel_elems" (E.stats fr))
+  in
+  let v0, mk0 = run Ir.Optimize.O0 in
+  let v2, mk2 = run Ir.Optimize.O2 in
+  Alcotest.(check int) "O0 takes no microkernel" 0 mk0;
+  Alcotest.(check int) "O2 processes all elements" 8 mk2;
+  Alcotest.(check bool) "bitwise equal" true
+    (Int64.bits_of_float v0 = Int64.bits_of_float v2)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted chunk balancing *)
+
+let test_balance_chunks_skewed () =
+  let ws = [| 100; 1; 1; 1; 1; 1; 1; 1 |] in
+  let k = 4 in
+  let bounds = Runtime.Engine.balance_chunks ws k in
+  Alcotest.(check int) "k+1 cut points" (k + 1) (Array.length bounds);
+  Alcotest.(check int) "starts at 0" 0 bounds.(0);
+  Alcotest.(check int) "ends at n" (Array.length ws) bounds.(k);
+  for c = 0 to k - 1 do
+    Alcotest.(check bool) (Printf.sprintf "chunk %d nonempty" c) true (bounds.(c) < bounds.(c + 1))
+  done;
+  (* the heavy item gets a chunk to itself *)
+  Alcotest.(check int) "heavy item isolated" 1 bounds.(1)
+
+let test_balance_chunks_uniform () =
+  let ws = Array.make 12 5 in
+  let bounds = Runtime.Engine.balance_chunks ws 3 in
+  Alcotest.(check (array int)) "even split" [| 0; 4; 8; 12 |] bounds
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter ufun cache *)
+
+let test_ufun_cache_hits () =
+  let before = Obs.Metrics.value (Obs.Metrics.counter "ufun_cache.hit") in
+  let i = Ir.Var.fresh "i" and dst = Ir.Var.fresh "dst" in
+  let body =
+    Ir.Stmt.For
+      { var = i; min = Ir.Expr.zero; extent = Ir.Expr.int 6; kind = Ir.Stmt.Serial;
+        body =
+          Ir.Stmt.Store
+            { buf = dst; index = Ir.Expr.var i;
+              (* t(0) is re-read every iteration: 5 of the 6 reads hit *)
+              value =
+                Ir.Expr.Binop
+                  (Ir.Expr.Add,
+                   Ir.Expr.ufun "t" [ Ir.Expr.zero ],
+                   Ir.Expr.float 0.5);
+            };
+      }
+  in
+  let env = Runtime.Interp.create () in
+  Runtime.Interp.bind_buf env dst (Runtime.Buffer.float_buf 6);
+  Runtime.Interp.bind_ufun_array env "t" [| 3; 1; 4 |];
+  Runtime.Interp.exec env body;
+  let after = Obs.Metrics.value (Obs.Metrics.counter "ufun_cache.hit") in
+  Alcotest.(check int) "repeat lookups hit" 5 (after - before);
+  Alcotest.(check int) "loads unchanged by caching" 6 env.Runtime.Interp.loads
+
+(* ------------------------------------------------------------------ *)
+(* Buffer arena *)
+
+let test_arena_reuse () =
+  let open Runtime.Buffer in
+  let t = Arena.create () in
+  let a = Arena.acquire t 100 in
+  a.(0) <- 42.0;
+  Arena.release t a;
+  Alcotest.(check int) "stored after release" 1 (Arena.stored t);
+  let b = Arena.acquire t 100 in
+  Alcotest.(check bool) "same array recycled" true (a == b);
+  Alcotest.(check (float 0.0)) "zero-filled on reuse" 0.0 b.(0);
+  let c = Arena.acquire_class t 100 in
+  Alcotest.(check int) "class rounds to pow2" 128 (Array.length c);
+  Arena.clear t;
+  Alcotest.(check int) "clear empties" 0 (Arena.stored t)
+
+let test_arena_negative_raises () =
+  let open Runtime.Buffer in
+  let t = Arena.create () in
+  Alcotest.check_raises "negative size raises like Array.make"
+    (Invalid_argument "Array.make") (fun () -> ignore (Arena.acquire t (-1)))
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_differential;
+          Alcotest.test_case "skewed lens, weighted chunks" `Quick
+            test_skewed_parallel_differential;
+        ] );
+      ( "licm",
+        [
+          Alcotest.test_case "vgemm hoists" `Quick test_licm_hoists_on_vgemm;
+          Alcotest.test_case "engine hoisted counter" `Quick test_engine_hoisted_counter;
+        ] );
+      ( "microkernel",
+        [
+          Alcotest.test_case "vgemm inner loop is a dot" `Quick test_vgemm_inner_is_dot;
+          Alcotest.test_case "vgemm microkernel fires" `Quick test_vgemm_microkernel_fires;
+          Alcotest.test_case "direct dot: counted + bitwise" `Quick test_dot_microkernel_direct;
+        ] );
+      ( "chunks",
+        [
+          Alcotest.test_case "skewed weights" `Quick test_balance_chunks_skewed;
+          Alcotest.test_case "uniform weights" `Quick test_balance_chunks_uniform;
+        ] );
+      ("ufun-cache", [ Alcotest.test_case "last-lookup cache" `Quick test_ufun_cache_hits ]);
+      ( "arena",
+        [
+          Alcotest.test_case "reuse + size classes" `Quick test_arena_reuse;
+          Alcotest.test_case "negative size" `Quick test_arena_negative_raises;
+        ] );
+    ]
