@@ -83,4 +83,26 @@ test -n "$wmiss" || { echo "ci: no window_arena_miss in JSON" >&2; exit 1; }
 echo "$wmiss" | awk -F, '{ for (i = 2; i <= NF; i++) if ($i > 0) exit 1 }' \
   || { echo "ci: arena misses grew after first window ($wmiss)" >&2; exit 1; }
 
+echo "== cora bench-stream --exec --domains 4 --smoke" >&2
+# Same stream, but pushed through the concurrent front-end: 4 worker domains
+# behind the bounded queue.  --smoke makes the binary fail on any rejected,
+# errored or deadline-exceeded request and on any per-request checksum that
+# diverges bitwise from a serial replay.  The typed outcome counters are then
+# re-checked here from the JSON as an independent assertion.
+dune exec bin/cora_cli.exe -- bench-stream --exec --domains 4 --smoke \
+  > "$tmpdir/stream_domains.txt"
+
+djson=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_domains.txt")
+test -n "$djson" || { echo "ci: no BENCH_STREAM line (domains)" >&2; exit 1; }
+echo "$djson" | grep -q '"domains":4' \
+  || { echo "ci: concurrent run not labelled domains=4" >&2; exit 1; }
+for field in rejected deadline_exceeded errors; do
+  n=$(echo "$djson" | sed "s/.*\"$field\":\([0-9]*\).*/\1/")
+  awk -v n="$n" 'BEGIN { exit (n == 0) ? 0 : 1 }' \
+    || { echo "ci: $field=$n on an unloaded stream, expected 0" >&2; exit 1; }
+done
+goodput=$(echo "$djson" | sed 's/.*"goodput_rps":\([0-9.eE+-]*\).*/\1/')
+awk -v g="$goodput" 'BEGIN { exit (g > 0) ? 0 : 1 }' \
+  || { echo "ci: goodput_rps=$goodput, expected > 0" >&2; exit 1; }
+
 echo "ci: OK" >&2

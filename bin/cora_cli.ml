@@ -448,12 +448,34 @@ let bench_stream_cmd =
           ~doc:
             "Self-validate: nonzero hit rates, zero prelude host time on hits, monotone \
              non-increasing per-window p50 after warmup; with --exec --engine compiled, \
-             also that the first window's outputs are bit-identical to the interpreter's.  \
+             also that the first window's outputs are bit-identical to the interpreter's; \
+             with --domains > 1, that every request is served (no rejection, deadline or \
+             error) with per-request checksums bitwise-identical to a serial replay.  \
              Exits nonzero on violation.")
   in
-  let run workload dataset requests pool seed windows no_cc no_pc exec engine opt smoke =
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains.  1 (default) replays the stream serially; > 1 routes it \
+             through the concurrent front-end (bounded queue, admission control, fault \
+             isolation).")
+  in
+  let deadline_ms_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Per-request deadline in milliseconds, enforced by the front-end at dequeue \
+             and between pipeline stages (implies the front-end path even with \
+             --domains 1).")
+  in
+  let run workload dataset requests pool seed windows no_cc no_pc exec engine opt domains
+      deadline_ms smoke =
     if requests <= 0 || pool <= 0 || windows <= 0 then
       Fmt.failwith "requests, pool and windows must be positive";
+    if domains <= 0 then Fmt.failwith "domains must be positive";
     let engine =
       match engine with
       | "interp" -> `Interp
@@ -461,6 +483,8 @@ let bench_stream_cmd =
       | other -> Fmt.failwith "unknown engine %s (available: interp compiled)" other
     in
     let opt = Ir.Optimize.level_of_int opt in
+    let deadline_ns = Option.map (fun ms -> ms *. 1e6) deadline_ms in
+    let concurrent = domains > 1 || deadline_ns <> None in
     let w = bench_workload ~dataset workload in
     Obs.Metrics.reset ();
     Serving.Server.reset_caches ();
@@ -472,31 +496,61 @@ let bench_stream_cmd =
     let stream = Serving.Stream.generate ~workload:w ~pool ~n:requests ~seed () in
     let windows = min windows requests in
     let wsize = requests / windows in
-    (* replay window by window, sampling the arena miss counter at each
-       boundary: new misses after the first window mean the steady state
-       is still allocating fresh float storage *)
     let arena_miss_now () = Obs.Metrics.value (Obs.Metrics.counter "arena.miss") in
     let t0_us = Obs.Trace_sink.now_us () in
-    let responses, window_arena_miss =
-      let acc = ref [] and misses = ref [] and seen = ref (arena_miss_now ()) in
-      for i = 0 to windows - 1 do
-        let lo = i * wsize in
-        let hi = if i = windows - 1 then requests else lo + wsize in
-        let slice =
-          { stream with Serving.Stream.items = Array.sub stream.Serving.Stream.items lo (hi - lo) }
+    let outcomes, window_arena_miss =
+      if not concurrent then begin
+        (* serial: replay window by window, sampling the arena miss counter
+           at each boundary — new misses after the first window mean the
+           steady state is still allocating fresh float storage *)
+        let acc = ref [] and misses = ref [] and seen = ref (arena_miss_now ()) in
+        for i = 0 to windows - 1 do
+          let lo = i * wsize in
+          let hi = if i = windows - 1 then requests else lo + wsize in
+          let slice =
+            { stream with Serving.Stream.items = Array.sub stream.Serving.Stream.items lo (hi - lo) }
+          in
+          acc := !acc @ Serving.Stream.replay srv w slice;
+          let now = arena_miss_now () in
+          misses := (now - !seen) :: !misses;
+          seen := now
+        done;
+        ( Array.of_list (List.map (fun r -> Serving.Frontend.Response r) !acc),
+          List.rev !misses )
+      end
+      else begin
+        (* concurrent: paced (backpressure) replay through the front-end;
+           per-window arena sampling is meaningless when windows overlap
+           across domains, so the field stays empty *)
+        let fe =
+          Serving.Frontend.create ~domains ~capacity:(max 16 (2 * domains)) ?deadline_ns srv
         in
-        acc := !acc @ Serving.Stream.replay srv w slice;
-        let now = arena_miss_now () in
-        misses := (now - !seen) :: !misses;
-        seen := now
-      done;
-      (!acc, List.rev !misses)
+        let o = Serving.Frontend.run_stream fe w stream.Serving.Stream.items in
+        Serving.Frontend.shutdown fe;
+        (o, [])
+      end
     in
     let wall_ns = (Obs.Trace_sink.now_us () -. t0_us) *. 1e3 in
+    (* served responses, in submission order; typed failures counted apart *)
+    let responses =
+      Array.to_list outcomes
+      |> List.filter_map (function Serving.Frontend.Response r -> Some r | _ -> None)
+    in
+    let n_ok = List.length responses in
+    let count p = Array.fold_left (fun acc o -> if p o then acc + 1 else acc) 0 outcomes in
+    let n_rejected = count (function Serving.Frontend.Overloaded -> true | _ -> false) in
+    let n_deadline =
+      count (function Serving.Frontend.Deadline_exceeded _ -> true | _ -> false)
+    in
+    let n_errors = count (function Serving.Frontend.Error _ -> true | _ -> false) in
+    let n_degraded = Obs.Metrics.value (Obs.Metrics.counter "frontend.degraded") in
     let lat = Array.of_list (List.map (fun r -> r.Serving.Server.model_ns) responses) in
-    let p q = Obs.Metrics.percentile_of (Array.copy lat) q in
+    let p q = if n_ok = 0 then 0.0 else Obs.Metrics.percentile_of lat q in
     let total_ns = Array.fold_left ( +. ) 0.0 lat in
-    let throughput_rps = float_of_int requests /. (total_ns /. 1e9) in
+    let throughput_rps =
+      if total_ns > 0.0 then float_of_int n_ok /. (total_ns /. 1e9) else 0.0
+    in
+    let goodput_rps = if wall_ns > 0.0 then float_of_int n_ok /. (wall_ns /. 1e9) else 0.0 in
     let sum f = List.fold_left (fun acc r -> acc + f r) 0 responses in
     let c_hits = sum (fun r -> r.Serving.Server.compile_hits)
     and c_misses = sum (fun r -> r.Serving.Server.compile_misses) in
@@ -505,23 +559,28 @@ let bench_stream_cmd =
       else float_of_int c_hits /. float_of_int (c_hits + c_misses)
     in
     let p_hits = sum (fun r -> if r.Serving.Server.prelude_hit then 1 else 0) in
-    let prelude_hit_rate = float_of_int p_hits /. float_of_int requests in
+    let prelude_hit_rate = float_of_int p_hits /. float_of_int (max 1 n_ok) in
     (* Per-window p50s, over total latency and over the cache-sensitive
        overhead (prelude host build + copy).  Total latency varies with
        which shapes land in a window; the overhead is what caching
        removes — cold shapes concentrate in the first window, so under
-       caching the later windows' overhead p50 must not rise. *)
+       caching the later windows' overhead p50 must not rise.  Windows
+       partition the served responses in submission order. *)
     let overhead =
       Array.of_list
         (List.map
            (fun r -> r.Serving.Server.prelude_host_ns +. r.Serving.Server.prelude_copy_ns)
            responses)
     in
+    let w_windows = max 1 (min windows n_ok) in
+    let w_size = max 1 (n_ok / w_windows) in
     let window_p50_of arr =
-      List.init windows (fun i ->
-          let lo = i * wsize in
-          let hi = if i = windows - 1 then requests else lo + wsize in
-          Obs.Metrics.percentile_of (Array.sub arr lo (hi - lo)) 50.0)
+      if n_ok = 0 then []
+      else
+        List.init w_windows (fun i ->
+            let lo = i * w_size in
+            let hi = if i = w_windows - 1 then n_ok else lo + w_size in
+            Obs.Metrics.percentile_of (Array.sub arr lo (hi - lo)) 50.0)
     in
     let window_p50 = window_p50_of lat in
     let window_overhead_p50 = window_p50_of overhead in
@@ -564,9 +623,18 @@ let bench_stream_cmd =
           ("compile_cache", Obs.Json.Bool (not no_cc));
           ("prelude_cache", Obs.Json.Bool (not no_pc));
           ("execute", Obs.Json.Bool exec);
+          ("domains", Obs.Json.Int domains);
+          ( "deadline_ms",
+            match deadline_ms with Some d -> Obs.Json.Float d | None -> Obs.Json.Null );
+          ("served", Obs.Json.Int n_ok);
+          ("rejected", Obs.Json.Int n_rejected);
+          ("deadline_exceeded", Obs.Json.Int n_deadline);
+          ("degraded", Obs.Json.Int n_degraded);
+          ("errors", Obs.Json.Int n_errors);
           ("compile_hit_rate", Obs.Json.Float compile_hit_rate);
           ("prelude_hit_rate", Obs.Json.Float prelude_hit_rate);
           ("throughput_rps", Obs.Json.Float throughput_rps);
+          ("goodput_rps", Obs.Json.Float goodput_rps);
           ("p50_ns", Obs.Json.Float (p 50.0));
           ("p95_ns", Obs.Json.Float (p 95.0));
           ("p99_ns", Obs.Json.Float (p 99.0));
@@ -588,11 +656,17 @@ let bench_stream_cmd =
     in
     Printf.printf "BENCH_STREAM %s\n" (Obs.Json.to_string json);
     Printf.eprintf
-      "%s: %d requests (%d shapes, seed %d): p50 %.1f us, p95 %.1f us, p99 %.1f us; compile \
-       hit rate %.2f, prelude hit rate %.2f\n"
-      workload requests pool seed (p 50.0 /. 1e3) (p 95.0 /. 1e3) (p 99.0 /. 1e3)
-      compile_hit_rate prelude_hit_rate;
+      "%s: %d requests (%d shapes, seed %d, %d domain%s): p50 %.1f us, p95 %.1f us, p99 \
+       %.1f us; compile hit rate %.2f, prelude hit rate %.2f; goodput %.0f rps\n"
+      workload requests pool seed domains
+      (if domains = 1 then "" else "s")
+      (p 50.0 /. 1e3) (p 95.0 /. 1e3) (p 99.0 /. 1e3) compile_hit_rate prelude_hit_rate
+      goodput_rps;
     if smoke then begin
+      if n_rejected > 0 then Fmt.failwith "smoke: %d requests rejected" n_rejected;
+      if n_errors > 0 then Fmt.failwith "smoke: %d requests errored" n_errors;
+      if n_deadline > 0 then
+        Fmt.failwith "smoke: %d requests exceeded their deadline" n_deadline;
       if not no_cc then begin
         if compile_hit_rate <= 0.0 then Fmt.failwith "smoke: compile cache never hit";
         if Cora.Lower.memo_size () = 0 then Fmt.failwith "smoke: compile cache is empty"
@@ -611,19 +685,40 @@ let bench_stream_cmd =
             check_monotone (i + 1) rest
         | _ -> ()
       in
-      if not no_pc then check_monotone 0 window_overhead_p50;
+      if (not no_pc) && not concurrent then check_monotone 0 window_overhead_p50;
       (* zero-allocation steady state: once the first window has populated
-         the arena's size classes, later windows must not miss *)
-      if exec then
+         the arena's size classes, later windows must not miss (serial
+         only: concurrent windows interleave across domains) *)
+      if exec && not concurrent then
         List.iteri
           (fun i m ->
             if i > 0 && m > 0 then
               Fmt.failwith "smoke: arena misses grew in window %d (+%d) — steady state allocates"
                 i m)
           window_arena_miss;
+      (* concurrent path: every request must have been served, with a
+         checksum bitwise-identical to a serial replay of the same stream *)
+      (if concurrent && exec then begin
+         let serial = Serving.Stream.replay srv w stream in
+         List.iteri
+           (fun i (rs : Serving.Server.response) ->
+             match outcomes.(i) with
+             | Serving.Frontend.Response rc ->
+                 if
+                   Int64.bits_of_float rc.Serving.Server.checksum
+                   <> Int64.bits_of_float rs.Serving.Server.checksum
+                 then
+                   Fmt.failwith
+                     "smoke: request %d: concurrent checksum %h diverges from serial %h" i
+                     rc.Serving.Server.checksum rs.Serving.Server.checksum
+             | o ->
+                 Fmt.failwith "smoke: request %d not served (%s)" i
+                   (Serving.Frontend.outcome_label o))
+           serial
+       end);
       (* compiled engine: first-window outputs must be bit-identical to a
          fresh interpreter replay of the same requests *)
-      (if exec && engine = `Compiled then
+      (if exec && engine = `Compiled && not concurrent then
          let srv_i =
            Serving.Server.create ~compile_cache:(not no_cc) ~prelude_cache:(not no_pc)
              ~execute:true ~engine:`Interp ()
@@ -651,7 +746,7 @@ let bench_stream_cmd =
     Term.(
       const run $ workload_arg $ dataset_arg $ requests_arg $ pool_arg $ seed_arg
       $ windows_arg $ no_cc_flag $ no_pc_flag $ exec_flag $ engine_arg $ opt_arg
-      $ smoke_flag)
+      $ domains_arg $ deadline_ms_arg $ smoke_flag)
 
 let () =
   let info = Cmd.info "cora" ~doc:"CoRa ragged tensor compiler — reproduction CLI." in

@@ -1,0 +1,79 @@
+(** Bounded, domain-safe memo tables (see cache.mli). *)
+
+type 'v entry = { value : 'v; mutable touched : int }
+
+type ('k, 'v) t = {
+  name : string;
+  lock : Mutex.t;
+  table : ('k, 'v entry) Hashtbl.t;
+  mutable tick : int;  (** logical clock for recency, under [lock] *)
+  mutable cap : int;
+  mutable evicted : int;
+  evicted_c : Obs.Metrics.counter;
+}
+
+let create ~name ~capacity () =
+  {
+    name;
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    tick = 0;
+    cap = max 1 capacity;
+    evicted = 0;
+    evicted_c = Obs.Metrics.counter (name ^ ".evicted");
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t k =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.touched <- t.tick;
+          Some e.value
+      | None -> None)
+
+(* Caller holds the lock.  O(size) scan: eviction happens once per insert
+   beyond capacity, and the tables this backs hold at most a few hundred
+   entries, so a linear victim scan beats maintaining an intrusive list
+   across three call sites. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, t') when t' <= e.touched -> acc
+        | _ -> Some (k, e.touched))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evicted <- t.evicted + 1;
+      Obs.Metrics.incr t.evicted_c
+
+let add t k v =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table k) then begin
+        while Hashtbl.length t.table >= t.cap do
+          evict_lru t
+        done;
+        t.tick <- t.tick + 1;
+        Hashtbl.add t.table k { value = v; touched = t.tick }
+      end)
+
+let set_capacity t n =
+  with_lock t (fun () ->
+      t.cap <- max 1 n;
+      while Hashtbl.length t.table > t.cap do
+        evict_lru t
+      done)
+
+let capacity t = with_lock t (fun () -> t.cap)
+let size t = with_lock t (fun () -> Hashtbl.length t.table)
+let clear t = with_lock t (fun () -> Hashtbl.reset t.table)
+let evictions t = with_lock t (fun () -> t.evicted)

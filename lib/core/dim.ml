@@ -8,12 +8,12 @@
 
 type t = { id : int; name : string }
 
-let counter = ref 0
+(* atomic: dimensions are minted concurrently by serving worker domains,
+   and a duplicated id would merge two unrelated raggedness relations *)
+let counter = Atomic.make 0
 
 (** [make name] creates a fresh named dimension. *)
-let make name =
-  incr counter;
-  { id = !counter; name }
+let make name = { id = 1 + Atomic.fetch_and_add counter 1; name }
 
 let equal a b = a.id = b.id
 let compare a b = Int.compare a.id b.id

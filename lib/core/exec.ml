@@ -33,20 +33,29 @@ let engine_name = function `Interp -> "interp" | `Compiled -> "compiled"
    sound cache key for the same reason it is one for lowering. *)
 
 (* keyed by (signature, optimization level): the same structure compiles
-   to different closure trees at different levels *)
-let engine_memo : (Sig.t * int, Runtime.Engine.compiled) Hashtbl.t = Hashtbl.create 64
+   to different closure trees at different levels.  Shared across serving
+   worker domains — mutex-protected and bounded (LRU eviction counted as
+   engine_cache.evicted); compiled closures are immutable (all mutable
+   state lives in per-request frames), so cross-domain sharing is sound. *)
+let engine_memo : (Sig.t * int, Runtime.Engine.compiled) Cache.t =
+  Cache.create ~name:"engine_cache" ~capacity:256 ()
 
-let clear_engine_memo () = Hashtbl.reset engine_memo
-let engine_memo_size () = Hashtbl.length engine_memo
+let clear_engine_memo () = Cache.clear engine_memo
+let engine_memo_size () = Cache.size engine_memo
+let set_engine_memo_capacity n = Cache.set_capacity engine_memo n
+let engine_memo_capacity () = Cache.capacity engine_memo
+
+let engine_hit_c = Obs.Metrics.counter "engine_cache.hit"
+let engine_miss_c = Obs.Metrics.counter "engine_cache.miss"
 
 let compile_cached ~(opt : Ir.Optimize.level) (k : Lower.kernel) : Runtime.Engine.compiled =
   let key = (Sig.of_stmt k.Lower.body, Ir.Optimize.int_of_level opt) in
-  match Hashtbl.find_opt engine_memo key with
+  match Cache.find engine_memo key with
   | Some c ->
-      Obs.Metrics.incr (Obs.Metrics.counter "engine_cache.hit");
+      Obs.Metrics.incr engine_hit_c;
       c
   | None ->
-      Obs.Metrics.incr (Obs.Metrics.counter "engine_cache.miss");
+      Obs.Metrics.incr engine_miss_c;
       let c =
         Obs.Span.with_span
           ~attrs:
@@ -57,7 +66,7 @@ let compile_cached ~(opt : Ir.Optimize.level) (k : Lower.kernel) : Runtime.Engin
           "engine.compile"
           (fun () -> Runtime.Engine.compile ~opt k.Lower.body)
       in
-      Hashtbl.replace engine_memo key c;
+      Cache.add engine_memo key c;
       c
 
 (* Bind buffers, length functions and prelude tables to a frame, in the

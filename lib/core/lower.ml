@@ -530,34 +530,63 @@ let lower_impl ?(ranges : (int * Schedule.range_mode) list = []) ?(init = true) 
 (* ------------------------------------------------------------------ *)
 (* Compile cache: structural memoization of lowering.
 
-   When enabled, every [lower] call is keyed by {!Sig.lowering_key} — the
-   canonical form of the schedule plus the lowering options — so a
-   pipeline re-submitted by a later request (even one rebuilt from
-   scratch, with fresh variables and dimensions) is lowered exactly once
-   per distinct (operator, schedule) pair.  Keys compare on the full
-   canonical string, never on a hash, so a collision can never return
-   the wrong kernel.  Off by default: builds outside a serving loop pay
-   nothing, not even the key construction. *)
+   When a memo scope is open (see [with_memo]), every [lower] call is
+   keyed by {!Sig.lowering_key} — the canonical form of the schedule plus
+   the lowering options — so a pipeline re-submitted by a later request
+   (even one rebuilt from scratch, with fresh variables and dimensions)
+   is lowered exactly once per distinct (operator, schedule) pair.  Keys
+   compare on the full canonical string, never on a hash, so a collision
+   can never return the wrong kernel.  Off outside a scope: builds
+   outside a serving loop pay nothing, not even the key construction.
 
-let memo_table : (Sig.t, kernel) Hashtbl.t = Hashtbl.create 64
-let memo_flag = ref false
+   The scope lives in domain-local storage, not a process global: two
+   requests on different worker domains each see their own policy and
+   their own hit/miss tally, so a cache-bypassing request can run next
+   to a caching one without either corrupting the other — the global
+   [set_memo] toggle this replaces was save/restored around each request
+   and silently misrestored as soon as two requests overlapped.  The
+   table itself is shared, mutex-protected and bounded
+   ([compile_cache.evicted] counts LRU evictions). *)
 
-let set_memo b = memo_flag := b
-let memo_enabled () = !memo_flag
-let clear_memo () = Hashtbl.reset memo_table
-let memo_size () = Hashtbl.length memo_table
+let memo_table : (Sig.t, kernel) Cache.t =
+  Cache.create ~name:"compile_cache" ~capacity:512 ()
+
+type memo_stats = { mutable hits : int; mutable misses : int }
+type memo_ctx = { use_cache : bool; stats : memo_stats }
+
+let memo_ctx_key : memo_ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_memo ~cache f =
+  let slot = Domain.DLS.get memo_ctx_key in
+  let saved = !slot in
+  let stats = { hits = 0; misses = 0 } in
+  slot := Some { use_cache = cache; stats };
+  let v = Fun.protect ~finally:(fun () -> slot := saved) f in
+  (v, stats)
+
+let clear_memo () = Cache.clear memo_table
+let memo_size () = Cache.size memo_table
+let set_memo_capacity n = Cache.set_capacity memo_table n
+let memo_capacity () = Cache.capacity memo_table
+
+let memo_hit_c = Obs.Metrics.counter "compile_cache.hit"
+let memo_miss_c = Obs.Metrics.counter "compile_cache.miss"
 
 let lower ?ranges ?init ?apply_epilogue ?name_suffix (s : Schedule.t) : kernel =
-  if not !memo_flag then lower_impl ?ranges ?init ?apply_epilogue ?name_suffix s
-  else begin
-    let key = Sig.lowering_key ?ranges ?init ?apply_epilogue ?name_suffix s in
-    match Hashtbl.find_opt memo_table key with
-    | Some k ->
-        Obs.Metrics.incr (Obs.Metrics.counter "compile_cache.hit");
-        k
-    | None ->
-        Obs.Metrics.incr (Obs.Metrics.counter "compile_cache.miss");
-        let k = lower_impl ?ranges ?init ?apply_epilogue ?name_suffix s in
-        Hashtbl.replace memo_table key k;
-        k
-  end
+  match !(Domain.DLS.get memo_ctx_key) with
+  | Some { use_cache = true; stats } -> (
+      let key = Sig.lowering_key ?ranges ?init ?apply_epilogue ?name_suffix s in
+      match Cache.find memo_table key with
+      | Some k ->
+          Obs.Metrics.incr memo_hit_c;
+          stats.hits <- stats.hits + 1;
+          k
+      | None ->
+          Obs.Metrics.incr memo_miss_c;
+          stats.misses <- stats.misses + 1;
+          let k = lower_impl ?ranges ?init ?apply_epilogue ?name_suffix s in
+          Cache.add memo_table key k;
+          k)
+  | Some { use_cache = false; _ } | None ->
+      lower_impl ?ranges ?init ?apply_epilogue ?name_suffix s

@@ -40,15 +40,37 @@ val lower :
 
 (** {2 Compile cache}
 
-    When enabled ([set_memo true]), [lower] memoizes its output keyed by
+    Inside [with_memo ~cache:true], [lower] memoizes its output keyed by
     {!Sig.lowering_key} — structural equality, so independently rebuilt
     but identical (operator, schedule) pairs are lowered once.  Hits and
     misses are counted in the {!Obs.Metrics} registry as
-    [compile_cache.hit] / [compile_cache.miss].  Off by default (no key
-    is even computed); the cache survives toggling and is dropped only by
-    [clear_memo]. *)
+    [compile_cache.hit] / [compile_cache.miss].  Off outside a scope (no
+    key is even computed).
 
-val set_memo : bool -> unit
-val memo_enabled : unit -> bool
+    The scope is {e per-domain} (domain-local storage), so concurrent
+    requests on different worker domains carry independent policies and
+    independent hit/miss tallies — this replaces the former process-wide
+    [set_memo] toggle, which was not reentrant.  The table itself is
+    shared across domains, mutex-protected, and bounded: at most
+    {!memo_capacity} entries, least-recently-used eviction, counted as
+    [compile_cache.evicted]. *)
+
+(** Compile-cache hits and misses observed by the [lower] calls of one
+    {!with_memo} scope — per-request accounting with no reliance on
+    global counter deltas (which are wrong as soon as requests overlap). *)
+type memo_stats = { mutable hits : int; mutable misses : int }
+
+(** [with_memo ~cache f] runs [f] with the calling domain's memo policy
+    set to [cache], restoring the previous policy on exit (exceptions
+    included; scopes nest).  Returns [f]'s result and the hit/miss tally
+    of the scope. *)
+val with_memo : cache:bool -> (unit -> 'a) -> 'a * memo_stats
+
 val clear_memo : unit -> unit
 val memo_size : unit -> int
+
+(** Entry cap of the shared memo table (clamped to >= 1); shrinking
+    below the current size evicts immediately. *)
+val set_memo_capacity : int -> unit
+
+val memo_capacity : unit -> int

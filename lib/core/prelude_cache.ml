@@ -1,9 +1,12 @@
 (** Prelude cache (see prelude_cache.mli). *)
 
-let table : (Sig.t, Prelude.built) Hashtbl.t = Hashtbl.create 32
+let cache : (Sig.t, Prelude.built) Cache.t =
+  Cache.create ~name:"prelude_cache" ~capacity:256 ()
 
-let clear () = Hashtbl.reset table
-let size () = Hashtbl.length table
+let clear () = Cache.clear cache
+let size () = Cache.size cache
+let set_capacity n = Cache.set_capacity cache n
+let capacity () = Cache.capacity cache
 
 let key ~(tables_sig : Sig.t) ~dedup_defs (defs : Prelude.def list) : Sig.t =
   let names =
@@ -21,15 +24,20 @@ let key ~(tables_sig : Sig.t) ~dedup_defs (defs : Prelude.def list) : Sig.t =
       tables_sig;
     ]
 
+let hit_c = Obs.Metrics.counter "prelude_cache.hit"
+let miss_c = Obs.Metrics.counter "prelude_cache.miss"
+
 let build_cached ~(tables_sig : Sig.t) ?(dedup_defs = true) (defs : Prelude.def list)
     (lenv : Lenfun.env) : Prelude.built * bool =
   let k = key ~tables_sig ~dedup_defs defs in
-  match Hashtbl.find_opt table k with
+  match Cache.find cache k with
   | Some b ->
-      Obs.Metrics.incr (Obs.Metrics.counter "prelude_cache.hit");
+      Obs.Metrics.incr hit_c;
       (b, true)
   | None ->
-      Obs.Metrics.incr (Obs.Metrics.counter "prelude_cache.miss");
+      Obs.Metrics.incr miss_c;
+      (* built outside the cache lock: a slow build must not serialise
+         concurrent requests hitting other keys *)
       let b = Prelude.build ~dedup_defs defs lenv in
-      Hashtbl.replace table k b;
+      Cache.add cache k b;
       (b, false)

@@ -31,3 +31,13 @@ val build_cached :
 val clear : unit -> unit
 
 val size : unit -> int
+
+(** The table is shared across serving worker domains: mutex-protected
+    and bounded to {!capacity} entries with least-recently-used eviction
+    ([prelude_cache.evicted] counter) — an unbounded table under a
+    long-lived stream of never-repeating batch shapes is a memory leak.
+    [set_capacity] clamps to >= 1 and evicts immediately when shrinking
+    below the current size. *)
+val set_capacity : int -> unit
+
+val capacity : unit -> int

@@ -84,12 +84,12 @@ type t = {
   mutable bound : boundedness;
 }
 
-let axis_counter = ref 0
+(* atomic: schedules are built concurrently by serving worker domains *)
+let axis_counter = Atomic.make 0
 
 let mk_axis ?(kind = Stmt.Serial) ~origin name =
-  incr axis_counter;
   {
-    aid = !axis_counter;
+    aid = 1 + Atomic.fetch_and_add axis_counter 1;
     avar = Var.fresh name;
     origin;
     kind;

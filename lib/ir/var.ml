@@ -6,12 +6,12 @@
 
 type t = { id : int; name : string }
 
-let counter = ref 0
+(* atomic: fresh variables are minted concurrently by serving worker
+   domains, and a duplicated id silently aliases two loop variables *)
+let counter = Atomic.make 0
 
 (** [fresh name] creates a new variable with display name [name]. *)
-let fresh name =
-  incr counter;
-  { id = !counter; name }
+let fresh name = { id = 1 + Atomic.fetch_and_add counter 1; name }
 
 (** [equal a b] is physical identity of variables (by unique id). *)
 let equal a b = a.id = b.id

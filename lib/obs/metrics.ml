@@ -114,12 +114,17 @@ let count h = Array.length (samples h)
 (** Percentile of an arbitrary sample array (same linear interpolation
     between closest ranks as histogram percentiles; [nan] when empty) —
     for callers computing percentiles over their own windows, e.g. the
-    serving bench's per-window p50s.  [xs] is sorted in place. *)
+    serving bench's per-window p50s.  Non-destructive: the computation
+    sorts a copy (with [Float.compare], not the polymorphic [compare]),
+    so [xs] is left exactly as passed — callers slicing one latency
+    array into overlapping windows must not see their samples silently
+    reordered. *)
 let percentile_of (xs : float array) p =
   let n = Array.length xs in
   if n = 0 then Float.nan
   else begin
-    Array.sort compare xs;
+    let xs = Array.copy xs in
+    Array.sort Float.compare xs;
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = max 0 (min (n - 1) (int_of_float (floor rank))) in
     let hi = min (n - 1) (lo + 1) in
@@ -149,7 +154,7 @@ let summarize h =
     { n = 0; sum = 0.0; min_v = Float.nan; max_v = Float.nan; mean = Float.nan;
       p50 = Float.nan; p90 = Float.nan; p99 = Float.nan }
   else begin
-    Array.sort compare xs;
+    Array.sort Float.compare xs;
     let sum = Array.fold_left ( +. ) 0.0 xs in
     let pct p =
       let rank = p /. 100.0 *. float_of_int (n - 1) in

@@ -38,8 +38,9 @@ val samples : histogram -> float array
     ranks; [nan] when empty. *)
 val percentile : histogram -> float -> float
 
-(** Same computation over a caller-supplied sample array (sorted in
-    place) — for percentiles over ad-hoc windows. *)
+(** Same computation over a caller-supplied sample array — for
+    percentiles over ad-hoc windows.  Non-destructive: the input array
+    is not modified (a copy is sorted, with [Float.compare]). *)
 val percentile_of : float array -> float -> float
 
 type hsummary = {

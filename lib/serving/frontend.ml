@@ -1,0 +1,234 @@
+(** Concurrent serving front-end (see frontend.mli). *)
+
+type outcome =
+  | Response of Server.response
+  | Overloaded
+  | Deadline_exceeded of string
+  | Error of { exn : string; backtrace : string }
+
+let outcome_label = function
+  | Response _ -> "response"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Error _ -> "error"
+
+(* Raised by the stage-check hook inside [Server.handle]; never escapes
+   this module. *)
+exception Expired of string
+
+type ticket = {
+  mutable outcome : outcome option;
+  t_lock : Mutex.t;
+  t_cond : Condition.t;
+}
+
+type request = {
+  workload : Workload.t;
+  lens : int array;
+  deadline_us : float;  (** absolute, [Trace_sink.now_us] clock; [infinity] = none *)
+  submitted_us : float;
+  ticket : ticket;
+}
+
+type t = {
+  srv : Server.t;
+  fallback : Server.t option;  (** [`Interp] twin of a [`Compiled] server *)
+  capacity : int;
+  default_deadline_ns : float;  (** relative; [infinity] = none *)
+  q : request Queue.t;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let now_us = Obs.Trace_sink.now_us
+
+(* module-level handles: metric lookup is off the per-request path *)
+let accepted_c = Obs.Metrics.counter "frontend.accepted"
+let rejected_c = Obs.Metrics.counter "frontend.rejected"
+let served_c = Obs.Metrics.counter "frontend.served"
+let deadline_c = Obs.Metrics.counter "frontend.deadline_exceeded"
+let degraded_c = Obs.Metrics.counter "frontend.degraded"
+let errors_c = Obs.Metrics.counter "frontend.errors"
+let queue_wait_h = Obs.Metrics.histogram "frontend.queue_wait_us"
+
+let fresh_ticket () = { outcome = None; t_lock = Mutex.create (); t_cond = Condition.create () }
+
+let resolve (tk : ticket) (o : outcome) =
+  Mutex.lock tk.t_lock;
+  if Option.is_none tk.outcome then begin
+    tk.outcome <- Some o;
+    Condition.broadcast tk.t_cond
+  end;
+  Mutex.unlock tk.t_lock
+
+let await (tk : ticket) : outcome =
+  Mutex.lock tk.t_lock;
+  while Option.is_none tk.outcome do
+    Condition.wait tk.t_cond tk.t_lock
+  done;
+  let o = Option.get tk.outcome in
+  Mutex.unlock tk.t_lock;
+  o
+
+let peek (tk : ticket) : outcome option =
+  Mutex.lock tk.t_lock;
+  let o = tk.outcome in
+  Mutex.unlock tk.t_lock;
+  o
+
+(* ------------------------------------------------------------------ *)
+(* Worker side *)
+
+let handle_with_deadline srv (r : request) : outcome =
+  let stage_check stage = if now_us () > r.deadline_us then raise (Expired stage) in
+  match Server.handle ~stage_check srv r.workload r.lens with
+  | resp -> Response resp
+  | exception Expired stage ->
+      Obs.Metrics.incr deadline_c;
+      Deadline_exceeded stage
+  | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      Obs.Metrics.incr errors_c;
+      Error { exn = Printexc.to_string e; backtrace }
+
+(* Fault isolation: everything a request can throw is converted to a
+   typed outcome here; nothing escapes into the worker loop, so a
+   poisoned request can never take a worker domain (or a neighbour's
+   pending request) down with it. *)
+let run_one (fe : t) (r : request) : outcome =
+  Obs.Metrics.observe queue_wait_h (now_us () -. r.submitted_us);
+  if now_us () > r.deadline_us then begin
+    (* enforced at dequeue: a request that waited out its budget in the
+       queue is answered without doing any work *)
+    Obs.Metrics.incr deadline_c;
+    Deadline_exceeded "queue"
+  end
+  else
+    let stage_check stage = if now_us () > r.deadline_us then raise (Expired stage) in
+    match Server.handle ~stage_check fe.srv r.workload r.lens with
+    | resp ->
+        Obs.Metrics.incr served_c;
+        Response resp
+    | exception Expired stage ->
+        Obs.Metrics.incr deadline_c;
+        Deadline_exceeded stage
+    | exception Runtime.Engine.Error _ when Option.is_some fe.fallback ->
+        (* graceful degradation: the compiled engine rejected the kernel —
+           retry once on the interpreter twin before giving up *)
+        Obs.Metrics.incr degraded_c;
+        let o = handle_with_deadline (Option.get fe.fallback) r in
+        (match o with Response _ -> Obs.Metrics.incr served_c | _ -> ());
+        o
+    | exception e ->
+        let backtrace = Printexc.get_backtrace () in
+        Obs.Metrics.incr errors_c;
+        Error { exn = Printexc.to_string e; backtrace }
+
+let rec worker_loop (fe : t) =
+  Mutex.lock fe.lock;
+  let rec take () =
+    if not (Queue.is_empty fe.q) then begin
+      let r = Queue.pop fe.q in
+      Condition.signal fe.not_full;
+      Some r
+    end
+    else if fe.closing then None
+    else begin
+      Condition.wait fe.not_empty fe.lock;
+      take ()
+    end
+  in
+  let req = take () in
+  Mutex.unlock fe.lock;
+  match req with
+  | None -> () (* closing and drained: the worker retires *)
+  | Some r ->
+      resolve r.ticket (run_one fe r);
+      worker_loop fe
+
+(* ------------------------------------------------------------------ *)
+(* Client side *)
+
+let create ?(domains = 4) ?(capacity = 64) ?deadline_ns (srv : Server.t) : t =
+  if domains < 1 then invalid_arg "Frontend.create: domains must be >= 1";
+  if capacity < 1 then invalid_arg "Frontend.create: capacity must be >= 1";
+  (* outcomes carry backtraces; recording costs nothing on the happy path *)
+  Printexc.record_backtrace true;
+  let fallback =
+    match Server.engine srv with
+    | `Compiled -> Some (Server.with_engine srv `Interp)
+    | `Interp -> None
+  in
+  let fe =
+    {
+      srv;
+      fallback;
+      capacity;
+      default_deadline_ns = Option.value deadline_ns ~default:infinity;
+      q = Queue.create ();
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  fe.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop fe));
+  fe
+
+let deadline_of fe deadline_ns submitted_us =
+  let rel = match deadline_ns with Some ns -> ns | None -> fe.default_deadline_ns in
+  if rel = infinity then infinity else submitted_us +. (rel /. 1e3)
+
+(* [wait_for_space] selects admission policy: reject (submit) vs
+   backpressure (run_stream). *)
+let enqueue ~wait_for_space ?deadline_ns (fe : t) (w : Workload.t) (lens : int array) :
+    ticket =
+  let ticket = fresh_ticket () in
+  let submitted_us = now_us () in
+  let deadline_us = deadline_of fe deadline_ns submitted_us in
+  let r = { workload = w; lens; deadline_us; submitted_us; ticket } in
+  Mutex.lock fe.lock;
+  if wait_for_space then
+    while Queue.length fe.q >= fe.capacity && not fe.closing do
+      Condition.wait fe.not_full fe.lock
+    done;
+  let admitted = (not fe.closing) && Queue.length fe.q < fe.capacity in
+  if admitted then begin
+    Queue.push r fe.q;
+    Condition.signal fe.not_empty
+  end;
+  Mutex.unlock fe.lock;
+  if admitted then Obs.Metrics.incr accepted_c
+  else begin
+    Obs.Metrics.incr rejected_c;
+    resolve ticket Overloaded
+  end;
+  ticket
+
+let submit ?deadline_ns fe w lens = enqueue ~wait_for_space:false ?deadline_ns fe w lens
+
+let run_stream ?deadline_ns (fe : t) (w : Workload.t) (items : int array array) :
+    outcome array =
+  let tickets =
+    Array.map (fun lens -> enqueue ~wait_for_space:true ?deadline_ns fe w lens) items
+  in
+  Array.map await tickets
+
+let shutdown (fe : t) =
+  Mutex.lock fe.lock;
+  fe.closing <- true;
+  Condition.broadcast fe.not_empty;
+  Condition.broadcast fe.not_full;
+  Mutex.unlock fe.lock;
+  List.iter Domain.join fe.workers;
+  fe.workers <- []
+
+let queue_length (fe : t) =
+  Mutex.lock fe.lock;
+  let n = Queue.length fe.q in
+  Mutex.unlock fe.lock;
+  n

@@ -1,0 +1,89 @@
+(** Concurrent serving front-end: a pool of worker domains in front of
+    {!Server.handle}, with explicit admission control, per-request
+    deadlines and fault isolation.
+
+    {2 Queueing model}
+
+    Requests enter a bounded FIFO queue ([~capacity], default 64) and are
+    drained by [~domains] worker domains.  {!submit} never blocks: when
+    the queue is full the request is {e rejected immediately} with a
+    typed {!Overloaded} outcome and counted in [frontend.rejected] —
+    under overload the server sheds load at the front door instead of
+    growing an unbounded backlog.  {!run_stream} is the paced
+    alternative: it applies backpressure (waits for a queue slot) rather
+    than rejecting, which is what a replay driver wants.
+
+    {2 Deadline semantics}
+
+    A request may carry a deadline (relative, in nanoseconds, fixed at
+    submission).  It is checked when the request is dequeued — a request
+    that waited out its budget in the queue is answered
+    [Deadline_exceeded "queue"] without doing any work — and again
+    between the pipeline stages of {!Server.handle} ("compile",
+    "prelude", "launch", "execute", via its [?stage_check] hook), so an
+    expired request stops at the next stage boundary rather than running
+    to completion.  Stages are not interrupted mid-flight; the stage
+    name in the outcome says how far the request got.  Counted in
+    [frontend.deadline_exceeded].
+
+    {2 Fault isolation and degradation}
+
+    An exception escaping one request's workload is caught at the worker
+    loop, converted into an {!Error} outcome carrying the exception text
+    and backtrace, and counted in [frontend.errors] — it never kills the
+    worker domain, and later requests are served normally.  One failure
+    is special-cased: if a [`Compiled]-engine server raises
+    {!Runtime.Engine.Error} (the engine rejecting a kernel it cannot
+    compile), the request is retried {e once} on an [`Interp] twin of
+    the server (graceful degradation, counted in [frontend.degraded]);
+    only if that retry also fails does the client see an error.
+
+    Every submitted request resolves to exactly one outcome; {!shutdown}
+    drains already-admitted requests before the workers exit. *)
+
+type outcome =
+  | Response of Server.response  (** served normally (or on the degraded engine) *)
+  | Overloaded  (** rejected at admission: the queue was full *)
+  | Deadline_exceeded of string
+      (** expired; the payload is the stage reached ("queue", "compile",
+          "prelude", "launch", "execute") *)
+  | Error of { exn : string; backtrace : string }
+      (** the workload raised; the worker survived *)
+
+(** A submitted request's future outcome. *)
+type ticket
+
+type t
+
+(** [create srv] — spawn the worker pool.  [~domains] workers (default
+    4, >= 1), queue bound [~capacity] (default 64, >= 1),
+    [?deadline_ns] a default relative deadline applied to every request
+    that does not carry its own.  If [srv] runs the [`Compiled] engine,
+    an [`Interp] twin is created for degraded retries. *)
+val create : ?domains:int -> ?capacity:int -> ?deadline_ns:float -> Server.t -> t
+
+(** Non-blocking, admission-controlled submission: returns a ticket that
+    is already resolved to {!Overloaded} when the queue is full (or the
+    front-end is shutting down).  [?deadline_ns] overrides the
+    front-end's default deadline for this request. *)
+val submit : ?deadline_ns:float -> t -> Workload.t -> int array -> ticket
+
+(** Block until the request resolves.  Idempotent. *)
+val await : ticket -> outcome
+
+(** [Some o] once resolved, without blocking. *)
+val peek : ticket -> outcome option
+
+(** Paced replay: submit every item in order — waiting for queue space
+    instead of rejecting (backpressure) — and await all outcomes.
+    Returns one outcome per item, in submission order. *)
+val run_stream : ?deadline_ns:float -> t -> Workload.t -> int array array -> outcome array
+
+(** Drain admitted requests, stop the workers, join the domains.
+    Subsequent {!submit}s resolve to {!Overloaded}.  Idempotent. *)
+val shutdown : t -> unit
+
+(** Number of requests currently queued (diagnostic). *)
+val queue_length : t -> int
+
+val outcome_label : outcome -> string

@@ -32,6 +32,7 @@ let compile_cache_enabled t = t.compile_cache
 let prelude_cache_enabled t = t.prelude_cache
 let engine t = t.engine
 let opt_level t = t.opt
+let with_engine t engine = { t with engine }
 
 let reset_caches () =
   Lower.clear_memo ();
@@ -118,24 +119,23 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
   in
   (Runtime.Interp.stats env, out)
 
-let handle (srv : t) (w : Workload.t) (lens : int array) : response =
+let handle ?(stage_check = fun (_ : string) -> ()) (srv : t) (w : Workload.t)
+    (lens : int array) : response =
   Obs.Span.with_span
     ~attrs:[ ("workload", Obs.Trace_sink.Str w.Workload.name) ]
     "serve.request"
   @@ fun () ->
-  let ch = Obs.Metrics.counter "compile_cache.hit"
-  and cm = Obs.Metrics.counter "compile_cache.miss" in
-  let ch0 = Obs.Metrics.value ch and cm0 = Obs.Metrics.value cm in
-  let memo_was = Lower.memo_enabled () in
-  let job =
-    Fun.protect
-      ~finally:(fun () -> Lower.set_memo memo_was)
-      (fun () ->
-        Lower.set_memo srv.compile_cache;
+  (* The per-request cache policy is threaded as an argument ([with_memo]
+     scopes it in domain-local storage) and the hit/miss tally comes back
+     from the lowering calls themselves — never from global counter
+     deltas, which double-count as soon as two requests overlap. *)
+  stage_check "compile";
+  let job, memo =
+    Lower.with_memo ~cache:srv.compile_cache (fun () ->
         Obs.Span.with_span "serve.compile" (fun () -> w.Workload.build lens))
   in
-  let compile_hits = Obs.Metrics.value ch - ch0
-  and compile_misses = Obs.Metrics.value cm - cm0 in
+  let compile_hits = memo.Lower.hits and compile_misses = memo.Lower.misses in
+  stage_check "prelude";
   let defs = List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) job.Workload.kernels in
   let built, prelude_hit =
     Obs.Span.with_span "serve.prelude" (fun () ->
@@ -147,6 +147,7 @@ let handle (srv : t) (w : Workload.t) (lens : int array) : response =
   (* Model time: the launches are timed against the supplied prelude (no
      rebuild inside the pipeline); its host/copy cost is charged only when
      this request actually built it. *)
+  stage_check "launch";
   let pt =
     Machine.Launch.pipeline ~engine:srv.engine ~opt:srv.opt ~prelude:built ~device:srv.device
       ~lenv:job.Workload.lenv job.Workload.launches
@@ -156,6 +157,7 @@ let handle (srv : t) (w : Workload.t) (lens : int array) : response =
   in
   let kernels_ns = pt.Machine.Launch.kernels_ns in
   let model_ns = kernels_ns +. prelude_host_ns +. prelude_copy_ns in
+  stage_check "execute";
   let counters, out =
     if srv.execute then
       let c, o = Obs.Span.with_span "serve.execute" (fun () -> execute srv job built) in

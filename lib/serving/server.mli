@@ -54,8 +54,21 @@ val engine : t -> Cora.Exec.engine
 (** Optimization level [~execute:true] requests run at. *)
 val opt_level : t -> Ir.Optimize.level
 
-(** Handle one request: workload + raggedness vector. *)
-val handle : t -> Workload.t -> int array -> response
+(** [with_engine srv e] — the same server configuration with a different
+    execution engine (used by {!Frontend} to build the [`Interp]
+    fallback twin of a [`Compiled] server). *)
+val with_engine : t -> Cora.Exec.engine -> t
+
+(** Handle one request: workload + raggedness vector.
+
+    [?stage_check] is invoked with the stage name ("compile", "prelude",
+    "launch", "execute") immediately before each pipeline stage; raising
+    from it aborts the request between stages — the deadline-enforcement
+    hook of {!Frontend}.  Per-request compile hit/miss counts are
+    returned from the lowering calls themselves (scoped through
+    {!Cora.Lower.with_memo}), so they stay exact when requests run
+    concurrently on several domains. *)
+val handle : ?stage_check:(string -> unit) -> t -> Workload.t -> int array -> response
 
 (** Drop all cache contents (compile memo, prelude builds, and the
     compiled-kernel memo of the engine). *)

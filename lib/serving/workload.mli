@@ -3,7 +3,7 @@
 
     Each adapter rebuilds its operator and schedule from scratch on every
     request — exactly what a serving system presented with "the same"
-    model would do — so the compile cache ({!Cora.Lower.set_memo}) is what
+    model would do — so the compile cache ({!Cora.Lower.with_memo}) is what
     makes repeated structures cheap, and the concrete tables are what key
     the prelude cache.  [job.lenv] is constructed from [job.tables] alone,
     so {!Cora.Sig.of_tables} over the tables fully determines the prelude

@@ -1,0 +1,204 @@
+(* Concurrent front-end tests: correctness of results must survive
+   concurrency, and failures must stay typed and contained.
+
+   - stress: N domains x M mixed requests through the front-end produce
+     exactly one Response per request, with checksums bitwise-identical
+     to a cache-bypassed serial replay of the same stream;
+   - admission: with the single worker held busy and the queue full,
+     the next submit resolves to Overloaded immediately (never blocks);
+   - deadline: a request that waits out its budget behind a slow request
+     is answered Deadline_exceeded "queue" without being executed, and
+     the pool keeps serving afterwards;
+   - fault isolation: a workload that raises produces an Error outcome
+     carrying the exception text, and the worker domain survives it;
+   - degradation: a compiled-engine failure is retried once on the
+     interpreter twin and counted in frontend.degraded. *)
+
+let base = Serving.Workload.fig1 ~batch:4 ~max_len:6 ()
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let get_response label = function
+  | Serving.Frontend.Response r -> r
+  | o ->
+      Alcotest.failf "%s: expected a response, got %s" label
+        (Serving.Frontend.outcome_label o)
+
+(* A workload whose build publishes that it started, then spins until
+   released — lets a test hold a worker domain at a known point. *)
+let gated_workload gate entered =
+  {
+    base with
+    Serving.Workload.name = "gated";
+    build =
+      (fun lens ->
+        Atomic.incr entered;
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        base.Serving.Workload.build lens);
+  }
+
+let wait_for label pred =
+  let tries = ref 0 in
+  while not (pred ()) do
+    incr tries;
+    if !tries > 10_000_000 then Alcotest.failf "%s: condition never became true" label;
+    Domain.cpu_relax ()
+  done
+
+(* ---------------- stress ---------------- *)
+
+let test_stress () =
+  Serving.Server.reset_caches ();
+  let stream = Serving.Stream.generate ~workload:base ~pool:4 ~n:24 ~seed:3 () in
+  (* serial ground truth from a cache-bypassing server: independent of
+     everything the front-end and the caches do *)
+  let bypass = Serving.Server.create ~compile_cache:false ~prelude_cache:false () in
+  let serial = Serving.Stream.replay bypass base stream in
+  let srv = Serving.Server.create () in
+  let fe = Serving.Frontend.create ~domains:4 ~capacity:8 srv in
+  let outcomes = Serving.Frontend.run_stream fe base stream.Serving.Stream.items in
+  Serving.Frontend.shutdown fe;
+  Alcotest.(check int) "one outcome per request" 24 (Array.length outcomes);
+  List.iteri
+    (fun i (rs : Serving.Server.response) ->
+      let rc = get_response (Printf.sprintf "request %d" i) outcomes.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d: outputs bit-identical to serial" i)
+        true
+        (bits_equal (Option.get rs.Serving.Server.out) (Option.get rc.Serving.Server.out)))
+    serial
+
+(* ---------------- admission control ---------------- *)
+
+let test_admission_overload () =
+  Serving.Server.reset_caches ();
+  let gate = Atomic.make false and entered = Atomic.make 0 in
+  let gated = gated_workload gate entered in
+  let shape = [| 5; 3; 6; 2 |] in
+  let srv = Serving.Server.create () in
+  let fe = Serving.Frontend.create ~domains:1 ~capacity:2 srv in
+  (* occupy the only worker at a known point inside its build... *)
+  let blocker = Serving.Frontend.submit fe gated shape in
+  wait_for "worker entered the gated build" (fun () -> Atomic.get entered = 1);
+  (* ...then fill the queue to its bound... *)
+  let queued = [ Serving.Frontend.submit fe gated shape; Serving.Frontend.submit fe gated shape ] in
+  Alcotest.(check int) "queue at capacity" 2 (Serving.Frontend.queue_length fe);
+  (* ...so the next submit must be rejected, typed and without blocking *)
+  let overflow = Serving.Frontend.submit fe gated shape in
+  (match Serving.Frontend.peek overflow with
+  | Some Serving.Frontend.Overloaded -> ()
+  | Some o ->
+      Alcotest.failf "overflow submit resolved to %s" (Serving.Frontend.outcome_label o)
+  | None -> Alcotest.fail "overflow submit did not resolve immediately");
+  Atomic.set gate true;
+  List.iter
+    (fun t -> ignore (get_response "admitted request" (Serving.Frontend.await t)))
+    (blocker :: queued);
+  Serving.Frontend.shutdown fe
+
+(* ---------------- deadlines ---------------- *)
+
+let test_deadline_in_queue () =
+  Serving.Server.reset_caches ();
+  let gate = Atomic.make false and entered = Atomic.make 0 in
+  let gated = gated_workload gate entered in
+  let shape = [| 5; 3; 6; 2 |] in
+  let srv = Serving.Server.create () in
+  let fe = Serving.Frontend.create ~domains:1 srv in
+  let blocker = Serving.Frontend.submit fe gated shape in
+  wait_for "worker entered the gated build" (fun () -> Atomic.get entered = 1);
+  (* 1ns budget, and the only worker is busy: by dequeue time the victim
+     has necessarily expired *)
+  let victim = Serving.Frontend.submit ~deadline_ns:1.0 fe base shape in
+  Atomic.set gate true;
+  (match Serving.Frontend.await victim with
+  | Serving.Frontend.Deadline_exceeded stage ->
+      Alcotest.(check string) "expired while queued" "queue" stage
+  | o -> Alcotest.failf "victim resolved to %s" (Serving.Frontend.outcome_label o));
+  ignore (get_response "blocker" (Serving.Frontend.await blocker));
+  (* an expiry must not wedge the pool *)
+  let after = Serving.Frontend.await (Serving.Frontend.submit fe base shape) in
+  ignore (get_response "request after expiry" after);
+  Serving.Frontend.shutdown fe
+
+(* ---------------- fault isolation ---------------- *)
+
+let test_fault_isolation () =
+  Serving.Server.reset_caches ();
+  let faulty =
+    { base with Serving.Workload.name = "faulty"; build = (fun _ -> failwith "boom") }
+  in
+  let shape = [| 5; 3; 6; 2 |] in
+  let srv = Serving.Server.create () in
+  let fe = Serving.Frontend.create ~domains:2 srv in
+  (match Serving.Frontend.await (Serving.Frontend.submit fe faulty shape) with
+  | Serving.Frontend.Error { exn; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error carries the exception (%s)" exn)
+        true (contains_substring exn "boom")
+  | o -> Alcotest.failf "faulty request resolved to %s" (Serving.Frontend.outcome_label o));
+  (* both workers must still be alive and serving *)
+  let ts = List.init 4 (fun _ -> Serving.Frontend.submit fe base shape) in
+  List.iter
+    (fun t -> ignore (get_response "request after fault" (Serving.Frontend.await t)))
+    ts;
+  Serving.Frontend.shutdown fe
+
+(* ---------------- graceful degradation ---------------- *)
+
+let test_degradation () =
+  Serving.Server.reset_caches ();
+  let calls = Atomic.make 0 in
+  (* first build raises the engine's own rejection; the degraded retry's
+     rebuild succeeds *)
+  let flaky =
+    {
+      base with
+      Serving.Workload.name = "flaky";
+      build =
+        (fun lens ->
+          if Atomic.fetch_and_add calls 1 = 0 then
+            raise (Runtime.Engine.Error "synthetic kernel rejection")
+          else base.Serving.Workload.build lens);
+    }
+  in
+  let shape = [| 5; 3; 6; 2 |] in
+  let srv = Serving.Server.create ~engine:`Compiled () in
+  let fe = Serving.Frontend.create ~domains:1 srv in
+  let degraded () = Obs.Metrics.value (Obs.Metrics.counter "frontend.degraded") in
+  let before = degraded () in
+  let r = get_response "flaky request" (Serving.Frontend.await (Serving.Frontend.submit fe flaky shape)) in
+  Alcotest.(check int) "retried exactly once on the interp twin" (before + 1) (degraded ());
+  Alcotest.(check int) "build ran twice" 2 (Atomic.get calls);
+  (* the degraded response is a real one: identical to a direct interp serve *)
+  let direct = Serving.Server.handle (Serving.Server.create ~engine:`Interp ()) base shape in
+  Alcotest.(check bool) "degraded output bit-identical to interp" true
+    (bits_equal (Option.get direct.Serving.Server.out) (Option.get r.Serving.Server.out));
+  Serving.Frontend.shutdown fe
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "concurrency",
+        [ Alcotest.test_case "4 domains x 24 requests match serial" `Quick test_stress ] );
+      ( "admission",
+        [ Alcotest.test_case "full queue rejects typed, non-blocking" `Quick test_admission_overload ] );
+      ( "deadlines",
+        [ Alcotest.test_case "queue expiry is typed and non-wedging" `Quick test_deadline_in_queue ] );
+      ( "faults",
+        [
+          Alcotest.test_case "exception becomes Error, worker survives" `Quick test_fault_isolation;
+          Alcotest.test_case "compiled failure degrades to interp" `Quick test_degradation;
+        ] );
+    ]

@@ -101,6 +101,19 @@ let test_histogram_percentiles () =
   feq "mean" 50.5 s.Metrics.mean;
   feq "sum" 5050.0 s.Metrics.sum
 
+let test_percentile_of_nondestructive () =
+  reset_all ();
+  (* regression: percentile_of used to sort its argument in place, so a
+     caller computing several percentiles over a window of an array it
+     still owned saw the window reordered under it *)
+  let xs = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  let feq = Alcotest.(check (float 1e-9)) in
+  feq "p50 of unsorted input" 3.0 (Metrics.percentile_of xs 50.0);
+  Alcotest.(check (array (float 0.0)))
+    "input array untouched" [| 5.0; 1.0; 4.0; 2.0; 3.0 |] xs;
+  feq "p0" 1.0 (Metrics.percentile_of xs 0.0);
+  feq "p100" 5.0 (Metrics.percentile_of xs 100.0)
+
 (* ---------------- counters across domains ---------------- *)
 
 let test_counter_sharded () =
@@ -177,6 +190,8 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "percentile_of leaves input intact" `Quick
+            test_percentile_of_nondestructive;
           Alcotest.test_case "counters shard across domains" `Quick test_counter_sharded;
           Alcotest.test_case "interp flush matches env" `Quick test_interp_flush_matches;
         ] );

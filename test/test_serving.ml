@@ -138,6 +138,82 @@ let test_invalidation () =
   Alcotest.(check bool) "original shape unchanged" true
     (bits_equal (get_out r1) (get_out r3))
 
+(* The caches are bounded: serving more distinct shapes than the prelude
+   cache holds must evict (never grow past the cap), keep the most recent
+   shapes, and never change results. *)
+let test_prelude_cache_cap () =
+  Serving.Server.reset_caches ();
+  let saved = Cora.Prelude_cache.capacity () in
+  Fun.protect
+    ~finally:(fun () ->
+      Cora.Prelude_cache.set_capacity saved;
+      Serving.Server.reset_caches ())
+    (fun () ->
+      Cora.Prelude_cache.set_capacity 2;
+      Alcotest.(check int) "cap applied" 2 (Cora.Prelude_cache.capacity ());
+      let w = Serving.Workload.fig1 ~batch:4 ~max_len:6 () in
+      let srv = Serving.Server.create () in
+      let shapes =
+        [ [| 1; 2; 3; 4 |]; [| 2; 3; 4; 5 |]; [| 3; 4; 5; 6 |]; [| 4; 5; 6; 1 |] ]
+      in
+      let evicted () =
+        Obs.Metrics.value (Obs.Metrics.counter "prelude_cache.evicted")
+      in
+      let before = evicted () in
+      List.iter (fun s -> ignore (Serving.Server.handle srv w s)) shapes;
+      Alcotest.(check bool) "size never exceeds cap" true
+        (Cora.Prelude_cache.size () <= 2);
+      Alcotest.(check bool) "evictions counted" true (evicted () > before);
+      (* LRU: the last-served shape survived, the first was evicted *)
+      let recent = Serving.Server.handle srv w (List.nth shapes 3) in
+      Alcotest.(check bool) "most recent shape still hits" true
+        recent.Serving.Server.prelude_hit;
+      let oldest = Serving.Server.handle srv w (List.nth shapes 0) in
+      Alcotest.(check bool) "oldest shape was evicted" false
+        oldest.Serving.Server.prelude_hit;
+      (* an evicted entry is rebuilt, not wrong *)
+      let bypass = Serving.Server.create ~compile_cache:false ~prelude_cache:false () in
+      let rb = Serving.Server.handle bypass w (List.nth shapes 0) in
+      Alcotest.(check bool) "rebuilt results identical to uncached" true
+        (bits_equal (get_out oldest) (get_out rb));
+      (* the clamp: a nonsensical cap becomes 1, not 0 *)
+      Cora.Prelude_cache.set_capacity 0;
+      Alcotest.(check int) "cap clamps to 1" 1 (Cora.Prelude_cache.capacity ()))
+
+(* Same bound on the compile memo. *)
+let test_compile_memo_cap () =
+  Serving.Server.reset_caches ();
+  let saved = Cora.Lower.memo_capacity () in
+  Fun.protect
+    ~finally:(fun () ->
+      Cora.Lower.set_memo_capacity saved;
+      Serving.Server.reset_caches ())
+    (fun () ->
+      Cora.Lower.set_memo_capacity 1;
+      let w1 = Serving.Workload.fig1 ~batch:4 ~max_len:6 () in
+      let w2 = Serving.Workload.trmm ~tile:4 ~sizes:[| 8; 12 |] () in
+      let srv = Serving.Server.create () in
+      let bypass = Serving.Server.create ~compile_cache:false ~prelude_cache:false () in
+      let evicted () =
+        Obs.Metrics.value (Obs.Metrics.counter "compile_cache.evicted")
+      in
+      let before = evicted () in
+      (* alternate two workloads whose kernels cannot share one slot *)
+      List.iter
+        (fun (w, shape) ->
+          let r = Serving.Server.handle srv w shape in
+          let rb = Serving.Server.handle bypass w shape in
+          Alcotest.(check bool)
+            (w.Serving.Workload.name ^ ": results unchanged under eviction")
+            true
+            (bits_equal (get_out r) (get_out rb));
+          Alcotest.(check bool) "memo never exceeds cap" true
+            (Cora.Lower.memo_size () <= 1))
+        [
+          (w1, [| 5; 3; 6; 2 |]); (w2, [| 8 |]); (w1, [| 5; 3; 6; 2 |]); (w2, [| 12 |]);
+        ];
+      Alcotest.(check bool) "evictions counted" true (evicted () > before))
+
 (* Streams regenerate identically from their seed, and replay to the same
    checksums. *)
 let test_determinism () =
@@ -167,6 +243,8 @@ let () =
         [
           Alcotest.test_case "x10 repeated batch hits >= 80%" `Quick test_hit_rate_10x;
           Alcotest.test_case "length mutation invalidates" `Quick test_invalidation;
+          Alcotest.test_case "prelude cache cap respected" `Quick test_prelude_cache_cap;
+          Alcotest.test_case "compile memo cap respected" `Quick test_compile_memo_cap;
           Alcotest.test_case "stream determinism" `Quick test_determinism;
         ] );
     ]
