@@ -105,4 +105,94 @@ goodput=$(echo "$djson" | sed 's/.*"goodput_rps":\([0-9.eE+-]*\).*/\1/')
 awk -v g="$goodput" 'BEGIN { exit (g > 0) ? 0 : 1 }' \
   || { echo "ci: goodput_rps=$goodput, expected > 0" >&2; exit 1; }
 
+echo "== cora bench-stream --domains 4 telemetry" >&2
+# Full-telemetry concurrent run: Chrome trace (re-parsed by the binary),
+# flight-recorder ring, and OpenMetrics exposition (self-validated by the
+# binary's strict parser).  The OpenMetrics text is then re-checked here:
+# well-formed TYPE lines, counters named _total, histogram buckets with
+# monotone cumulative le-series closed by +Inf == _count, and a final
+# # EOF terminator.
+dune exec bin/cora_cli.exe -- bench-stream --exec --domains 4 \
+  --trace-out "$tmpdir/stream_trace.json" \
+  --flight-out "$tmpdir/flight.json" \
+  --openmetrics "$tmpdir/metrics.om" \
+  > "$tmpdir/stream_telemetry.txt" 2> "$tmpdir/stream_telemetry.err"
+
+test -s "$tmpdir/stream_trace.json" || { echo "ci: stream trace is empty" >&2; exit 1; }
+test -s "$tmpdir/flight.json" || { echo "ci: flight ring is empty" >&2; exit 1; }
+test -s "$tmpdir/metrics.om" || { echo "ci: openmetrics file is empty" >&2; exit 1; }
+grep -q '"req":' "$tmpdir/stream_trace.json" \
+  || { echo "ci: trace events carry no request ids" >&2; exit 1; }
+grep -q '"sig":' "$tmpdir/flight.json" \
+  || { echo "ci: flight records carry no raggedness signatures" >&2; exit 1; }
+tail -c 16 "$tmpdir/metrics.om" | grep -q "# EOF" \
+  || { echo "ci: openmetrics output not terminated by # EOF" >&2; exit 1; }
+grep -q "^# TYPE cora_serve_latency_ns histogram" "$tmpdir/metrics.om" \
+  || { echo "ci: serve latency histogram missing from exposition" >&2; exit 1; }
+awk '
+  $1 ~ /_bucket\{le="\+Inf"\}$/ {
+    b = $1; sub(/_bucket\{le="\+Inf"\}$/, "", b); infc[b] = $2 + 0; next
+  }
+  $1 ~ /_bucket\{le="/ {
+    f = $1; sub(/_bucket\{.*$/, "", f)
+    if (f != prevfam) { prevcum = -1; prevle = ""; prevfam = f }
+    match($1, /le="[^"]*"/); le = substr($1, RSTART + 4, RLENGTH - 5) + 0
+    if (prevle != "" && le <= prevle) { print "ci: non-increasing le in " f; bad = 1 }
+    if ($2 + 0 < prevcum) { print "ci: non-monotone cumulative count in " f; bad = 1 }
+    prevle = le; prevcum = $2 + 0; next
+  }
+  $1 ~ /_count$/ { b = $1; sub(/_count$/, "", b); cnt[b] = $2 + 0; next }
+  $1 ~ /_sum$/ { b = $1; sub(/_sum$/, "", b); sum_seen[b] = 1; next }
+  END {
+    for (b in cnt) {
+      if (!(b in infc) || infc[b] != cnt[b]) { print "ci: " b ": +Inf bucket != _count"; bad = 1 }
+      if (!(b in sum_seen)) { print "ci: " b ": _sum missing"; bad = 1 }
+    }
+    exit bad
+  }' "$tmpdir/metrics.om" || { echo "ci: openmetrics histogram check failed" >&2; exit 1; }
+grep -q "cora_trace_dropped_total" "$tmpdir/metrics.om" \
+  || { echo "ci: trace.dropped counter not exposed" >&2; exit 1; }
+
+echo "== telemetry overhead budget" >&2
+# Spans-on (the telemetry run above) vs spans-off: the same stream replayed
+# without --trace-out must not be more than 5% faster on model-time
+# throughput... wall time on a busy CI box is too noisy for a 5% bound, so
+# compare best-of-3 wall times and allow the 5% budget on those.
+best_off=""
+for i in 1 2 3; do
+  dune exec bin/cora_cli.exe -- bench-stream --exec --domains 4 \
+    > "$tmpdir/stream_off_$i.txt"
+  w=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_off_$i.txt" \
+    | sed 's/.*"wall_ns":\([0-9.eE+-]*\).*/\1/')
+  if [ -z "$best_off" ] || awk -v a="$w" -v b="$best_off" 'BEGIN { exit (a < b) ? 0 : 1 }'; then
+    best_off=$w
+  fi
+done
+best_on=""
+for i in 1 2 3; do
+  dune exec bin/cora_cli.exe -- bench-stream --exec --domains 4 \
+    --trace-out "$tmpdir/trace_on_$i.json" > "$tmpdir/stream_on_$i.txt" 2> /dev/null
+  w=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_on_$i.txt" \
+    | sed 's/.*"wall_ns":\([0-9.eE+-]*\).*/\1/')
+  if [ -z "$best_on" ] || awk -v a="$w" -v b="$best_on" 'BEGIN { exit (a < b) ? 0 : 1 }'; then
+    best_on=$w
+  fi
+done
+awk -v on="$best_on" -v off="$best_off" 'BEGIN { exit (on <= off * 1.05) ? 0 : 1 }' \
+  || { echo "ci: tracing overhead over budget (on=$best_on ns vs off=$best_off ns)" >&2; exit 1; }
+echo "ci: tracing overhead OK (best-of-3: on=$best_on ns, off=$best_off ns)" >&2
+
+echo "== flight recorder dump on deadline miss" >&2
+# An impossible deadline forces every request into Deadline_exceeded; the
+# front-end must auto-dump the flight ring into results/ as valid JSON.
+rm -f results/flight-*.json
+dune exec bin/cora_cli.exe -- bench-stream --requests 8 --domains 2 \
+  --deadline-ms 0.0001 > "$tmpdir/stream_deadline.txt" 2> /dev/null
+flight=$(ls results/flight-*.json 2> /dev/null | head -n 1)
+test -n "$flight" || { echo "ci: no flight dump in results/ after deadline misses" >&2; exit 1; }
+grep -q '"reason":"deadline_exceeded"' "$flight" \
+  || { echo "ci: $flight has no deadline_exceeded reason" >&2; exit 1; }
+grep -q '"outcome":"deadline_exceeded"' "$flight" \
+  || { echo "ci: $flight records no deadline_exceeded outcome" >&2; exit 1; }
+
 echo "ci: OK" >&2

@@ -354,7 +354,9 @@ let trace_cmd =
     Obs.Span.set_enabled false;
     Obs.Report.write_file out (Obs.Trace_sink.to_chrome_string ());
     let n_events = validate_trace out in
-    Printf.eprintf "wrote %s (%d spans, validated)\n%!" out n_events;
+    (* the sink is a bounded ring: say how many spans fell off the back *)
+    Printf.eprintf "wrote %s (%d spans, %d dropped, validated)\n%!" out n_events
+      (Obs.Trace_sink.dropped ());
     (match metrics_out with
     | Some path ->
         Obs.Report.write_file path (Obs.Json.to_string (Obs.Report.metrics_json ()));
@@ -390,6 +392,19 @@ let bench_workload ~dataset = function
   | other ->
       Fmt.failwith "unknown workload %s (available: %s)" other
         (String.concat " " bench_stream_workloads)
+
+(* Window-boundary runtime gauges: GC, cache occupancy, arena pool size
+   and queue depth are point-in-time values, so they are sampled (not
+   accumulated) once per latency window and re-sampled before an
+   --openmetrics render. *)
+let sample_runtime_gauges () =
+  Obs.Exposition.sample_gc_gauges ();
+  Obs.Metrics.set (Obs.Metrics.gauge "cache.compile_entries") (Cora.Lower.memo_size ());
+  Obs.Metrics.set (Obs.Metrics.gauge "cache.prelude_entries") (Cora.Prelude_cache.size ());
+  Obs.Metrics.set (Obs.Metrics.gauge "cache.engine_entries") (Cora.Exec.engine_memo_size ());
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "arena.stored")
+    (Runtime.Buffer.Arena.stored Runtime.Buffer.Arena.global)
 
 let bench_stream_cmd =
   let workload_arg =
@@ -471,8 +486,37 @@ let bench_stream_cmd =
              and between pipeline stages (implies the front-end path even with \
              --domains 1).")
   in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Enable span recording during the replay and write the Chrome trace-event \
+             file to $(docv).  Spans carry the per-request trace-context id ([args.req]) \
+             plus per-request flow arrows, so the trace is filterable to a single \
+             request's admission-to-outcome chain.")
+  in
+  let flight_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-out" ]
+          ~doc:
+            "Write the flight-recorder ring (per-request ids, signatures, stage times, \
+             cache hits, outcomes) as JSON to $(docv) after the replay.")
+  in
+  let openmetrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "openmetrics" ]
+          ~doc:
+            "Render the metrics registry as OpenMetrics text to $(docv) after the replay \
+             (self-validated by re-parsing).")
+  in
   let run workload dataset requests pool seed windows no_cc no_pc exec engine opt domains
-      deadline_ms smoke =
+      deadline_ms trace_out flight_out openmetrics_out smoke =
     if requests <= 0 || pool <= 0 || windows <= 0 then
       Fmt.failwith "requests, pool and windows must be positive";
     if domains <= 0 then Fmt.failwith "domains must be positive";
@@ -497,13 +541,25 @@ let bench_stream_cmd =
     let windows = min windows requests in
     let wsize = requests / windows in
     let arena_miss_now () = Obs.Metrics.value (Obs.Metrics.counter "arena.miss") in
+    let queue_depth_now () =
+      Obs.Metrics.gauge_value (Obs.Metrics.gauge "frontend.queue_depth")
+    in
+    (* post-mortem telemetry: fresh flight ring, armed to dump into
+       results/ whenever a request errors or misses its deadline *)
+    Obs.Flight.clear ();
+    Obs.Flight.set_auto_dump (Some "results");
+    if trace_out <> None then begin
+      Obs.Trace_sink.clear ();
+      Obs.Span.set_enabled true
+    end;
     let t0_us = Obs.Trace_sink.now_us () in
-    let outcomes, window_arena_miss =
+    let outcomes, window_arena_miss, window_queue_depth =
       if not concurrent then begin
         (* serial: replay window by window, sampling the arena miss counter
            at each boundary — new misses after the first window mean the
            steady state is still allocating fresh float storage *)
-        let acc = ref [] and misses = ref [] and seen = ref (arena_miss_now ()) in
+        let acc = ref [] and misses = ref [] and depths = ref [] in
+        let seen = ref (arena_miss_now ()) in
         for i = 0 to windows - 1 do
           let lo = i * wsize in
           let hi = if i = windows - 1 then requests else lo + wsize in
@@ -513,24 +569,85 @@ let bench_stream_cmd =
           acc := !acc @ Serving.Stream.replay srv w slice;
           let now = arena_miss_now () in
           misses := (now - !seen) :: !misses;
-          seen := now
+          seen := now;
+          depths := queue_depth_now () :: !depths;
+          sample_runtime_gauges ()
         done;
         ( Array.of_list (List.map (fun r -> Serving.Frontend.Response r) !acc),
-          List.rev !misses )
+          List.rev !misses,
+          List.rev !depths )
       end
       else begin
-        (* concurrent: paced (backpressure) replay through the front-end;
-           per-window arena sampling is meaningless when windows overlap
-           across domains, so the field stays empty *)
+        (* concurrent: paced (backpressure) replay through the front-end —
+           submit everything (waiting for queue slots, as run_stream
+           does), then await in submission order, sampling queue depth
+           and runtime gauges at each window boundary.  Per-window arena
+           sampling is meaningless when windows overlap across domains,
+           so that field stays empty. *)
         let fe =
           Serving.Frontend.create ~domains ~capacity:(max 16 (2 * domains)) ?deadline_ns srv
         in
-        let o = Serving.Frontend.run_stream fe w stream.Serving.Stream.items in
+        let tks =
+          Array.map (fun lens -> Serving.Frontend.submit_wait fe w lens)
+            stream.Serving.Stream.items
+        in
+        let boundaries =
+          List.init windows (fun i ->
+              (if i = windows - 1 then requests else (i + 1) * wsize) - 1)
+        in
+        let depths = ref [] in
+        let o =
+          Array.mapi
+            (fun i tk ->
+              let outcome = Serving.Frontend.await tk in
+              if List.mem i boundaries then begin
+                depths := Serving.Frontend.queue_length fe :: !depths;
+                sample_runtime_gauges ()
+              end;
+              outcome)
+            tks
+        in
         Serving.Frontend.shutdown fe;
-        (o, [])
+        (o, [], List.rev !depths)
       end
     in
     let wall_ns = (Obs.Trace_sink.now_us () -. t0_us) *. 1e3 in
+    Obs.Span.set_enabled false;
+    (match trace_out with
+    | Some path ->
+        let s = Obs.Trace_sink.to_chrome_string () in
+        Obs.Report.write_file path s;
+        (* self-validate by re-parsing, like `cora trace` *)
+        let n_events =
+          match Obs.Json.parse s with
+          | Error e -> Fmt.failwith "%s: invalid trace JSON: %s" path e
+          | Ok j -> (
+              match Option.bind (Obs.Json.member "traceEvents" j) Obs.Json.to_list with
+              | Some evs -> List.length evs
+              | None -> Fmt.failwith "%s: no traceEvents array" path)
+        in
+        Printf.eprintf "wrote %s (%d trace events, %d requests, %d spans dropped)\n%!" path
+          n_events
+          (List.length (Obs.Trace_sink.request_ids ()))
+          (Obs.Trace_sink.dropped ())
+    | None -> ());
+    (match flight_out with
+    | Some path ->
+        Obs.Report.write_file path
+          (Obs.Json.to_string (Obs.Flight.to_json ~reason:"bench-stream" ()));
+        Printf.eprintf "wrote %s (%d flight records)\n%!" path
+          (List.length (Obs.Flight.records ()))
+    | None -> ());
+    (match openmetrics_out with
+    | Some path ->
+        sample_runtime_gauges ();
+        let text = Obs.Exposition.to_openmetrics () in
+        (match Obs.Exposition.validate text with
+        | Ok n ->
+            Obs.Report.write_file path text;
+            Printf.eprintf "wrote %s (%d samples, validated)\n%!" path n
+        | Error e -> Fmt.failwith "openmetrics: %s" e)
+    | None -> ());
     (* served responses, in submission order; typed failures counted apart *)
     let responses =
       Array.to_list outcomes
@@ -652,6 +769,9 @@ let bench_stream_cmd =
           ("arena_misses", Obs.Json.Int (arena_miss_now ()));
           ( "window_arena_miss",
             Obs.Json.List (List.map (fun v -> Obs.Json.Int v) window_arena_miss) );
+          ( "window_queue_depth",
+            Obs.Json.List (List.map (fun v -> Obs.Json.Int v) window_queue_depth) );
+          ("trace_dropped", Obs.Json.Int (Obs.Trace_sink.dropped ()));
         ]
     in
     Printf.printf "BENCH_STREAM %s\n" (Obs.Json.to_string json);
@@ -746,7 +866,8 @@ let bench_stream_cmd =
     Term.(
       const run $ workload_arg $ dataset_arg $ requests_arg $ pool_arg $ seed_arg
       $ windows_arg $ no_cc_flag $ no_pc_flag $ exec_flag $ engine_arg $ opt_arg
-      $ domains_arg $ deadline_ms_arg $ smoke_flag)
+      $ domains_arg $ deadline_ms_arg $ trace_out_arg $ flight_out_arg $ openmetrics_arg
+      $ smoke_flag)
 
 let () =
   let info = Cmd.info "cora" ~doc:"CoRa ragged tensor compiler — reproduction CLI." in

@@ -48,14 +48,39 @@ let engine_memo_capacity () = Cache.capacity engine_memo
 let engine_hit_c = Obs.Metrics.counter "engine_cache.hit"
 let engine_miss_c = Obs.Metrics.counter "engine_cache.miss"
 
+(* Per-request engine-memo accounting, scoped in domain-local storage
+   exactly like [Lower.with_memo]: the global hit/miss counters
+   double-count as soon as two requests overlap, so callers that need a
+   per-request tally (the serving flight recorder) wrap their pipeline
+   in [with_engine_stats] and read the stats the scope collected. *)
+type engine_stats = { mutable hits : int; mutable misses : int }
+
+let engine_stats_key : engine_stats option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_engine_stats f =
+  let slot = Domain.DLS.get engine_stats_key in
+  let saved = !slot in
+  let stats = { hits = 0; misses = 0 } in
+  slot := Some stats;
+  let v = Fun.protect ~finally:(fun () -> slot := saved) f in
+  (v, stats)
+
+let tally_engine hit =
+  match !(Domain.DLS.get engine_stats_key) with
+  | Some s -> if hit then s.hits <- s.hits + 1 else s.misses <- s.misses + 1
+  | None -> ()
+
 let compile_cached ~(opt : Ir.Optimize.level) (k : Lower.kernel) : Runtime.Engine.compiled =
   let key = (Sig.of_stmt k.Lower.body, Ir.Optimize.int_of_level opt) in
   match Cache.find engine_memo key with
   | Some c ->
       Obs.Metrics.incr engine_hit_c;
+      tally_engine true;
       c
   | None ->
       Obs.Metrics.incr engine_miss_c;
+      tally_engine false;
       let c =
         Obs.Span.with_span
           ~attrs:

@@ -39,6 +39,15 @@ val run_ragged :
   lenv:Lenfun.env -> tensors:Ragged.t list -> Lower.kernel list ->
   Runtime.Interp.env * Prelude.built
 
+(** Per-request compiled-kernel-memo accounting.  [with_engine_stats f]
+    runs [f] with a fresh tally scoped to the calling domain (like
+    {!Lower.with_memo}): every memo probe made by [f] — and nothing made
+    by overlapping requests on other domains — is counted.  Nested
+    scopes shadow; the previous scope is restored on exit. *)
+type engine_stats = { mutable hits : int; mutable misses : int }
+
+val with_engine_stats : (unit -> 'a) -> 'a * engine_stats
+
 (** Clear the [(Sig, opt level)]-keyed compiled-kernel memo (paired with
     {!Lower.clear_memo} by [Serving.Server.reset_caches]). *)
 val clear_engine_memo : unit -> unit

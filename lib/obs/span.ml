@@ -24,6 +24,21 @@ type open_span = {
 (* Per-domain stack of currently open spans (innermost first). *)
 let stack_key : open_span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
+(* Per-domain trace-context: the request id under which spans close.
+   The front-end carries a request's id from the submitting domain into
+   whichever worker domain picks it up by re-entering [with_request]
+   there, so every stage span of one request is stamped with the same id
+   no matter which domain ran it. *)
+let req_key : int option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current_request () = !(Domain.DLS.get req_key)
+
+let with_request id f =
+  let r = Domain.DLS.get req_key in
+  let saved = !r in
+  r := Some id;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
 let close sp (attrs : (string * Trace_sink.attr) list) =
   let end_us = Trace_sink.now_us () in
   Trace_sink.record
@@ -33,6 +48,7 @@ let close sp (attrs : (string * Trace_sink.attr) list) =
       dur_us = end_us -. sp.start_us;
       tid = (Domain.self () :> int);
       depth = sp.depth;
+      req = current_request ();
       attrs = attrs @ List.rev sp.extra;
     }
 

@@ -17,3 +17,16 @@ val with_span : ?attrs:(string * Trace_sink.attr) list -> string -> (unit -> 'a)
 (** Attach an attribute to the innermost open span of the calling
     domain; a no-op when tracing is disabled or no span is open. *)
 val add_attr : string -> Trace_sink.attr -> unit
+
+(** [with_request id f] runs [f] with the calling domain's trace-context
+    set to request [id]: every span closed inside [f] is stamped with
+    [id] (the [req] field of its {!Trace_sink.event}), so spans from
+    concurrent requests can be reassembled per request.  Contexts nest
+    (the previous context is restored on exit) and are cheap enough to
+    set unconditionally — two domain-local reads and a ref write —
+    whether or not tracing is enabled. *)
+val with_request : int -> (unit -> 'a) -> 'a
+
+(** The calling domain's current request trace-context, if any. *)
+val current_request : unit -> int option
+

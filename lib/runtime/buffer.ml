@@ -56,7 +56,7 @@ module Arena = struct
   let hit_c = Obs.Metrics.counter "arena.hit"
   let miss_c = Obs.Metrics.counter "arena.miss"
 
-  let acquire t n =
+  let acquire_counted t n =
     Mutex.lock t.mutex;
     let r =
       match Hashtbl.find_opt t.pools n with
@@ -70,12 +70,14 @@ module Arena = struct
     | Some a ->
         Obs.Metrics.incr hit_c;
         Array.fill a 0 n 0.0;
-        a
+        (a, true)
     | None ->
         Obs.Metrics.incr miss_c;
         (* no clamping: a negative size must raise exactly like the
            [Array.make n 0.0] this replaces *)
-        Array.make n 0.0
+        (Array.make n 0.0, false)
+
+  let acquire t n = fst (acquire_counted t n)
 
   (* next power of two >= n (n >= 1) *)
   let size_class n =
@@ -86,6 +88,12 @@ module Arena = struct
     !c
 
   let acquire_class t n = if n <= 0 then acquire t n else acquire t (size_class n)
+
+  (* Like [acquire_class] but also reports whether the array was
+     recycled — the serving layer's per-request arena accounting (the
+     global hit/miss counters interleave across concurrent requests). *)
+  let acquire_class_counted t n =
+    if n <= 0 then acquire_counted t n else acquire_counted t (size_class n)
 
   let release t a =
     let n = Array.length a in

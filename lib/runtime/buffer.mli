@@ -44,6 +44,12 @@ module Arena : sig
       [>= n] (for [n > 0]). *)
   val acquire_class : t -> int -> float array
 
+  (** Like {!acquire_class}, also reporting whether the array was
+      recycled ([true]) or freshly allocated ([false]) — per-request
+      accounting for the flight recorder, which cannot use the global
+      [arena.hit]/[arena.miss] counters under concurrency. *)
+  val acquire_class_counted : t -> int -> float array * bool
+
   val release : t -> float array -> unit
 
   (** Drop all pooled arrays. *)

@@ -17,12 +17,14 @@ let outcome_label = function
 exception Expired of string
 
 type ticket = {
+  tk_id : int;  (** the request id: spans carry it as trace context *)
   mutable outcome : outcome option;
   t_lock : Mutex.t;
   t_cond : Condition.t;
 }
 
 type request = {
+  id : int;
   workload : Workload.t;
   lens : int array;
   deadline_us : float;  (** absolute, [Trace_sink.now_us] clock; [infinity] = none *)
@@ -53,8 +55,17 @@ let deadline_c = Obs.Metrics.counter "frontend.deadline_exceeded"
 let degraded_c = Obs.Metrics.counter "frontend.degraded"
 let errors_c = Obs.Metrics.counter "frontend.errors"
 let queue_wait_h = Obs.Metrics.histogram "frontend.queue_wait_us"
+let queue_depth_g = Obs.Metrics.gauge "frontend.queue_depth"
 
-let fresh_ticket () = { outcome = None; t_lock = Mutex.create (); t_cond = Condition.create () }
+(* Process-wide request ids: allocated at admission, carried as span
+   trace context ([Obs.Span.with_request]) from the submitting domain
+   into whichever worker domain serves the request, so every span either
+   side records belongs to exactly one id. *)
+let next_id = Atomic.make 1
+let request_id (tk : ticket) = tk.tk_id
+
+let fresh_ticket id =
+  { tk_id = id; outcome = None; t_lock = Mutex.create (); t_cond = Condition.create () }
 
 let resolve (tk : ticket) (o : outcome) =
   Mutex.lock tk.t_lock;
@@ -94,44 +105,107 @@ let handle_with_deadline srv (r : request) : outcome =
       Obs.Metrics.incr errors_c;
       Error { exn = Printexc.to_string e; backtrace }
 
+(* The request's flight-recorder entry: cache/stage detail from the
+   response when it has one, outcome label alone otherwise. *)
+let flight_of (r : request) ~(queue_wait_us : float) (o : outcome) : Obs.Flight.record =
+  let base =
+    {
+      Obs.Flight.id = r.id;
+      workload = r.workload.Workload.name;
+      sig_hex = "";
+      submitted_us = r.submitted_us;
+      queue_wait_us;
+      stages_us = [];
+      outcome = outcome_label o;
+      compile_hits = 0;
+      compile_misses = 0;
+      prelude_hit = false;
+      engine_hits = 0;
+      engine_misses = 0;
+      arena_hits = 0;
+      arena_misses = 0;
+    }
+  in
+  match o with
+  | Response resp ->
+      {
+        base with
+        Obs.Flight.sig_hex = resp.Server.tables_hex;
+        stages_us = resp.Server.stages_us;
+        compile_hits = resp.Server.compile_hits;
+        compile_misses = resp.Server.compile_misses;
+        prelude_hit = resp.Server.prelude_hit;
+        engine_hits = resp.Server.engine_hits;
+        engine_misses = resp.Server.engine_misses;
+        arena_hits = resp.Server.arena_hits;
+        arena_misses = resp.Server.arena_misses;
+      }
+  | Overloaded | Deadline_exceeded _ | Error _ -> base
+
 (* Fault isolation: everything a request can throw is converted to a
    typed outcome here; nothing escapes into the worker loop, so a
    poisoned request can never take a worker domain (or a neighbour's
-   pending request) down with it. *)
+   pending request) down with it.
+
+   The whole handling runs under the request's trace context
+   ([Span.with_request]): every span recorded below — including those
+   inside [Server.handle] — carries [r.id], reassemblable into one
+   admission-to-outcome chain by [Trace_sink.events_for]. *)
 let run_one (fe : t) (r : request) : outcome =
-  Obs.Metrics.observe queue_wait_h (now_us () -. r.submitted_us);
-  if now_us () > r.deadline_us then begin
-    (* enforced at dequeue: a request that waited out its budget in the
-       queue is answered without doing any work *)
-    Obs.Metrics.incr deadline_c;
-    Deadline_exceeded "queue"
-  end
-  else
-    let stage_check stage = if now_us () > r.deadline_us then raise (Expired stage) in
-    match Server.handle ~stage_check fe.srv r.workload r.lens with
-    | resp ->
-        Obs.Metrics.incr served_c;
-        Response resp
-    | exception Expired stage ->
+  Obs.Span.with_request r.id @@ fun () ->
+  let queue_wait_us = now_us () -. r.submitted_us in
+  Obs.Metrics.observe queue_wait_h queue_wait_us;
+  let o =
+    Obs.Span.with_span
+      ~attrs:[ ("workload", Obs.Trace_sink.Str r.workload.Workload.name) ]
+      "frontend.request"
+    @@ fun () ->
+    let o =
+      if now_us () > r.deadline_us then begin
+        (* enforced at dequeue: a request that waited out its budget in
+           the queue is answered without doing any work *)
         Obs.Metrics.incr deadline_c;
-        Deadline_exceeded stage
-    | exception Runtime.Engine.Error _ when Option.is_some fe.fallback ->
-        (* graceful degradation: the compiled engine rejected the kernel —
-           retry once on the interpreter twin before giving up *)
-        Obs.Metrics.incr degraded_c;
-        let o = handle_with_deadline (Option.get fe.fallback) r in
-        (match o with Response _ -> Obs.Metrics.incr served_c | _ -> ());
-        o
-    | exception e ->
-        let backtrace = Printexc.get_backtrace () in
-        Obs.Metrics.incr errors_c;
-        Error { exn = Printexc.to_string e; backtrace }
+        Deadline_exceeded "queue"
+      end
+      else
+        let stage_check stage = if now_us () > r.deadline_us then raise (Expired stage) in
+        match Server.handle ~stage_check fe.srv r.workload r.lens with
+        | resp ->
+            Obs.Metrics.incr served_c;
+            Response resp
+        | exception Expired stage ->
+            Obs.Metrics.incr deadline_c;
+            Deadline_exceeded stage
+        | exception Runtime.Engine.Error _ when Option.is_some fe.fallback ->
+            (* graceful degradation: the compiled engine rejected the
+               kernel — retry once on the interpreter twin before giving
+               up *)
+            Obs.Metrics.incr degraded_c;
+            let o = handle_with_deadline (Option.get fe.fallback) r in
+            (match o with Response _ -> Obs.Metrics.incr served_c | _ -> ());
+            o
+        | exception e ->
+            let backtrace = Printexc.get_backtrace () in
+            Obs.Metrics.incr errors_c;
+            Error { exn = Printexc.to_string e; backtrace }
+    in
+    Obs.Span.add_attr "outcome" (Obs.Trace_sink.Str (outcome_label o));
+    o
+  in
+  Obs.Flight.record (flight_of r ~queue_wait_us o);
+  (match o with
+  | Deadline_exceeded _ | Error _ ->
+      (* post-mortem: dump the ring (throttled, and only when armed) *)
+      ignore (Obs.Flight.auto_dump ~reason:(outcome_label o))
+  | Response _ | Overloaded -> ());
+  o
 
 let rec worker_loop (fe : t) =
   Mutex.lock fe.lock;
   let rec take () =
     if not (Queue.is_empty fe.q) then begin
       let r = Queue.pop fe.q in
+      Obs.Metrics.set queue_depth_g (Queue.length fe.q);
       Condition.signal fe.not_full;
       Some r
     end
@@ -187,10 +261,19 @@ let deadline_of fe deadline_ns submitted_us =
    backpressure (run_stream). *)
 let enqueue ~wait_for_space ?deadline_ns (fe : t) (w : Workload.t) (lens : int array) :
     ticket =
-  let ticket = fresh_ticket () in
+  let id = Atomic.fetch_and_add next_id 1 in
+  (* admission runs under the request's trace context too: the
+     [frontend.submit] span carries the same id the worker-side spans
+     will, stitching both domains into one per-request chain *)
+  Obs.Span.with_request id @@ fun () ->
+  Obs.Span.with_span
+    ~attrs:[ ("workload", Obs.Trace_sink.Str w.Workload.name) ]
+    "frontend.submit"
+  @@ fun () ->
+  let ticket = fresh_ticket id in
   let submitted_us = now_us () in
   let deadline_us = deadline_of fe deadline_ns submitted_us in
-  let r = { workload = w; lens; deadline_us; submitted_us; ticket } in
+  let r = { id; workload = w; lens; deadline_us; submitted_us; ticket } in
   Mutex.lock fe.lock;
   if wait_for_space then
     while Queue.length fe.q >= fe.capacity && not fe.closing do
@@ -199,9 +282,11 @@ let enqueue ~wait_for_space ?deadline_ns (fe : t) (w : Workload.t) (lens : int a
   let admitted = (not fe.closing) && Queue.length fe.q < fe.capacity in
   if admitted then begin
     Queue.push r fe.q;
+    Obs.Metrics.set queue_depth_g (Queue.length fe.q);
     Condition.signal fe.not_empty
   end;
   Mutex.unlock fe.lock;
+  Obs.Span.add_attr "admitted" (Obs.Trace_sink.Str (if admitted then "yes" else "no"));
   if admitted then Obs.Metrics.incr accepted_c
   else begin
     Obs.Metrics.incr rejected_c;
@@ -210,6 +295,7 @@ let enqueue ~wait_for_space ?deadline_ns (fe : t) (w : Workload.t) (lens : int a
   ticket
 
 let submit ?deadline_ns fe w lens = enqueue ~wait_for_space:false ?deadline_ns fe w lens
+let submit_wait ?deadline_ns fe w lens = enqueue ~wait_for_space:true ?deadline_ns fe w lens
 
 let run_stream ?deadline_ns (fe : t) (w : Workload.t) (items : int array array) :
     outcome array =

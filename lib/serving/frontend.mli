@@ -39,7 +39,21 @@
     only if that retry also fails does the client see an error.
 
     Every submitted request resolves to exactly one outcome; {!shutdown}
-    drains already-admitted requests before the workers exit. *)
+    drains already-admitted requests before the workers exit.
+
+    {2 Telemetry}
+
+    Every request gets a process-unique id at admission ({!request_id}),
+    carried as span trace context ({!Obs.Span.with_request}) on both the
+    submitting domain (the [frontend.submit] span) and the worker domain
+    (the [frontend.request] span and everything {!Server.handle} records
+    inside it) — filter the trace sink with
+    {!Obs.Trace_sink.events_for} to reassemble one request's chain.
+    Each completed request also appends a summary to the
+    {!Obs.Flight} ring (queue wait, per-stage wall times, raggedness
+    signature, cache hits, outcome); error and deadline outcomes trigger
+    {!Obs.Flight.auto_dump}.  The [frontend.queue_depth] gauge tracks
+    the queue at every enqueue/dequeue. *)
 
 type outcome =
   | Response of Server.response  (** served normally (or on the degraded engine) *)
@@ -67,6 +81,16 @@ val create : ?domains:int -> ?capacity:int -> ?deadline_ns:float -> Server.t -> 
     front-end is shutting down).  [?deadline_ns] overrides the
     front-end's default deadline for this request. *)
 val submit : ?deadline_ns:float -> t -> Workload.t -> int array -> ticket
+
+(** Backpressure submission: wait for a queue slot instead of rejecting
+    (the admission policy of {!run_stream}, exposed for drivers that
+    interleave submission with their own sampling). *)
+val submit_wait : ?deadline_ns:float -> t -> Workload.t -> int array -> ticket
+
+(** The request id allocated at admission — the [req] trace-context id
+    on every span this request records, and the [id] of its
+    {!Obs.Flight} record. *)
+val request_id : ticket -> int
 
 (** Block until the request resolves.  Idempotent. *)
 val await : ticket -> outcome

@@ -10,6 +10,12 @@ type response = {
   compile_hits : int;
   compile_misses : int;
   prelude_hit : bool;
+  engine_hits : int;
+  engine_misses : int;
+  arena_hits : int;
+  arena_misses : int;
+  tables_hex : string;
+  stages_us : (string * float) list;
   counters : counters option;
   out : float array option;
   checksum : float;
@@ -65,9 +71,17 @@ let default_fill name idx =
    [Array.make]-fresh semantics (including zeroed padding) the kernels
    rely on; the extra class-rounding tail beyond the tensor's size is
    never addressed by a correct kernel. *)
+type exec_stats = {
+  x_engine_hits : int;
+  x_engine_misses : int;
+  x_arena_hits : int;
+  x_arena_misses : int;
+}
+
 let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
-    counters * float array =
+    counters * float array * exec_stats =
   let arena = Runtime.Buffer.Arena.global in
+  let arena_hits = ref 0 and arena_misses = ref 0 in
   let raggeds : (string, Ragged.t) Hashtbl.t = Hashtbl.create 16 in
   let bound : (Ir.Var.t, unit) Hashtbl.t = Hashtbl.create 32 in
   let written : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -83,7 +97,8 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
         | Some r -> r
         | None ->
             let n = Tensor.size_elems t ~lenv:job.Workload.lenv in
-            let a = Runtime.Buffer.Arena.acquire_class arena n in
+            let a, recycled = Runtime.Buffer.Arena.acquire_class_counted arena n in
+            if recycled then incr arena_hits else incr arena_misses;
             let r =
               { Ragged.tensor = t; buf = Runtime.Buffer.of_floats a; lenv = job.Workload.lenv }
             in
@@ -108,16 +123,28 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
   Hashtbl.iter
     (fun name r -> if not (Hashtbl.mem written name) then Ragged.fill r (default_fill name))
     raggeds;
-  let env, _ =
-    Exec.run ~engine:srv.engine ~opt:srv.opt ~prelude:built ~lenv:job.Workload.lenv
-      ~bindings:!bindings job.Workload.kernels
+  (* Per-request compiled-kernel-memo tally, scoped in domain-local
+     storage ([Exec.with_engine_stats]) — never global counter deltas,
+     which double-count as soon as two requests overlap. *)
+  let (env, _), estats =
+    Exec.with_engine_stats (fun () ->
+        Exec.run ~engine:srv.engine ~opt:srv.opt ~prelude:built ~lenv:job.Workload.lenv
+          ~bindings:!bindings job.Workload.kernels)
   in
   let out =
     match Hashtbl.find_opt raggeds job.Workload.out_name with
     | Some r -> Ragged.unpack r
     | None -> invalid_arg ("serving: no tensor named " ^ job.Workload.out_name)
   in
-  (Runtime.Interp.stats env, out)
+  let stats =
+    {
+      x_engine_hits = estats.Exec.hits;
+      x_engine_misses = estats.Exec.misses;
+      x_arena_hits = !arena_hits;
+      x_arena_misses = !arena_misses;
+    }
+  in
+  (Runtime.Interp.stats env, out, stats)
 
 let handle ?(stage_check = fun (_ : string) -> ()) (srv : t) (w : Workload.t)
     (lens : int array) : response =
@@ -129,26 +156,36 @@ let handle ?(stage_check = fun (_ : string) -> ()) (srv : t) (w : Workload.t)
      scopes it in domain-local storage) and the hit/miss tally comes back
      from the lowering calls themselves — never from global counter
      deltas, which double-count as soon as two requests overlap. *)
-  stage_check "compile";
+  let stages = ref [] in
+  let staged name f =
+    stage_check name;
+    let t0 = Obs.Trace_sink.now_us () in
+    let v = f () in
+    stages := (name, Obs.Trace_sink.now_us () -. t0) :: !stages;
+    v
+  in
   let job, memo =
+    staged "compile" @@ fun () ->
     Lower.with_memo ~cache:srv.compile_cache (fun () ->
         Obs.Span.with_span "serve.compile" (fun () -> w.Workload.build lens))
   in
   let compile_hits = memo.Lower.hits and compile_misses = memo.Lower.misses in
-  stage_check "prelude";
+  (* Raggedness signature of the batch — the prelude-cache key, and the
+     flight recorder's handle on "which shape was this". *)
+  let tables_sig = Sig.of_tables job.Workload.tables in
+  let tables_hex = Sig.to_hex tables_sig in
   let defs = List.concat_map (fun (k : Lower.kernel) -> k.Lower.aux) job.Workload.kernels in
   let built, prelude_hit =
+    staged "prelude" @@ fun () ->
     Obs.Span.with_span "serve.prelude" (fun () ->
-        if srv.prelude_cache then
-          let tables_sig = Sig.of_tables job.Workload.tables in
-          Prelude_cache.build_cached ~tables_sig defs job.Workload.lenv
+        if srv.prelude_cache then Prelude_cache.build_cached ~tables_sig defs job.Workload.lenv
         else (Prelude.build ~dedup_defs:true defs job.Workload.lenv, false))
   in
   (* Model time: the launches are timed against the supplied prelude (no
      rebuild inside the pipeline); its host/copy cost is charged only when
      this request actually built it. *)
-  stage_check "launch";
   let pt =
+    staged "launch" @@ fun () ->
     Machine.Launch.pipeline ~engine:srv.engine ~opt:srv.opt ~prelude:built ~device:srv.device
       ~lenv:job.Workload.lenv job.Workload.launches
   in
@@ -157,18 +194,22 @@ let handle ?(stage_check = fun (_ : string) -> ()) (srv : t) (w : Workload.t)
   in
   let kernels_ns = pt.Machine.Launch.kernels_ns in
   let model_ns = kernels_ns +. prelude_host_ns +. prelude_copy_ns in
-  stage_check "execute";
-  let counters, out =
+  let counters, out, xstats =
+    staged "execute" @@ fun () ->
     if srv.execute then
-      let c, o = Obs.Span.with_span "serve.execute" (fun () -> execute srv job built) in
-      (Some c, Some o)
-    else (None, None)
+      let c, o, s = Obs.Span.with_span "serve.execute" (fun () -> execute srv job built) in
+      (Some c, Some o, s)
+    else
+      ( None,
+        None,
+        { x_engine_hits = 0; x_engine_misses = 0; x_arena_hits = 0; x_arena_misses = 0 } )
   in
   let checksum = match out with None -> 0.0 | Some a -> Array.fold_left ( +. ) 0.0 a in
   Obs.Metrics.observe (Obs.Metrics.histogram "serve.latency_ns") model_ns;
   Obs.Span.add_attr "model_ns" (Obs.Trace_sink.Float model_ns);
   Obs.Span.add_attr "compile_hits" (Obs.Trace_sink.Int compile_hits);
   Obs.Span.add_attr "prelude_hit" (Obs.Trace_sink.Str (if prelude_hit then "yes" else "no"));
+  Obs.Span.add_attr "sig" (Obs.Trace_sink.Str tables_hex);
   {
     model_ns;
     kernels_ns;
@@ -177,6 +218,12 @@ let handle ?(stage_check = fun (_ : string) -> ()) (srv : t) (w : Workload.t)
     compile_hits;
     compile_misses;
     prelude_hit;
+    engine_hits = xstats.x_engine_hits;
+    engine_misses = xstats.x_engine_misses;
+    arena_hits = xstats.x_arena_hits;
+    arena_misses = xstats.x_arena_misses;
+    tables_hex;
+    stages_us = List.rev !stages;
     counters;
     out;
     checksum;

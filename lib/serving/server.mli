@@ -21,6 +21,14 @@ type response = {
   compile_hits : int;  (** compile-cache hits while building this job *)
   compile_misses : int;
   prelude_hit : bool;
+  engine_hits : int;  (** compiled-kernel-memo hits of this request *)
+  engine_misses : int;
+  arena_hits : int;  (** arena acquisitions recycled / freshly allocated *)
+  arena_misses : int;
+  tables_hex : string;  (** hex raggedness signature of the batch ({!Cora.Sig.to_hex}) *)
+  stages_us : (string * float) list;
+      (** wall-clock duration of each pipeline stage, in request order:
+          [("compile", _); ("prelude", _); ("launch", _); ("execute", _)] *)
   counters : counters option;  (** [None] when execution is off *)
   out : float array option;  (** dense (padded) output values *)
   checksum : float;  (** sum of [out]; 0 when execution is off *)

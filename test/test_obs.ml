@@ -84,6 +84,16 @@ let test_chrome_roundtrip () =
 
 (* ---------------- histograms ---------------- *)
 
+(* The histogram stores log-linear buckets, not samples: percentile
+   estimates are only promised to land within [relative_error_bound] of
+   the exact sample at the same rank (n/sum/min/max stay exact). *)
+let check_within_bound name ~exact est =
+  let tol = (Metrics.relative_error_bound *. Float.abs exact) +. 1e-12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%g - %g| <= %g" name est exact tol)
+    true
+    (Float.abs (est -. exact) <= tol)
+
 let test_histogram_percentiles () =
   reset_all ();
   let h = Metrics.histogram "test.latency" in
@@ -92,14 +102,106 @@ let test_histogram_percentiles () =
   done;
   Alcotest.(check int) "count" 100 (Metrics.count h);
   let feq = Alcotest.(check (float 1e-9)) in
+  (* extremes clamp to the exact observed range *)
   feq "p0 = min" 1.0 (Metrics.percentile h 0.0);
   feq "p100 = max" 100.0 (Metrics.percentile h 100.0);
-  (* linear interpolation between closest ranks *)
-  feq "p50" 50.5 (Metrics.percentile h 50.0);
-  feq "p90" 90.1 (Metrics.percentile h 90.0);
+  check_within_bound "p50" ~exact:50.5 (Metrics.percentile h 50.0);
+  check_within_bound "p90" ~exact:90.1 (Metrics.percentile h 90.0);
   let s = Metrics.summarize h in
   feq "mean" 50.5 s.Metrics.mean;
-  feq "sum" 5050.0 s.Metrics.sum
+  feq "sum" 5050.0 s.Metrics.sum;
+  feq "min exact" 1.0 s.Metrics.min_v;
+  feq "max exact" 100.0 s.Metrics.max_v
+
+let test_histogram_error_bound () =
+  reset_all ();
+  (* log-uniform samples spanning ~9 decades: every octave of the
+     bucket array gets exercised, and each percentile estimate must stay
+     within the documented relative error of the exact oracle *)
+  let h = Metrics.histogram "test.logu" in
+  let st = Random.State.make [| 7; 11; 13 |] in
+  let xs = Array.init 5000 (fun _ -> Float.exp (Random.State.float st 20.0 -. 10.0)) in
+  Array.iter (Metrics.observe h) xs;
+  Alcotest.(check int) "count" (Array.length xs) (Metrics.count h);
+  List.iter
+    (fun q ->
+      check_within_bound
+        (Printf.sprintf "p%g" q)
+        ~exact:(Metrics.percentile_of xs q)
+        (Metrics.percentile h q))
+    [ 0.0; 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 99.9; 100.0 ];
+  (* the bucket series the exposition renders: strictly increasing
+     bounds, non-decreasing cumulative counts, closing at the total *)
+  let buckets = Metrics.cumulative_buckets h in
+  Alcotest.(check bool) "has buckets" true (buckets <> []);
+  let rec walk prev_le prev_cum = function
+    | [] -> ()
+    | (le, cum) :: rest ->
+        Alcotest.(check bool) "le strictly increasing" true (le > prev_le);
+        Alcotest.(check bool) "cumulative non-decreasing" true (cum >= prev_cum);
+        walk le cum rest
+  in
+  walk neg_infinity 0 buckets;
+  Alcotest.(check int)
+    "last cumulative = count"
+    (Metrics.count h)
+    (snd (List.nth buckets (List.length buckets - 1)))
+
+let test_histogram_edge_cases () =
+  reset_all ();
+  let h = Metrics.histogram "test.edge" in
+  Alcotest.(check int) "empty count" 0 (Metrics.count h);
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Metrics.percentile h 50.0));
+  Alcotest.(check bool) "empty buckets" true (Metrics.cumulative_buckets h = []);
+  let feq = Alcotest.(check (float 1e-9)) in
+  Metrics.observe h 42.0;
+  (* single sample: clamping to [min, max] makes every percentile exact *)
+  feq "single p0" 42.0 (Metrics.percentile h 0.0);
+  feq "single p50" 42.0 (Metrics.percentile h 50.0);
+  feq "single p100" 42.0 (Metrics.percentile h 100.0);
+  let s = Metrics.summarize h in
+  Alcotest.(check int) "single n" 1 s.Metrics.n;
+  feq "single sum" 42.0 s.Metrics.sum;
+  feq "single min" 42.0 s.Metrics.min_v;
+  feq "single max" 42.0 s.Metrics.max_v;
+  Metrics.reset ();
+  Alcotest.(check int) "reset empties" 0 (Metrics.count h);
+  Alcotest.(check bool) "reset percentile is nan" true
+    (Float.is_nan (Metrics.percentile h 50.0));
+  Metrics.observe h 7.0;
+  Alcotest.(check int) "usable after reset" 1 (Metrics.count h);
+  feq "exact after reset" 7.0 (Metrics.percentile h 100.0)
+
+let test_histogram_multidomain () =
+  reset_all ();
+  (* 4 domains hammer one histogram with disjoint integer-valued ranges
+     (so the float sum is exact): each domain writes its own shard and
+     the merge must see every sample exactly once *)
+  let h = Metrics.histogram "test.hammer" in
+  let doms = 4 and per = 25_000 in
+  let workers =
+    Array.init doms (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Metrics.observe h (float_of_int ((d * per) + i))
+            done))
+  in
+  Array.iter Domain.join workers;
+  let total = doms * per in
+  Alcotest.(check int) "n exact across shards" total (Metrics.count h);
+  let s = Metrics.summarize h in
+  let feq = Alcotest.(check (float 1e-9)) in
+  Alcotest.(check int) "summary n" total s.Metrics.n;
+  feq "sum exact across shards"
+    (float_of_int total *. (float_of_int total +. 1.0) /. 2.0)
+    s.Metrics.sum;
+  feq "min exact" 1.0 s.Metrics.min_v;
+  feq "max exact" (float_of_int total) s.Metrics.max_v;
+  check_within_bound "merged p50" ~exact:(float_of_int total /. 2.0) s.Metrics.p50;
+  check_within_bound "merged p99"
+    ~exact:(0.99 *. float_of_int total)
+    s.Metrics.p99
 
 let test_percentile_of_nondestructive () =
   reset_all ();
@@ -113,6 +215,46 @@ let test_percentile_of_nondestructive () =
     "input array untouched" [| 5.0; 1.0; 4.0; 2.0; 3.0 |] xs;
   feq "p0" 1.0 (Metrics.percentile_of xs 0.0);
   feq "p100" 5.0 (Metrics.percentile_of xs 100.0)
+
+(* ---------------- bounded trace ring ---------------- *)
+
+let test_trace_ring_bounded () =
+  reset_all ();
+  Trace_sink.set_capacity 8;
+  Fun.protect ~finally:(fun () -> Trace_sink.set_capacity 65_536)
+  @@ fun () ->
+  Span.set_enabled true;
+  for i = 1 to 20 do
+    Span.with_span (Printf.sprintf "s%02d" i) (fun () -> ())
+  done;
+  Span.set_enabled false;
+  let evs = Trace_sink.events () in
+  Alcotest.(check int) "ring holds capacity" 8 (List.length evs);
+  Alcotest.(check (list string))
+    "newest events survive, oldest dropped"
+    (List.init 8 (fun i -> Printf.sprintf "s%02d" (13 + i)))
+    (List.map (fun e -> e.Trace_sink.name) evs);
+  Alcotest.(check int) "dropped counted" 12 (Trace_sink.dropped ());
+  Alcotest.(check int) "trace.dropped metric agrees" 12
+    (Metrics.value (Metrics.counter "trace.dropped"));
+  Trace_sink.clear ();
+  Alcotest.(check int) "clear resets the drop count" 0 (Trace_sink.dropped ())
+
+let test_trace_shrink_keeps_newest () =
+  reset_all ();
+  Trace_sink.set_capacity 16;
+  Fun.protect ~finally:(fun () -> Trace_sink.set_capacity 65_536)
+  @@ fun () ->
+  Span.set_enabled true;
+  for i = 1 to 10 do
+    Span.with_span (Printf.sprintf "s%02d" i) (fun () -> ())
+  done;
+  Span.set_enabled false;
+  Trace_sink.set_capacity 4;
+  Alcotest.(check (list string))
+    "shrinking keeps the newest survivors"
+    [ "s07"; "s08"; "s09"; "s10" ]
+    (List.map (fun e -> e.Trace_sink.name) (Trace_sink.events ()))
 
 (* ---------------- counters across domains ---------------- *)
 
@@ -186,10 +328,18 @@ let () =
           Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
           Alcotest.test_case "closed on exception" `Quick test_span_exception_closes;
           Alcotest.test_case "chrome JSON round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "bounded ring drops oldest" `Quick test_trace_ring_bounded;
+          Alcotest.test_case "shrink keeps newest" `Quick test_trace_shrink_keeps_newest;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "histogram error bound vs oracle" `Quick
+            test_histogram_error_bound;
+          Alcotest.test_case "histogram edge cases and reset" `Quick
+            test_histogram_edge_cases;
+          Alcotest.test_case "histogram multi-domain hammer" `Quick
+            test_histogram_multidomain;
           Alcotest.test_case "percentile_of leaves input intact" `Quick
             test_percentile_of_nondestructive;
           Alcotest.test_case "counters shard across domains" `Quick test_counter_sharded;
