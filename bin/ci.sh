@@ -105,6 +105,53 @@ goodput=$(echo "$djson" | sed 's/.*"goodput_rps":\([0-9.eE+-]*\).*/\1/')
 awk -v g="$goodput" 'BEGIN { exit (g > 0) ? 0 : 1 }' \
   || { echo "ci: goodput_rps=$goodput, expected > 0" >&2; exit 1; }
 
+echo "== cora bench-stream --exec --pool 1 --batching --smoke" >&2
+# Continuous batching over a single-signature pool, serial: each window's
+# requests are bin-packed into tile-aligned mega-batches and every member's
+# output is checksummed bitwise against a cache-bypassed solo replay
+# (--smoke exits nonzero on divergence).  The arena must also go flat after
+# the first window: the mega-batch signatures repeat, so steady-state
+# serving allocates nothing fresh.
+dune exec bin/cora_cli.exe -- bench-stream --exec --pool 1 --batching --smoke \
+  > "$tmpdir/stream_batch_serial.txt"
+
+bjson=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_batch_serial.txt")
+test -n "$bjson" || { echo "ci: no BENCH_STREAM line (batching serial)" >&2; exit 1; }
+echo "$bjson" | grep -q '"batching":true' \
+  || { echo "ci: batched run not labelled batching=true" >&2; exit 1; }
+nbatches=$(echo "$bjson" | sed 's/.*"batches":\([0-9]*\).*/\1/')
+awk -v n="$nbatches" 'BEGIN { exit (n > 0) ? 0 : 1 }' \
+  || { echo "ci: batches=$nbatches, expected > 0" >&2; exit 1; }
+bwmiss=$(echo "$bjson" | sed 's/.*"window_arena_miss":\[\([0-9,]*\)\].*/\1/')
+echo "$bwmiss" | awk -F, '{ for (i = 2; i <= NF; i++) if ($i > 0) exit 1 }' \
+  || { echo "ci: batched arena misses grew after first window ($bwmiss)" >&2; exit 1; }
+
+echo "== cora bench-stream --exec --domains 4 --batching --smoke" >&2
+# Continuous batching behind the concurrent front-end: worker domains drain
+# the admission queue under the batching window, form mega-batches, and
+# scatter per-request outcomes back.  --smoke keeps the bitwise serial-replay
+# checksum check; here the JSON is re-checked for the batching win itself —
+# an unloaded stream must lose no requests, batches must actually form
+# (mean size > 1), and the ragged mega-batch padding waste must stay below
+# the one-request-one-batch dense baseline computed from the same stream.
+dune exec bin/cora_cli.exe -- bench-stream --exec --domains 4 --batching --smoke \
+  > "$tmpdir/stream_batch_domains.txt"
+
+cbjson=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_batch_domains.txt")
+test -n "$cbjson" || { echo "ci: no BENCH_STREAM line (batching domains)" >&2; exit 1; }
+for field in rejected deadline_exceeded errors evicted; do
+  n=$(echo "$cbjson" | sed "s/.*\"$field\":\([0-9]*\).*/\1/")
+  awk -v n="$n" 'BEGIN { exit (n == 0) ? 0 : 1 }' \
+    || { echo "ci: $field=$n on an unloaded batched stream, expected 0" >&2; exit 1; }
+done
+mbs=$(echo "$cbjson" | sed 's/.*"mean_batch_size":\([0-9.eE+-]*\).*/\1/')
+awk -v m="$mbs" 'BEGIN { exit (m > 1) ? 0 : 1 }' \
+  || { echo "ci: mean_batch_size=$mbs, expected > 1" >&2; exit 1; }
+pwf=$(echo "$cbjson" | sed 's/.*"padding_waste_frac":\([0-9.eE+-]*\).*/\1/')
+upwf=$(echo "$cbjson" | sed 's/.*"unbatched_padding_waste_frac":\([0-9.eE+-]*\).*/\1/')
+awk -v p="$pwf" -v u="$upwf" 'BEGIN { exit (p < u) ? 0 : 1 }' \
+  || { echo "ci: batched padding waste $pwf not below unbatched $upwf" >&2; exit 1; }
+
 echo "== cora bench-stream --domains 4 telemetry" >&2
 # Full-telemetry concurrent run: Chrome trace (re-parsed by the binary),
 # flight-recorder ring, and OpenMetrics exposition (self-validated by the

@@ -465,8 +465,11 @@ let bench_stream_cmd =
              non-increasing per-window p50 after warmup; with --exec --engine compiled, \
              also that the first window's outputs are bit-identical to the interpreter's; \
              with --domains > 1, that every request is served (no rejection, deadline or \
-             error) with per-request checksums bitwise-identical to a serial replay.  \
-             Exits nonzero on violation.")
+             error) with per-request checksums bitwise-identical to a serial replay; with \
+             --batching, that mega-batches actually amortize (> 1 request each), that the \
+             tile packing never pads more than one-request-one-batch serving, and that \
+             every batched request's checksum is bitwise-identical to a serial unbatched \
+             replay.  Exits nonzero on violation.")
   in
   let domains_arg =
     Arg.(
@@ -485,6 +488,41 @@ let bench_stream_cmd =
             "Per-request deadline in milliseconds, enforced by the front-end at dequeue \
              and between pipeline stages (implies the front-end path even with \
              --domains 1).")
+  in
+  let batching_flag =
+    Arg.(
+      value & flag
+      & info [ "batching" ]
+          ~doc:
+            "Continuous batching: bin-pack each drained window of requests into \
+             tile-aligned ragged mega-batches (first-fit-decreasing over per-row \
+             ceilmult(len, tile) tiles), run each mega-batch through the server once and \
+             scatter per-request outputs and telemetry back.  Serially (--domains 1) each \
+             latency window is one batching window; with --domains > 1 the front-end's \
+             workers drain batching windows concurrently.  Workloads without a batching \
+             descriptor (trmm) are served as singletons.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~doc:"Maximum requests per mega-batch (with --batching).")
+  in
+  let max_wait_ms_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "max-wait-ms" ]
+          ~doc:
+            "How long a forming batch window stays open for more requests once it has \
+             one, in milliseconds (with --batching --domains > 1).")
+  in
+  let tile_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tile" ]
+          ~doc:
+            "Row-length alignment quantum for the bin-packer (with --batching).  0 \
+             (default) picks the workload's natural tile: fig1 4, vgemm/trmm 8, encoder \
+             32.")
   in
   let trace_out_arg =
     Arg.(
@@ -516,10 +554,13 @@ let bench_stream_cmd =
              (self-validated by re-parsing).")
   in
   let run workload dataset requests pool seed windows no_cc no_pc exec engine opt domains
-      deadline_ms trace_out flight_out openmetrics_out smoke =
+      deadline_ms batching max_batch max_wait_ms tile trace_out flight_out openmetrics_out
+      smoke =
     if requests <= 0 || pool <= 0 || windows <= 0 then
       Fmt.failwith "requests, pool and windows must be positive";
     if domains <= 0 then Fmt.failwith "domains must be positive";
+    if batching && max_batch < 1 then Fmt.failwith "max-batch must be >= 1";
+    if batching && max_wait_ms < 0.0 then Fmt.failwith "max-wait-ms must be >= 0";
     let engine =
       match engine with
       | "interp" -> `Interp
@@ -530,6 +571,21 @@ let bench_stream_cmd =
     let deadline_ns = Option.map (fun ms -> ms *. 1e6) deadline_ms in
     let concurrent = domains > 1 || deadline_ns <> None in
     let w = bench_workload ~dataset workload in
+    let tile =
+      if tile > 0 then tile
+      else match workload with "vgemm" | "trmm" -> 8 | "encoder" -> 32 | _ -> 4
+    in
+    (* trmm carries no batching descriptor: the front-end serves it as
+       singletons, and the serial driver falls back to the plain replay *)
+    let batching_active = batching && Option.is_some w.Serving.Workload.batching in
+    let bcfg =
+      {
+        Serving.Batcher.max_batch;
+        max_wait_us = max_wait_ms *. 1e3;
+        headroom_us = 0.0;
+        tile;
+      }
+    in
     Obs.Metrics.reset ();
     Serving.Server.reset_caches ();
     Runtime.Buffer.Arena.clear Runtime.Buffer.Arena.global;
@@ -563,19 +619,40 @@ let bench_stream_cmd =
         for i = 0 to windows - 1 do
           let lo = i * wsize in
           let hi = if i = windows - 1 then requests else lo + wsize in
-          let slice =
-            { stream with Serving.Stream.items = Array.sub stream.Serving.Stream.items lo (hi - lo) }
+          let items = Array.sub stream.Serving.Stream.items lo (hi - lo) in
+          let outcomes =
+            if batching_active then
+              (* each latency window is one batching window: bin-pack its
+                 requests into mega-batches and scatter the outcomes back *)
+              Serving.Batcher.run bcfg srv w
+                (Array.mapi
+                   (fun j lens ->
+                     {
+                       Serving.Batcher.m_lens = lens;
+                       m_deadline_us = infinity;
+                       m_id = lo + j + 1;
+                     })
+                   items)
+              |> Array.to_list
+              |> List.map (function
+                   | Serving.Batcher.Served { resp; _ } -> Serving.Frontend.Response resp
+                   | Serving.Batcher.Expired { stage; _ } ->
+                       Serving.Frontend.Deadline_exceeded stage
+                   | Serving.Batcher.Failed { exn; backtrace; _ } ->
+                       Serving.Frontend.Error { exn; backtrace })
+            else
+              List.map
+                (fun r -> Serving.Frontend.Response r)
+                (Serving.Stream.replay srv w { stream with Serving.Stream.items = items })
           in
-          acc := !acc @ Serving.Stream.replay srv w slice;
+          acc := !acc @ outcomes;
           let now = arena_miss_now () in
           misses := (now - !seen) :: !misses;
           seen := now;
           depths := queue_depth_now () :: !depths;
           sample_runtime_gauges ()
         done;
-        ( Array.of_list (List.map (fun r -> Serving.Frontend.Response r) !acc),
-          List.rev !misses,
-          List.rev !depths )
+        (Array.of_list !acc, List.rev !misses, List.rev !depths)
       end
       else begin
         (* concurrent: paced (backpressure) replay through the front-end —
@@ -585,7 +662,11 @@ let bench_stream_cmd =
            sampling is meaningless when windows overlap across domains,
            so that field stays empty. *)
         let fe =
-          Serving.Frontend.create ~domains ~capacity:(max 16 (2 * domains)) ?deadline_ns srv
+          Serving.Frontend.create ~domains
+            ~capacity:(max 16 (max (2 * domains) (2 * max_batch)))
+            ?deadline_ns
+            ?batching:(if batching_active then Some bcfg else None)
+            srv
         in
         let tks =
           Array.map (fun lens -> Serving.Frontend.submit_wait fe w lens)
@@ -726,6 +807,40 @@ let bench_stream_cmd =
     let scalar_ops_per_sec =
       if wall_ns > 0.0 then float_of_int scalar_ops /. (wall_ns /. 1e9) else 0.0
     in
+    (* batch-former accounting, from its own counters: how many
+       mega-batches formed, and how much the tile-aligned ragged packing
+       ([padding_waste_frac]) saved against the dense max-len envelope of
+       the same bins ([naive_…]) and against serving every request as its
+       own dense batch ([unbatched_…], computed from the stream itself) *)
+    let mval name = Obs.Metrics.value (Obs.Metrics.counter name) in
+    let n_batches = mval "batcher.batches" in
+    let n_batch_members = mval "batcher.members" in
+    let n_evicted = mval "batcher.evicted" in
+    let mean_batch_size =
+      if n_batches = 0 then 0.0 else float_of_int n_batch_members /. float_of_int n_batches
+    in
+    let waste actual padded =
+      if padded = 0 then 0.0 else 1.0 -. (float_of_int actual /. float_of_int padded)
+    in
+    let padding_waste_frac = waste (mval "batcher.elems_actual") (mval "batcher.elems_padded") in
+    let naive_padding_waste_frac =
+      waste (mval "batcher.elems_actual") (mval "batcher.elems_naive")
+    in
+    let unbatched_padding_waste_frac =
+      match w.Serving.Workload.batching with
+      | None -> 0.0
+      | Some bd ->
+          let actual = ref 0 and padded = ref 0 in
+          Array.iter
+            (fun lens ->
+              let rows = bd.Serving.Workload.rows lens in
+              let maxr = Array.fold_left max 0 rows in
+              actual := !actual + Array.fold_left ( + ) 0 rows;
+              padded :=
+                !padded + (Array.length rows * Serving.Batcher.Pack.ceilmult maxr tile))
+            stream.Serving.Stream.items;
+          waste !actual !padded
+    in
     let json =
       Obs.Json.Obj
         [
@@ -743,6 +858,16 @@ let bench_stream_cmd =
           ("domains", Obs.Json.Int domains);
           ( "deadline_ms",
             match deadline_ms with Some d -> Obs.Json.Float d | None -> Obs.Json.Null );
+          ("batching", Obs.Json.Bool batching);
+          ("max_batch", Obs.Json.Int max_batch);
+          ("max_wait_ms", Obs.Json.Float max_wait_ms);
+          ("tile", Obs.Json.Int tile);
+          ("batches", Obs.Json.Int n_batches);
+          ("mean_batch_size", Obs.Json.Float mean_batch_size);
+          ("evicted", Obs.Json.Int n_evicted);
+          ("padding_waste_frac", Obs.Json.Float padding_waste_frac);
+          ("naive_padding_waste_frac", Obs.Json.Float naive_padding_waste_frac);
+          ("unbatched_padding_waste_frac", Obs.Json.Float unbatched_padding_waste_frac);
           ("served", Obs.Json.Int n_ok);
           ("rejected", Obs.Json.Int n_rejected);
           ("deadline_exceeded", Obs.Json.Int n_deadline);
@@ -787,12 +912,17 @@ let bench_stream_cmd =
       if n_errors > 0 then Fmt.failwith "smoke: %d requests errored" n_errors;
       if n_deadline > 0 then
         Fmt.failwith "smoke: %d requests exceeded their deadline" n_deadline;
+      (* hit-rate floors assume the solo request signatures repeat;
+         mega-batch signatures depend on window composition, so under
+         --batching only the structural checks apply *)
       if not no_cc then begin
-        if compile_hit_rate <= 0.0 then Fmt.failwith "smoke: compile cache never hit";
+        if (not batching_active) && compile_hit_rate <= 0.0 then
+          Fmt.failwith "smoke: compile cache never hit";
         if Cora.Lower.memo_size () = 0 then Fmt.failwith "smoke: compile cache is empty"
       end;
       if not no_pc then begin
-        if prelude_hit_rate <= 0.0 then Fmt.failwith "smoke: prelude cache never hit";
+        if (not batching_active) && prelude_hit_rate <= 0.0 then
+          Fmt.failwith "smoke: prelude cache never hit";
         if host_ns_on_hits <> 0.0 then
           Fmt.failwith "smoke: prelude host work on hits is %g ns, expected 0" host_ns_on_hits
       end;
@@ -805,20 +935,36 @@ let bench_stream_cmd =
             check_monotone (i + 1) rest
         | _ -> ()
       in
-      if (not no_pc) && not concurrent then check_monotone 0 window_overhead_p50;
+      (* mega-batch signatures vary with window composition, so both
+         steady-state checks assume the unbatched request stream *)
+      if (not no_pc) && (not concurrent) && not batching_active then
+        check_monotone 0 window_overhead_p50;
       (* zero-allocation steady state: once the first window has populated
          the arena's size classes, later windows must not miss (serial
          only: concurrent windows interleave across domains) *)
-      if exec && not concurrent then
+      if exec && (not concurrent) && not batching_active then
         List.iteri
           (fun i m ->
             if i > 0 && m > 0 then
               Fmt.failwith "smoke: arena misses grew in window %d (+%d) — steady state allocates"
                 i m)
           window_arena_miss;
-      (* concurrent path: every request must have been served, with a
-         checksum bitwise-identical to a serial replay of the same stream *)
-      (if concurrent && exec then begin
+      (* batching accounting: batches actually formed, amortized >1
+         request each, and the tile-aligned packing never pads more than
+         serving every request as its own dense batch would *)
+      if batching_active then begin
+        if n_batches = 0 then Fmt.failwith "smoke: batching enabled but no batches formed";
+        if requests > 1 && max_batch > 1 && mean_batch_size <= 1.0 then
+          Fmt.failwith "smoke: mean batch size %.2f, expected > 1" mean_batch_size;
+        if padding_waste_frac > unbatched_padding_waste_frac +. 1e-9 then
+          Fmt.failwith
+            "smoke: tile padding waste %.4f exceeds the one-request-one-batch baseline %.4f"
+            padding_waste_frac unbatched_padding_waste_frac
+      end;
+      (* concurrent/batched path: every request must have been served,
+         with a checksum bitwise-identical to a serial unbatched replay
+         of the same stream *)
+      (if (concurrent || batching_active) && exec then begin
          let serial = Serving.Stream.replay srv w stream in
          List.iteri
            (fun i (rs : Serving.Server.response) ->
@@ -866,8 +1012,8 @@ let bench_stream_cmd =
     Term.(
       const run $ workload_arg $ dataset_arg $ requests_arg $ pool_arg $ seed_arg
       $ windows_arg $ no_cc_flag $ no_pc_flag $ exec_flag $ engine_arg $ opt_arg
-      $ domains_arg $ deadline_ms_arg $ trace_out_arg $ flight_out_arg $ openmetrics_arg
-      $ smoke_flag)
+      $ domains_arg $ deadline_ms_arg $ batching_flag $ max_batch_arg $ max_wait_ms_arg
+      $ tile_arg $ trace_out_arg $ flight_out_arg $ openmetrics_arg $ smoke_flag)
 
 let () =
   let info = Cmd.info "cora" ~doc:"CoRa ragged tensor compiler — reproduction CLI." in

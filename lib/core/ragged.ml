@@ -11,17 +11,28 @@ type t = {
   tensor : Tensor.t;
   buf : Runtime.Buffer.t;
   lenv : Lenfun.env;
+  prefix_cache : (int, int array) Hashtbl.t;
+      (* dim position -> prefix sums of per-value slice volumes for a dim
+         with ragged dependents.  Both inputs of the sum (tensor, lenv)
+         are immutable for the lifetime of the value, so the cache never
+         invalidates.  Without it every get/set pays an O(extent) prefix
+         walk, which makes filling a B-row mega-batch O(B^2). *)
 }
 
 (** Allocate a zero-filled buffer sized for [tensor] under [lenv] (zero fill
     matters: padded regions must read as 0 so padded reductions stay
     correct). *)
 let alloc tensor lenv =
-  { tensor; buf = Runtime.Buffer.float_buf (Tensor.size_elems tensor ~lenv); lenv }
+  {
+    tensor;
+    buf = Runtime.Buffer.float_buf (Tensor.size_elems tensor ~lenv);
+    lenv;
+    prefix_cache = Hashtbl.create 4;
+  }
 
 (** Numeric flat offset of a multi-index — the runtime mirror of the
     symbolic scheme in {!Storage.lower} (same layout, computed directly). *)
-let offset { tensor = t; lenv; _ } (idx : int list) : int =
+let offset ({ tensor = t; lenv; _ } as r) (idx : int list) : int =
   let n = Tensor.rank t in
   let idx = Array.of_list idx in
   if Array.length idx <> n then invalid_arg "Ragged.offset: wrong index arity";
@@ -40,14 +51,43 @@ let offset { tensor = t; lenv; _ } (idx : int list) : int =
       off := !off + (idx.(i) * stride)
     end
     else begin
-      (* prefix sum of slice volumes for values < idx.(i); the recursive
-         volume handles nested raggedness *)
-      let di_id = (List.nth t.Tensor.dims i).Dim.id in
-      let acc = ref 0 in
-      for v = 0 to idx.(i) - 1 do
-        acc := !acc + Tensor.slice_volume t ~lenv ~level:(i + 1) ~env:[ (di_id, v) ]
-      done;
-      off := !off + !acc
+      (* prefix sum of slice volumes for values < idx.(i), memoized over
+         the dim's whole extent; the recursive volume handles nested
+         raggedness *)
+      let prefix =
+        match Hashtbl.find_opt r.prefix_cache i with
+        | Some p -> p
+        | None ->
+            let di_id = (List.nth t.Tensor.dims i).Dim.id in
+            (* the per-value volumes depend only on the value itself (the
+               original prefix loop passed env = [(di, v)] alone), so one
+               array sized by the extent's maximum covers every outer
+               index — including nested raggedness where dim i's own
+               extent varies with its dependee *)
+            let ext =
+              match List.nth t.Tensor.extents i with
+              | Shape.Fixed c -> c
+              | Shape.Ragged { dep; fn } ->
+                  let dpos = Tensor.dim_pos t dep in
+                  let dep_ext =
+                    Shape.eval (List.nth t.Tensor.extents dpos) ~lenv ~dep_value:0
+                  in
+                  let f = Lenfun.lookup lenv (Lenfun.name fn) in
+                  let m = ref 0 in
+                  for v = 0 to dep_ext - 1 do
+                    m := max !m (f v)
+                  done;
+                  !m
+            in
+            let p = Array.make (ext + 1) 0 in
+            for v = 0 to ext - 1 do
+              p.(v + 1) <-
+                p.(v) + Tensor.slice_volume t ~lenv ~level:(i + 1) ~env:[ (di_id, v) ]
+            done;
+            Hashtbl.add r.prefix_cache i p;
+            p
+      in
+      off := !off + prefix.(idx.(i))
     end
   done;
   !off

@@ -7,6 +7,14 @@ type t = {
   tensor : Tensor.t;
   buf : Runtime.Buffer.t;
   lenv : Lenfun.env;
+  prefix_cache : (int, int array) Hashtbl.t;
+      (** memoized prefix sums of per-value slice volumes for dims with
+          ragged dependents — keeps per-element offsets O(rank) instead
+          of O(batch), which is what makes filling and unpacking a
+          B-row mega-batch linear rather than quadratic in B.  Both
+          inputs (tensor, lenv) are immutable per value, so entries
+          never invalidate.  Managed by {!offset}; construct values
+          through {!alloc}. *)
 }
 
 (** Zero-filled buffer sized for the tensor (zero padding keeps padded

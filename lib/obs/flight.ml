@@ -27,6 +27,8 @@ type record = {
   engine_misses : int;
   arena_hits : int;
   arena_misses : int;
+  batch_id : int;  (** mega-batch this request was served in; 0 = unbatched *)
+  batch_size : int;  (** requests in that mega-batch; 1 = served alone *)
 }
 
 let lock = Mutex.create ()
@@ -100,6 +102,8 @@ let record_json (r : record) =
       ("engine_misses", Json.Int r.engine_misses);
       ("arena_hits", Json.Int r.arena_hits);
       ("arena_misses", Json.Int r.arena_misses);
+      ("batch_id", Json.Int r.batch_id);
+      ("batch_size", Json.Int r.batch_size);
     ]
 
 let to_json ?(reason = "snapshot") () =

@@ -17,6 +17,11 @@ type record = {
   engine_misses : int;
   arena_hits : int;
   arena_misses : int;
+  batch_id : int;
+      (** id of the mega-batch the request was served inside (the
+          batch-former's [batch.run] span attribute); 0 when the request
+          was served on its own, outside any batch *)
+  batch_size : int;  (** number of requests in that mega-batch; 1 = alone *)
 }
 
 (** Append one record, overwriting the oldest when full. *)

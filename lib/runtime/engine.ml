@@ -1083,13 +1083,19 @@ let rec compile_stmt ctx ~par_ok (s : Stmt.t) : frame -> unit =
       let fn = as_int (compile_expr ctx size) in
       let slot = buf_slot ~internal:true ctx v in
       let cbody = compile_stmt ctx ~par_ok:false body in
-      (* scratch comes from the process-wide arena: steady-state reuse
-         instead of per-row allocation.  [Arena.acquire] zero-fills and
-         raises on negative sizes exactly like the [Array.make n 0.0] it
-         replaces. *)
+      (* Scratch comes from the process-wide arena, rounded up to a
+         power-of-two size class.  Exact-length keying here was a miss
+         storm under the batch-former: row-length-sized scratch (e.g. the
+         softmax row buffer) takes a different exact size for every
+         distinct length a mega-batch mixes in, so each composition kept
+         allocating fresh storage; class rounding makes those sizes
+         converge onto the same closed class set the serving buffers use.
+         Zero-fill and the negative-size error are exactly those of the
+         [Array.make n 0.0] this replaces; a correct kernel never
+         addresses the class-rounding tail. *)
       fun fr ->
         let n = fn fr in
-        let a = Buffer.Arena.acquire Buffer.Arena.global n in
+        let a = Buffer.Arena.acquire_class Buffer.Arena.global n in
         Array.unsafe_set fr.fbufs slot a;
         let release () =
           Array.unsafe_set fr.fbufs slot [||];

@@ -37,6 +37,7 @@ type t = {
   fallback : Server.t option;  (** [`Interp] twin of a [`Compiled] server *)
   capacity : int;
   default_deadline_ns : float;  (** relative; [infinity] = none *)
+  batching : Batcher.config option;  (** [Some] routes workers through the batch-former *)
   q : request Queue.t;
   lock : Mutex.t;
   not_empty : Condition.t;
@@ -107,7 +108,8 @@ let handle_with_deadline srv (r : request) : outcome =
 
 (* The request's flight-recorder entry: cache/stage detail from the
    response when it has one, outcome label alone otherwise. *)
-let flight_of (r : request) ~(queue_wait_us : float) (o : outcome) : Obs.Flight.record =
+let flight_of (r : request) ~(queue_wait_us : float) ?(batch_id = 0) ?(batch_size = 1)
+    (o : outcome) : Obs.Flight.record =
   let base =
     {
       Obs.Flight.id = r.id;
@@ -124,6 +126,8 @@ let flight_of (r : request) ~(queue_wait_us : float) (o : outcome) : Obs.Flight.
       engine_misses = 0;
       arena_hits = 0;
       arena_misses = 0;
+      batch_id;
+      batch_size;
     }
   in
   match o with
@@ -224,9 +228,133 @@ let rec worker_loop (fe : t) =
       worker_loop fe
 
 (* ------------------------------------------------------------------ *)
+(* Batched worker side *)
+
+(* Drain one batching window: block for the first request, then hold the
+   window open — taking whatever else arrives — until it has [max_batch]
+   requests or [max_wait_us] has passed.  The stdlib has no timed
+   condition wait, so the open window polls with the lock released. *)
+let drain_window (fe : t) (cfg : Batcher.config) : request list option =
+  Mutex.lock fe.lock;
+  let rec first () =
+    if not (Queue.is_empty fe.q) then Some (Queue.pop fe.q)
+    else if fe.closing then None
+    else begin
+      Condition.wait fe.not_empty fe.lock;
+      first ()
+    end
+  in
+  match first () with
+  | None ->
+      Mutex.unlock fe.lock;
+      None
+  | Some r0 ->
+      let acc = ref [ r0 ] and count = ref 1 in
+      let t0 = now_us () in
+      let rec fill () =
+        while !count < cfg.Batcher.max_batch && not (Queue.is_empty fe.q) do
+          acc := Queue.pop fe.q :: !acc;
+          incr count
+        done;
+        if
+          !count < cfg.Batcher.max_batch
+          && (not fe.closing)
+          && now_us () -. t0 < cfg.Batcher.max_wait_us
+        then begin
+          Mutex.unlock fe.lock;
+          Unix.sleepf 0.0002;
+          Mutex.lock fe.lock;
+          fill ()
+        end
+      in
+      fill ();
+      Obs.Metrics.set queue_depth_g (Queue.length fe.q);
+      Condition.broadcast fe.not_full;
+      Mutex.unlock fe.lock;
+      Some (List.rev !acc)
+
+(* Serve one window's worth of same-workload requests through the
+   batch-former and resolve every ticket from the scattered outcomes. *)
+let run_batched (fe : t) (cfg : Batcher.config) (w : Workload.t) (rs : request list) =
+  let rs = Array.of_list rs in
+  let t_deq = now_us () in
+  let members =
+    Array.map
+      (fun r -> { Batcher.m_lens = r.lens; m_deadline_us = r.deadline_us; m_id = r.id })
+      rs
+  in
+  let outcomes =
+    try Batcher.run ?fallback:fe.fallback cfg fe.srv w members
+    with e ->
+      (* forming itself failed: fail every member; the worker survives *)
+      let backtrace = Printexc.get_backtrace () in
+      Obs.Metrics.incr errors_c;
+      Array.map
+        (fun _ ->
+          Batcher.Failed
+            { exn = Printexc.to_string e; backtrace; batch_id = 0; batch_size = 1 })
+        members
+  in
+  Array.iteri
+    (fun i bo ->
+      let r = rs.(i) in
+      let queue_wait_us = t_deq -. r.submitted_us in
+      Obs.Metrics.observe queue_wait_h queue_wait_us;
+      let o, batch_id, batch_size =
+        match bo with
+        | Batcher.Served { resp; batch_id; batch_size } ->
+            Obs.Metrics.incr served_c;
+            (Response resp, batch_id, batch_size)
+        | Batcher.Expired { stage; batch_id; batch_size } ->
+            Obs.Metrics.incr deadline_c;
+            (Deadline_exceeded stage, batch_id, batch_size)
+        | Batcher.Failed { exn; backtrace; batch_id; batch_size } ->
+            Obs.Metrics.incr errors_c;
+            (Error { exn; backtrace }, batch_id, batch_size)
+      in
+      Obs.Flight.record (flight_of r ~queue_wait_us ~batch_id ~batch_size o);
+      (match o with
+      | Deadline_exceeded _ | Error _ ->
+          ignore (Obs.Flight.auto_dump ~reason:(outcome_label o))
+      | Response _ | Overloaded -> ());
+      resolve r.ticket o)
+    outcomes
+
+(* A drained window may mix workloads; batching groups by workload name
+   (the stream drivers use one adapter instance per name), and workloads
+   without a batching descriptor fall back to the one-request path. *)
+let serve_window (fe : t) (cfg : Batcher.config) (reqs : request list) =
+  let groups : (string, request list ref) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = r.workload.Workload.name in
+      match Hashtbl.find_opt groups key with
+      | Some l -> l := r :: !l
+      | None ->
+          Hashtbl.add groups key (ref [ r ]);
+          order := key :: !order)
+    reqs;
+  List.iter
+    (fun key ->
+      let rs = List.rev !(Hashtbl.find groups key) in
+      let w = (List.hd rs).workload in
+      match w.Workload.batching with
+      | None -> List.iter (fun r -> resolve r.ticket (run_one fe r)) rs
+      | Some _ -> run_batched fe cfg w rs)
+    (List.rev !order)
+
+let rec batch_worker_loop (fe : t) (cfg : Batcher.config) =
+  match drain_window fe cfg with
+  | None -> () (* closing and drained: the worker retires *)
+  | Some reqs ->
+      serve_window fe cfg reqs;
+      batch_worker_loop fe cfg
+
+(* ------------------------------------------------------------------ *)
 (* Client side *)
 
-let create ?(domains = 4) ?(capacity = 64) ?deadline_ns (srv : Server.t) : t =
+let create ?(domains = 4) ?(capacity = 64) ?deadline_ns ?batching (srv : Server.t) : t =
   if domains < 1 then invalid_arg "Frontend.create: domains must be >= 1";
   if capacity < 1 then invalid_arg "Frontend.create: capacity must be >= 1";
   (* outcomes carry backtraces; recording costs nothing on the happy path *)
@@ -242,6 +370,7 @@ let create ?(domains = 4) ?(capacity = 64) ?deadline_ns (srv : Server.t) : t =
       fallback;
       capacity;
       default_deadline_ns = Option.value deadline_ns ~default:infinity;
+      batching;
       q = Queue.create ();
       lock = Mutex.create ();
       not_empty = Condition.create ();
@@ -250,7 +379,12 @@ let create ?(domains = 4) ?(capacity = 64) ?deadline_ns (srv : Server.t) : t =
       workers = [];
     }
   in
-  fe.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop fe));
+  let loop =
+    match batching with
+    | None -> fun () -> worker_loop fe
+    | Some cfg -> fun () -> batch_worker_loop fe cfg
+  in
+  fe.workers <- List.init domains (fun _ -> Domain.spawn loop);
   fe
 
 let deadline_of fe deadline_ns submitted_us =

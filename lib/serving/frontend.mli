@@ -73,8 +73,24 @@ type t
     4, >= 1), queue bound [~capacity] (default 64, >= 1),
     [?deadline_ns] a default relative deadline applied to every request
     that does not carry its own.  If [srv] runs the [`Compiled] engine,
-    an [`Interp] twin is created for degraded retries. *)
-val create : ?domains:int -> ?capacity:int -> ?deadline_ns:float -> Server.t -> t
+    an [`Interp] twin is created for degraded retries.
+
+    [?batching] switches the workers to continuous batching: each worker
+    drains a window of requests (up to [max_batch], holding the window
+    open up to [max_wait_us] once the first request lands), groups it by
+    workload, and serves each group through {!Batcher.run} as tile-packed
+    ragged mega-batches — outputs and telemetry are scattered back per
+    request, so tickets, outcomes, deadlines ([Deadline_exceeded "batch"]
+    for members evicted at formation) and flight records behave exactly
+    as in the unbatched mode.  Workloads without a {!Workload.batching}
+    descriptor are served as singletons even under [?batching]. *)
+val create :
+  ?domains:int ->
+  ?capacity:int ->
+  ?deadline_ns:float ->
+  ?batching:Batcher.config ->
+  Server.t ->
+  t
 
 (** Non-blocking, admission-controlled submission: returns a ticket that
     is already resolved to {!Overloaded} when the queue is full (or the

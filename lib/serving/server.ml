@@ -78,7 +78,7 @@ type exec_stats = {
   x_arena_misses : int;
 }
 
-let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
+let execute ?(fill = default_fill) (srv : t) (job : Workload.job) (built : Prelude.built) :
     counters * float array * exec_stats =
   let arena = Runtime.Buffer.Arena.global in
   let arena_hits = ref 0 and arena_misses = ref 0 in
@@ -100,7 +100,12 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
             let a, recycled = Runtime.Buffer.Arena.acquire_class_counted arena n in
             if recycled then incr arena_hits else incr arena_misses;
             let r =
-              { Ragged.tensor = t; buf = Runtime.Buffer.of_floats a; lenv = job.Workload.lenv }
+              {
+                Ragged.tensor = t;
+                buf = Runtime.Buffer.of_floats a;
+                lenv = job.Workload.lenv;
+                prefix_cache = Hashtbl.create 4;
+              }
             in
             Hashtbl.add raggeds t.Tensor.name r;
             r
@@ -121,7 +126,7 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
     job.Workload.kernels;
   (* deterministic inputs: tensors read but never written *)
   Hashtbl.iter
-    (fun name r -> if not (Hashtbl.mem written name) then Ragged.fill r (default_fill name))
+    (fun name r -> if not (Hashtbl.mem written name) then Ragged.fill r (fill name))
     raggeds;
   (* Per-request compiled-kernel-memo tally, scoped in domain-local
      storage ([Exec.with_engine_stats]) — never global counter deltas,
@@ -146,7 +151,7 @@ let execute (srv : t) (job : Workload.job) (built : Prelude.built) :
   in
   (Runtime.Interp.stats env, out, stats)
 
-let handle ?(stage_check = fun (_ : string) -> ()) (srv : t) (w : Workload.t)
+let handle ?(stage_check = fun (_ : string) -> ()) ?fill (srv : t) (w : Workload.t)
     (lens : int array) : response =
   Obs.Span.with_span
     ~attrs:[ ("workload", Obs.Trace_sink.Str w.Workload.name) ]
@@ -197,7 +202,9 @@ let handle ?(stage_check = fun (_ : string) -> ()) (srv : t) (w : Workload.t)
   let counters, out, xstats =
     staged "execute" @@ fun () ->
     if srv.execute then
-      let c, o, s = Obs.Span.with_span "serve.execute" (fun () -> execute srv job built) in
+      let c, o, s =
+        Obs.Span.with_span "serve.execute" (fun () -> execute ?fill srv job built)
+      in
       (Some c, Some o, s)
     else
       ( None,

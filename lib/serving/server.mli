@@ -75,8 +75,18 @@ val with_engine : t -> Cora.Exec.engine -> t
     hook of {!Frontend}.  Per-request compile hit/miss counts are
     returned from the lowering calls themselves (scoped through
     {!Cora.Lower.with_memo}), so they stay exact when requests run
-    concurrently on several domains. *)
-val handle : ?stage_check:(string -> unit) -> t -> Workload.t -> int array -> response
+    concurrently on several domains.
+
+    [?fill] overrides {!default_fill} for input tensors (read but never
+    written).  {!Serving.Batcher} uses it to fill a mega-batch's inputs
+    with each member request's {e own} [default_fill] values (the batch
+    row index routed back to the member's local row), so a request served
+    inside a mega-batch computes over bitwise the same inputs as a solo
+    replay. *)
+val handle :
+  ?stage_check:(string -> unit) ->
+  ?fill:(string -> int list -> float) ->
+  t -> Workload.t -> int array -> response
 
 (** Drop all cache contents (compile memo, prelude builds, and the
     compiled-kernel memo of the engine). *)

@@ -9,16 +9,75 @@ type job = {
   out_name : string;
 }
 
+type batching = {
+  rows : int array -> int array;
+  merge : int array list -> int array;
+  local_index : int array list -> string -> int list -> int list;
+  split : int array list -> float array -> float array list;
+}
+
 type t = {
   name : string;
   sample : Workloads.Rng.t -> int array;
   build : int array -> job;
+  batching : batching option;
 }
 
 (* The invariant every adapter maintains: the runtime environment is built
    from the tables and nothing else, so [Sig.of_tables tables] determines
    the prelude build and can safely key the cache. *)
 let lenv_of_tables tables = List.map (fun (n, a) -> Lenfun.of_array n a) tables
+
+(* ---- batching descriptor helpers ----
+
+   Every batchable adapter concatenates its members along the leading
+   batch dimension, so the three scatter/gather problems are the same
+   shape everywhere: find which member owns a mega-batch row, rewrite the
+   row index to that member's local row, and slice a member's rows back
+   out of the mega-batch's dense (max-extent-padded) output. *)
+
+(* [offsets counts] — leading-dim start of each member; [owner] finds the
+   member holding mega row [b] (members are few, linear scan). *)
+let offsets (counts : int list) : int array =
+  let off = Array.make (List.length counts) 0 in
+  ignore
+    (List.fold_left
+       (fun (i, acc) c ->
+         off.(i) <- acc;
+         (i + 1, acc + c))
+       (0, 0) counts);
+  off
+
+(* Largest k with off.(k) <= b (binary search: the fill localization
+   calls this once per dense element of the mega-batch). *)
+let owner (off : int array) (b : int) : int =
+  let lo = ref 0 and hi = ref (Array.length off - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if off.(mid) <= b then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* Rewrite a batch-leading multi-index into the owning member's local
+   frame, so [Server.default_fill] produces the member's solo values. *)
+let localize (off : int array) (idx : int list) : int list =
+  match idx with
+  | b :: rest ->
+      let k = owner off b in
+      (b - off.(k)) :: rest
+  | [] -> []
+
+(* Slice one member's [rows_k x inner_k] dense block out of the
+   mega-batch's [rows_total x inner_mega] dense output ([inner] = product
+   of the trailing dense extents).  Rows are contiguous along the leading
+   dim; a member's trailing padding columns are zero in both layouts
+   (only valid indices are ever unpacked), so copying [inner_k] of
+   [inner_mega] columns reproduces the solo dense block bitwise. *)
+let slice_rows ~(mega : float array) ~(inner_mega : int) ~(row_off : int)
+    ~(rows : int) ~(inner : int) : float array =
+  Array.init (rows * inner) (fun i ->
+      let r = i / inner and c = i mod inner in
+      mega.(((row_off + r) * inner_mega) + c))
 
 (* --- Fig. 1: O[b][j] = 2 * A[b][j], ragged j, padded + guarded --- *)
 
@@ -47,10 +106,36 @@ let fig1 ?(batch = 6) ?(max_len = 10) () : t =
       out_name = o.Tensor.name;
     }
   in
+  (* Batching: lens vectors concatenate along the leading batch dim;
+     A/O are [B][j<len(b)], so both the fill localization and the output
+     scatter are plain row arithmetic. *)
+  let batching =
+    let rows lens = lens in
+    let merge = Array.concat in
+    let local_index ls =
+      (* staged: the offsets are a function of the window alone, computed
+         once per mega-batch, not once per filled element *)
+      let off = offsets (List.map Array.length ls) in
+      fun _name idx -> localize off idx
+    in
+    let split ls mega =
+      let counts = List.map Array.length ls in
+      let total = List.fold_left ( + ) 0 counts in
+      let inner_mega = if total = 0 then 0 else Array.length mega / total in
+      let off = offsets counts in
+      List.mapi
+        (fun k lens ->
+          let inner = Array.fold_left max 0 lens in
+          slice_rows ~mega ~inner_mega ~row_off:off.(k) ~rows:(Array.length lens) ~inner)
+        ls
+    in
+    { rows; merge; local_index; split }
+  in
   {
     name = "fig1";
     sample = (fun rng -> Array.init batch (fun _ -> 1 + Workloads.Rng.int rng max_len));
     build;
+    batching = Some batching;
   }
 
 (* --- Variable-sized batched gemm (§7.1) --- *)
@@ -84,7 +169,44 @@ let vgemm ?(batch = 4) ?(tile = 32)
       out_name = v.Matmul.Vgemm.c.Tensor.name;
     }
   in
-  { name = "vgemm"; sample; build }
+  (* Batching: the raggedness vector is the 3-segment [ms @ ns @ ks], so
+     merging un-interleaves the segments and re-concatenates each across
+     members.  VA/VB/VC are dense-padded [B][rmax][cmax] with every
+     tensor batch-leading; dims are tile multiples (the workload's own
+     constraint), so no residual tile writes cross member rows and the
+     dense slice below is bitwise the member's solo output. *)
+  let batching =
+    let seg i l =
+      let b = Array.length l / 3 in
+      Array.sub l (i * b) b
+    in
+    let rows l = seg 0 l in
+    let merge ls =
+      Array.concat (List.map (seg 0) ls @ List.map (seg 1) ls @ List.map (seg 2) ls)
+    in
+    let counts ls = List.map (fun l -> Array.length l / 3) ls in
+    let local_index ls =
+      let off = offsets (counts ls) in
+      fun _name idx -> localize off idx
+    in
+    let split ls mega =
+      let maxa a = Array.fold_left max 0 a in
+      let mmax_m = List.fold_left (fun acc l -> max acc (maxa (seg 0 l))) 0 ls in
+      let nmax_m = List.fold_left (fun acc l -> max acc (maxa (seg 1 l))) 0 ls in
+      let off = offsets (counts ls) in
+      List.mapi
+        (fun k l ->
+          let b = Array.length l / 3 in
+          let mmax = maxa (seg 0 l) and nmax = maxa (seg 1 l) in
+          Array.init (b * mmax * nmax) (fun x ->
+              let bi = x / (mmax * nmax) in
+              let r = x mod (mmax * nmax) / nmax and c = x mod nmax in
+              mega.((((off.(k) + bi) * mmax_m + r) * nmax_m) + c)))
+        ls
+    in
+    { rows; merge; local_index; split }
+  in
+  { name = "vgemm"; sample; build; batching = Some batching }
 
 (* --- Triangular matmul, split + balanced (§7.1) --- *)
 
@@ -106,7 +228,9 @@ let trmm ?(tile = 16) ?(sizes = [| 32; 48; 64 |]) () : t =
       out_name = tm.Matmul.Trmm.c.Tensor.name;
     }
   in
-  { name = "trmm"; sample; build }
+  (* trmm has no batch dimension to concatenate along — one request is one
+     triangular instance — so the batcher serves it as singletons. *)
+  { name = "trmm"; sample; build; batching = None }
 
 (* --- Transformer encoder layer (§7.2) --- *)
 
@@ -127,7 +251,37 @@ let encoder ?(base = false) ?(batch = 4) ~(dataset : Workloads.Datasets.t) () : 
       out_name = b.Transformer.Builder.tensors.Transformer.Builder.out.Tensor.name;
     }
   in
-  { name = "encoder"; sample; build }
+  (* Batching: sequences concatenate along the leading batch dim.  Every
+     per-row computation (projections, attention, softmax, layernorm) is
+     row-local, the weight tensors carry no batch dimension (identical in
+     solo and mega builds — the fill passes their indices through
+     untouched), and only the input token tensor "IN" needs its batch
+     index localized.  OUT unpacks to [B][smax][hidden]. *)
+  let batching =
+    let rows lens = lens in
+    let merge = Array.concat in
+    let local_index ls =
+      let off = offsets (List.map Array.length ls) in
+      fun name idx -> match name with "IN" -> localize off idx | _ -> idx
+    in
+    let split ls mega =
+      let counts = List.map Array.length ls in
+      let b_m = List.fold_left ( + ) 0 counts in
+      let smax_m = List.fold_left (fun acc l -> max acc (Array.fold_left max 0 l)) 0 ls in
+      let h = if b_m * smax_m = 0 then 0 else Array.length mega / (b_m * smax_m) in
+      let off = offsets counts in
+      List.mapi
+        (fun k lens ->
+          let b = Array.length lens and smax = Array.fold_left max 0 lens in
+          Array.init (b * smax * h) (fun x ->
+              let bi = x / (smax * h) in
+              let s = x mod (smax * h) / h and c = x mod h in
+              mega.((((off.(k) + bi) * smax_m + s) * h) + c)))
+        ls
+    in
+    { rows; merge; local_index; split }
+  in
+  { name = "encoder"; sample; build; batching = Some batching }
 
 let by_name ?(dataset = Workloads.Datasets.squad) = function
   | "fig1" -> fig1 ()

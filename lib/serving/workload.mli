@@ -18,11 +18,44 @@ type job = {
   out_name : string;  (** name of the tensor holding the final result *)
 }
 
+(** How {!Serving.Batcher} concatenates several requests of this workload
+    into one mega-batch and scatters the results back.  Each function
+    takes the batch members' raggedness vectors (in mega-batch order) as
+    its first argument.
+
+    The contract binding the four functions together: [build (merge ls)]
+    must compute, for each member, bitwise the same output rows as
+    [build lens] alone would — given inputs filled through
+    [local_index] — and [split] must cut those rows back out of the
+    mega-batch's dense output in each member's solo dense layout.  That
+    is what lets the front-end serve a mega-batch and still answer every
+    request with the bytes a solo replay would produce. *)
+type batching = {
+  rows : int array -> int array;
+      (** per-row lengths of one request — what the bin-packer
+          tile-aligns and weighs (e.g. fig1's lens themselves, vgemm's
+          [ms] segment) *)
+  merge : int array list -> int array;
+      (** concatenate member raggedness vectors into the mega-batch's *)
+  local_index : int array list -> string -> int list -> int list;
+      (** rewrite a mega-batch tensor index into the owning member's
+          local frame (identity for tensors without a batch dim), so
+          {!Server.default_fill} yields the member's solo input values.
+          Staged: applying the window's lens list precomputes the member
+          offsets, so callers should partially apply it once per
+          mega-batch and reuse the returned closure per element *)
+  split : int array list -> float array -> float array list;
+      (** scatter the mega-batch's dense output into one dense block per
+          member, each bitwise equal to the member's solo output *)
+}
+
 type t = {
   name : string;
   sample : Workloads.Rng.t -> int array;
       (** draw one request's raggedness vector *)
   build : int array -> job;  (** compile the job for that vector *)
+  batching : batching option;
+      (** [None] (e.g. trmm) — the batcher serves requests as singletons *)
 }
 
 (** Fig. 1 of the paper: [O\[b\]\[j\] = 2 * A\[b\]\[j\]] with ragged [j],

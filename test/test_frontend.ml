@@ -79,6 +79,69 @@ let test_stress () =
         (bits_equal (Option.get rs.Serving.Server.out) (Option.get rc.Serving.Server.out)))
     serial
 
+(* ---------------- batched stress ---------------- *)
+
+(* The continuous-batching differential: 4 domains x 24 mixed-workload
+   requests through a batching front-end must each come back bitwise
+   equal to a serial, unbatched, cache-bypassed replay of the same
+   request — whatever mega-batches the drain windows happened to form. *)
+let test_batched_stress () =
+  Serving.Server.reset_caches ();
+  let vg = Serving.Workload.vgemm ~batch:4 ~tile:8 ~dims_choices:[| 8; 16; 24 |] () in
+  let rng = Workloads.Rng.create 11 in
+  let reqs =
+    List.init 24 (fun i ->
+        let w = if i mod 3 = 0 then vg else base in
+        (w, w.Serving.Workload.sample rng))
+  in
+  (* serial unbatched ground truth from a cache-bypassing server *)
+  let bypass =
+    Serving.Server.create ~compile_cache:false ~prelude_cache:false ()
+  in
+  let serial = List.map (fun (w, lens) -> Serving.Server.handle bypass w lens) reqs in
+  let srv = Serving.Server.create () in
+  let batching =
+    { Serving.Batcher.default_config with max_batch = 6; max_wait_us = 3000.0 }
+  in
+  let fe = Serving.Frontend.create ~domains:4 ~capacity:12 ~batching srv in
+  let tickets = List.map (fun (w, lens) -> Serving.Frontend.submit_wait fe w lens) reqs in
+  let outcomes = List.map Serving.Frontend.await tickets in
+  Serving.Frontend.shutdown fe;
+  List.iteri
+    (fun i (rs : Serving.Server.response) ->
+      let rc = get_response (Printf.sprintf "request %d" i) (List.nth outcomes i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d: batched output bit-identical to serial" i)
+        true
+        (bits_equal (Option.get rs.Serving.Server.out) (Option.get rc.Serving.Server.out)))
+    serial
+
+(* A request that expires while its batch is forming is answered
+   Deadline_exceeded "batch" without wedging the batcher: everything
+   else in the window is served, and so is a subsequent request. *)
+let test_batched_deadline () =
+  Serving.Server.reset_caches ();
+  let shape = [| 5; 3; 6; 2 |] in
+  let srv = Serving.Server.create () in
+  let batching =
+    { Serving.Batcher.default_config with max_batch = 4; max_wait_us = 20000.0 }
+  in
+  let fe = Serving.Frontend.create ~domains:1 ~batching srv in
+  (* the window holds open ~20ms for more requests; 1ns of budget is
+     necessarily gone by formation time *)
+  let victim = Serving.Frontend.submit ~deadline_ns:1.0 fe base shape in
+  let others = List.init 3 (fun _ -> Serving.Frontend.submit fe base [| 4; 2; 7 |]) in
+  (match Serving.Frontend.await victim with
+  | Serving.Frontend.Deadline_exceeded stage ->
+      Alcotest.(check string) "evicted while the batch formed" "batch" stage
+  | o -> Alcotest.failf "victim resolved to %s" (Serving.Frontend.outcome_label o));
+  List.iter
+    (fun t -> ignore (get_response "window sibling" (Serving.Frontend.await t)))
+    others;
+  let after = Serving.Frontend.await (Serving.Frontend.submit fe base shape) in
+  ignore (get_response "request after eviction" after);
+  Serving.Frontend.shutdown fe
+
 (* ---------------- admission control ---------------- *)
 
 let test_admission_overload () =
@@ -192,6 +255,13 @@ let () =
     [
       ( "concurrency",
         [ Alcotest.test_case "4 domains x 24 requests match serial" `Quick test_stress ] );
+      ( "batching",
+        [
+          Alcotest.test_case "4 domains x 24 batched requests match serial" `Quick
+            test_batched_stress;
+          Alcotest.test_case "window eviction is typed and non-wedging" `Quick
+            test_batched_deadline;
+        ] );
       ( "admission",
         [ Alcotest.test_case "full queue rejects typed, non-blocking" `Quick test_admission_overload ] );
       ( "deadlines",

@@ -115,6 +115,89 @@ let test_request_chain_through_frontend () =
         (List.map fst r.Flight.stages_us))
     records
 
+(* ---------------- telemetry scatter from a mega-batch ---------------- *)
+
+(* A request served inside a mega-batch must still own a complete,
+   request-id-tagged telemetry chain: admission span, a batch.member
+   scatter span carrying the batch coordinates, and a flight record with
+   per-request (not per-batch) stage times. *)
+let test_batched_scatter () =
+  reset_all ();
+  Span.set_enabled true;
+  let w = Serving.Workload.fig1 ~batch:4 ~max_len:8 () in
+  let srv = Serving.Server.create () in
+  let batching =
+    { Serving.Batcher.default_config with max_batch = 4; max_wait_us = 20000.0 }
+  in
+  (* one worker + a generous window: all 4 requests form one mega-batch *)
+  let fe = Serving.Frontend.create ~domains:1 ~batching srv in
+  let items = [| [| 2; 3 |]; [| 7; 1; 4 |]; [| 5 |]; [| 2; 3 |] |] in
+  let tickets = Array.map (fun lens -> Serving.Frontend.submit fe w lens) items in
+  let outcomes = Array.map Serving.Frontend.await tickets in
+  Serving.Frontend.shutdown fe;
+  Span.set_enabled false;
+  Array.iter
+    (fun o ->
+      match o with
+      | Serving.Frontend.Response _ -> ()
+      | o -> Alcotest.failf "request not served: %s" (Serving.Frontend.outcome_label o))
+    outcomes;
+  let attr_int e key =
+    List.assoc_opt key e.Trace_sink.attrs
+    |> Option.map (function Trace_sink.Int i -> i | _ -> -1)
+  in
+  let batch_ids =
+    Array.map
+      (fun tk ->
+        let id = Serving.Frontend.request_id tk in
+        let chain = Trace_sink.events_for id in
+        let names = List.map (fun e -> e.Trace_sink.name) chain in
+        (* admission -> batch -> outcome, all under this request's id *)
+        List.iter
+          (fun required ->
+            if not (List.mem required names) then
+              Alcotest.failf "request %d: span %s missing from chain [%s]" id required
+                (String.concat "; " names))
+          [ "frontend.submit"; "batch.member" ];
+        List.iter
+          (fun e ->
+            Alcotest.(check (option int)) "chain span tagged" (Some id) e.Trace_sink.req)
+          chain;
+        let m = List.find (fun e -> e.Trace_sink.name = "batch.member") chain in
+        Alcotest.(check (option int)) "batch_size on the member span" (Some 4)
+          (attr_int m "batch_size");
+        match attr_int m "batch_id" with
+        | Some b when b > 0 -> b
+        | _ -> Alcotest.failf "request %d: no batch_id on batch.member" id)
+      tickets
+  in
+  Array.iter
+    (fun b -> Alcotest.(check int) "all members share the batch" batch_ids.(0) b)
+    batch_ids;
+  (* flight records are per-request: own id, shared batch coordinates,
+     stage times scaled to the member's share of the batch *)
+  let records = Flight.records () in
+  Alcotest.(check int) "one flight record per request" (Array.length items)
+    (List.length records);
+  List.iter
+    (fun (r : Flight.record) ->
+      Alcotest.(check string) "flight outcome" "response" r.Flight.outcome;
+      Alcotest.(check int) "flight batch id" batch_ids.(0) r.Flight.batch_id;
+      Alcotest.(check int) "flight batch size" 4 r.Flight.batch_size;
+      Alcotest.(check bool) "per-request stage times" true
+        (List.exists (fun (_, us) -> us > 0.0) r.Flight.stages_us))
+    records;
+  let of_id id =
+    List.find (fun (r : Flight.record) -> r.Flight.id = id) records
+  in
+  let exec (r : Flight.record) = List.assoc "execute" r.Flight.stages_us in
+  (* members 1 (16 tiles) and 2 (8 tiles) have different tile shares of
+     the same mega-batch, so their scattered stage times must differ *)
+  let heavy = of_id (Serving.Frontend.request_id tickets.(1)) in
+  let light = of_id (Serving.Frontend.request_id tickets.(2)) in
+  Alcotest.(check bool) "stage times follow the tile share" true
+    (exec heavy > exec light)
+
 (* ---------------- flight recorder ---------------- *)
 
 let flight_record ~id ~outcome : Flight.record =
@@ -133,6 +216,8 @@ let flight_record ~id ~outcome : Flight.record =
     engine_misses = 0;
     arena_hits = 2;
     arena_misses = 1;
+    batch_id = 0;
+    batch_size = 1;
   }
 
 let test_flight_ring_bounded () =
@@ -281,6 +366,7 @@ let () =
           Alcotest.test_case "spans carry the id" `Quick test_spans_carry_request_id;
           Alcotest.test_case "chain through the front-end" `Quick
             test_request_chain_through_frontend;
+          Alcotest.test_case "scatter from a mega-batch" `Quick test_batched_scatter;
         ] );
       ( "flight",
         [
