@@ -229,6 +229,73 @@ awk -v on="$best_on" -v off="$best_off" 'BEGIN { exit (on <= off * 1.05) ? 0 : 1
   || { echo "ci: tracing overhead over budget (on=$best_on ns vs off=$best_off ns)" >&2; exit 1; }
 echo "ci: tracing overhead OK (best-of-3: on=$best_on ns, off=$best_off ns)" >&2
 
+echo "== cora bench-stream --autotune --smoke" >&2
+# Online schedule autotuning, serial then concurrent.  --smoke makes the
+# binary fail on any checksum that diverges bitwise from an untuned replay
+# (the tuner may only move data-axis loop structure); the JSON is then
+# re-checked here: no lost requests, at least one search that actually
+# beat the hand schedule, and a non-empty bounded memo.
+dune exec bin/cora_cli.exe -- bench-stream --exec --requests 200 --autotune --smoke \
+  > "$tmpdir/stream_autotune.txt"
+ajson=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_autotune.txt")
+test -n "$ajson" || { echo "ci: no BENCH_STREAM line (autotune)" >&2; exit 1; }
+echo "$ajson" | grep -q '"autotune":true' \
+  || { echo "ci: autotune run not labelled autotune=true" >&2; exit 1; }
+for field in rejected deadline_exceeded errors; do
+  n=$(echo "$ajson" | sed "s/.*\"$field\":\([0-9]*\).*/\1/")
+  awk -v n="$n" 'BEGIN { exit (n == 0) ? 0 : 1 }' \
+    || { echo "ci: $field=$n on an autotuned stream, expected 0" >&2; exit 1; }
+done
+wins=$(echo "$ajson" | sed 's/.*"autotune_tuned_wins":\([0-9]*\).*/\1/')
+awk -v w="$wins" 'BEGIN { exit (w >= 1) ? 0 : 1 }' \
+  || { echo "ci: autotune_tuned_wins=$wins, expected >= 1" >&2; exit 1; }
+entries=$(echo "$ajson" | sed 's/.*"autotune_memo_entries":\([0-9]*\).*/\1/')
+awk -v n="$entries" 'BEGIN { exit (n > 0) ? 0 : 1 }' \
+  || { echo "ci: autotune memo is empty after the replay" >&2; exit 1; }
+
+# Goodput regression budget: steady-state tuned serving must stay within
+# 0.95x of steady-state hand serving's host-side request rate.  Measured
+# on the model-only path (no --exec): goodput is host wall, and
+# interpreting a tuned multi-kernel schedule on the host costs real host
+# time by design — the tuner optimizes *modeled* device time, which
+# --smoke's replay and the autotune bench already verify strictly wins.
+# What this budget guards is the serving hot path itself: with the
+# decision baked into the job memo, a steady-state tuned request must
+# cost the same lookups a hand request does.  The pair comes from ONE
+# process (autotune_steady_*_rps: warmed hand and warmed tuned replays
+# timed back to back) because cross-process wall clocks in this
+# container drift by 2x between identical runs; best-of-3 ratios on top
+# of that absorbs what in-process jitter remains.
+best_ratio=0
+for i in 1 2 3; do
+  sjson=$(dune exec bin/cora_cli.exe -- bench-stream --requests 5000 --autotune --smoke \
+    | sed -n 's/^BENCH_STREAM //p')
+  sh=$(echo "$sjson" | sed 's/.*"autotune_steady_hand_rps":\([0-9.eE+-]*\).*/\1/')
+  st=$(echo "$sjson" | sed 's/.*"autotune_steady_tuned_rps":\([0-9.eE+-]*\).*/\1/')
+  r=$(awk -v t="$st" -v h="$sh" 'BEGIN { printf "%.4f", (h > 0) ? t / h : 0 }')
+  if awk -v r="$r" -v best="$best_ratio" 'BEGIN { exit (r > best) ? 0 : 1 }'; then best_ratio=$r; fi
+done
+awk -v r="$best_ratio" 'BEGIN { exit (r >= 0.95) ? 0 : 1 }' \
+  || { echo "ci: steady-state tuned/hand goodput ratio $best_ratio below 0.95" >&2; exit 1; }
+echo "ci: autotune goodput OK (best-of-3 steady-state tuned/hand ratio: $best_ratio)" >&2
+
+echo "== cora bench-stream --autotune --domains 4 --smoke" >&2
+# The same autotuned stream behind the concurrent front-end: cold-key
+# tunes may race across domains (benign — decisions are deterministic),
+# and --smoke keeps both bitwise checks (vs serial replay and vs untuned).
+dune exec bin/cora_cli.exe -- bench-stream --exec --autotune --domains 4 --smoke \
+  > "$tmpdir/stream_autotune_domains.txt"
+adjson=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_autotune_domains.txt")
+test -n "$adjson" || { echo "ci: no BENCH_STREAM line (autotune domains)" >&2; exit 1; }
+for field in rejected deadline_exceeded errors; do
+  n=$(echo "$adjson" | sed "s/.*\"$field\":\([0-9]*\).*/\1/")
+  awk -v n="$n" 'BEGIN { exit (n == 0) ? 0 : 1 }' \
+    || { echo "ci: $field=$n on the concurrent autotuned stream, expected 0" >&2; exit 1; }
+done
+tuned=$(echo "$adjson" | sed 's/.*"tuned_requests":\([0-9]*\).*/\1/')
+awk -v t="$tuned" 'BEGIN { exit (t > 0) ? 0 : 1 }' \
+  || { echo "ci: no request was ever served from a tuned schedule" >&2; exit 1; }
+
 echo "== flight recorder dump on deadline miss" >&2
 # An impossible deadline forces every request into Deadline_exceeded; the
 # front-end must auto-dump the flight ring into results/ as valid JSON.
@@ -241,5 +308,7 @@ grep -q '"reason":"deadline_exceeded"' "$flight" \
   || { echo "ci: $flight has no deadline_exceeded reason" >&2; exit 1; }
 grep -q '"outcome":"deadline_exceeded"' "$flight" \
   || { echo "ci: $flight records no deadline_exceeded outcome" >&2; exit 1; }
+# the dump was this step's fixture; don't leave it lying around the tree
+rm -f results/flight-*.json
 
 echo "ci: OK" >&2

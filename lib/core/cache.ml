@@ -2,26 +2,59 @@
 
 type 'v entry = { value : 'v; mutable touched : int }
 
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
 type ('k, 'v) t = {
   name : string;
   lock : Mutex.t;
   table : ('k, 'v entry) Hashtbl.t;
   mutable tick : int;  (** logical clock for recency, under [lock] *)
   mutable cap : int;
+  mutable hits : int;
+  mutable misses : int;
   mutable evicted : int;
   evicted_c : Obs.Metrics.counter;
 }
 
+(* One stats thunk per cache *name*, latest creation wins — so transient
+   per-test caches never accumulate and an exposition pass sees each memo
+   exactly once. *)
+let registry : (string, unit -> stats) Hashtbl.t = Hashtbl.create 8
+let registry_lock = Mutex.create ()
+
+let stats t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evicted; entries = Hashtbl.length t.table })
+
+let registered_stats () =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      Hashtbl.fold (fun name f acc -> (name, f ()) :: acc) registry []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
 let create ~name ~capacity () =
-  {
-    name;
-    lock = Mutex.create ();
-    table = Hashtbl.create 64;
-    tick = 0;
-    cap = max 1 capacity;
-    evicted = 0;
-    evicted_c = Obs.Metrics.counter (name ^ ".evicted");
-  }
+  let t =
+    {
+      name;
+      lock = Mutex.create ();
+      table = Hashtbl.create 64;
+      tick = 0;
+      cap = max 1 capacity;
+      hits = 0;
+      misses = 0;
+      evicted = 0;
+      evicted_c = Obs.Metrics.counter (name ^ ".evicted");
+    }
+  in
+  Mutex.lock registry_lock;
+  Hashtbl.replace registry name (fun () -> stats t);
+  Mutex.unlock registry_lock;
+  t
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -33,8 +66,11 @@ let find t k =
       | Some e ->
           t.tick <- t.tick + 1;
           e.touched <- t.tick;
+          t.hits <- t.hits + 1;
           Some e.value
-      | None -> None)
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
 
 (* Caller holds the lock.  O(size) scan: eviction happens once per insert
    beyond capacity, and the tables this backs hold at most a few hundred

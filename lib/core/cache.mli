@@ -20,9 +20,14 @@
 
 type ('k, 'v) t
 
+(** Point-in-time accounting of one cache: lookups that hit / missed
+    since creation, entries evicted, and the current entry count. *)
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
 (** [create ~name ~capacity ()] — an empty cache holding at most
     [capacity] entries (clamped to >= 1).  [name] prefixes the eviction
-    counter: [<name>.evicted]. *)
+    counter ([<name>.evicted]) and keys the {!registered_stats} registry
+    (latest creation under a name wins). *)
 val create : name:string -> capacity:int -> unit -> ('k, 'v) t
 
 (** Lookup; a hit refreshes the entry's recency. *)
@@ -43,3 +48,11 @@ val clear : ('k, 'v) t -> unit
 (** Evictions performed since creation (same count the
     [<name>.evicted] metric reports, read without the registry). *)
 val evictions : ('k, 'v) t -> int
+
+(** Hit/miss/eviction/entry accounting without scraping the metrics
+    registry — what {!Obs.Exposition} cache gauges are sampled from. *)
+val stats : ('k, 'v) t -> stats
+
+(** Stats of every live cache, one entry per cache name, sorted by name
+    (a name created twice reports the most recent instance). *)
+val registered_stats : unit -> (string * stats) list

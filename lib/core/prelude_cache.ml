@@ -27,10 +27,12 @@ let key ~(tables_sig : Sig.t) ~dedup_defs (defs : Prelude.def list) : Sig.t =
 let hit_c = Obs.Metrics.counter "prelude_cache.hit"
 let miss_c = Obs.Metrics.counter "prelude_cache.miss"
 
-let build_cached ~(tables_sig : Sig.t) ?(dedup_defs = true) (defs : Prelude.def list)
+let key_of ~(tables_sig : Sig.t) ?(dedup_defs = true) (defs : Prelude.def list) : Sig.t =
+  key ~tables_sig ~dedup_defs defs
+
+let build_keyed ~(key : Sig.t) ?(dedup_defs = true) (defs : unit -> Prelude.def list)
     (lenv : Lenfun.env) : Prelude.built * bool =
-  let k = key ~tables_sig ~dedup_defs defs in
-  match Cache.find cache k with
+  match Cache.find cache key with
   | Some b ->
       Obs.Metrics.incr hit_c;
       (b, true)
@@ -38,6 +40,10 @@ let build_cached ~(tables_sig : Sig.t) ?(dedup_defs = true) (defs : Prelude.def 
       Obs.Metrics.incr miss_c;
       (* built outside the cache lock: a slow build must not serialise
          concurrent requests hitting other keys *)
-      let b = Prelude.build ~dedup_defs defs lenv in
-      Cache.add cache k b;
+      let b = Prelude.build ~dedup_defs (defs ()) lenv in
+      Cache.add cache key b;
       (b, false)
+
+let build_cached ~(tables_sig : Sig.t) ?(dedup_defs = true) (defs : Prelude.def list)
+    (lenv : Lenfun.env) : Prelude.built * bool =
+  build_keyed ~key:(key ~tables_sig ~dedup_defs defs) ~dedup_defs (fun () -> defs) lenv

@@ -26,6 +26,21 @@ val build_cached :
   tables_sig:Sig.t -> ?dedup_defs:bool -> Prelude.def list -> Lenfun.env ->
   Prelude.built * bool
 
+(** The cache key {!build_cached} derives: canonical def-name set plus
+    [tables_sig].  Deriving it walks the def list; a caller serving
+    repeat shapes can compute it once and replay lookups through
+    {!build_keyed}. *)
+val key_of : tables_sig:Sig.t -> ?dedup_defs:bool -> Prelude.def list -> Sig.t
+
+(** [build_keyed ~key defs lenv] — {!build_cached} with the key already
+    derived ({!key_of}); [defs] is forced only on a miss, so a hit does
+    one bounded-cache lookup and nothing else.  The cache's LRU bound
+    still governs: an evicted entry rebuilds (and reports a miss) like
+    any other. *)
+val build_keyed :
+  key:Sig.t -> ?dedup_defs:bool -> (unit -> Prelude.def list) -> Lenfun.env ->
+  Prelude.built * bool
+
 (** Explicit invalidation: drop every cached build (for when length
     functions change identity rather than content). *)
 val clear : unit -> unit

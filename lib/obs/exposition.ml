@@ -181,3 +181,12 @@ let sample_gc_gauges () =
   Metrics.set (Metrics.gauge "runtime.gc.compactions") s.Gc.compactions;
   Metrics.set (Metrics.gauge "runtime.gc.heap_words") s.Gc.heap_words;
   Metrics.set (Metrics.gauge "runtime.gc.top_heap_words") s.Gc.top_heap_words
+
+(** Set the [cache.<name>.*] gauges for one memo table.  The values
+    arrive as plain ints ([Cora.Cache.stats] fields) because [lib/obs]
+    sits below the core library; the CLI samples every registered cache
+    through this at window boundaries. *)
+let set_cache_gauges ~name ~hits ~misses ~evictions ~entries =
+  List.iter
+    (fun (suffix, v) -> Metrics.set (Metrics.gauge ("cache." ^ name ^ "." ^ suffix)) v)
+    [ ("hits", hits); ("misses", misses); ("evictions", evictions); ("entries", entries) ]

@@ -16,3 +16,9 @@ val validate : string -> (int, string) result
 (** Set the [runtime.gc.*] gauges from [Gc.quick_stat]; called by the
     serving bench at window boundaries. *)
 val sample_gc_gauges : unit -> unit
+
+(** Set the [cache.<name>.{hits,misses,evictions,entries}] gauges for one
+    memo table (values from [Cora.Cache.stats], passed as plain ints —
+    this library sits below the core library). *)
+val set_cache_gauges :
+  name:string -> hits:int -> misses:int -> evictions:int -> entries:int -> unit

@@ -29,6 +29,7 @@ type record = {
   arena_misses : int;
   batch_id : int;  (** mega-batch this request was served in; 0 = unbatched *)
   batch_size : int;  (** requests in that mega-batch; 1 = served alone *)
+  tuner : string;  (** autotuner state ({!Serving.Server.response.tuner}); "" if unknown *)
 }
 
 let lock = Mutex.create ()
@@ -104,6 +105,7 @@ let record_json (r : record) =
       ("arena_misses", Json.Int r.arena_misses);
       ("batch_id", Json.Int r.batch_id);
       ("batch_size", Json.Int r.batch_size);
+      ("tuner", Json.String r.tuner);
     ]
 
 let to_json ?(reason = "snapshot") () =

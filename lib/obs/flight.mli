@@ -22,6 +22,9 @@ type record = {
           batch-former's [batch.run] span attribute); 0 when the request
           was served on its own, outside any batch *)
   batch_size : int;  (** number of requests in that mega-batch; 1 = alone *)
+  tuner : string;
+      (** autotuner state of the request ("off" / "miss" / "tuned" /
+          "hand"); "" when the request never produced a response *)
 }
 
 (** Append one record, overwriting the oldest when full. *)

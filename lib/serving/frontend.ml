@@ -128,6 +128,7 @@ let flight_of (r : request) ~(queue_wait_us : float) ?(batch_id = 0) ?(batch_siz
       arena_misses = 0;
       batch_id;
       batch_size;
+      tuner = "";
     }
   in
   match o with
@@ -143,6 +144,7 @@ let flight_of (r : request) ~(queue_wait_us : float) ?(batch_id = 0) ?(batch_siz
         engine_misses = resp.Server.engine_misses;
         arena_hits = resp.Server.arena_hits;
         arena_misses = resp.Server.arena_misses;
+        tuner = resp.Server.tuner;
       }
   | Overloaded | Deadline_exceeded _ | Error _ -> base
 

@@ -26,6 +26,12 @@ type response = {
   arena_hits : int;  (** arena acquisitions recycled / freshly allocated *)
   arena_misses : int;
   tables_hex : string;  (** hex raggedness signature of the batch ({!Cora.Sig.to_hex}) *)
+  tuner : string;
+      (** autotuner state of this request: ["off"] (tuning disabled or
+          workload not tunable), ["miss"] (hand schedule served, memo
+          warmed after the pipeline), ["tuned"] (memo hit, tuned schedule
+          served), ["hand"] (memo hit, search kept the hand schedule) *)
+  tune_us : float;  (** wall time of the post-pipeline tune; 0 unless ["miss"] *)
   stages_us : (string * float) list;
       (** wall-clock duration of each pipeline stage, in request order:
           [("compile", _); ("prelude", _); ("launch", _); ("execute", _)] *)
@@ -49,14 +55,26 @@ type t
     {!Cora.Runtime.Buffer.Arena} (power-of-two size classes, released
     after the response's output is unpacked), so a steady-state request
     stream allocates no fresh float arrays — watch [arena.hit] /
-    [arena.miss]. *)
+    [arena.miss].
+
+    [~autotune] enables the online schedule autotuner: requests for
+    workloads with a {!Workload.tunable} descriptor consult the tuner
+    memo (keyed by workload name, {!Cora.Sig.of_tables} over the length
+    tables, and [~opt]); a hit with a winning point serves the tuned
+    schedule, a miss serves the hand schedule and runs a budgeted
+    two-stage search after the response's pipeline completes — so tuning
+    never delays the response's own stages, and every response stays
+    bitwise-identical to an untuned replay (the candidate spaces only
+    move data-axis loop structure). *)
 val create :
   ?device:Machine.Device.t ->
   ?compile_cache:bool -> ?prelude_cache:bool -> ?execute:bool ->
-  ?engine:Cora.Exec.engine -> ?opt:Ir.Optimize.level -> unit -> t
+  ?engine:Cora.Exec.engine -> ?opt:Ir.Optimize.level ->
+  ?autotune:Autotune.Tuner.cfg -> unit -> t
 
 val compile_cache_enabled : t -> bool
 val prelude_cache_enabled : t -> bool
+val autotune_enabled : t -> bool
 val engine : t -> Cora.Exec.engine
 
 (** Optimization level [~execute:true] requests run at. *)
@@ -88,8 +106,8 @@ val handle :
   ?fill:(string -> int list -> float) ->
   t -> Workload.t -> int array -> response
 
-(** Drop all cache contents (compile memo, prelude builds, and the
-    compiled-kernel memo of the engine). *)
+(** Drop all cache contents (compile memo, prelude builds, the
+    compiled-kernel memo of the engine, and the tuner memo). *)
 val reset_caches : unit -> unit
 
 (** Deterministic input fill used for every tensor that is read but never

@@ -16,12 +16,55 @@ type batching = {
   split : int array list -> float array -> float array list;
 }
 
+type tunable = {
+  tables_of : int array -> (string * int array) list;
+  space : int array -> Autotune.Space.point list;
+  build_tuned : Autotune.Space.point -> int array -> job;
+}
+
+type cached_job = {
+  c_epoch : int;
+  c_job : job;
+  c_state : string;
+  c_variant : string;
+  c_sig : Sig.t;
+  c_pkey : Sig.t;
+}
+
 type t = {
   name : string;
   sample : Workloads.Rng.t -> int array;
   build : int array -> job;
   batching : batching option;
+  tunable : tunable option;
+  job_cache : (string, cached_job) Cache.t;
 }
+
+(* Per-instance memos (see the .mli note on why they must not be shared
+   across instances).  Capacity covers a serving pool's distinct shapes
+   times a handful of schedule variants.  Every instance's caches are
+   also registered process-wide so {!Server.reset_caches} can wipe them
+   — a test that derives a workload with an effectful [build] (e.g. a
+   gate or a deliberate raise) relies on the reset actually emptying the
+   job memo. *)
+let clearers : (unit -> unit) list ref = ref []
+let clearers_lock = Mutex.create ()
+
+let register_clearer c =
+  Mutex.lock clearers_lock;
+  clearers := (fun () -> Cache.clear c) :: !clearers;
+  Mutex.unlock clearers_lock
+
+let clear_caches () =
+  Mutex.lock clearers_lock;
+  let cs = !clearers in
+  Mutex.unlock clearers_lock;
+  List.iter (fun f -> f ()) cs
+
+let job_cache_of name =
+  let c = Cache.create ~name:("job_build." ^ name) ~capacity:64 () in
+  register_clearer c;
+  c
 
 (* The invariant every adapter maintains: the runtime environment is built
    from the tables and nothing else, so [Sig.of_tables tables] determines
@@ -81,31 +124,83 @@ let slice_rows ~(mega : float array) ~(inner_mega : int) ~(row_off : int)
 
 (* --- Fig. 1: O[b][j] = 2 * A[b][j], ragged j, padded + guarded --- *)
 
-let fig1 ?(batch = 6) ?(max_len = 10) () : t =
-  let build lens =
-    let batch = Array.length lens in
-    let bdim = Dim.make "b" and jdim = Dim.make "j" in
-    let lensf = Lenfun.make "lens" in
-    let extents = [ Shape.fixed batch; Shape.ragged ~dep:bdim ~fn:lensf ] in
-    let a = Tensor.create ~name:"A" ~dims:[ bdim; jdim ] ~extents in
-    let o = Tensor.create ~name:"O" ~dims:[ bdim; jdim ] ~extents in
-    let op =
-      Op.compute ~name:"double" ~out:o ~loop_extents:extents ~reads:[ a ] (fun idx ->
-          E.mul (E.float 2.0) (Op.access a idx))
-    in
-    let s = Schedule.create op in
-    Schedule.pad_loop s (Schedule.axis_of_dim s 1) 2;
-    Schedule.set_guard_mode s Schedule.Guard;
-    let k = Lower.lower s in
-    let tables = [ ("lens", lens) ] in
+(* One job per schedule-space point.  [point = None] is the hand schedule
+   (loop-pad j by 2, guarded, serial).  Every point keeps [Guard] mode and
+   touches only data axes, so the guarded stores cover exactly the valid
+   (b, j) pairs and the output is bitwise the hand schedule's. *)
+let fig1_job ?(point : Autotune.Space.point option) lens : job =
+  let batch = Array.length lens in
+  let bdim = Dim.make "b" and jdim = Dim.make "j" in
+  let lensf = Lenfun.make "lens" in
+  let extents = [ Shape.fixed batch; Shape.ragged ~dep:bdim ~fn:lensf ] in
+  let a = Tensor.create ~name:"A" ~dims:[ bdim; jdim ] ~extents in
+  let o = Tensor.create ~name:"O" ~dims:[ bdim; jdim ] ~extents in
+  let op =
+    Op.compute ~name:"double" ~out:o ~loop_extents:extents ~reads:[ a ] (fun idx ->
+        E.mul (E.float 2.0) (Op.access a idx))
+  in
+  let s = Schedule.create op in
+  Schedule.set_guard_mode s Schedule.Guard;
+  let b = Schedule.axis_of_dim s 0 and j = Schedule.axis_of_dim s 1 in
+  let tables = [ ("lens", lens) ] in
+  let mk kernels =
     {
-      kernels = [ k ];
-      launches = [ Machine.Launch.single k ];
+      kernels;
+      launches = List.map Machine.Launch.single kernels;
       tables;
       lenv = lenv_of_tables tables;
       out_name = o.Tensor.name;
     }
   in
+  match point with
+  | None ->
+      Schedule.pad_loop s j 2;
+      mk [ Lower.lower s ]
+  | Some p when p.Autotune.Space.fuse ->
+      (* fused ragged vloop over all (b, j) pairs, bulk-padded *)
+      let f = Schedule.fuse s b j in
+      if p.Autotune.Space.pad > 0 then Schedule.pad_loop s f p.Autotune.Space.pad;
+      (match p.Autotune.Space.split with
+      | 0 -> if p.Autotune.Space.grid then Schedule.bind_block s f
+      | t ->
+          let fo, fi = Schedule.split s f t in
+          if p.Autotune.Space.grid then begin
+            Schedule.bind_block s fo;
+            Schedule.bind_thread s fi
+          end);
+      mk [ Lower.lower s ]
+  | Some p when p.Autotune.Space.op_split ->
+      (* operation splitting: complete tiles unguarded, remainder peeled *)
+      let t = max 2 p.Autotune.Space.split in
+      let jo, ji = Schedule.split s j t in
+      if p.Autotune.Space.grid then begin
+        Schedule.bind_block s b;
+        Schedule.bind_block s jo;
+        Schedule.bind_thread s ji
+      end;
+      let main =
+        Lower.lower ~ranges:[ (j.Schedule.aid, Schedule.Tiles_only) ] ~name_suffix:"_main" s
+      in
+      let tail =
+        Lower.lower ~ranges:[ (j.Schedule.aid, Schedule.Tail_only) ] ~name_suffix:"_tail" s
+      in
+      mk [ main; tail ]
+  | Some p ->
+      (* nested ragged loops: pad / split / grid-bind the data axes *)
+      if p.Autotune.Space.pad > 0 then Schedule.pad_loop s j p.Autotune.Space.pad;
+      (match p.Autotune.Space.split with
+      | 0 -> if p.Autotune.Space.grid then Schedule.bind_block s b
+      | t ->
+          let _jo, ji = Schedule.split s j t in
+          if p.Autotune.Space.grid then begin
+            Schedule.bind_block s b;
+            Schedule.bind_block s _jo;
+            Schedule.bind_thread s ji
+          end);
+      mk [ Lower.lower s ]
+
+let fig1 ?(batch = 6) ?(max_len = 10) () : t =
+  let build lens = fig1_job lens in
   (* Batching: lens vectors concatenate along the leading batch dim;
      A/O are [B][j<len(b)], so both the fill localization and the output
      scatter are plain row arithmetic. *)
@@ -131,11 +226,36 @@ let fig1 ?(batch = 6) ?(max_len = 10) () : t =
     in
     { rows; merge; local_index; split }
   in
+  (* The search space walks every knob family: grid binding of the nested
+     loops, split factors with and without loop padding, the fused ragged
+     vloop, operation splitting, and a padding-only point.  The hand
+     schedule is the implicit baseline — it is simulated, never pruned. *)
+  let tunable =
+    {
+      tables_of = (fun lens -> [ ("lens", lens) ]);
+      space =
+        (fun _lens ->
+          Autotune.Space.
+            [
+              make ~grid:true ();
+              make ~grid:true ~split:4 ();
+              make ~grid:true ~split:4 ~pad:4 ();
+              make ~grid:true ~split:8 ~pad:8 ();
+              make ~grid:true ~fuse:true ~split:4 ~pad:4 ();
+              make ~grid:true ~fuse:true ~split:8 ~pad:8 ();
+              make ~grid:true ~op_split:true ~split:4 ();
+              make ~pad:1 ();
+            ]);
+      build_tuned = (fun p lens -> fig1_job ~point:p lens);
+    }
+  in
   {
     name = "fig1";
     sample = (fun rng -> Array.init batch (fun _ -> 1 + Workloads.Rng.int rng max_len));
     build;
     batching = Some batching;
+    tunable = Some tunable;
+    job_cache = job_cache_of "fig1";
   }
 
 (* --- Variable-sized batched gemm (§7.1) --- *)
@@ -143,16 +263,14 @@ let fig1 ?(batch = 6) ?(max_len = 10) () : t =
 let vgemm ?(batch = 4) ?(tile = 32)
     ?(dims_choices = Workloads.Vgemm_workload.dims_choices) () : t =
   let sample rng = Array.init (3 * batch) (fun _ -> Workloads.Rng.choose rng dims_choices) in
-  let build dims =
+  let segs dims =
     let batch = Array.length dims / 3 in
-    let w =
-      {
-        Workloads.Vgemm_workload.batch;
-        ms = Array.sub dims 0 batch;
-        ns = Array.sub dims batch batch;
-        ks = Array.sub dims (2 * batch) batch;
-      }
-    in
+    (Array.sub dims 0 batch, Array.sub dims batch batch, Array.sub dims (2 * batch) batch)
+  in
+  let job_of ~tile dims =
+    let batch = Array.length dims / 3 in
+    let ms, ns, ks = segs dims in
+    let w = { Workloads.Vgemm_workload.batch; ms; ns; ks } in
     let v = Matmul.Vgemm.build ~tile ~target:Matmul.Vgemm.Gpu w in
     let tables =
       [
@@ -169,6 +287,7 @@ let vgemm ?(batch = 4) ?(tile = 32)
       out_name = v.Matmul.Vgemm.c.Tensor.name;
     }
   in
+  let build dims = job_of ~tile dims in
   (* Batching: the raggedness vector is the 3-segment [ms @ ns @ ks], so
      merging un-interleaves the segments and re-concatenates each across
      members.  VA/VB/VC are dense-padded [B][rmax][cmax] with every
@@ -206,18 +325,49 @@ let vgemm ?(batch = 4) ?(tile = 32)
     in
     { rows; merge; local_index; split }
   in
-  { name = "vgemm"; sample; build; batching = Some batching }
+  (* Alternative tiles: the schedule elides guards, so a candidate tile is
+     admitted only when it divides every m and n of the batch — coverage
+     is then exactly the valid region and the output stays bitwise. *)
+  let tunable =
+    {
+      tables_of =
+        (fun dims ->
+          let ms, ns, ks = segs dims in
+          [ ("vm", ms); ("vn", ns); ("vk", ks) ]);
+      space =
+        (fun dims ->
+          let ms, ns, _ = segs dims in
+          let divides t =
+            Array.for_all (fun d -> d mod t = 0) ms && Array.for_all (fun d -> d mod t = 0) ns
+          in
+          List.filter_map
+            (fun t ->
+              if t <> tile && divides t then Some (Autotune.Space.make ~split:t ()) else None)
+            [ 4; 8; 16; 32 ]);
+      build_tuned =
+        (fun p dims -> job_of ~tile:(max 1 p.Autotune.Space.split) dims);
+    }
+  in
+  {
+    name = "vgemm";
+    sample;
+    build;
+    batching = Some batching;
+    tunable = Some tunable;
+    job_cache = job_cache_of "vgemm";
+  }
 
 (* --- Triangular matmul, split + balanced (§7.1) --- *)
 
 let trmm ?(tile = 16) ?(sizes = [| 32; 48; 64 |]) () : t =
   let sample rng = [| Workloads.Rng.choose rng sizes |] in
-  let build lens =
+  let tri_table n = Array.init n (fun r -> min (r + 1) n) in
+  let job_of ~variant lens =
     let n = lens.(0) in
-    let tm = Matmul.Trmm.build ~tile ~variant:Matmul.Trmm.Split_balanced ~n () in
+    let tm = Matmul.Trmm.build ~tile ~variant ~n () in
     (* The closed-form [tri] materialised as a table: same values the
        kernels see, but now hashable as a raggedness signature. *)
-    let tables = [ ("tri", Array.init n (fun r -> min (r + 1) n)) ] in
+    let tables = [ ("tri", tri_table n) ] in
     {
       kernels = tm.Matmul.Trmm.kernels;
       (* main + tail are a reduction split: racy under h-fusion, so they
@@ -228,9 +378,34 @@ let trmm ?(tile = 16) ?(sizes = [| 32; 48; 64 |]) () : t =
       out_name = tm.Matmul.Trmm.c.Tensor.name;
     }
   in
+  let build lens = job_of ~variant:Matmul.Trmm.Split_balanced lens in
+  (* Near-trivial space: the hand schedule is already the paper's best
+     variant, so the one candidate (the unsplit ablation — same reduction
+     order, hence bitwise) exercises the tuner's "keep hand" path. *)
+  let tunable =
+    {
+      tables_of = (fun lens -> [ ("tri", tri_table lens.(0)) ]);
+      space = (fun _ -> [ Autotune.Space.make ~aux:[ ("unsplit", 1) ] () ]);
+      build_tuned =
+        (fun p lens ->
+          let variant =
+            if Autotune.Space.aux_get p "unsplit" ~default:0 = 1 then
+              Matmul.Trmm.Unsplit_unbalanced
+            else Matmul.Trmm.Split_balanced
+          in
+          job_of ~variant lens);
+    }
+  in
   (* trmm has no batch dimension to concatenate along — one request is one
      triangular instance — so the batcher serves it as singletons. *)
-  { name = "trmm"; sample; build; batching = None }
+  {
+    name = "trmm";
+    sample;
+    build;
+    batching = None;
+    tunable = Some tunable;
+    job_cache = job_cache_of "trmm";
+  }
 
 (* --- Transformer encoder layer (§7.2) --- *)
 
@@ -239,9 +414,9 @@ let encoder ?(base = false) ?(batch = 4) ~(dataset : Workloads.Datasets.t) () : 
     let seed = Workloads.Rng.int rng 1_000_000 in
     Workloads.Datasets.sample_sorted dataset ~batch ~seed
   in
-  let build lens =
+  let job_of ?jtile ?ftile lens =
     let cfg = (if base then Transformer.Config.base else Transformer.Config.tiny) ~lens in
-    let b = Transformer.Builder.build ~target:Transformer.Builder.Gpu cfg in
+    let b = Transformer.Builder.build ?jtile ?ftile ~target:Transformer.Builder.Gpu cfg in
     let tables = [ ("seq", lens) ] in
     {
       kernels = Transformer.Builder.kernels b;
@@ -251,6 +426,7 @@ let encoder ?(base = false) ?(batch = 4) ~(dataset : Workloads.Datasets.t) () : 
       out_name = b.Transformer.Builder.tensors.Transformer.Builder.out.Tensor.name;
     }
   in
+  let build lens = job_of lens in
   (* Batching: sequences concatenate along the leading batch dim.  Every
      per-row computation (projections, attention, softmax, layernorm) is
      row-local, the weight tensors carry no batch dimension (identical in
@@ -281,7 +457,47 @@ let encoder ?(base = false) ?(batch = 4) ~(dataset : Workloads.Datasets.t) () : 
     in
     { rows; merge; local_index; split }
   in
-  { name = "encoder"; sample; build; batching = Some batching }
+  (* The gemm tile knobs from Builder: [jtile] tiles the dense feature
+     loop (must divide hidden / 3*hidden / ff — true for both configs'
+     candidates below), [ftile] tiles the fused bulk-padded token loop
+     (must divide [cfg.bulk] so coverage is unchanged).  Either way only
+     data-axis loop structure moves, so outputs stay bitwise. *)
+  let tunable =
+    let space_points =
+      if base then
+        Autotune.Space.
+          [
+            make ~aux:[ ("jtile", 256) ] ();
+            make ~aux:[ ("jtile", 64) ] ();
+            make ~aux:[ ("jtile", 256); ("ftile", 32) ] ();
+          ]
+      else
+        Autotune.Space.
+          [
+            make ~aux:[ ("jtile", 16) ] ();
+            make ~aux:[ ("jtile", 16); ("ftile", 4) ] ();
+            make ~aux:[ ("jtile", 4) ] ();
+          ]
+    in
+    {
+      tables_of = (fun lens -> [ ("seq", lens) ]);
+      space = (fun _ -> space_points);
+      build_tuned =
+        (fun p lens ->
+          let jtile = Autotune.Space.aux_get p "jtile" ~default:0 in
+          let ftile = Autotune.Space.aux_get p "ftile" ~default:0 in
+          let opt v = if v > 0 then Some v else None in
+          job_of ?jtile:(opt jtile) ?ftile:(opt ftile) lens);
+    }
+  in
+  {
+    name = "encoder";
+    sample;
+    build;
+    batching = Some batching;
+    tunable = Some tunable;
+    job_cache = job_cache_of "encoder";
+  }
 
 let by_name ?(dataset = Workloads.Datasets.squad) = function
   | "fig1" -> fig1 ()

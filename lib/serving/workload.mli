@@ -49,6 +49,49 @@ type batching = {
           member, each bitwise equal to the member's solo output *)
 }
 
+(** The schedule-autotuning descriptor: what the online tuner
+    ({!Autotune.Tuner}) may search for this workload.
+
+    The bitwise contract: every point in [space] must produce a job whose
+    unpacked output equals [build]'s bitwise — candidates may only move
+    data-axis loop structure (splits, fusion, loop padding, grid binding,
+    guard-elision where coverage provably stays exact), never reduction
+    order or storage layout.  Adapters enforce this by construction (e.g.
+    vgemm only admits tiles dividing every [m]/[n] because its schedule
+    elides guards). *)
+type tunable = {
+  tables_of : int array -> (string * int array) list;
+      (** the job's length tables without compiling it — with the
+          workload name and opt level, this keys the tuner memo
+          ([Sig.of_tables]) so a lookup costs no lowering *)
+  space : int array -> Autotune.Space.point list;
+      (** candidate schedule points for this raggedness vector (may
+          depend on it, e.g. divisibility filters); the hand schedule is
+          the implicit baseline and is never pruned *)
+  build_tuned : Autotune.Space.point -> int array -> job;
+      (** compile the job at one candidate point *)
+}
+
+(** One memoized serving decision: the built job, the tuner verdict that
+    produced it, and the request-invariant key derivations a repeat
+    request would otherwise recompute — the tables' raggedness signature
+    and the prelude-cache key.  A hit replays the whole compile+prelude
+    front of the pipeline with two bounded-cache lookups and no [Sig] or
+    def-list work.  Deliberately {e not} the built prelude itself: the
+    prelude cache's LRU bound must keep governing prelude memory, so an
+    evicted prelude rebuilds even on a job-memo hit.  [c_epoch] is
+    {!Autotune.Tuner.epoch} at insertion time — autotuned entries are
+    ignored after a {!Autotune.Tuner.clear}, so the Sig-keyed tuner memo
+    stays the source of truth. *)
+type cached_job = {
+  c_epoch : int;
+  c_job : job;
+  c_state : string;  (** tuner state to report: ["off"], ["hand"], ["tuned"] *)
+  c_variant : string;  (** schedule variant label for the launch-model key *)
+  c_sig : Cora.Sig.t;  (** [Sig.of_tables c_job.tables], precomputed *)
+  c_pkey : Cora.Sig.t;  (** {!Cora.Prelude_cache.key_of}, precomputed *)
+}
+
 type t = {
   name : string;
   sample : Workloads.Rng.t -> int array;
@@ -56,7 +99,30 @@ type t = {
   build : int array -> job;  (** compile the job for that vector *)
   batching : batching option;
       (** [None] (e.g. trmm) — the batcher serves requests as singletons *)
+  tunable : tunable option;
+      (** [None] — the tuner always serves the hand schedule *)
+  job_cache : (string, cached_job) Cora.Cache.t;
+      (** per-instance memo of built jobs with their tuner decision baked
+          in, keyed by (serving mode, raggedness vector) — mode-prefixed
+          (["hand"] vs ["auto|<opt>"]) because the tuner's choice depends
+          on the opt level while the hand build does not.  A repeat
+          request skips job construction, the per-kernel [Sig]
+          computation a compile-memo hit still pays, *and* the tuner-memo
+          key derivation: steady-state autotuned serving does exactly one
+          lookup, same as hand serving.  Per instance, because [build]
+          closes over this value's configuration: two workloads with the
+          same name but different configurations can never collide.
+          Consulted by {!Server.handle} only when its compile cache is
+          enabled, so a cache-bypassed differential replay rebuilds from
+          scratch. *)
 }
+
+(** Empty every instance's [job_cache], across all workloads ever
+    constructed in this process.  Called by {!Server.reset_caches}: a
+    reset must leave no memoized jobs behind, or a workload derived with
+    an effectful [build] (tests do this to gate or fail a worker) would
+    have its build skipped. *)
+val clear_caches : unit -> unit
 
 (** Fig. 1 of the paper: [O\[b\]\[j\] = 2 * A\[b\]\[j\]] with ragged [j],
     loop-padded and guarded.  Raggedness vector = the row lengths. *)

@@ -124,15 +124,17 @@ let all_tensors t =
 (* Schedules                                                           *)
 
 (** Schedule a fused-token gemm ([out\[b,l,j\] = Σ_k ...]): fuse (batch, len)
-    with bulk padding, tile the fused loop by [bulk] and the output feature
-    dim by [jtile]. *)
-let gemm_schedule (cfg : Config.t) ~target ~eff ~jtile op =
+    with bulk padding, tile the fused loop by [ftile] (default [bulk]) and
+    the output feature dim by [jtile].  [ftile] must divide [bulk] so the
+    tiled fused loop covers exactly the bulk-padded token range. *)
+let gemm_schedule ?ftile (cfg : Config.t) ~target ~eff ~jtile op =
+  let ftile = match ftile with Some t -> t | None -> cfg.Config.bulk in
   let s = Schedule.create op in
   Schedule.set_guard_mode s Schedule.Elide;
   Schedule.set_eff s eff;
   let f = Schedule.fuse s (Schedule.axis_of_dim s 0) (Schedule.axis_of_dim s 1) in
   Schedule.pad_loop s f cfg.Config.bulk;
-  let fo, fi = Schedule.split s f cfg.Config.bulk in
+  let fo, fi = Schedule.split s f ftile in
   let jo, ji = Schedule.split s (Schedule.axis_of_dim s 2) jtile in
   let k = Schedule.axis_of_rdim s 0 in
   Schedule.reorder s [ fo; jo; fi; ji; k ];
@@ -184,12 +186,12 @@ let mha_launches b = List.map Machine.Launch.single (mha_kernels b)
 (* Feature-dimension tile: large models tile by 128, tiny test models by 8. *)
 let jtile_for cfg = if cfg.Config.hidden >= 128 then 128 else 8
 
-let build ?(hoist = true) ~(target : target) (cfg : Config.t) : built =
+let build ?(hoist = true) ?jtile ?ftile ~(target : target) (cfg : Config.t) : built =
   let t = make_tensors cfg in
   let h = cfg.Config.hidden and nh = cfg.Config.heads and dh = cfg.Config.head_size in
   let ff = cfg.Config.ff in
   let effs = effs_of target in
-  let jtile = jtile_for cfg in
+  let jtile = match jtile with Some j -> j | None -> jtile_for cfg in
   let nth = List.nth in
 
   (* --- 1. QKV projection: qkv[b,l,j] = bqkv[j] + Σ_k in[b,l,k]·wqkv[j,k] --- *)
@@ -211,7 +213,7 @@ let build ?(hoist = true) ~(target : target) (cfg : Config.t) : built =
           (Op.access t.in_t [ nth idx 0; nth idx 1; nth ridx 0 ])
           (Op.access t.wqkv [ nth idx 2; nth ridx 0 ]))
   in
-  let qkv_proj = Lower.lower (gemm_schedule cfg ~target ~eff:effs.gemm ~jtile op_qkv) in
+  let qkv_proj = Lower.lower (gemm_schedule ?ftile cfg ~target ~eff:effs.gemm ~jtile op_qkv) in
 
   (* --- 2. QK^T with fused AddPad: predicated loads add the partial padding
          (zeros) without a separate kernel --- *)
@@ -344,7 +346,7 @@ let build ?(hoist = true) ~(target : target) (cfg : Config.t) : built =
              [ nth idx 0; nth idx 1; E.floordiv k (E.int dh); E.imod k (E.int dh) ])
           (Op.access t.w2 [ nth idx 2; k ]))
   in
-  let proj2 = Lower.lower (gemm_schedule cfg ~target ~eff:effs.gemm ~jtile op_proj2) in
+  let proj2 = Lower.lower (gemm_schedule ?ftile cfg ~target ~eff:effs.gemm ~jtile op_proj2) in
 
   (* --- 6. LayerNorm --- *)
   let norm1 =
@@ -372,7 +374,7 @@ let build ?(hoist = true) ~(target : target) (cfg : Config.t) : built =
           (Op.access t.ln1 [ nth idx 0; nth idx 1; nth ridx 0 ])
           (Op.access t.wf1 [ nth idx 2; nth ridx 0 ]))
   in
-  let ff1 = Lower.lower (gemm_schedule cfg ~target ~eff:effs.gemm ~jtile op_ff1) in
+  let ff1 = Lower.lower (gemm_schedule ?ftile cfg ~target ~eff:effs.gemm ~jtile op_ff1) in
 
   (* --- 8. FF2 with fused bias + residual --- *)
   let op_ff2 =
@@ -394,7 +396,7 @@ let build ?(hoist = true) ~(target : target) (cfg : Config.t) : built =
           (Op.access t.f1 [ nth idx 0; nth idx 1; nth ridx 0 ])
           (Op.access t.wf2 [ nth idx 2; nth ridx 0 ]))
   in
-  let ff2 = Lower.lower (gemm_schedule cfg ~target ~eff:effs.gemm ~jtile op_ff2) in
+  let ff2 = Lower.lower (gemm_schedule ?ftile cfg ~target ~eff:effs.gemm ~jtile op_ff2) in
 
   (* --- 9. Final LayerNorm (FF2 output already holds the residual) --- *)
   let norm2 =

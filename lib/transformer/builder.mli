@@ -52,8 +52,11 @@ val dense_tensor : string -> int list -> Cora.Tensor.t
 val make_tensors : Config.t -> tensors
 val all_tensors : tensors -> Cora.Tensor.t list
 
-(** Fused-token gemm schedule (shared by QKV / Proj2 / FF1 / FF2). *)
+(** Fused-token gemm schedule (shared by QKV / Proj2 / FF1 / FF2).
+    [?ftile] tiles the fused token loop (default [cfg.bulk]; must divide
+    [cfg.bulk] so coverage of the bulk-padded range is unchanged). *)
 val gemm_schedule :
+  ?ftile:int ->
   Config.t -> target:target -> eff:float -> jtile:int -> Cora.Op.t -> Cora.Schedule.t
 
 val gelu : Ir.Expr.t -> Ir.Expr.t
@@ -83,5 +86,10 @@ val launches : built -> Machine.Launch.t list
 val mha_launches : built -> Machine.Launch.t list
 val jtile_for : Config.t -> int
 
-(** Compile the whole layer; [hoist] controls auxiliary-load hoisting. *)
-val build : ?hoist:bool -> target:target -> Config.t -> built
+(** Compile the whole layer; [hoist] controls auxiliary-load hoisting.
+    [?jtile]/[?ftile] override the gemm schedules' feature and fused-token
+    tiles (defaults: {!jtile_for} and [cfg.bulk]) — the knobs the schedule
+    autotuner searches over.  Outputs are bitwise-identical for any legal
+    tile choice: only data-axis loop structure changes, never the
+    reduction order or the storage layout. *)
+val build : ?hoist:bool -> ?jtile:int -> ?ftile:int -> target:target -> Config.t -> built

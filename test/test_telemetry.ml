@@ -218,6 +218,7 @@ let flight_record ~id ~outcome : Flight.record =
     arena_misses = 1;
     batch_id = 0;
     batch_size = 1;
+    tuner = "off";
   }
 
 let test_flight_ring_bounded () =
