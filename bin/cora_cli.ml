@@ -460,7 +460,8 @@ let bench_stream_cmd =
       & info [ "opt" ]
           ~doc:
             "Optimization level for --engine compiled: 0 (none, counter-exact interpreter \
-             parity), 1 (+LICM, strength reduction), 2 (+fused microkernels).  Outputs are \
+             parity), 1 (+LICM, strength reduction), 2 (+fused microkernels), 3 \
+             (+stride-specialized register-tiled microkernel variants).  Outputs are \
              bitwise-identical at every level.")
   in
   let autotune_flag =
@@ -768,6 +769,15 @@ let bench_stream_cmd =
       if total_ns > 0.0 then float_of_int n_ok /. (total_ns /. 1e9) else 0.0
     in
     let goodput_rps = if wall_ns > 0.0 then float_of_int n_ok /. (wall_ns /. 1e9) else 0.0 in
+    (* order-independent bitwise digest of every served output: XOR of the
+       per-request checksum bit patterns.  Lets CI compare two whole runs
+       (e.g. --opt 3 vs --opt 0) for bitwise equality across processes
+       without shipping the outputs; all-zero without --exec *)
+    let stream_checksum =
+      List.fold_left
+        (fun acc r -> Int64.logxor acc (Int64.bits_of_float r.Serving.Server.checksum))
+        0L responses
+    in
     let sum f = List.fold_left (fun acc r -> acc + f r) 0 responses in
     let c_hits = sum (fun r -> r.Serving.Server.compile_hits)
     and c_misses = sum (fun r -> r.Serving.Server.compile_misses) in
@@ -958,6 +968,7 @@ let bench_stream_cmd =
           ("wall_ns", Obs.Json.Float wall_ns);
           ("scalar_ops", Obs.Json.Int scalar_ops);
           ("scalar_ops_per_sec", Obs.Json.Float scalar_ops_per_sec);
+          ("stream_checksum", Obs.Json.String (Printf.sprintf "%016Lx" stream_checksum));
           ("arena_hits", Obs.Json.Int (Obs.Metrics.value (Obs.Metrics.counter "arena.hit")));
           ("arena_misses", Obs.Json.Int (arena_miss_now ()));
           ( "window_arena_miss",

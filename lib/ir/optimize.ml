@@ -2,11 +2,11 @@
    hoisting here is the paper's §D.7 generalized from auxiliary-structure
    reads to all loop-invariant ragged-offset arithmetic. *)
 
-type level = O0 | O1 | O2
+type level = O0 | O1 | O2 | O3
 
-let level_of_int = function 0 -> O0 | 1 -> O1 | _ -> O2
-let int_of_level = function O0 -> 0 | O1 -> 1 | O2 -> 2
-let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
+let level_of_int = function 0 -> O0 | 1 -> O1 | 2 -> O2 | _ -> O3
+let int_of_level = function O0 -> 0 | O1 -> 1 | O2 -> 2 | O3 -> 3
+let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3"
 
 type report = { hoisted : int }
 
@@ -163,13 +163,91 @@ let licm (stmt : Stmt.t) : Stmt.t * report =
   (s, { hoisted = !hoisted })
 
 (* ------------------------------------------------------------------ *)
+(* Division-identity elimination (opt >= 3): inside a flattened sum,
+   [(e fdiv c) * c + (e mod c)] is exactly [e] — the IR's floored
+   div/mod form a division-algorithm pair (a = q*b + r for any literal
+   c <> 0), so the rewrite is value-exact for all integers.  Lowered
+   gather indices through padded layouts produce these pairs
+   ([(k/8)*8 + k%8] when the gather is the identity at this tile size);
+   eliminating them is what exposes an affine stride to
+   [classify_stride] / [classify_nest], so it runs as the first [O3]
+   pass.  Dropping the pair evaluates [e] once where the original
+   evaluated it twice — same fault behaviour (it is still evaluated),
+   counter divergence covered by the documented O1+ rule. *)
+let divmod_elim (stmt : Stmt.t) : Stmt.t * report =
+  let eliminated = ref 0 in
+  let rec terms (e : Expr.t) =
+    match e with Expr.Binop (Expr.Add, a, b) -> terms a @ terms b | e -> [ e ]
+  in
+  let matches_mul de c (t : Expr.t) =
+    match t with
+    | Expr.Binop (Expr.Mul, Expr.Binop (Expr.FloorDiv, de', Expr.Int c'), Expr.Int c'')
+    | Expr.Binop (Expr.Mul, Expr.Int c'', Expr.Binop (Expr.FloorDiv, de', Expr.Int c')) ->
+        c' = c && c'' = c && de' = de
+    | _ -> false
+  in
+  (* find one [mod] term with a matching [div*c] term: replace the first
+     such mul term by [de], drop the mod term, keep every other term in
+     place (integer addition is associative and commutative, and these
+     terms are pure integer arithmetic over already-evaluated values) *)
+  let rec pair_one pre = function
+    | [] -> None
+    | (Expr.Binop (Expr.Mod, de, Expr.Int c) as t) :: rest when c <> 0 ->
+        let replaced = ref false in
+        let sub l =
+          List.map
+            (fun t' ->
+              if (not !replaced) && matches_mul de c t' then begin
+                replaced := true;
+                de
+              end
+              else t')
+            l
+        in
+        let pre' = sub pre in
+        let rest' = if !replaced then rest else sub rest in
+        if !replaced then Some (List.rev_append (List.rev pre') rest')
+        else pair_one (pre @ [ t ]) rest
+    | t :: rest -> pair_one (pre @ [ t ]) rest
+  in
+  let rewrite_node (e : Expr.t) =
+    match e with
+    | Expr.Binop (Expr.Add, _, _) -> (
+        let here = ref 0 in
+        let rec fix ts =
+          match pair_one [] ts with
+          | Some ts' ->
+              incr here;
+              fix ts'
+          | None -> ts
+        in
+        let ts = fix (terms e) in
+        if !here = 0 then e
+        else begin
+          eliminated := !eliminated + !here;
+          match ts with
+          | [] -> Expr.zero
+          | t :: rest -> List.fold_left (fun acc x -> Expr.Binop (Expr.Add, acc, x)) t rest
+        end)
+    | e -> e
+  in
+  let s = Stmt.map_exprs (Expr.map_bottom_up rewrite_node) stmt in
+  Obs.Metrics.add (Obs.Metrics.counter "optimize.divmod_eliminated") !eliminated;
+  (s, { hoisted = 0 })
+
+(* ------------------------------------------------------------------ *)
 (* Pass framework: each pass runs under an [optimize.<name>] span and
    accounts what it did in the metrics registry. *)
 
 type pass = { pname : string; prun : Stmt.t -> Stmt.t * report }
 
 let licm_pass = { pname = "licm"; prun = licm }
-let passes = function O0 -> [] | O1 | O2 -> [ licm_pass ]
+let divmod_pass = { pname = "divmod"; prun = divmod_elim }
+
+let passes = function
+  | O0 -> []
+  | O1 | O2 -> [ licm_pass ]
+  | O3 -> [ divmod_pass; licm_pass ]
 
 let run ~level (stmt : Stmt.t) : Stmt.t * report =
   List.fold_left
@@ -215,6 +293,33 @@ let rec affine_in v (e : Expr.t) : affine option =
         | Some x -> Some { base = Expr.mul x.base b; stride = Expr.mul x.stride b }
         | None -> None)
     | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time stride classification (opt >= 3 variant selection).
+   Conservative integer constant folding: anything that does not fold to
+   a literal is a dynamic stride, which the engine must evaluate at
+   block-entry time and drive with a strided kernel. *)
+
+let rec const_of (e : Expr.t) : int option =
+  match e with
+  | Expr.Int n -> Some n
+  | Expr.Binop (op, a, b) -> (
+      match (const_of a, const_of b) with
+      | Some x, Some y -> (
+          match op with
+          | Expr.Add -> Some (x + y)
+          | Expr.Sub -> Some (x - y)
+          | Expr.Mul -> Some (x * y)
+          | Expr.Min -> Some (min x y)
+          | Expr.Max -> Some (max x y)
+          | Expr.FloorDiv | Expr.Mod | Expr.Div -> None)
+      | _ -> None)
+  | _ -> None
+
+type stride_class = S_unit | S_const of int | S_dyn
+
+let classify_stride (ax : affine) : stride_class =
+  match const_of ax.stride with Some 1 -> S_unit | Some n -> S_const n | None -> S_dyn
 
 (* ------------------------------------------------------------------ *)
 (* Innermost-loop classification *)
@@ -266,3 +371,225 @@ let classify_inner ~var (body : Stmt.t) : inner option =
               | None -> None)
           | _ -> None))
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Two-deep nest classification (opt >= 3): a loop over [var] whose body
+   is a serial dot loop sweeping a distinct destination element per
+   [var] iteration — the register-tilable gemm/attention shape.  One
+   multiplicand's whole address is [var]-invariant (the shared operand,
+   loadable once per reduction step for the whole tile); the other's
+   reduction stride is [var]-invariant while its base advances affinely
+   with [var].
+
+   Lowered kernels do not present the dot loop bare.  The tile-var body
+   is, in full generality,
+
+     [If (guard) { dst[i] = init; let hv = ...;
+                   for k { dst[i] += mask ? a[..] * b[..] : 0. };
+                   dst[i] = epi }]
+
+   — a raggedness guard, the accumulator's init store (a bias row, or a
+   literal zero), LICM preheader bindings, a Select mask inside the
+   reduction (raggedness masking without a branchy loop bound), and an
+   optional epilogue store rewriting the finished cell (a scale, an
+   activation).  The classifier peels all of these: pure-integer
+   [Let_stmt] bindings are inlined so affine decomposition in [var] sees
+   through preheader variables; the guard and the [var]-wise mask
+   conjuncts are kept for per-iteration evaluation by the engine; a mask
+   conjunct of the shape [kvar < bound] becomes an effective reduction
+   length; init and epilogue are kept only when they address exactly the
+   dot's own cell.  Sum reductions only — the tile's accumulator chains
+   must be independent. *)
+
+type nest =
+  | Tiled_dot of {
+      dst : Var.t;
+      dst_ix : affine;  (** destination index, affine in the tile var *)
+      guard : Expr.t option;
+          (** raggedness guard, pure, evaluated per tile-var value *)
+      init : Expr.t option;
+          (** init-store value for the dot's cell, evaluated per tile-var
+              value; [None] means accumulate into the existing cell *)
+      init_bufs : Var.t list;
+          (** buffers the init value loads from (beyond the cell itself) —
+              the engine falls back if any aliases the destination *)
+      epi : Stmt.t option;
+          (** epilogue store rewriting the finished cell, run per
+              tile-var value after its chain completes *)
+      epi_bufs : Var.t list;  (** like [init_bufs], for the epilogue *)
+      vmask : Expr.t option;
+          (** inner-var-invariant mask conjuncts, pure, evaluated per
+              tile-var value; false means the chain only accumulates
+              zeros *)
+      kbound : Expr.t option;
+          (** mask conjunct [kvar < kbound] (tile-var-invariant): real
+              products stop there, the rest of the chain adds zeros *)
+      kmin : Expr.t;  (** inner loop bounds, tile-var-invariant *)
+      kext : Expr.t;
+      shared : Var.t;
+      shared_ix : affine;  (** affine in the inner var; tile-var-invariant *)
+      shared_left : bool;  (** shared operand is the left multiplicand *)
+      moving : Var.t;
+      moving_kstride : Expr.t;  (** inner-var stride, tile-var-invariant *)
+      moving_jbase : affine;  (** inner-var base, as affine in the tile var *)
+    }
+
+(* Peelable binding / movable condition: pure arithmetic over any
+   variables (no loads, no float ops, no faulting division), so inlining
+   it — or evaluating it a different number of times — cannot fault or
+   perturb the float stream. *)
+let int_pure_open e = int_pure (Expr.free_vars e) e
+let bool_pure_open e = bool_pure (Expr.free_vars e) e
+
+exception Not_nest
+
+(* Buffers an expression loads from, except reads of [dst]'s own cell
+   [dst_idx]; raises if [dst] is read at any other index (the engine
+   could not preserve evaluation order for those). *)
+let cell_local_bufs ~dst ~dst_idx ~sub e : Var.t list =
+  Expr.fold
+    (fun acc n ->
+      match n with
+      | Expr.Load { buf; index } ->
+          if Var.equal buf dst then
+            if sub index = dst_idx then acc else raise Not_nest
+          else buf :: acc
+      | _ -> acc)
+    [] e
+
+let rec conjuncts c =
+  match c with Expr.And (a, b) -> conjuncts a @ conjuncts b | c -> [ c ]
+
+let classify_nest ~var (body : Stmt.t) : nest option =
+  try
+    let guard, core =
+      match body with Stmt.If (c, t, None) -> (Some c, t) | s -> (None, s)
+    in
+    (match guard with
+    | Some g when not (bool_pure_open g) -> raise Not_nest
+    | _ -> ());
+    let rec peel m s =
+      match s with
+      | Stmt.Let_stmt (v, e, b) ->
+          let e = Expr.subst m e in
+          if int_pure_open e then peel (Var.Map.add v e m) b else (m, s)
+      | _ -> (m, s)
+    in
+    let m, core = peel Var.Map.empty core in
+    let init_store, core, epi_stmt =
+      match core with
+      | Stmt.Seq [ (Stmt.Store _ as i); mid ] -> (Some i, mid, None)
+      | Stmt.Seq [ (Stmt.Store _ as i); mid; (Stmt.Store _ as e) ] -> (Some i, mid, Some e)
+      | s -> (None, s, None)
+    in
+    let m, core = peel m core in
+    let sub e = Expr.subst m e in
+    match core with
+    | Stmt.For { var = kvar; min = kmin; extent = kext; kind = Stmt.Serial; body = kb }
+      when (not (Expr.uses_var var (sub kmin))) && not (Expr.uses_var var (sub kext)) -> (
+        match kb with
+        | Stmt.Reduce_store { buf = dst; index = dst_idx; value; op = Stmt.Sum }
+          when not (Expr.uses_var kvar dst_idx) -> (
+            let a, ia, b, ib, mask =
+              match value with
+              | Expr.Binop
+                  (Expr.Mul, Expr.Load { buf = a; index = ia }, Expr.Load { buf = b; index = ib })
+                ->
+                  (a, ia, b, ib, None)
+              (* masked dot: the false branch must be a literal +0.0 —
+                 adding it never changes the accumulator except to clear a
+                 negative zero, which the engine reproduces *)
+              | Expr.Select
+                  ( cond,
+                    Expr.Binop
+                      ( Expr.Mul,
+                        Expr.Load { buf = a; index = ia },
+                        Expr.Load { buf = b; index = ib } ),
+                    Expr.Float z )
+                when Int64.equal (Int64.bits_of_float z) 0L ->
+                  (a, ia, b, ib, Some (sub cond))
+              | _ -> raise Not_nest
+            in
+            (* split the mask into inner-var-invariant conjuncts and at
+               most one [kvar < bound] threshold; anything else rejects *)
+            let vmask, kbound =
+              match mask with
+              | None -> (None, None)
+              | Some cond ->
+                  let vm, kb =
+                    List.fold_left
+                      (fun (vm, kb) c ->
+                        if not (Expr.uses_var kvar c) then
+                          if bool_pure_open c then (c :: vm, kb) else raise Not_nest
+                        else
+                          match c with
+                          | Expr.Cmp (Expr.Lt, Expr.Var k', bound)
+                            when Var.equal k' kvar
+                                 && (not (Expr.uses_var kvar bound))
+                                 && (not (Expr.uses_var var bound))
+                                 && int_pure_open bound && kb = None ->
+                              (vm, Some bound)
+                          | _ -> raise Not_nest)
+                      ([], None) (conjuncts cond)
+                  in
+                  let vm =
+                    match List.rev vm with
+                    | [] -> None
+                    | c :: rest ->
+                        Some (List.fold_left (fun e c -> Expr.And (e, c)) c rest)
+                  in
+                  (vm, kb)
+            in
+            match (affine_in kvar ia, affine_in kvar ib) with
+            | Some a_ix, Some b_ix ->
+                let dst_idx = sub dst_idx in
+                let sub_ax (ax : affine) = { base = sub ax.base; stride = sub ax.stride } in
+                let a_ix = sub_ax a_ix and b_ix = sub_ax b_ix in
+                (* init / epilogue must address exactly the dot's cell *)
+                let init, init_bufs =
+                  match init_store with
+                  | None -> (None, [])
+                  | Some (Stmt.Store { buf; index; value })
+                    when Var.equal buf dst && sub index = dst_idx ->
+                      (Some (sub value), cell_local_bufs ~dst ~dst_idx ~sub value)
+                  | Some _ -> raise Not_nest
+                in
+                let epi, epi_bufs =
+                  match epi_stmt with
+                  | None -> (None, [])
+                  | Some (Stmt.Store { buf; index; value })
+                    when Var.equal buf dst && sub index = dst_idx ->
+                      (* substitute the peeled bindings so the engine can
+                         compile the store stand-alone *)
+                      ( Some (Stmt.Store { buf; index = sub index; value = sub value }),
+                        cell_local_bufs ~dst ~dst_idx ~sub value )
+                  | Some _ -> raise Not_nest
+                in
+                let dst_ix =
+                  match affine_in var dst_idx with Some ax -> ax | None -> raise Not_nest
+                in
+                let invariant (ax : affine) =
+                  (not (Expr.uses_var var ax.base)) && not (Expr.uses_var var ax.stride)
+                in
+                let moving_of (ax : affine) =
+                  if Expr.uses_var var ax.stride then None
+                  else Option.map (fun jbase -> (ax.stride, jbase)) (affine_in var ax.base)
+                in
+                let mk ~shared ~shared_ix ~shared_left ~moving mv =
+                  Option.map
+                    (fun (moving_kstride, moving_jbase) ->
+                      Tiled_dot
+                        { dst; dst_ix; guard; init; init_bufs; epi; epi_bufs; vmask;
+                          kbound; kmin = sub kmin; kext = sub kext; shared; shared_ix;
+                          shared_left; moving; moving_kstride; moving_jbase })
+                    mv
+                in
+                if invariant a_ix then
+                  mk ~shared:a ~shared_ix:a_ix ~shared_left:true ~moving:b (moving_of b_ix)
+                else if invariant b_ix then
+                  mk ~shared:b ~shared_ix:b_ix ~shared_left:false ~moving:a (moving_of a_ix)
+                else None
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+  with Not_nest -> None

@@ -14,7 +14,13 @@
       reduction (running offsets instead of re-evaluated address trees);
     - {b innermost-loop classification} ({!classify_inner}): recognizes
       dense dot / reduction / copy / scale loop bodies so the engine can
-      emit fused microkernels.
+      emit fused microkernels;
+    - {b stride and nest classification} ({!classify_stride},
+      {!classify_nest}): folds affine strides to compile-time classes
+      (statically-unit / statically-constant / dynamic) and recognizes
+      register-tilable dot nests, so the [O3] engine selects a
+      specialized kernel variant when the closure is built rather than
+      per call.
 
     The pipeline itself never changes observable values: hoisting moves
     only {e pure integer} expressions (no loads, no float ops, no
@@ -37,11 +43,15 @@
     {!Runtime.Engine.compile}:
     [O0] — none (bit- and counter-exact interpreter parity);
     [O1] — LICM + strength-reduced innermost store loops;
-    [O2] — [O1] + fused microkernels. *)
-type level = O0 | O1 | O2
+    [O2] — [O1] + fused microkernels;
+    [O3] — [O2] + stride-specialized, register-tiled microkernel variants
+    selected at closure-build time from {!classify_stride} /
+    {!classify_nest} (outputs stay bitwise-identical; the generic [O2]
+    loop remains the aliasing fallback). *)
+type level = O0 | O1 | O2 | O3
 
 val level_of_int : int -> level
-(** [0 -> O0], [1 -> O1], anything [>= 2 -> O2]. *)
+(** [0 -> O0], [1 -> O1], [2 -> O2], anything [>= 3 -> O3]. *)
 
 val int_of_level : level -> int
 val level_name : level -> string
@@ -94,3 +104,75 @@ type inner =
 val classify_inner : var:Var.t -> Stmt.t -> inner option
 (** Classify a loop {e body} (single statement, no [Seq]/[If] wrapper)
     against the microkernel shapes, w.r.t. loop variable [var]. *)
+
+val const_of : Expr.t -> int option
+(** Conservative integer constant folding over [+ - * min max]; [None]
+    for anything that does not fold to a literal. *)
+
+(** Compile-time class of an affine stride, deciding which [O3] kernel
+    variant the engine binds when the closure is built:
+    [S_unit] — folds to literal [1] (contiguous; unrolled kernels and
+    [Array.blit] copies apply);
+    [S_const n] — folds to literal [n] (the step can be baked into the
+    closure);
+    [S_dyn] — anything else (evaluated at block entry; strided kernels). *)
+type stride_class = S_unit | S_const of int | S_dyn
+
+val classify_stride : affine -> stride_class
+
+(** Two-deep nest shape the engine register-tiles at [O3]: a loop over
+    the tile var whose body is a serial dot loop writing a distinct
+    destination element per tile-var iteration.  [shared]'s address is
+    tile-var-invariant (one load serves every chain of the tile);
+    [moving]'s reduction stride is tile-var-invariant while its base
+    advances affinely with the tile var.  Each destination element keeps
+    its own order-preserving accumulator chain, so the chains are
+    independent and tiling cannot perturb float results. *)
+type nest =
+  | Tiled_dot of {
+      dst : Var.t;
+      dst_ix : affine;  (** destination index, affine in the tile var *)
+      guard : Expr.t option;
+          (** raggedness guard, pure, evaluated per tile-var value *)
+      init : Expr.t option;
+          (** init-store value for the dot's cell, evaluated per tile-var
+              value; [None] means accumulate into the existing cell *)
+      init_bufs : Var.t list;
+          (** buffers the init value loads from (beyond the cell itself) —
+              the engine falls back if any aliases the destination *)
+      epi : Stmt.t option;
+          (** epilogue store rewriting the finished cell, run per tile-var
+              value after its chain completes *)
+      epi_bufs : Var.t list;  (** like [init_bufs], for the epilogue *)
+      vmask : Expr.t option;
+          (** inner-var-invariant mask conjuncts, pure, evaluated per
+              tile-var value; false means the chain only accumulates
+              zeros *)
+      kbound : Expr.t option;
+          (** mask conjunct [kvar < kbound] (tile-var-invariant): real
+              products stop there, the rest of the chain adds zeros *)
+      kmin : Expr.t;  (** inner loop bounds, tile-var-invariant *)
+      kext : Expr.t;
+      shared : Var.t;
+      shared_ix : affine;  (** affine in the inner var; tile-var-invariant *)
+      shared_left : bool;  (** shared operand is the left multiplicand *)
+      moving : Var.t;
+      moving_kstride : Expr.t;  (** inner-var stride, tile-var-invariant *)
+      moving_jbase : affine;  (** inner-var base, as affine in the tile var *)
+    }
+
+val classify_nest : var:Var.t -> Stmt.t -> nest option
+(** Classify a loop {e body} against the register-tilable nest shape,
+    w.r.t. tile variable [var].  The body may be the inner [For]
+    directly, or the shape lowering actually produces:
+    [If (guard) { dst[i] = init; let hv = ...;
+                  for k { dst[i] += mask ? a[..]*b[..] : 0. };
+                  dst[i] = epi }]
+    — the guard, init value, mask conjuncts and epilogue store are kept
+    in the result for the engine to evaluate per tile-var value (init and
+    epilogue only when they address exactly the dot's own cell; masks
+    split into tile-var-wise conjuncts and one [k < bound] threshold; the
+    masked dot's false branch must be literal [+0.0], which the tiled
+    kernel reproduces by skipping the zero adds and clearing a possible
+    [-0.0] accumulator).  Pure-integer [Let_stmt] preheader bindings are
+    inlined into the returned expressions.  [Sum] reductions only. *)

@@ -184,7 +184,9 @@ type slot = SInt of int | SFloat of int | SBool of int
 type ty = TInt | TFloat | TBool
 
 type ctx = {
-  opt : int;  (* optimization level: 0 none, 1 +strength reduction, 2 +microkernels *)
+  opt : int;
+  (* optimization level: 0 none, 1 +strength reduction, 2 +microkernels,
+     3 +stride-specialized / register-tiled microkernel variants *)
   vars : (int, slot) Hashtbl.t;  (* Var.id -> scalar slot *)
   mutable n_int : int;
   mutable n_float : int;
@@ -660,10 +662,20 @@ let run_parallel pool (fr : frame) slot m n ?est (cbody : frame -> unit) =
    cell in the same order (kept in a register, legal because nothing else
    reads or writes the cell mid-loop — enforced by the dst/src aliasing
    dispatch), and element-wise loops process elements in the same order.
-   Bounds checks move to the loop head: a linear index sequence is in
-   bounds iff its two endpoints are (divergence only on error paths).
-   Counters are bulk-added with the same totals; [microkernel_elems]
-   records how many elements took this path. *)
+   Bounds checks are hoisted to block entry, once per (m, n) block and
+   before variant dispatch: a linear index sequence is in bounds iff its
+   two endpoints are (divergence only on error paths).  Counters are
+   bulk-added with the same totals; [microkernel_elems] records how many
+   elements took this path.
+
+   At opt >= 3 the loop body is selected from the Microkernel registry
+   when the closure is built — Optimize.classify_stride decides between
+   the unit-stride (unrolled / Array.blit) and strided variants, and
+   Optimize.classify_nest upgrades a two-deep dot nest to the
+   register-tiled kernel.  The generic opt-2 loop remains the fallback
+   for aliased destinations.  Each kernel keeps one order-preserving
+   accumulator chain per destination element (unrolling never
+   reassociates a chain), so outputs stay bitwise-identical. *)
 
 let check_lin ~what ~name arr i0 i1 =
   let lo = if i0 <= i1 then i0 else i1 in
@@ -679,13 +691,29 @@ let combine_of = function
   | Stmt.Rmax -> Float.max
   | Stmt.Rmin -> Float.min
 
+(* Shared Sum dispatch for the reduction microkernels: [None] selects the
+   Sum fast path (a direct [+.] loop, no per-element closure call),
+   [Some combine] the general loop.  One dispatch point shared by the Dot
+   and Reduce1 patterns instead of a per-pattern [is_sum] split; bitwise
+   transparent because [combine_of Sum] is [( +. )]. *)
+let sum_fast = function Stmt.Sum -> None | op -> Some (combine_of op)
+
 let compile_affine ctx (ax : Optimize.affine) =
   (as_int (compile_expr ctx ax.Optimize.base), as_int (compile_expr ctx ax.Optimize.stride))
+
+(* Variant-selection accounting: [engine.mk_variant.<name>] counts how
+   many compiled loops bound each microkernel variant.  Bumped once at
+   closure-build time — where selection happens — never per call. *)
+let note_variant name =
+  Obs.Metrics.incr (Obs.Metrics.counter ("engine.mk_variant." ^ name))
 
 (* [emit_inner ctx pattern] returns [fallback -> frame -> m -> n -> unit];
    the fallback (the generic compiled loop) runs when the destination
    aliases an input, where register accumulation would diverge.  Callers
-   guarantee n > 0. *)
+   guarantee n > 0.  The per-block wrapper always does the same three
+   things in order — aliasing dispatch, hoisted endpoint bounds checks,
+   then the variant body selected at closure-build time — followed by the
+   bulk counter update. *)
 let emit_inner ctx (p : Optimize.inner) :
     (frame -> int -> int -> unit) -> frame -> int -> int -> unit =
   match p with
@@ -695,8 +723,53 @@ let emit_inner ctx (p : Optimize.inner) :
       let fdi = as_int (compile_expr ctx dst_idx) in
       let fab, fas = compile_affine ctx a_ix in
       let fbb, fbs = compile_affine ctx b_ix in
-      let combine = combine_of op in
-      let is_sum = match op with Stmt.Sum -> true | _ -> false in
+      let sum = sum_fast op in
+      let body : float array -> float array -> float array -> int -> int -> int -> int -> int -> int -> unit =
+        if ctx.opt >= 3 then
+          match (sum, Optimize.classify_stride a_ix, Optimize.classify_stride b_ix) with
+          | None, Optimize.S_unit, Optimize.S_unit ->
+              note_variant "dot.sum_u4";
+              fun darr aarr barr di a0 _astep b0 _bstep n ->
+                Array.unsafe_set darr di
+                  (Microkernel.dot_sum_unit ~a:aarr ~a0 ~b:barr ~b0 ~n
+                     ~init:(Array.unsafe_get darr di))
+          | None, _, _ ->
+              note_variant "dot.sum_s4";
+              fun darr aarr barr di a0 astep b0 bstep n ->
+                Array.unsafe_set darr di
+                  (Microkernel.dot_sum_strided ~a:aarr ~a0 ~astep ~b:barr ~b0 ~bstep ~n
+                     ~init:(Array.unsafe_get darr di))
+          | Some combine, _, _ ->
+              note_variant "dot.combine_s";
+              fun darr aarr barr di a0 astep b0 bstep n ->
+                Array.unsafe_set darr di
+                  (Microkernel.dot_strided ~combine ~a:aarr ~a0 ~astep ~b:barr ~b0 ~bstep
+                     ~n ~init:(Array.unsafe_get darr di))
+        else begin
+          note_variant "dot.generic";
+          match sum with
+          | None ->
+              fun darr aarr barr di a0 astep b0 bstep n ->
+                let acc = ref (Array.unsafe_get darr di) in
+                let ai = ref a0 and bi = ref b0 in
+                for _ = 1 to n do
+                  acc := !acc +. (Array.unsafe_get aarr !ai *. Array.unsafe_get barr !bi);
+                  ai := !ai + astep;
+                  bi := !bi + bstep
+                done;
+                Array.unsafe_set darr di !acc
+          | Some combine ->
+              fun darr aarr barr di a0 astep b0 bstep n ->
+                let acc = ref (Array.unsafe_get darr di) in
+                let ai = ref a0 and bi = ref b0 in
+                for _ = 1 to n do
+                  acc := combine !acc (Array.unsafe_get aarr !ai *. Array.unsafe_get barr !bi);
+                  ai := !ai + astep;
+                  bi := !bi + bstep
+                done;
+                Array.unsafe_set darr di !acc
+        end
+      in
       fun fallback fr m n ->
         let darr = Array.unsafe_get fr.fbufs dslot in
         let aarr = Array.unsafe_get fr.fbufs aslot in
@@ -704,29 +777,15 @@ let emit_inner ctx (p : Optimize.inner) :
         if darr == aarr || darr == barr then fallback fr m n
         else begin
           let di = fdi fr in
-          if di < 0 || di >= Array.length darr then
-            err "reduce_store %s[%d] out of bounds (len %d)" dname di (Array.length darr);
           let astep = fas fr in
           let a0 = fab fr + (m * astep) in
           let bstep = fbs fr in
           let b0 = fbb fr + (m * bstep) in
+          if di < 0 || di >= Array.length darr then
+            err "reduce_store %s[%d] out of bounds (len %d)" dname di (Array.length darr);
           check_lin ~what:"load" ~name:aname aarr a0 (a0 + ((n - 1) * astep));
           check_lin ~what:"load" ~name:bname barr b0 (b0 + ((n - 1) * bstep));
-          let acc = ref (Array.unsafe_get darr di) in
-          let ai = ref a0 and bi = ref b0 in
-          if is_sum then
-            for _ = 1 to n do
-              acc := !acc +. (Array.unsafe_get aarr !ai *. Array.unsafe_get barr !bi);
-              ai := !ai + astep;
-              bi := !bi + bstep
-            done
-          else
-            for _ = 1 to n do
-              acc := combine !acc (Array.unsafe_get aarr !ai *. Array.unsafe_get barr !bi);
-              ai := !ai + astep;
-              bi := !bi + bstep
-            done;
-          Array.unsafe_set darr di !acc;
+          body darr aarr barr di a0 astep b0 bstep n;
           fr.loads <- fr.loads + (2 * n);
           fr.flops <- fr.flops + (2 * n);
           fr.stores <- fr.stores + n;
@@ -737,25 +796,63 @@ let emit_inner ctx (p : Optimize.inner) :
       let dname = Var.mangled dst and sname = Var.mangled src in
       let fdi = as_int (compile_expr ctx dst_idx) in
       let fsb, fss = compile_affine ctx src_ix in
-      let combine = combine_of op in
+      let sum = sum_fast op in
+      let body : float array -> float array -> int -> int -> int -> int -> unit =
+        if ctx.opt >= 3 then
+          match (sum, Optimize.classify_stride src_ix) with
+          | None, Optimize.S_unit ->
+              note_variant "reduce1.sum_u4";
+              fun darr sarr di s0 _sstep n ->
+                Array.unsafe_set darr di
+                  (Microkernel.reduce1_sum_unit ~src:sarr ~s0 ~n
+                     ~init:(Array.unsafe_get darr di))
+          | None, _ ->
+              note_variant "reduce1.sum_s";
+              fun darr sarr di s0 sstep n ->
+                Array.unsafe_set darr di
+                  (Microkernel.reduce1_sum_strided ~src:sarr ~s0 ~sstep ~n
+                     ~init:(Array.unsafe_get darr di))
+          | Some combine, _ ->
+              note_variant "reduce1.combine_s";
+              fun darr sarr di s0 sstep n ->
+                Array.unsafe_set darr di
+                  (Microkernel.reduce1_strided ~combine ~src:sarr ~s0 ~sstep ~n
+                     ~init:(Array.unsafe_get darr di))
+        else begin
+          note_variant "reduce1.generic";
+          match sum with
+          | None ->
+              fun darr sarr di s0 sstep n ->
+                let acc = ref (Array.unsafe_get darr di) in
+                let si = ref s0 in
+                for _ = 1 to n do
+                  acc := !acc +. Array.unsafe_get sarr !si;
+                  si := !si + sstep
+                done;
+                Array.unsafe_set darr di !acc
+          | Some combine ->
+              fun darr sarr di s0 sstep n ->
+                let acc = ref (Array.unsafe_get darr di) in
+                let si = ref s0 in
+                for _ = 1 to n do
+                  acc := combine !acc (Array.unsafe_get sarr !si);
+                  si := !si + sstep
+                done;
+                Array.unsafe_set darr di !acc
+        end
+      in
       fun fallback fr m n ->
         let darr = Array.unsafe_get fr.fbufs dslot in
         let sarr = Array.unsafe_get fr.fbufs sslot in
         if darr == sarr then fallback fr m n
         else begin
           let di = fdi fr in
-          if di < 0 || di >= Array.length darr then
-            err "reduce_store %s[%d] out of bounds (len %d)" dname di (Array.length darr);
           let sstep = fss fr in
           let s0 = fsb fr + (m * sstep) in
+          if di < 0 || di >= Array.length darr then
+            err "reduce_store %s[%d] out of bounds (len %d)" dname di (Array.length darr);
           check_lin ~what:"load" ~name:sname sarr s0 (s0 + ((n - 1) * sstep));
-          let acc = ref (Array.unsafe_get darr di) in
-          let si = ref s0 in
-          for _ = 1 to n do
-            acc := combine !acc (Array.unsafe_get sarr !si);
-            si := !si + sstep
-          done;
-          Array.unsafe_set darr di !acc;
+          body darr sarr di s0 sstep n;
           fr.loads <- fr.loads + n;
           fr.flops <- fr.flops + n;
           fr.stores <- fr.stores + n;
@@ -766,7 +863,33 @@ let emit_inner ctx (p : Optimize.inner) :
       let dname = Var.mangled dst and sname = Var.mangled src in
       let fdb, fds = compile_affine ctx dst_ix in
       let fsb, fss = compile_affine ctx src_ix in
-      (* element order matches the generic loop, so aliasing is fine *)
+      let body : float array -> float array -> int -> int -> int -> int -> int -> unit =
+        if ctx.opt >= 3 then
+          match (Optimize.classify_stride dst_ix, Optimize.classify_stride src_ix) with
+          | Optimize.S_unit, Optimize.S_unit ->
+              note_variant "copy.blit";
+              fun darr sarr d0 _dstep s0 _sstep n ->
+                (* blit has memmove semantics; the generic loop forward-
+                   propagates on overlap, so same-array copies take the
+                   order-preserving strided body instead *)
+                if darr != sarr then Microkernel.copy_unit ~dst:darr ~d0 ~src:sarr ~s0 ~n
+                else Microkernel.copy_strided ~dst:darr ~d0 ~dstep:1 ~src:sarr ~s0 ~sstep:1 ~n
+          | _ ->
+              note_variant "copy.strided";
+              fun darr sarr d0 dstep s0 sstep n ->
+                Microkernel.copy_strided ~dst:darr ~d0 ~dstep ~src:sarr ~s0 ~sstep ~n
+        else begin
+          note_variant "copy.generic";
+          (* element order matches the generic loop, so aliasing is fine *)
+          fun darr sarr d0 dstep s0 sstep n ->
+            let di = ref d0 and si = ref s0 in
+            for _ = 1 to n do
+              Array.unsafe_set darr !di (Array.unsafe_get sarr !si);
+              di := !di + dstep;
+              si := !si + sstep
+            done
+        end
+      in
       fun _fallback fr m n ->
         let darr = Array.unsafe_get fr.fbufs dslot in
         let sarr = Array.unsafe_get fr.fbufs sslot in
@@ -776,12 +899,7 @@ let emit_inner ctx (p : Optimize.inner) :
         let s0 = fsb fr + (m * sstep) in
         check_lin ~what:"store" ~name:dname darr d0 (d0 + ((n - 1) * dstep));
         check_lin ~what:"load" ~name:sname sarr s0 (s0 + ((n - 1) * sstep));
-        let di = ref d0 and si = ref s0 in
-        for _ = 1 to n do
-          Array.unsafe_set darr !di (Array.unsafe_get sarr !si);
-          di := !di + dstep;
-          si := !si + sstep
-        done;
+        body darr sarr d0 dstep s0 sstep n;
         fr.loads <- fr.loads + n;
         fr.stores <- fr.stores + n;
         fr.microkernel_elems <- fr.microkernel_elems + n
@@ -790,6 +908,28 @@ let emit_inner ctx (p : Optimize.inner) :
       let dname = Var.mangled dst and sname = Var.mangled src in
       let fdb, fds = compile_affine ctx dst_ix in
       let fsb, fss = compile_affine ctx src_ix in
+      let body : float array -> float array -> int -> int -> int -> int -> int -> unit =
+        if ctx.opt >= 3 then
+          match (Optimize.classify_stride dst_ix, Optimize.classify_stride src_ix) with
+          | Optimize.S_unit, Optimize.S_unit ->
+              note_variant "scale.u4";
+              fun darr sarr d0 _dstep s0 _sstep n ->
+                Microkernel.scale_unit ~dst:darr ~d0 ~src:sarr ~s0 ~factor ~n
+          | _ ->
+              note_variant "scale.strided";
+              fun darr sarr d0 dstep s0 sstep n ->
+                Microkernel.scale_strided ~dst:darr ~d0 ~dstep ~src:sarr ~s0 ~sstep ~factor ~n
+        else begin
+          note_variant "scale.generic";
+          fun darr sarr d0 dstep s0 sstep n ->
+            let di = ref d0 and si = ref s0 in
+            for _ = 1 to n do
+              Array.unsafe_set darr !di (Array.unsafe_get sarr !si *. factor);
+              di := !di + dstep;
+              si := !si + sstep
+            done
+        end
+      in
       fun _fallback fr m n ->
         let darr = Array.unsafe_get fr.fbufs dslot in
         let sarr = Array.unsafe_get fr.fbufs sslot in
@@ -799,16 +939,440 @@ let emit_inner ctx (p : Optimize.inner) :
         let s0 = fsb fr + (m * sstep) in
         check_lin ~what:"store" ~name:dname darr d0 (d0 + ((n - 1) * dstep));
         check_lin ~what:"load" ~name:sname sarr s0 (s0 + ((n - 1) * sstep));
-        let di = ref d0 and si = ref s0 in
-        for _ = 1 to n do
-          Array.unsafe_set darr !di (Array.unsafe_get sarr !si *. factor);
-          di := !di + dstep;
-          si := !si + sstep
-        done;
+        body darr sarr d0 dstep s0 sstep n;
         fr.loads <- fr.loads + n;
         fr.flops <- fr.flops + n;
         fr.stores <- fr.stores + n;
         fr.microkernel_elems <- fr.microkernel_elems + n
+
+(* [emit_nest ctx ~slot nest] register-tiles a two-deep Sum-dot nest
+   (opt >= 3): four destination elements per pass, the shared operand
+   loaded once per reduction step.  Each destination keeps its own
+   order-preserving accumulator chain (the chains are independent), so
+   tiling cannot perturb float results.  [slot] is the tile variable's
+   frame slot — the peeled raggedness guard, if any, is evaluated once
+   per tile-var value with the slot set, exactly like the generic [If]
+   (including its [guards]/[guard_hits] accounting); runs of consecutive
+   guard-true iterations tile in groups of four, guard-false iterations
+   are skipped.  A peeled init store becomes the accumulators' start
+   value (evaluated per tile-var value — a bias row, or the cell itself);
+   a peeled epilogue store reruns per tile-var value after its chain
+   completes (a scale, an activation).
+
+   Masked dots ([Select (mask, a*b, +0.)] reduction values) use the
+   zero-add identity: [acc +. +0.] equals [acc] except that [-0. +. +0.]
+   is [+0.], so skipping a {e tail} of masked-out steps is exact after
+   clearing a possible [-0.] accumulator — [fix_tail].  The tile-var-wise
+   mask conjuncts gate the whole chain (false: the chain is init plus
+   [nk] zero adds = [fix_tail init]); a [k < bound] conjunct truncates it
+   to [nk_eff] real steps plus a fixed tail.  Skipped steps also skip
+   their operand loads — safe, because [Select] never evaluates the
+   untaken branch in the generic engine or the interpreter either.
+
+   Falls back to the generic tile loop when the reduction runs zero
+   iterations, when the destination aliases an operand or an init /
+   epilogue input, or when the destination stride is zero (the chains
+   would collapse onto one cell).  Bounds checks are endpoint checks per
+   processed span — never for iterations the guard or mask skips. *)
+let neg_zero_bits = Int64.bits_of_float (-0.0)
+
+let emit_nest ctx ~slot (nest : Optimize.nest) :
+    (frame -> int -> int -> unit) -> frame -> int -> int -> unit =
+  match nest with
+  | Optimize.Tiled_dot
+      { dst; dst_ix; guard; init; init_bufs; epi; epi_bufs; vmask; kbound; kmin;
+        kext; shared; shared_ix; shared_left; moving; moving_kstride; moving_jbase }
+    ->
+      let dslot = buf_slot ctx dst
+      and sslot = buf_slot ctx shared
+      and mslot = buf_slot ctx moving in
+      let dname = Var.mangled dst
+      and sname = Var.mangled shared
+      and mname = Var.mangled moving in
+      let fdb, fds = compile_affine ctx dst_ix in
+      let fkm = as_int (compile_expr ctx kmin) in
+      let fkn = as_int (compile_expr ctx kext) in
+      let fsb, fss = compile_affine ctx shared_ix in
+      let fmjb, fmjs = compile_affine ctx moving_jbase in
+      let fmks = as_int (compile_expr ctx moving_kstride) in
+      let fguard = Option.map (fun c -> as_bool (compile_expr ctx c)) guard in
+      let fvmask = Option.map (fun c -> as_bool (compile_expr ctx c)) vmask in
+      let fkbound = Option.map (fun e -> as_int (compile_expr ctx e)) kbound in
+      let finit = Option.map (fun e -> as_float (compile_expr ctx e)) init in
+      (* the epilogue compiles like the generic [Store] (same counters,
+         same bounds-check message); it is run with the tile var's slot
+         set, once per completed chain *)
+      let fepi =
+        Option.map
+          (fun s ->
+            match s with
+            | Stmt.Store { buf; index; value } ->
+                let bslot = buf_slot ctx buf in
+                let bname = Var.mangled buf in
+                let fi = as_int (compile_expr ctx index) in
+                let fv = as_float (compile_expr ctx value) in
+                fun fr ->
+                  fr.stores <- fr.stores + 1;
+                  let a = Array.unsafe_get fr.fbufs bslot in
+                  let i = fi fr in
+                  if i < 0 || i >= Array.length a then
+                    err "store %s[%d] out of bounds (len %d)" bname i (Array.length a)
+                  else Array.unsafe_set a i (fv fr)
+            | _ -> err "nest epilogue must be a store")
+          epi
+      in
+      (* buffers the init / epilogue read: if any is bound to the same
+         array as the destination at runtime, fall back *)
+      let extra_slots =
+        Array.of_list
+          (List.sort_uniq compare (List.map (buf_slot ctx) (init_bufs @ epi_bufs)))
+      in
+      note_variant
+        (if Option.is_some fvmask || Option.is_some fkbound then "dot.tile4_masked"
+         else "dot.tile4");
+      let tile4 =
+        if shared_left then Microkernel.tile4_dot_sum_shared_left
+        else Microkernel.tile4_dot_sum_shared_right
+      in
+      (* lean runtime path for the plain nest (no mask, no epilogue, init
+         a literal or absent — the gemm shape): no per-chain closure
+         dispatch, no slot writes inside the tile, the accumulator start
+         is a compile-time constant.  The feature-bearing shapes take the
+         general path below. *)
+      let plain_init =
+        match init with
+        | None -> Some None
+        | Some (Expr.Float c) -> Some (Some c)
+        | Some _ -> None
+      in
+      match (fvmask, fkbound, fepi, plain_init) with
+      | None, None, None, Some pinit ->
+          let has_init = Option.is_some pinit in
+          let initc = match pinit with Some c -> c | None -> 0.0 in
+          fun fallback fr m n ->
+            let darr = Array.unsafe_get fr.fbufs dslot in
+            let sarr = Array.unsafe_get fr.fbufs sslot in
+            let marr = Array.unsafe_get fr.fbufs mslot in
+            let nk = fkn fr in
+            if nk <= 0 || darr == sarr || darr == marr then fallback fr m n
+            else begin
+              let dstep = fds fr in
+              if dstep = 0 then fallback fr m n
+              else begin
+                let mk = fkm fr in
+                (* absolute-index bases: cell j lives at db + j*dstep *)
+                let db = fdb fr in
+                let ss = fss fr in
+                let s0 = fsb fr + (mk * ss) in
+                let mks = fmks fr in
+                let mjs = fmjs fr in
+                let mb = fmjb fr + (mk * mks) in
+                let checked_shared = ref false in
+                (* endpoint checks for the span [jlo, jlo+cnt); the shared
+                   operand's j-invariant range is checked once, at the
+                   first processed span (guard-false blocks touch
+                   nothing) *)
+                let span_check jlo cnt =
+                  let dlo = db + (jlo * dstep) in
+                  check_lin ~what:"reduce_store" ~name:dname darr dlo
+                    (dlo + ((cnt - 1) * dstep));
+                  if not !checked_shared then begin
+                    check_lin ~what:"load" ~name:sname sarr s0 (s0 + ((nk - 1) * ss));
+                    checked_shared := true
+                  end;
+                  let mlo = mb + (jlo * mjs) in
+                  let jspan = (cnt - 1) * mjs and kspan = (nk - 1) * mks in
+                  check_lin ~what:"load" ~name:mname marr
+                    (mlo + min 0 jspan + min 0 kspan)
+                    (mlo + max 0 jspan + max 0 kspan)
+                in
+                let bulk cnt =
+                  let elems = cnt * nk in
+                  fr.loads <- fr.loads + (2 * elems);
+                  fr.flops <- fr.flops + (2 * elems);
+                  fr.stores <- fr.stores + elems + (if has_init then cnt else 0);
+                  fr.microkernel_elems <- fr.microkernel_elems + elems
+                in
+                let tile j =
+                  span_check j 4;
+                  let dj = db + (j * dstep) in
+                  let acc =
+                    if has_init then
+                      { Microkernel.x0 = initc; x1 = initc; x2 = initc; x3 = initc }
+                    else
+                      {
+                        Microkernel.x0 = Array.unsafe_get darr dj;
+                        x1 = Array.unsafe_get darr (dj + dstep);
+                        x2 = Array.unsafe_get darr (dj + (2 * dstep));
+                        x3 = Array.unsafe_get darr (dj + (3 * dstep));
+                      }
+                  in
+                  tile4 ~s:sarr ~s0 ~ss ~m:marr ~m0:(mb + (j * mjs)) ~mjs ~mks ~n:nk acc;
+                  Array.unsafe_set darr dj acc.Microkernel.x0;
+                  Array.unsafe_set darr (dj + dstep) acc.Microkernel.x1;
+                  Array.unsafe_set darr (dj + (2 * dstep)) acc.Microkernel.x2;
+                  Array.unsafe_set darr (dj + (3 * dstep)) acc.Microkernel.x3;
+                  bulk 4
+                in
+                let single j =
+                  span_check j 1;
+                  let dj = db + (j * dstep) in
+                  let iv = if has_init then initc else Array.unsafe_get darr dj in
+                  let mj = mb + (j * mjs) in
+                  let v =
+                    if shared_left then
+                      Microkernel.dot_sum_strided ~a:sarr ~a0:s0 ~astep:ss ~b:marr
+                        ~b0:mj ~bstep:mks ~n:nk ~init:iv
+                    else
+                      Microkernel.dot_sum_strided ~a:marr ~a0:mj ~astep:mks ~b:sarr
+                        ~b0:s0 ~bstep:ss ~n:nk ~init:iv
+                  in
+                  Array.unsafe_set darr dj v;
+                  bulk 1
+                in
+                let jend = m + n in
+                match fguard with
+                | None ->
+                    let j = ref m in
+                    while !j + 3 < jend do
+                      tile !j;
+                      j := !j + 4
+                    done;
+                    while !j < jend do
+                      single !j;
+                      incr j
+                    done
+                | Some fg ->
+                    (* evaluate the guard exactly once per j, with the tile
+                       var's slot set — the generic If's accounting *)
+                    let test j =
+                      Array.unsafe_set fr.ints slot j;
+                      fr.guards <- fr.guards + 1;
+                      if fg fr then begin
+                        fr.guard_hits <- fr.guard_hits + 1;
+                        true
+                      end
+                      else false
+                    in
+                    let j = ref m in
+                    while !j < jend do
+                      if not (test !j) then incr j
+                      else begin
+                        (* extend the guard-true run to at most four *)
+                        let run = ref 1 in
+                        let hit_false = ref false in
+                        while (not !hit_false) && !run < 4 && !j + !run < jend do
+                          if test (!j + !run) then incr run else hit_false := true
+                        done;
+                        if !run = 4 then tile !j
+                        else
+                          for o = 0 to !run - 1 do
+                            single (!j + o)
+                          done;
+                        j := !j + !run + if !hit_false then 1 else 0
+                      end
+                    done
+              end
+            end
+      | _ ->
+      fun fallback fr m n ->
+        let darr = Array.unsafe_get fr.fbufs dslot in
+        let sarr = Array.unsafe_get fr.fbufs sslot in
+        let marr = Array.unsafe_get fr.fbufs mslot in
+        let nk = fkn fr in
+        if
+          nk <= 0 || darr == sarr || darr == marr
+          || Array.exists (fun s -> Array.unsafe_get fr.fbufs s == darr) extra_slots
+        then fallback fr m n
+        else begin
+          let dstep = fds fr in
+          if dstep = 0 then fallback fr m n
+          else begin
+            let mk = fkm fr in
+            (* absolute-index bases: cell j lives at db + j*dstep *)
+            let db = fdb fr in
+            let ss = fss fr in
+            let s0 = fsb fr + (mk * ss) in
+            let mks = fmks fr in
+            let mjs = fmjs fr in
+            let mb = fmjb fr + (mk * mks) in
+            (* effective reduction length under a [k < bound] mask: real
+               products stop there, the remaining [tail] adds are zeros *)
+            let nk_eff =
+              match fkbound with
+              | None -> nk
+              | Some fb ->
+                  let e = fb fr - mk in
+                  if e < 0 then 0 else if e > nk then nk else e
+            in
+            let tail = nk - nk_eff in
+            (* acc +. (+0.) == acc except -0. +. +0. == +0. — applying
+               this once replays a whole tail of masked-out adds *)
+            let fix_tail v =
+              if Int64.equal (Int64.bits_of_float v) neg_zero_bits then 0.0 else v
+            in
+            let store_cell dj v =
+              Array.unsafe_set darr dj (if tail > 0 then fix_tail v else v)
+            in
+            let checked_shared = ref false in
+            (* endpoint checks for the span [jlo, jlo+cnt); the shared
+               operand's j-invariant range is checked once, at the first
+               span that actually loads operands *)
+            let span_check jlo cnt =
+              let dlo = db + (jlo * dstep) in
+              check_lin ~what:"reduce_store" ~name:dname darr dlo
+                (dlo + ((cnt - 1) * dstep));
+              if nk_eff > 0 then begin
+                if not !checked_shared then begin
+                  check_lin ~what:"load" ~name:sname sarr s0 (s0 + ((nk_eff - 1) * ss));
+                  checked_shared := true
+                end;
+                let mlo = mb + (jlo * mjs) in
+                let jspan = (cnt - 1) * mjs and kspan = (nk_eff - 1) * mks in
+                check_lin ~what:"load" ~name:mname marr
+                  (mlo + min 0 jspan + min 0 kspan)
+                  (mlo + max 0 jspan + max 0 kspan)
+              end
+            in
+            let has_init = Option.is_some finit in
+            (* accumulator start value for chain j; [slot] must already
+               hold j (the init expression may read a bias row at j) *)
+            let init_of dj =
+              match finit with
+              | Some f -> f fr
+              | None -> Array.unsafe_get darr dj
+            in
+            let run_epi j =
+              match fepi with
+              | None -> ()
+              | Some f ->
+                  Array.unsafe_set fr.ints slot j;
+                  f fr
+            in
+            let bulk cnt =
+              let elems = cnt * nk_eff in
+              fr.loads <- fr.loads + (2 * elems);
+              fr.flops <- fr.flops + (2 * elems) + (cnt * tail);
+              fr.stores <- fr.stores + (cnt * nk) + (if has_init then cnt else 0);
+              fr.microkernel_elems <- fr.microkernel_elems + elems
+            in
+            (* chain whose mask is false for every k: init plus nk zero
+               adds — no operand access, no operand checks *)
+            let zero j =
+              let dj = db + (j * dstep) in
+              check_lin ~what:"reduce_store" ~name:dname darr dj dj;
+              Array.unsafe_set fr.ints slot j;
+              Array.unsafe_set darr dj (fix_tail (init_of dj));
+              fr.flops <- fr.flops + nk;
+              fr.stores <- fr.stores + nk + (if has_init then 1 else 0);
+              (* the generic nest runs the epilogue store even when the
+                 mask was false for every k — so must we *)
+              run_epi j
+            in
+            let tile j =
+              span_check j 4;
+              let dj = db + (j * dstep) in
+              Array.unsafe_set fr.ints slot j;
+              let x0 = init_of dj in
+              Array.unsafe_set fr.ints slot (j + 1);
+              let x1 = init_of (dj + dstep) in
+              Array.unsafe_set fr.ints slot (j + 2);
+              let x2 = init_of (dj + (2 * dstep)) in
+              Array.unsafe_set fr.ints slot (j + 3);
+              let x3 = init_of (dj + (3 * dstep)) in
+              let acc = { Microkernel.x0; x1; x2; x3 } in
+              tile4 ~s:sarr ~s0 ~ss ~m:marr ~m0:(mb + (j * mjs)) ~mjs ~mks ~n:nk_eff acc;
+              store_cell dj acc.Microkernel.x0;
+              store_cell (dj + dstep) acc.Microkernel.x1;
+              store_cell (dj + (2 * dstep)) acc.Microkernel.x2;
+              store_cell (dj + (3 * dstep)) acc.Microkernel.x3;
+              bulk 4;
+              run_epi j;
+              run_epi (j + 1);
+              run_epi (j + 2);
+              run_epi (j + 3)
+            in
+            let single j =
+              span_check j 1;
+              let dj = db + (j * dstep) in
+              Array.unsafe_set fr.ints slot j;
+              let iv = init_of dj in
+              let mj = mb + (j * mjs) in
+              let v =
+                if shared_left then
+                  Microkernel.dot_sum_strided ~a:sarr ~a0:s0 ~astep:ss ~b:marr ~b0:mj
+                    ~bstep:mks ~n:nk_eff ~init:iv
+                else
+                  Microkernel.dot_sum_strided ~a:marr ~a0:mj ~astep:mks ~b:sarr ~b0:s0
+                    ~bstep:ss ~n:nk_eff ~init:iv
+              in
+              store_cell dj v;
+              bulk 1;
+              run_epi j
+            in
+            let jend = m + n in
+            match (fguard, fvmask) with
+            | None, None ->
+                let j = ref m in
+                while !j + 3 < jend do
+                  tile !j;
+                  j := !j + 4
+                done;
+                while !j < jend do
+                  single !j;
+                  incr j
+                done
+            | _ ->
+                (* three states per j — skip (guard false), zero-chain
+                   (mask false), dot — each guard / mask evaluated exactly
+                   once, with the tile var's slot set; the guard keeps the
+                   generic If's accounting *)
+                let st j =
+                  Array.unsafe_set fr.ints slot j;
+                  let g =
+                    match fguard with
+                    | None -> true
+                    | Some fg ->
+                        fr.guards <- fr.guards + 1;
+                        if fg fr then begin
+                          fr.guard_hits <- fr.guard_hits + 1;
+                          true
+                        end
+                        else false
+                  in
+                  if not g then 0
+                  else
+                    match fvmask with
+                    | None -> 2
+                    | Some fv -> if fv fr then 2 else 1
+                in
+                let j = ref m in
+                while !j < jend do
+                  match st !j with
+                  | 0 -> incr j
+                  | 1 ->
+                      zero !j;
+                      incr j
+                  | _ ->
+                      (* extend the dot run to at most four; a non-dot
+                         state already evaluated is dispatched after *)
+                      let run = ref 1 in
+                      let next = ref (-1) in
+                      while !next < 0 && !run < 4 && !j + !run < jend do
+                        match st (!j + !run) with
+                        | 2 -> incr run
+                        | s -> next := s
+                      done;
+                      if !run = 4 then tile !j
+                      else
+                        for o = 0 to !run - 1 do
+                          single (!j + o)
+                        done;
+                      if !next = 1 then zero (!j + !run);
+                      j := !j + !run + if !next >= 0 then 1 else 0
+                done
+          end
+        end
 
 (* ------------------------------------------------------------------ *)
 (* Per-iteration weight estimator for parallel chunk balancing: static
@@ -883,6 +1447,18 @@ let rec compile_stmt ctx ~par_ok (s : Stmt.t) : frame -> unit =
           Option.map (emit_inner ctx) (Optimize.classify_inner ~var body)
         else None
       in
+      let tiled =
+        if (not par) && ctx.opt >= 3 && Option.is_none micro then
+          match Optimize.classify_nest ~var body with
+          | Some nest -> (
+              (* compiling the substituted nest expressions can hit a
+                 type the generic path would never force (e.g. a peeled
+                 let of the wrong kind) — never fail the whole compile
+                 for a missed tiling opportunity *)
+              try Some (emit_nest ctx ~slot nest) with Error _ -> None)
+          | _ -> None
+        else None
+      in
       let cbody = compile_stmt ctx ~par_ok:(par_ok && not par) body in
       let serial fr m n =
         for i = m to m + n - 1 do
@@ -907,6 +1483,12 @@ let rec compile_stmt ctx ~par_ok (s : Stmt.t) : frame -> unit =
               let m = fm fr in
               let n = fn fr in
               if n > 0 then mk fr m n
+        | None when Option.is_some tiled ->
+            let tk = Option.get tiled serial in
+            fun fr ->
+              let m = fm fr in
+              let n = fn fr in
+              if n > 0 then tk fr m n
         | None -> (
             (* strength reduction (opt >= 1): an innermost store loop whose
                index is affine in the loop variable becomes a running-offset

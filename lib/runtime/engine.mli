@@ -33,6 +33,17 @@
       success-path totals, except address-tree traffic which follows the
       LICM rule above).  A microkernel whose destination aliases an input
       falls back to the generic loop at runtime, preserving parity.
+    - [O3]: the microkernel {e body} is selected from the {!Microkernel}
+      registry when the closure is built — {!Ir.Optimize.classify_stride}
+      picks unit-stride unrolled / [Array.blit] variants over strided
+      fallbacks, and {!Ir.Optimize.classify_nest} register-tiles a
+      two-deep sum-dot nest (four destination chains per pass, the shared
+      operand loaded once per reduction step).  Selection is per compiled
+      loop, never per call ([engine.mk_variant.*] counters record it);
+      every variant keeps one order-preserving accumulator chain per
+      destination element, so outputs remain bitwise-identical.  Aliased
+      destinations, zero destination strides and zero-trip reductions
+      fall back to the generic loop at runtime.
 
     [Alloc] scratch buffers come from {!Buffer.Arena.global} and return
     to it when the body finishes, so steady-state reruns allocate no

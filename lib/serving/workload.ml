@@ -27,6 +27,7 @@ type cached_job = {
   c_job : job;
   c_state : string;
   c_variant : string;
+  c_opt : int option;  (** tuned point's engine opt-level override *)
   c_sig : Sig.t;
   c_pkey : Sig.t;
 }
@@ -343,9 +344,15 @@ let vgemm ?(batch = 4) ?(tile = 32)
           List.filter_map
             (fun t ->
               if t <> tile && divides t then Some (Autotune.Space.make ~split:t ()) else None)
-            [ 4; 8; 16; 32 ]);
+            [ 4; 8; 16; 32 ]
+          (* the opt axis: same hand schedule, engine at the O3
+             stride-specialized microkernel level — execution-only, so
+             still bitwise under replay *)
+          @ [ Autotune.Space.make ~opt:3 () ]);
       build_tuned =
-        (fun p dims -> job_of ~tile:(max 1 p.Autotune.Space.split) dims);
+        (fun p dims ->
+          let t = if p.Autotune.Space.split > 0 then p.Autotune.Space.split else tile in
+          job_of ~tile:t dims);
     }
   in
   {
@@ -477,6 +484,7 @@ let encoder ?(base = false) ?(batch = 4) ~(dataset : Workloads.Datasets.t) () : 
             make ~aux:[ ("jtile", 16) ] ();
             make ~aux:[ ("jtile", 16); ("ftile", 4) ] ();
             make ~aux:[ ("jtile", 4) ] ();
+            make ~opt:3 ();
           ]
     in
     {

@@ -88,6 +88,7 @@ type cached_job = {
   c_job : job;
   c_state : string;  (** tuner state to report: ["off"], ["hand"], ["tuned"] *)
   c_variant : string;  (** schedule variant label for the launch-model key *)
+  c_opt : int option;  (** tuned point's engine opt-level override, if any *)
   c_sig : Cora.Sig.t;  (** [Sig.of_tables c_job.tables], precomputed *)
   c_pkey : Cora.Sig.t;  (** {!Cora.Prelude_cache.key_of}, precomputed *)
 }

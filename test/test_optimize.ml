@@ -1,10 +1,12 @@
-(* The optimization pipeline's contract: at every level (O0/O1/O2), serial
-   or multicore, the compiled engine's *outputs* are bitwise-identical to
-   the reference interpreter's.  (Counter parity is an O0-only contract,
-   covered by test_engine.ml; O1/O2 legitimately shift counter accounting
-   — see lib/ir/optimize.mli.)  Plus unit tests of LICM, the dot
-   microkernel, weighted chunk balancing, the interpreter's ufun cache and
-   the buffer arena. *)
+(* The optimization pipeline's contract: at every level (O0/O1/O2/O3),
+   serial or multicore, the compiled engine's *outputs* are
+   bitwise-identical to the reference interpreter's.  (Counter parity is
+   an O0-only contract, covered by test_engine.ml; O1+ legitimately shift
+   counter accounting — see lib/ir/optimize.mli.)  Plus unit tests of
+   LICM, the dot microkernels (including O3's register-tiled nest, its
+   aliasing fallback, stride classification and divmod elimination),
+   weighted chunk balancing, the interpreter's ufun cache and the buffer
+   arena. *)
 
 open Cora
 
@@ -142,10 +144,10 @@ let differential d =
       match d.bind with
       | Par -> agree (name ^ " multicore") (run_once ~opt kernel a o ~engine:`Compiled ~multicore:true)
       | No_bind | Gpu -> true)
-    [ Ir.Optimize.O0; Ir.Optimize.O1; Ir.Optimize.O2 ]
+    [ Ir.Optimize.O0; Ir.Optimize.O1; Ir.Optimize.O2; Ir.Optimize.O3 ]
 
 let prop_differential =
-  QCheck.Test.make ~count:150 ~name:"O0/O1/O2 outputs == interpreter (bitwise)"
+  QCheck.Test.make ~count:150 ~name:"O0/O1/O2/O3 outputs == interpreter (bitwise)"
     (QCheck.make ~print:print_decision decision_gen)
     differential
 
@@ -175,7 +177,9 @@ let test_skewed_parallel_differential () =
       Alcotest.(check bool) (label ^ " bitwise") true (bits (go `Compiled opt mc) = bits ref_out))
     [ ("O0 mc", Ir.Optimize.O0, true);
       ("O2 serial", Ir.Optimize.O2, false);
-      ("O2 mc", Ir.Optimize.O2, true) ]
+      ("O2 mc", Ir.Optimize.O2, true);
+      ("O3 serial", Ir.Optimize.O3, false);
+      ("O3 mc", Ir.Optimize.O3, true) ]
 
 (* ------------------------------------------------------------------ *)
 (* LICM: the vgemm kernel re-reads its ragged-dimension ufuns in every
@@ -275,6 +279,241 @@ let test_dot_microkernel_direct () =
     (Int64.bits_of_float v0 = Int64.bits_of_float v2)
 
 (* ------------------------------------------------------------------ *)
+(* O3: register-tiled dot nests, stride classes, divmod elimination *)
+
+let load buf index = Ir.Expr.Load { buf; index }
+let mk_variant name = Obs.Metrics.value (Obs.Metrics.counter ("engine.mk_variant." ^ name))
+
+(* The canonical feature-bearing dot nest — guard, init store, a
+   k-invariant mask conjunct, a [k < bound] conjunct and a scaling
+   epilogue:
+
+     for j < nj:
+       if j < nj-1:
+         C[j] = 0
+         for k < nk: C[j] += (j < nj-2 && k < nk-3) ? A[j*nk+k]*B[k] : 0.
+         C[j] = C[j] * 2
+
+   Row nj-2 is guard-true but mask-false everywhere (the all-zero chain
+   must still run the epilogue); row nj-1 is guard-false (its cell is
+   never touched). *)
+let tiled_nest ~nj ~nk (j, k, a, b, c) =
+  let open Ir in
+  let jv = Expr.var j and kv = Expr.var k in
+  let prod =
+    Expr.mul (load a (Expr.add (Expr.mul jv (Expr.int nk)) kv)) (load b kv)
+  in
+  let mask =
+    Expr.And (Expr.lt jv (Expr.int (nj - 2)), Expr.lt kv (Expr.int (nk - 3)))
+  in
+  let kloop =
+    Stmt.For
+      { var = k; min = Expr.zero; extent = Expr.int nk; kind = Stmt.Serial;
+        body =
+          Stmt.Reduce_store
+            { buf = c; index = jv; op = Stmt.Sum;
+              value = Expr.Select (mask, prod, Expr.float 0.0) };
+      }
+  in
+  Stmt.For
+    { var = j; min = Expr.zero; extent = Expr.int nj; kind = Stmt.Serial;
+      body =
+        Stmt.If
+          ( Expr.lt jv (Expr.int (nj - 1)),
+            Stmt.Seq
+              [
+                Stmt.Store { buf = c; index = jv; value = Expr.float 0.0 };
+                kloop;
+                Stmt.Store
+                  { buf = c; index = jv; value = Expr.mul (load c jv) (Expr.float 2.0) };
+              ],
+            None );
+    }
+
+let nj = 9
+let nk = 10
+
+let run_tiled opt =
+  let module E = Runtime.Engine in
+  let j = Ir.Var.fresh "j" and k = Ir.Var.fresh "k" in
+  let a = Ir.Var.fresh "A" and b = Ir.Var.fresh "B" and c = Ir.Var.fresh "C" in
+  let fr = E.frame (E.compile ~opt (tiled_nest ~nj ~nk (j, k, a, b, c))) in
+  let fa = Array.init (nj * nk) (fun i -> sin (float_of_int i)) in
+  let fb = Array.init nk (fun i -> cos (float_of_int i)) in
+  (* the guard-false row keeps this sentinel at every level *)
+  let fc = Array.make nj (-7.5) in
+  E.bind_buf fr a (Runtime.Buffer.of_floats fa);
+  E.bind_buf fr b (Runtime.Buffer.of_floats fb);
+  E.bind_buf fr c (Runtime.Buffer.of_floats fc);
+  E.run fr;
+  (Array.copy fc, E.stats fr)
+
+(* The tiled path must bind the masked register-tiled variant, agree with
+   O0 bitwise (including the all-zero-chain epilogue and the untouched
+   guard-false cell), and reproduce the generic counter totals exactly —
+   hoisting the endpoint bounds checks out of the chain bodies moves no
+   accounting (the satellite-1 contract). *)
+let test_o3_tiled_nest () =
+  let before = mk_variant "dot.tile4_masked" in
+  let o0, _ = run_tiled Ir.Optimize.O0 in
+  let o2, s2 = run_tiled Ir.Optimize.O2 in
+  let o3, s3 = run_tiled Ir.Optimize.O3 in
+  Alcotest.(check bool) "tile4_masked variant bound" true
+    (mk_variant "dot.tile4_masked" > before);
+  Alcotest.(check bool) "O3 actually tiles" true
+    (List.assoc "microkernel_elems" s3 > 0);
+  Alcotest.(check bool) "O0 = O2 bitwise" true (bits o2 = bits o0);
+  Alcotest.(check bool) "O0 = O3 bitwise" true (bits o3 = bits o0);
+  List.iter
+    (fun key ->
+      Alcotest.(check int)
+        (key ^ " totals unchanged by tiling")
+        (List.assoc key s2) (List.assoc key s3))
+    [ "loads"; "stores"; "flops"; "guards"; "guard_hits" ]
+
+(* Destination aliasing an operand array is only detectable at run time;
+   the tiled closure must fall back to the generic loop (register
+   accumulation would read stale values) and stay bitwise with O0. *)
+let test_o3_aliased_dst_falls_back () =
+  let module E = Runtime.Engine in
+  let anj = 4 and ank = 8 in
+  let j = Ir.Var.fresh "j" and k = Ir.Var.fresh "k" in
+  let a = Ir.Var.fresh "A" and b = Ir.Var.fresh "B" and c = Ir.Var.fresh "C" in
+  let open Ir in
+  let body =
+    Stmt.For
+      { var = j; min = Expr.zero; extent = Expr.int anj; kind = Stmt.Serial;
+        body =
+          Stmt.For
+            { var = k; min = Expr.zero; extent = Expr.int ank; kind = Stmt.Serial;
+              body =
+                Stmt.Reduce_store
+                  { buf = c; index = Expr.var j; op = Stmt.Sum;
+                    value =
+                      Expr.mul
+                        (load a
+                           (Expr.add (Expr.mul (Expr.var j) (Expr.int ank)) (Expr.var k)))
+                        (load b (Expr.var k)) };
+            };
+      }
+  in
+  let run opt =
+    let fr = E.frame (E.compile ~opt body) in
+    let fa = Array.init (anj * ank) (fun i -> cos (float_of_int i)) in
+    (* C and B share one array: C's cells sit inside the range B reads,
+       so each chain's partial sums feed later chains' operand loads *)
+    let shared = Runtime.Buffer.of_floats (Array.init ank (fun i -> 0.5 +. float_of_int i)) in
+    E.bind_buf fr a (Runtime.Buffer.of_floats fa);
+    E.bind_buf fr b shared;
+    E.bind_buf fr c shared;
+    E.run fr;
+    (Array.copy (Runtime.Buffer.floats shared), E.stats fr)
+  in
+  let o0, _ = run Ir.Optimize.O0 in
+  let o3, s3 = run Ir.Optimize.O3 in
+  Alcotest.(check int) "no microkernel on the aliased run" 0
+    (List.assoc "microkernel_elems" s3);
+  Alcotest.(check bool) "O0 = O3 bitwise under aliasing" true (bits o3 = bits o0)
+
+(* A reduction whose operand stride is a runtime value (S_dyn) must select
+   the strided variant, not the unit-stride unrolled one. *)
+let test_o3_dynamic_stride_selects_strided () =
+  let module E = Runtime.Engine in
+  let n = 8 in
+  let k = Ir.Var.fresh "k" and s = Ir.Var.fresh "s" in
+  let a = Ir.Var.fresh "A" and b = Ir.Var.fresh "B" and c = Ir.Var.fresh "C" in
+  let open Ir in
+  let body =
+    Stmt.Let_stmt
+      ( s,
+        Expr.int 3,
+        Stmt.For
+          { var = k; min = Expr.zero; extent = Expr.int n; kind = Stmt.Serial;
+            body =
+              Stmt.Reduce_store
+                { buf = c; index = Expr.zero; op = Stmt.Sum;
+                  value =
+                    Expr.mul
+                      (load a (Expr.Binop (Expr.Mul, Expr.var k, Expr.var s)))
+                      (load b (Expr.var k)) };
+          } )
+  in
+  let run opt =
+    let fr = E.frame (E.compile ~opt body) in
+    E.bind_buf fr a
+      (Runtime.Buffer.of_floats (Array.init (3 * n) (fun i -> sin (float_of_int i))));
+    E.bind_buf fr b
+      (Runtime.Buffer.of_floats (Array.init n (fun i -> 1.3 -. (0.2 *. float_of_int i))));
+    let fc = [| 0.25 |] in
+    E.bind_buf fr c (Runtime.Buffer.of_floats fc);
+    E.run fr;
+    (fc.(0), E.stats fr)
+  in
+  let strided_before = mk_variant "dot.sum_s4" in
+  let unit_before = mk_variant "dot.sum_u4" in
+  let v0, _ = run Ir.Optimize.O0 in
+  let v3, s3 = run Ir.Optimize.O3 in
+  Alcotest.(check bool) "strided variant selected" true
+    (mk_variant "dot.sum_s4" > strided_before);
+  Alcotest.(check int) "unit variant not selected" unit_before (mk_variant "dot.sum_u4");
+  Alcotest.(check int) "all elements through the microkernel" n
+    (List.assoc "microkernel_elems" s3);
+  Alcotest.(check bool) "O0 = O3 bitwise" true
+    (Int64.bits_of_float v0 = Int64.bits_of_float v3)
+
+(* The division identity (e/c)*c + e%c = e, exact for the IR's floored
+   div/mod pair: the O3 pass must rewrite the gather index to the plain
+   loop var — making it affine, so the copy upgrades to a blit — and the
+   optimized program must stay bitwise with O0. *)
+let test_o3_divmod_elim () =
+  let module E = Runtime.Engine in
+  let n = 20 in
+  let k = Ir.Var.fresh "k" in
+  let a = Ir.Var.fresh "A" and d = Ir.Var.fresh "D" in
+  let open Ir in
+  let idx =
+    Expr.add
+      (Expr.mul (Expr.floordiv (Expr.var k) (Expr.int 8)) (Expr.int 8))
+      (Expr.imod (Expr.var k) (Expr.int 8))
+  in
+  let body =
+    Stmt.For
+      { var = k; min = Expr.zero; extent = Expr.int n; kind = Stmt.Serial;
+        body = Stmt.Store { buf = d; index = Expr.var k; value = load a idx } }
+  in
+  let before = Obs.Metrics.value (Obs.Metrics.counter "optimize.divmod_eliminated") in
+  let o3_body, _ = Ir.Optimize.run ~level:Ir.Optimize.O3 body in
+  Alcotest.(check bool) "pass counted an elimination" true
+    (Obs.Metrics.value (Obs.Metrics.counter "optimize.divmod_eliminated") > before);
+  let residue = ref false in
+  ignore
+    (Stmt.map_exprs
+       (Expr.map_bottom_up (fun e ->
+            (match e with
+            | Expr.Binop (Expr.FloorDiv, _, _) | Expr.Binop (Expr.Mod, _, _) ->
+                residue := true
+            | _ -> ());
+            e))
+       o3_body)
+  [@warning "-5"];
+  Alcotest.(check bool) "no div/mod residue" false !residue;
+  let run opt body =
+    let fr = E.frame (E.compile ~opt body) in
+    let fd = Array.make n nan in
+    E.bind_buf fr a
+      (Runtime.Buffer.of_floats (Array.init n (fun i -> exp (0.1 *. float_of_int i))));
+    E.bind_buf fr d (Runtime.Buffer.of_floats fd);
+    E.run fr;
+    Array.copy fd
+  in
+  let blit_before = mk_variant "copy.blit" in
+  let o0 = run Ir.Optimize.O0 body in
+  let o3 = run Ir.Optimize.O3 o3_body in
+  Alcotest.(check bool) "rewritten gather upgrades to blit" true
+    (mk_variant "copy.blit" > blit_before);
+  Alcotest.(check bool) "O0 = O3 bitwise" true (bits o3 = bits o0)
+
+(* ------------------------------------------------------------------ *)
 (* Weighted chunk balancing *)
 
 let test_balance_chunks_skewed () =
@@ -367,6 +606,16 @@ let () =
           Alcotest.test_case "vgemm inner loop is a dot" `Quick test_vgemm_inner_is_dot;
           Alcotest.test_case "vgemm microkernel fires" `Quick test_vgemm_microkernel_fires;
           Alcotest.test_case "direct dot: counted + bitwise" `Quick test_dot_microkernel_direct;
+        ] );
+      ( "o3",
+        [
+          Alcotest.test_case "register-tiled nest: variant + counters + bitwise" `Quick
+            test_o3_tiled_nest;
+          Alcotest.test_case "aliased destination falls back" `Quick
+            test_o3_aliased_dst_falls_back;
+          Alcotest.test_case "dynamic stride selects strided variant" `Quick
+            test_o3_dynamic_stride_selects_strided;
+          Alcotest.test_case "divmod elimination" `Quick test_o3_divmod_elim;
         ] );
       ( "chunks",
         [
