@@ -376,6 +376,35 @@ tuned=$(echo "$adjson" | sed 's/.*"tuned_requests":\([0-9]*\).*/\1/')
 awk -v t="$tuned" 'BEGIN { exit (t > 0) ? 0 : 1 }' \
   || { echo "ci: no request was ever served from a tuned schedule" >&2; exit 1; }
 
+echo "== cora bench-stream --workload decode --domains 4 --smoke" >&2
+# Autoregressive decoding behind the concurrent front-end: a trace of
+# prefill+decode sessions whose KV-cache lengths grow by one per step,
+# served with incremental prelude maintenance.  --smoke turns on the
+# differential delta-vs-rebuild oracle for every delta update and checks
+# each request's checksum bitwise against a serial replay; the JSON is
+# then re-checked here — no lost requests, the delta path actually fired,
+# and the steady-state modeled per-step prelude cost at least halved
+# against full rebuilds.
+dune exec bin/cora_cli.exe -- bench-stream --workload decode --exec \
+  --domains 4 --smoke > "$tmpdir/stream_decode.txt"
+
+dsjson=$(sed -n 's/^BENCH_STREAM //p' "$tmpdir/stream_decode.txt")
+test -n "$dsjson" || { echo "ci: no BENCH_STREAM line (decode)" >&2; exit 1; }
+for field in rejected deadline_exceeded errors; do
+  n=$(echo "$dsjson" | sed "s/.*\"$field\":\([0-9]*\).*/\1/")
+  awk -v n="$n" 'BEGIN { exit (n == 0) ? 0 : 1 }' \
+    || { echo "ci: $field=$n on the decode stream, expected 0" >&2; exit 1; }
+done
+dcjson=$(sed -n 's/^BENCH_DECODE //p' "$tmpdir/stream_decode.txt")
+test -n "$dcjson" || { echo "ci: no BENCH_DECODE line" >&2; exit 1; }
+dup=$(echo "$dcjson" | sed 's/.*"tables_delta_updated":\([0-9]*\).*/\1/')
+awk -v n="$dup" 'BEGIN { exit (n > 0) ? 0 : 1 }' \
+  || { echo "ci: tables_delta_updated=$dup, the delta path never fired" >&2; exit 1; }
+dm=$(echo "$dcjson" | sed 's/.*"prelude_delta_model_ns":\([0-9.eE+-]*\).*/\1/')
+rm_=$(echo "$dcjson" | sed 's/.*"prelude_rebuild_model_ns":\([0-9.eE+-]*\).*/\1/')
+awk -v d="$dm" -v r="$rm_" 'BEGIN { exit (d > 0 && d <= 0.5 * r) ? 0 : 1 }' \
+  || { echo "ci: delta prelude $dm ns not <= half of rebuild $rm_ ns" >&2; exit 1; }
+
 echo "== flight recorder dump on deadline miss" >&2
 # An impossible deadline forces every request into Deadline_exceeded; the
 # front-end must auto-dump the flight ring into results/ as valid JSON.

@@ -377,7 +377,7 @@ let trace_cmd =
 (* ------------------------------------------------------------------ *)
 (* bench-stream: replay a request stream through the serving layer.    *)
 
-let bench_stream_workloads = [ "fig1"; "vgemm"; "trmm"; "encoder" ]
+let bench_stream_workloads = [ "fig1"; "vgemm"; "trmm"; "encoder"; "decode" ]
 
 (* Bench-scale adapters: paper-scale vgemm/encoder instances are far too
    large for the reference interpreter, so execution defaults to off and
@@ -389,6 +389,7 @@ let bench_workload ~dataset = function
   | "trmm" -> Serving.Workload.trmm ~tile:8 ~sizes:[| 16; 24; 32 |] ()
   | "encoder" ->
       Serving.Workload.encoder ~batch:4 ~dataset:(Workloads.Datasets.by_name dataset) ()
+  | "decode" -> Serving.Workload.decode ~batch:4 ~max_src:64 ()
   | other ->
       Fmt.failwith "unknown workload %s (available: %s)" other
         (String.concat " " bench_stream_workloads)
@@ -613,7 +614,38 @@ let bench_stream_cmd =
         ?autotune:(if autotune then Some Autotune.Tuner.default_cfg else None)
         ()
     in
-    let stream = Serving.Stream.generate ~workload:w ~pool ~n:requests ~seed () in
+    (* decode: the stream is a trace — [pool] sessions of one prefill plus
+       enough +1 decode steps to total ~[requests] events, arriving in
+       bursts; a deadline becomes the tight class of a three-tenant mix *)
+    let is_decode = workload = "decode" in
+    let dtrace =
+      if not is_decode then None
+      else
+        let sessions = pool in
+        let steps = max 2 (((requests + sessions - 1) / sessions) - 1) in
+        let classes =
+          match deadline_ns with
+          | None -> [| None |]
+          | Some d -> [| Some d; Some (2.0 *. d); None |]
+        in
+        Some
+          (Serving.Stream.generate_trace ~workload:w ~sessions ~steps ~burst:2 ~classes
+             ~seed ())
+    in
+    let stream =
+      match dtrace with
+      | Some tr ->
+          {
+            Serving.Stream.seed;
+            shapes = [||];
+            items = Array.map (fun e -> e.Serving.Stream.lens) tr.Serving.Stream.events;
+          }
+      | None -> Serving.Stream.generate ~workload:w ~pool ~n:requests ~seed ()
+    in
+    let requests = Array.length stream.Serving.Stream.items in
+    (* decode smoke arms the differential self-check: every delta-updated
+       table is compared against a from-scratch build as it is produced *)
+    if smoke && is_decode then Cora.Prelude.set_delta_check true;
     let windows = min windows requests in
     let wsize = requests / windows in
     let arena_miss_now () = Obs.Metrics.value (Obs.Metrics.counter "arena.miss") in
@@ -684,32 +716,46 @@ let bench_stream_cmd =
         let fe =
           Serving.Frontend.create ~domains
             ~capacity:(max 16 (max (2 * domains) (2 * max_batch)))
-            ?deadline_ns
+            (* decode: deadlines ride on the trace's tenant classes, so
+               the front-end must not also impose a blanket default *)
+            ?deadline_ns:(if is_decode then None else deadline_ns)
             ?batching:(if batching_active then Some bcfg else None)
             srv
         in
-        let tks =
-          Array.map (fun lens -> Serving.Frontend.submit_wait fe w lens)
-            stream.Serving.Stream.items
-        in
-        let boundaries =
-          List.init windows (fun i ->
-              (if i = windows - 1 then requests else (i + 1) * wsize) - 1)
-        in
-        let depths = ref [] in
-        let o =
-          Array.mapi
-            (fun i tk ->
-              let outcome = Serving.Frontend.await tk in
-              if List.mem i boundaries then begin
-                depths := Serving.Frontend.queue_length fe :: !depths;
-                sample_runtime_gauges ()
-              end;
-              outcome)
-            tks
+        let o, depths =
+          match dtrace with
+          | Some tr ->
+              (* per-session software pipelining: a session's step [t+1]
+                 goes in only after its step [t] resolves; events carry
+                 their tenant class's deadline *)
+              let pairs = Serving.Stream.run_trace fe w tr in
+              sample_runtime_gauges ();
+              (Array.map snd pairs, [])
+          | None ->
+              let tks =
+                Array.map (fun lens -> Serving.Frontend.submit_wait fe w lens)
+                  stream.Serving.Stream.items
+              in
+              let boundaries =
+                List.init windows (fun i ->
+                    (if i = windows - 1 then requests else (i + 1) * wsize) - 1)
+              in
+              let depths = ref [] in
+              let o =
+                Array.mapi
+                  (fun i tk ->
+                    let outcome = Serving.Frontend.await tk in
+                    if List.mem i boundaries then begin
+                      depths := Serving.Frontend.queue_length fe :: !depths;
+                      sample_runtime_gauges ()
+                    end;
+                    outcome)
+                  tks
+              in
+              (o, List.rev !depths)
         in
         Serving.Frontend.shutdown fe;
-        (o, [], List.rev !depths)
+        (o, [], depths)
       end
     in
     let wall_ns = (Obs.Trace_sink.now_us () -. t0_us) *. 1e3 in
@@ -979,6 +1025,118 @@ let bench_stream_cmd =
         ]
     in
     Printf.printf "BENCH_STREAM %s\n" (Obs.Json.to_string json);
+    (* decode: per-step accounting plus the delta-vs-rebuild prelude pair *)
+    let decode_stats =
+      match dtrace with
+      | None -> None
+      | Some tr ->
+          (* main-replay delta counters — snapshot before the pair below
+             replays the trace two more times *)
+          let d_updated = mval "prelude.tables_delta_updated" in
+          let d_shared = mval "prelude.tables_shared" in
+          let d_builds = mval "prelude_cache.delta" in
+          Cora.Prelude.set_delta_check false;
+          let n_decode_served = ref 0 in
+          Array.iteri
+            (fun i o ->
+              match (tr.Serving.Stream.events.(i).Serving.Stream.phase, o) with
+              | Serving.Stream.Decode _, Serving.Frontend.Response _ ->
+                  incr n_decode_served
+              | _ -> ())
+            outcomes;
+          let steps_per_sec =
+            if wall_ns > 0.0 then float_of_int !n_decode_served /. (wall_ns /. 1e9)
+            else 0.0
+          in
+          (* mean per-step KV-cache storage padding waste at the seq_pad
+             row granularity — the figure the paper's minimal-padding
+             claim cashes out to in a decode stream *)
+          let seq_pad =
+            (Transformer.Config.tiny ~lens:[| 1 |]).Transformer.Config.seq_pad
+          in
+          let waste_sum = ref 0.0 and waste_n = ref 0 in
+          Array.iter
+            (fun (e : Serving.Stream.event) ->
+              match e.Serving.Stream.phase with
+              | Serving.Stream.Decode _ ->
+                  let actual = Array.fold_left ( + ) 0 e.Serving.Stream.lens in
+                  let padded =
+                    Array.fold_left
+                      (fun acc l -> acc + Serving.Batcher.Pack.ceilmult l seq_pad)
+                      0 e.Serving.Stream.lens
+                  in
+                  if padded > 0 then begin
+                    waste_sum :=
+                      !waste_sum +. (1.0 -. (float_of_int actual /. float_of_int padded));
+                    incr waste_n
+                  end
+              | _ -> ())
+            tr.Serving.Stream.events;
+          let mean_waste =
+            if !waste_n = 0 then 0.0 else !waste_sum /. float_of_int !waste_n
+          in
+          (* Back-to-back in-process pair: a serial trace replay with the
+             delta path against the same workload stripped of
+             [prev_tables] (full rebuild per step).  Model ns is
+             deterministic (driven by the built work fields); wall us is
+             informational.  Steady state = decode steps >= 2 — the
+             prefill and the first decode step build from scratch in both
+             modes. *)
+          let steady_sum wl =
+            Serving.Server.reset_caches ();
+            let s =
+              Serving.Server.create ~compile_cache:(not no_cc)
+                ~prelude_cache:(not no_pc) ~execute:exec ~engine ~opt ()
+            in
+            let rs = Serving.Stream.replay_trace s wl tr in
+            let model = ref 0.0 and wall = ref 0.0 and n = ref 0 in
+            Array.iteri
+              (fun i (r : Serving.Server.response) ->
+                match tr.Serving.Stream.events.(i).Serving.Stream.phase with
+                | Serving.Stream.Decode k when k >= 2 ->
+                    incr n;
+                    model := !model +. r.Serving.Server.prelude_host_ns;
+                    wall :=
+                      !wall
+                      +. Option.value ~default:0.0
+                           (List.assoc_opt "prelude" r.Serving.Server.stages_us)
+                | _ -> ())
+              rs;
+            (!model, !wall, !n)
+          in
+          let delta_model, delta_wall, steady_n = steady_sum w in
+          let rebuild_model, rebuild_wall, _ =
+            steady_sum { w with Serving.Workload.prev_tables = None }
+          in
+          let speedup = if delta_model > 0.0 then rebuild_model /. delta_model else 0.0 in
+          let dj =
+            Obs.Json.Obj
+              [
+                ("sessions", Obs.Json.Int tr.Serving.Stream.sessions);
+                ("steps", Obs.Json.Int tr.Serving.Stream.steps);
+                ("events", Obs.Json.Int (Array.length tr.Serving.Stream.events));
+                ("decode_steps_served", Obs.Json.Int !n_decode_served);
+                ("steps_per_sec", Obs.Json.Float steps_per_sec);
+                ("tables_delta_updated", Obs.Json.Int d_updated);
+                ("tables_shared", Obs.Json.Int d_shared);
+                ("delta_builds", Obs.Json.Int d_builds);
+                ("steady_events", Obs.Json.Int steady_n);
+                ("prelude_delta_model_ns", Obs.Json.Float delta_model);
+                ("prelude_rebuild_model_ns", Obs.Json.Float rebuild_model);
+                ("prelude_model_speedup", Obs.Json.Float speedup);
+                ("prelude_delta_wall_us", Obs.Json.Float delta_wall);
+                ("prelude_rebuild_wall_us", Obs.Json.Float rebuild_wall);
+                ("mean_step_padding_waste_frac", Obs.Json.Float mean_waste);
+              ]
+          in
+          Printf.printf "BENCH_DECODE %s\n" (Obs.Json.to_string dj);
+          Printf.eprintf
+            "decode: %d sessions x %d steps: %.0f steps/s; steady prelude delta %.0f \
+             ns vs rebuild %.0f ns (%.1fx); %d tables delta-updated, %d shared\n"
+            tr.Serving.Stream.sessions tr.Serving.Stream.steps steps_per_sec delta_model
+            rebuild_model speedup d_updated d_shared;
+          Some (d_updated, delta_model, rebuild_model)
+    in
     Printf.eprintf
       "%s: %d requests (%d shapes, seed %d, %d domain%s): p50 %.1f us, p95 %.1f us, p99 \
        %.1f us; compile hit rate %.2f, prelude hit rate %.2f; goodput %.0f rps\n"
@@ -1000,7 +1158,9 @@ let bench_stream_cmd =
         if Cora.Lower.memo_size () = 0 then Fmt.failwith "smoke: compile cache is empty"
       end;
       if not no_pc then begin
-        if (not batching_active) && prelude_hit_rate <= 0.0 then
+        (* a decode trace never repeats a shape — its prelude economics
+           come from the delta path, asserted below, not from hits *)
+        if (not batching_active) && (not is_decode) && prelude_hit_rate <= 0.0 then
           Fmt.failwith "smoke: prelude cache never hit";
         if host_ns_on_hits <> 0.0 then
           Fmt.failwith "smoke: prelude host work on hits is %g ns, expected 0" host_ns_on_hits
@@ -1016,12 +1176,15 @@ let bench_stream_cmd =
       in
       (* mega-batch signatures vary with window composition, so both
          steady-state checks assume the unbatched request stream *)
-      if (not no_pc) && (not concurrent) && not batching_active then
+      (* decode grows every shape monotonically (prelude entries and
+         tensor sizes rise by construction), so the flat-steady-state
+         windows below do not apply — its budget is the delta assertion *)
+      if (not no_pc) && (not concurrent) && (not batching_active) && not is_decode then
         check_monotone 0 window_overhead_p50;
       (* zero-allocation steady state: once the first window has populated
          the arena's size classes, later windows must not miss (serial
          only: concurrent windows interleave across domains) *)
-      if exec && (not concurrent) && not batching_active then
+      if exec && (not concurrent) && (not batching_active) && not is_decode then
         List.iteri
           (fun i m ->
             if i > 0 && m > 0 then
@@ -1109,6 +1272,20 @@ let bench_stream_cmd =
                    (Serving.Frontend.outcome_label o))
            untuned
        end);
+      (* decode: the delta path must actually carry the stream (tables
+         delta-updated during the main replay) and pay at most half the
+         rebuild's modeled prelude cost on steady-state steps.  The
+         differential self-check armed above already vouched bitwise for
+         every delta table. *)
+      (match decode_stats with
+      | Some (d_updated, delta_model, rebuild_model) when not no_pc ->
+          if d_updated = 0 then
+            Fmt.failwith "smoke: decode stream never delta-updated a prelude table";
+          if rebuild_model > 0.0 && delta_model > 0.5 *. rebuild_model then
+            Fmt.failwith
+              "smoke: steady-state delta prelude %.0f ns exceeds half the rebuild's %.0f ns"
+              delta_model rebuild_model
+      | _ -> ());
       Printf.eprintf "smoke: OK\n"
     end
   in

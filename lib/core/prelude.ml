@@ -23,6 +23,16 @@ type def = {
   c_src : string option;
       (** host-side C implementation, when the def comes from one of the
           standard constructors (emitted by {!Codegen_c.prelude}) *)
+  update : (prev:value -> old_lenv:Lenfun.env -> Lenfun.env -> (value * int) option) option;
+      (** incremental maintenance: given the table built for [old_lenv],
+          produce the table for the new environment touching only changed
+          rows (decode steps grow lengths by one, so most padded slice
+          sizes — and hence most table entries — are unchanged).  Returns
+          the new value and the host operations actually performed, or
+          [None] when the previous value is unusable (shape mismatch) and
+          the caller must fall back to {!def.compute}.  When nothing
+          changed the {e previous} value is returned physically, sharing
+          the array. *)
 }
 
 (** Result of running the prelude for one kernel/pipeline. *)
@@ -92,6 +102,84 @@ let build ?(dedup_defs = true) (defs : def list) (lenv : Lenfun.env) : built =
     (Obs.Trace_sink.Int (4 * (built.storage_entries + built.fusion_entries)));
   built
 
+(* When enabled, every delta-updated table is rebuilt from scratch and
+   compared bitwise — the differential oracle for the incremental path.
+   Read-mostly flag shared across serving domains, hence Atomic. *)
+let delta_check = Atomic.make false
+let set_delta_check b = Atomic.set delta_check b
+let delta_check_enabled () = Atomic.get delta_check
+
+let value_equal a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> x = y
+  | Table x, Table y -> x = y
+  | _ -> false
+
+exception Delta_mismatch of string
+
+(** Delta-update every table from [prev] (built for [old_lenv]) to the new
+    environment.  Defs without an [update] function, defs absent from
+    [prev], and defs whose updater declines (shape mismatch) fall back to
+    a from-scratch {!def.compute} and count as [prelude.tables_built];
+    successful updates count as [prelude.tables_delta_updated] (plus
+    [prelude.tables_shared] when the previous array is reused by
+    reference).  Work accounting records the operations actually
+    performed, so the modeled host time shrinks with the delta. *)
+let delta_update ?(dedup_defs = true) ~(prev : built) ~(old_lenv : Lenfun.env)
+    (defs : def list) (lenv : Lenfun.env) : built =
+  Obs.Span.with_span "prelude.delta_update" @@ fun () ->
+  let requested = List.length defs in
+  let defs = if dedup_defs then dedup defs else defs in
+  Obs.Metrics.add (Obs.Metrics.counter "prelude.dedup_hits") (requested - List.length defs);
+  let delta_c = Obs.Metrics.counter "prelude.tables_delta_updated" in
+  let shared_c = Obs.Metrics.counter "prelude.tables_shared" in
+  let built_c = Obs.Metrics.counter "prelude.tables_built" in
+  let entries_h = Obs.Metrics.histogram "prelude.table_entries" in
+  let works : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let tables =
+    List.map
+      (fun d ->
+        let fallback () =
+          Obs.Metrics.incr built_c;
+          Hashtbl.replace works d.name (d.work lenv);
+          d.compute lenv
+        in
+        let v =
+          match d.update with
+          | None -> fallback ()
+          | Some u -> (
+              match List.assoc_opt d.name prev.tables with
+              | None -> fallback ()
+              | Some pv -> (
+                  match u ~prev:pv ~old_lenv lenv with
+                  | None -> fallback ()
+                  | Some (v, wk) ->
+                      Obs.Metrics.incr delta_c;
+                      if v == pv then Obs.Metrics.incr shared_c;
+                      Hashtbl.replace works d.name wk;
+                      v))
+        in
+        if Atomic.get delta_check then begin
+          let full = d.compute lenv in
+          if not (value_equal v full) then raise (Delta_mismatch d.name)
+        end;
+        Obs.Metrics.observe entries_h (float_of_int (value_entries v));
+        (d.name, v))
+      defs
+  in
+  let acc kind f =
+    List.fold_left2
+      (fun total d (_, v) -> if d.kind = kind then total + f d v else total)
+      0 defs tables
+  in
+  {
+    tables;
+    storage_entries = acc Storage (fun _ v -> value_entries v);
+    fusion_entries = acc Loop_fusion (fun _ v -> value_entries v);
+    storage_work = acc Storage (fun d _ -> Hashtbl.find works d.name);
+    fusion_work = acc Loop_fusion (fun d _ -> Hashtbl.find works d.name);
+  }
+
 (** Memory footprint in bytes (4-byte entries, as the paper reports). *)
 let bytes built = 4 * (built.storage_entries + built.fusion_entries)
 
@@ -140,6 +228,33 @@ let psum_def ~name ~fn_name ~count ~pad : def =
         done;
         Table a);
     work = (fun _ -> count + 1);
+    update =
+      Some
+        (fun ~prev ~old_lenv:_ lenv ->
+          match prev with
+          | Table old when Array.length old = count + 1 ->
+              let f = Lenfun.lookup lenv fn_name in
+              (* old padded slice sizes are the deltas of the old psum, so
+                 the scan needs no old environment *)
+              let t0 = ref count in
+              (try
+                 for t = 0 to count - 1 do
+                   if old.(t + 1) - old.(t) <> Shape.pad_to (f t) pad then begin
+                     t0 := t;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !t0 = count then Some (prev, count)
+              else begin
+                let a = Array.make (count + 1) 0 in
+                Array.blit old 0 a 0 (!t0 + 1);
+                for t = !t0 to count - 1 do
+                  a.(t + 1) <- a.(t) + Shape.pad_to (f t) pad
+                done;
+                Some (Table a, count + (count - !t0))
+              end
+          | _ -> None);
   }
 
 (** General prefix-sum of per-slice volumes for storage lowering when the
@@ -167,6 +282,32 @@ let volume_psum_def ~name ~(count : Lenfun.env -> int) ~(volume : Lenfun.env -> 
         done;
         Table a);
     work = (fun lenv -> count lenv + 1);
+    update =
+      Some
+        (fun ~prev ~old_lenv lenv ->
+          match prev with
+          | Table old when Array.length old = count old_lenv + 1 ->
+              let n_old = count old_lenv and n = count lenv in
+              let m = min n_old n in
+              let t0 = ref m in
+              (try
+                 for t = 0 to m - 1 do
+                   if old.(t + 1) - old.(t) <> volume lenv t then begin
+                     t0 := t;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if n = n_old && !t0 = n then Some (prev, n)
+              else begin
+                let a = Array.make (n + 1) 0 in
+                Array.blit old 0 a 0 (!t0 + 1);
+                for t = !t0 to n - 1 do
+                  a.(t + 1) <- a.(t) + volume lenv t
+                done;
+                Some (Table a, m + 1 + (n - !t0))
+              end
+          | _ -> None);
   }
 
 (** Pointwise table: [name.(x) = value lenv x] for [x < count lenv] — used
@@ -186,6 +327,32 @@ let pointwise_def ~name ~(count : Lenfun.env -> int) ~(value : Lenfun.env -> int
         let n = count lenv in
         Table (Array.init n (value lenv)));
     work = (fun lenv -> count lenv);
+    update =
+      Some
+        (fun ~prev ~old_lenv lenv ->
+          match prev with
+          | Table old when Array.length old = count old_lenv ->
+              let n_old = count old_lenv and n = count lenv in
+              let m = min n_old n in
+              let t0 = ref m in
+              (try
+                 for t = 0 to m - 1 do
+                   if old.(t) <> value lenv t then begin
+                     t0 := t;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if n = n_old && !t0 = n then Some (prev, n)
+              else begin
+                let a = Array.make n 0 in
+                Array.blit old 0 a 0 !t0;
+                for t = !t0 to n - 1 do
+                  a.(t) <- value lenv t
+                done;
+                Some (Table a, m + (n - !t0))
+              end
+          | _ -> None);
   }
 
 (** Scalar value computed by the prelude. *)
@@ -196,6 +363,11 @@ let scalar_def ~name ~(value : Lenfun.env -> int) : def =
     c_src = None;
     compute = (fun lenv -> Scalar (value lenv));
     work = (fun _ -> 1);
+    update =
+      Some
+        (fun ~prev ~old_lenv:_ lenv ->
+          let v = value lenv in
+          match prev with Scalar s when s = v -> Some (prev, 1) | _ -> Some (Scalar v, 1));
   }
 
 (** Fused-loop total [F]: sum of padded slice sizes, bulk-padded (§7.2). *)
@@ -220,6 +392,16 @@ let fused_total_def ~name ~fn_name ~count ~pad ~bulk : def =
         done;
         Scalar (Shape.pad_to !total bulk));
     work = (fun _ -> count);
+    update =
+      Some
+        (fun ~prev ~old_lenv:_ lenv ->
+          let f = Lenfun.lookup lenv fn_name in
+          let total = ref 0 in
+          for t = 0 to count - 1 do
+            total := !total + Shape.pad_to (f t) pad
+          done;
+          let v = Shape.pad_to !total bulk in
+          match prev with Scalar s when s = v -> Some (prev, count) | _ -> Some (Scalar v, count));
   }
 
 (** Fused-loop mapping arrays (§5.1): [f_fo f] and [f_fi f] recover the
@@ -271,6 +453,74 @@ let fused_map_defs ~fo_name ~fi_name ~fn_name ~count ~pad ~bulk : def list =
       (if which = fo_name then "t" else "i")
       (if which = fo_name then Printf.sprintf "%d" count else "pos - base")
   in
+  (* Incremental maintenance: per-row padded sizes are compared old-vs-new
+     in O(count); the map prefix before the first changed row is bitwise
+     identical (blitted), only the suffix is refilled.  On steps where no
+     padded size changed — (pad-1) of every pad decode steps — the whole
+     array is shared by reference, which is where the amortised O(changed
+     rows) bound comes from. *)
+  let update_map ~is_fo ~prev ~old_lenv lenv =
+    match prev with
+    | Scalar _ -> None
+    | Table old -> (
+        match
+          (try Some (Lenfun.lookup old_lenv fn_name) with Not_found -> None)
+        with
+        | None -> None
+        | Some g ->
+            let f = Lenfun.lookup lenv fn_name in
+            let t0 = ref count and prefix = ref 0 in
+            let real_old = ref 0 and real_new = ref 0 in
+            for t = 0 to count - 1 do
+              let so = Shape.pad_to (g t) pad and sn = Shape.pad_to (f t) pad in
+              if so <> sn && !t0 = count then begin
+                t0 := t;
+                prefix := !real_new
+              end;
+              real_old := !real_old + so;
+              real_new := !real_new + sn
+            done;
+            let total_old = Shape.pad_to !real_old bulk in
+            let total = Shape.pad_to !real_new bulk in
+            if Array.length old <> max total_old 1 then None
+            else if !t0 = count then Some (prev, count)
+            else begin
+              (* A row's segment is position-independent (fo entries are
+                 the row index, fi entries are 0..s-1), so rows whose
+                 padded size is unchanged blit from their OLD offset to
+                 their new one; only rows whose padded size actually
+                 changed — one in [pad] growth steps — are recomputed.
+                 Work: the scan, one unit per blitted row (bulk copy),
+                 and the changed rows' entries. *)
+              let a = Array.make (max total 1) 0 in
+              Array.blit old 0 a 0 !prefix;
+              (* old offset of row t0: psum of old padded sizes before it *)
+              let opos = ref 0 in
+              for t = 0 to !t0 - 1 do
+                opos := !opos + Shape.pad_to (g t) pad
+              done;
+              let pos = ref !prefix and wrk = ref (count + (count - !t0)) in
+              for t = !t0 to count - 1 do
+                let so = Shape.pad_to (g t) pad and sn = Shape.pad_to (f t) pad in
+                if so = sn then Array.blit old !opos a !pos sn
+                else begin
+                  wrk := !wrk + sn;
+                  for i = 0 to sn - 1 do
+                    a.(!pos + i) <- (if is_fo then t else i)
+                  done
+                end;
+                opos := !opos + so;
+                pos := !pos + sn
+              done;
+              let base = !pos in
+              wrk := !wrk + (total - base);
+              while !pos < total do
+                a.(!pos) <- (if is_fo then count else !pos - base);
+                incr pos
+              done;
+              Some (Table a, !wrk)
+            end)
+  in
   [
     {
       name = fo_name;
@@ -278,6 +528,7 @@ let fused_map_defs ~fo_name ~fi_name ~fn_name ~count ~pad ~bulk : def list =
       c_src = Some (maps_src fo_name);
       compute = (fun lenv -> Table (fst (build_maps lenv)));
       work = (fun lenv -> work lenv / 2);
+      update = Some (fun ~prev ~old_lenv lenv -> update_map ~is_fo:true ~prev ~old_lenv lenv);
     };
     {
       name = fi_name;
@@ -285,5 +536,6 @@ let fused_map_defs ~fo_name ~fi_name ~fn_name ~count ~pad ~bulk : def list =
       c_src = Some (maps_src fi_name);
       compute = (fun lenv -> Table (snd (build_maps lenv)));
       work = (fun lenv -> work lenv / 2);
+      update = Some (fun ~prev ~old_lenv lenv -> update_map ~is_fo:false ~prev ~old_lenv lenv);
     };
   ]

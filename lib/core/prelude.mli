@@ -16,6 +16,11 @@ type def = {
   compute : Lenfun.env -> value;
   work : Lenfun.env -> int;  (** host operations to build it (≈ entries) *)
   c_src : string option;  (** host-side C implementation, when available *)
+  update : (prev:value -> old_lenv:Lenfun.env -> Lenfun.env -> (value * int) option) option;
+      (** incremental maintenance from the value built for [old_lenv]:
+          [(new value, host ops actually performed)], sharing the previous
+          array by reference when nothing changed; [None] = updater
+          declines (shape mismatch), fall back to [compute]. *)
 }
 
 type built = {
@@ -35,6 +40,36 @@ val dedup : def list -> def list
 (** Build all aux structures.  [~dedup_defs:false] reproduces the redundant
     per-operator computation of the unoptimized prototype (Tables 7–8). *)
 val build : ?dedup_defs:bool -> def list -> Lenfun.env -> built
+
+(** Raised by the differential check (see {!set_delta_check}) when a
+    delta-updated table differs from a from-scratch build; carries the
+    offending table name. *)
+exception Delta_mismatch of string
+
+(** [delta_update ~prev ~old_lenv defs lenv] — incremental prelude
+    maintenance for autoregressive decoding: produce the tables for [lenv]
+    by extending [prev] (the tables built for [old_lenv]) instead of
+    rebuilding, touching only rows whose padded size changed and sharing
+    unchanged arrays by reference.  [prev] is never mutated (it may be a
+    cached value shared across requests).  Falls back to a from-scratch
+    compute per def when no previous value applies.  Counters:
+    [prelude.tables_delta_updated], [prelude.tables_shared]; fallbacks
+    count as [prelude.tables_built].  The work fields of the result record
+    the operations actually performed, so modeled host time shrinks with
+    the delta; the entries fields stay exact (copy volume is unchanged). *)
+val delta_update : ?dedup_defs:bool -> prev:built -> old_lenv:Lenfun.env -> def list ->
+  Lenfun.env -> built
+
+(** When enabled, every {!delta_update} table is also rebuilt from scratch
+    and compared bitwise, raising {!Delta_mismatch} on any difference —
+    the differential oracle for the incremental path (used by tests and
+    [--smoke]). *)
+val set_delta_check : bool -> unit
+
+val delta_check_enabled : unit -> bool
+
+(** Bitwise equality of prelude values. *)
+val value_equal : value -> value -> bool
 
 (** Memory footprint in bytes (4-byte entries, as the paper reports). *)
 val bytes : built -> int

@@ -47,3 +47,33 @@ let build_keyed ~(key : Sig.t) ?(dedup_defs = true) (defs : unit -> Prelude.def 
 let build_cached ~(tables_sig : Sig.t) ?(dedup_defs = true) (defs : Prelude.def list)
     (lenv : Lenfun.env) : Prelude.built * bool =
   build_keyed ~key:(key ~tables_sig ~dedup_defs defs) ~dedup_defs (fun () -> defs) lenv
+
+let delta_c = Obs.Metrics.counter "prelude_cache.delta"
+
+let build_delta ~(key : Sig.t) ?(dedup_defs = true)
+    ~(prev : unit -> (Sig.t * Lenfun.env) option) (defs : unit -> Prelude.def list)
+    (lenv : Lenfun.env) : Prelude.built * bool =
+  match Cache.find cache key with
+  | Some b ->
+      Obs.Metrics.incr hit_c;
+      (b, true)
+  | None ->
+      Obs.Metrics.incr miss_c;
+      let b =
+        match prev () with
+        | Some (prev_key, old_lenv) -> (
+            match Cache.find cache prev_key with
+            | Some pb ->
+                Obs.Metrics.incr delta_c;
+                (* the delta result is bitwise-identical to a from-scratch
+                   build (updater contract, enforced by the differential
+                   check), so inserting it under the value-carrying key
+                   keeps the cache consistent; [pb] is shared with other
+                   requests and never mutated — unchanged arrays are
+                   shared into the new built record *)
+                Prelude.delta_update ~dedup_defs ~prev:pb ~old_lenv (defs ()) lenv
+            | None -> Prelude.build ~dedup_defs (defs ()) lenv)
+        | None -> Prelude.build ~dedup_defs (defs ()) lenv
+      in
+      Cache.add cache key b;
+      (b, false)

@@ -41,6 +41,21 @@ val build_keyed :
   key:Sig.t -> ?dedup_defs:bool -> (unit -> Prelude.def list) -> Lenfun.env ->
   Prelude.built * bool
 
+(** [build_delta ~key ~prev defs lenv] — {!build_keyed} with incremental
+    prelude maintenance on a miss (the decode fast path): [prev] is forced
+    only then and names the predecessor step's key and environment (for
+    decode, the same batch with every length one smaller).  If the
+    predecessor is cached, the new tables are produced by
+    {!Prelude.delta_update} — touching only changed rows and sharing
+    unchanged arrays — instead of a from-scratch build; otherwise this
+    degrades to a plain build.  Correctness does not depend on [prev]
+    actually being the predecessor: keys carry the table values, and a
+    delta result is bitwise-identical to a fresh build.  Counter:
+    [prelude_cache.delta] per delta-built miss. *)
+val build_delta :
+  key:Sig.t -> ?dedup_defs:bool -> prev:(unit -> (Sig.t * Lenfun.env) option) ->
+  (unit -> Prelude.def list) -> Lenfun.env -> Prelude.built * bool
+
 (** Explicit invalidation: drop every cached build (for when length
     functions change identity rather than content). *)
 val clear : unit -> unit

@@ -11,13 +11,20 @@ type t = {
   tensor : Tensor.t;
   buf : Runtime.Buffer.t;
   lenv : Lenfun.env;
-  prefix_cache : (int, int array) Hashtbl.t;
-      (* dim position -> prefix sums of per-value slice volumes for a dim
+  prefix_cache : int array option Atomic.t array;
+      (* per-dim slot -> prefix sums of per-value slice volumes for a dim
          with ragged dependents.  Both inputs of the sum (tensor, lenv)
          are immutable for the lifetime of the value, so the cache never
          invalidates.  Without it every get/set pays an O(extent) prefix
-         walk, which makes filling a B-row mega-batch O(B^2). *)
+         walk, which makes filling a B-row mega-batch O(B^2).  One value
+         can be touched from several domains at once (parallel mega-batch
+         fill/scatter), so each slot publishes an immutable array through
+         an [Atomic]: racing domains may compute the array twice, but the
+         computation is deterministic, so whichever publish lands last is
+         identical — no torn reads, no lost entries. *)
 }
+
+let fresh_prefix_cache tensor = Array.init (Tensor.rank tensor) (fun _ -> Atomic.make None)
 
 (** Allocate a zero-filled buffer sized for [tensor] under [lenv] (zero fill
     matters: padded regions must read as 0 so padded reductions stay
@@ -27,7 +34,7 @@ let alloc tensor lenv =
     tensor;
     buf = Runtime.Buffer.float_buf (Tensor.size_elems tensor ~lenv);
     lenv;
-    prefix_cache = Hashtbl.create 4;
+    prefix_cache = fresh_prefix_cache tensor;
   }
 
 (** Numeric flat offset of a multi-index — the runtime mirror of the
@@ -55,7 +62,7 @@ let offset ({ tensor = t; lenv; _ } as r) (idx : int list) : int =
          the dim's whole extent; the recursive volume handles nested
          raggedness *)
       let prefix =
-        match Hashtbl.find_opt r.prefix_cache i with
+        match Atomic.get r.prefix_cache.(i) with
         | Some p -> p
         | None ->
             let di_id = (List.nth t.Tensor.dims i).Dim.id in
@@ -84,7 +91,7 @@ let offset ({ tensor = t; lenv; _ } as r) (idx : int list) : int =
               p.(v + 1) <-
                 p.(v) + Tensor.slice_volume t ~lenv ~level:(i + 1) ~env:[ (di_id, v) ]
             done;
-            Hashtbl.add r.prefix_cache i p;
+            Atomic.set r.prefix_cache.(i) (Some p);
             p
       in
       off := !off + prefix.(idx.(i))

@@ -7,15 +7,22 @@ type t = {
   tensor : Tensor.t;
   buf : Runtime.Buffer.t;
   lenv : Lenfun.env;
-  prefix_cache : (int, int array) Hashtbl.t;
+  prefix_cache : int array option Atomic.t array;
       (** memoized prefix sums of per-value slice volumes for dims with
           ragged dependents — keeps per-element offsets O(rank) instead
           of O(batch), which is what makes filling and unpacking a
           B-row mega-batch linear rather than quadratic in B.  Both
           inputs (tensor, lenv) are immutable per value, so entries
-          never invalidate.  Managed by {!offset}; construct values
-          through {!alloc}. *)
+          never invalidate.  One slot per dim, published as an immutable
+          array through an [Atomic] so parallel mega-batch fill/scatter
+          can share the value across domains: a race at worst recomputes
+          the identical array.  Managed by {!offset}; construct values
+          through {!alloc} or size it with {!fresh_prefix_cache}. *)
 }
+
+(** One empty per-dim slot array, sized for the tensor's rank (for callers
+    constructing {!t} records directly). *)
+val fresh_prefix_cache : Tensor.t -> int array option Atomic.t array
 
 (** Zero-filled buffer sized for the tensor (zero padding keeps padded
     reductions exact). *)

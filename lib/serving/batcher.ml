@@ -134,6 +134,7 @@ let next_batch_id = Atomic.make 1
 let batches_c = Obs.Metrics.counter "batcher.batches"
 let members_c = Obs.Metrics.counter "batcher.members"
 let evicted_c = Obs.Metrics.counter "batcher.evicted"
+let expired_scatter_c = Obs.Metrics.counter "batcher.expired_at_scatter"
 let degraded_c = Obs.Metrics.counter "frontend.degraded"
 let actual_c = Obs.Metrics.counter "batcher.elems_actual"
 let padded_c = Obs.Metrics.counter "batcher.elems_padded"
@@ -228,8 +229,11 @@ let run ?fallback (cfg : config) (srv : Server.t) (w : Workload.t)
            computed once, not once per filled element *)
         let local = bd.Workload.local_index lens_list in
         let fill name idx = Server.default_fill name (local name idx) in
-        (* the mega-batch runs under the most generous member deadline;
-           members are only evicted at formation, never mid-batch *)
+        (* the mega-batch itself runs under the most generous member
+           deadline — aborting the shared run would punish every member
+           for the tightest budget — but each member's own deadline is
+           re-checked at scatter, so a member served past its budget is
+           reported [Expired], never silently counted served *)
         let max_deadline =
           Array.fold_left (fun acc m -> Float.max acc m.m_deadline_us) neg_infinity ms
         in
@@ -266,6 +270,16 @@ let run ?fallback (cfg : config) (srv : Server.t) (w : Workload.t)
               Array.map (fun m -> Pack.weight ~tile:cfg.tile (bd.Workload.rows m.m_lens)) ms
             in
             let wtot = Array.fold_left ( + ) 0 wts in
+            let t_scatter = now_us () in
+            (* shared cache/cost accounting rides on the first member that
+               is actually served — attributing it to a scatter-expired
+               member would drop it from stream totals *)
+            let first_served = ref (-1) in
+            Array.iteri
+              (fun k i ->
+                if !first_served < 0 && t_scatter <= members.(i).m_deadline_us then
+                  first_served := k)
+              idxs;
             Array.iteri
               (fun k i ->
                 let m = members.(i) in
@@ -286,8 +300,15 @@ let run ?fallback (cfg : config) (srv : Server.t) (w : Workload.t)
                         ]
                       "batch.member"
                       (fun () ->
-                        let r = member_response resp ~first:(k = 0) ~share outs.(k) in
-                        out.(i) <- Served { resp = r; batch_id; batch_size = size })))
+                        if t_scatter > m.m_deadline_us then begin
+                          Obs.Metrics.incr expired_scatter_c;
+                          out.(i) <- Expired { stage = "scatter"; batch_id; batch_size = size }
+                        end
+                        else
+                          let r =
+                            member_response resp ~first:(k = !first_served) ~share outs.(k)
+                          in
+                          out.(i) <- Served { resp = r; batch_id; batch_size = size })))
               idxs
         | exception Batch_expired stage ->
             Array.iter

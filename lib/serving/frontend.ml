@@ -42,11 +42,48 @@ type t = {
   lock : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
+  wake : (Unix.file_descr * Unix.file_descr) option;
+      (** batching only: a self-pipe the submit path writes after
+          signalling [not_empty].  The stdlib [Condition] has no timed
+          wait, so an open batching window sleeps in [Unix.select] on the
+          read end with the window's remaining budget as the timeout — a
+          submit wakes it immediately, an idle server blocks instead of
+          burning a core, and formation latency no longer quantises to a
+          poll interval. *)
   mutable closing : bool;
   mutable workers : unit Domain.t list;
 }
 
 let now_us = Obs.Trace_sink.now_us
+
+(* Wake any batching window blocked in [Unix.select].  Both ends are
+   non-blocking: a full pipe already guarantees pending wakeups, so
+   EAGAIN is dropped. *)
+let wake_signal (fe_wake : (Unix.file_descr * Unix.file_descr) option) =
+  match fe_wake with
+  | None -> ()
+  | Some (_, w) -> (
+      (* best-effort: EAGAIN = pipe full = wakeups already pending;
+         EBADF = already shut down *)
+      try ignore (Unix.write w (Bytes.make 1 '\001') 0 1) with Unix.Unix_error _ -> ())
+
+(* Sleep until a submit writes the wake pipe or [timeout_us] elapses.
+   Several batch workers select on the same read end; whoever loses the
+   race to drain it just sees EAGAIN and re-checks the queue — spurious
+   wakeups are harmless, missed ones impossible (the byte is written
+   after the request is enqueued under the lock). *)
+let wake_wait (fe_wake : (Unix.file_descr * Unix.file_descr) option) ~(timeout_us : float) =
+  match fe_wake with
+  | None -> Unix.sleepf (Float.min timeout_us 200.0 /. 1e6)
+  | Some (r, _) -> (
+      let timeout_s = Float.max 0.0 (timeout_us /. 1e6) in
+      match Unix.select [ r ] [] [] timeout_s with
+      | [], _, _ -> ()
+      | _ -> (
+          let buf = Bytes.create 64 in
+          try ignore (Unix.read r buf 0 64)
+          with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
 
 (* module-level handles: metric lookup is off the per-request path *)
 let accepted_c = Obs.Metrics.counter "frontend.accepted"
@@ -234,8 +271,10 @@ let rec worker_loop (fe : t) =
 
 (* Drain one batching window: block for the first request, then hold the
    window open — taking whatever else arrives — until it has [max_batch]
-   requests or [max_wait_us] has passed.  The stdlib has no timed
-   condition wait, so the open window polls with the lock released. *)
+   requests or [max_wait_us] has passed.  The open window sleeps on the
+   wake pipe with the remaining budget as the select timeout (see [wake]);
+   every submit writes the pipe, so arrivals cut the wait short instead
+   of landing between polls. *)
 let drain_window (fe : t) (cfg : Batcher.config) : request list option =
   Mutex.lock fe.lock;
   let rec first () =
@@ -258,15 +297,14 @@ let drain_window (fe : t) (cfg : Batcher.config) : request list option =
           acc := Queue.pop fe.q :: !acc;
           incr count
         done;
-        if
-          !count < cfg.Batcher.max_batch
-          && (not fe.closing)
-          && now_us () -. t0 < cfg.Batcher.max_wait_us
-        then begin
-          Mutex.unlock fe.lock;
-          Unix.sleepf 0.0002;
-          Mutex.lock fe.lock;
-          fill ()
+        if !count < cfg.Batcher.max_batch && not fe.closing then begin
+          let remaining_us = cfg.Batcher.max_wait_us -. (now_us () -. t0) in
+          if remaining_us > 0.0 then begin
+            Mutex.unlock fe.lock;
+            wake_wait fe.wake ~timeout_us:remaining_us;
+            Mutex.lock fe.lock;
+            fill ()
+          end
         end
       in
       fill ();
@@ -366,6 +404,15 @@ let create ?(domains = 4) ?(capacity = 64) ?deadline_ns ?batching (srv : Server.
     | `Compiled -> Some (Server.with_engine srv `Interp)
     | `Interp -> None
   in
+  let wake =
+    match batching with
+    | None -> None
+    | Some _ ->
+        let r, w = Unix.pipe () in
+        Unix.set_nonblock r;
+        Unix.set_nonblock w;
+        Some (r, w)
+  in
   let fe =
     {
       srv;
@@ -377,6 +424,7 @@ let create ?(domains = 4) ?(capacity = 64) ?deadline_ns ?batching (srv : Server.
       lock = Mutex.create ();
       not_empty = Condition.create ();
       not_full = Condition.create ();
+      wake;
       closing = false;
       workers = [];
     }
@@ -422,6 +470,7 @@ let enqueue ~wait_for_space ?deadline_ns (fe : t) (w : Workload.t) (lens : int a
     Condition.signal fe.not_empty
   end;
   Mutex.unlock fe.lock;
+  if admitted then wake_signal fe.wake;
   Obs.Span.add_attr "admitted" (Obs.Trace_sink.Str (if admitted then "yes" else "no"));
   if admitted then Obs.Metrics.incr accepted_c
   else begin
@@ -446,8 +495,14 @@ let shutdown (fe : t) =
   Condition.broadcast fe.not_empty;
   Condition.broadcast fe.not_full;
   Mutex.unlock fe.lock;
+  wake_signal fe.wake;
   List.iter Domain.join fe.workers;
-  fe.workers <- []
+  fe.workers <- [];
+  match fe.wake with
+  | None -> ()
+  | Some (r, w) ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      (try Unix.close w with Unix.Unix_error _ -> ())
 
 let queue_length (fe : t) =
   Mutex.lock fe.lock;

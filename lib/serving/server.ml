@@ -130,7 +130,7 @@ let execute ?(fill = default_fill) ?opt_override (srv : t) (job : Workload.job)
                 Ragged.tensor = t;
                 buf = Runtime.Buffer.of_floats a;
                 lenv = job.Workload.lenv;
-                prefix_cache = Hashtbl.create 4;
+                prefix_cache = Ragged.fresh_prefix_cache t;
               }
             in
             Hashtbl.add raggeds t.Tensor.name r;
@@ -197,15 +197,16 @@ let handle ?(stage_check = fun (_ : string) -> ()) ?fill (srv : t) (w : Workload
   in
   (* The raggedness vector rendered once — suffix of every per-instance
      memo key this request touches. *)
-  let lens_key =
+  let render_lens ls =
     let b = Buffer.create 48 in
     Array.iter
       (fun l ->
         Buffer.add_char b '|';
         Buffer.add_string b (string_of_int l))
-      lens;
+      ls;
     Buffer.contents b
   in
+  let lens_key = render_lens lens in
   (* The tuner decision is baked into the job memo: an autotuned server's
      steady-state request does exactly one lookup — same work as a hand
      server — and gets back the job to serve, the tuner state to report
@@ -224,12 +225,12 @@ let handle ?(stage_check = fun (_ : string) -> ()) ?fill (srv : t) (w : Workload
     | _ -> None
   in
   let ep = Autotune.Tuner.epoch () in
-  let jkey =
-    (match auto with
+  let jkey_prefix =
+    match auto with
     | Some _ -> "auto|" ^ Ir.Optimize.level_name srv.opt
-    | None -> "hand")
-    ^ lens_key
+    | None -> "hand"
   in
+  let jkey = jkey_prefix ^ lens_key in
   let variant_of (d : Autotune.Tuner.decision) =
     match d.Autotune.Tuner.point with
     | Some p -> "t " ^ Autotune.Space.to_string p
@@ -333,7 +334,39 @@ let handle ?(stage_check = fun (_ : string) -> ()) ?fill (srv : t) (w : Workload
   let pkey_of (j : Workload.job) = Prelude_cache.key_of ~tables_sig (defs_of j) in
   let prelude_with ~pkey (j : Workload.job) =
     if srv.prelude_cache then
-      Prelude_cache.build_keyed ~key:pkey (fun () -> defs_of j) j.Workload.lenv
+      match w.Workload.prev_tables with
+      | Some prev_of ->
+          (* Autoregressive workload: on a miss, delta-update from the
+             predecessor step's cached prelude instead of rebuilding.  The
+             predecessor's key reuses this job's defs — def names are
+             length-independent, so the name set matches the one the
+             predecessor was cached under. *)
+          let prev () =
+            match prev_of lens with
+            | None -> None
+            | Some (plens, ptabs) -> (
+                (* The predecessor was usually just served here, so its
+                   baked job memo entry carries the very prelude key its
+                   prelude was cached under — reuse it and skip the Sig
+                   re-derivation.  A memo miss derives the key from the
+                   predicted tables instead. *)
+                let baked_prev =
+                  if srv.compile_cache then
+                    match Cache.find w.Workload.job_cache (jkey_prefix ^ render_lens plens) with
+                    | Some cj when auto = None || cj.Workload.c_epoch = ep ->
+                        Some (cj.Workload.c_pkey, cj.Workload.c_job.Workload.lenv)
+                    | _ -> None
+                  else None
+                in
+                match baked_prev with
+                | Some _ -> baked_prev
+                | None ->
+                    Some
+                      ( Prelude_cache.key_of ~tables_sig:(Sig.of_tables ptabs) (defs_of j),
+                        Workload.lenv_of_tables ptabs ))
+          in
+          Prelude_cache.build_delta ~key:pkey ~prev (fun () -> defs_of j) j.Workload.lenv
+      | None -> Prelude_cache.build_keyed ~key:pkey (fun () -> defs_of j) j.Workload.lenv
     else (Prelude.build ~dedup_defs:true (defs_of j) j.Workload.lenv, false)
   in
   let pkey = match baked with Some cj -> cj.Workload.c_pkey | None -> pkey_of job in

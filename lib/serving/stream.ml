@@ -14,3 +14,101 @@ let repeat ~shape ~n ~seed : t = { seed; shapes = [| shape |]; items = Array.mak
 
 let replay (srv : Server.t) (w : Workload.t) (s : t) : Server.response list =
   Array.to_list (Array.map (fun lens -> Server.handle srv w lens) s.items)
+
+(* ---- Trace-driven decode load generator ----
+
+   A trace is a set of sessions; each session is one prefill step (the
+   initial KV-cache lengths, as drawn by the workload's sampler) followed
+   by [steps] decode steps, every cache row one token longer than the
+   step before.  Sessions arrive in bursts and belong to tenants whose
+   class fixes their deadline.  Events within a session are strictly
+   ordered — a decode step is meaningless before its predecessor — and
+   both drivers below preserve that order. *)
+
+type phase = Prefill | Decode of int
+
+type event = {
+  session : int;
+  tenant : int;
+  phase : phase;
+  lens : int array;  (** raggedness vector submitted for this step *)
+  arrival_us : float;  (** offset from trace start (bursty) *)
+  deadline_ns : float option;  (** the tenant class's deadline *)
+}
+
+type trace = {
+  t_seed : int;
+  sessions : int;
+  steps : int;  (** decode steps per session (excluding prefill) *)
+  events : event array;  (** session-major, step-minor *)
+}
+
+let phase_label = function Prefill -> "prefill" | Decode k -> "decode" ^ string_of_int k
+
+let generate_trace ~(workload : Workload.t) ?(sessions = 8) ?(steps = 8) ?(burst = 4)
+    ?(burst_gap_us = 200.0) ?(classes = [| None |]) ~seed () : trace =
+  if sessions < 1 || steps < 0 then invalid_arg "Stream.generate_trace";
+  let rng = Workloads.Rng.create seed in
+  let events = ref [] in
+  for s = 0 to sessions - 1 do
+    let base = workload.Workload.sample rng in
+    let tenant = s mod Array.length classes in
+    let deadline_ns = classes.(tenant) in
+    (* burst [s / burst] opens at a fixed gap; members jitter inside it *)
+    let arrive0 =
+      (float_of_int (s / burst) *. burst_gap_us) +. (Workloads.Rng.float rng *. 20.0)
+    in
+    for t = 0 to steps do
+      let lens = Array.map (fun l -> l + t) base in
+      let phase = if t = 0 then Prefill else Decode t in
+      (* decode steps trail their predecessor; the offset only matters to
+         a paced driver — ordering is enforced by the drivers themselves *)
+      let arrival_us = arrive0 +. (float_of_int t *. 50.0) in
+      events := { session = s; tenant; phase; lens; arrival_us; deadline_ns } :: !events
+    done
+  done;
+  { t_seed = seed; sessions; steps; events = Array.of_list (List.rev !events) }
+
+(* Serial oracle: one request at a time, in session-major step order (the
+   per-session order every driver must preserve; cross-session order is
+   irrelevant to the outputs, which depend only on the lens vector). *)
+let replay_trace (srv : Server.t) (w : Workload.t) (tr : trace) : Server.response array =
+  Array.map (fun (e : event) -> Server.handle srv w e.lens) tr.events
+
+(* Concurrent driver: per-session software pipelining through a
+   front-end.  Step [t+1] of a session is submitted only after its step
+   [t] resolved — the KV-cache append semantics, and what guarantees the
+   predecessor's prelude is already cached when the delta path looks it
+   up.  Distinct sessions overlap freely: while we await one session's
+   step, every other session's current step is already in flight.  With
+   [pace > 0], prefill submissions honour the trace's bursty arrival
+   offsets (scaled by [pace]); [pace = 0] submits as fast as the
+   pipeline allows. *)
+let run_trace ?(pace = 0.0) (fe : Frontend.t) (w : Workload.t) (tr : trace) :
+    (event * Frontend.outcome) array =
+  let per_step = tr.steps + 1 in
+  let out = Array.make (Array.length tr.events) None in
+  let tickets = Array.make tr.sessions None in
+  let t0 = Unix.gettimeofday () in
+  let submit (i : int) =
+    let e = tr.events.(i) in
+    if pace > 0.0 && e.phase = Prefill then begin
+      let due = t0 +. (e.arrival_us *. 1e-6 *. pace) in
+      let dt = due -. Unix.gettimeofday () in
+      if dt > 0.0 then Unix.sleepf dt
+    end;
+    tickets.(e.session) <- Some (i, Frontend.submit_wait ?deadline_ns:e.deadline_ns fe w e.lens)
+  in
+  for t = 0 to tr.steps do
+    for s = 0 to tr.sessions - 1 do
+      (match tickets.(s) with
+      | Some (i, tk) -> out.(i) <- Some (tr.events.(i), Frontend.await tk)
+      | None -> ());
+      submit ((s * per_step) + t)
+    done
+  done;
+  Array.iter
+    (function
+      | Some (i, tk) -> out.(i) <- Some (tr.events.(i), Frontend.await tk) | None -> ())
+    tickets;
+  Array.map (function Some r -> r | None -> assert false) out

@@ -21,3 +21,61 @@ val repeat : shape:int array -> n:int -> seed:int -> t
 
 (** Replay through a server, in order; returns one response per item. *)
 val replay : Server.t -> Workload.t -> t -> Server.response list
+
+(** {2 Trace-driven decode load generation}
+
+    A trace models autoregressive serving: sessions of one prefill step
+    (initial KV-cache lengths from the workload's sampler) followed by
+    [steps] decode steps, each growing every cache row by one token.
+    Sessions arrive in bursts and carry their tenant class's deadline.
+    Per-session step order is semantic (a decode step extends its
+    predecessor's cache) and both drivers preserve it. *)
+
+type phase = Prefill | Decode of int  (** decode step number, 1-based *)
+
+type event = {
+  session : int;
+  tenant : int;
+  phase : phase;
+  lens : int array;  (** raggedness vector submitted for this step *)
+  arrival_us : float;  (** offset from trace start (bursty) *)
+  deadline_ns : float option;  (** the tenant class's deadline *)
+}
+
+type trace = {
+  t_seed : int;
+  sessions : int;
+  steps : int;  (** decode steps per session (excluding prefill) *)
+  events : event array;  (** session-major, step-minor *)
+}
+
+val phase_label : phase -> string
+
+(** [generate_trace ~workload ~seed ()] — [sessions] sessions of
+    [1 + steps] events each, arriving in bursts of [burst] sessions
+    opening every [burst_gap_us]; session [s] belongs to tenant
+    [s mod Array.length classes] and inherits that class's deadline
+    ([None] = no deadline).  Deterministic in [seed]. *)
+val generate_trace :
+  workload:Workload.t ->
+  ?sessions:int ->
+  ?steps:int ->
+  ?burst:int ->
+  ?burst_gap_us:float ->
+  ?classes:float option array ->
+  seed:int ->
+  unit ->
+  trace
+
+(** Serial oracle: one request at a time, session-major step order.
+    Returns one response per event, aligned with [trace.events]. *)
+val replay_trace : Server.t -> Workload.t -> trace -> Server.response array
+
+(** Concurrent driver: per-session software pipelining through the
+    front-end — a session's step [t+1] is submitted only after its step
+    [t] resolves, while distinct sessions overlap freely.  [pace > 0]
+    honours the bursty arrival offsets for prefill submissions (scaled
+    by [pace]); [pace = 0] (default) runs flat out.  Returns
+    (event, outcome) pairs aligned with [trace.events]. *)
+val run_trace :
+  ?pace:float -> Frontend.t -> Workload.t -> trace -> (event * Frontend.outcome) array

@@ -38,6 +38,7 @@ type t = {
   build : int array -> job;
   batching : batching option;
   tunable : tunable option;
+  prev_tables : (int array -> (int array * (string * int array) list) option) option;
   job_cache : (string, cached_job) Cache.t;
 }
 
@@ -256,6 +257,7 @@ let fig1 ?(batch = 6) ?(max_len = 10) () : t =
     build;
     batching = Some batching;
     tunable = Some tunable;
+    prev_tables = None;
     job_cache = job_cache_of "fig1";
   }
 
@@ -361,6 +363,7 @@ let vgemm ?(batch = 4) ?(tile = 32)
     build;
     batching = Some batching;
     tunable = Some tunable;
+    prev_tables = None;
     job_cache = job_cache_of "vgemm";
   }
 
@@ -411,6 +414,7 @@ let trmm ?(tile = 16) ?(sizes = [| 32; 48; 64 |]) () : t =
     build;
     batching = None;
     tunable = Some tunable;
+    prev_tables = None;
     job_cache = job_cache_of "trmm";
   }
 
@@ -504,7 +508,89 @@ let encoder ?(base = false) ?(batch = 4) ~(dataset : Workloads.Datasets.t) () : 
     build;
     batching = Some batching;
     tunable = Some tunable;
+    prev_tables = None;
     job_cache = job_cache_of "encoder";
+  }
+
+(* --- Autoregressive decode step (KV-cache append attention) --- *)
+
+let decode ?(batch = 4) ?(max_src = 24) () : t =
+  let job_of src_lens =
+    let ones = Array.make (Array.length src_lens) 1 in
+    (* Construct the cfg directly (not via [Decoder.make]): make sorts the
+       source lengths descending, which would break the row identity a
+       decode stream relies on — the prelude delta path matches row [b] of
+       step [t] against row [b] of step [t-1]. *)
+    let cfg =
+      {
+        Transformer.Decoder.base = Transformer.Config.tiny ~lens:ones;
+        src_lens = Array.copy src_lens;
+      }
+    in
+    let d = Transformer.Decoder.build_decode cfg in
+    let tables = [ ("tgt", ones); ("src", Array.copy src_lens) ] in
+    {
+      kernels = d.Transformer.Decoder.dkernels;
+      launches = List.map Machine.Launch.single d.Transformer.Decoder.dkernels;
+      tables;
+      lenv = lenv_of_tables tables;
+      out_name = d.Transformer.Decoder.dattn.Tensor.name;
+    }
+  in
+  let build lens = job_of lens in
+  (* Batching: KV caches concatenate along the leading batch dim.  Both
+     external inputs (the new-token hidden state DQ and the cache DKV) are
+     batch-leading and there are no weight tensors, so every fill index
+     localizes the same way.  DAO unpacks to [B][1][H][dh] — the target
+     extent is exactly 1 everywhere, so the dense inner volume is the same
+     in solo and mega layouts. *)
+  let batching =
+    let rows lens = lens in
+    let merge = Array.concat in
+    let local_index ls =
+      let off = offsets (List.map Array.length ls) in
+      fun _name idx -> localize off idx
+    in
+    let split ls mega =
+      let counts = List.map Array.length ls in
+      let total = List.fold_left ( + ) 0 counts in
+      let inner = if total = 0 then 0 else Array.length mega / total in
+      let off = offsets counts in
+      List.mapi
+        (fun k lens ->
+          slice_rows ~mega ~inner_mega:inner ~row_off:off.(k) ~rows:(Array.length lens) ~inner)
+        ls
+    in
+    { rows; merge; local_index; split }
+  in
+  (* The decode schedules are fixed by the cache layout (seq_pad fused
+     sweep); only the engine opt level is worth searching. *)
+  let tunable =
+    {
+      tables_of =
+        (fun lens -> [ ("tgt", Array.make (Array.length lens) 1); ("src", lens) ]);
+      space = (fun _ -> Autotune.Space.[ make (); make ~opt:3 () ]);
+      build_tuned = (fun _ lens -> job_of lens);
+    }
+  in
+  {
+    name = "decode";
+    sample = (fun rng -> Array.init batch (fun _ -> 1 + Workloads.Rng.int rng max_src));
+    build;
+    batching = Some batching;
+    tunable = Some tunable;
+    (* One decode step extends every cache row by one token, so the
+       predecessor's tables are the current lengths minus one.  Rows
+       already at length 1 have no predecessor (that step was the
+       prefill), so the first decode step after prefill rebuilds. *)
+    prev_tables =
+      Some
+        (fun lens ->
+          if Array.length lens = 0 || Array.exists (fun l -> l <= 1) lens then None
+          else
+            let plens = Array.map (fun l -> l - 1) lens in
+            Some (plens, [ ("tgt", Array.make (Array.length lens) 1); ("src", plens) ]));
+    job_cache = job_cache_of "decode";
   }
 
 let by_name ?(dataset = Workloads.Datasets.squad) = function
@@ -512,4 +598,5 @@ let by_name ?(dataset = Workloads.Datasets.squad) = function
   | "vgemm" -> vgemm ()
   | "trmm" -> trmm ()
   | "encoder" -> encoder ~dataset ()
+  | "decode" -> decode ()
   | s -> invalid_arg ("Serving.Workload.by_name: unknown workload " ^ s)

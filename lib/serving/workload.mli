@@ -102,6 +102,18 @@ type t = {
       (** [None] (e.g. trmm) — the batcher serves requests as singletons *)
   tunable : tunable option;
       (** [None] — the tuner always serves the hand schedule *)
+  prev_tables : (int array -> (int array * (string * int array) list) option) option;
+      (** Predecessor-step shape for incremental prelude maintenance.
+          [Some f] marks an autoregressive workload: [f lens] returns the
+          raggedness vector and the tables (same names, same order as
+          [job.tables]) of the step whose prelude the current step's can
+          be delta-updated from, or [None] when this step has no
+          predecessor (e.g. right after prefill).  The vector lets the
+          server look the predecessor up in [job_cache] and reuse its
+          baked prelude key; the tables derive the key on a memo miss.
+          Correctness never depends on the prediction — a predecessor
+          absent from the prelude cache just falls back to a full
+          build. *)
   job_cache : (string, cached_job) Cora.Cache.t;
       (** per-instance memo of built jobs with their tuner decision baked
           in, keyed by (serving mode, raggedness vector) — mode-prefixed
@@ -125,6 +137,11 @@ type t = {
     have its build skipped. *)
 val clear_caches : unit -> unit
 
+(** Build a runtime environment from concrete tables — the adapters'
+    shared invariant: the environment is the tables and nothing else
+    (which is what lets {!Cora.Sig.of_tables} key the prelude cache). *)
+val lenv_of_tables : (string * int array) list -> Cora.Lenfun.env
+
 (** Fig. 1 of the paper: [O\[b\]\[j\] = 2 * A\[b\]\[j\]] with ragged [j],
     loop-padded and guarded.  Raggedness vector = the row lengths. *)
 val fig1 : ?batch:int -> ?max_len:int -> unit -> t
@@ -145,6 +162,15 @@ val trmm : ?tile:int -> ?sizes:int array -> unit -> t
     base model; the default tiny model keeps interpretation affordable. *)
 val encoder : ?base:bool -> ?batch:int -> dataset:Workloads.Datasets.t -> unit -> t
 
-(** The four adapters above with bench-friendly defaults, keyed by name
-    ([fig1], [vgemm], [trmm], [encoder]); raises on unknown names. *)
+(** One autoregressive decode step ({!Transformer.Decoder.build_decode}):
+    the new token attends to a KV cache of [src(b)] entries.  Raggedness
+    vector = the cache lengths; [sample] draws the {e initial} (prefill)
+    lengths and a decode stream grows them by one per step.  Sets
+    [prev_tables] so the serving path delta-updates each step's prelude
+    from its predecessor's. *)
+val decode : ?batch:int -> ?max_src:int -> unit -> t
+
+(** The adapters above with bench-friendly defaults, keyed by name
+    ([fig1], [vgemm], [trmm], [encoder], [decode]); raises on unknown
+    names. *)
 val by_name : ?dataset:Workloads.Datasets.t -> string -> t

@@ -195,3 +195,192 @@ let time ~device (t : t) =
       (List.map Machine.Launch.single t.kernels)
   in
   Machine.Launch.total_ns p
+
+(* ------------------------------------------------------------------ *)
+(* Autoregressive decode step *)
+
+(* KV-cache token tensor: per-row storage padded to [seq_pad] so the fused
+   cache sweep below can use a seq_pad-granular fused loop (its offset
+   table is then the storage offset table, shared), plus the usual bulk
+   padding of the fused total. *)
+let cache_token (c : cfg) fn name inner =
+  let bd = Dim.make "batch" and ld = Dim.make "len" in
+  let inner_dims = List.map (fun _ -> Dim.make "c") inner in
+  let tt =
+    Tensor.create ~name
+      ~dims:(bd :: ld :: inner_dims)
+      ~extents:(Shape.fixed c.base.Config.batch :: Shape.ragged ~dep:bd ~fn :: inner)
+  in
+  Tensor.pad_dimension tt ld c.base.Config.seq_pad;
+  Tensor.set_bulk_pad tt c.base.Config.bulk;
+  tt
+
+(** Tensors and kernels of one autoregressive decode step. *)
+type decode = {
+  dcfg : cfg;
+  dq : Tensor.t;  (** the new token's hidden state, [B][tgt(b)=1][h] *)
+  dkv : Tensor.t;  (** KV cache after append, [B][src(b)~pad][2h] *)
+  dkn : Tensor.t;  (** key-scaled cache, same layout as [dkv] *)
+  dscores : Tensor.t;
+  dprobs : Tensor.t;
+  dattn : Tensor.t;  (** [B][tgt(b)=1][H][dh] *)
+  dkernels : Lower.kernel list;
+}
+
+(** Build one decode step: the new token ([tgt(b) = 1] for every row)
+    attends to the full KV cache [src(b)], which grew by one in the
+    append.  The first kernel is the cache pre-scale sweep — a fused,
+    bulk-padded pass over every cache token that scales the key half by
+    [1/sqrt(dh)] (so QK^T needs no epilogue) and copies the value half.
+    Its fused loop is padded to [seq_pad] {e before} fusing, so the
+    fused-loop maps change only when a row crosses a padding boundary —
+    once every [seq_pad] steps — which is exactly the structure the
+    incremental prelude maintenance exploits. *)
+let build_decode ?(hoist = true) (c : cfg) : decode =
+  let base = c.base in
+  if Array.exists (fun l -> l <> 1) base.Config.lens then
+    invalid_arg "Decoder.build_decode: target lengths must all be 1";
+  let h = base.Config.hidden and nh = base.Config.heads and dh = base.Config.head_size in
+  let nth = List.nth in
+  let effs = Builder.gpu_effs in
+  let dq = token c tgt "DQ" [ Shape.fixed h ] in
+  let dkv = cache_token c src "DKV" [ Shape.fixed (2 * h) ] in
+  let dkn = cache_token c src "DKN" [ Shape.fixed (2 * h) ] in
+  let dscores = cross_matrix c "DX" and dprobs = cross_matrix c "DXS" in
+  let dattn = token c tgt "DAO" [ Shape.fixed nh; Shape.fixed dh ] in
+  (* cache sweep: keys scaled, values copied *)
+  let op_kscale =
+    Op.compute ~name:"KVScale" ~out:dkn
+      ~loop_extents:
+        [
+          Shape.fixed base.Config.batch;
+          Shape.ragged ~dep:(nth dkn.Tensor.dims 0) ~fn:src;
+          Shape.fixed (2 * h);
+        ]
+      ~reads:[ dkv ]
+      (fun idx ->
+        let b = nth idx 0 and t = nth idx 1 and cc = nth idx 2 in
+        let v = Op.access dkv [ b; t; cc ] in
+        E.select (E.lt cc (E.int h)) (E.mul v (E.float (1.0 /. sqrt (float_of_int dh)))) v)
+  in
+  let kscale =
+    let s = Schedule.create op_kscale in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.gemm;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and t = Schedule.axis_of_dim s 1
+    and cc = Schedule.axis_of_dim s 2 in
+    (* pad the token axis before fusing: the fused tables get inner pad
+       [seq_pad], matching the cache tensors' storage padding *)
+    Schedule.pad_loop s t base.Config.seq_pad;
+    let f = Schedule.fuse s b t in
+    Schedule.pad_loop s f base.Config.bulk;
+    let fo, fi = Schedule.split s f base.Config.bulk in
+    Schedule.reorder s [ fo; fi; cc ];
+    Schedule.bind_block s fo;
+    Schedule.bind_thread s fi;
+    Schedule.bind_thread s cc;
+    Lower.lower s
+  in
+  (* QK^T over the scaled keys: no epilogue, one row per sequence *)
+  let op_qkt =
+    let kd = Dim.make "k" in
+    Op.reduce ~name:"DecodeQKT" ~out:dscores
+      ~loop_extents:
+        [
+          Shape.fixed base.Config.batch;
+          Shape.ragged ~dep:(nth dscores.Tensor.dims 0) ~fn:tgt;
+          Shape.fixed nh;
+          Shape.ragged ~dep:(nth dscores.Tensor.dims 0) ~fn:src;
+        ]
+      ~rdims:[ (kd, Shape.fixed dh) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ dq; dkn ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and cc = nth idx 3 in
+        let k = nth ridx 0 in
+        let tb = E.ufun "tgt" [ b ] and sb = E.ufun "src" [ b ] in
+        let q = Op.access dq [ b; r; E.add (E.mul hh (E.int dh)) k ] in
+        let kk = Op.access dkn [ b; cc; E.add (E.mul hh (E.int dh)) k ] in
+        E.select (E.and_ (E.lt r tb) (E.lt cc sb)) (E.mul q kk) (E.float 0.0))
+  in
+  let qkt =
+    let s = Schedule.create op_qkt in
+    Schedule.set_guard_mode s Schedule.Elide;
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and cc = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r base.Config.seq_pad;
+    Schedule.pad_loop s cc base.Config.seq_pad;
+    let ro, ri = Schedule.split s r base.Config.seq_pad in
+    let co, ci = Schedule.split s cc base.Config.seq_pad in
+    let k = Schedule.axis_of_rdim s 0 in
+    Schedule.reorder s [ b; hh; ro; co; ri; ci; k ];
+    List.iter (Schedule.bind_block s) [ b; hh; ro; co ];
+    Schedule.bind_thread s ri;
+    Schedule.bind_thread s ci;
+    Lower.lower s
+  in
+  let softmax =
+    Custom.softmax ~cfg:base ~scores:dscores ~probs:dprobs ~target:Custom.Gpu
+      ~eff:effs.Builder.softmax ~rows_fn:"tgt"
+      ~col_extent:(fun ~row:_ ~seq:_ ~batch -> E.ufun "src" [ batch ])
+      ~name:"DecodeSoftmax" ()
+  in
+  (* AttnV over the value half of the scaled cache *)
+  let op_attnv =
+    let cd = Dim.make "c" in
+    Op.reduce ~name:"DecodeAttnV" ~out:dattn
+      ~loop_extents:
+        [
+          Shape.fixed base.Config.batch;
+          Shape.ragged ~dep:(nth dattn.Tensor.dims 0) ~fn:tgt;
+          Shape.fixed nh;
+          Shape.fixed dh;
+        ]
+      ~rdims:[ (cd, Shape.ragged ~dep:(nth dattn.Tensor.dims 0) ~fn:src) ]
+      ~combine:Ir.Stmt.Sum
+      ~init:(fun _ -> E.float 0.0)
+      ~reads:[ dprobs; dkn ]
+      (fun idx ridx ->
+        let b = nth idx 0 and r = nth idx 1 and hh = nth idx 2 and j = nth idx 3 in
+        let cc = nth ridx 0 in
+        let sb = E.ufun "src" [ b ] in
+        let p = Op.access dprobs [ b; r; hh; cc ] in
+        let v = Op.access dkn [ b; cc; E.add (E.int h) (E.add (E.mul hh (E.int dh)) j) ] in
+        E.select (E.lt cc sb) (E.mul p v) (E.float 0.0))
+  in
+  let attnv =
+    let s = Schedule.create op_attnv in
+    Schedule.set_eff s effs.Builder.sdpa;
+    Schedule.set_hoist s hoist;
+    let b = Schedule.axis_of_dim s 0
+    and r = Schedule.axis_of_dim s 1
+    and hh = Schedule.axis_of_dim s 2
+    and j = Schedule.axis_of_dim s 3 in
+    Schedule.pad_loop s r base.Config.seq_pad;
+    let cd = Schedule.axis_of_rdim s 0 in
+    Schedule.pad_loop s cd base.Config.seq_pad;
+    Schedule.set_elide_guard s cd;
+    let ro, ri = Schedule.split s r base.Config.seq_pad in
+    Schedule.reorder s [ b; hh; ro; j; ri; cd ];
+    List.iter (Schedule.bind_block s) [ b; hh; ro ];
+    Schedule.bind_thread s j;
+    Schedule.bind_thread s ri;
+    Lower.lower s
+  in
+  {
+    dcfg = c;
+    dq;
+    dkv;
+    dkn;
+    dscores;
+    dprobs;
+    dattn;
+    dkernels = [ kscale; qkt; softmax; attnv ];
+  }

@@ -27,3 +27,21 @@ type t = {
 val cross_matrix : cfg -> string -> Cora.Tensor.t
 val build_cross : ?hoist:bool -> cfg -> t
 val time : device:Machine.Device.t -> t -> float
+
+(** One autoregressive decode step: the new token ([tgt(b) = 1]) attends
+    to the full KV cache [src(b)].  The cache pre-scale sweep runs as a
+    fused bulk-padded loop with inner pad [seq_pad], so its fused-loop
+    tables change only when a row crosses a padding boundary — the
+    structure incremental prelude maintenance exploits. *)
+type decode = {
+  dcfg : cfg;
+  dq : Cora.Tensor.t;  (** new token hidden state [B][tgt(b)=1][h] *)
+  dkv : Cora.Tensor.t;  (** KV cache after append [B][src(b)~pad][2h] *)
+  dkn : Cora.Tensor.t;  (** key-scaled cache, same layout *)
+  dscores : Cora.Tensor.t;
+  dprobs : Cora.Tensor.t;
+  dattn : Cora.Tensor.t;  (** [B][tgt(b)=1][H][dh] *)
+  dkernels : Cora.Lower.kernel list;
+}
+
+val build_decode : ?hoist:bool -> cfg -> decode

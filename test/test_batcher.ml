@@ -226,6 +226,46 @@ let test_eviction () =
       | _ -> Alcotest.failf "live member %d was not served" i)
     [| 0; 2 |]
 
+(* Regression: the mega-batch runs under the MOST GENEROUS member
+   deadline (aborting the shared run would punish everyone for the
+   tightest budget), so a tight-deadline member sharing a batch with a
+   lax one used to be reported [Served] even when the shared run
+   finished well past its own budget.  Each member's own deadline must
+   be re-checked at scatter. *)
+let test_scatter_deadline () =
+  Serving.Server.reset_caches ();
+  let base = Serving.Workload.fig1 ~batch:6 ~max_len:10 () in
+  (* a build slow enough that the 10ms member budget has certainly
+     lapsed by scatter time, while the infinite-deadline member keeps
+     the shared run going *)
+  let w =
+    {
+      base with
+      Serving.Workload.build =
+        (fun lens ->
+          Unix.sleepf 0.05;
+          base.Serving.Workload.build lens);
+    }
+  in
+  let srv = Serving.Server.create ~execute:true () in
+  let now = Obs.Trace_sink.now_us () in
+  let members =
+    [| member 0 [| 4; 2 |]; member ~deadline:(now +. 10_000.0) 1 [| 9; 9 |] |]
+  in
+  let expired_scatter = Obs.Metrics.counter "batcher.expired_at_scatter" in
+  let before = Obs.Metrics.value expired_scatter in
+  let outs = B.run B.default_config srv w members in
+  (match outs.(1) with
+  | B.Expired { stage; batch_id; batch_size } ->
+      Alcotest.(check string) "expired at scatter, not formation" "scatter" stage;
+      Alcotest.(check bool) "joined a real batch" true (batch_id > 0 && batch_size = 2)
+  | _ -> Alcotest.fail "member reported served past its own deadline");
+  Alcotest.(check int) "scatter expiry counted" (before + 1)
+    (Obs.Metrics.value expired_scatter);
+  match outs.(0) with
+  | B.Served _ -> ()
+  | _ -> Alcotest.fail "lax member was not served"
+
 (* ---------------- arena size classes ---------------- *)
 
 (* Two encoder requests whose exact scratch sizes differ but whose
@@ -292,7 +332,11 @@ let () =
           Alcotest.test_case "encoder bitwise vs solo replay" `Quick test_bitwise_encoder;
         ] );
       ( "deadlines",
-        [ Alcotest.test_case "formation eviction is typed and counted" `Quick test_eviction ] );
+        [
+          Alcotest.test_case "formation eviction is typed and counted" `Quick test_eviction;
+          Alcotest.test_case "member deadline re-checked at scatter" `Quick
+            test_scatter_deadline;
+        ] );
       ( "arena",
         [
           Alcotest.test_case "same size class, zero new misses" `Quick test_arena_size_class;

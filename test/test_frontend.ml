@@ -142,6 +142,48 @@ let test_batched_deadline () =
   ignore (get_response "request after eviction" after);
   Serving.Frontend.shutdown fe
 
+(* Regression for the drain-window wait: the window used to sleep-poll
+   (0.2ms naps) for late arrivals; it now parks on a wakeup fd that
+   [submit] signals.  Two observable contracts guard the mechanism:
+
+   - a late arrival WAKES the waiting worker: with a very long
+     [max_wait_us], a second request landing mid-window must fill the
+     batch and resolve far before the window budget expires (a wait that
+     only ever woke on timeout would hold both until the budget lapsed);
+   - absent arrivals, the wait still TIMES OUT: a lone request under a
+     short window must be served as a batch of one, not parked forever. *)
+let test_drain_window_wakeup () =
+  Serving.Server.reset_caches ();
+  let shape = [| 5; 3; 6; 2 |] in
+  let srv = Serving.Server.create () in
+  (* warm the caches so service time is negligible next to the window *)
+  ignore (Serving.Server.handle srv base shape);
+  let batching =
+    { Serving.Batcher.default_config with max_batch = 2; max_wait_us = 2_000_000.0 }
+  in
+  let fe = Serving.Frontend.create ~domains:1 ~batching srv in
+  let t0 = Unix.gettimeofday () in
+  let a = Serving.Frontend.submit fe base shape in
+  (* land the second request once the worker is certainly parked in the
+     open window *)
+  Unix.sleepf 0.02;
+  let b = Serving.Frontend.submit fe base shape in
+  ignore (get_response "first of the pair" (Serving.Frontend.await a));
+  ignore (get_response "second of the pair" (Serving.Frontend.await b));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Serving.Frontend.shutdown fe;
+  Alcotest.(check bool)
+    (Printf.sprintf "arrival woke the window (%.0fms << 2s budget)" (elapsed *. 1e3))
+    true (elapsed < 1.0);
+  (* lone request: the wait must expire on its own *)
+  let fe2 =
+    Serving.Frontend.create ~domains:1
+      ~batching:{ Serving.Batcher.default_config with max_batch = 4; max_wait_us = 5_000.0 }
+      srv
+  in
+  ignore (get_response "lone request served" (Serving.Frontend.await (Serving.Frontend.submit fe2 base shape)));
+  Serving.Frontend.shutdown fe2
+
 (* ---------------- admission control ---------------- *)
 
 let test_admission_overload () =
@@ -261,6 +303,8 @@ let () =
             test_batched_stress;
           Alcotest.test_case "window eviction is typed and non-wedging" `Quick
             test_batched_deadline;
+          Alcotest.test_case "drain window wakes on submit, times out alone" `Quick
+            test_drain_window_wakeup;
         ] );
       ( "admission",
         [ Alcotest.test_case "full queue rejects typed, non-blocking" `Quick test_admission_overload ] );

@@ -133,6 +133,48 @@ let test_multicore_encoder_counters () =
   Alcotest.(check int) "guard hits" senv.Runtime.Interp.guard_hits
     menv.Runtime.Interp.guard_hits
 
+(* Regression hammer for the per-dimension offset memo: it used to be a
+   plain Hashtbl shared across domains (unsynchronized resize = torn
+   state); it is now an Atomic per dimension — duplicate cold fills are
+   benign, the published array is always complete.  Four domains race
+   cold offsets over a nested-ragged tensor (two lenfuns off the same
+   batch dim, rows of length zero included) and every result must match
+   a serially computed oracle, on every round. *)
+let test_ragged_prefix_cache_race () =
+  let b = 5 in
+  let bd = Dim.make "b" and rd = Dim.make "r" and cd = Dim.make "c" in
+  let fr = Lenfun.make "hr" and fc = Lenfun.make "hc" in
+  let extents =
+    [ Shape.fixed b; Shape.ragged ~dep:bd ~fn:fr; Shape.ragged ~dep:bd ~fn:fc ]
+  in
+  let t = Tensor.create ~name:"H" ~dims:[ bd; rd; cd ] ~extents in
+  let rows = [| 4; 0; 3; 1; 2 |] and cols = [| 2; 5; 1; 4; 3 |] in
+  let hlenv = [ Lenfun.of_array "hr" rows; Lenfun.of_array "hc" cols ] in
+  let idxs =
+    List.concat
+      (List.init b (fun bi ->
+           List.concat
+             (List.init rows.(bi) (fun ri ->
+                  List.init cols.(bi) (fun ci -> [ bi; ri; ci ])))))
+  in
+  let oracle =
+    let r = Ragged.alloc t hlenv in
+    List.map (Ragged.offset r) idxs
+  in
+  for round = 1 to 16 do
+    (* a fresh instance per round re-races the cold fill *)
+    let r = Ragged.alloc t hlenv in
+    let doms =
+      List.init 4 (fun _ -> Domain.spawn (fun () -> List.map (Ragged.offset r) idxs))
+    in
+    List.iter
+      (fun d ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d: offsets match serial oracle" round)
+          oracle (Domain.join d))
+      doms
+  done
+
 let () =
   Alcotest.run "multicore"
     [
@@ -144,5 +186,7 @@ let () =
             test_multicore_counters_aggregate;
           Alcotest.test_case "encoder counters match serial" `Quick
             test_multicore_encoder_counters;
+          Alcotest.test_case "ragged offset memo race-safe" `Quick
+            test_ragged_prefix_cache_race;
         ] );
     ]
